@@ -1,0 +1,132 @@
+//! Minimal ASCII bar charts for sweep output.
+
+use std::fmt;
+
+/// A horizontal ASCII bar chart: one labelled bar per data point, scaled
+/// to a fixed width. Used by the sweep binaries to make the "shape" of
+/// a result visible in plain terminal output.
+///
+/// # Examples
+///
+/// ```
+/// use decache_analysis::TextChart;
+///
+/// let mut chart = TextChart::new("bus utilization", 20);
+/// chart.bar("1 PE", 0.19);
+/// chart.bar("32 PEs", 0.997);
+/// let text = chart.render();
+/// assert!(text.contains("bus utilization"));
+/// assert!(text.contains("1 PE"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl TextChart {
+    /// Creates a chart with a title and a maximum bar width in
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        assert!(width > 0, "a chart needs at least one column");
+        TextChart { title: title.into(), width, bars: Vec::new() }
+    }
+
+    /// Appends a labelled bar. Negative values are clamped to zero.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// The number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Returns `true` if the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Renders the chart: bars scale so the maximum value fills the
+    /// width.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_width = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let filled = if max > 0.0 {
+                ((value / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "  {label:<label_width$}  {}{} {value:.3}\n",
+                "#".repeat(filled),
+                " ".repeat(self.width - filled.min(self.width)),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = TextChart::new("t", 10);
+        c.bar("half", 0.5).bar("full", 1.0);
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(lines[2]), 10);
+        assert_eq!(hashes(lines[1]), 5);
+    }
+
+    #[test]
+    fn zero_and_negative_values_render_empty_bars() {
+        let mut c = TextChart::new("t", 8);
+        c.bar("zero", 0.0).bar("neg", -3.0);
+        let text = c.render();
+        assert!(!text.contains('#'));
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = TextChart::new("t", 4);
+        c.bar("a", 1.0).bar("longer", 1.0);
+        let text = c.render();
+        // Both bars start at the same column.
+        let starts: Vec<usize> =
+            text.lines().skip(1).map(|l| l.find('#').unwrap()).collect();
+        assert_eq!(starts[0], starts[1]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut c = TextChart::new("t", 4);
+        assert!(c.is_empty());
+        c.bar("a", 1.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_width_panics() {
+        let _ = TextChart::new("t", 0);
+    }
+}

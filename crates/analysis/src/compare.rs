@@ -1,0 +1,172 @@
+//! Protocol comparison on a common workload (experiment E13).
+
+use crate::TextTable;
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, MixWorkload};
+use std::fmt;
+
+/// One protocol's results on the comparison workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolRow {
+    /// The protocol.
+    pub protocol: ProtocolKind,
+    /// Elapsed bus cycles to complete the workload (lower = faster).
+    pub cycles: u64,
+    /// Total bus transactions.
+    pub bus_transactions: u64,
+    /// Overall cache hit ratio.
+    pub hit_ratio: f64,
+    /// Bus utilization over the run.
+    pub utilization: f64,
+    /// Reads completed by snooped broadcasts.
+    pub broadcast_satisfied: u64,
+}
+
+/// Runs the same mixed workload (the paper's assumed reference pattern)
+/// under every protocol and tabulates throughput, traffic, and hit
+/// ratios — the quantitative version of the paper's qualitative claims
+/// about dynamic classification and data broadcasting.
+///
+/// # Examples
+///
+/// ```
+/// use decache_analysis::ProtocolComparison;
+///
+/// let rows = ProtocolComparison::new(4).run();
+/// let traffic = |name: &str| rows.iter()
+///     .find(|r| r.protocol.to_string() == name).unwrap().bus_transactions;
+/// // Dynamic classification beats always-write-through:
+/// assert!(traffic("RB") < traffic("write-through"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolComparison {
+    pes: usize,
+    config: MixConfig,
+    protocols: [ProtocolKind; 4],
+}
+
+impl ProtocolComparison {
+    /// Creates the comparison for `pes` processors with the default mix.
+    pub fn new(pes: usize) -> Self {
+        ProtocolComparison {
+            pes,
+            config: MixConfig::default(),
+            protocols: ProtocolKind::ALL,
+        }
+    }
+
+    /// Overrides the workload mix.
+    #[must_use]
+    pub fn config(mut self, config: MixConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs all protocols and returns one row each.
+    pub fn run(&self) -> Vec<ProtocolRow> {
+        self.protocols.iter().map(|&kind| self.run_one(kind)).collect()
+    }
+
+    /// Runs a single protocol.
+    pub fn run_one(&self, kind: ProtocolKind) -> ProtocolRow {
+        let shared = AddrRange::with_len(Addr::new(0), 64);
+        let config = self.config;
+        let mut machine = MachineBuilder::new(kind)
+            .memory_words(1 << 14)
+            .cache_lines(512)
+            .processors(self.pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .build();
+        let cycles = machine.run_to_completion(100_000_000);
+        let traffic = machine.traffic();
+        ProtocolRow {
+            protocol: kind,
+            cycles,
+            bus_transactions: traffic.total_transactions(),
+            hit_ratio: machine.total_cache_stats().hit_ratio(),
+            utilization: traffic.utilization(),
+            broadcast_satisfied: machine.stats().broadcast_satisfied,
+        }
+    }
+
+    /// Renders the comparison as a table.
+    pub fn render(rows: &[ProtocolRow]) -> String {
+        let mut table = TextTable::new(vec![
+            "protocol",
+            "cycles",
+            "bus transactions",
+            "hit ratio",
+            "bus util",
+            "bcast-satisfied",
+        ]);
+        for r in rows {
+            table.row(vec![
+                r.protocol.to_string(),
+                r.cycles.to_string(),
+                r.bus_transactions.to_string(),
+                format!("{:.1}%", r.hit_ratio * 100.0),
+                format!("{:.1}%", r.utilization * 100.0),
+                r.broadcast_satisfied.to_string(),
+            ]);
+        }
+        table.render()
+    }
+}
+
+impl fmt::Display for ProtocolRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles, {} transactions, {:.1}% hits",
+            self.protocol,
+            self.cycles,
+            self.bus_transactions,
+            self.hit_ratio * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<ProtocolRow> {
+        ProtocolComparison::new(4)
+            .config(MixConfig { ops_per_pe: 1_500, ..MixConfig::default() })
+            .run()
+    }
+
+    #[test]
+    fn produces_one_row_per_protocol() {
+        let rows = quick();
+        assert_eq!(rows.len(), 4);
+        let names: Vec<String> = rows.iter().map(|r| r.protocol.to_string()).collect();
+        assert!(names.contains(&"RB".to_owned()));
+        assert!(names.contains(&"write-through".to_owned()));
+    }
+
+    #[test]
+    fn paper_schemes_beat_write_through_on_traffic_and_cycles() {
+        let rows = quick();
+        let get = |name: &str| {
+            *rows.iter().find(|r| r.protocol.to_string() == name).unwrap()
+        };
+        let rb = get("RB");
+        let rwb = get("RWB");
+        let wt = get("write-through");
+        assert!(rb.bus_transactions < wt.bus_transactions);
+        assert!(rwb.bus_transactions < wt.bus_transactions);
+        assert!(rb.cycles < wt.cycles);
+        assert!(rb.hit_ratio > wt.hit_ratio);
+    }
+
+    #[test]
+    fn render_contains_all_protocols() {
+        let rows = quick();
+        let text = ProtocolComparison::render(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.protocol.to_string()));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # decache-analysis
+//!
+//! The paper's Section 7 analytics and the cross-protocol experiment
+//! drivers, plus the plain-text table rendering shared by every
+//! experiment binary.
+//!
+//! * [`SbbModel`] — the shared-bus bandwidth bound `SBB ≥ m·x/h`,
+//!   including the paper's worked example (128 processors at 1 MACS and
+//!   a 10% miss ratio need 12.8 MACS of bus bandwidth).
+//! * [`SaturationSweep`] — drives simulated machines with growing
+//!   processor counts until the single bus saturates, locating the knee
+//!   the analytic model predicts.
+//! * [`MultibusExperiment`] — Figure 7-1: the same workload on 1, 2, and
+//!   4 interleaved shared buses, measuring how per-bus traffic divides.
+//! * [`ProtocolComparison`] — experiment E13: RB, RWB, write-once, and
+//!   write-through on the same workload, the repository's headline
+//!   "who wins" table.
+//! * [`TextTable`] / [`TextChart`] — minimal fixed-width tables and
+//!   ASCII bar charts for experiment output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod chart;
+mod compare;
+mod multibus;
+mod saturation;
+mod table;
+
+pub use bandwidth::SbbModel;
+pub use chart::TextChart;
+pub use compare::{ProtocolComparison, ProtocolRow};
+pub use multibus::{MultibusExperiment, MultibusRow};
+pub use saturation::{SaturationPoint, SaturationSweep};
+pub use table::TextTable;

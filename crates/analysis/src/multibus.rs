@@ -1,0 +1,175 @@
+//! The multiple-shared-bus experiment (Figure 7-1).
+
+use crate::TextTable;
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, MixWorkload};
+
+/// One bus-count configuration's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultibusRow {
+    /// Number of interleaved shared buses.
+    pub buses: usize,
+    /// Elapsed cycles to complete the workload.
+    pub cycles: u64,
+    /// Total transactions across all buses.
+    pub total_transactions: u64,
+    /// The busiest single bus's transaction count — the saturation
+    /// metric.
+    pub max_bus_transactions: u64,
+    /// Each bus's share of the total traffic.
+    pub shares: Vec<f64>,
+}
+
+impl MultibusRow {
+    /// The busiest bus's fraction of total traffic; 1.0 for a single
+    /// bus, ≈ `1/buses` for a well-balanced interleave.
+    pub fn max_share(&self) -> f64 {
+        self.shares.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Runs the same workload on machines with 1, 2, and 4 interleaved
+/// shared buses (least-significant-bit interleave, Figure 7-1),
+/// measuring how the traffic divides: "each part of the divided cache
+/// will generate, on average, half of the traffic" (Section 7).
+///
+/// # Examples
+///
+/// ```
+/// use decache_analysis::MultibusExperiment;
+///
+/// let rows = MultibusExperiment::new(8).run();
+/// // Two buses carry about half the single-bus per-bus load:
+/// assert!(rows[1].max_share() < 0.65);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MultibusExperiment {
+    pes: usize,
+    protocol: ProtocolKind,
+    config: MixConfig,
+}
+
+impl MultibusExperiment {
+    /// Creates the experiment for `pes` processors under RWB.
+    pub fn new(pes: usize) -> Self {
+        MultibusExperiment {
+            pes,
+            protocol: ProtocolKind::Rwb,
+            config: MixConfig::default(),
+        }
+    }
+
+    /// Overrides the protocol.
+    #[must_use]
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Overrides the workload mix.
+    #[must_use]
+    pub fn config(mut self, config: MixConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs 1-, 2-, and 4-bus machines.
+    pub fn run(&self) -> Vec<MultibusRow> {
+        [1usize, 2, 4].iter().map(|&b| self.run_with_buses(b)).collect()
+    }
+
+    /// Runs one machine with `buses` buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buses` is not a power of two.
+    pub fn run_with_buses(&self, buses: usize) -> MultibusRow {
+        let shared = AddrRange::with_len(Addr::new(0), 64);
+        let config = self.config;
+        let mut machine = MachineBuilder::new(self.protocol)
+            .memory_words(1 << 14)
+            .cache_lines(512)
+            .buses(buses)
+            .processors(self.pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .build();
+        let cycles = machine.run_to_completion(100_000_000);
+        let per_bus = machine.traffic_per_bus();
+        MultibusRow {
+            buses,
+            cycles,
+            total_transactions: per_bus.total().total_transactions(),
+            max_bus_transactions: per_bus.max_bus_transactions(),
+            shares: per_bus.shares(),
+        }
+    }
+
+    /// Renders the experiment as a table.
+    pub fn render(rows: &[MultibusRow]) -> String {
+        let mut table = TextTable::new(vec![
+            "buses",
+            "cycles",
+            "total tx",
+            "busiest bus tx",
+            "busiest share",
+        ]);
+        for r in rows {
+            table.row(vec![
+                r.buses.to_string(),
+                r.cycles.to_string(),
+                r.total_transactions.to_string(),
+                r.max_bus_transactions.to_string(),
+                format!("{:.1}%", r.max_share() * 100.0),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<MultibusRow> {
+        MultibusExperiment::new(4)
+            .config(MixConfig { ops_per_pe: 1_500, ..MixConfig::default() })
+            .run()
+    }
+
+    #[test]
+    fn traffic_splits_near_evenly_across_buses() {
+        let rows = quick();
+        assert_eq!(rows[0].shares, vec![1.0]);
+        // Dual bus: each bus within [35%, 65%] of traffic.
+        for share in &rows[1].shares {
+            assert!((0.35..=0.65).contains(share), "dual-bus share {share}");
+        }
+        // Quad bus: each within [10%, 40%].
+        for share in &rows[2].shares {
+            assert!((0.10..=0.40).contains(share), "quad-bus share {share}");
+        }
+    }
+
+    #[test]
+    fn busiest_bus_load_falls_with_bus_count() {
+        let rows = quick();
+        assert!(rows[1].max_bus_transactions < rows[0].max_bus_transactions);
+        assert!(rows[2].max_bus_transactions < rows[1].max_bus_transactions);
+    }
+
+    #[test]
+    fn more_buses_do_not_slow_the_machine() {
+        let rows = quick();
+        // With parallel buses the machine finishes at least as fast.
+        assert!(rows[1].cycles <= rows[0].cycles);
+    }
+
+    #[test]
+    fn render_lists_all_configurations() {
+        let text = MultibusExperiment::render(&quick());
+        for b in ["1", "2", "4"] {
+            assert!(text.contains(b));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Bus saturation sweep: the simulated counterpart of the SBB bound.
+
+use crate::TextTable;
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, MixWorkload};
+
+/// One processor-count point of a saturation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationPoint {
+    /// Number of processors.
+    pub pes: usize,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Bus utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Completed references per bus cycle across the machine — the
+    /// throughput that stops scaling once the bus saturates.
+    pub throughput: f64,
+    /// Overall miss ratio (the `1/h` of the SBB bound, measured).
+    pub miss_ratio: f64,
+}
+
+impl SaturationPoint {
+    /// The SBB bound's prediction of utilization for this point:
+    /// `min(1, pes · miss_ratio)` when each PE issues one reference per
+    /// cycle (`x = 1` access per cycle in the model's units).
+    pub fn predicted_utilization(&self) -> f64 {
+        (self.pes as f64 * self.miss_ratio).min(1.0)
+    }
+}
+
+/// Sweeps processor counts on a single shared bus and measures where
+/// throughput stops scaling — the simulated version of Section 7's
+/// `SBB >= m·x/h` argument: with miss ratio `1/h`, the bus saturates
+/// near `m ≈ h` processors.
+///
+/// # Examples
+///
+/// ```
+/// use decache_analysis::SaturationSweep;
+///
+/// let points = SaturationSweep::new(vec![1, 4, 16]).run();
+/// assert_eq!(points.len(), 3);
+/// // Utilization grows with processor count:
+/// assert!(points[2].utilization > points[0].utilization);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaturationSweep {
+    pe_counts: Vec<usize>,
+    protocol: ProtocolKind,
+    config: MixConfig,
+    buses: usize,
+}
+
+impl SaturationSweep {
+    /// Creates a sweep over the given processor counts under RB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_counts` is empty.
+    pub fn new(pe_counts: Vec<usize>) -> Self {
+        assert!(!pe_counts.is_empty(), "a sweep needs at least one point");
+        SaturationSweep {
+            pe_counts,
+            protocol: ProtocolKind::Rb,
+            config: MixConfig { ops_per_pe: 1_500, ..MixConfig::default() },
+            buses: 1,
+        }
+    }
+
+    /// Overrides the protocol.
+    #[must_use]
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Overrides the workload mix.
+    #[must_use]
+    pub fn config(mut self, config: MixConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the bus count (to show multi-bus relief of saturation).
+    #[must_use]
+    pub fn buses(mut self, buses: usize) -> Self {
+        self.buses = buses;
+        self
+    }
+
+    /// Runs the sweep.
+    pub fn run(&self) -> Vec<SaturationPoint> {
+        self.pe_counts.iter().map(|&m| self.run_one(m)).collect()
+    }
+
+    fn run_one(&self, pes: usize) -> SaturationPoint {
+        let shared = AddrRange::with_len(Addr::new(0), 64);
+        let config = self.config;
+        let mut machine = MachineBuilder::new(self.protocol)
+            .memory_words(1 << 16)
+            .cache_lines(512)
+            .buses(self.buses)
+            .processors(pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .build();
+        let cycles = machine.run_to_completion(1_000_000_000);
+        let stats = machine.total_cache_stats();
+        SaturationPoint {
+            pes,
+            cycles,
+            utilization: machine.traffic().utilization(),
+            throughput: stats.total_references() as f64 / cycles as f64,
+            miss_ratio: stats.miss_ratio(),
+        }
+    }
+
+    /// Renders the sweep as a table.
+    pub fn render(points: &[SaturationPoint]) -> String {
+        let mut table = TextTable::new(vec![
+            "PEs",
+            "cycles",
+            "bus util",
+            "refs/cycle",
+            "miss ratio",
+            "predicted util",
+        ]);
+        for p in points {
+            table.row(vec![
+                p.pes.to_string(),
+                p.cycles.to_string(),
+                format!("{:.1}%", p.utilization * 100.0),
+                format!("{:.2}", p.throughput),
+                format!("{:.1}%", p.miss_ratio * 100.0),
+                format!("{:.1}%", p.predicted_utilization() * 100.0),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_rises_until_saturation() {
+        let points = SaturationSweep::new(vec![1, 2, 8, 24]).run();
+        assert!(points[0].utilization < points[2].utilization);
+        // At 24 PEs with a ~5-10% miss ratio the single bus is near or
+        // at saturation.
+        assert!(points[3].utilization > 0.8, "util {}", points[3].utilization);
+    }
+
+    #[test]
+    fn throughput_stops_scaling_at_saturation() {
+        let points = SaturationSweep::new(vec![2, 32]).run();
+        let per_pe_small = points[0].throughput / points[0].pes as f64;
+        let per_pe_big = points[1].throughput / points[1].pes as f64;
+        // Per-PE progress collapses once the bus is the bottleneck.
+        assert!(per_pe_big < per_pe_small);
+    }
+
+    #[test]
+    fn prediction_tracks_measurement_under_light_load() {
+        let points = SaturationSweep::new(vec![2]).run();
+        let p = points[0];
+        // Under light load, measured utilization is within a factor ~2.5
+        // of the SBB-style prediction (retries, TS, and write-backs add
+        // traffic the simple model omits).
+        assert!(
+            p.utilization < p.predicted_utilization() * 2.5 + 0.1,
+            "measured {} vs predicted {}",
+            p.utilization,
+            p.predicted_utilization()
+        );
+    }
+
+    #[test]
+    fn extra_buses_relieve_saturation() {
+        let single = SaturationSweep::new(vec![24]).run();
+        let dual = SaturationSweep::new(vec![24]).buses(2).run();
+        assert!(dual[0].cycles <= single[0].cycles);
+        assert!(dual[0].throughput >= single[0].throughput);
+    }
+
+    #[test]
+    fn render_has_one_row_per_point() {
+        let points = SaturationSweep::new(vec![1, 2]).run();
+        let text = SaturationSweep::render(&points);
+        assert_eq!(text.lines().count(), 2 + points.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_sweep_panics() {
+        let _ = SaturationSweep::new(vec![]);
+    }
+}

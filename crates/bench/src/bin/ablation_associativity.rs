@@ -1,0 +1,60 @@
+//! A5 — ablation of **cache associativity**: the paper fixes a
+//! direct-mapped cache (Section 2, assumption 7). Holding capacity
+//! constant while raising associativity removes conflict misses; the
+//! coherence behaviour (and every correctness property) is unchanged —
+//! supporting the paper's remark that the replacement policy "is
+//! orthogonal to our scheme".
+
+use decache_analysis::TextTable;
+use decache_bench::banner;
+use decache_cache::Geometry;
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, MixWorkload};
+
+fn run(kind: ProtocolKind, geometry: Geometry) -> (u64, u64, f64) {
+    let shared = AddrRange::with_len(Addr::new(0), 64);
+    let config = MixConfig { ops_per_pe: 2_000, ..MixConfig::default() };
+    let mut machine = MachineBuilder::new(kind)
+        .memory_words(1 << 14)
+        .cache_geometry(geometry)
+        .processors(8, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+        .build();
+    let cycles = machine.run_to_completion(1_000_000_000);
+    let stats = machine.total_cache_stats();
+    (cycles, machine.traffic().total_transactions(), stats.hit_ratio())
+}
+
+fn main() {
+    banner(
+        "Cache associativity ablation",
+        "Section 2 assumption 7 (direct-mapped), relaxed",
+    );
+
+    let capacity = 256usize;
+    let mut table = TextTable::new(vec![
+        "geometry",
+        "protocol",
+        "cycles",
+        "bus tx",
+        "hit ratio",
+    ]);
+    for ways in [1usize, 2, 4] {
+        let geometry = Geometry::new(capacity / ways, ways, 1);
+        for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+            let (cycles, tx, hits) = run(kind, geometry);
+            table.row(vec![
+                geometry.to_string(),
+                kind.to_string(),
+                cycles.to_string(),
+                tx.to_string(),
+                format!("{:.1}%", hits * 100.0),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("expected: modest hit-ratio gains from associativity at equal capacity");
+    println!("(conflict misses removed); coherence costs are unchanged, so the");
+    println!("protocols' relative ordering is insensitive to the mapping choice.");
+}

@@ -1,0 +1,62 @@
+//! A3 — ablation of **read-data broadcasting**: RB as published versus
+//! RB with the snoop capture disabled (events only, like Goodman's
+//! scheme on the read path). Isolates the value of "the broadcasting
+//! ability of the shared bus is used not only to signal an event but
+//! also to distribute data" (abstract).
+
+use decache_analysis::{ProtocolComparison, TextTable};
+use decache_bench::banner;
+use decache_bus::BusOpKind;
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, ProducerConsumer};
+
+fn producer_consumer_reads(kind: ProtocolKind, consumers: usize) -> u64 {
+    let pc = ProducerConsumer::new(AddrRange::with_len(Addr::new(8), 16), Addr::new(0), 6);
+    let mut builder = MachineBuilder::new(kind);
+    builder.memory_words(64).cache_lines(32).processor(pc.producer());
+    for _ in 0..consumers {
+        builder.processor(pc.consumer());
+    }
+    let mut machine = builder.build();
+    machine.run_to_completion(10_000_000);
+    machine.traffic().count(BusOpKind::Read)
+}
+
+fn main() {
+    banner(
+        "Read broadcast on/off",
+        "RB vs RB-no-broadcast (events-only read path)",
+    );
+
+    println!("mixed workload (8 PEs):");
+    let mut table =
+        TextTable::new(vec!["variant", "cycles", "bus tx", "hit ratio", "bcast-satisfied"]);
+    for kind in [ProtocolKind::Rb, ProtocolKind::RbNoBroadcast] {
+        let row = ProtocolComparison::new(8)
+            .config(MixConfig { ops_per_pe: 2_000, ..MixConfig::default() })
+            .run_one(kind);
+        table.row(vec![
+            kind.to_string(),
+            row.cycles.to_string(),
+            row.bus_transactions.to_string(),
+            format!("{:.1}%", row.hit_ratio * 100.0),
+            row.broadcast_satisfied.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    println!("producer/consumer bus reads (where broadcast matters most):");
+    let mut table = TextTable::new(vec!["consumers", "RB", "RB-no-broadcast"]);
+    for consumers in [2usize, 4, 8] {
+        table.row(vec![
+            consumers.to_string(),
+            producer_consumer_reads(ProtocolKind::Rb, consumers).to_string(),
+            producer_consumer_reads(ProtocolKind::RbNoBroadcast, consumers).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("expected: without capture, every invalidated consumer refetches");
+    println!("individually, so bus reads grow with the consumer count.");
+}

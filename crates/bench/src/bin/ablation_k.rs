@@ -1,0 +1,56 @@
+//! A1 — ablation of the **RWB locality threshold k** (footnote 6: "at
+//! least k uninterrupted writes to indicate local usage"): k = 1 is a
+//! write-back-invalidate protocol, k = 2 the paper's RWB, larger k
+//! broadcasts more writes before claiming locality.
+
+use decache_analysis::{ProtocolComparison, TextTable};
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+use decache_sync::{ContentionExperiment, Primitive};
+use decache_workloads::MixConfig;
+
+fn main() {
+    banner(
+        "RWB locality threshold k",
+        "Section 5 footnote 6 (k uninterrupted writes before local)",
+    );
+
+    println!("mixed workload (8 PEs):");
+    let mut table = TextTable::new(vec!["k", "cycles", "bus tx", "hit ratio", "bcast-satisfied"]);
+    for k in [1u8, 2, 3, 4] {
+        let row = ProtocolComparison::new(8)
+            .config(MixConfig { ops_per_pe: 2_000, ..MixConfig::default() })
+            .run_one(ProtocolKind::RwbThreshold(k));
+        table.row(vec![
+            k.to_string(),
+            row.cycles.to_string(),
+            row.bus_transactions.to_string(),
+            format!("{:.1}%", row.hit_ratio * 100.0),
+            row.broadcast_satisfied.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    println!("lock contention (8 PEs, TTS):");
+    let mut table = TextTable::new(vec!["k", "cycles", "bus tx", "tx/acquisition"]);
+    for k in [1u8, 2, 3, 4] {
+        let r = ContentionExperiment::new(
+            ProtocolKind::RwbThreshold(k),
+            Primitive::TestAndTestAndSet,
+            8,
+        )
+        .rounds(4)
+        .run();
+        table.row(vec![
+            k.to_string(),
+            r.cycles.to_string(),
+            r.bus_transactions.to_string(),
+            format!("{:.1}", r.transactions_per_acquisition()),
+        ]);
+    }
+    println!("{table}");
+    println!("expected: k=2 balances write broadcasting (good for cyclic sharing)");
+    println!("against invalidation (good for truly local data); k=1 invalidates");
+    println!("eagerly, hurting spinners; large k keeps broadcasting writes that");
+    println!("nobody reads.");
+}

@@ -1,0 +1,22 @@
+//! E5 — regenerates **Figure 6-1: Synchronization with Test-and-Set for
+//! RB Scheme**: the row-per-event cache state table for three processors
+//! contending on a lock, plus the bus traffic each phase generated.
+
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+use decache_sync::{Primitive, SyncScenario};
+
+fn main() {
+    banner("Synchronization with Test-and-Set on RB", "Figure 6-1");
+    let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndSet).run();
+    println!("{}", report.render());
+    println!("bus transactions per phase:");
+    for (label, tx) in &report.phase_traffic {
+        println!("  {tx:>4}  {label}");
+    }
+    println!();
+    println!(
+        "total bus transactions: {}",
+        report.machine.traffic().total_transactions()
+    );
+}

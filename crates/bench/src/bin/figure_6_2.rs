@@ -1,0 +1,22 @@
+//! E6 — regenerates **Figure 6-2: Synchronization with
+//! Test-and-Test-and-Set for RB Scheme**: TTS spins in the cache, so the
+//! waiting phase generates no bus traffic.
+
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+use decache_sync::{Primitive, SyncScenario};
+
+fn main() {
+    banner("Synchronization with Test-and-Test-and-Set on RB", "Figure 6-2");
+    let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet).run();
+    println!("{}", report.render());
+    println!("bus transactions per phase:");
+    for (label, tx) in &report.phase_traffic {
+        println!("  {tx:>4}  {label}");
+    }
+    println!();
+    println!(
+        "spinning in cache generated {} transactions (the paper's \"No Bus Traffic\")",
+        report.traffic_of("Others spin on S (in cache)")
+    );
+}

@@ -1,0 +1,25 @@
+//! E7 — regenerates **Figure 6-3: Synchronization with
+//! Test-and-Test-and-Set for RWB Scheme**: on top of TTS's silent
+//! spinning, RWB's write broadcast leaves the lock in the shared
+//! configuration after a successful Test-and-Set (the `F`/`R` rows),
+//! so even the first test after an acquisition hits in the cache.
+
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+use decache_sync::{Primitive, SyncScenario};
+
+fn main() {
+    banner("Synchronization with Test-and-Test-and-Set on RWB", "Figure 6-3");
+    let report = SyncScenario::new(ProtocolKind::Rwb, Primitive::TestAndTestAndSet).run();
+    println!("{}", report.render());
+    println!("bus transactions per phase:");
+    for (label, tx) in &report.phase_traffic {
+        println!("  {tx:>4}  {label}");
+    }
+    println!();
+    println!(
+        "vs RB (Figure 6-2): the first test after the lock is taken costs {} transactions \
+         under RWB (RB pays a bus read)",
+        report.traffic_of("Others test S (first test)")
+    );
+}

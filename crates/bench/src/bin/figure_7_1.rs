@@ -1,0 +1,32 @@
+//! E10 — regenerates **Figure 7-1: Multiple Shared Bus Cache Based
+//! Parallel Processor**: the same workload on 1, 2, and 4
+//! least-significant-bit-interleaved shared buses; per-bus traffic
+//! should divide evenly ("the required bandwidth for each shared bus
+//! will be about half", Section 7).
+
+use decache_analysis::{MultibusExperiment, TextTable};
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+
+fn main() {
+    banner("Multiple shared buses", "Figure 7-1 (LSB-interleaved banks)");
+
+    for protocol in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+        println!("protocol: {protocol}");
+        let rows = MultibusExperiment::new(16).protocol(protocol).run();
+        println!("{}", MultibusExperiment::render(&rows));
+
+        let mut shares = TextTable::new(vec!["buses", "per-bus traffic shares"]);
+        for r in &rows {
+            shares.row(vec![
+                r.buses.to_string(),
+                r.shares
+                    .iter()
+                    .map(|s| format!("{:.1}%", s * 100.0))
+                    .collect::<Vec<_>>()
+                    .join("  "),
+            ]);
+        }
+        println!("{shares}");
+    }
+}

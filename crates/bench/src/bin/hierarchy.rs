@@ -1,0 +1,87 @@
+//! E15 (extension) — the **hierarchical machine** of Section 8's future
+//! work: one global bus for shared data plus per-cluster buses for
+//! private data. Cluster-private traffic never loads the global bus, so
+//! the hierarchy scales where the flat single-bus machine saturates.
+
+use decache_analysis::TextTable;
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, MixWorkload};
+
+const GLOBAL_WORDS: u64 = 64;
+const PRIVATE_PER_PE: u64 = 128;
+const OPS_PER_PE: u64 = 1_500;
+
+/// Builds the per-PE workload: shared refs in the global region,
+/// private refs inside the PE's own cluster region.
+fn workload(
+    pe: usize,
+    pes: usize,
+    clusters: usize,
+    memory_words: u64,
+) -> Box<dyn decache_machine::Processor + Send> {
+    let shared = AddrRange::with_len(Addr::new(0), GLOBAL_WORDS);
+    let config = MixConfig { ops_per_pe: OPS_PER_PE, ..MixConfig::default() };
+    let per_cluster_pes = pes / clusters;
+    let cluster = pe / per_cluster_pes;
+    let cluster_words = (memory_words - GLOBAL_WORDS) / clusters as u64;
+    let cluster_base = GLOBAL_WORDS + cluster as u64 * cluster_words;
+    let slot = (pe % per_cluster_pes) as u64;
+    let private = AddrRange::with_len(Addr::new(cluster_base + slot * PRIVATE_PER_PE), PRIVATE_PER_PE);
+    Box::new(MixWorkload::with_private_region(config, shared, private, pe as u64))
+}
+
+fn run(pes: usize, clusters: usize) -> (u64, f64, f64) {
+    let memory_words = 1u64 << 15;
+    let mut builder = MachineBuilder::new(ProtocolKind::Rwb);
+    builder.memory_words(memory_words).cache_lines(256);
+    if clusters > 1 {
+        builder.clusters(clusters, GLOBAL_WORDS);
+    }
+    builder.processors(pes, |pe| workload(pe, pes, clusters, memory_words));
+    let mut machine = builder.build();
+    let cycles = machine.run_to_completion(1_000_000_000);
+    let per_bus = machine.traffic_per_bus();
+    let global_util = per_bus.bus(0).utilization();
+    let busiest_cluster_util = (1..per_bus.bus_count())
+        .map(|b| per_bus.bus(b).utilization())
+        .fold(0.0f64, f64::max);
+    (cycles, global_util, busiest_cluster_util)
+}
+
+fn main() {
+    banner(
+        "Hierarchical (clustered) machine",
+        "Section 8 future work: global bus + per-cluster buses",
+    );
+
+    let mut table = TextTable::new(vec![
+        "PEs",
+        "clusters",
+        "cycles",
+        "global-bus util",
+        "busiest cluster-bus util",
+    ]);
+    for &pes in &[8usize, 16, 32] {
+        for &clusters in &[1usize, 2, 4, 8] {
+            if pes % clusters != 0 {
+                continue;
+            }
+            let (cycles, global, cluster) = run(pes, clusters);
+            table.row(vec![
+                pes.to_string(),
+                clusters.to_string(),
+                cycles.to_string(),
+                format!("{:.1}%", global * 100.0),
+                if clusters > 1 { format!("{:.1}%", cluster * 100.0) } else { "-".to_owned() },
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("with clusters = 1 the single bus carries everything and saturates;");
+    println!("with clusters, the global bus carries only the ~7% shared references,");
+    println!("so the same PE count finishes in far fewer cycles — the scalability");
+    println!("argument for hierarchical structures.");
+}

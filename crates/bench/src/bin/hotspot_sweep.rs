@@ -1,0 +1,52 @@
+//! E8 — the **Section 6 hot-spot claim, quantified**: bus traffic under
+//! lock contention for TS vs TTS, RB vs RWB, sweeping the number of
+//! contending processors.
+
+use decache_analysis::TextTable;
+use decache_bench::banner;
+use decache_core::ProtocolKind;
+use decache_sync::{ContentionExperiment, Primitive};
+
+fn main() {
+    banner(
+        "Hot-spot bus traffic under lock contention",
+        "Section 6 (TS vs TTS on RB and RWB)",
+    );
+
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "primitive",
+        "PEs",
+        "acquisitions",
+        "cycles",
+        "bus tx",
+        "failed TS",
+        "tx/acquisition",
+        "sync waste",
+    ]);
+    for &pes in &[2usize, 4, 8, 16, 32] {
+        for protocol in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+            for primitive in [Primitive::TestAndSet, Primitive::TestAndTestAndSet] {
+                let r = ContentionExperiment::new(protocol, primitive, pes)
+                    .rounds(4)
+                    .critical_refs(16)
+                    .run();
+                table.row(vec![
+                    protocol.to_string(),
+                    primitive.to_string(),
+                    pes.to_string(),
+                    r.acquisitions.to_string(),
+                    r.cycles.to_string(),
+                    r.bus_transactions.to_string(),
+                    r.failed_ts.to_string(),
+                    format!("{:.1}", r.transactions_per_acquisition()),
+                    format!("{:.0}%", r.waste_fraction() * 100.0),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+    println!("expected shape: TS traffic grows with contention; TTS stays near-flat");
+    println!("(\"unsuccessful attempts ... are spins in the cache and do not generate bus");
+    println!("traffic\", Section 6.1); RWB trims the remaining invalidation misses further.");
+}

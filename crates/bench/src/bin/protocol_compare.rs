@@ -1,0 +1,40 @@
+//! E13 — the headline **protocol comparison**: RB, RWB, write-once, and
+//! write-through on the paper's assumed reference mix (reads dominate;
+//! local and read-only dominate shared), measuring cycles, bus traffic,
+//! and hit ratio.
+
+use decache_analysis::{ProtocolComparison, TextTable};
+use decache_bench::banner;
+use decache_workloads::MixConfig;
+
+fn main() {
+    banner(
+        "Protocol comparison on the paper's reference mix",
+        "Section 1/5 claims: dynamic classification + data broadcast win",
+    );
+
+    for pes in [4usize, 8, 16] {
+        println!("{pes} processors:");
+        let rows = ProtocolComparison::new(pes)
+            .config(MixConfig { ops_per_pe: 3_000, ..MixConfig::default() })
+            .run();
+        println!("{}", ProtocolComparison::render(&rows));
+    }
+
+    println!("sensitivity: shared-data fraction sweep (8 PEs, RB vs write-once)");
+    let mut table = TextTable::new(vec!["shared %", "RB bus tx", "write-once bus tx", "RWB bus tx"]);
+    for shared in [0.02f64, 0.05, 0.10, 0.20] {
+        let config = MixConfig { shared_fraction: shared, ops_per_pe: 2_000, ..MixConfig::default() };
+        let cmp = ProtocolComparison::new(8).config(config);
+        let rb = cmp.run_one(decache_core::ProtocolKind::Rb);
+        let wo = cmp.run_one(decache_core::ProtocolKind::WriteOnce);
+        let rwb = cmp.run_one(decache_core::ProtocolKind::Rwb);
+        table.row(vec![
+            format!("{:.0}%", shared * 100.0),
+            rb.bus_transactions.to_string(),
+            wo.bus_transactions.to_string(),
+            rwb.bus_transactions.to_string(),
+        ]);
+    }
+    println!("{table}");
+}

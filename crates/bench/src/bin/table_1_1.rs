@@ -1,0 +1,87 @@
+//! E1 — regenerates **Table 1-1: Cm* Emulated Cache Results**.
+//!
+//! Two synthetic applications with the table's reference mixes are run
+//! through the Cm*-style emulation cache (code and local data cachable,
+//! write-through local writes, shared non-cachable) at each of the
+//! table's four cache sizes. See DESIGN.md for the trace substitution.
+
+use decache_analysis::TextTable;
+use decache_bench::banner;
+use decache_workloads::{CmStarApp, CMSTAR_CACHE_SIZES};
+
+const REFERENCES: usize = 60_000;
+
+fn main() {
+    banner(
+        "Cm* emulated cache results",
+        "Table 1-1 (miss fractions as % of all references)",
+    );
+
+    let paper: [(&str, [[f64; 4]; 4]); 2] = [
+        (
+            "application A",
+            [
+                [26.1, 8.0, 5.0, 39.1],
+                [21.7, 8.0, 5.0, 34.7],
+                [11.3, 8.0, 5.0, 24.3],
+                [6.1, 8.0, 5.0, 19.1],
+            ],
+        ),
+        (
+            "application B",
+            [
+                [25.0, 6.7, 10.0, 41.7],
+                [28.8, 6.7, 10.0, 37.5], // 28.8 is the paper's own typo
+                [10.8, 6.7, 10.0, 27.5],
+                [5.8, 6.7, 10.0, 22.5],
+            ],
+        ),
+    ];
+
+    for (app, (paper_name, paper_rows)) in
+        [CmStarApp::application_a(), CmStarApp::application_b()].into_iter().zip(paper)
+    {
+        println!("{} (paper: {paper_name})", app.name());
+        let mut table = TextTable::new(vec![
+            "cache size",
+            "read miss %",
+            "(paper)",
+            "local writes %",
+            "(paper)",
+            "shared %",
+            "(paper)",
+            "total miss %",
+            "(paper)",
+        ]);
+        for (row, (size, paper_row)) in
+            app.run_table(REFERENCES).iter().zip(CMSTAR_CACHE_SIZES.iter().zip(paper_rows))
+        {
+            table.row(vec![
+                size.to_string(),
+                format!("{:.1}", row.read_miss_pct),
+                format!("{:.1}", paper_row[0]),
+                format!("{:.1}", row.local_write_pct),
+                format!("{:.1}", paper_row[1]),
+                format!("{:.1}", row.shared_pct),
+                format!("{:.1}", paper_row[2]),
+                format!("{:.1}", row.total_miss_pct),
+                format!("{:.1}", paper_row[3]),
+            ]);
+        }
+        println!("{table}");
+    }
+
+    println!("ablation: direct-mapped instead of fully-associative LRU (conflict misses)");
+    let mut table = TextTable::new(vec!["cache size", "read miss % (LRU)", "read miss % (DM)"]);
+    let app = CmStarApp::application_a();
+    for &size in &CMSTAR_CACHE_SIZES {
+        let lru = app.run(size, REFERENCES);
+        let dm = app.run_direct_mapped(size, REFERENCES);
+        table.row(vec![
+            size.to_string(),
+            format!("{:.1}", lru.read_miss_pct),
+            format!("{:.1}", dm.read_miss_pct),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,40 @@
+//! # decache-bench
+//!
+//! Experiment harnesses regenerating every table and figure of Rudolph &
+//! Segall (1984), one binary per artifact (see DESIGN.md's experiment
+//! index), plus Criterion micro-benchmarks of the simulator itself.
+//!
+//! Run any experiment with `cargo run -p decache-bench --bin <name>`:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table_1_1` | Table 1-1, Cm* emulated cache results |
+//! | `figure_3_1` / `figure_5_1` | RB / RWB state transition diagrams |
+//! | `proof_check` | Section 4 product-machine lemma/theorem |
+//! | `figure_6_1` / `figure_6_2` / `figure_6_3` | synchronization tables |
+//! | `hotspot_sweep` | Section 6 hot-spot traffic, quantified |
+//! | `bandwidth` | Section 7 SBB bound and worked example |
+//! | `figure_7_1` | multiple shared buses |
+//! | `array_init` | Section 5 array-initialization claim |
+//! | `cyclic_sharing` | Section 5 cyclic sharing claim |
+//! | `protocol_compare` | RB vs RWB vs write-once vs write-through |
+//! | `ablation_k` / `ablation_arbiter` / `ablation_broadcast` | ablations |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints an experiment banner: title and the paper artifact it
+/// regenerates.
+pub fn banner(title: &str, artifact: &str) {
+    println!("=== {title}");
+    println!("    regenerates: {artifact}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_prints() {
+        super::banner("test", "artifact");
+    }
+}

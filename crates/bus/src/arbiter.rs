@@ -1,0 +1,261 @@
+//! Bus arbitration policies.
+//!
+//! The paper assumes "a bus arbitrator that allocates access to the bus"
+//! (Section 2, assumption 2) without fixing a policy; the choice is
+//! orthogonal to the cache schemes, which is exactly why it is pluggable
+//! here (and why ablation A2 in DESIGN.md sweeps it).
+
+use decache_mem::PeId;
+use std::fmt;
+
+/// A bus arbitration policy: given the set of requesting processing
+/// elements (in ascending id order, never empty), choose the one to grant
+/// this cycle.
+///
+/// Implementations must return an element of `requesters`.
+pub trait Arbiter: fmt::Debug {
+    /// Chooses the requester to grant the bus to this cycle.
+    ///
+    /// `requesters` is sorted ascending and non-empty.
+    fn grant(&mut self, requesters: &[PeId]) -> PeId;
+
+    /// Resets any internal fairness state.
+    fn reset(&mut self) {}
+}
+
+/// Round-robin arbitration: the grant rotates, starting from the id just
+/// above the previously granted PE. This is the fair default used by all
+/// experiments unless stated otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use decache_bus::{Arbiter, RoundRobin};
+/// use decache_mem::PeId;
+///
+/// let mut arb = RoundRobin::new();
+/// let reqs = [PeId::new(0), PeId::new(1), PeId::new(2)];
+/// assert_eq!(arb.grant(&reqs), PeId::new(0));
+/// assert_eq!(arb.grant(&reqs), PeId::new(1));
+/// assert_eq!(arb.grant(&reqs), PeId::new(2));
+/// assert_eq!(arb.grant(&reqs), PeId::new(0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    last: Option<PeId>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin arbiter with no grant history.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Arbiter for RoundRobin {
+    fn grant(&mut self, requesters: &[PeId]) -> PeId {
+        assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
+        let chosen = match self.last {
+            None => requesters[0],
+            Some(last) => *requesters
+                .iter()
+                .find(|&&pe| pe > last)
+                .unwrap_or(&requesters[0]),
+        };
+        self.last = Some(chosen);
+        chosen
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Fixed-priority arbitration: the lowest-numbered requester always wins.
+/// Deliberately unfair; used to demonstrate starvation in ablation A2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedPriority;
+
+impl FixedPriority {
+    /// Creates a fixed-priority arbiter.
+    pub fn new() -> Self {
+        FixedPriority
+    }
+}
+
+impl Arbiter for FixedPriority {
+    fn grant(&mut self, requesters: &[PeId]) -> PeId {
+        assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
+        requesters[0]
+    }
+}
+
+/// Random arbitration with a deterministic xorshift generator, so that
+/// simulations remain reproducible from a seed.
+#[derive(Debug, Clone)]
+pub struct RandomArbiter {
+    state: u64,
+}
+
+impl RandomArbiter {
+    /// Creates a random arbiter from a non-zero seed.
+    ///
+    /// A zero seed is remapped to a fixed non-zero constant because
+    /// xorshift has a fixed point at zero.
+    pub fn new(seed: u64) -> Self {
+        RandomArbiter {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: adequate statistical quality for arbitration.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl Arbiter for RandomArbiter {
+    fn grant(&mut self, requesters: &[PeId]) -> PeId {
+        assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
+        let i = (self.next() % requesters.len() as u64) as usize;
+        requesters[i]
+    }
+}
+
+/// A value-level selector for the built-in arbiters, convenient for
+/// experiment configuration sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`FixedPriority`].
+    FixedPriority,
+    /// [`RandomArbiter`] with the given seed.
+    Random(u64),
+}
+
+impl ArbiterKind {
+    /// Instantiates the arbiter this kind names.
+    pub fn build(self) -> Box<dyn Arbiter> {
+        match self {
+            ArbiterKind::RoundRobin => Box::new(RoundRobin::new()),
+            ArbiterKind::FixedPriority => Box::new(FixedPriority::new()),
+            ArbiterKind::Random(seed) => Box::new(RandomArbiter::new(seed)),
+        }
+    }
+}
+
+impl fmt::Display for ArbiterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbiterKind::RoundRobin => write!(f, "round-robin"),
+            ArbiterKind::FixedPriority => write!(f, "fixed-priority"),
+            ArbiterKind::Random(seed) => write!(f, "random(seed={seed})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pes(ids: &[u16]) -> Vec<PeId> {
+        ids.iter().map(|&i| PeId::new(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_and_wraps() {
+        let mut arb = RoundRobin::new();
+        let reqs = pes(&[1, 3, 5]);
+        assert_eq!(arb.grant(&reqs), PeId::new(1));
+        assert_eq!(arb.grant(&reqs), PeId::new(3));
+        assert_eq!(arb.grant(&reqs), PeId::new(5));
+        assert_eq!(arb.grant(&reqs), PeId::new(1));
+    }
+
+    #[test]
+    fn round_robin_skips_absent_requesters() {
+        let mut arb = RoundRobin::new();
+        assert_eq!(arb.grant(&pes(&[0, 1, 2])), PeId::new(0));
+        // PE 1 dropped out; next grant should go to 2, not 1.
+        assert_eq!(arb.grant(&pes(&[0, 2])), PeId::new(2));
+        assert_eq!(arb.grant(&pes(&[0, 2])), PeId::new(0));
+    }
+
+    #[test]
+    fn round_robin_reset_restores_initial_behaviour() {
+        let mut arb = RoundRobin::new();
+        let reqs = pes(&[0, 1]);
+        arb.grant(&reqs);
+        arb.reset();
+        assert_eq!(arb.grant(&reqs), PeId::new(0));
+    }
+
+    #[test]
+    fn round_robin_is_starvation_free() {
+        // With a persistent full request set, every PE is granted within
+        // one full rotation.
+        let mut arb = RoundRobin::new();
+        let reqs = pes(&[0, 1, 2, 3, 4]);
+        let mut counts = [0u32; 5];
+        for _ in 0..100 {
+            counts[arb.grant(&reqs).index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "uneven grants: {counts:?}");
+    }
+
+    #[test]
+    fn fixed_priority_always_picks_lowest() {
+        let mut arb = FixedPriority::new();
+        for _ in 0..10 {
+            assert_eq!(arb.grant(&pes(&[2, 4, 7])), PeId::new(2));
+        }
+    }
+
+    #[test]
+    fn random_arbiter_is_deterministic_per_seed() {
+        let reqs = pes(&[0, 1, 2, 3]);
+        let run = |seed: u64| {
+            let mut arb = RandomArbiter::new(seed);
+            (0..32).map(|_| arb.grant(&reqs)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn random_arbiter_covers_all_requesters() {
+        let reqs = pes(&[0, 1, 2]);
+        let mut arb = RandomArbiter::new(42);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[arb.grant(&reqs).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut arb = RandomArbiter::new(0);
+        let _ = arb.grant(&pes(&[0, 1]));
+    }
+
+    #[test]
+    fn kind_builds_matching_arbiter() {
+        let mut a = ArbiterKind::FixedPriority.build();
+        assert_eq!(a.grant(&pes(&[3, 5])), PeId::new(3));
+        assert_eq!(ArbiterKind::RoundRobin.to_string(), "round-robin");
+        assert_eq!(ArbiterKind::Random(9).to_string(), "random(seed=9)");
+    }
+
+    #[test]
+    #[should_panic(expected = "no requesters")]
+    fn empty_request_set_panics() {
+        RoundRobin::new().grant(&[]);
+    }
+}

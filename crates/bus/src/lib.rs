@@ -1,0 +1,52 @@
+//! Shared-bus substrate for the `decache` simulator.
+//!
+//! The paper's machine model (Section 2) is a set of processing elements
+//! and memories joined by a *logically single* shared bus with:
+//!
+//! 1. a **bus arbitrator** that allocates access each cycle,
+//! 2. caches that **snoop** every transaction (address, operation, data),
+//! 3. the ability of a cache to **interrupt (kill)** the current bus
+//!    activity and replace it with one of its own, with the killed
+//!    transaction retried on the next cycle.
+//!
+//! This crate provides the passive machinery for all of that: the
+//! transaction vocabulary ([`BusOp`], [`BusTransaction`]), pluggable
+//! [`Arbiter`] policies, the single-outstanding-request [`BusQueue`] with a
+//! priority retry lane, per-operation [`TrafficStats`], and the
+//! least-significant-bit [`Topology`] routing of the multiple-shared-bus
+//! configuration (Section 7, Figure 7-1). The *active* cycle execution —
+//! dispatching snoops into protocol state machines — lives in
+//! `decache-machine`, which owns the caches and the memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use decache_bus::{BusOp, BusQueue, BusTransaction, RoundRobin};
+//! use decache_mem::{Addr, PeId, Word};
+//!
+//! let mut queue = BusQueue::new();
+//! queue.request(BusTransaction::new(PeId::new(0), Addr::new(1), BusOp::Read))?;
+//! queue.request(BusTransaction::new(PeId::new(1), Addr::new(2), BusOp::Write(Word::ONE)))?;
+//!
+//! let mut arbiter = RoundRobin::new();
+//! let granted = queue.grant(&mut arbiter).expect("two requests pending");
+//! assert_eq!(granted.initiator, PeId::new(0));
+//! # Ok::<(), decache_bus::BusError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod multibus;
+mod queue;
+mod routing;
+mod traffic;
+mod transaction;
+
+pub use arbiter::{Arbiter, ArbiterKind, FixedPriority, RandomArbiter, RoundRobin};
+pub use multibus::{MultiBusStats, Topology};
+pub use queue::{BusError, BusQueue};
+pub use routing::Routing;
+pub use traffic::TrafficStats;
+pub use transaction::{BusOp, BusOpKind, BusTransaction};

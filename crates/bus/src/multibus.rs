@@ -1,0 +1,201 @@
+//! Multiple shared-bus routing (Figure 7-1).
+
+use crate::TrafficStats;
+use decache_mem::Addr;
+use std::fmt;
+
+/// The bus topology of the machine: `2^bank_bits` logically independent
+/// shared buses, each serving the memory bank selected by the least
+/// significant address bits.
+///
+/// "The private caches and the shared memory are divided into two memory
+/// banks using the least significant address bit. ... the required
+/// bandwidth for each shared bus will be about half" (Section 7). A
+/// `bank_bits` of 0 is the single-bus machine of Sections 3–6.
+///
+/// # Examples
+///
+/// ```
+/// use decache_bus::Topology;
+/// use decache_mem::Addr;
+///
+/// let dual = Topology::new(1);
+/// assert_eq!(dual.bus_count(), 2);
+/// assert_eq!(dual.bus_of(Addr::new(6)), 0);
+/// assert_eq!(dual.bus_of(Addr::new(7)), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    bank_bits: u32,
+}
+
+impl Topology {
+    /// Creates a topology with `2^bank_bits` buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_bits > 8` (256 buses), far beyond the "small number
+    /// of multiple shared buses" the paper considers.
+    pub fn new(bank_bits: u32) -> Self {
+        assert!(bank_bits <= 8, "bank_bits {bank_bits} exceeds the supported maximum of 8");
+        Topology { bank_bits }
+    }
+
+    /// The single-bus topology.
+    pub fn single() -> Self {
+        Topology::new(0)
+    }
+
+    /// Returns the number of buses.
+    pub fn bus_count(&self) -> usize {
+        1 << self.bank_bits
+    }
+
+    /// Returns the number of bank-selection bits.
+    pub fn bank_bits(&self) -> u32 {
+        self.bank_bits
+    }
+
+    /// Returns the bus (equivalently, memory bank) serving `addr`.
+    pub fn bus_of(&self, addr: Addr) -> usize {
+        addr.bank_of(self.bank_bits)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::single()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shared bus(es)", self.bus_count())
+    }
+}
+
+/// Traffic statistics for a multi-bus machine: one [`TrafficStats`] per
+/// bus, plus aggregation helpers used by the Figure 7-1 experiment.
+#[derive(Debug, Clone, Default)]
+pub struct MultiBusStats {
+    per_bus: Vec<TrafficStats>,
+}
+
+impl MultiBusStats {
+    /// Creates zeroed statistics for `bus_count` buses.
+    pub fn new(bus_count: usize) -> Self {
+        MultiBusStats {
+            per_bus: vec![TrafficStats::default(); bus_count],
+        }
+    }
+
+    /// Returns the number of buses tracked.
+    pub fn bus_count(&self) -> usize {
+        self.per_bus.len()
+    }
+
+    /// Returns the statistics of bus `bus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bus >= self.bus_count()`.
+    pub fn bus(&self, bus: usize) -> &TrafficStats {
+        &self.per_bus[bus]
+    }
+
+    /// Returns a mutable reference to the statistics of bus `bus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bus >= self.bus_count()`.
+    pub fn bus_mut(&mut self, bus: usize) -> &mut TrafficStats {
+        &mut self.per_bus[bus]
+    }
+
+    /// Returns the sum of all buses' statistics.
+    pub fn total(&self) -> TrafficStats {
+        self.per_bus
+            .iter()
+            .copied()
+            .fold(TrafficStats::default(), |acc, s| acc + s)
+    }
+
+    /// Returns the largest per-bus transaction count: the metric that
+    /// determines whether any single bus saturates.
+    pub fn max_bus_transactions(&self) -> u64 {
+        self.per_bus
+            .iter()
+            .map(TrafficStats::total_transactions)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns each bus's share of total transactions; empty if no traffic.
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total().total_transactions();
+        if total == 0 {
+            return vec![0.0; self.per_bus.len()];
+        }
+        self.per_bus
+            .iter()
+            .map(|s| s.total_transactions() as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BusOpKind;
+
+    #[test]
+    fn single_topology_routes_everything_to_bus_zero() {
+        let t = Topology::single();
+        assert_eq!(t.bus_count(), 1);
+        for i in 0..64 {
+            assert_eq!(t.bus_of(Addr::new(i)), 0);
+        }
+    }
+
+    #[test]
+    fn dual_topology_splits_on_lsb() {
+        let t = Topology::new(1);
+        assert_eq!(t.bus_of(Addr::new(0)), 0);
+        assert_eq!(t.bus_of(Addr::new(1)), 1);
+        assert_eq!(t.bus_of(Addr::new(2)), 0);
+        assert_eq!(t.to_string(), "2 shared bus(es)");
+    }
+
+    #[test]
+    fn quad_topology_uses_two_bits() {
+        let t = Topology::new(2);
+        assert_eq!(t.bus_count(), 4);
+        assert_eq!(t.bus_of(Addr::new(7)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn oversized_topology_panics() {
+        let _ = Topology::new(9);
+    }
+
+    #[test]
+    fn multibus_stats_aggregate() {
+        let mut m = MultiBusStats::new(2);
+        m.bus_mut(0).record(BusOpKind::Read);
+        m.bus_mut(0).record(BusOpKind::Read);
+        m.bus_mut(1).record(BusOpKind::Write);
+        assert_eq!(m.total().total_transactions(), 3);
+        assert_eq!(m.max_bus_transactions(), 2);
+        let shares = m.shares();
+        assert!((shares[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((shares[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_of_silent_buses_are_zero() {
+        let m = MultiBusStats::new(3);
+        assert_eq!(m.shares(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(m.max_bus_transactions(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The pending-request queue in front of the arbiter.
+
+use crate::{Arbiter, BusTransaction};
+use decache_mem::PeId;
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by bus queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BusError {
+    /// The processing element already has an outstanding request; the
+    /// machine model allows at most one per PE (a PE stalls on its cache
+    /// until the bus transaction completes).
+    AlreadyPending {
+        /// The PE with the duplicate request.
+        pe: PeId,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BusError::AlreadyPending { pe } => {
+                write!(f, "{pe} already has an outstanding bus request")
+            }
+        }
+    }
+}
+
+impl Error for BusError {}
+
+/// The request queue in front of the bus arbiter.
+///
+/// Two lanes, matching the paper's semantics:
+///
+/// * a **retry lane** for transactions that were interrupted (killed) by a
+///   snooping cache — "the interrupted bus read will be retried on the next
+///   cycle" (Section 3) — served FIFO *before* any arbitration, and
+/// * a **pending lane** holding at most one request per PE, from which the
+///   [`Arbiter`] picks when the retry lane is empty.
+///
+/// # Examples
+///
+/// ```
+/// use decache_bus::{BusOp, BusQueue, BusTransaction, FixedPriority};
+/// use decache_mem::{Addr, PeId};
+///
+/// let mut q = BusQueue::new();
+/// let tx = BusTransaction::new(PeId::new(4), Addr::new(0), BusOp::Read);
+/// q.request(tx)?;
+/// q.push_retry(BusTransaction::new(PeId::new(9), Addr::new(1), BusOp::Read));
+/// // The retried transaction is served first regardless of arbitration.
+/// let mut arb = FixedPriority::new();
+/// assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(9));
+/// assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(4));
+/// # Ok::<(), decache_bus::BusError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct BusQueue {
+    retry: VecDeque<BusTransaction>,
+    pending: BTreeMap<PeId, BusTransaction>,
+}
+
+impl BusQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BusQueue::default()
+    }
+
+    /// Enqueues a fresh request from a PE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::AlreadyPending`] if the PE already has a request
+    /// in the pending lane.
+    pub fn request(&mut self, tx: BusTransaction) -> Result<(), BusError> {
+        if self.pending.contains_key(&tx.initiator) {
+            return Err(BusError::AlreadyPending { pe: tx.initiator });
+        }
+        self.pending.insert(tx.initiator, tx);
+        Ok(())
+    }
+
+    /// Enqueues an interrupted transaction for priority retry on the next
+    /// cycle.
+    pub fn push_retry(&mut self, tx: BusTransaction) {
+        self.retry.push_back(tx);
+    }
+
+    /// Removes and returns the transaction to run this cycle: the oldest
+    /// retry if any, otherwise the arbiter's pick among pending requests.
+    /// Returns `None` when the queue is empty (an idle bus cycle).
+    pub fn grant(&mut self, arbiter: &mut dyn Arbiter) -> Option<BusTransaction> {
+        if let Some(tx) = self.retry.pop_front() {
+            return Some(tx);
+        }
+        if self.pending.is_empty() {
+            return None;
+        }
+        let requesters: Vec<PeId> = self.pending.keys().copied().collect();
+        let winner = arbiter.grant(&requesters);
+        Some(
+            self.pending
+                .remove(&winner)
+                .expect("arbiter must choose one of the requesters"),
+        )
+    }
+
+    /// Returns `true` if the PE has a request waiting in either lane.
+    pub fn has_pending(&self, pe: PeId) -> bool {
+        self.pending.contains_key(&pe) || self.retry.iter().any(|tx| tx.initiator == pe)
+    }
+
+    /// Removes any request the PE has in either lane; used when a pending
+    /// miss is satisfied early by snooping a broadcast.
+    pub fn cancel(&mut self, pe: PeId) {
+        self.pending.remove(&pe);
+        self.retry.retain(|tx| tx.initiator != pe);
+    }
+
+    /// Returns the total number of queued transactions in both lanes.
+    pub fn len(&self) -> usize {
+        self.retry.len() + self.pending.len()
+    }
+
+    /// Returns `true` if no transactions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.retry.is_empty() && self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusOp, RoundRobin};
+    use decache_mem::{Addr, Word};
+
+    fn tx(pe: u16, addr: u64) -> BusTransaction {
+        BusTransaction::new(PeId::new(pe), Addr::new(addr), BusOp::Read)
+    }
+
+    #[test]
+    fn empty_queue_grants_nothing() {
+        let mut q = BusQueue::new();
+        let mut arb = RoundRobin::new();
+        assert!(q.grant(&mut arb).is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn one_outstanding_request_per_pe() {
+        let mut q = BusQueue::new();
+        q.request(tx(0, 1)).unwrap();
+        let err = q.request(tx(0, 2)).unwrap_err();
+        assert_eq!(err, BusError::AlreadyPending { pe: PeId::new(0) });
+        assert_eq!(err.to_string(), "P0 already has an outstanding bus request");
+    }
+
+    #[test]
+    fn retries_preempt_arbitration() {
+        let mut q = BusQueue::new();
+        q.request(tx(0, 1)).unwrap();
+        q.push_retry(tx(7, 9));
+        q.push_retry(tx(8, 10));
+        let mut arb = RoundRobin::new();
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(7));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(8));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_clears_both_lanes() {
+        let mut q = BusQueue::new();
+        q.request(tx(1, 1)).unwrap();
+        q.push_retry(tx(1, 2));
+        assert!(q.has_pending(PeId::new(1)));
+        q.cancel(PeId::new(1));
+        assert!(!q.has_pending(PeId::new(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn grant_respects_round_robin_order() {
+        let mut q = BusQueue::new();
+        let mut arb = RoundRobin::new();
+        for pe in [2u16, 0, 1] {
+            q.request(tx(pe, u64::from(pe))).unwrap();
+        }
+        // Requesters are presented sorted, so round robin goes 0, 1, 2.
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(1));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(2));
+    }
+
+    #[test]
+    fn has_pending_sees_retry_lane() {
+        let mut q = BusQueue::new();
+        q.push_retry(BusTransaction::new(
+            PeId::new(5),
+            Addr::new(0),
+            BusOp::Write(Word::ONE),
+        ));
+        assert!(q.has_pending(PeId::new(5)));
+        assert!(!q.has_pending(PeId::new(4)));
+    }
+}

@@ -1,0 +1,267 @@
+//! The Cm*-style emulation cache behind Table 1-1.
+//!
+//! Raskin's Cm* cache emulation experiments [RAS78], which the paper uses
+//! as motivation, cached **only code and local data**, adopted a
+//! **write-through policy for local data** ("writes to local data were
+//! counted as cache misses since they caused communication external to the
+//! processor/cache"), and treated **all references to shared data as cache
+//! misses**. [`CmStarCache`] reproduces those rules exactly, and
+//! [`CmStarReport`] renders the four columns of Table 1-1.
+
+use crate::{AccessKind, CacheStats, Geometry, RefClass, TagStore};
+use decache_mem::{Addr, Word};
+use std::fmt;
+
+/// The Cm* emulation cache: direct-mapped with one-word blocks, caching
+/// code and local data reads only.
+///
+/// Classification is supplied by the caller (the Cm* experiments knew
+/// statically which segment each reference touched), in contrast to the
+/// RB/RWB schemes where classification is dynamic.
+///
+/// # Examples
+///
+/// ```
+/// use decache_cache::{AccessKind, CmStarCache, RefClass};
+/// use decache_mem::Addr;
+///
+/// let mut cache = CmStarCache::new(256);
+/// // First touch misses, second hits:
+/// assert!(!cache.access(Addr::new(7), AccessKind::Read, RefClass::Code));
+/// assert!(cache.access(Addr::new(7), AccessKind::Read, RefClass::Code));
+/// // Shared references never hit:
+/// assert!(!cache.access(Addr::new(7), AccessKind::Read, RefClass::Shared));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmStarCache {
+    store: TagStore<()>,
+    stats: CacheStats,
+}
+
+impl CmStarCache {
+    /// Creates a direct-mapped emulation cache of `lines` one-word lines
+    /// (Table 1-1 uses 256, 512, 1024, and 2048).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or not a power of two.
+    pub fn new(lines: usize) -> Self {
+        CmStarCache {
+            store: TagStore::new(Geometry::direct_mapped(lines)),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Creates a fully-associative (true-LRU) emulation cache of `words`
+    /// one-word lines.
+    ///
+    /// The Table 1-1 regeneration uses this variant: the synthetic
+    /// streams are calibrated by LRU stack distance, which corresponds
+    /// exactly to a fully-associative LRU cache; a direct-mapped array
+    /// adds conflict misses on top (measurable with [`CmStarCache::new`],
+    /// and reported as an ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn fully_associative(words: usize) -> Self {
+        CmStarCache {
+            store: TagStore::new(Geometry::new(1, words, 1)),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Returns the cache size in words.
+    pub fn size(&self) -> u64 {
+        self.store.geometry().total_words()
+    }
+
+    /// Processes one reference and returns `true` on a cache hit (i.e. no
+    /// external communication was required).
+    ///
+    /// The Cm* rules, per the paper's introduction:
+    ///
+    /// * **shared** references (any kind) always miss;
+    /// * **local writes** always miss (write-through), but update/allocate
+    ///   the line so subsequent local reads hit;
+    /// * **code and local reads** hit if present, else allocate and miss;
+    /// * **code writes** do not occur (code is read-only) — treated as
+    ///   misses without allocation if a workload emits one anyway.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind, class: RefClass) -> bool {
+        let hit = match (class, kind) {
+            (RefClass::Shared, _) => false,
+            (RefClass::Local, AccessKind::Write) => {
+                // Write-through: counts as a miss (external traffic), but
+                // the cached copy is kept current.
+                self.store.insert(addr, (), Word::ZERO);
+                false
+            }
+            (RefClass::Code | RefClass::Local, AccessKind::Read) => {
+                // `get_mut` (not `contains`) so the hit refreshes the
+                // line's recency — the store must behave as true LRU.
+                if self.store.get_mut(addr).is_some() {
+                    true
+                } else {
+                    self.store.insert(addr, (), Word::ZERO);
+                    false
+                }
+            }
+            (RefClass::Code, AccessKind::Write) => false,
+        };
+        self.stats.record(kind, class, hit);
+        hit
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Produces the Table 1-1 row for this cache's run so far.
+    pub fn report(&self) -> CmStarReport {
+        CmStarReport::from_stats(self.size(), self.stats)
+    }
+
+    /// Clears the cache contents and statistics.
+    pub fn reset(&mut self) {
+        self.store.clear();
+        self.stats = CacheStats::new();
+    }
+
+    /// Clears the statistics while keeping the cache contents — used to
+    /// discard warm-up transients before measuring.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+}
+
+/// One row of Table 1-1: the fractions of all references that caused
+/// misses, classified by operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmStarReport {
+    /// Cache size in words ("Cache Size (set size 1 word)").
+    pub cache_size: u64,
+    /// Fraction of all references that were read misses, in percent
+    /// ("Read Miss Ratio").
+    pub read_miss_pct: f64,
+    /// Fraction of all references that were local writes, in percent
+    /// ("Local Writes" — all local writes miss under write-through).
+    pub local_write_pct: f64,
+    /// Fraction of all references to shared read/write data, in percent
+    /// ("Shared Read/Write" — all shared references miss).
+    pub shared_pct: f64,
+    /// Sum of the above ("Total Miss Ratio").
+    pub total_miss_pct: f64,
+}
+
+impl CmStarReport {
+    /// Builds a report from raw statistics.
+    pub fn from_stats(cache_size: u64, stats: CacheStats) -> Self {
+        let pct = |x: f64| x * 100.0;
+        // "Read Miss Ratio" in the table covers the cachable classes
+        // (code + local reads); shared misses are reported in their own
+        // column regardless of operation.
+        let read_miss = stats.miss_fraction(AccessKind::Read, RefClass::Code)
+            + stats.miss_fraction(AccessKind::Read, RefClass::Local);
+        let local_writes = stats.miss_fraction(AccessKind::Write, RefClass::Local);
+        let shared = stats.miss_fraction(AccessKind::Read, RefClass::Shared)
+            + stats.miss_fraction(AccessKind::Write, RefClass::Shared);
+        CmStarReport {
+            cache_size,
+            read_miss_pct: pct(read_miss),
+            local_write_pct: pct(local_writes),
+            shared_pct: pct(shared),
+            total_miss_pct: pct(read_miss + local_writes + shared),
+        }
+    }
+}
+
+impl fmt::Display for CmStarReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>6}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}",
+            self.cache_size,
+            self.read_miss_pct,
+            self.local_write_pct,
+            self.shared_pct,
+            self.total_miss_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_references_always_miss() {
+        let mut c = CmStarCache::new(16);
+        for _ in 0..3 {
+            assert!(!c.access(Addr::new(1), AccessKind::Read, RefClass::Shared));
+            assert!(!c.access(Addr::new(1), AccessKind::Write, RefClass::Shared));
+        }
+    }
+
+    #[test]
+    fn local_writes_miss_but_warm_the_line() {
+        let mut c = CmStarCache::new(16);
+        assert!(!c.access(Addr::new(2), AccessKind::Write, RefClass::Local));
+        // The write-through allocated the line, so the read hits.
+        assert!(c.access(Addr::new(2), AccessKind::Read, RefClass::Local));
+        // Another write still misses (write-through).
+        assert!(!c.access(Addr::new(2), AccessKind::Write, RefClass::Local));
+    }
+
+    #[test]
+    fn code_reads_hit_after_first_touch() {
+        let mut c = CmStarCache::new(16);
+        assert!(!c.access(Addr::new(5), AccessKind::Read, RefClass::Code));
+        assert!(c.access(Addr::new(5), AccessKind::Read, RefClass::Code));
+    }
+
+    #[test]
+    fn conflicting_lines_evict_each_other() {
+        let mut c = CmStarCache::new(16);
+        c.access(Addr::new(3), AccessKind::Read, RefClass::Code);
+        c.access(Addr::new(19), AccessKind::Read, RefClass::Code); // same line
+        assert!(!c.access(Addr::new(3), AccessKind::Read, RefClass::Code));
+    }
+
+    #[test]
+    fn report_columns_sum_to_total() {
+        let mut c = CmStarCache::new(16);
+        // 6 code reads (1 miss after warmup), 2 local writes, 2 shared.
+        for _ in 0..6 {
+            c.access(Addr::new(0), AccessKind::Read, RefClass::Code);
+        }
+        c.access(Addr::new(1), AccessKind::Write, RefClass::Local);
+        c.access(Addr::new(1), AccessKind::Write, RefClass::Local);
+        c.access(Addr::new(2), AccessKind::Read, RefClass::Shared);
+        c.access(Addr::new(2), AccessKind::Write, RefClass::Shared);
+        let r = c.report();
+        assert!(
+            (r.read_miss_pct + r.local_write_pct + r.shared_pct - r.total_miss_pct).abs() < 1e-9
+        );
+        assert_eq!(r.cache_size, 16);
+        // 1 read miss + 2 local writes + 2 shared = 5 misses of 10 refs.
+        assert!((r.total_miss_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = CmStarCache::new(16);
+        c.access(Addr::new(0), AccessKind::Read, RefClass::Code);
+        c.reset();
+        assert_eq!(c.stats().total_references(), 0);
+        assert!(!c.access(Addr::new(0), AccessKind::Read, RefClass::Code));
+    }
+
+    #[test]
+    fn report_display_has_five_columns() {
+        let c = CmStarCache::new(256);
+        let row = c.report().to_string();
+        assert_eq!(row.split_whitespace().count(), 5);
+        assert!(row.trim_start().starts_with("256"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Cache geometry: how addresses map onto lines.
+
+use decache_mem::Addr;
+use std::fmt;
+
+/// The shape of a cache: `sets × ways` lines of `block_words` words each.
+///
+/// The paper's schemes assume a **direct-mapped** cache (one way) with a
+/// **one-word block** (Section 2, assumption 7), arguing that shared data
+/// has no spatial locality and that a large block size makes misses
+/// expensive. [`Geometry::direct_mapped`] builds that shape; the general
+/// constructor supports the associativity/block-size ablations.
+///
+/// # Examples
+///
+/// ```
+/// use decache_cache::Geometry;
+/// use decache_mem::Addr;
+///
+/// let g = Geometry::direct_mapped(256);
+/// assert_eq!(g.total_words(), 256);
+/// assert_eq!(g.set_of(Addr::new(300)), 300 % 256);
+/// // Two addresses with the same set but different tags conflict:
+/// assert_eq!(g.set_of(Addr::new(44)), g.set_of(Addr::new(44 + 256)));
+/// assert_ne!(g.tag_of(Addr::new(44)), g.tag_of(Addr::new(44 + 256)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    sets: usize,
+    ways: usize,
+    block_words: u64,
+}
+
+impl Geometry {
+    /// Creates a geometry with `sets` sets, `ways` ways, and blocks of
+    /// `block_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, or if `sets` or `block_words` is
+    /// not a power of two (address splitting requires power-of-two sizes).
+    pub fn new(sets: usize, ways: usize, block_words: u64) -> Self {
+        assert!(sets > 0 && ways > 0 && block_words > 0, "geometry parameters must be nonzero");
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            block_words.is_power_of_two(),
+            "block size {block_words} must be a power of two"
+        );
+        Geometry {
+            sets,
+            ways,
+            block_words,
+        }
+    }
+
+    /// The paper's canonical geometry: direct-mapped, one-word blocks,
+    /// `lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or not a power of two.
+    pub fn direct_mapped(lines: usize) -> Self {
+        Geometry::new(lines, 1, 1)
+    }
+
+    /// Returns the number of sets.
+    pub const fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Returns the associativity (ways per set).
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Returns the block size in words.
+    pub const fn block_words(&self) -> u64 {
+        self.block_words
+    }
+
+    /// Returns the total capacity in words.
+    pub const fn total_words(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.block_words
+    }
+
+    /// Returns the block-aligned base address of the block containing
+    /// `addr`.
+    pub const fn block_base(&self, addr: Addr) -> Addr {
+        Addr::new(addr.index() & !(self.block_words - 1))
+    }
+
+    /// Returns the set index for `addr`.
+    pub const fn set_of(&self, addr: Addr) -> usize {
+        ((addr.index() / self.block_words) % self.sets as u64) as usize
+    }
+
+    /// Returns the tag for `addr` (the address bits above the set index).
+    pub const fn tag_of(&self, addr: Addr) -> u64 {
+        addr.index() / self.block_words / self.sets as u64
+    }
+
+    /// Reconstructs the block base address from a `(tag, set)` pair: the
+    /// inverse of [`Geometry::tag_of`] / [`Geometry::set_of`].
+    pub const fn addr_of(&self, tag: u64, set: usize) -> Addr {
+        Addr::new((tag * self.sets as u64 + set as u64) * self.block_words)
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} words ({} sets x {} ways x {} words/block)",
+            self.total_words(),
+            self.sets,
+            self.ways,
+            self.block_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_is_one_way_one_word() {
+        let g = Geometry::direct_mapped(1024);
+        assert_eq!(g.ways(), 1);
+        assert_eq!(g.block_words(), 1);
+        assert_eq!(g.total_words(), 1024);
+    }
+
+    #[test]
+    fn tag_set_round_trip() {
+        let g = Geometry::new(64, 2, 4);
+        for raw in [0u64, 3, 64, 255, 256, 1_000_000] {
+            let addr = Addr::new(raw);
+            let base = g.block_base(addr);
+            assert_eq!(g.addr_of(g.tag_of(addr), g.set_of(addr)), base);
+        }
+    }
+
+    #[test]
+    fn same_set_different_tag_conflicts() {
+        let g = Geometry::direct_mapped(16);
+        let a = Addr::new(5);
+        let b = Addr::new(5 + 16);
+        assert_eq!(g.set_of(a), g.set_of(b));
+        assert_ne!(g.tag_of(a), g.tag_of(b));
+    }
+
+    #[test]
+    fn block_base_aligns_down() {
+        let g = Geometry::new(8, 1, 4);
+        assert_eq!(g.block_base(Addr::new(7)), Addr::new(4));
+        assert_eq!(g.block_base(Addr::new(8)), Addr::new(8));
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let g = Geometry::new(8, 2, 1);
+        assert_eq!(g.to_string(), "16 words (8 sets x 2 ways x 1 words/block)");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = Geometry::new(3, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_ways_panics() {
+        let _ = Geometry::new(4, 0, 1);
+    }
+}

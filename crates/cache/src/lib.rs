@@ -1,0 +1,42 @@
+//! Cache substrate for the `decache` simulator.
+//!
+//! Provides the storage half of a private per-processor cache: the address
+//! [`Geometry`] (sets × ways × block words), a generic [`TagStore`]
+//! parameterized by the per-line coherence state (so the same storage
+//! serves RB, RWB, write-once, and every other protocol in
+//! `decache-core`), per-class [`CacheStats`], and the [`CmStarCache`] —
+//! the Cm*-style "code and local data only, write-through" emulation cache
+//! behind the paper's motivating Table 1-1.
+//!
+//! The paper's schemes assume "a direct-mapping cache with a one word
+//! blocksize" (Section 2, assumption 7); [`Geometry::direct_mapped`]
+//! constructs exactly that, while the general form supports the
+//! set-associative sweeps used in ablations.
+//!
+//! # Examples
+//!
+//! ```
+//! use decache_cache::{Geometry, TagStore};
+//! use decache_mem::{Addr, Word};
+//!
+//! // The paper's cache: direct-mapped, one-word blocks, 16 lines.
+//! let mut store: TagStore<char> = TagStore::new(Geometry::direct_mapped(16));
+//! store.insert(Addr::new(3), 'R', Word::new(7));
+//! assert_eq!(store.get(Addr::new(3)).map(|e| e.data), Some(Word::new(7)));
+//! // Address 19 maps to the same line and evicts address 3.
+//! let evicted = store.insert(Addr::new(19), 'L', Word::new(9));
+//! assert_eq!(evicted.map(|e| e.addr), Some(Addr::new(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emulation;
+mod geometry;
+mod stats;
+mod tagstore;
+
+pub use emulation::{CmStarCache, CmStarReport};
+pub use geometry::Geometry;
+pub use stats::{AccessKind, CacheStats, RefClass};
+pub use tagstore::{Entry, EvictedLine, ReplacementPolicy, TagStore};

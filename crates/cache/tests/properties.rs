@@ -1,0 +1,174 @@
+//! Property-based tests for the cache substrate, including a
+//! model-based check of the tag store against a reference LRU.
+
+use decache_cache::{AccessKind, CmStarCache, Geometry, RefClass, ReplacementPolicy, TagStore};
+use decache_mem::{Addr, Word};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A reference model of one fully-associative LRU set.
+#[derive(Debug, Default)]
+struct LruModel {
+    // Front = most recently used; (addr, state, data).
+    entries: VecDeque<(u64, u8, u64)>,
+    capacity: usize,
+}
+
+impl LruModel {
+    fn new(capacity: usize) -> Self {
+        LruModel { entries: VecDeque::new(), capacity }
+    }
+
+    fn get_mut(&mut self, addr: u64) -> Option<(u8, u64)> {
+        let pos = self.entries.iter().position(|&(a, _, _)| a == addr)?;
+        let entry = self.entries.remove(pos).expect("position exists");
+        self.entries.push_front(entry);
+        Some((entry.1, entry.2))
+    }
+
+    fn insert(&mut self, addr: u64, state: u8, data: u64) -> Option<u64> {
+        if let Some(pos) = self.entries.iter().position(|&(a, _, _)| a == addr) {
+            self.entries.remove(pos);
+            self.entries.push_front((addr, state, data));
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            self.entries.pop_back().map(|(a, _, _)| a)
+        } else {
+            None
+        };
+        self.entries.push_front((addr, state, data));
+        evicted
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        self.entries.iter().any(|&(a, _, _)| a == addr)
+    }
+}
+
+proptest! {
+    /// A one-set LRU tag store agrees with the reference model on every
+    /// lookup, insertion, and eviction.
+    #[test]
+    fn tagstore_matches_lru_model(
+        ways in 1usize..9,
+        ops in prop::collection::vec((0u64..32, any::<bool>(), 0u8..4, any::<u64>()), 1..120),
+    ) {
+        let mut store: TagStore<u8> = TagStore::new(Geometry::new(1, ways, 1));
+        let mut model = LruModel::new(ways);
+        for (addr, is_insert, state, data) in ops {
+            if is_insert {
+                let evicted = store.insert(Addr::new(addr), state, Word::new(data));
+                let model_evicted = model.insert(addr, state, data);
+                prop_assert_eq!(evicted.map(|e| e.addr.index()), model_evicted);
+            } else {
+                let got = store.get_mut(Addr::new(addr)).map(|e| (e.state, e.data.value()));
+                let expected = model.get_mut(addr);
+                prop_assert_eq!(got, expected);
+            }
+            prop_assert_eq!(store.len(), model.entries.len());
+        }
+        // Final contents agree.
+        for a in 0..32u64 {
+            prop_assert_eq!(store.contains(Addr::new(a)), model.contains(a));
+        }
+    }
+
+    /// Multi-set stores behave as independent per-set LRUs: operations
+    /// on one set never evict another set's lines.
+    #[test]
+    fn sets_are_independent(
+        sets_log2 in 1u32..4,
+        ops in prop::collection::vec(0u64..64, 1..80),
+    ) {
+        let sets = 1usize << sets_log2;
+        let geometry = Geometry::new(sets, 2, 1);
+        let mut store: TagStore<u8> = TagStore::new(geometry);
+        for addr in ops {
+            if let Some(evicted) = store.insert(Addr::new(addr), 0, Word::ZERO) {
+                prop_assert_eq!(
+                    geometry.set_of(evicted.addr),
+                    geometry.set_of(Addr::new(addr)),
+                    "eviction crossed sets"
+                );
+            }
+        }
+        prop_assert!(store.len() <= sets * 2);
+    }
+
+    /// Every replacement policy preserves the fundamental store
+    /// invariants: lookups find exactly what was inserted last for each
+    /// address, and occupancy never exceeds capacity.
+    #[test]
+    fn policies_preserve_lookup_correctness(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u64..24, any::<u64>()), 1..100),
+    ) {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random(seed),
+        ] {
+            let mut store: TagStore<u8> = TagStore::with_policy(Geometry::new(2, 3, 1), policy);
+            let mut last_written = std::collections::HashMap::new();
+            for &(addr, data) in &ops {
+                store.insert(Addr::new(addr), 0, Word::new(data));
+                last_written.insert(addr, data);
+            }
+            prop_assert!(store.len() <= 6);
+            for e in store.iter() {
+                prop_assert_eq!(
+                    e.data.value(),
+                    last_written[&e.addr.index()],
+                    "{}: stale data survived",
+                    policy
+                );
+            }
+        }
+    }
+
+    /// Geometry round-trip for arbitrary power-of-two shapes.
+    #[test]
+    fn geometry_round_trips(
+        sets_log2 in 0u32..10,
+        ways in 1usize..5,
+        block_log2 in 0u32..4,
+        raw in 0u64..1_000_000,
+    ) {
+        let g = Geometry::new(1 << sets_log2, ways, 1 << block_log2);
+        let addr = Addr::new(raw);
+        let base = g.block_base(addr);
+        prop_assert_eq!(g.addr_of(g.tag_of(addr), g.set_of(addr)), base);
+        prop_assert!(base.index() <= raw);
+        prop_assert!(raw - base.index() < g.block_words());
+    }
+
+    /// The Cm* emulation cache never reports more hits than references,
+    /// and its report columns always sum to the total.
+    #[test]
+    fn cmstar_report_is_internally_consistent(
+        ops in prop::collection::vec((0u64..64, 0u8..5), 1..200),
+    ) {
+        let mut cache = CmStarCache::new(16);
+        for (addr, kind) in ops {
+            let (access, class) = match kind {
+                0 => (AccessKind::Read, RefClass::Code),
+                1 => (AccessKind::Read, RefClass::Local),
+                2 => (AccessKind::Write, RefClass::Local),
+                3 => (AccessKind::Read, RefClass::Shared),
+                _ => (AccessKind::Write, RefClass::Shared),
+            };
+            cache.access(Addr::new(addr), access, class);
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.total_hits() <= stats.total_references());
+        let report = cache.report();
+        prop_assert!(
+            (report.read_miss_pct + report.local_write_pct + report.shared_pct
+                - report.total_miss_pct)
+                .abs()
+                < 1e-9
+        );
+        prop_assert!(report.total_miss_pct <= 100.0 + 1e-9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Configuration classification: the vocabulary of the Section 4 lemma.
+
+use crate::LineState;
+use std::fmt;
+
+/// The classification of "the collection of cache states for a particular
+/// address" (Section 3).
+///
+/// The paper's consistency lemma states that for RB only two
+/// configurations are reachable — *shared* and *local* — and RWB adds the
+/// *intermediate* configuration (one first-writer, the rest readable).
+/// [`Configuration::classify`] decides which one a state vector is in, or
+/// reports it [`Configuration::Illegal`]; the product-machine checker in
+/// `decache-verify` asserts that `Illegal` is unreachable.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{Configuration, LineState};
+/// use LineState::{Invalid, Local, Readable};
+///
+/// assert_eq!(
+///     Configuration::classify(&[Readable, Readable, Readable]),
+///     Configuration::Shared
+/// );
+/// assert_eq!(
+///     Configuration::classify(&[Invalid, Local, Invalid]),
+///     Configuration::Local
+/// );
+/// assert_eq!(
+///     Configuration::classify(&[Local, Local, Invalid]),
+///     Configuration::Illegal
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Configuration {
+    /// All holders can read: every cache containing the address is in a
+    /// readable, memory-consistent state (`R`/`V`), possibly mixed with
+    /// invalid holders.
+    Shared,
+    /// Exactly one cache owns the only up-to-date copy (`L`/`D`) and
+    /// every other holder is invalid.
+    Local,
+    /// RWB's in-between: exactly one first-writer (`F`, or write-once
+    /// `Reserved`), memory current, every other holder readable or
+    /// invalid.
+    Intermediate,
+    /// Any other combination — forbidden by the Section 4 lemma.
+    Illegal,
+}
+
+impl Configuration {
+    /// Classifies the states of all caches *holding* the address (caches
+    /// without the line are omitted; an empty slice classifies as
+    /// [`Configuration::Shared`], the memory-only initial state).
+    pub fn classify(states: &[LineState]) -> Configuration {
+        use LineState::*;
+        let owners = states.iter().filter(|s| s.owns_latest()).count();
+        let firsts = states
+            .iter()
+            .filter(|s| matches!(s, FirstWrite(_) | Reserved))
+            .count();
+
+        match (owners, firsts) {
+            (0, 0) => {
+                if states.iter().all(|s| matches!(s, Readable | Invalid | Valid)) {
+                    Configuration::Shared
+                } else {
+                    Configuration::Illegal
+                }
+            }
+            (1, 0) => {
+                if states
+                    .iter()
+                    .all(|s| s.owns_latest() || matches!(s, Invalid))
+                {
+                    Configuration::Local
+                } else {
+                    Configuration::Illegal
+                }
+            }
+            (0, 1) => {
+                if states.iter().all(|s| {
+                    matches!(s, FirstWrite(_) | Reserved | Readable | Invalid | Valid)
+                }) {
+                    Configuration::Intermediate
+                } else {
+                    Configuration::Illegal
+                }
+            }
+            _ => Configuration::Illegal,
+        }
+    }
+
+    /// Returns `true` for the configurations the Section 4 lemma permits
+    /// under RB (shared or local).
+    pub fn is_rb_legal(self) -> bool {
+        matches!(self, Configuration::Shared | Configuration::Local)
+    }
+
+    /// Returns `true` for the configurations reachable under RWB (shared,
+    /// local, or intermediate).
+    pub fn is_rwb_legal(self) -> bool {
+        !matches!(self, Configuration::Illegal)
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Configuration::Shared => write!(f, "shared"),
+            Configuration::Local => write!(f, "local"),
+            Configuration::Intermediate => write!(f, "intermediate"),
+            Configuration::Illegal => write!(f, "ILLEGAL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn empty_vector_is_shared() {
+        assert_eq!(Configuration::classify(&[]), Configuration::Shared);
+    }
+
+    #[test]
+    fn all_readable_is_shared() {
+        assert_eq!(
+            Configuration::classify(&[Readable, Readable]),
+            Configuration::Shared
+        );
+        assert_eq!(
+            Configuration::classify(&[Readable, Invalid, Readable]),
+            Configuration::Shared
+        );
+        assert_eq!(Configuration::classify(&[Invalid]), Configuration::Shared);
+    }
+
+    #[test]
+    fn one_local_rest_invalid_is_local() {
+        assert_eq!(
+            Configuration::classify(&[Invalid, Local]),
+            Configuration::Local
+        );
+        assert_eq!(Configuration::classify(&[Local]), Configuration::Local);
+        assert_eq!(
+            Configuration::classify(&[Dirty, Invalid]),
+            Configuration::Local
+        );
+    }
+
+    #[test]
+    fn local_with_readable_copy_is_illegal() {
+        // A readable copy alongside a local owner would let some PE read
+        // a stale value — exactly what the lemma rules out.
+        assert_eq!(
+            Configuration::classify(&[Local, Readable]),
+            Configuration::Illegal
+        );
+    }
+
+    #[test]
+    fn two_owners_is_illegal() {
+        assert_eq!(
+            Configuration::classify(&[Local, Local]),
+            Configuration::Illegal
+        );
+        assert_eq!(
+            Configuration::classify(&[Local, Dirty]),
+            Configuration::Illegal
+        );
+    }
+
+    #[test]
+    fn one_first_writer_rest_readable_is_intermediate() {
+        assert_eq!(
+            Configuration::classify(&[FirstWrite(1), Readable, Readable]),
+            Configuration::Intermediate
+        );
+        assert_eq!(
+            Configuration::classify(&[FirstWrite(1), Invalid]),
+            Configuration::Intermediate
+        );
+        assert_eq!(
+            Configuration::classify(&[Reserved, Invalid]),
+            Configuration::Intermediate
+        );
+    }
+
+    #[test]
+    fn two_first_writers_is_illegal() {
+        assert_eq!(
+            Configuration::classify(&[FirstWrite(1), FirstWrite(1)]),
+            Configuration::Illegal
+        );
+    }
+
+    #[test]
+    fn first_writer_with_owner_is_illegal() {
+        assert_eq!(
+            Configuration::classify(&[FirstWrite(1), Local]),
+            Configuration::Illegal
+        );
+    }
+
+    #[test]
+    fn legality_predicates() {
+        assert!(Configuration::Shared.is_rb_legal());
+        assert!(Configuration::Local.is_rb_legal());
+        assert!(!Configuration::Intermediate.is_rb_legal());
+        assert!(Configuration::Intermediate.is_rwb_legal());
+        assert!(!Configuration::Illegal.is_rwb_legal());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Configuration::Shared.to_string(), "shared");
+        assert_eq!(Configuration::Illegal.to_string(), "ILLEGAL");
+    }
+}

@@ -1,0 +1,307 @@
+//! State-transition-diagram extraction (Figures 3-1 and 5-1).
+//!
+//! The paper presents each scheme as a per-line state transition diagram
+//! whose edges are labelled with the triggering request (`CR`, `CW`,
+//! `BR`, `BW`, `BI`) and a modifier describing the side action (generate
+//! a bus write, interrupt and supply, ...). [`transition_table`] recovers
+//! that diagram mechanically from any [`Protocol`] implementation, and
+//! [`to_dot`] renders it as Graphviz DOT — this is how the `figure_3_1`
+//! and `figure_5_1` experiment binaries regenerate the figures, and how
+//! tests pin every edge.
+
+use crate::{CpuOutcome, LineState, Protocol, SnoopEvent};
+use decache_mem::Word;
+use std::fmt;
+
+/// The stimulus labels of the figures' legends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stimulus {
+    /// `CR` — CPU read request.
+    CpuRead,
+    /// `CW` — CPU write request.
+    CpuWrite,
+    /// `BR` — a foreign bus read (snooped).
+    BusRead,
+    /// `BW` — a foreign bus write (snooped).
+    BusWrite,
+    /// `BI` — a foreign bus invalidate (snooped; RWB only).
+    BusInvalidate,
+}
+
+impl Stimulus {
+    /// All stimuli in legend order.
+    pub const ALL: [Stimulus; 5] = [
+        Stimulus::CpuRead,
+        Stimulus::CpuWrite,
+        Stimulus::BusRead,
+        Stimulus::BusWrite,
+        Stimulus::BusInvalidate,
+    ];
+}
+
+impl fmt::Display for Stimulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stimulus::CpuRead => write!(f, "CR"),
+            Stimulus::CpuWrite => write!(f, "CW"),
+            Stimulus::BusRead => write!(f, "BR"),
+            Stimulus::BusWrite => write!(f, "BW"),
+            Stimulus::BusInvalidate => write!(f, "BI"),
+        }
+    }
+}
+
+/// One edge of the state transition diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionRow {
+    /// Source state.
+    pub from: LineState,
+    /// The triggering request.
+    pub stimulus: Stimulus,
+    /// Destination state.
+    pub to: LineState,
+    /// The figure's "modifier": the side action taken during the
+    /// transition (empty when none). Matches the legends of Figures 3-1
+    /// and 5-1: "generate a BW (write through)", "interrupt BR and supply
+    /// the data from the cache", "generate a BR (cache miss)",
+    /// "generate a BI".
+    pub modifier: String,
+}
+
+impl fmt::Display for TransitionRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.modifier.is_empty() {
+            write!(f, "{} --{}--> {}", self.from, self.stimulus, self.to)
+        } else {
+            write!(
+                f,
+                "{} --{} [{}]--> {}",
+                self.from, self.stimulus, self.modifier, self.to
+            )
+        }
+    }
+}
+
+/// Extracts the complete per-line state transition diagram of a protocol
+/// by driving every state through every stimulus.
+///
+/// For CPU requests that miss, the destination is the state after the
+/// protocol's own bus transaction completes, and the modifier names the
+/// generated transaction — exactly the convention of the paper's figures.
+pub fn transition_table(protocol: &dyn Protocol) -> Vec<TransitionRow> {
+    let probe = Word::ZERO;
+    let mut rows = Vec::new();
+
+    for from in protocol.states() {
+        // CPU read.
+        rows.push(match protocol.cpu_read(Some(from)) {
+            CpuOutcome::Hit { next } => TransitionRow {
+                from,
+                stimulus: Stimulus::CpuRead,
+                to: next,
+                modifier: String::new(),
+            },
+            CpuOutcome::Miss { intent } => TransitionRow {
+                from,
+                stimulus: Stimulus::CpuRead,
+                to: protocol.own_complete(Some(from), intent),
+                modifier: format!("generate {intent}"),
+            },
+        });
+
+        // CPU write.
+        rows.push(match protocol.cpu_write(Some(from)) {
+            CpuOutcome::Hit { next } => TransitionRow {
+                from,
+                stimulus: Stimulus::CpuWrite,
+                to: next,
+                modifier: String::new(),
+            },
+            CpuOutcome::Miss { intent } => TransitionRow {
+                from,
+                stimulus: Stimulus::CpuWrite,
+                to: protocol.own_complete(Some(from), intent),
+                modifier: format!("generate {intent}"),
+            },
+        });
+
+        // Snooped bus read: the supply path takes precedence, exactly as
+        // in the figures ("interrupt BR and supply the data").
+        if protocol.supplies_on_snoop_read(from) {
+            rows.push(TransitionRow {
+                from,
+                stimulus: Stimulus::BusRead,
+                to: protocol.after_supply(from),
+                modifier: "interrupt BR, supply data".to_owned(),
+            });
+        } else {
+            let out = protocol.snoop(from, SnoopEvent::Read(probe));
+            rows.push(TransitionRow {
+                from,
+                stimulus: Stimulus::BusRead,
+                to: out.next,
+                modifier: if out.capture { "capture data".to_owned() } else { String::new() },
+            });
+        }
+
+        // Snooped bus write.
+        let out = protocol.snoop(from, SnoopEvent::Write(probe));
+        rows.push(TransitionRow {
+            from,
+            stimulus: Stimulus::BusWrite,
+            to: out.next,
+            modifier: if out.capture { "capture data".to_owned() } else { String::new() },
+        });
+
+        // Snooped bus invalidate — only for protocols that can emit it.
+        if protocol.uses_bus_invalidate() {
+            let out = protocol.snoop(from, SnoopEvent::Invalidate);
+            rows.push(TransitionRow {
+                from,
+                stimulus: Stimulus::BusInvalidate,
+                to: out.next,
+                modifier: String::new(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders a transition table as a Graphviz DOT digraph.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{to_dot, transition_table, Rb};
+/// let dot = to_dot("RB", &transition_table(&Rb::new()));
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("R -> L"));
+/// ```
+pub fn to_dot(title: &str, rows: &[TransitionRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{title}\" {{\n"));
+    out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    for row in rows {
+        let label = if row.modifier.is_empty() {
+            row.stimulus.to_string()
+        } else {
+            format!("{} / {}", row.stimulus, row.modifier)
+        };
+        out.push_str(&format!(
+            "  {} -> {} [label=\"{}\"];\n",
+            row.from, row.to, label
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rb, Rwb, WriteOnce};
+    use LineState::{FirstWrite, Invalid, Local, Readable};
+
+    fn find<'a>(
+        rows: &'a [TransitionRow],
+        from: LineState,
+        stimulus: Stimulus,
+    ) -> &'a TransitionRow {
+        rows.iter()
+            .find(|r| r.from == from && r.stimulus == stimulus)
+            .unwrap_or_else(|| panic!("no row for {from} on {stimulus}"))
+    }
+
+    #[test]
+    fn rb_table_matches_figure_3_1() {
+        let rows = transition_table(&Rb::new());
+        // 3 states x 4 stimuli (no BI edge for RB).
+        assert_eq!(rows.len(), 12);
+
+        // The nine transitions of Figure 3-1:
+        assert_eq!(find(&rows, Readable, Stimulus::CpuRead).to, Readable);
+        let r = find(&rows, Readable, Stimulus::CpuWrite);
+        assert_eq!(r.to, Local);
+        assert_eq!(r.modifier, "generate BW");
+        assert_eq!(find(&rows, Readable, Stimulus::BusRead).to, Readable);
+        assert_eq!(find(&rows, Readable, Stimulus::BusWrite).to, Invalid);
+
+        let r = find(&rows, Invalid, Stimulus::CpuRead);
+        assert_eq!(r.to, Readable);
+        assert_eq!(r.modifier, "generate BR");
+        let r = find(&rows, Invalid, Stimulus::CpuWrite);
+        assert_eq!(r.to, Local);
+        assert_eq!(r.modifier, "generate BW");
+        let r = find(&rows, Invalid, Stimulus::BusRead);
+        assert_eq!(r.to, Readable);
+        assert_eq!(r.modifier, "capture data");
+        assert_eq!(find(&rows, Invalid, Stimulus::BusWrite).to, Invalid);
+
+        assert_eq!(find(&rows, Local, Stimulus::CpuRead).to, Local);
+        assert_eq!(find(&rows, Local, Stimulus::CpuWrite).to, Local);
+        let r = find(&rows, Local, Stimulus::BusRead);
+        assert_eq!(r.to, Readable);
+        assert_eq!(r.modifier, "interrupt BR, supply data");
+        assert_eq!(find(&rows, Local, Stimulus::BusWrite).to, Invalid);
+    }
+
+    #[test]
+    fn rwb_table_matches_figure_5_1() {
+        let rows = transition_table(&Rwb::new());
+        // 4 states x 5 stimuli (BI included).
+        assert_eq!(rows.len(), 20);
+
+        let r = find(&rows, Readable, Stimulus::CpuWrite);
+        assert_eq!(r.to, FirstWrite(1));
+        assert_eq!(r.modifier, "generate BW");
+
+        let r = find(&rows, FirstWrite(1), Stimulus::CpuWrite);
+        assert_eq!(r.to, Local);
+        assert_eq!(r.modifier, "generate BI");
+
+        assert_eq!(find(&rows, FirstWrite(1), Stimulus::CpuRead).to, FirstWrite(1));
+        assert_eq!(find(&rows, FirstWrite(1), Stimulus::BusRead).to, FirstWrite(1));
+        let r = find(&rows, FirstWrite(1), Stimulus::BusWrite);
+        assert_eq!(r.to, Readable);
+        assert_eq!(r.modifier, "capture data");
+        assert_eq!(find(&rows, FirstWrite(1), Stimulus::BusInvalidate).to, Invalid);
+
+        let r = find(&rows, Readable, Stimulus::BusWrite);
+        assert_eq!(r.to, Readable);
+        assert_eq!(r.modifier, "capture data");
+
+        assert_eq!(find(&rows, Local, Stimulus::BusInvalidate).to, Invalid);
+        assert_eq!(find(&rows, Invalid, Stimulus::BusInvalidate).to, Invalid);
+    }
+
+    #[test]
+    fn write_once_has_no_capture_edges() {
+        let rows = transition_table(&WriteOnce::new());
+        assert!(rows.iter().all(|r| r.modifier != "capture data"));
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let rows = transition_table(&Rb::new());
+        let dot = to_dot("RB", &rows);
+        assert!(dot.starts_with("digraph \"RB\" {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One edge line per row.
+        assert_eq!(dot.matches(" -> ").count(), rows.len());
+    }
+
+    #[test]
+    fn row_display_is_readable() {
+        let rows = transition_table(&Rb::new());
+        let r = find(&rows, Invalid, Stimulus::CpuRead);
+        assert_eq!(r.to_string(), "I --CR [generate BR]--> R");
+        let r = find(&rows, Readable, Stimulus::CpuRead);
+        assert_eq!(r.to_string(), "R --CR--> R");
+    }
+
+    #[test]
+    fn stimulus_display() {
+        let labels: Vec<String> = Stimulus::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(labels, vec!["CR", "CW", "BR", "BW", "BI"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Value-level protocol selection for experiment sweeps.
+
+use crate::{Protocol, Rb, Rwb, WriteOnce, WriteThrough};
+use std::fmt;
+
+/// Names one of the built-in coherence protocols; used to configure
+/// machines and to sweep protocols in experiments.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+///
+/// let protocol = ProtocolKind::Rwb.build();
+/// assert_eq!(protocol.name(), "RWB");
+/// for kind in ProtocolKind::ALL {
+///     let _ = kind.build();
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// The RB scheme (Section 3).
+    Rb,
+    /// RB with read broadcasting disabled (ablation A3).
+    RbNoBroadcast,
+    /// The RWB scheme with the paper's default threshold `k = 2`
+    /// (Section 5).
+    Rwb,
+    /// RWB with an explicit locality threshold (footnote 6; ablation A1).
+    RwbThreshold(u8),
+    /// Goodman's write-once baseline.
+    WriteOnce,
+    /// Plain write-through-invalidate baseline.
+    WriteThrough,
+}
+
+impl ProtocolKind {
+    /// The four headline protocols compared by experiment E13.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Rb,
+        ProtocolKind::Rwb,
+        ProtocolKind::WriteOnce,
+        ProtocolKind::WriteThrough,
+    ];
+
+    /// Instantiates the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ProtocolKind::RwbThreshold`] value is out of range
+    /// (see [`Rwb::with_threshold`]).
+    pub fn build(self) -> Box<dyn Protocol> {
+        match self {
+            ProtocolKind::Rb => Box::new(Rb::new()),
+            ProtocolKind::RbNoBroadcast => Box::new(Rb::without_read_broadcast()),
+            ProtocolKind::Rwb => Box::new(Rwb::new()),
+            ProtocolKind::RwbThreshold(k) => Box::new(Rwb::with_threshold(k)),
+            ProtocolKind::WriteOnce => Box::new(WriteOnce::new()),
+            ProtocolKind::WriteThrough => Box::new(WriteThrough::new()),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Delegate to the built protocol so names stay in one place.
+        write!(f, "{}", self.build().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_the_named_protocol() {
+        assert_eq!(ProtocolKind::Rb.build().name(), "RB");
+        assert_eq!(ProtocolKind::RbNoBroadcast.build().name(), "RB-no-broadcast");
+        assert_eq!(ProtocolKind::Rwb.build().name(), "RWB");
+        assert_eq!(ProtocolKind::RwbThreshold(3).build().name(), "RWB(k=3)");
+        assert_eq!(ProtocolKind::WriteOnce.build().name(), "write-once");
+        assert_eq!(ProtocolKind::WriteThrough.build().name(), "write-through");
+    }
+
+    #[test]
+    fn display_matches_protocol_name() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(kind.to_string(), kind.build().name());
+        }
+    }
+
+    #[test]
+    fn all_contains_distinct_protocols() {
+        let names: std::collections::HashSet<String> =
+            ProtocolKind::ALL.iter().map(|k| k.build().name()).collect();
+        assert_eq!(names.len(), ProtocolKind::ALL.len());
+    }
+}

@@ -1,0 +1,414 @@
+//! The RB (Read-Broadcast) cache scheme of Section 3 / Figure 3-1.
+
+use crate::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent, SnoopOutcome};
+use LineState::{Invalid, Local, Readable};
+
+/// The RB scheme: three states per line (`R`, `I`, `L`), write-through
+/// writes that invalidate all other copies, and **read broadcasting** —
+/// "values fetched in response to certain CPU reads are broadcast to all
+/// of the caches" (Section 3).
+///
+/// The per-line transition rules, verbatim from the paper:
+///
+/// * **Read state**: CPU read hits; CPU write generates a bus write,
+///   updates the cache, and tags the line Local. A bus read has no
+///   effect; a bus write invalidates.
+/// * **Invalid state**: CPU read issues a bus read, then stores the value
+///   and becomes Read. CPU write issues a bus write, updates, becomes
+///   Local. A snooped bus *write* does nothing; a snooped bus *read*
+///   stores the returned value and becomes Read — the broadcast.
+/// * **Local state**: CPU read and write are purely local. A bus write
+///   invalidates. A bus read is **interrupted** and replaced by a bus
+///   write of the cached value; the line becomes Read and the interrupted
+///   read retries next cycle.
+///
+/// The broadcast capture in the Invalid state can be disabled with
+/// [`Rb::without_read_broadcast`] for ablation A3, which degrades RB to a
+/// pure event-broadcasting (Goodman-style) scheme on the read path.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{LineState, Protocol, Rb, SnoopEvent, SnoopOutcome};
+/// use decache_mem::Word;
+///
+/// let rb = Rb::new();
+/// // An invalid holder captures the data of a foreign bus read:
+/// let out = rb.snoop(LineState::Invalid, SnoopEvent::Read(Word::new(9)));
+/// assert_eq!(out, SnoopOutcome::capture(LineState::Readable));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Rb {
+    read_broadcast: bool,
+}
+
+impl Rb {
+    /// Creates the RB scheme as published.
+    pub fn new() -> Self {
+        Rb { read_broadcast: true }
+    }
+
+    /// Creates the ablated variant in which snooping caches do *not*
+    /// capture the data returned by foreign bus reads.
+    pub fn without_read_broadcast() -> Self {
+        Rb { read_broadcast: false }
+    }
+
+    /// Returns `true` if read broadcasting is enabled (the published
+    /// scheme).
+    pub fn read_broadcast(&self) -> bool {
+        self.read_broadcast
+    }
+
+    fn check(&self, state: LineState) -> LineState {
+        assert!(
+            matches!(state, Invalid | Readable | Local),
+            "RB has no state {state:?}"
+        );
+        state
+    }
+}
+
+impl Default for Rb {
+    fn default() -> Self {
+        Rb::new()
+    }
+}
+
+impl Protocol for Rb {
+    fn name(&self) -> String {
+        if self.read_broadcast {
+            "RB".to_owned()
+        } else {
+            "RB-no-broadcast".to_owned()
+        }
+    }
+
+    fn states(&self) -> Vec<LineState> {
+        vec![Invalid, Readable, Local]
+    }
+
+    fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            // "A reference to an item not in the cache behaves exactly as
+            // if it were in the invalid state."
+            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            Some(Readable) => CpuOutcome::Hit { next: Readable },
+            Some(Local) => CpuOutcome::Hit { next: Local },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn cpu_write(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            // Write-through with invalidation: the bus write "informs the
+            // other caches that the variable is now considered local".
+            None | Some(Invalid) | Some(Readable) => CpuOutcome::Miss { intent: BusIntent::Write },
+            Some(Local) => CpuOutcome::Hit { next: Local },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn own_complete(&self, _state: Option<LineState>, intent: BusIntent) -> LineState {
+        match intent {
+            BusIntent::Read => Readable,
+            BusIntent::Write => Local,
+            BusIntent::Invalidate => {
+                unreachable!("RB never issues a bus invalidate")
+            }
+        }
+    }
+
+    fn own_locked_read_complete(&self, _state: Option<LineState>) -> LineState {
+        // The locked read is broadcast like any bus read; the issuer keeps
+        // the returned value as a readable copy (Figure 6-1's rows where
+        // failing testers end in R).
+        Readable
+    }
+
+    fn own_unlock_write_complete(&self, _state: Option<LineState>) -> LineState {
+        // "This action then sets all the other caches into the invalid
+        // state, i.e. a local configuration is assumed."
+        Local
+    }
+
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        match (self.check(state), event) {
+            // Readable: bus reads are harmless, any foreign write
+            // invalidates.
+            (Readable, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::unchanged(Readable)
+            }
+            (Readable, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_)) => {
+                SnoopOutcome::to(Invalid)
+            }
+
+            // Invalid: a completed foreign read is a broadcast — capture
+            // the value "for future use".
+            (Invalid, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                if self.read_broadcast {
+                    SnoopOutcome::capture(Readable)
+                } else {
+                    SnoopOutcome::unchanged(Invalid)
+                }
+            }
+            (Invalid, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_)) => {
+                SnoopOutcome::unchanged(Invalid)
+            }
+
+            // Local: the read was interrupted and our data supplied (see
+            // `supplies_on_snoop_read` / `after_supply`); reaching here
+            // means the retried read completed while we are no longer
+            // Local — cannot happen, but keep the function total: treat a
+            // completed foreign read like the post-supply state.
+            (Local, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::capture(Readable)
+            }
+            (Local, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_)) => {
+                SnoopOutcome::to(Invalid)
+            }
+
+            // RB never receives BI (no cache issues it), but stay total.
+            (_, SnoopEvent::Invalidate) => SnoopOutcome::to(Invalid),
+            (s, _) => unreachable!("RB snoop in state {s:?}"),
+        }
+    }
+
+    fn supplies_on_snoop_read(&self, state: LineState) -> bool {
+        self.check(state) == Local
+    }
+
+    fn after_supply(&self, state: LineState) -> LineState {
+        debug_assert_eq!(self.check(state), Local);
+        // "The bus read is interrupted and replaced by a bus write of the
+        // cached value. The cache state is changed to Read."
+        Readable
+    }
+
+    fn writeback_on_evict(&self, state: LineState) -> bool {
+        // "Only those overwritten items that are tagged local need to be
+        // written back to the memory."
+        self.check(state) == Local
+    }
+
+    fn broadcasts_write_data(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_mem::Word;
+
+    fn w(v: u64) -> Word {
+        Word::new(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 3-1, edge by edge.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fig3_1_read_state_cpu_read_hits() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.cpu_read(Some(Readable)),
+            CpuOutcome::Hit { next: Readable }
+        );
+    }
+
+    #[test]
+    fn fig3_1_read_state_cpu_write_writes_through_to_local() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.cpu_write(Some(Readable)),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(rb.own_complete(Some(Readable), BusIntent::Write), Local);
+    }
+
+    #[test]
+    fn fig3_1_read_state_bus_read_no_effect() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Readable, SnoopEvent::Read(w(1))),
+            SnoopOutcome::unchanged(Readable)
+        );
+    }
+
+    #[test]
+    fn fig3_1_read_state_bus_write_invalidates() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Readable, SnoopEvent::Write(w(1))),
+            SnoopOutcome::to(Invalid)
+        );
+    }
+
+    #[test]
+    fn fig3_1_invalid_state_cpu_read_fetches_to_read() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.cpu_read(Some(Invalid)),
+            CpuOutcome::Miss { intent: BusIntent::Read }
+        );
+        assert_eq!(rb.own_complete(Some(Invalid), BusIntent::Read), Readable);
+    }
+
+    #[test]
+    fn fig3_1_invalid_state_cpu_write_to_local() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.cpu_write(Some(Invalid)),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(rb.own_complete(Some(Invalid), BusIntent::Write), Local);
+    }
+
+    #[test]
+    fn fig3_1_invalid_state_bus_write_no_effect() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Invalid, SnoopEvent::Write(w(3))),
+            SnoopOutcome::unchanged(Invalid)
+        );
+    }
+
+    #[test]
+    fn fig3_1_invalid_state_bus_read_broadcast_capture() {
+        // "All caches that contain the target address of a bus read will
+        // perform these actions, so that the value read will, in effect,
+        // be broadcast to all the processors for future use."
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Invalid, SnoopEvent::Read(w(5))),
+            SnoopOutcome::capture(Readable)
+        );
+    }
+
+    #[test]
+    fn fig3_1_local_state_cpu_ops_are_silent() {
+        let rb = Rb::new();
+        assert_eq!(rb.cpu_read(Some(Local)), CpuOutcome::Hit { next: Local });
+        assert_eq!(rb.cpu_write(Some(Local)), CpuOutcome::Hit { next: Local });
+    }
+
+    #[test]
+    fn fig3_1_local_state_bus_write_invalidates() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Local, SnoopEvent::Write(w(2))),
+            SnoopOutcome::to(Invalid)
+        );
+    }
+
+    #[test]
+    fn fig3_1_local_state_supplies_on_bus_read() {
+        let rb = Rb::new();
+        assert!(rb.supplies_on_snoop_read(Local));
+        assert!(!rb.supplies_on_snoop_read(Readable));
+        assert!(!rb.supplies_on_snoop_read(Invalid));
+        assert_eq!(rb.after_supply(Local), Readable);
+    }
+
+    // ------------------------------------------------------------------
+    // Not-present behaves as invalid.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn not_present_equals_invalid() {
+        let rb = Rb::new();
+        assert_eq!(rb.cpu_read(None), rb.cpu_read(Some(Invalid)));
+        assert_eq!(rb.cpu_write(None), rb.cpu_write(Some(Invalid)));
+        assert_eq!(
+            rb.own_complete(None, BusIntent::Read),
+            rb.own_complete(Some(Invalid), BusIntent::Read)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Read-modify-write hooks.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn locked_read_leaves_issuer_readable() {
+        let rb = Rb::new();
+        assert_eq!(rb.own_locked_read_complete(Some(Invalid)), Readable);
+        assert_eq!(rb.own_locked_read_complete(None), Readable);
+    }
+
+    #[test]
+    fn unlock_write_makes_issuer_local() {
+        let rb = Rb::new();
+        assert_eq!(rb.own_unlock_write_complete(Some(Readable)), Local);
+    }
+
+    #[test]
+    fn snooped_locked_read_broadcasts_like_read() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Invalid, SnoopEvent::LockedRead(w(1))),
+            SnoopOutcome::capture(Readable)
+        );
+    }
+
+    #[test]
+    fn snooped_unlock_write_invalidates_like_write() {
+        let rb = Rb::new();
+        assert_eq!(
+            rb.snoop(Readable, SnoopEvent::UnlockWrite(w(0))),
+            SnoopOutcome::to(Invalid)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction and misc.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn only_local_lines_write_back() {
+        let rb = Rb::new();
+        assert!(rb.writeback_on_evict(Local));
+        assert!(!rb.writeback_on_evict(Readable));
+        assert!(!rb.writeback_on_evict(Invalid));
+    }
+
+    #[test]
+    fn rb_does_not_broadcast_write_data() {
+        assert!(!Rb::new().broadcasts_write_data());
+    }
+
+    #[test]
+    fn state_list_is_three_states() {
+        assert_eq!(Rb::new().states(), vec![Invalid, Readable, Local]);
+        assert_eq!(Rb::new().name(), "RB");
+    }
+
+    #[test]
+    #[should_panic(expected = "RB has no state")]
+    fn foreign_state_panics() {
+        let _ = Rb::new().cpu_read(Some(LineState::Dirty));
+    }
+
+    // ------------------------------------------------------------------
+    // Ablation A3: read broadcast disabled.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn no_broadcast_variant_ignores_foreign_reads() {
+        let rb = Rb::without_read_broadcast();
+        assert!(!rb.read_broadcast());
+        assert_eq!(rb.name(), "RB-no-broadcast");
+        assert_eq!(
+            rb.snoop(Invalid, SnoopEvent::Read(w(5))),
+            SnoopOutcome::unchanged(Invalid)
+        );
+        // All other behaviour is unchanged.
+        assert_eq!(
+            rb.snoop(Readable, SnoopEvent::Write(w(5))),
+            SnoopOutcome::to(Invalid)
+        );
+        assert!(rb.supplies_on_snoop_read(Local));
+    }
+}

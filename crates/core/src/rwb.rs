@@ -1,0 +1,460 @@
+//! The RWB (Read-Write-Broadcast) cache scheme of Section 5 / Figure 5-1.
+
+use crate::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent, SnoopOutcome};
+use LineState::{FirstWrite, Invalid, Local, Readable};
+
+/// The RWB scheme: RB plus **write broadcasting** — "the caches also note
+/// the data part of the bus writes" — a `F`irst-write state, and a bus
+/// invalidate signal (`BI`).
+///
+/// Where RB reverts a datum to the local configuration on the *first*
+/// write, RWB waits for `k` **uninterrupted writes** by the same
+/// processor (footnote 6 of the paper; the expository default is
+/// `k = 2`):
+///
+/// * the first `k - 1` writes are broadcast bus writes; the writer moves
+///   through `F(1) .. F(k-1)` while every other holder *captures the
+///   written data* and sits in `R`;
+/// * the `k`-th uninterrupted write broadcasts `BI`, invalidating all
+///   other copies, and the writer enters `L` — from then on it reads and
+///   writes with no bus traffic;
+/// * any intervening foreign *write* folds the first-writer back to `R`
+///   (capturing the foreign data); foreign bus *reads* leave the
+///   intermediate configuration unchanged ("all other configurations will
+///   be unchanged", Section 5) — the paper deliberately does not treat
+///   a read as breaking the write streak.
+///
+/// With `k = 1` the scheme degenerates to a write-back-invalidate
+/// protocol: every bus-visible write is a `BI` and the writer goes
+/// straight to `L` (memory is updated lazily, by supply or write-back).
+/// This corner is exercised by ablation A1.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, Rwb};
+///
+/// let rwb = Rwb::new(); // k = 2
+/// // Second uninterrupted write confirms locality via BI:
+/// assert_eq!(
+///     rwb.cpu_write(Some(LineState::FirstWrite(1))),
+///     CpuOutcome::Miss { intent: BusIntent::Invalidate }
+/// );
+/// assert_eq!(
+///     rwb.own_complete(Some(LineState::FirstWrite(1)), BusIntent::Invalidate),
+///     LineState::Local
+/// );
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Rwb {
+    k: u8,
+}
+
+impl Rwb {
+    /// The largest supported locality threshold.
+    pub const MAX_K: u8 = 8;
+
+    /// Creates the RWB scheme with the paper's default threshold `k = 2`.
+    pub fn new() -> Self {
+        Rwb { k: 2 }
+    }
+
+    /// Creates the RWB scheme requiring `k` uninterrupted writes before a
+    /// datum is considered local (footnote 6: "straightforward
+    /// modifications are possible if one wishes at least k uninterrupted
+    /// writes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds [`Rwb::MAX_K`].
+    pub fn with_threshold(k: u8) -> Self {
+        assert!(
+            (1..=Self::MAX_K).contains(&k),
+            "threshold k = {k} out of range 1..={}",
+            Self::MAX_K
+        );
+        Rwb { k }
+    }
+
+    /// Returns the locality threshold `k`.
+    pub fn threshold(&self) -> u8 {
+        self.k
+    }
+
+    fn check(&self, state: LineState) -> LineState {
+        match state {
+            Invalid | Readable | Local => state,
+            FirstWrite(c) if c >= 1 && c < self.k => state,
+            _ => panic!("RWB(k={}) has no state {state:?}", self.k),
+        }
+    }
+
+    /// The bus action for a write when `done` uninterrupted writes have
+    /// already happened: broadcast the data unless this write reaches the
+    /// threshold, in which case broadcast `BI`.
+    fn write_intent(&self, done: u8) -> BusIntent {
+        if done + 1 >= self.k {
+            BusIntent::Invalidate
+        } else {
+            BusIntent::Write
+        }
+    }
+}
+
+impl Default for Rwb {
+    fn default() -> Self {
+        Rwb::new()
+    }
+}
+
+impl Protocol for Rwb {
+    fn name(&self) -> String {
+        if self.k == 2 {
+            "RWB".to_owned()
+        } else {
+            format!("RWB(k={})", self.k)
+        }
+    }
+
+    fn states(&self) -> Vec<LineState> {
+        let mut states = vec![Invalid, Readable];
+        states.extend((1..self.k).map(FirstWrite));
+        states.push(Local);
+        states
+    }
+
+    fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            Some(s @ (Readable | Local | FirstWrite(_))) => CpuOutcome::Hit { next: s },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn cpu_write(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            // "Variables are initially assumed to be in the local
+            // configuration and the first write will cause a change to
+            // the shared configuration" — a write miss broadcasts data
+            // (unless k = 1, where it claims locality immediately).
+            None | Some(Invalid) | Some(Readable) => CpuOutcome::Miss {
+                intent: self.write_intent(0),
+            },
+            Some(FirstWrite(c)) => CpuOutcome::Miss {
+                intent: self.write_intent(c),
+            },
+            Some(Local) => CpuOutcome::Hit { next: Local },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn own_complete(&self, state: Option<LineState>, intent: BusIntent) -> LineState {
+        match intent {
+            BusIntent::Read => Readable,
+            BusIntent::Write => match state {
+                Some(FirstWrite(c)) => FirstWrite((c + 1).min(self.k - 1)),
+                _ => FirstWrite(1),
+            },
+            // "A subsequent write by PE_i then confirms the fact that the
+            // variable is to be assumed local. Cache i enters state L."
+            BusIntent::Invalidate => Local,
+        }
+    }
+
+    fn own_locked_read_complete(&self, _state: Option<LineState>) -> LineState {
+        Readable
+    }
+
+    fn own_unlock_write_complete(&self, state: Option<LineState>) -> LineState {
+        if self.k == 1 {
+            Local
+        } else {
+            // "Upon completion of such operations, the RWB scheme will
+            // leave the caches in a shared configuration" — the issuer
+            // holds the first write (Figure 6-3: P2 locks S => F).
+            let _ = state;
+            FirstWrite(1)
+        }
+    }
+
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        match (self.check(state), event) {
+            // Foreign reads: broadcast fills invalid holders; every other
+            // configuration is unchanged (Section 5).
+            (Invalid, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::capture(Readable)
+            }
+            (s @ (Readable | FirstWrite(_)), SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::unchanged(s)
+            }
+            (Local, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                // Only reachable if a read completed against a Local
+                // holder without the supply path; fold to the post-supply
+                // state for totality.
+                SnoopOutcome::capture(Readable)
+            }
+
+            // Foreign writes: "the data written is read by all caches and
+            // they in turn enter state R" — including a first-writer
+            // whose streak is interrupted, and an invalid holder being
+            // refreshed. With k = 1 data writes never reach the bus
+            // except as unlocking writes, which invalidate (the writer
+            // claims immediate locality).
+            (_, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_)) => {
+                if self.k == 1 {
+                    SnoopOutcome::to(Invalid)
+                } else {
+                    SnoopOutcome::capture(Readable)
+                }
+            }
+
+            // The bus invalidate: "causing all other caches to enter
+            // state I".
+            (_, SnoopEvent::Invalidate) => SnoopOutcome::to(Invalid),
+
+            (s, e) => unreachable!("RWB snoop in state {s:?} on {e:?}"),
+        }
+    }
+
+    fn supplies_on_snoop_read(&self, state: LineState) -> bool {
+        self.check(state) == Local
+    }
+
+    fn after_supply(&self, state: LineState) -> LineState {
+        debug_assert_eq!(self.check(state), Local);
+        Readable
+    }
+
+    fn writeback_on_evict(&self, state: LineState) -> bool {
+        // F lines are memory-consistent: every write that created them
+        // was a broadcast bus write. Only L is dirty. This is the source
+        // of the array-initialization win (E11): one bus write per
+        // element instead of RB's write-through plus write-back.
+        self.check(state) == Local
+    }
+
+    fn broadcasts_write_data(&self) -> bool {
+        // With k = 1 every bus-visible write is an invalidate, so no
+        // write data ever crosses the bus to be captured.
+        self.k >= 2
+    }
+
+    fn uses_bus_invalidate(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_mem::Word;
+
+    fn w(v: u64) -> Word {
+        Word::new(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 5-1, edge by edge (k = 2).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fig5_1_first_write_from_shared_broadcasts_data() {
+        let p = Rwb::new();
+        assert_eq!(
+            p.cpu_write(Some(Readable)),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(
+            p.own_complete(Some(Readable), BusIntent::Write),
+            FirstWrite(1)
+        );
+    }
+
+    #[test]
+    fn fig5_1_second_write_confirms_local_via_bi() {
+        let p = Rwb::new();
+        assert_eq!(
+            p.cpu_write(Some(FirstWrite(1))),
+            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+        );
+        assert_eq!(
+            p.own_complete(Some(FirstWrite(1)), BusIntent::Invalidate),
+            Local
+        );
+    }
+
+    #[test]
+    fn fig5_1_write_miss_enters_first_write() {
+        let p = Rwb::new();
+        assert_eq!(
+            p.cpu_write(None),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(p.own_complete(None, BusIntent::Write), FirstWrite(1));
+    }
+
+    #[test]
+    fn fig5_1_reads_in_intermediate_configuration_are_free() {
+        let p = Rwb::new();
+        assert_eq!(
+            p.cpu_read(Some(FirstWrite(1))),
+            CpuOutcome::Hit { next: FirstWrite(1) }
+        );
+        // A foreign read leaves F unchanged: "all other configurations
+        // will be unchanged".
+        assert_eq!(
+            p.snoop(FirstWrite(1), SnoopEvent::Read(w(3))),
+            SnoopOutcome::unchanged(FirstWrite(1))
+        );
+    }
+
+    #[test]
+    fn fig5_1_foreign_write_interrupts_streak_and_captures() {
+        let p = Rwb::new();
+        assert_eq!(
+            p.snoop(FirstWrite(1), SnoopEvent::Write(w(7))),
+            SnoopOutcome::capture(Readable)
+        );
+        assert_eq!(
+            p.snoop(Readable, SnoopEvent::Write(w(7))),
+            SnoopOutcome::capture(Readable)
+        );
+        assert_eq!(
+            p.snoop(Invalid, SnoopEvent::Write(w(7))),
+            SnoopOutcome::capture(Readable)
+        );
+        assert_eq!(
+            p.snoop(Local, SnoopEvent::Write(w(7))),
+            SnoopOutcome::capture(Readable)
+        );
+    }
+
+    #[test]
+    fn fig5_1_bi_invalidates_all_other_holders() {
+        let p = Rwb::new();
+        for s in [Invalid, Readable, FirstWrite(1), Local] {
+            assert_eq!(p.snoop(s, SnoopEvent::Invalidate), SnoopOutcome::to(Invalid));
+        }
+    }
+
+    #[test]
+    fn fig5_1_local_state_matches_rb() {
+        let p = Rwb::new();
+        assert_eq!(p.cpu_read(Some(Local)), CpuOutcome::Hit { next: Local });
+        assert_eq!(p.cpu_write(Some(Local)), CpuOutcome::Hit { next: Local });
+        assert!(p.supplies_on_snoop_read(Local));
+        assert_eq!(p.after_supply(Local), Readable);
+        assert!(p.writeback_on_evict(Local));
+        assert!(!p.writeback_on_evict(FirstWrite(1)));
+        assert!(!p.writeback_on_evict(Readable));
+    }
+
+    #[test]
+    fn fig5_1_read_broadcast_still_fills_invalid_holders() {
+        let p = Rwb::new();
+        assert_eq!(
+            p.snoop(Invalid, SnoopEvent::Read(w(4))),
+            SnoopOutcome::capture(Readable)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Read-modify-write: Figure 6-3 rows.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn successful_ts_leaves_issuer_first_write_and_others_readable() {
+        // Figure 6-3 "P2 locks S": R(1) F(1) R(1).
+        let p = Rwb::new();
+        assert_eq!(p.own_unlock_write_complete(Some(Readable)), FirstWrite(1));
+        assert_eq!(
+            p.snoop(Readable, SnoopEvent::UnlockWrite(w(1))),
+            SnoopOutcome::capture(Readable)
+        );
+    }
+
+    #[test]
+    fn release_from_first_write_goes_local_via_bi() {
+        // Figure 6-3 "P2 releases S": I(-) L(0) I(-): the release write is
+        // the second uninterrupted write by P2.
+        let p = Rwb::new();
+        assert_eq!(
+            p.cpu_write(Some(FirstWrite(1))),
+            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Threshold generality (ablation A1).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn k3_takes_two_broadcast_writes_before_bi() {
+        let p = Rwb::with_threshold(3);
+        assert_eq!(
+            p.cpu_write(Some(Readable)),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(p.own_complete(Some(Readable), BusIntent::Write), FirstWrite(1));
+        assert_eq!(
+            p.cpu_write(Some(FirstWrite(1))),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(
+            p.own_complete(Some(FirstWrite(1)), BusIntent::Write),
+            FirstWrite(2)
+        );
+        assert_eq!(
+            p.cpu_write(Some(FirstWrite(2))),
+            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+        );
+        assert_eq!(p.states(), vec![Invalid, Readable, FirstWrite(1), FirstWrite(2), Local]);
+        assert_eq!(p.name(), "RWB(k=3)");
+    }
+
+    #[test]
+    fn k1_is_write_back_invalidate() {
+        let p = Rwb::with_threshold(1);
+        // Every bus-visible write is an immediate locality claim.
+        assert_eq!(
+            p.cpu_write(Some(Readable)),
+            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+        );
+        assert_eq!(p.own_complete(Some(Readable), BusIntent::Invalidate), Local);
+        assert_eq!(p.own_unlock_write_complete(Some(Readable)), Local);
+        // Snooped unlocking writes invalidate rather than capture.
+        assert_eq!(
+            p.snoop(Readable, SnoopEvent::UnlockWrite(w(1))),
+            SnoopOutcome::to(Invalid)
+        );
+        assert_eq!(p.states(), vec![Invalid, Readable, Local]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_threshold_panics() {
+        let _ = Rwb::with_threshold(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no state")]
+    fn out_of_range_first_write_panics() {
+        let p = Rwb::new(); // k = 2, so F(2) is illegal
+        let _ = p.cpu_read(Some(FirstWrite(2)));
+    }
+
+    #[test]
+    fn default_is_k2() {
+        let p = Rwb::default();
+        assert_eq!(p.threshold(), 2);
+        assert_eq!(p.name(), "RWB");
+        assert!(p.broadcasts_write_data());
+    }
+
+    #[test]
+    fn not_present_equals_invalid() {
+        let p = Rwb::new();
+        assert_eq!(p.cpu_read(None), p.cpu_read(Some(Invalid)));
+        assert_eq!(p.cpu_write(None), p.cpu_write(Some(Invalid)));
+    }
+}

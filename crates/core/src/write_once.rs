@@ -1,0 +1,255 @@
+//! Goodman's write-once scheme [GOO83], the baseline RB/RWB extend.
+
+use crate::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent, SnoopOutcome};
+use LineState::{Dirty, Invalid, Reserved, Valid};
+
+/// Goodman's *write-once* protocol (Goodman, "Using Cache Memory to
+/// Reduce Processor-Memory Traffic", ISCA 1983) — the scheme the paper
+/// explicitly builds on: "Our scheme is in many ways an extension of the
+/// one presented by Goodman ... The Goodman scheme may be classified as
+/// 'event broadcasting', whereas in our proposed schemes events and data
+/// values are broadcast" (Section 1).
+///
+/// Four states per line:
+///
+/// * `Invalid` — not usable;
+/// * `Valid` — consistent with memory, possibly shared;
+/// * `Reserved` (displayed `S`) — written exactly once since load; that
+///   write went through to memory, so memory is current and no other
+///   cache holds a copy;
+/// * `Dirty` — written more than once; memory is stale; this cache must
+///   supply the data on foreign reads and write back on eviction.
+///
+/// Being event-broadcasting, snooping caches **never capture bus data**:
+/// a foreign read fills only the requester, and invalid holders stay
+/// invalid. This is exactly the capability gap the RB read broadcast
+/// closes, and the protocol-comparison experiment (E13) measures it.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{CpuOutcome, LineState, Protocol, WriteOnce};
+///
+/// let wo = WriteOnce::new();
+/// // Second write to the same line stays in the cache (write-back):
+/// assert_eq!(
+///     wo.cpu_write(Some(LineState::Reserved)),
+///     CpuOutcome::Hit { next: LineState::Dirty }
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOnce;
+
+impl WriteOnce {
+    /// Creates the write-once protocol.
+    pub fn new() -> Self {
+        WriteOnce
+    }
+
+    fn check(&self, state: LineState) -> LineState {
+        assert!(
+            matches!(state, Invalid | Valid | Reserved | Dirty),
+            "write-once has no state {state:?}"
+        );
+        state
+    }
+}
+
+impl Protocol for WriteOnce {
+    fn name(&self) -> String {
+        "write-once".to_owned()
+    }
+
+    fn states(&self) -> Vec<LineState> {
+        vec![Invalid, Valid, Reserved, Dirty]
+    }
+
+    fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            Some(s @ (Valid | Reserved | Dirty)) => CpuOutcome::Hit { next: s },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn cpu_write(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            // The first write is written through (the "write once"),
+            // announcing the write so other copies invalidate. A write
+            // miss allocates via the same write-through (sound with
+            // one-word blocks: the whole block is overwritten).
+            None | Some(Invalid) | Some(Valid) => CpuOutcome::Miss { intent: BusIntent::Write },
+            // Subsequent writes stay in the cache.
+            Some(Reserved | Dirty) => CpuOutcome::Hit { next: Dirty },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn own_complete(&self, _state: Option<LineState>, intent: BusIntent) -> LineState {
+        match intent {
+            BusIntent::Read => Valid,
+            BusIntent::Write => Reserved,
+            BusIntent::Invalidate => unreachable!("write-once never issues a bus invalidate"),
+        }
+    }
+
+    fn own_locked_read_complete(&self, _state: Option<LineState>) -> LineState {
+        Valid
+    }
+
+    fn own_unlock_write_complete(&self, _state: Option<LineState>) -> LineState {
+        // The unlocking write went through to memory: one write since
+        // load, i.e. Reserved.
+        Reserved
+    }
+
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        match (self.check(state), event) {
+            // Event broadcasting only: no data capture, ever.
+            (Invalid, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::unchanged(Invalid)
+            }
+            (Valid, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::unchanged(Valid)
+            }
+            // A foreign read of a Reserved line means another cache now
+            // holds a copy; a later silent Reserved->Dirty write would
+            // leave that copy stale, so demote to Valid.
+            (Reserved, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
+                SnoopOutcome::to(Valid)
+            }
+            // The Dirty holder supplies the data via the interrupt path
+            // and lands in Valid; this arm keeps the function total.
+            (Dirty, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => SnoopOutcome::to(Valid),
+
+            // Any foreign write invalidates.
+            (_, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_) | SnoopEvent::Invalidate) => {
+                SnoopOutcome::to(Invalid)
+            }
+
+            (s, e) => unreachable!("write-once snoop in state {s:?} on {e:?}"),
+        }
+    }
+
+    fn supplies_on_snoop_read(&self, state: LineState) -> bool {
+        self.check(state) == Dirty
+    }
+
+    fn after_supply(&self, state: LineState) -> LineState {
+        debug_assert_eq!(self.check(state), Dirty);
+        Valid
+    }
+
+    fn writeback_on_evict(&self, state: LineState) -> bool {
+        self.check(state) == Dirty
+    }
+
+    fn broadcasts_write_data(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_mem::Word;
+
+    fn w(v: u64) -> Word {
+        Word::new(v)
+    }
+
+    #[test]
+    fn read_miss_fills_only_requester() {
+        let p = WriteOnce::new();
+        assert_eq!(
+            p.cpu_read(None),
+            CpuOutcome::Miss { intent: BusIntent::Read }
+        );
+        assert_eq!(p.own_complete(None, BusIntent::Read), Valid);
+        // The defining gap vs RB: an invalid holder does NOT capture.
+        assert_eq!(
+            p.snoop(Invalid, SnoopEvent::Read(w(5))),
+            SnoopOutcome::unchanged(Invalid)
+        );
+    }
+
+    #[test]
+    fn first_write_goes_through_to_reserved() {
+        let p = WriteOnce::new();
+        assert_eq!(
+            p.cpu_write(Some(Valid)),
+            CpuOutcome::Miss { intent: BusIntent::Write }
+        );
+        assert_eq!(p.own_complete(Some(Valid), BusIntent::Write), Reserved);
+    }
+
+    #[test]
+    fn second_write_is_silent_and_dirty() {
+        let p = WriteOnce::new();
+        assert_eq!(
+            p.cpu_write(Some(Reserved)),
+            CpuOutcome::Hit { next: Dirty }
+        );
+        assert_eq!(p.cpu_write(Some(Dirty)), CpuOutcome::Hit { next: Dirty });
+    }
+
+    #[test]
+    fn dirty_holder_supplies_and_demotes() {
+        let p = WriteOnce::new();
+        assert!(p.supplies_on_snoop_read(Dirty));
+        assert!(!p.supplies_on_snoop_read(Reserved));
+        assert!(!p.supplies_on_snoop_read(Valid));
+        assert_eq!(p.after_supply(Dirty), Valid);
+    }
+
+    #[test]
+    fn reserved_demotes_on_foreign_read() {
+        let p = WriteOnce::new();
+        assert_eq!(
+            p.snoop(Reserved, SnoopEvent::Read(w(1))),
+            SnoopOutcome::to(Valid)
+        );
+    }
+
+    #[test]
+    fn foreign_writes_invalidate_every_state() {
+        let p = WriteOnce::new();
+        for s in [Invalid, Valid, Reserved, Dirty] {
+            assert_eq!(p.snoop(s, SnoopEvent::Write(w(9))), SnoopOutcome::to(Invalid));
+            assert_eq!(
+                p.snoop(s, SnoopEvent::UnlockWrite(w(9))),
+                SnoopOutcome::to(Invalid)
+            );
+        }
+    }
+
+    #[test]
+    fn only_dirty_writes_back() {
+        let p = WriteOnce::new();
+        assert!(p.writeback_on_evict(Dirty));
+        assert!(!p.writeback_on_evict(Reserved));
+        assert!(!p.writeback_on_evict(Valid));
+        assert!(!p.writeback_on_evict(Invalid));
+    }
+
+    #[test]
+    fn rmw_hooks() {
+        let p = WriteOnce::new();
+        assert_eq!(p.own_locked_read_complete(None), Valid);
+        assert_eq!(p.own_unlock_write_complete(Some(Valid)), Reserved);
+    }
+
+    #[test]
+    fn identity() {
+        let p = WriteOnce::new();
+        assert_eq!(p.name(), "write-once");
+        assert_eq!(p.states(), vec![Invalid, Valid, Reserved, Dirty]);
+        assert!(!p.broadcasts_write_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "write-once has no state")]
+    fn foreign_state_panics() {
+        let _ = WriteOnce::new().cpu_read(Some(LineState::Local));
+    }
+}

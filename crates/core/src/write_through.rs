@@ -1,0 +1,172 @@
+//! Plain write-through-invalidate, the simplest consistent baseline.
+
+use crate::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent, SnoopOutcome};
+use LineState::{Invalid, Valid};
+
+/// Write-through-with-invalidation: two states, every write goes to the
+/// bus, and snooped writes invalidate.
+///
+/// This is the behaviour of the Cm* emulation cache generalized to cache
+/// shared data too — the natural "do nothing clever" baseline against
+/// which the paper's dynamic classification shows its value: every write
+/// to a local variable still costs a bus cycle, which is exactly the
+/// constant "Local Writes" miss column of Table 1-1.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, WriteThrough};
+///
+/// let wt = WriteThrough::new();
+/// // Even a write to a valid line pays a bus write:
+/// assert_eq!(
+///     wt.cpu_write(Some(LineState::Valid)),
+///     CpuOutcome::Miss { intent: BusIntent::Write }
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteThrough;
+
+impl WriteThrough {
+    /// Creates the write-through protocol.
+    pub fn new() -> Self {
+        WriteThrough
+    }
+
+    fn check(&self, state: LineState) -> LineState {
+        assert!(
+            matches!(state, Invalid | Valid),
+            "write-through has no state {state:?}"
+        );
+        state
+    }
+}
+
+impl Protocol for WriteThrough {
+    fn name(&self) -> String {
+        "write-through".to_owned()
+    }
+
+    fn states(&self) -> Vec<LineState> {
+        vec![Invalid, Valid]
+    }
+
+    fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
+        match state.map(|s| self.check(s)) {
+            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            Some(Valid) => CpuOutcome::Hit { next: Valid },
+            Some(_) => unreachable!(),
+        }
+    }
+
+    fn cpu_write(&self, _state: Option<LineState>) -> CpuOutcome {
+        // Every write is written through, hit or miss.
+        CpuOutcome::Miss { intent: BusIntent::Write }
+    }
+
+    fn own_complete(&self, _state: Option<LineState>, intent: BusIntent) -> LineState {
+        match intent {
+            BusIntent::Read | BusIntent::Write => Valid,
+            BusIntent::Invalidate => unreachable!("write-through never issues a bus invalidate"),
+        }
+    }
+
+    fn own_locked_read_complete(&self, _state: Option<LineState>) -> LineState {
+        Valid
+    }
+
+    fn own_unlock_write_complete(&self, _state: Option<LineState>) -> LineState {
+        Valid
+    }
+
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        match (self.check(state), event) {
+            (s, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => SnoopOutcome::unchanged(s),
+            (_, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_) | SnoopEvent::Invalidate) => {
+                SnoopOutcome::to(Invalid)
+            }
+        }
+    }
+
+    fn supplies_on_snoop_read(&self, _state: LineState) -> bool {
+        // Memory is always current under write-through.
+        false
+    }
+
+    fn after_supply(&self, state: LineState) -> LineState {
+        unreachable!("write-through never supplies (asked in state {state:?})")
+    }
+
+    fn writeback_on_evict(&self, _state: LineState) -> bool {
+        false
+    }
+
+    fn broadcasts_write_data(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_mem::Word;
+
+    #[test]
+    fn reads_hit_when_valid() {
+        let p = WriteThrough::new();
+        assert_eq!(p.cpu_read(Some(Valid)), CpuOutcome::Hit { next: Valid });
+        assert_eq!(
+            p.cpu_read(Some(Invalid)),
+            CpuOutcome::Miss { intent: BusIntent::Read }
+        );
+        assert_eq!(p.cpu_read(None), p.cpu_read(Some(Invalid)));
+    }
+
+    #[test]
+    fn every_write_reaches_the_bus() {
+        let p = WriteThrough::new();
+        for s in [None, Some(Invalid), Some(Valid)] {
+            assert_eq!(p.cpu_write(s), CpuOutcome::Miss { intent: BusIntent::Write });
+        }
+        assert_eq!(p.own_complete(Some(Valid), BusIntent::Write), Valid);
+    }
+
+    #[test]
+    fn foreign_writes_invalidate() {
+        let p = WriteThrough::new();
+        assert_eq!(
+            p.snoop(Valid, SnoopEvent::Write(Word::ONE)),
+            SnoopOutcome::to(Invalid)
+        );
+        assert_eq!(
+            p.snoop(Valid, SnoopEvent::Read(Word::ONE)),
+            SnoopOutcome::unchanged(Valid)
+        );
+        // No read broadcast: invalid holders stay invalid.
+        assert_eq!(
+            p.snoop(Invalid, SnoopEvent::Read(Word::ONE)),
+            SnoopOutcome::unchanged(Invalid)
+        );
+    }
+
+    #[test]
+    fn never_supplies_never_writes_back() {
+        let p = WriteThrough::new();
+        assert!(!p.supplies_on_snoop_read(Valid));
+        assert!(!p.writeback_on_evict(Valid));
+        assert!(!p.broadcasts_write_data());
+    }
+
+    #[test]
+    fn identity() {
+        let p = WriteThrough::new();
+        assert_eq!(p.name(), "write-through");
+        assert_eq!(p.states(), vec![Invalid, Valid]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-through has no state")]
+    fn foreign_state_panics() {
+        let _ = WriteThrough::new().cpu_read(Some(LineState::Local));
+    }
+}

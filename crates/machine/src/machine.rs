@@ -1,0 +1,686 @@
+//! The cycle-based shared-bus MIMD machine.
+
+use crate::status::{PeStatus, Pending};
+use crate::{MachineStats, MemOp, OpResult, Processor, Snapshot, Trace, TraceEvent, TraceKind};
+use decache_bus::{
+    Arbiter, BusOp, BusOpKind, BusQueue, BusTransaction, MultiBusStats, Routing, TrafficStats,
+};
+use decache_cache::{AccessKind, CacheStats, TagStore};
+use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent};
+use decache_mem::{Addr, MemError, Memory, PeId, Word};
+use std::sync::Arc;
+
+/// The simulated machine: `n` processing elements with private snooping
+/// caches, one or more shared buses, and a common memory.
+///
+/// The temporal contract follows the paper's assumptions (Section 2):
+/// each bus cycle, (1) every idle PE may issue one memory operation to
+/// its cache — hits complete immediately, misses enqueue a bus request
+/// and stall the PE; (2) each bus grants one transaction; (3) every cache
+/// snoops the granted transaction in the same cycle; (4) a cache holding
+/// the target in the `L` state interrupts a foreign bus read, the cycle
+/// carries that cache's bus write instead, and the read retries next
+/// cycle.
+///
+/// Construct machines with [`MachineBuilder`](crate::MachineBuilder).
+///
+/// # Accounting shortcuts (documented deviations)
+///
+/// * Eviction write-backs complete synchronously with the miss that
+///   caused them, but are charged one bus-write transaction on the
+///   evicted address's bus — "miss plus write-back costs two
+///   transactions" without modelling a two-transaction controller queue.
+/// * A transaction rejected by a memory lock (a write, or a locked read,
+///   hitting a word locked by another PE's Test-and-Set) consumes its
+///   bus cycle and is requeued through arbitration — "any bus writes
+///   before the unlock will fail" (Section 3).
+pub struct Machine {
+    protocol: Arc<dyn Protocol>,
+    routing: Routing,
+    memory: Memory,
+    caches: Vec<TagStore<LineState>>,
+    processors: Vec<Box<dyn Processor + Send>>,
+    statuses: Vec<PeStatus>,
+    last_results: Vec<Option<OpResult>>,
+    queues: Vec<BusQueue>,
+    arbiters: Vec<Box<dyn Arbiter>>,
+    traffic: MultiBusStats,
+    cache_stats: Vec<CacheStats>,
+    stats: MachineStats,
+    cycle: u64,
+    /// Bus cycles each transaction occupies (1 = the paper's model;
+    /// larger values model memory slower than the caches).
+    transaction_cycles: u64,
+    /// Per-bus cycle number until which the bus is still occupied.
+    bus_free_at: Vec<u64>,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("protocol", &self.protocol.name())
+            .field("pes", &self.processors.len())
+            .field("buses", &self.routing.bus_count())
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        protocol: Arc<dyn Protocol>,
+        routing: Routing,
+        memory: Memory,
+        caches: Vec<TagStore<LineState>>,
+        processors: Vec<Box<dyn Processor + Send>>,
+        arbiters: Vec<Box<dyn Arbiter>>,
+        transaction_cycles: u64,
+        trace: Trace,
+    ) -> Self {
+        let n = processors.len();
+        let buses = routing.bus_count();
+        assert_eq!(arbiters.len(), buses, "one arbiter per bus");
+        assert_eq!(caches.len(), n, "one cache per processor");
+        assert!(transaction_cycles >= 1, "transactions take at least one cycle");
+        Machine {
+            protocol,
+            routing,
+            memory,
+            caches,
+            statuses: vec![PeStatus::Idle; n],
+            last_results: vec![None; n],
+            processors,
+            queues: (0..buses).map(|_| BusQueue::new()).collect(),
+            arbiters,
+            traffic: MultiBusStats::new(buses),
+            cache_stats: vec![CacheStats::new(); n],
+            stats: MachineStats::default(),
+            cycle: 0,
+            transaction_cycles,
+            bus_free_at: vec![0; buses],
+            trace,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation API
+    // ------------------------------------------------------------------
+
+    /// The number of processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// The coherence protocol in use.
+    pub fn protocol(&self) -> &dyn Protocol {
+        self.protocol.as_ref()
+    }
+
+    /// The bus routing (single, interleaved, or hierarchical).
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// The number of shared buses.
+    pub fn bus_count(&self) -> usize {
+        self.routing.bus_count()
+    }
+
+    /// The shared memory (read-only view; use [`Memory::peek`]).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable memory access for fault injection and recovery (the
+    /// Section 8 reliability extension in the `recovery` module).
+    pub(crate) fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Mutable cache access for fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub(crate) fn cache_mut(&mut self, pe: usize) -> &mut TagStore<LineState> {
+        &mut self.caches[pe]
+    }
+
+    /// The number of bus cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Returns `true` once every processor has finished and no bus
+    /// requests remain.
+    pub fn is_done(&self) -> bool {
+        self.statuses.iter().all(|s| *s == PeStatus::Done)
+            && self.queues.iter().all(BusQueue::is_empty)
+    }
+
+    /// Returns `true` when no PE is stalled and no bus requests remain —
+    /// every processor is either finished or idle (e.g. a conducted
+    /// scenario program returning [`Poll::Wait`](crate::Poll::Wait)).
+    pub fn is_quiescent(&self) -> bool {
+        self.statuses
+            .iter()
+            .all(|s| matches!(s, PeStatus::Idle | PeStatus::Done))
+            && self.queues.iter().all(BusQueue::is_empty)
+    }
+
+    /// Steps at least once, then until the machine is quiescent; returns
+    /// `true` on quiescence within `max_cycles`.
+    ///
+    /// Used by conducted scenarios: after handing an operation to a
+    /// waiting processor, run until it (and everything it perturbed)
+    /// settles.
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            self.step();
+            if self.is_quiescent() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The cache line (state and value) PE `pe` holds for `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= self.pe_count()`.
+    pub fn cache_line(&self, pe: usize, addr: Addr) -> Option<(LineState, Word)> {
+        self.caches[pe].get(addr).map(|e| (e.state, e.data))
+    }
+
+    /// Snapshot of every cache's view of `addr` plus the memory value —
+    /// one row of the synchronization figures.
+    pub fn snapshot(&self, addr: Addr) -> Snapshot {
+        let lines = (0..self.pe_count())
+            .map(|pe| self.cache_line(pe, addr))
+            .collect();
+        Snapshot::new(lines, self.memory.peek(addr).unwrap_or(Word::ZERO))
+    }
+
+    /// Aggregate bus traffic across all buses.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic.total()
+    }
+
+    /// Per-bus traffic (Figure 7-1 accounting).
+    pub fn traffic_per_bus(&self) -> &MultiBusStats {
+        &self.traffic
+    }
+
+    /// Per-PE cache statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= self.pe_count()`.
+    pub fn cache_stats(&self, pe: usize) -> CacheStats {
+        self.cache_stats[pe]
+    }
+
+    /// Cache statistics summed over all PEs.
+    pub fn total_cache_stats(&self) -> CacheStats {
+        self.cache_stats
+            .iter()
+            .copied()
+            .fold(CacheStats::new(), |acc, s| acc + s)
+    }
+
+    /// Machine-level counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Resets every statistic (bus traffic, cache hit/miss counters,
+    /// machine counters) without touching the architectural state —
+    /// caches, memory, and in-flight work are preserved. Use to discard
+    /// warm-up transients before a measurement window.
+    pub fn reset_stats(&mut self) {
+        self.traffic = MultiBusStats::new(self.routing.bus_count());
+        for s in &mut self.cache_stats {
+            *s = CacheStats::new();
+        }
+        self.stats = MachineStats::default();
+    }
+
+    /// The event trace (empty unless enabled at build time).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.events()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Advances the machine by one bus cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.issue_phase();
+        self.bus_phase();
+    }
+
+    /// Runs until done or `max_cycles` elapse; returns `true` if done.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_done() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_done()
+    }
+
+    /// Runs to completion and returns the elapsed cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not done after `max_cycles` — programs
+    /// that spin forever (e.g. a lock never released) exceed any budget.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
+        assert!(
+            self.run(max_cycles),
+            "machine not done after {max_cycles} cycles (protocol {}, {} PEs)",
+            self.protocol.name(),
+            self.pe_count()
+        );
+        self.cycle
+    }
+
+    fn record(&mut self, kind: TraceKind, pe: Option<PeId>, text: impl FnOnce() -> String) {
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent { cycle: self.cycle, kind, pe, text: text() });
+        }
+    }
+
+    fn line_state(&self, pe: usize, addr: Addr) -> Option<LineState> {
+        self.caches[pe].get(addr).map(|e| e.state)
+    }
+
+    // ----- issue phase ------------------------------------------------
+
+    fn issue_phase(&mut self) {
+        for pe in 0..self.pe_count() {
+            if self.statuses[pe] != PeStatus::Idle {
+                continue;
+            }
+            let last = self.last_results[pe].take();
+            match self.processors[pe].next_op(last.as_ref()) {
+                crate::Poll::Halt => self.statuses[pe] = PeStatus::Done,
+                crate::Poll::Wait => {}
+                crate::Poll::Op(op) => self.start_op(pe, op),
+            }
+        }
+    }
+
+    fn start_op(&mut self, pe: usize, op: MemOp) {
+        use crate::Access;
+        let pe_id = PeId::new(pe as u16);
+        self.record(TraceKind::Issue, Some(pe_id), || op.to_string());
+        match op.access {
+            Access::Read(addr) => {
+                match self.protocol.cpu_read(self.line_state(pe, addr)) {
+                    CpuOutcome::Hit { next } => {
+                        let entry = self.caches[pe]
+                            .get_mut(addr)
+                            .expect("hit requires a held line");
+                        entry.state = next;
+                        let value = entry.data;
+                        self.cache_stats[pe].record(AccessKind::Read, op.class, true);
+                        self.last_results[pe] = Some(OpResult::Read(value));
+                        self.record(TraceKind::Hit, Some(pe_id), || format!("read {addr} = {value}"));
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
+                        self.cache_stats[pe].record(AccessKind::Read, op.class, false);
+                        self.enqueue(pe_id, addr, BusOp::Read);
+                        self.statuses[pe] =
+                            PeStatus::WaitBus(Pending::Read { addr, class: op.class });
+                    }
+                }
+            }
+            Access::Write(addr, value) => {
+                match self.protocol.cpu_write(self.line_state(pe, addr)) {
+                    CpuOutcome::Hit { next } => {
+                        let entry = self.caches[pe]
+                            .get_mut(addr)
+                            .expect("hit requires a held line");
+                        entry.state = next;
+                        entry.data = value;
+                        self.cache_stats[pe].record(AccessKind::Write, op.class, true);
+                        self.last_results[pe] = Some(OpResult::Write);
+                        self.record(TraceKind::Hit, Some(pe_id), || {
+                            format!("write {addr} <- {value}")
+                        });
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        let bus_op = match intent {
+                            BusIntent::Write => BusOp::Write(value),
+                            BusIntent::Invalidate => BusOp::Invalidate,
+                            BusIntent::Read => {
+                                unreachable!("{} asked to read on a write", self.protocol.name())
+                            }
+                        };
+                        self.cache_stats[pe].record(AccessKind::Write, op.class, false);
+                        self.enqueue(pe_id, addr, bus_op);
+                        self.statuses[pe] =
+                            PeStatus::WaitBus(Pending::Write { addr, value, class: op.class });
+                    }
+                }
+            }
+            Access::TestAndSet(addr, set_to) => {
+                // "The initial read-with-lock does not reference the value
+                // in the cache" — always a bus operation.
+                self.enqueue(pe_id, addr, BusOp::ReadWithLock);
+                self.statuses[pe] =
+                    PeStatus::WaitBus(Pending::LockedRead { addr, set_to, class: op.class });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, pe: PeId, addr: Addr, op: BusOp) {
+        let bus = self.routing.bus_of(addr);
+        assert!(
+            self.routing.is_attached(pe.index(), bus, self.pe_count()),
+            "{pe} is not attached to the bus serving {addr} (workload violates the              hierarchy's region discipline)"
+        );
+        self.queues[bus]
+            .request(BusTransaction::new(pe, addr, op))
+            .expect("a stalled PE cannot issue a second request");
+    }
+
+    // ----- bus phase ----------------------------------------------------
+
+    fn bus_phase(&mut self) {
+        for bus in 0..self.routing.bus_count() {
+            // A multi-cycle transaction holds the bus; nothing else is
+            // granted until it completes ("the bus cycle time is no
+            // faster than the cache cycle time" generalized to slow
+            // memory).
+            if self.cycle < self.bus_free_at[bus] {
+                self.traffic.bus_mut(bus).record_occupied();
+                continue;
+            }
+            match self.queues[bus].grant(self.arbiters[bus].as_mut()) {
+                None => self.traffic.bus_mut(bus).record_idle(),
+                Some(tx) => {
+                    self.record(TraceKind::Grant, Some(tx.initiator), || tx.to_string());
+                    if self.transaction_cycles > 1 {
+                        self.bus_free_at[bus] = self.cycle + self.transaction_cycles;
+                    }
+                    self.execute(bus, tx);
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, bus: usize, tx: BusTransaction) {
+        match tx.op {
+            BusOp::Read | BusOp::ReadWithLock => self.execute_read(bus, tx),
+            BusOp::Write(v) => self.execute_write(bus, tx, v, false),
+            BusOp::WriteWithUnlock(v) => self.execute_write(bus, tx, v, true),
+            BusOp::Invalidate => self.execute_invalidate(bus, tx),
+        }
+    }
+
+    /// Finds the cache that must interrupt a read of `addr` and supply
+    /// its data.
+    ///
+    /// The initiator's own cache is included: a plain read never reaches
+    /// the bus while its own line owns the latest value (that is a cache
+    /// hit), but a *locked* read bypasses the cache ("the initial
+    /// read-with-lock does not reference the value in the cache"), so an
+    /// issuer that holds the line Local must first flush its value to
+    /// memory exactly like any other supplier — otherwise the locked
+    /// read would observe stale memory.
+    fn find_supplier(&self, addr: Addr) -> Option<usize> {
+        let bus = self.routing.bus_of(addr);
+        (0..self.pe_count()).find(|&pe| {
+            self.routing.is_attached(pe, bus, self.pe_count())
+                && self
+                    .line_state(pe, addr)
+                    .is_some_and(|s| self.protocol.supplies_on_snoop_read(s))
+        })
+    }
+
+    fn execute_read(&mut self, bus: usize, tx: BusTransaction) {
+        let addr = tx.addr;
+        let locked = matches!(tx.op, BusOp::ReadWithLock);
+
+        // Interrupt path: an owning cache kills the read and substitutes
+        // its own bus write; the read retries next cycle (Section 3).
+        if let Some(supplier) = self.find_supplier(addr) {
+            let data = self.caches[supplier]
+                .get(addr)
+                .expect("supplier holds the line")
+                .data;
+            self.memory.write(addr, data).expect("supplier write-back in range");
+            let supplier_id = PeId::new(supplier as u16);
+            self.record(TraceKind::Abort, Some(supplier_id), || {
+                format!("interrupt {} and supply {addr} = {data}", tx.op)
+            });
+            {
+                let entry = self.caches[supplier].get_mut(addr).expect("supplier holds the line");
+                entry.state = self.protocol.after_supply(entry.state);
+            }
+            let t = self.traffic.bus_mut(bus);
+            t.record_abort();
+            t.record(BusOpKind::Write);
+            // The substituted write is snooped like any bus write.
+            self.dispatch_snoop(addr, SnoopEvent::Write(data), &[supplier, tx.initiator.index()]);
+            self.traffic.bus_mut(bus).record_retry();
+            self.queues[bus].push_retry(tx);
+            self.satisfy_pending_reads(addr);
+            return;
+        }
+
+        // Memory supplies the value.
+        let value = if locked {
+            match self.memory.read_with_lock(addr, tx.initiator) {
+                Ok(v) => v,
+                Err(MemError::Locked { .. }) => {
+                    // The word is locked mid-Test-and-Set by another PE:
+                    // the attempt burns the cycle and rearbitrates.
+                    self.stats.lock_rejections += 1;
+                    self.traffic.bus_mut(bus).record(BusOpKind::ReadWithLock);
+                    self.record(TraceKind::LockRejected, Some(tx.initiator), || tx.to_string());
+                    self.queues[bus].request(tx).expect("requeue after grant");
+                    return;
+                }
+                Err(e) => panic!("locked read failed: {e}"),
+            }
+        } else {
+            self.memory.read(addr).expect("bus read in range")
+        };
+        self.traffic.bus_mut(bus).record(if locked {
+            BusOpKind::ReadWithLock
+        } else {
+            BusOpKind::Read
+        });
+
+        // Broadcast: every other holder snoops the returned value.
+        let event = if locked { SnoopEvent::LockedRead(value) } else { SnoopEvent::Read(value) };
+        self.dispatch_snoop(addr, event, &[tx.initiator.index()]);
+
+        // The initiator's own line fills.
+        let pe = tx.initiator.index();
+        let prior = self.line_state(pe, addr);
+        let next = if locked {
+            self.protocol.own_locked_read_complete(prior)
+        } else {
+            self.protocol.own_complete(prior, BusIntent::Read)
+        };
+        self.install(pe, addr, next, value);
+
+        // Deliver to the stalled PE.
+        match self.statuses[pe] {
+            PeStatus::WaitBus(Pending::Read { class: _, .. }) => {
+                self.finish(pe, OpResult::Read(value));
+            }
+            PeStatus::WaitBus(Pending::LockedRead { set_to, class, .. }) => {
+                if value.is_zero() {
+                    // Test succeeded: proceed to the unlocking write.
+                    self.enqueue(tx.initiator, addr, BusOp::WriteWithUnlock(set_to));
+                    self.statuses[pe] =
+                        PeStatus::WaitBus(Pending::UnlockWrite { addr, old: value, class });
+                } else {
+                    // Failed Test-and-Set: "treated as a non-cachable
+                    // read" — release the lock without writing.
+                    self.memory
+                        .release_lock(addr, tx.initiator)
+                        .expect("failing TS holds the lock it releases");
+                    self.stats.ts_failures += 1;
+                    self.cache_stats[pe].record(AccessKind::Read, class, false);
+                    self.finish(pe, OpResult::TestAndSet { old: value, acquired: false });
+                }
+            }
+            other => panic!("read completion for PE in state {other:?}"),
+        }
+
+        self.satisfy_pending_reads(addr);
+    }
+
+    fn execute_write(&mut self, bus: usize, tx: BusTransaction, value: Word, unlock: bool) {
+        let addr = tx.addr;
+        if unlock {
+            self.memory
+                .write_with_unlock(addr, value, tx.initiator)
+                .expect("unlocking write holds the lock");
+            self.traffic.bus_mut(bus).record(BusOpKind::WriteWithUnlock);
+        } else {
+            match self.memory.write_checked(addr, value, tx.initiator) {
+                Ok(()) => self.traffic.bus_mut(bus).record(BusOpKind::Write),
+                Err(MemError::Locked { .. }) => {
+                    // "Any bus writes before the unlock will fail."
+                    self.stats.lock_rejections += 1;
+                    self.traffic.bus_mut(bus).record(BusOpKind::Write);
+                    self.record(TraceKind::LockRejected, Some(tx.initiator), || tx.to_string());
+                    self.queues[bus].request(tx).expect("requeue after grant");
+                    return;
+                }
+                Err(e) => panic!("bus write failed: {e}"),
+            }
+        }
+
+        let event =
+            if unlock { SnoopEvent::UnlockWrite(value) } else { SnoopEvent::Write(value) };
+        self.dispatch_snoop(addr, event, &[tx.initiator.index()]);
+
+        let pe = tx.initiator.index();
+        let prior = self.line_state(pe, addr);
+        let next = if unlock {
+            self.protocol.own_unlock_write_complete(prior)
+        } else {
+            self.protocol.own_complete(prior, BusIntent::Write)
+        };
+        self.install(pe, addr, next, value);
+
+        match self.statuses[pe] {
+            PeStatus::WaitBus(Pending::Write { .. }) => {
+                self.finish(pe, OpResult::Write);
+            }
+            PeStatus::WaitBus(Pending::UnlockWrite { old, class, .. }) => {
+                self.stats.ts_successes += 1;
+                self.cache_stats[pe].record(AccessKind::Write, class, false);
+                self.finish(pe, OpResult::TestAndSet { old, acquired: true });
+            }
+            other => panic!("write completion for PE in state {other:?}"),
+        }
+
+        self.satisfy_pending_reads(addr);
+    }
+
+    fn execute_invalidate(&mut self, bus: usize, tx: BusTransaction) {
+        let addr = tx.addr;
+        self.traffic.bus_mut(bus).record(BusOpKind::Invalidate);
+        self.dispatch_snoop(addr, SnoopEvent::Invalidate, &[tx.initiator.index()]);
+
+        let pe = tx.initiator.index();
+        let prior = self.line_state(pe, addr);
+        let next = self.protocol.own_complete(prior, BusIntent::Invalidate);
+        // The invalidate carries no bus payload; the CPU value travels on
+        // the pending record.
+        let value = match self.statuses[pe] {
+            PeStatus::WaitBus(Pending::Write { value, .. }) => value,
+            ref other => panic!("invalidate completion for PE in state {other:?}"),
+        };
+        self.install(pe, addr, next, value);
+
+        self.finish(pe, OpResult::Write);
+    }
+
+    fn finish(&mut self, pe: usize, result: OpResult) {
+        self.record(TraceKind::Complete, Some(PeId::new(pe as u16)), || result.to_string());
+        self.statuses[pe] = PeStatus::Idle;
+        self.last_results[pe] = Some(result);
+    }
+
+    /// Dispatches a snoop event to every cache holding `addr` except
+    /// those in `skip` (the initiator, and the supplier on the abort
+    /// path).
+    fn dispatch_snoop(&mut self, addr: Addr, event: SnoopEvent, skip: &[usize]) {
+        let bus = self.routing.bus_of(addr);
+        let n = self.pe_count();
+        for pe in 0..n {
+            if skip.contains(&pe) || !self.routing.is_attached(pe, bus, n) {
+                continue;
+            }
+            if let Some(entry) = self.caches[pe].get_mut(addr) {
+                let out = self.protocol.snoop(entry.state, event);
+                entry.state = out.next;
+                if out.capture {
+                    if let Some(word) = event.word() {
+                        entry.data = word;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs a line after a completed bus transaction, handling the
+    /// eviction write-back shortcut.
+    fn install(&mut self, pe: usize, addr: Addr, state: LineState, data: Word) {
+        if let Some(evicted) = self.caches[pe].insert(addr, state, data) {
+            if self.protocol.writeback_on_evict(evicted.state) {
+                self.memory
+                    .write(evicted.addr, evicted.data)
+                    .expect("write-back in range");
+                let bus = self.routing.bus_of(evicted.addr);
+                self.traffic.bus_mut(bus).record(BusOpKind::Write);
+                self.stats.writebacks += 1;
+                self.record(TraceKind::Writeback, Some(PeId::new(pe as u16)), || {
+                    format!("write back {} = {}", evicted.addr, evicted.data)
+                });
+            }
+        }
+    }
+
+    /// Completes stalled plain reads whose cache line just became
+    /// readable by snooping a broadcast, cancelling their bus requests.
+    fn satisfy_pending_reads(&mut self, addr: Addr) {
+        for pe in 0..self.pe_count() {
+            let PeStatus::WaitBus(Pending::Read { addr: want, .. }) = self.statuses[pe] else {
+                continue;
+            };
+            if want != addr {
+                continue;
+            }
+            let Some(entry) = self.caches[pe].get(addr) else { continue };
+            if !entry.state.is_readable_locally() {
+                continue;
+            }
+            let value = entry.data;
+            let bus = self.routing.bus_of(addr);
+            self.queues[bus].cancel(PeId::new(pe as u16));
+            self.stats.broadcast_satisfied += 1;
+            self.record(TraceKind::BroadcastSatisfied, Some(PeId::new(pe as u16)), || {
+                format!("read {addr} = {value} from broadcast")
+            });
+            self.finish(pe, OpResult::Read(value));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Memory reliability through cache replication — the paper's Section 8
+//! future-work item, implemented.
+//!
+//! "The second [research direction] is the exploitation of replicated
+//! values in the various caches to improve the reliability of the
+//! memory" (Section 8), anticipated in Section 5: "if the value of a
+//! variable is corrupted while in memory or in some cache, there is a
+//! higher probability that some cache contains a correct copy" under
+//! RWB, whose write broadcasts keep many readable replicas alive.
+//!
+//! The model: a fault flips a memory word ([`Machine::corrupt_memory`])
+//! or a cached copy ([`Machine::corrupt_cache`]); recovery
+//! ([`Machine::recover_memory`]) consults the caches — an owning copy
+//! (`L`/`D`) is authoritative; otherwise the majority among readable
+//! replicas wins — and repairs memory.
+
+use crate::Machine;
+use decache_mem::{Addr, Word};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Failure to recover a corrupted memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// No cache holds a usable replica of the word.
+    NoReplica {
+        /// The unrecoverable address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RecoveryError::NoReplica { addr } => {
+                write!(f, "no cache holds a replica of {addr}")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {}
+
+impl Machine {
+    /// Injects a fault: overwrites the memory word at `addr` with
+    /// `garbage`, bypassing the coherence protocol (as a bit flip
+    /// would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn corrupt_memory(&mut self, addr: Addr, garbage: Word) {
+        self.memory_mut()
+            .write(addr, garbage)
+            .expect("fault injection address in range");
+    }
+
+    /// Injects a fault into PE `pe`'s cached copy of `addr`; returns
+    /// `true` if the cache held the line (and is now corrupted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn corrupt_cache(&mut self, pe: usize, addr: Addr, garbage: Word) -> bool {
+        match self.cache_mut(pe).get_mut(addr) {
+            Some(entry) => {
+                entry.data = garbage;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The number of usable replicas of `addr` across all caches: the
+    /// owning copy plus every locally-readable copy. The more replicas,
+    /// the likelier recovery — RWB's write broadcast keeps this high.
+    pub fn replica_count(&self, addr: Addr) -> usize {
+        (0..self.pe_count())
+            .filter(|&pe| {
+                self.cache_line(pe, addr)
+                    .is_some_and(|(s, _)| s.is_readable_locally())
+            })
+            .count()
+    }
+
+    /// Recovers the memory word at `addr` from cache replicas and
+    /// repairs memory with the recovered value.
+    ///
+    /// Recovery policy:
+    /// 1. an **owning** copy (`L`/`D`) is authoritative — it holds the
+    ///    only up-to-date value by the Section 4 lemma;
+    /// 2. otherwise the **majority value** among readable replicas wins
+    ///    (all replicas agree in a fault-free machine; voting tolerates
+    ///    a minority of corrupted caches);
+    /// 3. with no replica at all, the word is unrecoverable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::NoReplica`] if no cache holds the line
+    /// in a readable or owning state.
+    pub fn recover_memory(&mut self, addr: Addr) -> Result<Word, RecoveryError> {
+        // 1. Owner copy.
+        let owner_value = (0..self.pe_count()).find_map(|pe| {
+            self.cache_line(pe, addr)
+                .filter(|(s, _)| s.owns_latest())
+                .map(|(_, d)| d)
+        });
+        let recovered = match owner_value {
+            Some(v) => v,
+            None => {
+                // 2. Majority among readable replicas.
+                let mut votes: HashMap<Word, usize> = HashMap::new();
+                for pe in 0..self.pe_count() {
+                    if let Some((state, data)) = self.cache_line(pe, addr) {
+                        if state.is_readable_locally() {
+                            *votes.entry(data).or_insert(0) += 1;
+                        }
+                    }
+                }
+                votes
+                    .into_iter()
+                    .max_by_key(|&(_, count)| count)
+                    .map(|(value, _)| value)
+                    .ok_or(RecoveryError::NoReplica { addr })?
+            }
+        };
+        self.memory_mut()
+            .write(addr, recovered)
+            .expect("recovery address in range");
+        Ok(recovered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineBuilder, Script};
+    use decache_core::ProtocolKind;
+
+    fn w(v: u64) -> Word {
+        Word::new(v)
+    }
+
+    #[test]
+    fn memory_corruption_recovers_from_readable_replicas() {
+        let x = Addr::new(1);
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .processor(Script::new().write(x, w(7)).build())
+            .processor(Script::new().read(x).build())
+            .processor(Script::new().read(x).build())
+            .build();
+        m.run_to_completion(1_000);
+        assert!(m.replica_count(x) >= 2);
+        m.corrupt_memory(x, w(0xBAD));
+        assert_eq!(m.memory().peek(x).unwrap(), w(0xBAD));
+        assert_eq!(m.recover_memory(x).unwrap(), w(7));
+        assert_eq!(m.memory().peek(x).unwrap(), w(7));
+    }
+
+    #[test]
+    fn owner_copy_is_authoritative() {
+        let x = Addr::new(1);
+        // Two silent local writes leave memory stale at 1 and the owner
+        // holding 9: recovery must take the owner's value, not memory's.
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .processor(Script::new().write(x, w(1)).write(x, w(9)).build())
+            .build();
+        m.run_to_completion(1_000);
+        m.corrupt_memory(x, w(0xBAD));
+        assert_eq!(m.recover_memory(x).unwrap(), w(9));
+    }
+
+    #[test]
+    fn majority_vote_outvotes_a_corrupted_cache() {
+        let x = Addr::new(1);
+        let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+            .processor(Script::new().write(x, w(5)).build())
+            .processor(Script::new().read(x).build())
+            .processor(Script::new().read(x).build())
+            .processor(Script::new().read(x).build())
+            .build();
+        m.run_to_completion(1_000);
+        // Corrupt one cache replica AND memory; the two healthy
+        // replicas outvote the corrupted one. (The writer holds F which
+        // is readable but not owning, so voting applies.)
+        assert!(m.corrupt_cache(1, x, w(0xEE)));
+        m.corrupt_memory(x, w(0xBAD));
+        assert_eq!(m.recover_memory(x).unwrap(), w(5));
+    }
+
+    #[test]
+    fn unreplicated_word_is_unrecoverable() {
+        let x = Addr::new(1);
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .processor(Script::new().read(Addr::new(2)).build())
+            .build();
+        m.run_to_completion(1_000);
+        m.corrupt_memory(x, w(0xBAD));
+        let err = m.recover_memory(x).unwrap_err();
+        assert_eq!(err, RecoveryError::NoReplica { addr: x });
+        assert_eq!(err.to_string(), "no cache holds a replica of @1");
+    }
+
+    #[test]
+    fn rwb_keeps_more_replicas_than_rb_after_a_write() {
+        let x = Addr::new(1);
+        let build = |kind| {
+            let mut m = MachineBuilder::new(kind)
+                .processor(Script::new().read(x).read(x).read(x).build())
+                .processor(Script::new().read(x).read(x).read(x).build())
+                .processor(Script::new().read(x).write(x, w(3)).build())
+                .build();
+            m.run_to_completion(1_000);
+            m
+        };
+        // Under RB the write invalidates the readers; under RWB they
+        // capture the broadcast — "a higher probability that some cache
+        // contains a correct copy" (Section 5).
+        let rb = build(ProtocolKind::Rb).replica_count(x);
+        let rwb = build(ProtocolKind::Rwb).replica_count(x);
+        assert!(rwb > rb, "RWB replicas {rwb} should exceed RB {rb}");
+    }
+
+    #[test]
+    fn corrupting_an_absent_line_reports_false() {
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .processor(Script::new().build())
+            .build();
+        m.run_to_completion(100);
+        assert!(!m.corrupt_cache(0, Addr::new(5), w(1)));
+    }
+}

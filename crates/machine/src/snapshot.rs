@@ -1,0 +1,200 @@
+//! Per-address machine snapshots: the rows of Figures 6-1, 6-2, 6-3.
+
+use decache_core::{Configuration, LineState};
+use decache_mem::Word;
+use std::fmt;
+
+/// The machine's view of a single address at one instant: each cache's
+/// state and cached value for the address, plus the memory value — one
+/// row of the paper's synchronization figures, whose columns are
+/// "P1 Cache ... Pm Cache, S".
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::LineState;
+/// use decache_machine::Snapshot;
+/// use decache_mem::Word;
+///
+/// let snap = Snapshot::new(
+///     vec![
+///         Some((LineState::Readable, Word::ZERO)),
+///         Some((LineState::Local, Word::ONE)),
+///         None,
+///     ],
+///     Word::ONE,
+/// );
+/// assert_eq!(snap.to_string(), "R(0)  L(1)  --    | 1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    lines: Vec<Option<(LineState, Word)>>,
+    memory: Word,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot from per-cache line views (state and cached
+    /// value; `None` if the cache does not hold the address) and the
+    /// memory value.
+    pub fn new(lines: Vec<Option<(LineState, Word)>>, memory: Word) -> Self {
+        Snapshot { lines, memory }
+    }
+
+    /// Per-cache view: `None` if cache `pe` does not hold the address.
+    pub fn line(&self, pe: usize) -> Option<(LineState, Word)> {
+        self.lines.get(pe).copied().flatten()
+    }
+
+    /// The number of caches in the snapshot.
+    pub fn cache_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The memory value of the address.
+    pub fn memory(&self) -> Word {
+        self.memory
+    }
+
+    /// The states of the caches holding the address, in cache order —
+    /// the input to the Section 4 configuration lemma.
+    pub fn held_states(&self) -> Vec<LineState> {
+        self.lines.iter().filter_map(|l| l.map(|(s, _)| s)).collect()
+    }
+
+    /// Classifies the snapshot per the Section 4 lemma.
+    pub fn configuration(&self) -> Configuration {
+        Configuration::classify(&self.held_states())
+    }
+
+    /// Renders one cache cell in the figures' `R(0)` / `I(-)` notation.
+    /// Invalid entries show `-` for the value (the figures' `I(-)`), and
+    /// absent entries render as `--`.
+    pub fn cell(&self, pe: usize) -> String {
+        match self.line(pe) {
+            None => "--".to_owned(),
+            Some((LineState::Invalid, _)) => "I(-)".to_owned(),
+            Some((state, value)) => format!("{state}({value})"),
+        }
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for pe in 0..self.lines.len() {
+            write!(f, "{:<5} ", self.cell(pe))?;
+        }
+        write!(f, "| {}", self.memory)
+    }
+}
+
+/// A labelled sequence of snapshots: the full table of a synchronization
+/// figure, with one row per observation.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotTable {
+    rows: Vec<(String, Snapshot)>,
+}
+
+impl SnapshotTable {
+    /// Starts an empty table.
+    pub fn new() -> Self {
+        SnapshotTable::default()
+    }
+
+    /// Appends an observation row.
+    pub fn push(&mut self, observation: impl Into<String>, snapshot: Snapshot) {
+        self.rows.push((observation.into(), snapshot));
+    }
+
+    /// The rows recorded so far.
+    pub fn rows(&self) -> &[(String, Snapshot)] {
+        &self.rows
+    }
+
+    /// Returns `true` if no rows are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table in the layout of Figures 6-1/6-2/6-3: one column
+    /// per cache, then the memory value of the lock, then the
+    /// observation.
+    pub fn render(&self, cache_count: usize) -> String {
+        let mut out = String::new();
+        for pe in 0..cache_count {
+            out.push_str(&format!("{:<6}", format!("P{}", pe + 1)));
+        }
+        out.push_str(&format!("{:<4}  {}\n", "S", "Observation"));
+        for (label, snap) in &self.rows {
+            for pe in 0..cache_count {
+                out.push_str(&format!("{:<6}", snap.cell(pe)));
+            }
+            out.push_str(&format!("{:<4}  {label}\n", snap.memory().to_string()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::{Invalid, Local, Readable};
+
+    fn snap() -> Snapshot {
+        Snapshot::new(
+            vec![
+                Some((Invalid, Word::new(7))),
+                Some((Local, Word::ONE)),
+                None,
+            ],
+            Word::ONE,
+        )
+    }
+
+    #[test]
+    fn cell_notation_matches_figures() {
+        let s = snap();
+        assert_eq!(s.cell(0), "I(-)");
+        assert_eq!(s.cell(1), "L(1)");
+        assert_eq!(s.cell(2), "--");
+        assert_eq!(s.cell(99), "--");
+    }
+
+    #[test]
+    fn held_states_skip_absent_lines() {
+        assert_eq!(snap().held_states(), vec![Invalid, Local]);
+    }
+
+    #[test]
+    fn configuration_classifies_rows() {
+        use decache_core::Configuration;
+        assert_eq!(snap().configuration(), Configuration::Local);
+        let shared = Snapshot::new(
+            vec![Some((Readable, Word::ZERO)), Some((Readable, Word::ZERO))],
+            Word::ZERO,
+        );
+        assert_eq!(shared.configuration(), Configuration::Shared);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = snap();
+        assert_eq!(s.cache_count(), 3);
+        assert_eq!(s.memory(), Word::ONE);
+        assert_eq!(s.line(1), Some((Local, Word::ONE)));
+        assert_eq!(s.line(2), None);
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let mut t = SnapshotTable::new();
+        assert!(t.is_empty());
+        t.push("Initial State", snap());
+        let text = t.render(3);
+        assert!(text.contains("P1"));
+        assert!(text.contains("P3"));
+        assert!(text.contains("Observation"));
+        assert!(text.contains("Initial State"));
+        assert!(text.contains("L(1)"));
+        assert_eq!(t.rows().len(), 1);
+    }
+}

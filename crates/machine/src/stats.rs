@@ -1,0 +1,64 @@
+//! Machine-level statistics beyond cache and bus counters.
+
+use std::fmt;
+
+/// Counters maintained by the machine itself (cache hit/miss statistics
+/// live in [`CacheStats`], bus traffic in [`TrafficStats`]).
+///
+/// [`CacheStats`]: decache_cache::CacheStats
+/// [`TrafficStats`]: decache_bus::TrafficStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Stalled reads completed by snooping a broadcast instead of their
+    /// own bus transaction — the payoff of distributing data, not just
+    /// events.
+    pub broadcast_satisfied: u64,
+    /// Evicted lines written back to memory.
+    pub writebacks: u64,
+    /// Test-and-Set operations that found the variable non-zero.
+    pub ts_failures: u64,
+    /// Test-and-Set operations that acquired.
+    pub ts_successes: u64,
+    /// Bus transactions rejected by a memory lock and requeued.
+    pub lock_rejections: u64,
+}
+
+impl MachineStats {
+    /// Total Test-and-Set operations.
+    pub fn ts_attempts(&self) -> u64 {
+        self.ts_failures + self.ts_successes
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "broadcast-satisfied={} writebacks={} TS ok/fail={}/{} lock-rejections={}",
+            self.broadcast_satisfied,
+            self.writebacks,
+            self.ts_successes,
+            self.ts_failures,
+            self.lock_rejections
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_attempts_sum() {
+        let s = MachineStats { ts_failures: 3, ts_successes: 2, ..Default::default() };
+        assert_eq!(s.ts_attempts(), 5);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let text = MachineStats::default().to_string();
+        assert!(text.contains("broadcast-satisfied=0"));
+        assert!(text.contains("writebacks=0"));
+        assert!(text.contains("lock-rejections=0"));
+    }
+}

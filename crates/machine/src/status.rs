@@ -1,0 +1,67 @@
+//! Internal per-PE execution status.
+
+use decache_cache::RefClass;
+use decache_mem::{Addr, Word};
+
+/// What a stalled processing element is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// A bus read for a CPU read miss.
+    Read { addr: Addr, class: RefClass },
+    /// A bus write (or bus invalidate) for a CPU write miss; carries the
+    /// CPU value so the bus-invalidate path (which has no data payload)
+    /// can install it locally on completion.
+    Write { addr: Addr, value: Word, class: RefClass },
+    /// The locked-read half of a Test-and-Set.
+    LockedRead { addr: Addr, set_to: Word, class: RefClass },
+    /// The unlocking-write half of a successful Test-and-Set.
+    UnlockWrite { addr: Addr, old: Word, class: RefClass },
+}
+
+impl Pending {
+    /// The address the pending transaction targets.
+    #[cfg(test)]
+    pub(crate) fn addr(&self) -> Addr {
+        match *self {
+            Pending::Read { addr, .. }
+            | Pending::Write { addr, .. }
+            | Pending::LockedRead { addr, .. }
+            | Pending::UnlockWrite { addr, .. } => addr,
+        }
+    }
+}
+
+/// The execution status of one processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PeStatus {
+    /// Ready to issue its next operation.
+    Idle,
+    /// Stalled on a bus transaction.
+    WaitBus(Pending),
+    /// The processor's program has finished.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_addr_extraction() {
+        let a = Addr::new(9);
+        for p in [
+            Pending::Read { addr: a, class: RefClass::Shared },
+            Pending::Write { addr: a, value: Word::ONE, class: RefClass::Local },
+            Pending::LockedRead { addr: a, set_to: Word::ONE, class: RefClass::Shared },
+            Pending::UnlockWrite { addr: a, old: Word::ZERO, class: RefClass::Shared },
+        ] {
+            assert_eq!(p.addr(), a);
+        }
+    }
+
+    #[test]
+    fn status_equality() {
+        assert_eq!(PeStatus::Idle, PeStatus::Idle);
+        assert_ne!(PeStatus::Idle, PeStatus::Done);
+    }
+}

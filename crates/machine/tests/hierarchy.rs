@@ -1,0 +1,149 @@
+//! The hierarchical (clustered) machine: correctness and the
+//! traffic-isolation property that motivates it (Section 8 future work).
+
+use decache_bus::Routing;
+use decache_core::{LineState, ProtocolKind};
+use decache_machine::{MachineBuilder, Script};
+use decache_mem::{Addr, Word};
+
+/// A 4-PE, 2-cluster machine: global region [0, 64), cluster regions of
+/// 96 words each at 64 and 160.
+fn builder(kind: ProtocolKind) -> MachineBuilder {
+    let mut b = MachineBuilder::new(kind);
+    b.memory_words(256).cache_lines(16).clusters(2, 64);
+    b
+}
+
+#[test]
+fn routing_shape_is_exposed() {
+    let mut b = builder(ProtocolKind::Rb);
+    b.processors(4, |_| Script::new().build());
+    let machine = b.build();
+    assert_eq!(machine.bus_count(), 3);
+    assert_eq!(
+        machine.routing(),
+        Routing::clustered(2, 64, 96)
+    );
+    assert!(machine.routing().to_string().contains("hierarchical"));
+}
+
+#[test]
+fn cluster_private_traffic_stays_off_the_global_bus() {
+    let mut b = builder(ProtocolKind::Rb);
+    // PEs 0,1 (cluster 0) touch only cluster 0's region at 64..;
+    // PEs 2,3 (cluster 1) touch only cluster 1's region at 160.. .
+    b.processor(Script::new().write(Addr::new(64), Word::ONE).read(Addr::new(65)).build());
+    b.processor(Script::new().read(Addr::new(64)).build());
+    b.processor(Script::new().write(Addr::new(160), Word::ONE).build());
+    b.processor(Script::new().read(Addr::new(161)).build());
+    let mut machine = b.build();
+    machine.run_to_completion(10_000);
+
+    let per_bus = machine.traffic_per_bus();
+    assert_eq!(per_bus.bus(0).total_transactions(), 0, "global bus must stay idle");
+    assert!(per_bus.bus(1).total_transactions() > 0);
+    assert!(per_bus.bus(2).total_transactions() > 0);
+}
+
+#[test]
+fn global_addresses_stay_coherent_across_clusters() {
+    let shared = Addr::new(3); // inside the global region
+    for kind in ProtocolKind::ALL {
+        let mut b = builder(kind);
+        // Writer in cluster 0, readers in both clusters.
+        b.processor(Script::new().write(shared, Word::new(9)).write(shared, Word::new(10)).build());
+        b.processor(Script::new().read(shared).read(shared).build());
+        b.processor(Script::new().read(shared).read(shared).build());
+        b.processor(Script::new().read(shared).read(shared).build());
+        let mut machine = b.build();
+        machine.run_to_completion(10_000);
+
+        // Every cache's final view of the shared word is the latest
+        // value or invalid — never stale-readable.
+        for pe in 0..4 {
+            if let Some((state, data)) = machine.cache_line(pe, shared) {
+                if state.is_readable_locally() && !state.owns_latest() {
+                    assert_eq!(data, Word::new(10), "{kind} P{pe} holds stale data");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_buses_run_in_parallel() {
+    // The same private workload on a flat single-bus machine vs the
+    // clustered machine: clusters finish faster because their buses
+    // serve misses concurrently.
+    let private_job = |base: u64| {
+        let mut s = Script::new();
+        for i in 0..24 {
+            s = s.write(Addr::new(base + i), Word::new(i));
+        }
+        s.build()
+    };
+
+    let mut flat = MachineBuilder::new(ProtocolKind::Rb);
+    flat.memory_words(256).cache_lines(16);
+    flat.processor(private_job(64));
+    flat.processor(private_job(96));
+    flat.processor(private_job(160));
+    flat.processor(private_job(192));
+    let mut flat = flat.build();
+    flat.run_to_completion(100_000);
+
+    let mut clustered = builder(ProtocolKind::Rb);
+    clustered.processor(private_job(64));
+    clustered.processor(private_job(96));
+    clustered.processor(private_job(160));
+    clustered.processor(private_job(192));
+    let mut clustered = clustered.build();
+    clustered.run_to_completion(100_000);
+
+    assert!(
+        clustered.cycles() < flat.cycles(),
+        "clustered {} should beat flat {}",
+        clustered.cycles(),
+        flat.cycles()
+    );
+}
+
+#[test]
+fn local_state_works_inside_a_cluster() {
+    let mut b = builder(ProtocolKind::Rb);
+    let x = Addr::new(70); // cluster 0's region
+    b.processor(Script::new().write(x, Word::new(1)).write(x, Word::new(2)).build());
+    b.processor(Script::new().read(x).build()); // same cluster: supply path
+    b.processor(Script::new().build());
+    b.processor(Script::new().build());
+    let mut machine = b.build();
+    machine.run_to_completion(10_000);
+    assert_eq!(machine.cache_line(0, x), Some((LineState::Readable, Word::new(2))));
+    assert_eq!(machine.cache_line(1, x), Some((LineState::Readable, Word::new(2))));
+    assert_eq!(machine.memory().peek(x).unwrap(), Word::new(2));
+    assert_eq!(machine.traffic_per_bus().bus(1).aborted_reads, 1);
+}
+
+#[test]
+#[should_panic(expected = "not attached")]
+fn touching_a_foreign_cluster_region_is_rejected() {
+    let mut b = builder(ProtocolKind::Rb);
+    // PE 0 (cluster 0) touches cluster 1's region: a discipline
+    // violation the machine must catch loudly rather than silently
+    // break coherence.
+    b.processor(Script::new().read(Addr::new(200)).build());
+    b.processor(Script::new().build());
+    b.processor(Script::new().build());
+    b.processor(Script::new().build());
+    let mut machine = b.build();
+    machine.run_to_completion(10_000);
+}
+
+#[test]
+#[should_panic(expected = "do not divide")]
+fn uneven_clusters_are_rejected() {
+    let mut b = MachineBuilder::new(ProtocolKind::Rb);
+    b.memory_words(256).clusters(2, 64);
+    b.processors(3, |_| Script::new().build());
+    let _ = b.build();
+}

@@ -1,0 +1,123 @@
+//! Multi-cycle bus transactions and non-default cache geometries.
+
+use decache_cache::Geometry;
+use decache_core::{LineState, ProtocolKind};
+use decache_machine::{MachineBuilder, Script};
+use decache_mem::{Addr, Word};
+
+#[test]
+fn slow_transactions_stretch_the_run_without_changing_results() {
+    let x = Addr::new(0);
+    let run = |latency: u64| {
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .memory_words(64)
+            .transaction_cycles(latency)
+            .processor(Script::new().write(x, Word::new(5)).read(x).build())
+            .processor(Script::new().read(x).read(x).build())
+            .build();
+        m.run_to_completion(100_000);
+        m
+    };
+    let fast = run(1);
+    let slow = run(4);
+    // Same final state...
+    assert_eq!(fast.memory().peek(x).unwrap(), slow.memory().peek(x).unwrap());
+    assert_eq!(fast.cache_line(0, x), slow.cache_line(0, x));
+    assert_eq!(
+        fast.traffic().total_transactions(),
+        slow.traffic().total_transactions()
+    );
+    // ...but the slow machine takes strictly longer.
+    assert!(slow.cycles() > fast.cycles(), "{} vs {}", slow.cycles(), fast.cycles());
+}
+
+#[test]
+fn occupancy_cycles_are_counted_as_busy() {
+    // Two back-to-back misses with 3-cycle transactions: the second
+    // read must wait out the first's occupancy.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .transaction_cycles(3)
+        .processor(Script::new().read(Addr::new(0)).read(Addr::new(1)).build())
+        .build();
+    m.run_to_completion(1_000);
+    let t = m.traffic();
+    assert_eq!(t.total_transactions(), 2);
+    // Grant @1, occupied @2-3, grant @4, one trailing occupied cycle @5
+    // while the processor halts: five busy cycles in all.
+    assert_eq!(t.busy_cycles, 5);
+    assert!(m.cycles() >= 5);
+}
+
+#[test]
+fn slow_bus_saturates_with_fewer_processors() {
+    // The Section 7 point sharpened: with 4-cycle transactions, 8 PEs
+    // already pin the bus near 100%, where the 1-cycle machine idles.
+    let run = |latency: u64| {
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .memory_words(4096)
+            .cache_lines(64)
+            .transaction_cycles(latency)
+            .processors(8, |pe| {
+                let base = 64 * (pe as u64 + 1);
+                let mut s = Script::new();
+                for i in 0..32 {
+                    s = s.read(Addr::new(base + (i % 16)));
+                }
+                s.build()
+            })
+            .build();
+        m.run_to_completion(1_000_000);
+        m.traffic().utilization()
+    };
+    assert!(run(4) > run(1), "slow bus must be the busier one");
+}
+
+#[test]
+fn set_associative_caches_eliminate_conflict_misses() {
+    // Two addresses that conflict in a 4-line direct-mapped cache fit
+    // together in a 2-way cache of the same capacity.
+    let a = Addr::new(1);
+    let b = Addr::new(5); // 5 % 4 == 1: conflicts with a when direct-mapped
+    let thrash = || {
+        let mut s = Script::new();
+        for _ in 0..8 {
+            s = s.read(a).read(b);
+        }
+        s.build()
+    };
+
+    let mut dm = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .cache_geometry(Geometry::new(4, 1, 1))
+        .processor(thrash())
+        .build();
+    dm.run_to_completion(10_000);
+
+    let mut sa = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .cache_geometry(Geometry::new(2, 2, 1))
+        .processor(thrash())
+        .build();
+    sa.run_to_completion(10_000);
+
+    let dm_misses = dm.total_cache_stats().total_misses();
+    let sa_misses = sa.total_cache_stats().total_misses();
+    assert!(dm_misses > 10, "direct-mapped thrashes: {dm_misses}");
+    assert_eq!(sa_misses, 2, "2-way holds both: only cold misses");
+    // Both remain coherent.
+    assert_eq!(sa.cache_line(0, a).map(|(s, _)| s), Some(LineState::Readable));
+    assert_eq!(sa.cache_line(0, b).map(|(s, _)| s), Some(LineState::Readable));
+}
+
+#[test]
+#[should_panic(expected = "one-word blocks")]
+fn multi_word_blocks_are_rejected() {
+    MachineBuilder::new(ProtocolKind::Rb).cache_geometry(Geometry::new(4, 1, 2));
+}
+
+#[test]
+#[should_panic(expected = "at least one cycle")]
+fn zero_latency_is_rejected() {
+    MachineBuilder::new(ProtocolKind::Rb).transaction_cycles(0);
+}

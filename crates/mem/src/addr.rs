@@ -1,0 +1,254 @@
+//! Word-granular physical addresses.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A word-granular physical address in the shared memory.
+///
+/// The paper treats "address", "variable", and "data item" interchangeably
+/// (Section 3, footnote 5): each refers to a single word of shared memory,
+/// because the cache block size is one word.
+///
+/// # Examples
+///
+/// ```
+/// use decache_mem::Addr;
+/// let a = Addr::new(10);
+/// assert_eq!(a.offset(2), Addr::new(12));
+/// // Bank selection uses the least significant bits (Figure 7-1).
+/// assert_eq!(Addr::new(5).bank_of(2), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw word index.
+    pub const fn new(index: u64) -> Self {
+        Addr(index)
+    }
+
+    /// Returns the raw word index of this address.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address displaced by `delta` words.
+    #[must_use]
+    pub const fn offset(self, delta: u64) -> Addr {
+        Addr(self.0 + delta)
+    }
+
+    /// Selects the memory bank for a machine with `2^bank_bits` interleaved
+    /// banks, using the least significant address bits.
+    ///
+    /// This is the division rule of the paper's multi-bus configuration:
+    /// "the private caches and the shared memory are divided into two memory
+    /// banks using the least significant address bit" (Section 7).
+    pub const fn bank_of(self, bank_bits: u32) -> usize {
+        (self.0 & ((1 << bank_bits) - 1)) as usize
+    }
+
+    /// Returns the address as seen *within* its bank: the word index with
+    /// the bank-selection bits stripped.
+    pub const fn within_bank(self, bank_bits: u32) -> Addr {
+        Addr(self.0 >> bank_bits)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(index: u64) -> Self {
+        Addr(index)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+/// A half-open range of addresses `[start, end)`, useful for laying out
+/// regions (code, private data, shared data) in workload generators.
+///
+/// # Examples
+///
+/// ```
+/// use decache_mem::{Addr, AddrRange};
+/// let region = AddrRange::new(Addr::new(100), Addr::new(104));
+/// assert_eq!(region.len(), 4);
+/// assert!(region.contains(Addr::new(103)));
+/// assert!(!region.contains(Addr::new(104)));
+/// let all: Vec<_> = region.iter().collect();
+/// assert_eq!(all.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    start: Addr,
+    end: Addr,
+}
+
+impl AddrRange {
+    /// Creates the half-open range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Addr, end: Addr) -> Self {
+        assert!(
+            start <= end,
+            "address range start {start} must not exceed end {end}"
+        );
+        AddrRange { start, end }
+    }
+
+    /// Creates a range of `len` words starting at `start`.
+    pub fn with_len(start: Addr, len: u64) -> Self {
+        AddrRange::new(start, start.offset(len))
+    }
+
+    /// Returns the first address of the range.
+    pub const fn start(self) -> Addr {
+        self.start
+    }
+
+    /// Returns the first address past the end of the range.
+    pub const fn end(self) -> Addr {
+        self.end
+    }
+
+    /// Returns the number of words in the range.
+    pub const fn len(self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Returns `true` if the range contains no addresses.
+    pub const fn is_empty(self) -> bool {
+        self.start.0 == self.end.0
+    }
+
+    /// Returns `true` if `addr` falls inside the range.
+    pub const fn contains(self, addr: Addr) -> bool {
+        self.start.0 <= addr.0 && addr.0 < self.end.0
+    }
+
+    /// Returns the `i`-th address of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn nth(self, i: u64) -> Addr {
+        assert!(i < self.len(), "index {i} out of range of {self:?}");
+        self.start.offset(i)
+    }
+
+    /// Iterates over every address in the range, in increasing order.
+    pub fn iter(self) -> Iter {
+        Iter {
+            inner: self.start.0..self.end.0,
+        }
+    }
+}
+
+impl IntoIterator for AddrRange {
+    type Item = Addr;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the addresses of an [`AddrRange`], produced by
+/// [`AddrRange::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    inner: Range<u64>,
+}
+
+impl Iterator for Iter {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        self.inner.next().map(Addr::new)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_selection_uses_low_bits() {
+        // One bank bit: even addresses to bank 0, odd to bank 1.
+        assert_eq!(Addr::new(4).bank_of(1), 0);
+        assert_eq!(Addr::new(5).bank_of(1), 1);
+        // Two bank bits: four-way interleave.
+        assert_eq!(Addr::new(6).bank_of(2), 2);
+        assert_eq!(Addr::new(7).bank_of(2), 3);
+        // Zero bank bits: single bus, everything in bank 0.
+        assert_eq!(Addr::new(1234).bank_of(0), 0);
+    }
+
+    #[test]
+    fn within_bank_strips_selection_bits() {
+        assert_eq!(Addr::new(6).within_bank(1), Addr::new(3));
+        assert_eq!(Addr::new(7).within_bank(2), Addr::new(1));
+    }
+
+    #[test]
+    fn range_membership_and_len() {
+        let r = AddrRange::with_len(Addr::new(8), 4);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.contains(Addr::new(8)));
+        assert!(r.contains(Addr::new(11)));
+        assert!(!r.contains(Addr::new(12)));
+        assert!(!r.contains(Addr::new(7)));
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = AddrRange::new(Addr::new(5), Addr::new(5));
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_range_panics() {
+        let _ = AddrRange::new(Addr::new(6), Addr::new(5));
+    }
+
+    #[test]
+    fn nth_and_iter_agree() {
+        let r = AddrRange::with_len(Addr::new(100), 5);
+        let collected: Vec<_> = r.iter().collect();
+        for i in 0..5 {
+            assert_eq!(collected[i as usize], r.nth(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_past_end_panics() {
+        AddrRange::with_len(Addr::new(0), 3).nth(3);
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let r = AddrRange::with_len(Addr::new(0), 10);
+        let it = r.iter();
+        assert_eq!(it.len(), 10);
+    }
+}

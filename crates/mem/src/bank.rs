@@ -1,0 +1,232 @@
+//! Interleaved memory banks for the multiple-shared-bus configuration.
+
+use crate::{Addr, MemError, Memory, MemoryStats, PeId, Word};
+
+/// A shared memory split into `2^bank_bits` banks interleaved on the least
+/// significant address bits, as in the paper's Figure 7-1.
+///
+/// Each bank sits on its own shared bus in the multi-bus machine; the bank
+/// for an address is selected by [`Addr::bank_of`], and within a bank the
+/// remaining bits index the bank-local word array. "Each part of the
+/// divided cache will generate, on average, half of the traffic that would
+/// otherwise be produced by an undivided cache" (Section 7) — the
+/// per-bank statistics exposed here let experiments check exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use decache_mem::{Addr, BankedMemory, Word};
+/// let mut mem = BankedMemory::new(16, 1); // two banks of 8 words
+/// assert_eq!(mem.bank_count(), 2);
+/// mem.write(Addr::new(5), Word::new(50)).unwrap(); // odd => bank 1
+/// assert_eq!(mem.read(Addr::new(5)).unwrap(), Word::new(50));
+/// assert_eq!(mem.bank_stats(1).writes, 1);
+/// assert_eq!(mem.bank_stats(0).writes, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankedMemory {
+    banks: Vec<Memory>,
+    bank_bits: u32,
+    total_size: u64,
+}
+
+impl BankedMemory {
+    /// Creates a banked memory of `size` total words split into
+    /// `2^bank_bits` interleaved banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not divisible by the number of banks.
+    pub fn new(size: u64, bank_bits: u32) -> Self {
+        let banks_n = 1u64 << bank_bits;
+        assert!(
+            size % banks_n == 0,
+            "memory size {size} must be divisible by the bank count {banks_n}"
+        );
+        let per_bank = size / banks_n;
+        BankedMemory {
+            banks: (0..banks_n).map(|_| Memory::new(per_bank)).collect(),
+            bank_bits,
+            total_size: size,
+        }
+    }
+
+    /// Returns the number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Returns the number of bank-selection bits.
+    pub fn bank_bits(&self) -> u32 {
+        self.bank_bits
+    }
+
+    /// Returns the total size across all banks, in words.
+    pub fn size(&self) -> u64 {
+        self.total_size
+    }
+
+    /// Returns the bank index serving `addr`.
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        addr.bank_of(self.bank_bits)
+    }
+
+    fn locate(&self, addr: Addr) -> Result<(usize, Addr), MemError> {
+        if addr.index() >= self.total_size {
+            return Err(MemError::OutOfBounds {
+                addr,
+                size: self.total_size,
+            });
+        }
+        Ok((self.bank_of(addr), addr.within_bank(self.bank_bits)))
+    }
+
+    /// Reads the word at `addr` from its bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the total size.
+    pub fn read(&mut self, addr: Addr) -> Result<Word, MemError> {
+        let (bank, local) = self.locate(addr)?;
+        self.banks[bank].read(local)
+    }
+
+    /// Reads without recording statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the total size.
+    pub fn peek(&self, addr: Addr) -> Result<Word, MemError> {
+        let (bank, local) = self.locate(addr)?;
+        self.banks[bank].peek(local)
+    }
+
+    /// Writes the word at `addr` into its bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the total size.
+    pub fn write(&mut self, addr: Addr, value: Word) -> Result<(), MemError> {
+        let (bank, local) = self.locate(addr)?;
+        self.banks[bank].write(local, value)
+    }
+
+    /// Locked read routed to the owning bank; see [`Memory::read_with_lock`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bank's [`MemError`].
+    pub fn read_with_lock(&mut self, addr: Addr, locker: PeId) -> Result<Word, MemError> {
+        let (bank, local) = self.locate(addr)?;
+        self.banks[bank].read_with_lock(local, locker)
+    }
+
+    /// Unlocking write routed to the owning bank; see
+    /// [`Memory::write_with_unlock`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bank's [`MemError`].
+    pub fn write_with_unlock(
+        &mut self,
+        addr: Addr,
+        value: Word,
+        unlocker: PeId,
+    ) -> Result<(), MemError> {
+        let (bank, local) = self.locate(addr)?;
+        self.banks[bank].write_with_unlock(local, value, unlocker)
+    }
+
+    /// Returns the access statistics of bank `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= self.bank_count()`.
+    pub fn bank_stats(&self, bank: usize) -> MemoryStats {
+        self.banks[bank].stats()
+    }
+
+    /// Returns the sum of all banks' statistics.
+    pub fn total_stats(&self) -> MemoryStats {
+        let mut total = MemoryStats::default();
+        for b in &self.banks {
+            let s = b.stats();
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.locked_reads += s.locked_reads;
+            total.rejected_writes += s.rejected_writes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bank_behaves_like_memory() {
+        let mut banked = BankedMemory::new(8, 0);
+        assert_eq!(banked.bank_count(), 1);
+        banked.write(Addr::new(7), Word::new(3)).unwrap();
+        assert_eq!(banked.read(Addr::new(7)).unwrap(), Word::new(3));
+    }
+
+    #[test]
+    fn addresses_interleave_across_banks() {
+        let mut banked = BankedMemory::new(8, 1);
+        for i in 0..8 {
+            banked.write(Addr::new(i), Word::new(i * 10)).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(banked.read(Addr::new(i)).unwrap(), Word::new(i * 10));
+        }
+        // Four reads and four writes went to each bank.
+        assert_eq!(banked.bank_stats(0).reads, 4);
+        assert_eq!(banked.bank_stats(0).writes, 4);
+        assert_eq!(banked.bank_stats(1).reads, 4);
+        assert_eq!(banked.bank_stats(1).writes, 4);
+    }
+
+    #[test]
+    fn total_stats_sums_banks() {
+        let mut banked = BankedMemory::new(16, 2);
+        for i in 0..16 {
+            banked.write(Addr::new(i), Word::ONE).unwrap();
+        }
+        assert_eq!(banked.total_stats().writes, 16);
+    }
+
+    #[test]
+    fn out_of_bounds_uses_total_size() {
+        let mut banked = BankedMemory::new(8, 1);
+        let err = banked.read(Addr::new(8)).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::OutOfBounds {
+                addr: Addr::new(8),
+                size: 8
+            }
+        );
+    }
+
+    #[test]
+    fn locks_are_per_bank() {
+        let mut banked = BankedMemory::new(8, 1);
+        // Lock address 0 (bank 0); address 1 (bank 1) remains free.
+        banked.read_with_lock(Addr::new(0), PeId::new(0)).unwrap();
+        banked.read_with_lock(Addr::new(1), PeId::new(1)).unwrap();
+        banked
+            .write_with_unlock(Addr::new(0), Word::ONE, PeId::new(0))
+            .unwrap();
+        banked
+            .write_with_unlock(Addr::new(1), Word::ONE, PeId::new(1))
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_size_panics() {
+        let _ = BankedMemory::new(9, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for memory operations.
+
+use crate::{Addr, PeId};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by a simulated memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The address lies outside the configured memory size.
+    OutOfBounds {
+        /// The offending address.
+        addr: Addr,
+        /// The memory size in words.
+        size: u64,
+    },
+    /// A write (or a second lock) hit an address currently locked by
+    /// another processing element's read-modify-write cycle.
+    ///
+    /// The paper: "Any bus writes before the unlock will fail" (Section 3).
+    Locked {
+        /// The locked address.
+        addr: Addr,
+        /// The processing element holding the lock.
+        holder: PeId,
+    },
+    /// An unlock was attempted by a processing element that does not hold
+    /// the lock on the address.
+    NotLockHolder {
+        /// The address in question.
+        addr: Addr,
+        /// The processing element that attempted the unlock.
+        attempted_by: PeId,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MemError::OutOfBounds { addr, size } => {
+                write!(f, "address {addr} out of bounds for memory of {size} words")
+            }
+            MemError::Locked { addr, holder } => {
+                write!(f, "address {addr} is locked by {holder}")
+            }
+            MemError::NotLockHolder { addr, attempted_by } => {
+                write!(f, "{attempted_by} does not hold the lock on {addr}")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MemError::OutOfBounds {
+            addr: Addr::new(10),
+            size: 8,
+        };
+        assert_eq!(e.to_string(), "address @10 out of bounds for memory of 8 words");
+
+        let e = MemError::Locked {
+            addr: Addr::new(1),
+            holder: PeId::new(2),
+        };
+        assert_eq!(e.to_string(), "address @1 is locked by P2");
+
+        let e = MemError::NotLockHolder {
+            addr: Addr::new(1),
+            attempted_by: PeId::new(3),
+        };
+        assert_eq!(e.to_string(), "P3 does not hold the lock on @1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

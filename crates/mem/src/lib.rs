@@ -1,0 +1,112 @@
+//! Memory substrate for the `decache` simulator.
+//!
+//! This crate provides the fundamental value types shared by every other
+//! crate in the workspace — [`Addr`], [`Word`], [`PeId`] — together with the
+//! simulated shared memory itself: a flat single-module [`Memory`] and a
+//! low-order-bit interleaved [`BankedMemory`] used by the multiple-shared-bus
+//! configuration of the paper's Section 7 (Figure 7-1).
+//!
+//! The paper (Rudolph & Segall, 1984) assumes a word-addressed shared memory
+//! with one-word cache blocks, and a `read-with-lock` / `write-with-unlock`
+//! pair used to implement indivisible read-modify-write operations such as
+//! Test-and-Set. [`Memory`] implements exactly that: while an address is
+//! locked by one processing element, writes to it by any other element fail
+//! (".. any bus writes before the unlock will fail", Section 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use decache_mem::{Addr, Memory, PeId, Word};
+//!
+//! let mut mem = Memory::new(1024);
+//! mem.write(Addr::new(4), Word::new(7)).unwrap();
+//! assert_eq!(mem.read(Addr::new(4)).unwrap(), Word::new(7));
+//!
+//! // Read-modify-write: lock, then unlock with the new value.
+//! let pe = PeId::new(0);
+//! let old = mem.read_with_lock(Addr::new(4), pe).unwrap();
+//! assert_eq!(old, Word::new(7));
+//! mem.write_with_unlock(Addr::new(4), Word::new(1), pe).unwrap();
+//! assert_eq!(mem.read(Addr::new(4)).unwrap(), Word::new(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod bank;
+mod error;
+mod memory;
+mod word;
+
+pub use addr::{Addr, AddrRange};
+pub use bank::BankedMemory;
+pub use error::MemError;
+pub use memory::{Memory, MemoryStats};
+pub use word::Word;
+
+use std::fmt;
+
+/// Identifier of a processing element (PE).
+///
+/// The paper numbers caches `1..N` with the shared memory acting as a
+/// special "cache 0" in the consistency proof; we use zero-based ids for
+/// processing elements throughout and treat memory separately.
+///
+/// # Examples
+///
+/// ```
+/// use decache_mem::PeId;
+/// let pe = PeId::new(3);
+/// assert_eq!(pe.index(), 3);
+/// assert_eq!(pe.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(u16);
+
+impl PeId {
+    /// Creates a processing-element id from a zero-based index.
+    pub const fn new(index: u16) -> Self {
+        PeId(index)
+    }
+
+    /// Returns the zero-based index of this processing element.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for PeId {
+    fn from(index: u16) -> Self {
+        PeId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_id_round_trip() {
+        let pe = PeId::new(42);
+        assert_eq!(pe.index(), 42);
+        assert_eq!(PeId::from(42u16), pe);
+    }
+
+    #[test]
+    fn pe_id_display() {
+        assert_eq!(PeId::new(0).to_string(), "P0");
+        assert_eq!(PeId::new(127).to_string(), "P127");
+    }
+
+    #[test]
+    fn pe_id_ordering_follows_index() {
+        assert!(PeId::new(1) < PeId::new(2));
+    }
+}

@@ -1,0 +1,380 @@
+//! The simulated shared main memory.
+
+use crate::{Addr, MemError, PeId, Word};
+use std::collections::HashMap;
+
+/// Access counters maintained by a [`Memory`].
+///
+/// These feed the bus-bandwidth analysis of Section 7: every memory access
+/// corresponds to a bus cycle reaching the memory module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Number of words read from memory.
+    pub reads: u64,
+    /// Number of words written to memory.
+    pub writes: u64,
+    /// Number of locked reads (the first half of read-modify-write cycles).
+    pub locked_reads: u64,
+    /// Number of writes rejected because the target word was locked.
+    pub rejected_writes: u64,
+}
+
+impl MemoryStats {
+    /// Total number of accesses that successfully touched the memory array.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes + self.locked_reads
+    }
+}
+
+/// A word-addressed shared memory module with per-word lock support.
+///
+/// Words are zero-initialized, matching the paper's proof sketch where the
+/// memory initially holds the only correct value of every address.
+///
+/// Locking models the `read-with-lock` / `write-with-unlock` bus cycle pair
+/// used to make Test-and-Set indivisible (Section 3 and Section 6). A word
+/// locked by PE *i* rejects writes and locked reads from every other PE
+/// until PE *i* performs the unlocking write.
+///
+/// # Examples
+///
+/// ```
+/// use decache_mem::{Addr, Memory, PeId, Word};
+/// let mut mem = Memory::new(16);
+/// let a = Addr::new(3);
+/// mem.write(a, Word::new(5)).unwrap();
+///
+/// let p0 = PeId::new(0);
+/// let p1 = PeId::new(1);
+/// mem.read_with_lock(a, p0).unwrap();
+/// // While locked by P0, writes from P1 fail:
+/// assert!(mem.write_checked(a, Word::new(9), p1).is_err());
+/// mem.write_with_unlock(a, Word::new(6), p0).unwrap();
+/// assert_eq!(mem.read(a).unwrap(), Word::new(6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<Word>,
+    locks: HashMap<u64, PeId>,
+    stats: MemoryStats,
+}
+
+impl Memory {
+    /// Creates a zero-filled memory of `size` words.
+    pub fn new(size: u64) -> Self {
+        Memory {
+            words: vec![Word::ZERO; usize::try_from(size).expect("memory size fits in usize")],
+            locks: HashMap::new(),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Returns the size of the memory in words.
+    pub fn size(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// Returns the accumulated access statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Resets the access statistics to zero without touching the contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoryStats::default();
+    }
+
+    fn slot(&self, addr: Addr) -> Result<usize, MemError> {
+        let i = addr.index();
+        if i < self.size() {
+            Ok(i as usize)
+        } else {
+            Err(MemError::OutOfBounds {
+                addr,
+                size: self.size(),
+            })
+        }
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// Plain reads always succeed even on locked words: the lock only
+    /// guards *mutation* between the two halves of a read-modify-write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the memory size.
+    pub fn read(&mut self, addr: Addr) -> Result<Word, MemError> {
+        let slot = self.slot(addr)?;
+        self.stats.reads += 1;
+        Ok(self.words[slot])
+    }
+
+    /// Reads the word at `addr` without recording statistics or requiring
+    /// mutable access; intended for oracles and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the memory size.
+    pub fn peek(&self, addr: Addr) -> Result<Word, MemError> {
+        let slot = self.slot(addr)?;
+        Ok(self.words[slot])
+    }
+
+    /// Writes `value` at `addr` unconditionally (no lock check).
+    ///
+    /// This is the path used by cache write-backs and by the special
+    /// "memory as cache 0" transitions in the product-machine model, where
+    /// lock semantics are handled at the bus level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the memory size.
+    pub fn write(&mut self, addr: Addr, value: Word) -> Result<(), MemError> {
+        let slot = self.slot(addr)?;
+        self.stats.writes += 1;
+        self.words[slot] = value;
+        Ok(())
+    }
+
+    /// Writes `value` at `addr` on behalf of `writer`, failing if the word
+    /// is locked by a different processing element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Locked`] if another PE holds the lock, and
+    /// [`MemError::OutOfBounds`] if `addr` exceeds the memory size. On a
+    /// lock rejection the word is unchanged and the rejection is counted in
+    /// [`MemoryStats::rejected_writes`].
+    pub fn write_checked(&mut self, addr: Addr, value: Word, writer: PeId) -> Result<(), MemError> {
+        let slot = self.slot(addr)?;
+        if let Some(&holder) = self.locks.get(&addr.index()) {
+            if holder != writer {
+                self.stats.rejected_writes += 1;
+                return Err(MemError::Locked { addr, holder });
+            }
+        }
+        self.stats.writes += 1;
+        self.words[slot] = value;
+        Ok(())
+    }
+
+    /// Performs the first half of a read-modify-write: reads the word and
+    /// locks it for `locker`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Locked`] if the word is already locked by a
+    /// different PE, and [`MemError::OutOfBounds`] for bad addresses.
+    pub fn read_with_lock(&mut self, addr: Addr, locker: PeId) -> Result<Word, MemError> {
+        let slot = self.slot(addr)?;
+        if let Some(&holder) = self.locks.get(&addr.index()) {
+            if holder != locker {
+                return Err(MemError::Locked { addr, holder });
+            }
+        }
+        self.locks.insert(addr.index(), locker);
+        self.stats.locked_reads += 1;
+        Ok(self.words[slot])
+    }
+
+    /// Performs the second half of a read-modify-write: writes the word and
+    /// releases the lock held by `unlocker`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotLockHolder`] if `unlocker` does not hold the
+    /// lock, and [`MemError::OutOfBounds`] for bad addresses.
+    pub fn write_with_unlock(
+        &mut self,
+        addr: Addr,
+        value: Word,
+        unlocker: PeId,
+    ) -> Result<(), MemError> {
+        let slot = self.slot(addr)?;
+        match self.locks.get(&addr.index()) {
+            Some(&holder) if holder == unlocker => {
+                self.locks.remove(&addr.index());
+                self.stats.writes += 1;
+                self.words[slot] = value;
+                Ok(())
+            }
+            _ => Err(MemError::NotLockHolder {
+                addr,
+                attempted_by: unlocker,
+            }),
+        }
+    }
+
+    /// Releases the lock on `addr` without writing, as a failing
+    /// Test-and-Set does after its locked read observed a non-zero value
+    /// (the paper treats a failing TS "as a non-cachable read").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotLockHolder`] if `unlocker` does not hold the
+    /// lock, and [`MemError::OutOfBounds`] for bad addresses.
+    pub fn release_lock(&mut self, addr: Addr, unlocker: PeId) -> Result<(), MemError> {
+        self.slot(addr)?;
+        match self.locks.get(&addr.index()) {
+            Some(&holder) if holder == unlocker => {
+                self.locks.remove(&addr.index());
+                Ok(())
+            }
+            _ => Err(MemError::NotLockHolder {
+                addr,
+                attempted_by: unlocker,
+            }),
+        }
+    }
+
+    /// Returns the PE currently holding the lock on `addr`, if any.
+    pub fn lock_holder(&self, addr: Addr) -> Option<PeId> {
+        self.locks.get(&addr.index()).copied()
+    }
+
+    /// Fills the range starting at `start` with the given words; convenient
+    /// for initializing workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the slice does not fit.
+    pub fn load(&mut self, start: Addr, values: &[Word]) -> Result<(), MemError> {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(start.offset(i as u64), v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_starts_zeroed() {
+        let mut mem = Memory::new(8);
+        for i in 0..8 {
+            assert_eq!(mem.read(Addr::new(i)).unwrap(), Word::ZERO);
+        }
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = Memory::new(8);
+        mem.write(Addr::new(2), Word::new(77)).unwrap();
+        assert_eq!(mem.read(Addr::new(2)).unwrap(), Word::new(77));
+        assert_eq!(mem.peek(Addr::new(2)).unwrap(), Word::new(77));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut mem = Memory::new(4);
+        assert!(matches!(
+            mem.read(Addr::new(4)),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mem.write(Addr::new(9), Word::ONE),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn locked_word_rejects_foreign_writes() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(1);
+        mem.read_with_lock(a, PeId::new(0)).unwrap();
+        let err = mem.write_checked(a, Word::ONE, PeId::new(1)).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::Locked {
+                addr: a,
+                holder: PeId::new(0)
+            }
+        );
+        assert_eq!(mem.stats().rejected_writes, 1);
+        // The holder itself may write (e.g. partial update before unlock).
+        mem.write_checked(a, Word::ONE, PeId::new(0)).unwrap();
+    }
+
+    #[test]
+    fn locked_word_rejects_foreign_locked_reads() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(1);
+        mem.read_with_lock(a, PeId::new(0)).unwrap();
+        assert!(mem.read_with_lock(a, PeId::new(1)).is_err());
+        // Re-locking by the holder is idempotent.
+        assert!(mem.read_with_lock(a, PeId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn unlock_requires_holder() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(0);
+        mem.read_with_lock(a, PeId::new(2)).unwrap();
+        assert!(mem
+            .write_with_unlock(a, Word::ONE, PeId::new(3))
+            .is_err());
+        mem.write_with_unlock(a, Word::ONE, PeId::new(2)).unwrap();
+        assert_eq!(mem.lock_holder(a), None);
+        assert_eq!(mem.read(a).unwrap(), Word::ONE);
+    }
+
+    #[test]
+    fn release_lock_without_write_preserves_value() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(2);
+        mem.write(a, Word::new(9)).unwrap();
+        mem.read_with_lock(a, PeId::new(1)).unwrap();
+        assert!(mem.release_lock(a, PeId::new(0)).is_err());
+        mem.release_lock(a, PeId::new(1)).unwrap();
+        assert_eq!(mem.lock_holder(a), None);
+        assert_eq!(mem.peek(a).unwrap(), Word::new(9));
+        // Releasing again fails: the lock is gone.
+        assert!(mem.release_lock(a, PeId::new(1)).is_err());
+    }
+
+    #[test]
+    fn unlock_without_lock_fails() {
+        let mut mem = Memory::new(4);
+        assert!(mem
+            .write_with_unlock(Addr::new(0), Word::ONE, PeId::new(0))
+            .is_err());
+    }
+
+    #[test]
+    fn plain_reads_ignore_locks() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(3);
+        mem.write(a, Word::new(9)).unwrap();
+        mem.read_with_lock(a, PeId::new(0)).unwrap();
+        assert_eq!(mem.read(a).unwrap(), Word::new(9));
+    }
+
+    #[test]
+    fn stats_account_all_access_kinds() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(0);
+        mem.read(a).unwrap();
+        mem.write(a, Word::ONE).unwrap();
+        mem.read_with_lock(a, PeId::new(0)).unwrap();
+        mem.write_with_unlock(a, Word::ZERO, PeId::new(0)).unwrap();
+        let s = mem.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.locked_reads, 1);
+        assert_eq!(s.total_accesses(), 4);
+        mem.reset_stats();
+        assert_eq!(mem.stats(), MemoryStats::default());
+    }
+
+    #[test]
+    fn load_fills_consecutive_words() {
+        let mut mem = Memory::new(8);
+        mem.load(Addr::new(2), &[Word::new(1), Word::new(2), Word::new(3)])
+            .unwrap();
+        assert_eq!(mem.peek(Addr::new(2)).unwrap(), Word::new(1));
+        assert_eq!(mem.peek(Addr::new(4)).unwrap(), Word::new(3));
+    }
+}

@@ -1,0 +1,176 @@
+//! The one-word unit of data transfer.
+
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Sub};
+
+/// A single machine word, the unit of both caching and bus transfer.
+///
+/// The paper assumes a direct-mapped cache with a **one-word block size**
+/// (Section 2, assumption 7), so a `Word` is the only data payload that ever
+/// crosses the bus.
+///
+/// # Examples
+///
+/// ```
+/// use decache_mem::Word;
+/// let w = Word::new(0xdead);
+/// assert_eq!(w.value(), 0xdead);
+/// assert_eq!(format!("{w:x}"), "dead");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Word(u64);
+
+impl Word {
+    /// The all-zero word, used as the initial content of memory and as the
+    /// "unlocked" value of synchronization variables.
+    pub const ZERO: Word = Word(0);
+
+    /// The word holding the value one, the conventional "locked" value.
+    pub const ONE: Word = Word(1);
+
+    /// Creates a word from a raw value.
+    pub const fn new(value: u64) -> Self {
+        Word(value)
+    }
+
+    /// Returns the raw value of the word.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the word is zero.
+    ///
+    /// Zero is the conventional "free" value tested by Test-and-Set and
+    /// Test-and-Test-and-Set (Section 6): `If V != 0 Then nil Else ...`.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the word incremented by one, wrapping on overflow.
+    #[must_use]
+    pub const fn wrapping_incr(self) -> Word {
+        Word(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Word {
+    fn from(value: u64) -> Self {
+        Word(value)
+    }
+}
+
+impl From<Word> for u64 {
+    fn from(word: Word) -> Self {
+        word.0
+    }
+}
+
+impl Add for Word {
+    type Output = Word;
+    fn add(self, rhs: Word) -> Word {
+        Word(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl Sub for Word {
+    type Output = Word;
+    fn sub(self, rhs: Word) -> Word {
+        Word(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl BitAnd for Word {
+    type Output = Word;
+    fn bitand(self, rhs: Word) -> Word {
+        Word(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Word {
+    type Output = Word;
+    fn bitor(self, rhs: Word) -> Word {
+        Word(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Word {
+    type Output = Word;
+    fn bitxor(self, rhs: Word) -> Word {
+        Word(self.0 ^ rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_constants() {
+        assert!(Word::ZERO.is_zero());
+        assert!(!Word::ONE.is_zero());
+        assert_eq!(Word::ZERO.wrapping_incr(), Word::ONE);
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        let w = Word::from(99u64);
+        assert_eq!(u64::from(w), 99);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let max = Word::new(u64::MAX);
+        assert_eq!(max.wrapping_incr(), Word::ZERO);
+        assert_eq!(max + Word::ONE, Word::ZERO);
+        assert_eq!(Word::ZERO - Word::ONE, max);
+    }
+
+    #[test]
+    fn bitwise_operators() {
+        let a = Word::new(0b1100);
+        let b = Word::new(0b1010);
+        assert_eq!(a & b, Word::new(0b1000));
+        assert_eq!(a | b, Word::new(0b1110));
+        assert_eq!(a ^ b, Word::new(0b0110));
+    }
+
+    #[test]
+    fn formatting() {
+        let w = Word::new(255);
+        assert_eq!(format!("{w}"), "255");
+        assert_eq!(format!("{w:x}"), "ff");
+        assert_eq!(format!("{w:X}"), "FF");
+        assert_eq!(format!("{w:o}"), "377");
+        assert_eq!(format!("{w:b}"), "11111111");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the memory substrate.
+
+use decache_mem::{Addr, AddrRange, BankedMemory, Memory, PeId, Word};
+use proptest::prelude::*;
+
+proptest! {
+    /// A write followed by a read of the same address returns the value
+    /// written, regardless of any other traffic to other addresses.
+    #[test]
+    fn write_then_read_round_trips(
+        size in 1u64..512,
+        ops in prop::collection::vec((0u64..512, any::<u64>()), 1..64),
+    ) {
+        let mut mem = Memory::new(size);
+        let mut model = vec![Word::ZERO; size as usize];
+        for (raw_addr, value) in ops {
+            let addr = Addr::new(raw_addr % size);
+            let word = Word::new(value);
+            mem.write(addr, word).unwrap();
+            model[addr.index() as usize] = word;
+        }
+        for i in 0..size {
+            prop_assert_eq!(mem.read(Addr::new(i)).unwrap(), model[i as usize]);
+        }
+    }
+
+    /// A banked memory is observationally equivalent to a flat memory for
+    /// any interleaving factor: banking is an implementation detail.
+    #[test]
+    fn banked_memory_matches_flat_memory(
+        bank_bits in 0u32..4,
+        ops in prop::collection::vec((0u64..256, any::<u64>(), any::<bool>()), 1..128),
+    ) {
+        let size = 256u64;
+        let mut flat = Memory::new(size);
+        let mut banked = BankedMemory::new(size, bank_bits);
+        for (raw_addr, value, is_write) in ops {
+            let addr = Addr::new(raw_addr % size);
+            if is_write {
+                let w = Word::new(value);
+                flat.write(addr, w).unwrap();
+                banked.write(addr, w).unwrap();
+            } else {
+                prop_assert_eq!(flat.read(addr).unwrap(), banked.read(addr).unwrap());
+            }
+        }
+        for i in 0..size {
+            prop_assert_eq!(flat.peek(Addr::new(i)).unwrap(), banked.peek(Addr::new(i)).unwrap());
+        }
+    }
+
+    /// Bank traffic partitions total traffic: the per-bank write counters
+    /// always sum to the number of writes issued.
+    #[test]
+    fn bank_stats_partition_traffic(
+        bank_bits in 0u32..3,
+        addrs in prop::collection::vec(0u64..64, 1..64),
+    ) {
+        let mut banked = BankedMemory::new(64, bank_bits);
+        for raw in &addrs {
+            banked.write(Addr::new(*raw), Word::ONE).unwrap();
+        }
+        let sum: u64 = (0..banked.bank_count())
+            .map(|b| banked.bank_stats(b).writes)
+            .sum();
+        prop_assert_eq!(sum, addrs.len() as u64);
+        prop_assert_eq!(banked.total_stats().writes, addrs.len() as u64);
+    }
+
+    /// While a word is locked, no other PE can mutate it; after unlock the
+    /// final value is the unlocking write's value.
+    #[test]
+    fn lock_excludes_other_writers(
+        addr in 0u64..32,
+        intruders in prop::collection::vec(0u16..8, 0..8),
+        unlock_value in any::<u64>(),
+    ) {
+        let mut mem = Memory::new(32);
+        let a = Addr::new(addr);
+        let holder = PeId::new(100);
+        mem.read_with_lock(a, holder).unwrap();
+        for pe in intruders {
+            // Writes and locked reads by anyone else must fail.
+            prop_assert!(mem.write_checked(a, Word::new(7), PeId::new(pe)).is_err());
+            prop_assert!(mem.read_with_lock(a, PeId::new(pe)).is_err());
+        }
+        mem.write_with_unlock(a, Word::new(unlock_value), holder).unwrap();
+        prop_assert_eq!(mem.peek(a).unwrap(), Word::new(unlock_value));
+        prop_assert_eq!(mem.lock_holder(a), None);
+    }
+
+    /// Address ranges enumerate exactly their length and agree with
+    /// `contains`.
+    #[test]
+    fn range_iteration_matches_contains(start in 0u64..1000, len in 0u64..100) {
+        let range = AddrRange::with_len(Addr::new(start), len);
+        let members: Vec<Addr> = range.iter().collect();
+        prop_assert_eq!(members.len() as u64, len);
+        for a in &members {
+            prop_assert!(range.contains(*a));
+        }
+        prop_assert!(!range.contains(Addr::new(start + len)));
+    }
+
+    /// Bank selection and within-bank index reconstruct the address.
+    #[test]
+    fn bank_split_reconstructs_address(raw in 0u64..1_000_000, bank_bits in 0u32..6) {
+        let addr = Addr::new(raw);
+        let bank = addr.bank_of(bank_bits) as u64;
+        let local = addr.within_bank(bank_bits).index();
+        prop_assert_eq!((local << bank_bits) | bank, raw);
+    }
+}

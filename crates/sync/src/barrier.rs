@@ -1,0 +1,265 @@
+//! A centralized barrier built from the paper's primitives.
+//!
+//! "The behavior of a parallel computation can be characterized as a
+//! series of parallel actions alternated by phases of communication
+//! and/or synchronization" (Section 6). The barrier is the canonical
+//! such phase: every processor arrives, and none proceeds until all
+//! have. This implementation composes the paper's TTS lock with a
+//! shared arrival counter and a generation word that waiters spin on —
+//! in their caches, thanks to the coherence schemes.
+//!
+//! Memory layout (three consecutive shared words):
+//! `base + 0` = mutex lock, `base + 1` = arrival counter,
+//! `base + 2` = generation (number of completed episodes).
+
+use decache_machine::{MemOp, OpResult, Poll, Processor};
+use decache_mem::{Addr, Word};
+
+/// Which step of the barrier protocol a worker is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// TTS test of the mutex.
+    Test,
+    /// Test-and-set in flight.
+    Attempt,
+    /// Reading the arrival counter (mutex held).
+    ReadCounter,
+    /// Writing the incremented counter (not the last arriver).
+    BumpCounter,
+    /// Writing the counter back to zero (last arriver).
+    ResetCounter,
+    /// Releasing the mutex; `then_publish` distinguishes the last
+    /// arriver (who must still bump the generation).
+    ReleaseLock { then_publish: bool },
+    /// Publishing the new generation (last arriver only).
+    PublishGeneration,
+    /// Spinning on the generation word.
+    SpinGeneration,
+    /// All episodes done.
+    Finished,
+}
+
+/// One processor's barrier program: arrive at the barrier `episodes`
+/// times, spinning (in cache) between arrivals.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::MachineBuilder;
+/// use decache_mem::{Addr, Word};
+/// use decache_sync::BarrierWorker;
+///
+/// let base = Addr::new(0);
+/// let mut machine = MachineBuilder::new(ProtocolKind::Rwb)
+///     .processors(4, |_| Box::new(BarrierWorker::new(base, 4, 3)))
+///     .build();
+/// machine.run_to_completion(1_000_000);
+/// // The generation word counts completed episodes:
+/// assert_eq!(machine.memory().peek(Addr::new(2)).unwrap(), Word::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrierWorker {
+    lock: Addr,
+    counter: Addr,
+    generation: Addr,
+    total: u64,
+    episodes: u64,
+    episode: u64,
+    phase: Phase,
+}
+
+impl BarrierWorker {
+    /// Creates a worker for a barrier of `total` processors at `base`
+    /// (which claims three consecutive words), performing `episodes`
+    /// barrier episodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn new(base: Addr, total: u64, episodes: u64) -> Self {
+        assert!(total > 0, "a barrier needs at least one participant");
+        BarrierWorker {
+            lock: base,
+            counter: base.offset(1),
+            generation: base.offset(2),
+            total,
+            episodes,
+            episode: 0,
+            phase: if episodes == 0 { Phase::Finished } else { Phase::Test },
+        }
+    }
+
+    /// The number of episodes this worker has completed.
+    pub fn completed_episodes(&self) -> u64 {
+        self.episode
+    }
+
+    fn finish_episode(&mut self) -> Poll {
+        self.episode += 1;
+        if self.episode == self.episodes {
+            self.phase = Phase::Finished;
+            Poll::Halt
+        } else {
+            self.phase = Phase::Test;
+            Poll::Op(MemOp::read(self.lock))
+        }
+    }
+}
+
+impl Processor for BarrierWorker {
+    fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
+        match self.phase {
+            Phase::Finished => Poll::Halt,
+
+            Phase::Test => match last {
+                Some(OpResult::Read(v)) if v.is_zero() => {
+                    self.phase = Phase::Attempt;
+                    Poll::Op(MemOp::test_and_set(self.lock, Word::ONE))
+                }
+                _ => Poll::Op(MemOp::read(self.lock)),
+            },
+
+            Phase::Attempt => match last {
+                Some(OpResult::TestAndSet { acquired: true, .. }) => {
+                    self.phase = Phase::ReadCounter;
+                    Poll::Op(MemOp::read(self.counter))
+                }
+                Some(OpResult::TestAndSet { acquired: false, .. }) => {
+                    self.phase = Phase::Test;
+                    Poll::Op(MemOp::read(self.lock))
+                }
+                _ => Poll::Op(MemOp::test_and_set(self.lock, Word::ONE)),
+            },
+
+            Phase::ReadCounter => match last {
+                Some(OpResult::Read(c)) => {
+                    let arrivals = c.value() + 1;
+                    if arrivals == self.total {
+                        self.phase = Phase::ResetCounter;
+                        Poll::Op(MemOp::write(self.counter, Word::ZERO))
+                    } else {
+                        self.phase = Phase::BumpCounter;
+                        Poll::Op(MemOp::write(self.counter, Word::new(arrivals)))
+                    }
+                }
+                _ => unreachable!("ReadCounter expects a read result"),
+            },
+
+            Phase::BumpCounter => {
+                self.phase = Phase::ReleaseLock { then_publish: false };
+                Poll::Op(MemOp::write(self.lock, Word::ZERO))
+            }
+
+            Phase::ResetCounter => {
+                self.phase = Phase::ReleaseLock { then_publish: true };
+                Poll::Op(MemOp::write(self.lock, Word::ZERO))
+            }
+
+            Phase::ReleaseLock { then_publish } => {
+                if then_publish {
+                    self.phase = Phase::PublishGeneration;
+                    Poll::Op(MemOp::write(self.generation, Word::new(self.episode + 1)))
+                } else {
+                    self.phase = Phase::SpinGeneration;
+                    Poll::Op(MemOp::read(self.generation))
+                }
+            }
+
+            Phase::PublishGeneration => self.finish_episode(),
+
+            Phase::SpinGeneration => match last {
+                Some(OpResult::Read(g)) if g.value() > self.episode => self.finish_episode(),
+                _ => Poll::Op(MemOp::read(self.generation)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::ProtocolKind;
+    use decache_machine::MachineBuilder;
+
+    fn run(kind: ProtocolKind, workers: u64, episodes: u64) -> decache_machine::Machine {
+        let base = Addr::new(0);
+        let mut machine = MachineBuilder::new(kind)
+            .memory_words(64)
+            .processors(workers as usize, |_| {
+                Box::new(BarrierWorker::new(base, workers, episodes))
+            })
+            .build();
+        machine.run_to_completion(10_000_000);
+        machine
+    }
+
+    #[test]
+    fn all_workers_pass_all_episodes_under_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            let machine = run(kind, 4, 3);
+            // Generation counts completed episodes.
+            let gen = machine.snapshot(Addr::new(2));
+            let latest = (0..4)
+                .find_map(|pe| {
+                    machine
+                        .cache_line(pe, Addr::new(2))
+                        .filter(|(s, _)| s.owns_latest())
+                        .map(|(_, d)| d)
+                })
+                .unwrap_or(gen.memory());
+            assert_eq!(latest, Word::new(3), "{kind}");
+            // Each episode acquires the mutex once per worker.
+            assert_eq!(machine.stats().ts_successes, 12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn single_worker_barrier_is_trivial() {
+        let machine = run(ProtocolKind::Rb, 1, 5);
+        assert_eq!(machine.stats().ts_successes, 5);
+    }
+
+    #[test]
+    fn counter_resets_between_episodes() {
+        let machine = run(ProtocolKind::Rwb, 3, 2);
+        // After the last episode the counter is back at zero (latest
+        // value, wherever it lives).
+        let snap = machine.snapshot(Addr::new(1));
+        let latest = (0..3)
+            .find_map(|pe| {
+                machine
+                    .cache_line(pe, Addr::new(1))
+                    .filter(|(s, _)| s.owns_latest())
+                    .map(|(_, d)| d)
+            })
+            .unwrap_or(snap.memory());
+        assert_eq!(latest, Word::ZERO);
+    }
+
+    #[test]
+    fn spinning_between_arrivals_is_cache_local_under_rwb() {
+        // Compare bus traffic: barrier spinning under RWB should cost
+        // far less than the total references issued.
+        let machine = run(ProtocolKind::Rwb, 8, 4);
+        let refs = machine.total_cache_stats().total_references();
+        let bus = machine.traffic().total_transactions();
+        assert!(
+            bus < refs / 2,
+            "barrier spins should mostly hit in cache: {bus} bus tx for {refs} refs"
+        );
+    }
+
+    #[test]
+    fn zero_episode_worker_halts_immediately() {
+        let mut w = BarrierWorker::new(Addr::new(0), 2, 0);
+        assert_eq!(w.next_op(None), Poll::Halt);
+        assert_eq!(w.completed_episodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_panics() {
+        let _ = BarrierWorker::new(Addr::new(0), 0, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Conducted execution: drive a machine one directed operation at a time.
+
+use decache_machine::{Machine, MemOp, OpResult, Poll, Processor};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Shared state between the conductor and one conducted processor.
+#[derive(Debug, Default)]
+struct Slot {
+    queue: VecDeque<MemOp>,
+    results: Vec<OpResult>,
+}
+
+/// A processor that executes exactly the operations the [`Conductor`]
+/// hands it, waiting otherwise.
+#[derive(Debug)]
+struct ConductedProcessor {
+    slot: Arc<Mutex<Slot>>,
+}
+
+impl Processor for ConductedProcessor {
+    fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
+        let mut slot = self.slot.lock().expect("conductor slot poisoned");
+        if let Some(result) = last {
+            slot.results.push(*result);
+        }
+        match slot.queue.pop_front() {
+            Some(op) => Poll::Op(op),
+            None => Poll::Wait,
+        }
+    }
+}
+
+/// Orchestrates a machine whose processors execute only on direction:
+/// push operations to chosen PEs, run the machine to quiescence, observe
+/// (snapshot, traffic), repeat. This is how the row-per-observable-event
+/// tables of Figures 6-1/6-2/6-3 are regenerated with exact control over
+/// which PE does what, when.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::{MachineBuilder, MemOp, OpResult};
+/// use decache_mem::{Addr, Word};
+/// use decache_sync::Conductor;
+///
+/// let mut conductor = Conductor::new(2);
+/// let mut machine = MachineBuilder::new(ProtocolKind::Rb)
+///     .processors(2, |pe| conductor.processor(pe))
+///     .build();
+///
+/// conductor.run_op(&mut machine, 0, MemOp::write(Addr::new(0), Word::ONE));
+/// let r = conductor.run_op(&mut machine, 1, MemOp::read(Addr::new(0)));
+/// assert_eq!(r, OpResult::Read(Word::ONE));
+/// ```
+#[derive(Debug)]
+pub struct Conductor {
+    slots: Vec<Arc<Mutex<Slot>>>,
+}
+
+/// Cycle budget for one conducted step; conducted ops are short (at most
+/// a few bus transactions), so this is generous.
+const STEP_BUDGET: u64 = 10_000;
+
+impl Conductor {
+    /// Creates a conductor for `pes` processing elements.
+    pub fn new(pes: usize) -> Self {
+        Conductor {
+            slots: (0..pes).map(|_| Arc::new(Mutex::new(Slot::default()))).collect(),
+        }
+    }
+
+    /// The number of conducted processors.
+    pub fn pe_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Produces the conducted processor for PE `pe`; hand it to
+    /// [`MachineBuilder::processor`].
+    ///
+    /// [`MachineBuilder::processor`]: decache_machine::MachineBuilder::processor
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn processor(&self, pe: usize) -> Box<dyn Processor + Send> {
+        Box::new(ConductedProcessor { slot: Arc::clone(&self.slots[pe]) })
+    }
+
+    /// Queues `op` on PE `pe` without running the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn push(&self, pe: usize, op: MemOp) {
+        self.slots[pe].lock().expect("conductor slot poisoned").queue.push_back(op);
+    }
+
+    /// Runs the machine until all queued operations complete and the
+    /// machine is quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if quiescence is not reached within the step budget (a
+    /// conducted op that spins forever is a scenario bug).
+    pub fn settle(&self, machine: &mut Machine) {
+        assert!(
+            machine.run_until_quiescent(STEP_BUDGET),
+            "conducted step did not settle within {STEP_BUDGET} cycles"
+        );
+        // Results are handed to processors at the next poll; take one
+        // more (idle) step so every conducted processor records its
+        // result.
+        machine.step();
+        assert!(machine.is_quiescent(), "result-delivery step started new work");
+        // Quiescent with empty conductor queues means every op finished.
+        debug_assert!(self
+            .slots
+            .iter()
+            .all(|s| s.lock().expect("conductor slot poisoned").queue.is_empty()));
+    }
+
+    /// Convenience: queue one op on one PE, settle, and return its
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range or the machine does not settle.
+    pub fn run_op(&self, machine: &mut Machine, pe: usize, op: MemOp) -> OpResult {
+        self.push(pe, op);
+        self.settle(machine);
+        self.last_result(pe).expect("op completed, result recorded")
+    }
+
+    /// Convenience: queue one op on each of several PEs (concurrently),
+    /// then settle.
+    pub fn run_ops(&self, machine: &mut Machine, ops: &[(usize, MemOp)]) {
+        for &(pe, op) in ops {
+            self.push(pe, op);
+        }
+        self.settle(machine);
+    }
+
+    /// The most recent result observed by PE `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn last_result(&self, pe: usize) -> Option<OpResult> {
+        self.slots[pe]
+            .lock()
+            .expect("conductor slot poisoned")
+            .results
+            .last()
+            .copied()
+    }
+
+    /// All results observed by PE `pe`, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn results(&self, pe: usize) -> Vec<OpResult> {
+        self.slots[pe].lock().expect("conductor slot poisoned").results.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::{LineState, ProtocolKind};
+    use decache_machine::MachineBuilder;
+    use decache_mem::{Addr, Word};
+
+    fn setup(kind: ProtocolKind, pes: usize) -> (Conductor, Machine) {
+        let conductor = Conductor::new(pes);
+        let machine = MachineBuilder::new(kind)
+            .processors(pes, |pe| conductor.processor(pe))
+            .build();
+        (conductor, machine)
+    }
+
+    #[test]
+    fn conducted_ops_execute_in_order() {
+        let (c, mut m) = setup(ProtocolKind::Rb, 2);
+        let x = Addr::new(4);
+        assert_eq!(c.run_op(&mut m, 0, MemOp::write(x, Word::new(3))), OpResult::Write);
+        assert_eq!(c.run_op(&mut m, 1, MemOp::read(x)), OpResult::Read(Word::new(3)));
+        assert_eq!(c.results(1).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_ops_settle_together() {
+        let (c, mut m) = setup(ProtocolKind::Rb, 3);
+        let x = Addr::new(0);
+        c.run_op(&mut m, 1, MemOp::write(x, Word::ONE));
+        c.run_ops(&mut m, &[(0, MemOp::read(x)), (2, MemOp::read(x))]);
+        assert_eq!(c.last_result(0), Some(OpResult::Read(Word::ONE)));
+        assert_eq!(c.last_result(2), Some(OpResult::Read(Word::ONE)));
+    }
+
+    #[test]
+    fn conducted_ts_reports_acquisition() {
+        let (c, mut m) = setup(ProtocolKind::Rwb, 2);
+        let s = Addr::new(0);
+        let r = c.run_op(&mut m, 0, MemOp::test_and_set(s, Word::ONE));
+        assert_eq!(r, OpResult::TestAndSet { old: Word::ZERO, acquired: true });
+        let r = c.run_op(&mut m, 1, MemOp::test_and_set(s, Word::ONE));
+        assert_eq!(r, OpResult::TestAndSet { old: Word::ONE, acquired: false });
+    }
+
+    #[test]
+    fn machine_idles_between_directions() {
+        let (c, mut m) = setup(ProtocolKind::Rb, 1);
+        c.run_op(&mut m, 0, MemOp::read(Addr::new(0)));
+        let cycles_before = m.cycles();
+        // No queued work: machine is quiescent immediately after a step.
+        assert!(m.run_until_quiescent(10));
+        assert!(m.cycles() > cycles_before);
+        assert_eq!(
+            m.cache_line(0, Addr::new(0)).map(|(s, _)| s),
+            Some(LineState::Readable)
+        );
+    }
+}

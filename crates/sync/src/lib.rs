@@ -1,0 +1,40 @@
+//! # decache-sync
+//!
+//! Synchronization on the simulated caches (Section 6 of the paper):
+//! the classic **Test-and-Set** (TS) spinlock, the paper's
+//! **Test-and-Test-and-Set** (TTS) refinement, and the machinery to
+//! measure and visualize what they do to the shared bus.
+//!
+//! * [`LockWorker`] — a processing-element program that repeatedly
+//!   acquires a lock (by TS or TTS), holds it for a configurable
+//!   critical section, and releases it.
+//! * [`Conductor`] — drives a machine one directed operation at a time,
+//!   so experiments can take a [`Snapshot`] after each observable event:
+//!   this regenerates the row-per-event tables of Figures 6-1, 6-2, and
+//!   6-3 exactly.
+//! * [`SyncScenario`] — the three-processor lock scenario of those
+//!   figures, parameterized by primitive (TS/TTS) and protocol (RB/RWB).
+//! * [`ContentionExperiment`] — the quantitative hot-spot measurement
+//!   (E8): how much bus traffic m contending processors generate under
+//!   each primitive and protocol.
+//! * [`BarrierWorker`] — a centralized sense-style barrier composed from
+//!   the TTS lock and an in-cache generation spin, exercising the
+//!   "parallel actions alternated by phases of synchronization" pattern
+//!   the paper opens Section 6 with.
+//!
+//! [`Snapshot`]: decache_machine::Snapshot
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barrier;
+mod conduct;
+mod contention;
+mod lock;
+mod scenario;
+
+pub use barrier::BarrierWorker;
+pub use conduct::Conductor;
+pub use contention::{ContentionExperiment, ContentionReport};
+pub use lock::{LockWorker, Primitive};
+pub use scenario::{ScenarioReport, SyncScenario};

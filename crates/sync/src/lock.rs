@@ -1,0 +1,346 @@
+//! TS and TTS spinlock processor programs.
+
+use decache_machine::{MemOp, OpResult, Poll, Processor};
+use decache_mem::{Addr, Word};
+use std::fmt;
+
+/// Which synchronization primitive a [`LockWorker`] spins with.
+///
+/// * `TestAndSet`: every acquisition attempt is a full read-modify-write
+///   bus cycle — the classic hot spot. "If many PE's simultaneously
+///   test-and-set the same memory location ... high bus traffic and
+///   memory contention will result" (Section 6).
+/// * `TestAndTestAndSet`: each attempt first *tests* with an ordinary
+///   read — which spins silently in the cache — and only issues the
+///   test-and-set once the test observes zero. "The initial test part of
+///   the instruction could be executed in the local cache, without
+///   generating bus traffic" (Section 6). This is the software TTS the
+///   paper advocates for off-the-shelf processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Spin on the atomic test-and-set itself.
+    TestAndSet,
+    /// Test in the cache first; test-and-set only when the lock looks
+    /// free.
+    TestAndTestAndSet,
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Primitive::TestAndSet => write!(f, "TS"),
+            Primitive::TestAndTestAndSet => write!(f, "TTS"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// TTS only: reading the lock until it looks free.
+    Testing,
+    /// A test-and-set is in flight.
+    Attempting,
+    /// Holding the lock; `left` critical-section references remain.
+    Critical { left: u64 },
+    /// The release write is in flight.
+    Releasing,
+    /// All acquisitions performed.
+    Finished,
+}
+
+/// A processor program that acquires a shared lock `rounds` times,
+/// performing `cs_refs` private-data references inside each critical
+/// section, then releasing with an ordinary write of zero.
+///
+/// The lock variable is `1` when held and `0` when free, exactly as in
+/// the figures' scenario ("The lock S is 1 if the data structure is
+/// currently reserved ... and is 0 if the data structure is not in use").
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::MachineBuilder;
+/// use decache_mem::{Addr, Word};
+/// use decache_sync::{LockWorker, Primitive};
+///
+/// let lock = Addr::new(0);
+/// let mut machine = MachineBuilder::new(ProtocolKind::Rb)
+///     .processors(4, |pe| {
+///         Box::new(LockWorker::new(lock, Primitive::TestAndTestAndSet)
+///             .rounds(3)
+///             .critical_section(Addr::new(16 + pe as u64), 2))
+///     })
+///     .build();
+/// machine.run_to_completion(100_000);
+/// assert_eq!(machine.stats().ts_successes, 12); // 4 PEs x 3 rounds
+/// // The final release may be a silent local write, so the latest value
+/// // (0 = free) is either in memory or in the releasing cache's L line:
+/// let snap = machine.snapshot(lock);
+/// let owner = (0..4).find_map(|pe| snap.line(pe).filter(|(s, _)| s.owns_latest()));
+/// match owner {
+///     Some((_, data)) => assert_eq!(data, Word::ZERO),
+///     None => assert_eq!(snap.memory(), Word::ZERO),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockWorker {
+    lock: Addr,
+    primitive: Primitive,
+    rounds_left: u64,
+    cs_refs: u64,
+    private: Addr,
+    phase: Phase,
+}
+
+impl LockWorker {
+    /// Creates a worker that acquires `lock` once with no critical-section
+    /// work; tune with [`LockWorker::rounds`] and
+    /// [`LockWorker::critical_section`].
+    pub fn new(lock: Addr, primitive: Primitive) -> Self {
+        LockWorker {
+            lock,
+            primitive,
+            rounds_left: 1,
+            cs_refs: 0,
+            private: lock, // placeholder; unused while cs_refs == 0
+            phase: Phase::start(primitive),
+        }
+    }
+
+    /// Sets the number of acquisitions to perform.
+    #[must_use]
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds_left = rounds;
+        if rounds == 0 {
+            self.phase = Phase::Finished;
+        }
+        self
+    }
+
+    /// Holds the lock for `refs` reads of the worker's `private` word
+    /// per acquisition (models critical-section work; the private word
+    /// caches after its first touch, so the hold time is `refs` cycles).
+    #[must_use]
+    pub fn critical_section(mut self, private: Addr, refs: u64) -> Self {
+        self.private = private;
+        self.cs_refs = refs;
+        self
+    }
+
+    /// The primitive this worker spins with.
+    pub fn primitive(&self) -> Primitive {
+        self.primitive
+    }
+
+    fn acquire_op(&self) -> MemOp {
+        MemOp::test_and_set(self.lock, Word::ONE)
+    }
+
+    fn enter_critical(&mut self) -> Poll {
+        if self.cs_refs > 0 {
+            // Issue the first critical-section reference now.
+            self.phase = Phase::Critical { left: self.cs_refs - 1 };
+            Poll::Op(MemOp::read(self.private).with_class(decache_cache::RefClass::Local))
+        } else {
+            self.phase = Phase::Releasing;
+            Poll::Op(MemOp::write(self.lock, Word::ZERO))
+        }
+    }
+}
+
+impl Phase {
+    fn start(primitive: Primitive) -> Phase {
+        match primitive {
+            Primitive::TestAndSet => Phase::Attempting,
+            Primitive::TestAndTestAndSet => Phase::Testing,
+        }
+    }
+}
+
+impl Processor for LockWorker {
+    fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
+        match self.phase {
+            Phase::Finished => Poll::Halt,
+
+            Phase::Testing => match last {
+                // "If V != 0 Then nil Else <test-and-set>": the test spins
+                // in the cache until the lock looks free.
+                Some(OpResult::Read(v)) if v.is_zero() => {
+                    self.phase = Phase::Attempting;
+                    Poll::Op(self.acquire_op())
+                }
+                _ => Poll::Op(MemOp::read(self.lock)),
+            },
+
+            Phase::Attempting => match last {
+                Some(OpResult::TestAndSet { acquired: true, .. }) => self.enter_critical(),
+                Some(OpResult::TestAndSet { acquired: false, .. }) => match self.primitive {
+                    // TS retries the read-modify-write immediately.
+                    Primitive::TestAndSet => Poll::Op(self.acquire_op()),
+                    // TTS falls back to testing in the cache.
+                    Primitive::TestAndTestAndSet => {
+                        self.phase = Phase::Testing;
+                        Poll::Op(MemOp::read(self.lock))
+                    }
+                },
+                // First call (no previous result): start with an attempt.
+                _ => Poll::Op(self.acquire_op()),
+            },
+
+            Phase::Critical { left } => {
+                if left > 0 {
+                    self.phase = Phase::Critical { left: left - 1 };
+                    Poll::Op(MemOp::read(self.private).with_class(decache_cache::RefClass::Local))
+                } else {
+                    self.phase = Phase::Releasing;
+                    Poll::Op(MemOp::write(self.lock, Word::ZERO))
+                }
+            }
+
+            Phase::Releasing => {
+                self.rounds_left -= 1;
+                if self.rounds_left == 0 {
+                    self.phase = Phase::Finished;
+                    Poll::Halt
+                } else {
+                    self.phase = Phase::start(self.primitive);
+                    self.next_op(None)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(worker: &mut LockWorker, results: Vec<OpResult>) -> Vec<MemOp> {
+        let mut ops = Vec::new();
+        let mut last: Option<OpResult> = None;
+        let mut results = results.into_iter();
+        loop {
+            match worker.next_op(last.as_ref()) {
+                Poll::Op(op) => {
+                    ops.push(op);
+                    last = results.next();
+                    if last.is_none() {
+                        return ops;
+                    }
+                }
+                Poll::Halt => return ops,
+                Poll::Wait => unreachable!("LockWorker never waits"),
+            }
+        }
+    }
+
+    #[test]
+    fn ts_worker_spins_with_test_and_set() {
+        let lock = Addr::new(0);
+        let mut w = LockWorker::new(lock, Primitive::TestAndSet);
+        let ops = drive(
+            &mut w,
+            vec![
+                OpResult::TestAndSet { old: Word::ONE, acquired: false },
+                OpResult::TestAndSet { old: Word::ONE, acquired: false },
+                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::Write,
+            ],
+        );
+        // Three TS attempts, then the release write.
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0], MemOp::test_and_set(lock, Word::ONE));
+        assert_eq!(ops[1], MemOp::test_and_set(lock, Word::ONE));
+        assert_eq!(ops[2], MemOp::test_and_set(lock, Word::ONE));
+        assert_eq!(ops[3], MemOp::write(lock, Word::ZERO));
+    }
+
+    #[test]
+    fn tts_worker_tests_before_setting() {
+        let lock = Addr::new(0);
+        let mut w = LockWorker::new(lock, Primitive::TestAndTestAndSet);
+        let ops = drive(
+            &mut w,
+            vec![
+                OpResult::Read(Word::ONE),  // busy: keep testing
+                OpResult::Read(Word::ONE),  // busy
+                OpResult::Read(Word::ZERO), // looks free: attempt
+                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::Write,
+            ],
+        );
+        assert_eq!(ops[0], MemOp::read(lock));
+        assert_eq!(ops[1], MemOp::read(lock));
+        assert_eq!(ops[2], MemOp::read(lock));
+        assert_eq!(ops[3], MemOp::test_and_set(lock, Word::ONE));
+        assert_eq!(ops[4], MemOp::write(lock, Word::ZERO));
+    }
+
+    #[test]
+    fn tts_lost_race_returns_to_testing() {
+        let lock = Addr::new(0);
+        let mut w = LockWorker::new(lock, Primitive::TestAndTestAndSet);
+        let ops = drive(
+            &mut w,
+            vec![
+                OpResult::Read(Word::ZERO), // looks free
+                OpResult::TestAndSet { old: Word::ONE, acquired: false }, // lost the race
+                OpResult::Read(Word::ONE),  // back to testing
+            ],
+        );
+        assert_eq!(ops[0], MemOp::read(lock));
+        assert_eq!(ops[1], MemOp::test_and_set(lock, Word::ONE));
+        assert_eq!(ops[2], MemOp::read(lock)); // testing again, not TS
+        assert_eq!(ops[3], MemOp::read(lock));
+    }
+
+    #[test]
+    fn critical_section_reads_private_word() {
+        let lock = Addr::new(0);
+        let private = Addr::new(32);
+        let mut w = LockWorker::new(lock, Primitive::TestAndSet).critical_section(private, 2);
+        let ops = drive(
+            &mut w,
+            vec![
+                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::Read(Word::ZERO),
+                OpResult::Read(Word::ZERO),
+                OpResult::Write,
+            ],
+        );
+        assert_eq!(ops[1].access, decache_machine::Access::Read(private));
+        assert_eq!(ops[2].access, decache_machine::Access::Read(private));
+        assert_eq!(ops[3], MemOp::write(lock, Word::ZERO));
+    }
+
+    #[test]
+    fn multiple_rounds_restart_the_cycle() {
+        let lock = Addr::new(0);
+        let mut w = LockWorker::new(lock, Primitive::TestAndSet).rounds(2);
+        let ops = drive(
+            &mut w,
+            vec![
+                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::Write,
+                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::Write,
+            ],
+        );
+        // TS, release, TS, release, halt.
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[2], MemOp::test_and_set(lock, Word::ONE));
+    }
+
+    #[test]
+    fn zero_rounds_halts_immediately() {
+        let mut w = LockWorker::new(Addr::new(0), Primitive::TestAndSet).rounds(0);
+        assert_eq!(w.next_op(None), Poll::Halt);
+    }
+
+    #[test]
+    fn primitive_display() {
+        assert_eq!(Primitive::TestAndSet.to_string(), "TS");
+        assert_eq!(Primitive::TestAndTestAndSet.to_string(), "TTS");
+    }
+}

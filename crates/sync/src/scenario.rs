@@ -1,0 +1,346 @@
+//! The three-processor lock scenario of Figures 6-1, 6-2, and 6-3.
+
+use crate::{Conductor, Primitive};
+use decache_core::ProtocolKind;
+use decache_machine::{Machine, MachineBuilder, MemOp, SnapshotTable};
+use decache_mem::{Addr, Word};
+
+/// The lock variable `S` of the figures.
+const LOCK: Addr = Addr::new(0);
+/// Processing elements in the scenario ("1 process per processor"); the
+/// figures use P1, P2, Pm — three columns.
+const PES: usize = 3;
+/// In the figures P2 (zero-based PE 1) takes the lock first.
+const HOLDER: usize = 1;
+/// P1 (zero-based PE 0) acquires after the release.
+const NEXT: usize = 0;
+
+/// One executed scenario: the figure's table plus the bus transactions
+/// each phase generated.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// The protocol simulated.
+    pub protocol: ProtocolKind,
+    /// The primitive used by the contending processors.
+    pub primitive: Primitive,
+    /// The figure's row-per-observation table.
+    pub table: SnapshotTable,
+    /// `(observation label, bus transactions during that phase)` — the
+    /// figures' "(Bus Traffic)" / "(No Bus Traffic)" annotations, made
+    /// quantitative.
+    pub phase_traffic: Vec<(String, u64)>,
+    /// The machine in its final state, for further inspection.
+    pub machine: Machine,
+}
+
+impl ScenarioReport {
+    /// Renders the table in the figures' layout.
+    pub fn render(&self) -> String {
+        self.table.render(PES)
+    }
+
+    /// The transactions generated during the phase with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase has that label.
+    pub fn traffic_of(&self, label: &str) -> u64 {
+        self.phase_traffic
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("no phase labelled {label:?}"))
+            .1
+    }
+}
+
+/// Reproduces the synchronization figures: "an example of synchronization
+/// between M processes (1 process per processor) using a shared data
+/// structure lock S" (Section 6.1), with M = 3 as drawn.
+///
+/// * `SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndSet)` —
+///   Figure 6-1;
+/// * `SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet)`
+///   — Figure 6-2;
+/// * `SyncScenario::new(ProtocolKind::Rwb, Primitive::TestAndTestAndSet)`
+///   — Figure 6-3.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_sync::{Primitive, SyncScenario};
+///
+/// let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet).run();
+/// // TTS spins generate zero bus traffic while the lock is held:
+/// assert_eq!(report.traffic_of("Others spin on S (in cache)"), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncScenario {
+    protocol: ProtocolKind,
+    primitive: Primitive,
+    spin_rounds: u64,
+}
+
+impl SyncScenario {
+    /// Creates the scenario for a protocol and primitive.
+    pub fn new(protocol: ProtocolKind, primitive: Primitive) -> Self {
+        SyncScenario { protocol, primitive, spin_rounds: 3 }
+    }
+
+    /// Sets how many failed acquisition rounds the waiting processors
+    /// perform while the lock is held (default 3).
+    #[must_use]
+    pub fn spin_rounds(mut self, rounds: u64) -> Self {
+        self.spin_rounds = rounds;
+        self
+    }
+
+    /// Runs the scenario and produces the figure.
+    pub fn run(&self) -> ScenarioReport {
+        let conductor = Conductor::new(PES);
+        let mut machine = MachineBuilder::new(self.protocol)
+            .memory_words(64)
+            .cache_lines(16)
+            .processors(PES, |pe| conductor.processor(pe))
+            .build();
+
+        let mut table = SnapshotTable::new();
+        let mut phase_traffic = Vec::new();
+        let mut last_total = 0u64;
+
+        let mut observe = |machine: &Machine,
+                           table: &mut SnapshotTable,
+                           phases: &mut Vec<(String, u64)>,
+                           label: &str| {
+            let total = machine.traffic().total_transactions();
+            table.push(label, machine.snapshot(LOCK));
+            phases.push((label.to_owned(), total - last_total));
+            last_total = total;
+        };
+
+        let others: Vec<usize> = (0..PES).filter(|&pe| pe != HOLDER).collect();
+
+        // Row 1 — "Initial State": every processor has read S once.
+        let reads: Vec<(usize, MemOp)> = (0..PES).map(|pe| (pe, MemOp::read(LOCK))).collect();
+        conductor.run_ops(&mut machine, &reads);
+        observe(&machine, &mut table, &mut phase_traffic, "Initial State");
+
+        // Row 2 — "P2 Locks S".
+        let r = conductor.run_op(&mut machine, HOLDER, MemOp::test_and_set(LOCK, Word::ONE));
+        assert!(r.acquired(), "the scenario lock starts free");
+        observe(&machine, &mut table, &mut phase_traffic, "P2 Locks S");
+
+        // Row 3 — "Others try to get S" while held.
+        match self.primitive {
+            Primitive::TestAndSet => {
+                // Every attempt is a full (failing) test-and-set.
+                let attempts: Vec<(usize, MemOp)> = others
+                    .iter()
+                    .map(|&pe| (pe, MemOp::test_and_set(LOCK, Word::ONE)))
+                    .collect();
+                conductor.run_ops(&mut machine, &attempts);
+                observe(&machine, &mut table, &mut phase_traffic, "Others try to get S (TS)");
+                // Continued spinning: each extra round is more bus traffic.
+                for _ in 0..self.spin_rounds {
+                    conductor.run_ops(&mut machine, &attempts);
+                }
+                observe(
+                    &machine,
+                    &mut table,
+                    &mut phase_traffic,
+                    "Others keep trying (TS spin)",
+                );
+            }
+            Primitive::TestAndTestAndSet => {
+                // The first test may fetch the value; after that the spin
+                // lives entirely in the caches.
+                let tests: Vec<(usize, MemOp)> =
+                    others.iter().map(|&pe| (pe, MemOp::read(LOCK))).collect();
+                conductor.run_ops(&mut machine, &tests);
+                observe(&machine, &mut table, &mut phase_traffic, "Others test S (first test)");
+                for _ in 0..self.spin_rounds {
+                    conductor.run_ops(&mut machine, &tests);
+                }
+                observe(
+                    &machine,
+                    &mut table,
+                    &mut phase_traffic,
+                    "Others spin on S (in cache)",
+                );
+            }
+        }
+
+        // Row 4 — "P2 releases S" with an ordinary write of zero.
+        conductor.run_op(&mut machine, HOLDER, MemOp::write(LOCK, Word::ZERO));
+        observe(&machine, &mut table, &mut phase_traffic, "P2 releases S");
+
+        // Row 5 (TTS figures) — "A Bus Read to S": the spinners' next
+        // test observes the release.
+        if self.primitive == Primitive::TestAndTestAndSet {
+            let tests: Vec<(usize, MemOp)> =
+                others.iter().map(|&pe| (pe, MemOp::read(LOCK))).collect();
+            conductor.run_ops(&mut machine, &tests);
+            observe(&machine, &mut table, &mut phase_traffic, "A Bus Read to S");
+        }
+
+        // Row 6 — "P1 gets the S".
+        let r = conductor.run_op(&mut machine, NEXT, MemOp::test_and_set(LOCK, Word::ONE));
+        assert!(r.acquired(), "P1 acquires the released lock");
+        observe(&machine, &mut table, &mut phase_traffic, "P1 gets the S");
+
+        // Row 7 — "Others try to get S" again.
+        let rest: Vec<usize> = (0..PES).filter(|&pe| pe != NEXT).collect();
+        let attempts: Vec<(usize, MemOp)> = rest
+            .iter()
+            .map(|&pe| match self.primitive {
+                Primitive::TestAndSet => (pe, MemOp::test_and_set(LOCK, Word::ONE)),
+                Primitive::TestAndTestAndSet => (pe, MemOp::read(LOCK)),
+            })
+            .collect();
+        conductor.run_ops(&mut machine, &attempts);
+        observe(&machine, &mut table, &mut phase_traffic, "Others try to get S");
+
+        ScenarioReport {
+            protocol: self.protocol,
+            primitive: self.primitive,
+            table,
+            phase_traffic,
+            machine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::{Configuration, LineState};
+    use LineState::{FirstWrite, Invalid, Local, Readable};
+
+    fn states(report: &ScenarioReport, row: usize) -> Vec<Option<LineState>> {
+        let (_, snap) = &report.table.rows()[row];
+        (0..PES).map(|pe| snap.line(pe).map(|(s, _)| s)).collect()
+    }
+
+    #[test]
+    fn figure_6_1_ts_on_rb() {
+        let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndSet).run();
+        // Row 0 "Initial State": R(0) R(0) R(0).
+        assert_eq!(states(&report, 0), vec![Some(Readable); 3]);
+        // Row 1 "P2 Locks S": I(-) L(1) I(-).
+        assert_eq!(
+            states(&report, 1),
+            vec![Some(Invalid), Some(Local), Some(Invalid)]
+        );
+        // Row 2 "Others try to get S": R(1) R(1) R(1), with bus traffic.
+        assert_eq!(states(&report, 2), vec![Some(Readable); 3]);
+        assert!(report.traffic_of("Others try to get S (TS)") > 0);
+        // TS spinning keeps burning the bus.
+        assert!(report.traffic_of("Others keep trying (TS spin)") > 0);
+        // Row 4 "P2 releases S": I(-) L(0) I(-).
+        assert_eq!(
+            states(&report, 4),
+            vec![Some(Invalid), Some(Local), Some(Invalid)]
+        );
+        // Row 5 "P1 gets the S": L(1) I(-) I(-).
+        assert_eq!(
+            states(&report, 5),
+            vec![Some(Local), Some(Invalid), Some(Invalid)]
+        );
+        // Row 6 "Others try to get S": R(1) R(1) R(1).
+        assert_eq!(states(&report, 6), vec![Some(Readable); 3]);
+    }
+
+    #[test]
+    fn figure_6_2_tts_on_rb() {
+        let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet).run();
+        assert_eq!(states(&report, 0), vec![Some(Readable); 3]);
+        assert_eq!(
+            states(&report, 1),
+            vec![Some(Invalid), Some(Local), Some(Invalid)]
+        );
+        // "Others test S": the first test costs one bus read (supplied by
+        // the Local holder)...
+        assert_eq!(states(&report, 2), vec![Some(Readable); 3]);
+        assert!(report.traffic_of("Others test S (first test)") > 0);
+        // ... after which spinning is free: the headline TTS property.
+        assert_eq!(report.traffic_of("Others spin on S (in cache)"), 0);
+        // "P2 releases S": I(-) L(0) I(-).
+        assert_eq!(
+            states(&report, 4),
+            vec![Some(Invalid), Some(Local), Some(Invalid)]
+        );
+        // "A Bus Read to S": R(0) R(0) R(0).
+        assert_eq!(states(&report, 5), vec![Some(Readable); 3]);
+        // "P1 gets the S": L(1) I(-) I(-).
+        assert_eq!(
+            states(&report, 6),
+            vec![Some(Local), Some(Invalid), Some(Invalid)]
+        );
+        // "Others try to get S": R(1) R(1) R(1).
+        assert_eq!(states(&report, 7), vec![Some(Readable); 3]);
+    }
+
+    #[test]
+    fn figure_6_3_tts_on_rwb() {
+        let report = SyncScenario::new(ProtocolKind::Rwb, Primitive::TestAndTestAndSet).run();
+        assert_eq!(states(&report, 0), vec![Some(Readable); 3]);
+        // "P2 Locks S": R(1) F(1) R(1) — the RWB shared configuration.
+        assert_eq!(
+            states(&report, 1),
+            vec![Some(Readable), Some(FirstWrite(1)), Some(Readable)]
+        );
+        // The others' tests hit in their caches immediately: even the
+        // FIRST test is free, unlike RB ("substantial minimization of
+        // cache invalidation").
+        assert_eq!(report.traffic_of("Others test S (first test)"), 0);
+        assert_eq!(report.traffic_of("Others spin on S (in cache)"), 0);
+        assert_eq!(
+            states(&report, 2),
+            vec![Some(Readable), Some(FirstWrite(1)), Some(Readable)]
+        );
+        // "P2 releases S": I(-) L(0) I(-) — the release is P2's second
+        // uninterrupted write, so it goes local via BI.
+        assert_eq!(
+            states(&report, 4),
+            vec![Some(Invalid), Some(Local), Some(Invalid)]
+        );
+        // "A Bus Read to S": R(0) R(0) R(0).
+        assert_eq!(states(&report, 5), vec![Some(Readable); 3]);
+        // "P1 gets the S": F(1) R(1) R(1).
+        assert_eq!(
+            states(&report, 6),
+            vec![Some(FirstWrite(1)), Some(Readable), Some(Readable)]
+        );
+        // "Others try to get S": states unchanged, and free.
+        assert_eq!(report.traffic_of("Others try to get S"), 0);
+    }
+
+    #[test]
+    fn every_row_is_a_legal_configuration() {
+        for (kind, primitive) in [
+            (ProtocolKind::Rb, Primitive::TestAndSet),
+            (ProtocolKind::Rb, Primitive::TestAndTestAndSet),
+            (ProtocolKind::Rwb, Primitive::TestAndTestAndSet),
+            (ProtocolKind::Rwb, Primitive::TestAndSet),
+        ] {
+            let report = SyncScenario::new(kind, primitive).run();
+            for (label, snap) in report.table.rows() {
+                assert_ne!(
+                    snap.configuration(),
+                    Configuration::Illegal,
+                    "{kind} {primitive} row {label:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_figure_layout() {
+        let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndSet).run();
+        let text = report.render();
+        assert!(text.contains("P1"));
+        assert!(text.contains("Observation"));
+        assert!(text.contains("P2 Locks S"));
+        assert!(text.contains("L(1)"));
+    }
+}

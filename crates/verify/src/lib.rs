@@ -1,0 +1,43 @@
+//! # decache-verify
+//!
+//! The paper's Section 4 consistency proof, made executable.
+//!
+//! Two complementary checkers:
+//!
+//! * [`ProductChecker`] — the proof's **product machine**, literally: for
+//!   one address and `N` caches (plus the memory automaton, "cache 0"),
+//!   it enumerates every state reachable from the initial
+//!   `L₀ I₁ … I_N` configuration under all interleavings of CPU reads,
+//!   writes, Test-and-Set cycles, and evictions, and checks at every
+//!   state that
+//!   1. the configuration is *shared* or *local* (plus RWB's
+//!      *intermediate*) — the Lemma, and
+//!   2. the latest value written is held by the `L`-state cache if one
+//!      exists, else by memory and every readable copy — the value half
+//!      of the Lemma, and
+//!   3. every CPU read hit returns the latest value — the Theorem.
+//! * [`SerialOracle`] — a randomized end-to-end check of the *real*
+//!   simulator in `decache-machine` against a flat reference memory:
+//!   conducted operations are serialized one at a time, so every read
+//!   must observe exactly the reference value, and after every operation
+//!   the machine's caches and memory must agree with the reference
+//!   (owners hold the latest value; readable copies match it).
+//!
+//! A third check, [`check_monotonic_reads`], attacks the *racing* case
+//! directly: concurrent readers of a streamed shared word must never
+//! observe a version regression.
+//!
+//! Together these give the repository's strongest guarantee: the
+//! protocol *specifications* are consistent (product machine), and the
+//! *implementation* refines them (oracle + monotonic reads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod monotonic;
+mod oracle;
+mod product;
+
+pub use monotonic::{check_monotonic_reads, MonotonicReport};
+pub use oracle::{OracleError, OracleReport, SerialOracle};
+pub use product::{ProductChecker, ProductReport};

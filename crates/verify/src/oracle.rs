@@ -1,0 +1,299 @@
+//! Randomized end-to-end refinement check of the real simulator.
+
+use decache_core::{Configuration, ProtocolKind};
+use decache_machine::{Machine, MachineBuilder, MemOp, OpResult};
+use decache_mem::{Addr, Word};
+use decache_sync::Conductor;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A consistency violation found by the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleError {
+    /// Step index at which the violation occurred.
+    pub step: usize,
+    /// Description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oracle violation at step {}: {}", self.step, self.detail)
+    }
+}
+
+impl Error for OracleError {}
+
+/// Outcome of an oracle run.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Operations executed.
+    pub steps: usize,
+    /// Reads checked against the reference.
+    pub reads_checked: u64,
+    /// Test-and-Sets checked.
+    pub ts_checked: u64,
+    /// Distinct addresses exercised.
+    pub addresses: usize,
+}
+
+/// Drives a real machine with serialized pseudo-random operations and
+/// checks every observable against a flat reference memory.
+///
+/// Because operations are conducted one at a time (each settles before
+/// the next issues), the reference semantics are unambiguous: a read
+/// must return exactly the last value written, and a Test-and-Set must
+/// acquire iff the reference value is zero. After **every** operation
+/// the oracle additionally sweeps all exercised addresses and asserts:
+///
+/// * the configuration of each address is legal (the Lemma, at runtime);
+/// * if an owner (`L`/`D`) exists, its cached data equals the reference;
+/// * otherwise memory equals the reference and every locally-readable
+///   copy does too.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_verify::SerialOracle;
+///
+/// let report = SerialOracle::new(ProtocolKind::Rwb, 3, 42).run(500).unwrap();
+/// assert_eq!(report.steps, 500);
+/// ```
+#[derive(Debug)]
+pub struct SerialOracle {
+    kind: ProtocolKind,
+    pes: usize,
+    seed: u64,
+    addresses: u64,
+    cache_lines: usize,
+}
+
+impl SerialOracle {
+    /// Creates an oracle over `pes` processors with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is zero.
+    pub fn new(kind: ProtocolKind, pes: usize, seed: u64) -> Self {
+        assert!(pes > 0, "the oracle needs at least one processor");
+        SerialOracle { kind, pes, seed, addresses: 24, cache_lines: 16 }
+    }
+
+    /// Sets the number of distinct addresses exercised (default 24 — more
+    /// addresses than cache lines, so evictions and write-backs occur).
+    #[must_use]
+    pub fn addresses(mut self, addresses: u64) -> Self {
+        self.addresses = addresses.max(1);
+        self
+    }
+
+    /// Runs `steps` random operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OracleError`] encountered.
+    pub fn run(&self, steps: usize) -> Result<OracleReport, OracleError> {
+        let conductor = Conductor::new(self.pes);
+        let mut machine = MachineBuilder::new(self.kind)
+            .memory_words(self.addresses.next_power_of_two().max(64))
+            .cache_lines(self.cache_lines)
+            .processors(self.pes, |pe| conductor.processor(pe))
+            .build();
+
+        let mut reference: HashMap<u64, Word> = HashMap::new();
+        let mut rng = Xorshift::new(self.seed);
+        let mut reads_checked = 0;
+        let mut ts_checked = 0;
+
+        for step in 0..steps {
+            let pe = (rng.next() % self.pes as u64) as usize;
+            let raw = rng.next() % self.addresses;
+            let addr = Addr::new(raw);
+            let expected = reference.get(&raw).copied().unwrap_or(Word::ZERO);
+
+            match rng.next() % 3 {
+                0 => {
+                    // Read: must observe the reference value.
+                    let got = conductor.run_op(&mut machine, pe, MemOp::read(addr));
+                    reads_checked += 1;
+                    if got != OpResult::Read(expected) {
+                        return Err(OracleError {
+                            step,
+                            detail: format!(
+                                "{}: P{pe} read {addr}: expected {expected}, got {got}",
+                                self.kind
+                            ),
+                        });
+                    }
+                }
+                1 => {
+                    // Write a fresh distinguishable value.
+                    let value = Word::new((step as u64) << 8 | 1);
+                    conductor.run_op(&mut machine, pe, MemOp::write(addr, value));
+                    reference.insert(raw, value);
+                }
+                _ => {
+                    // Test-and-Set: acquires iff the reference is zero.
+                    let got =
+                        conductor.run_op(&mut machine, pe, MemOp::test_and_set(addr, Word::ONE));
+                    ts_checked += 1;
+                    let should_acquire = expected.is_zero();
+                    let expect = OpResult::TestAndSet { old: expected, acquired: should_acquire };
+                    if got != expect {
+                        return Err(OracleError {
+                            step,
+                            detail: format!(
+                                "{}: P{pe} TS {addr}: expected {expect}, got {got}",
+                                self.kind
+                            ),
+                        });
+                    }
+                    if should_acquire {
+                        reference.insert(raw, Word::ONE);
+                    }
+                }
+            }
+
+            self.sweep(&machine, &reference, step)?;
+        }
+
+        Ok(OracleReport {
+            steps,
+            reads_checked,
+            ts_checked,
+            addresses: reference.len(),
+        })
+    }
+
+    /// Checks the whole-machine invariants against the reference.
+    fn sweep(
+        &self,
+        machine: &Machine,
+        reference: &HashMap<u64, Word>,
+        step: usize,
+    ) -> Result<(), OracleError> {
+        for (&raw, &expected) in reference {
+            let addr = Addr::new(raw);
+            let snap = machine.snapshot(addr);
+            let config = snap.configuration();
+            if config == Configuration::Illegal {
+                return Err(OracleError {
+                    step,
+                    detail: format!("{}: illegal configuration at {addr}: {snap}", self.kind),
+                });
+            }
+            let owner = (0..self.pes)
+                .find(|&pe| snap.line(pe).is_some_and(|(s, _)| s.owns_latest()));
+            match owner {
+                Some(pe) => {
+                    let (_, data) = snap.line(pe).expect("owner holds the line");
+                    if data != expected {
+                        return Err(OracleError {
+                            step,
+                            detail: format!(
+                                "{}: owner P{pe} of {addr} holds {data}, expected {expected}",
+                                self.kind
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    if snap.memory() != expected {
+                        return Err(OracleError {
+                            step,
+                            detail: format!(
+                                "{}: memory at {addr} holds {}, expected {expected}",
+                                self.kind,
+                                snap.memory()
+                            ),
+                        });
+                    }
+                    for pe in 0..self.pes {
+                        if let Some((state, data)) = snap.line(pe) {
+                            if state.is_readable_locally() && data != expected {
+                                return Err(OracleError {
+                                    step,
+                                    detail: format!(
+                                        "{}: readable copy of {addr} at P{pe} holds {data}, \
+                                         expected {expected}",
+                                        self.kind
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Small deterministic generator so the oracle needs no external RNG.
+#[derive(Debug)]
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Xorshift(if seed == 0 { 0x853c_49e6_748f_ea9b } else { seed })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_pass_a_short_run() {
+        for kind in ProtocolKind::ALL {
+            let report = SerialOracle::new(kind, 3, 7).run(200).unwrap();
+            assert_eq!(report.steps, 200, "{kind}");
+            assert!(report.reads_checked > 0);
+            assert!(report.ts_checked > 0);
+        }
+    }
+
+    #[test]
+    fn ablation_variants_pass() {
+        for kind in [
+            ProtocolKind::RbNoBroadcast,
+            ProtocolKind::RwbThreshold(1),
+            ProtocolKind::RwbThreshold(3),
+        ] {
+            SerialOracle::new(kind, 3, 11).run(200).unwrap();
+        }
+    }
+
+    #[test]
+    fn evictions_are_exercised() {
+        // More addresses than cache lines forces conflicts/write-backs;
+        // the oracle still holds.
+        let oracle = SerialOracle::new(ProtocolKind::Rb, 2, 3).addresses(40);
+        oracle.run(300).unwrap();
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = SerialOracle::new(ProtocolKind::Rwb, 2, 5).run(100).unwrap();
+        let b = SerialOracle::new(ProtocolKind::Rwb, 2, 5).run(100).unwrap();
+        assert_eq!(a.reads_checked, b.reads_checked);
+        assert_eq!(a.ts_checked, b.ts_checked);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OracleError { step: 3, detail: "boom".into() };
+        assert_eq!(e.to_string(), "oracle violation at step 3: boom");
+    }
+}

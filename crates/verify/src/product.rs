@@ -1,0 +1,568 @@
+//! The Section 4 product-machine model checker.
+
+use decache_core::{
+    BusIntent, Configuration, CpuOutcome, LineState, Protocol, ProtocolKind, SnoopEvent,
+};
+use decache_mem::Word;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// One cache's cell in the product state: the line state and whether the
+/// cached copy equals the latest written value. `None` = not present
+/// (the proof sketch's `NP` state).
+type Cell = Option<(LineState, bool)>;
+
+/// A state of the product machine for a single address.
+///
+/// "For each value of N (the number of processors), define a product
+/// machine, M, as the collection of the N finite state automata plus one
+/// more to represent the function of the common memory" (Section 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PState {
+    cells: Vec<Cell>,
+    /// Whether memory holds the latest written value ("the memory will be
+    /// tagged with an L" initially).
+    mem_latest: bool,
+    /// Which cache holds the read-modify-write lock, if any.
+    locked_by: Option<usize>,
+}
+
+impl PState {
+    fn initial(n: usize) -> Self {
+        PState { cells: vec![None; n], mem_latest: true, locked_by: None }
+    }
+
+    fn held_states(&self) -> Vec<LineState> {
+        self.cells.iter().filter_map(|c| c.map(|(s, _)| s)).collect()
+    }
+}
+
+impl fmt::Display for PState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for cell in &self.cells {
+            match cell {
+                None => write!(f, "NP ")?,
+                Some((s, latest)) => write!(f, "{}{} ", s, if *latest { "*" } else { "" })?,
+            }
+        }
+        write!(
+            f,
+            "| mem{}{}",
+            if self.mem_latest { "*" } else { "" },
+            match self.locked_by {
+                Some(i) => format!(" locked-by-{i}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// The events of the product machine. A `TsLock` begins a Test-and-Set's
+/// locked read; the holder later either `TsCommit`s (the unlocking write
+/// — the value looked free) or `TsAbort`s (it did not) —
+/// nondeterministically, since the checker abstracts values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    CpuRead(usize),
+    CpuWrite(usize),
+    TsLock(usize),
+    TsCommit(usize),
+    TsAbort(usize),
+    Evict(usize),
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ProductReport {
+    /// Number of distinct reachable product states.
+    pub states: usize,
+    /// Number of transitions taken.
+    pub transitions: usize,
+    /// Invariant violations found (empty = the lemma and theorem hold).
+    pub violations: Vec<String>,
+    /// Every reachable configuration classification (for reporting).
+    pub configurations: Vec<Configuration>,
+}
+
+impl ProductReport {
+    /// `true` iff no violations were found.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Exhaustively explores the product machine of `n` caches plus memory
+/// under a protocol, checking the Section 4 lemma and theorem at every
+/// reachable state.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_verify::ProductChecker;
+///
+/// let report = ProductChecker::new(ProtocolKind::Rb, 3).explore();
+/// assert!(report.holds());
+/// assert!(report.states > 1);
+/// ```
+#[derive(Debug)]
+pub struct ProductChecker {
+    protocol: Box<dyn Protocol>,
+    /// Whether the intermediate configuration is legal (RWB-family and
+    /// write-once/write-through) or only shared/local (RB).
+    allow_intermediate: bool,
+    n: usize,
+    evictions: bool,
+    test_and_set: bool,
+    max_states: usize,
+}
+
+impl ProductChecker {
+    /// Creates a checker for `n` caches (the paper examines the machine
+    /// for each N; state count grows exponentially, so keep `n ≤ 5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(kind: ProtocolKind, n: usize) -> Self {
+        let allow_intermediate =
+            !matches!(kind, ProtocolKind::Rb | ProtocolKind::RbNoBroadcast);
+        Self::from_protocol(kind.build(), allow_intermediate, n)
+    }
+
+    /// Creates a checker for an arbitrary [`Protocol`] implementation —
+    /// including deliberately broken ones, for mutation-testing the
+    /// checker itself. `allow_intermediate` selects the legality rule
+    /// (false = RB's shared/local only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn from_protocol(protocol: Box<dyn Protocol>, allow_intermediate: bool, n: usize) -> Self {
+        assert!(n > 0, "the product machine needs at least one cache");
+        ProductChecker {
+            protocol,
+            allow_intermediate,
+            n,
+            evictions: true,
+            test_and_set: true,
+            max_states: 5_000_000,
+        }
+    }
+
+    /// Disables eviction events (the paper's first lemma assumes "the
+    /// caches contain the entire address space so that the issue of
+    /// overwrites can be ignored").
+    #[must_use]
+    pub fn without_evictions(mut self) -> Self {
+        self.evictions = false;
+        self
+    }
+
+    /// Disables Test-and-Set events, restricting to plain reads/writes.
+    #[must_use]
+    pub fn without_test_and_set(mut self) -> Self {
+        self.test_and_set = false;
+        self
+    }
+
+    fn legal(&self, c: Configuration) -> bool {
+        if self.allow_intermediate {
+            c.is_rwb_legal()
+        } else {
+            c.is_rb_legal()
+        }
+    }
+
+    fn enabled_events(&self, s: &PState) -> Vec<Event> {
+        let mut events = Vec::new();
+        match s.locked_by {
+            Some(h) => {
+                // Between the locked read and the unlock, reads proceed,
+                // writes are rejected by the lock, and the holder either
+                // commits or aborts.
+                for i in 0..self.n {
+                    if i != h {
+                        events.push(Event::CpuRead(i));
+                    }
+                }
+                events.push(Event::TsCommit(h));
+                events.push(Event::TsAbort(h));
+            }
+            None => {
+                for i in 0..self.n {
+                    events.push(Event::CpuRead(i));
+                    events.push(Event::CpuWrite(i));
+                    if self.test_and_set {
+                        events.push(Event::TsLock(i));
+                    }
+                    if self.evictions && s.cells[i].is_some() {
+                        events.push(Event::Evict(i));
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Applies the effects of a completed bus read: memory (made current
+    /// beforehand if a supplier interrupted) broadcasts the value to
+    /// every snooping holder.
+    fn bus_read_effects(&self, s: &mut PState, initiator: usize, locked: bool) {
+        // Interrupt-and-supply: an owning cache kills the read, writes
+        // its (latest) data to memory, and demotes. The initiator's own
+        // cache participates: a locked read bypasses the cache, so an
+        // issuer holding the line Local flushes it first (mirroring
+        // `decache-machine`).
+        if let Some(supplier) = (0..self.n).find(|&j| {
+            s.cells[j].is_some_and(|(st, _)| self.protocol.supplies_on_snoop_read(st))
+        }) {
+            let (st, latest) = s.cells[supplier].expect("supplier holds the line");
+            s.mem_latest = latest;
+            s.cells[supplier] = Some((self.protocol.after_supply(st), latest));
+            // The substituted write is snooped by the other holders.
+            let probe = Word::ZERO;
+            for j in 0..self.n {
+                if j == supplier || j == initiator {
+                    continue;
+                }
+                if let Some((st, _)) = s.cells[j] {
+                    let out = self.protocol.snoop(st, SnoopEvent::Write(probe));
+                    // A capture copies the supplier's (latest) data.
+                    let now_latest = out.capture && latest;
+                    s.cells[j] = Some((out.next, now_latest));
+                }
+            }
+        }
+        // The (retried) read returns the memory value and broadcasts it.
+        let probe = Word::ZERO;
+        let event = if locked { SnoopEvent::LockedRead(probe) } else { SnoopEvent::Read(probe) };
+        for j in 0..self.n {
+            if j == initiator {
+                continue;
+            }
+            if let Some((st, was_latest)) = s.cells[j] {
+                let out = self.protocol.snoop(st, event);
+                let now_latest = if out.capture { s.mem_latest } else { was_latest };
+                s.cells[j] = Some((out.next, now_latest));
+            }
+        }
+    }
+
+    /// Applies the effects of a bus write (data or unlocking): memory is
+    /// updated with the new latest value and every holder snoops it.
+    fn bus_write_effects(&self, s: &mut PState, initiator: usize, unlock: bool) {
+        s.mem_latest = true;
+        let probe = Word::ZERO;
+        let event =
+            if unlock { SnoopEvent::UnlockWrite(probe) } else { SnoopEvent::Write(probe) };
+        for j in 0..self.n {
+            if j == initiator {
+                continue;
+            }
+            if let Some((st, _)) = s.cells[j] {
+                let out = self.protocol.snoop(st, event);
+                // Whatever was cached is superseded; only captures of the
+                // new value are latest.
+                s.cells[j] = Some((out.next, out.capture));
+            }
+        }
+    }
+
+    /// Applies one event; returns the successor state, or `None` with a
+    /// violation pushed.
+    fn apply(&self, s: &PState, event: Event, violations: &mut Vec<String>) -> Option<PState> {
+        let mut next = s.clone();
+        match event {
+            Event::CpuRead(i) => {
+                let state_i = s.cells[i].map(|(st, _)| st);
+                match self.protocol.cpu_read(state_i) {
+                    CpuOutcome::Hit { next: to } => {
+                        let (_, latest) = s.cells[i].expect("hit requires a held line");
+                        // THE THEOREM: "Each PE always reads the latest
+                        // value written."
+                        if !latest {
+                            violations.push(format!(
+                                "{}: P{i} read HIT on stale data in {s}",
+                                self.protocol.name()
+                            ));
+                        }
+                        next.cells[i] = Some((to, latest));
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        debug_assert_eq!(intent, BusIntent::Read);
+                        self.bus_read_effects(&mut next, i, false);
+                        // The initiator reads from (now current) memory.
+                        if !next.mem_latest {
+                            violations.push(format!(
+                                "{}: P{i} bus read served stale memory in {s}",
+                                self.protocol.name()
+                            ));
+                        }
+                        let to = self.protocol.own_complete(state_i, BusIntent::Read);
+                        next.cells[i] = Some((to, next.mem_latest));
+                    }
+                }
+            }
+            Event::CpuWrite(i) => {
+                let state_i = s.cells[i].map(|(st, _)| st);
+                match self.protocol.cpu_write(state_i) {
+                    CpuOutcome::Hit { next: to } => {
+                        // A silent local write creates a new latest value
+                        // visible only in this cache.
+                        next.mem_latest = false;
+                        for j in 0..self.n {
+                            if j != i {
+                                if let Some((st, _)) = next.cells[j] {
+                                    next.cells[j] = Some((st, false));
+                                }
+                            }
+                        }
+                        next.cells[i] = Some((to, true));
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        match intent {
+                            BusIntent::Write => {
+                                self.bus_write_effects(&mut next, i, false);
+                                let to = self.protocol.own_complete(state_i, BusIntent::Write);
+                                next.cells[i] = Some((to, true));
+                            }
+                            BusIntent::Invalidate => {
+                                // Event-only: memory keeps the OLD value.
+                                next.mem_latest = false;
+                                for j in 0..self.n {
+                                    if j == i {
+                                        continue;
+                                    }
+                                    if let Some((st, _)) = next.cells[j] {
+                                        let out =
+                                            self.protocol.snoop(st, SnoopEvent::Invalidate);
+                                        next.cells[j] = Some((out.next, false));
+                                    }
+                                }
+                                let to =
+                                    self.protocol.own_complete(state_i, BusIntent::Invalidate);
+                                next.cells[i] = Some((to, true));
+                            }
+                            BusIntent::Read => unreachable!("write misses never read"),
+                        }
+                    }
+                }
+            }
+            Event::TsLock(i) => {
+                // The locked read bypasses the cache, reads (current)
+                // memory, and broadcasts.
+                self.bus_read_effects(&mut next, i, true);
+                if !next.mem_latest {
+                    violations.push(format!(
+                        "{}: P{i} locked read served stale memory in {s}",
+                        self.protocol.name()
+                    ));
+                }
+                let state_i = s.cells[i].map(|(st, _)| st);
+                let to = self.protocol.own_locked_read_complete(state_i);
+                next.cells[i] = Some((to, next.mem_latest));
+                next.locked_by = Some(i);
+            }
+            Event::TsCommit(i) => {
+                self.bus_write_effects(&mut next, i, true);
+                let state_i = s.cells[i].map(|(st, _)| st);
+                let to = self.protocol.own_unlock_write_complete(state_i);
+                next.cells[i] = Some((to, true));
+                next.locked_by = None;
+            }
+            Event::TsAbort(_i) => {
+                // Release without writing: nothing changes but the lock.
+                next.locked_by = None;
+            }
+            Event::Evict(i) => {
+                let (st, latest) = s.cells[i].expect("evicting a held line");
+                if self.protocol.writeback_on_evict(st) {
+                    next.mem_latest = latest;
+                }
+                next.cells[i] = None;
+            }
+        }
+        Some(next)
+    }
+
+    /// Checks the state invariants (the Lemma).
+    fn check(&self, s: &PState, violations: &mut Vec<String>) -> Configuration {
+        let config = Configuration::classify(&s.held_states());
+        if !self.legal(config) {
+            violations.push(format!(
+                "{}: illegal configuration {config} in {s}",
+                self.protocol.name()
+            ));
+        }
+        // Value half of the lemma: "the latest value written is contained
+        // either in some cache that is in state L or else in any cache
+        // that contains this variable" (and in memory when no owner).
+        let owner = (0..self.n).find(|&i| s.cells[i].is_some_and(|(st, _)| st.owns_latest()));
+        match owner {
+            Some(i) => {
+                let (_, latest) = s.cells[i].expect("owner holds the line");
+                if !latest {
+                    violations.push(format!(
+                        "{}: owner P{i} does not hold the latest value in {s}",
+                        self.protocol.name()
+                    ));
+                }
+            }
+            None => {
+                if !s.mem_latest {
+                    violations.push(format!(
+                        "{}: no owner and stale memory in {s}",
+                        self.protocol.name()
+                    ));
+                }
+                for i in 0..self.n {
+                    if let Some((st, latest)) = s.cells[i] {
+                        if st.is_readable_locally() && !latest {
+                            violations.push(format!(
+                                "{}: readable copy at P{i} is stale in {s}",
+                                self.protocol.name()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        config
+    }
+
+    /// Runs the exhaustive breadth-first exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state space exceeds the safety bound (it cannot for
+    /// the supported protocols and `n ≤ 5`).
+    pub fn explore(&self) -> ProductReport {
+        let mut seen: HashSet<PState> = HashSet::new();
+        let mut queue: VecDeque<PState> = VecDeque::new();
+        let mut violations = Vec::new();
+        let mut configurations = HashSet::new();
+        let mut transitions = 0usize;
+
+        let initial = PState::initial(self.n);
+        configurations.insert(self.check(&initial, &mut violations));
+        seen.insert(initial.clone());
+        queue.push_back(initial);
+
+        while let Some(state) = queue.pop_front() {
+            assert!(
+                seen.len() <= self.max_states,
+                "product machine exceeded {} states",
+                self.max_states
+            );
+            for event in self.enabled_events(&state) {
+                let Some(next) = self.apply(&state, event, &mut violations) else {
+                    continue;
+                };
+                transitions += 1;
+                if seen.insert(next.clone()) {
+                    configurations.insert(self.check(&next, &mut violations));
+                    queue.push_back(next);
+                }
+            }
+            // Stop exploring on the first violations; they only multiply.
+            if violations.len() > 16 {
+                break;
+            }
+        }
+
+        let mut configurations: Vec<Configuration> = configurations.into_iter().collect();
+        configurations.sort_by_key(|c| format!("{c}"));
+        ProductReport { states: seen.len(), transitions, violations, configurations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rb_lemma_and_theorem_hold_for_small_n() {
+        for n in 1..=4 {
+            let report = ProductChecker::new(ProtocolKind::Rb, n).explore();
+            assert!(report.holds(), "n={n}: {:?}", report.violations);
+            assert!(report.states > 0);
+        }
+    }
+
+    #[test]
+    fn rb_reaches_only_shared_and_local_configurations() {
+        let report = ProductChecker::new(ProtocolKind::Rb, 3).explore();
+        assert!(report.holds());
+        for c in &report.configurations {
+            assert!(c.is_rb_legal(), "RB reached {c}");
+        }
+        assert!(report.configurations.contains(&Configuration::Shared));
+        assert!(report.configurations.contains(&Configuration::Local));
+    }
+
+    #[test]
+    fn rwb_adds_the_intermediate_configuration() {
+        let report = ProductChecker::new(ProtocolKind::Rwb, 3).explore();
+        assert!(report.holds(), "{:?}", report.violations);
+        assert!(report.configurations.contains(&Configuration::Intermediate));
+        assert!(!report.configurations.contains(&Configuration::Illegal));
+    }
+
+    #[test]
+    fn rwb_k_thresholds_hold() {
+        for k in [1, 3, 4] {
+            let report = ProductChecker::new(ProtocolKind::RwbThreshold(k), 3).explore();
+            assert!(report.holds(), "k={k}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn baselines_hold() {
+        for kind in [ProtocolKind::WriteOnce, ProtocolKind::WriteThrough] {
+            let report = ProductChecker::new(kind, 3).explore();
+            assert!(report.holds(), "{kind}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn rb_without_broadcast_still_consistent() {
+        // Disabling the read broadcast costs performance, not safety.
+        let report = ProductChecker::new(ProtocolKind::RbNoBroadcast, 3).explore();
+        assert!(report.holds(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_evictions_matches_papers_simplified_lemma() {
+        let report = ProductChecker::new(ProtocolKind::Rb, 3).without_evictions().explore();
+        assert!(report.holds());
+        // Without the NP state the machine is strictly smaller.
+        let full = ProductChecker::new(ProtocolKind::Rb, 3).explore();
+        assert!(report.states < full.states);
+    }
+
+    #[test]
+    fn without_ts_is_smaller_still() {
+        let plain = ProductChecker::new(ProtocolKind::Rb, 3)
+            .without_test_and_set()
+            .explore();
+        let with_ts = ProductChecker::new(ProtocolKind::Rb, 3).explore();
+        assert!(plain.holds());
+        assert!(plain.states <= with_ts.states);
+    }
+
+    #[test]
+    fn a_deliberately_broken_invariant_is_caught() {
+        // Sanity-check the checker itself: classify a two-owner vector.
+        assert_eq!(
+            Configuration::classify(&[LineState::Local, LineState::Local]),
+            Configuration::Illegal
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn zero_caches_panics() {
+        let _ = ProductChecker::new(ProtocolKind::Rb, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Mutation testing of the model checker: deliberately broken protocols
+//! must be *caught* by the product machine. A checker that passes
+//! everything proves nothing; these tests show each invariant has teeth.
+
+use decache_core::{
+    BusIntent, CpuOutcome, LineState, Protocol, ProtocolKind, Rb, SnoopEvent, SnoopOutcome,
+};
+use decache_verify::ProductChecker;
+use LineState::{Local, Readable};
+
+/// Wraps RB and overrides selected behaviours to inject one bug each.
+macro_rules! rb_mutant {
+    ($name:ident, $display:expr, { $($override_fn:item)* }) => {
+        #[derive(Debug)]
+        struct $name(Rb);
+
+        impl $name {
+            fn new() -> Self {
+                $name(Rb::new())
+            }
+        }
+
+        impl Protocol for $name {
+            fn name(&self) -> String {
+                $display.to_owned()
+            }
+            fn states(&self) -> Vec<LineState> {
+                self.0.states()
+            }
+            fn cpu_read(&self, s: Option<LineState>) -> CpuOutcome {
+                self.0.cpu_read(s)
+            }
+            fn cpu_write(&self, s: Option<LineState>) -> CpuOutcome {
+                self.0.cpu_write(s)
+            }
+            fn own_complete(&self, s: Option<LineState>, i: BusIntent) -> LineState {
+                self.0.own_complete(s, i)
+            }
+            fn own_locked_read_complete(&self, s: Option<LineState>) -> LineState {
+                self.0.own_locked_read_complete(s)
+            }
+            fn own_unlock_write_complete(&self, s: Option<LineState>) -> LineState {
+                self.0.own_unlock_write_complete(s)
+            }
+            fn broadcasts_write_data(&self) -> bool {
+                false
+            }
+            $($override_fn)*
+        }
+    };
+}
+
+rb_mutant!(NoInvalidateRb, "RB-broken-no-invalidate", {
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        // THE BUG: a readable holder ignores foreign writes, keeping a
+        // stale copy readable.
+        if state == Readable && matches!(event, SnoopEvent::Write(_)) {
+            return SnoopOutcome::unchanged(Readable);
+        }
+        self.0.snoop(state, event)
+    }
+    fn supplies_on_snoop_read(&self, s: LineState) -> bool {
+        self.0.supplies_on_snoop_read(s)
+    }
+    fn after_supply(&self, s: LineState) -> LineState {
+        self.0.after_supply(s)
+    }
+    fn writeback_on_evict(&self, s: LineState) -> bool {
+        self.0.writeback_on_evict(s)
+    }
+});
+
+rb_mutant!(NoWritebackRb, "RB-broken-no-writeback", {
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        self.0.snoop(state, event)
+    }
+    fn supplies_on_snoop_read(&self, s: LineState) -> bool {
+        self.0.supplies_on_snoop_read(s)
+    }
+    fn after_supply(&self, s: LineState) -> LineState {
+        self.0.after_supply(s)
+    }
+    fn writeback_on_evict(&self, _s: LineState) -> bool {
+        // THE BUG: Local lines are dropped without flushing, losing the
+        // latest value.
+        false
+    }
+});
+
+rb_mutant!(NoSupplyRb, "RB-broken-no-supply", {
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        if state == Local && matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) {
+            // Pretend memory served the read; keep the Local copy.
+            return SnoopOutcome::unchanged(Local);
+        }
+        self.0.snoop(state, event)
+    }
+    fn supplies_on_snoop_read(&self, _s: LineState) -> bool {
+        // THE BUG: the owner never interrupts foreign reads, so they are
+        // served from stale memory.
+        false
+    }
+    fn after_supply(&self, s: LineState) -> LineState {
+        self.0.after_supply(s)
+    }
+    fn writeback_on_evict(&self, s: LineState) -> bool {
+        self.0.writeback_on_evict(s)
+    }
+});
+
+rb_mutant!(DoubleOwnerRb, "RB-broken-double-owner", {
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        // THE BUG: a Local holder survives a foreign write as Local,
+        // creating two owners (and violating the lemma's configuration
+        // claim directly).
+        if state == Local && matches!(event, SnoopEvent::Write(_)) {
+            return SnoopOutcome::unchanged(Local);
+        }
+        self.0.snoop(state, event)
+    }
+    fn supplies_on_snoop_read(&self, s: LineState) -> bool {
+        self.0.supplies_on_snoop_read(s)
+    }
+    fn after_supply(&self, s: LineState) -> LineState {
+        self.0.after_supply(s)
+    }
+    fn writeback_on_evict(&self, s: LineState) -> bool {
+        self.0.writeback_on_evict(s)
+    }
+});
+
+#[test]
+fn healthy_rb_passes() {
+    let report = ProductChecker::from_protocol(Box::new(Rb::new()), false, 3).explore();
+    assert!(report.holds(), "{:?}", report.violations);
+}
+
+#[test]
+fn missing_invalidate_is_caught() {
+    let report =
+        ProductChecker::from_protocol(Box::new(NoInvalidateRb::new()), false, 3).explore();
+    assert!(!report.holds(), "the checker must catch the stale-copy bug");
+    assert!(
+        report.violations.iter().any(|v| v.contains("stale")),
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn missing_writeback_is_caught() {
+    let report =
+        ProductChecker::from_protocol(Box::new(NoWritebackRb::new()), false, 2).explore();
+    assert!(!report.holds(), "the checker must catch the lost-update bug");
+    // The latest value vanishes: no owner and stale memory.
+    assert!(
+        report.violations.iter().any(|v| v.contains("stale memory")),
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn missing_supply_is_caught() {
+    let report = ProductChecker::from_protocol(Box::new(NoSupplyRb::new()), false, 2).explore();
+    assert!(!report.holds(), "the checker must catch the stale-memory-read bug");
+}
+
+#[test]
+fn double_owner_is_caught_as_illegal_configuration() {
+    let report =
+        ProductChecker::from_protocol(Box::new(DoubleOwnerRb::new()), false, 2).explore();
+    assert!(!report.holds());
+    assert!(
+        report.violations.iter().any(|v| v.contains("illegal configuration")),
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn mutants_actually_differ_from_healthy() {
+    let healthy = Rb::new();
+    let e = SnoopEvent::Write(decache_mem::Word::ONE);
+    assert_ne!(
+        healthy.snoop(Readable, e),
+        NoInvalidateRb::new().snoop(Readable, e)
+    );
+    assert!(healthy.supplies_on_snoop_read(Local));
+    assert!(!NoSupplyRb::new().supplies_on_snoop_read(Local));
+    assert!(healthy.writeback_on_evict(Local));
+    assert!(!NoWritebackRb::new().writeback_on_evict(Local));
+}

@@ -1,0 +1,160 @@
+//! The array-initialization workload of Section 5 (experiment E11).
+
+use decache_cache::RefClass;
+use decache_machine::{MemOp, Poll, Processor};
+use decache_mem::{AddrRange, Word};
+
+/// Initializes a (cache-overflowing) array element by element, writing
+/// each element `writes_per_element` times.
+///
+/// The paper's claim: "Consider the initialization of an array that is
+/// much too large to fit in a cache. Under the RB scheme, there would be
+/// two bus writes for each item; one for the first CPU write initializing
+/// the element and one again later as a writeback when the address line
+/// is reused. In RWB, there will be only one bus write per item"
+/// (Section 5). The RB write-through puts each line in `L`, which must be
+/// written back on the inevitable conflict eviction; the RWB write leaves
+/// the line in `F`, memory already current, evicted silently.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::MachineBuilder;
+/// use decache_mem::{Addr, AddrRange};
+/// use decache_workloads::ArrayInit;
+///
+/// let array = AddrRange::with_len(Addr::new(0), 64);
+/// let mut rb = MachineBuilder::new(ProtocolKind::Rb)
+///     .memory_words(128).cache_lines(16)
+///     .processor(Box::new(ArrayInit::new(array)))
+///     .build();
+/// rb.run_to_completion(10_000);
+/// // Every element reached memory:
+/// assert_eq!(rb.memory().peek(Addr::new(63)).unwrap().value(), 63);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrayInit {
+    array: AddrRange,
+    writes_per_element: u64,
+    index: u64,
+    writes_done: u64,
+}
+
+impl ArrayInit {
+    /// Creates an initializer writing each element of `array` once.
+    pub fn new(array: AddrRange) -> Self {
+        ArrayInit { array, writes_per_element: 1, index: 0, writes_done: 0 }
+    }
+
+    /// Writes each element `writes` times before moving on (exposes the
+    /// RWB `k`-threshold interplay: `writes >= k` drives lines local).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is zero.
+    #[must_use]
+    pub fn writes_per_element(mut self, writes: u64) -> Self {
+        assert!(writes > 0, "each element needs at least one write");
+        self.writes_per_element = writes;
+        self
+    }
+
+    /// The array being initialized.
+    pub fn array(&self) -> AddrRange {
+        self.array
+    }
+}
+
+impl Processor for ArrayInit {
+    fn next_op(&mut self, _last: Option<&decache_machine::OpResult>) -> Poll {
+        if self.index >= self.array.len() {
+            return Poll::Halt;
+        }
+        let addr = self.array.nth(self.index);
+        // Element value = its index, so tests can verify contents.
+        let op = MemOp::write(addr, Word::new(self.index)).with_class(RefClass::Local);
+        self.writes_done += 1;
+        if self.writes_done == self.writes_per_element {
+            self.writes_done = 0;
+            self.index += 1;
+        }
+        Poll::Op(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_bus::BusOpKind;
+    use decache_core::ProtocolKind;
+    use decache_machine::MachineBuilder;
+    use decache_mem::Addr;
+
+    /// Runs the workload on a small machine; array 4x the cache.
+    fn run(kind: ProtocolKind, writes_per_element: u64) -> decache_machine::Machine {
+        let array = AddrRange::with_len(Addr::new(0), 64);
+        let mut machine = MachineBuilder::new(kind)
+            .memory_words(128)
+            .cache_lines(16)
+            .processor(Box::new(ArrayInit::new(array).writes_per_element(writes_per_element)))
+            .build();
+        machine.run_to_completion(100_000);
+        machine
+    }
+
+    #[test]
+    fn rb_pays_two_bus_writes_per_element() {
+        let machine = run(ProtocolKind::Rb, 1);
+        let bw = machine.traffic().count(BusOpKind::Write);
+        // 64 write-throughs + 48 write-backs (the last 16 lines stay
+        // cached): (2n - cache) bus writes.
+        assert_eq!(bw, 64 + 48);
+        assert_eq!(machine.stats().writebacks, 48);
+    }
+
+    #[test]
+    fn rwb_pays_one_bus_write_per_element() {
+        let machine = run(ProtocolKind::Rwb, 1);
+        let bw = machine.traffic().count(BusOpKind::Write);
+        assert_eq!(bw, 64, "RWB: exactly one bus write per element");
+        assert_eq!(machine.stats().writebacks, 0);
+        assert_eq!(machine.traffic().count(BusOpKind::Invalidate), 0);
+    }
+
+    #[test]
+    fn every_element_lands_in_memory() {
+        for kind in ProtocolKind::ALL {
+            let machine = run(kind, 1);
+            for i in 0..64u64 {
+                // Elements still cached in L are the latest; everything
+                // written back or written through must be in memory.
+                let mem = machine.memory().peek(Addr::new(i)).unwrap();
+                let cached = (0..1).find_map(|pe| machine.cache_line(pe, Addr::new(i)));
+                let latest = cached
+                    .filter(|(s, _)| s.owns_latest())
+                    .map(|(_, d)| d)
+                    .unwrap_or(mem);
+                assert_eq!(latest, Word::new(i), "{kind} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_writes_trigger_rwb_locality_claims() {
+        // Two writes per element under RWB (k=2): BW then BI, then a
+        // write-back at eviction — the pattern inverts, showing the
+        // k-threshold trade-off.
+        let machine = run(ProtocolKind::Rwb, 2);
+        let t = machine.traffic();
+        assert_eq!(t.count(BusOpKind::Write), 64 + 48); // 64 first-writes + 48 write-backs
+        assert_eq!(t.count(BusOpKind::Invalidate), 64); // every second write
+        assert_eq!(machine.stats().writebacks, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one write")]
+    fn zero_writes_per_element_panics() {
+        let _ = ArrayInit::new(AddrRange::with_len(Addr::new(0), 4)).writes_per_element(0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The two Cm* applications of Table 1-1, synthesized.
+
+use crate::{Reference, StackProfile, StackStream};
+use decache_cache::{AccessKind, CmStarCache, CmStarReport, RefClass};
+use decache_mem::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The cache sizes of Table 1-1 ("Cache Size (set size 1 word)").
+pub const CMSTAR_CACHE_SIZES: [usize; 4] = [256, 512, 1024, 2048];
+
+/// A synthetic Cm* application: a reference mix plus a fitted locality
+/// profile, substituting for Raskin's original traces.
+///
+/// Table 1-1's columns fix, per application, the fraction of references
+/// that are **local writes** (8% / 6.7%) and **shared read/write**
+/// (5% / 10%); the remaining references are cachable reads (code and
+/// local data) whose miss ratio at each cache size is the table's "Read
+/// Miss Ratio" column. The fitted [`StackProfile`] reproduces exactly
+/// those read miss ratios, so running [`CmStarApp::run`] against the
+/// emulation cache regenerates the table's *shape* (and, closely, its
+/// values).
+///
+/// # Examples
+///
+/// ```
+/// use decache_workloads::CmStarApp;
+///
+/// let report = CmStarApp::application_a().run(2048, 50_000);
+/// // The shared column is workload-determined: ~5% for application A.
+/// assert!((report.shared_pct - 5.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmStarApp {
+    name: &'static str,
+    local_write_fraction: f64,
+    shared_fraction: f64,
+    profile: StackProfile,
+    seed: u64,
+}
+
+impl CmStarApp {
+    /// The first application of Table 1-1: 8% local writes, 5% shared
+    /// references, read miss ratios 26.1 / 21.7 / 11.3 / 6.1 percent of
+    /// all references at 256 / 512 / 1024 / 2048 words.
+    pub fn application_a() -> Self {
+        // The table reports read misses as a fraction of ALL references;
+        // the stream's profile needs the miss ratio over cachable reads
+        // only, so divide by the read fraction (1 - 0.08 - 0.05 = 0.87).
+        let read_fraction = 1.0 - 0.08 - 0.05;
+        CmStarApp {
+            name: "application A",
+            local_write_fraction: 0.08,
+            shared_fraction: 0.05,
+            // Profile points are the table's read-miss targets divided
+            // by the read fraction, minus a one-iteration calibration
+            // correction for the (small-cache) pollution of local-write
+            // lines and reference interleaving, measured against the
+            // emulation cache itself.
+            profile: StackProfile::new(vec![
+                (256, (0.261 - 0.034) / read_fraction),
+                (512, (0.217 - 0.001) / read_fraction),
+                (1024, (0.113 - 0.001) / read_fraction),
+                (2048, (0.061 - 0.002) / read_fraction),
+            ]),
+            seed: 0xA,
+        }
+    }
+
+    /// The second application of Table 1-1: 6.7% local writes, 10%
+    /// shared references, read miss ratios 25 / 28.8 / 10.8 / 5.8
+    /// percent.
+    ///
+    /// (The table's 512-word read-miss entry, 28.8, exceeds its 256-word
+    /// entry, 25 — almost certainly a typo in the original; monotone
+    /// fitting uses 23.8, which preserves the column's shape.)
+    pub fn application_b() -> Self {
+        let read_fraction = 1.0 - 0.067 - 0.10;
+        CmStarApp {
+            name: "application B",
+            local_write_fraction: 0.067,
+            shared_fraction: 0.10,
+            // Monotonicity of the stack profile bounds how far the
+            // 256/512 points can be corrected independently; the residual
+            // error stays within ~1.5 points of the table.
+            profile: StackProfile::new(vec![
+                (256, (0.25 - 0.020) / read_fraction),
+                (512, (0.238 - 0.016) / read_fraction),
+                (1024, (0.108 - 0.004) / read_fraction),
+                (2048, (0.058 - 0.004) / read_fraction),
+            ]),
+            seed: 0xB,
+        }
+    }
+
+    /// The application's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Generates `n` classified references.
+    pub fn references(&self, n: usize) -> Vec<Reference> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Cachable reads (code + local data) live in one region with the
+        // fitted locality; shared data in a disjoint region; local
+        // writes go to a small private region (they miss regardless —
+        // write-through — so their locality is irrelevant).
+        let mut cachable = StackStream::new(self.profile.clone(), Addr::new(0), self.seed ^ 7);
+        // Pre-populate the reuse stack so large-distance samples resolve
+        // from the start (a stand-in for the long execution preceding
+        // Raskin's measurement window).
+        cachable.prefill(4 * 2048);
+        let shared_base = 1 << 20;
+        let private_base = 1 << 21;
+
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                if u < self.shared_fraction {
+                    // Shared read/write data: reads and writes 2:1.
+                    let kind = if rng.gen_range(0..3) < 2 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    Reference {
+                        kind,
+                        addr: Addr::new(shared_base + rng.gen_range(0..512)),
+                        class: RefClass::Shared,
+                    }
+                } else if u < self.shared_fraction + self.local_write_fraction {
+                    // A small write working set: local writes are
+                    // write-through (always misses), so their only cache
+                    // effect is the lines they allocate — keep that
+                    // pollution small so the read profile stays
+                    // calibrated.
+                    Reference {
+                        kind: AccessKind::Write,
+                        addr: Addr::new(private_base + rng.gen_range(0..16)),
+                        class: RefClass::Local,
+                    }
+                } else {
+                    // Cachable read; code vs local read split 3:1 (code
+                    // dominates: "most references are to read-only
+                    // data").
+                    let class = if rng.gen_range(0..4) < 3 { RefClass::Code } else { RefClass::Local };
+                    Reference { kind: AccessKind::Read, addr: cachable.next_addr(), class }
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `n` references through a Cm*-style emulation cache of
+    /// `cache_size` words and reports the Table 1-1 row.
+    pub fn run(&self, cache_size: usize, n: usize) -> CmStarReport {
+        self.run_on(&mut CmStarCache::fully_associative(cache_size), n)
+    }
+
+    /// Like [`CmStarApp::run`] but on a direct-mapped cache, exposing
+    /// the conflict misses a real direct-mapped array would add.
+    pub fn run_direct_mapped(&self, cache_size: usize, n: usize) -> CmStarReport {
+        self.run_on(&mut CmStarCache::new(cache_size), n)
+    }
+
+    fn run_on(&self, cache: &mut CmStarCache, n: usize) -> CmStarReport {
+        // Fully-associative LRU matches the stack-distance calibration;
+        // see `CmStarCache::fully_associative`. Warm the cache on an
+        // unrecorded prefix so cold-start transients do not pollute the
+        // measurement.
+        let warmup = (cache.size() as usize * 4).max(10_000);
+        let refs = self.references(warmup + n);
+        for r in &refs[..warmup] {
+            cache.access(r.addr, r.kind, r.class);
+        }
+        cache.reset_stats();
+        for r in &refs[warmup..] {
+            cache.access(r.addr, r.kind, r.class);
+        }
+        cache.report()
+    }
+
+    /// Runs the full Table 1-1 column set for this application.
+    pub fn run_table(&self, n: usize) -> Vec<CmStarReport> {
+        CMSTAR_CACHE_SIZES.iter().map(|&size| self.run(size, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 40_000;
+
+    #[test]
+    fn application_a_matches_its_columns() {
+        let app = CmStarApp::application_a();
+        let report = app.run(2048, N);
+        // Local writes and shared fractions are workload constants.
+        assert!((report.local_write_pct - 8.0).abs() < 1.0, "{report:?}");
+        assert!((report.shared_pct - 5.0).abs() < 1.0, "{report:?}");
+        // Read miss ratio at the largest size: ~6.1% (conflict misses in
+        // a direct-mapped cache push the measurement up slightly).
+        assert!(
+            (report.read_miss_pct - 6.1).abs() < 1.5,
+            "read miss {:.1} vs table 6.1",
+            report.read_miss_pct
+        );
+    }
+
+    #[test]
+    fn application_b_matches_its_columns() {
+        let app = CmStarApp::application_b();
+        let report = app.run(2048, N);
+        assert!((report.local_write_pct - 6.7).abs() < 1.0, "{report:?}");
+        assert!((report.shared_pct - 10.0).abs() < 1.5, "{report:?}");
+        assert!(
+            (report.read_miss_pct - 5.8).abs() < 1.5,
+            "read miss {:.1} vs table 5.8",
+            report.read_miss_pct
+        );
+    }
+
+    #[test]
+    fn read_miss_ratio_falls_with_cache_size() {
+        // The table's headline shape: larger caches, fewer read misses,
+        // while the local-write and shared columns stay flat.
+        for app in [CmStarApp::application_a(), CmStarApp::application_b()] {
+            let rows = app.run_table(N);
+            assert_eq!(rows.len(), 4);
+            assert!(
+                rows[0].read_miss_pct > rows[3].read_miss_pct + 10.0,
+                "{}: {:.1} -> {:.1}",
+                app.name(),
+                rows[0].read_miss_pct,
+                rows[3].read_miss_pct
+            );
+            let spread = rows
+                .iter()
+                .map(|r| r.local_write_pct)
+                .fold((f64::MAX, f64::MIN), |(lo, hi), v| (lo.min(v), hi.max(v)));
+            assert!(spread.1 - spread.0 < 1.0, "local writes should be flat");
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_columns() {
+        let report = CmStarApp::application_a().run(512, 20_000);
+        assert!(
+            (report.read_miss_pct + report.local_write_pct + report.shared_pct
+                - report.total_miss_pct)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn references_are_deterministic() {
+        let app = CmStarApp::application_a();
+        assert_eq!(app.references(100), app.references(100));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CmStarApp::application_a().name(), "application A");
+        assert_eq!(CmStarApp::application_b().name(), "application B");
+    }
+}

@@ -1,0 +1,38 @@
+//! # decache-workloads
+//!
+//! Workload generators for the `decache` experiments.
+//!
+//! Two families:
+//!
+//! * **Reference streams** ([`Reference`], [`CmStarApp`]) — flat streams
+//!   of classified memory references fed to the Cm*-style emulation
+//!   cache to regenerate Table 1-1. The paper's numbers come from
+//!   Raskin's Cm* traces, which no longer exist; the substitution (see
+//!   DESIGN.md) is a synthetic stream whose **LRU stack-distance profile
+//!   is fitted to the measured miss ratios**, with the local-write and
+//!   shared-reference fractions taken directly from the table (8%/5% for
+//!   application A, 6.7%/10% for application B).
+//! * **Machine programs** ([`ArrayInit`], [`ProducerConsumer`],
+//!   [`MixWorkload`], [`SystolicStage`], [`MatVec`]) — `Processor` implementations
+//!   that drive full simulated machines for the protocol-comparison,
+//!   array-initialization, cyclic-sharing, and systolic-pipeline
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array_init;
+mod cmstar;
+mod matrix;
+mod mix;
+mod producer_consumer;
+mod reference;
+mod systolic;
+
+pub use array_init::ArrayInit;
+pub use cmstar::{CmStarApp, CMSTAR_CACHE_SIZES};
+pub use matrix::{MatVec, MatVecLayout};
+pub use mix::{MixConfig, MixWorkload};
+pub use producer_consumer::ProducerConsumer;
+pub use reference::{Reference, StackProfile, StackStream};
+pub use systolic::SystolicStage;

@@ -1,0 +1,297 @@
+//! A parallel matrix–vector kernel: the read-only-sharing workload the
+//! paper's traffic assumptions are built on.
+//!
+//! "References to local data and to read-only shared data are more
+//! frequent than to read/write shared data" (Section 2, assumption 2).
+//! A dense `y = M·x` is the archetype: the matrix and input vector are
+//! read-only shared (every processor streams them), and each processor
+//! writes only its own slice of the output — data the dynamic schemes
+//! classify as local without any programmer tagging.
+
+use decache_cache::RefClass;
+use decache_machine::{MemOp, OpResult, Poll, Processor};
+use decache_mem::{Addr, AddrRange, Word};
+
+/// The shared-memory layout of a [`MatVec`] problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatVecLayout {
+    /// Number of matrix rows (= output length).
+    pub rows: u64,
+    /// Number of matrix columns (= input length).
+    pub cols: u64,
+    /// Base of the row-major matrix (`rows * cols` words).
+    pub matrix: Addr,
+    /// Base of the input vector (`cols` words).
+    pub input: Addr,
+    /// Base of the output vector (`rows` words).
+    pub output: Addr,
+}
+
+impl MatVecLayout {
+    /// Lays the matrix, input, and output out consecutively from `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(base: Addr, rows: u64, cols: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "the matrix must be non-empty");
+        let matrix = base;
+        let input = matrix.offset(rows * cols);
+        let output = input.offset(cols);
+        MatVecLayout { rows, cols, matrix, input, output }
+    }
+
+    /// The address of element `M[row, col]`.
+    pub fn element(&self, row: u64, col: u64) -> Addr {
+        self.matrix.offset(row * self.cols + col)
+    }
+
+    /// The full footprint (matrix + input + output) as a range.
+    pub fn footprint(&self) -> AddrRange {
+        AddrRange::new(self.matrix, self.output.offset(self.rows))
+    }
+
+    /// The reference `y = M·x` computed on flat slices, for verification.
+    pub fn expected(&self, matrix: &[u64], input: &[u64]) -> Vec<u64> {
+        assert_eq!(matrix.len() as u64, self.rows * self.cols);
+        assert_eq!(input.len() as u64, self.cols);
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| matrix[(r * self.cols + c) as usize].wrapping_mul(input[c as usize]))
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    ReadElement,
+    ReadInput,
+    WriteResult,
+    Finished,
+}
+
+/// One worker of a row-partitioned matrix–vector product: computes
+/// `y[r] = Σ M[r,c]·x[c]` for every row `r ≡ worker (mod workers)`.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::MachineBuilder;
+/// use decache_mem::{Addr, Word};
+/// use decache_workloads::{MatVec, MatVecLayout};
+///
+/// let layout = MatVecLayout::new(Addr::new(0), 4, 4);
+/// let matrix: Vec<u64> = (1..=16).collect();
+/// let input = vec![1, 2, 3, 4];
+/// let mut builder = MachineBuilder::new(ProtocolKind::Rb);
+/// builder.memory_words(64);
+/// builder.initialize_memory(layout.matrix, &matrix.iter().map(|&v| Word::new(v)).collect::<Vec<_>>());
+/// builder.initialize_memory(layout.input, &input.iter().map(|&v| Word::new(v)).collect::<Vec<_>>());
+/// builder.processors(2, |pe| Box::new(MatVec::new(layout, pe as u64, 2)));
+/// let mut machine = builder.build();
+/// machine.run_to_completion(100_000);
+/// let expected = layout.expected(&matrix, &input);
+/// for r in 0..4u64 {
+///     assert_eq!(machine.memory().peek(layout.output.offset(r)).unwrap().value(), expected[r as usize]);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatVec {
+    layout: MatVecLayout,
+    worker: u64,
+    workers: u64,
+    row: u64,
+    col: u64,
+    accumulator: u64,
+    element: u64,
+    phase: Phase,
+}
+
+impl MatVec {
+    /// Creates worker `worker` of `workers` over `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers`.
+    pub fn new(layout: MatVecLayout, worker: u64, workers: u64) -> Self {
+        assert!(worker < workers, "worker {worker} out of range for {workers} workers");
+        let row = worker;
+        MatVec {
+            layout,
+            worker,
+            workers,
+            row,
+            col: 0,
+            accumulator: 0,
+            element: 0,
+            phase: if row < layout.rows { Phase::ReadElement } else { Phase::Finished },
+        }
+    }
+
+    fn advance_row(&mut self) {
+        self.row += self.workers;
+        self.col = 0;
+        self.accumulator = 0;
+        self.phase =
+            if self.row < self.layout.rows { Phase::ReadElement } else { Phase::Finished };
+    }
+}
+
+impl Processor for MatVec {
+    fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
+        match self.phase {
+            Phase::Finished => Poll::Halt,
+
+            Phase::ReadElement => {
+                // Issue the matrix-element read; the value arrives with
+                // the next poll.
+                self.phase = Phase::ReadInput;
+                Poll::Op(
+                    MemOp::read(self.layout.element(self.row, self.col))
+                        .with_class(RefClass::Shared),
+                )
+            }
+
+            Phase::ReadInput => {
+                let Some(OpResult::Read(m)) = last else {
+                    unreachable!("matrix element read must return a value")
+                };
+                self.element = m.value();
+                self.phase = Phase::WriteResult;
+                Poll::Op(
+                    MemOp::read(self.layout.input.offset(self.col)).with_class(RefClass::Shared),
+                )
+            }
+
+            Phase::WriteResult => {
+                let Some(OpResult::Read(x)) = last else {
+                    unreachable!("input element read must return a value")
+                };
+                self.accumulator =
+                    self.accumulator.wrapping_add(self.element.wrapping_mul(x.value()));
+                self.col += 1;
+                if self.col < self.layout.cols {
+                    self.phase = Phase::ReadInput;
+                    // Next matrix element; mirror ReadElement inline.
+                    return Poll::Op(
+                        MemOp::read(self.layout.element(self.row, self.col))
+                            .with_class(RefClass::Shared),
+                    );
+                }
+                // Row done: store y[row] (local to this worker).
+                let out = self.layout.output.offset(self.row);
+                let value = Word::new(self.accumulator);
+                self.advance_row();
+                Poll::Op(MemOp::write(out, value).with_class(RefClass::Local))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::ProtocolKind;
+    use decache_machine::MachineBuilder;
+
+    fn words(values: &[u64]) -> Vec<Word> {
+        values.iter().map(|&v| Word::new(v)).collect()
+    }
+
+    fn run(kind: ProtocolKind, rows: u64, cols: u64, workers: u64) -> (MatVecLayout, Vec<u64>, decache_machine::Machine) {
+        let layout = MatVecLayout::new(Addr::new(0), rows, cols);
+        let matrix: Vec<u64> = (0..rows * cols).map(|i| i % 7 + 1).collect();
+        let input: Vec<u64> = (0..cols).map(|i| i + 1).collect();
+        let mut builder = MachineBuilder::new(kind);
+        builder
+            .memory_words(layout.footprint().len().next_power_of_two().max(64))
+            .cache_lines(64)
+            .initialize_memory(layout.matrix, &words(&matrix))
+            .initialize_memory(layout.input, &words(&input));
+        builder.processors(workers as usize, |pe| {
+            Box::new(MatVec::new(layout, pe as u64, workers))
+        });
+        let mut machine = builder.build();
+        machine.run_to_completion(10_000_000);
+        (layout, layout.expected(&matrix, &input), machine)
+    }
+
+    #[test]
+    fn result_is_correct_under_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            let (layout, expected, machine) = run(kind, 6, 5, 3);
+            for r in 0..6u64 {
+                // The output may still be cached as Local; take the
+                // latest value.
+                let addr = layout.output.offset(r);
+                let snap = machine.snapshot(addr);
+                let latest = (0..3)
+                    .find_map(|pe| {
+                        machine
+                            .cache_line(pe, addr)
+                            .filter(|(s, _)| s.owns_latest())
+                            .map(|(_, d)| d)
+                    })
+                    .unwrap_or(snap.memory());
+                assert_eq!(latest.value(), expected[r as usize], "{kind} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_reads_dominate_the_reference_mix() {
+        use decache_cache::{AccessKind, RefClass};
+        let (_, _, machine) = run(ProtocolKind::Rb, 4, 4, 2);
+        let stats = machine.total_cache_stats();
+        let shared_reads = stats.hits(AccessKind::Read, RefClass::Shared)
+            + stats.misses(AccessKind::Read, RefClass::Shared);
+        let local_writes = stats.hits(AccessKind::Write, RefClass::Local)
+            + stats.misses(AccessKind::Write, RefClass::Local);
+        // 2 reads per element vs 1 write per row.
+        assert_eq!(shared_reads, 2 * 16);
+        assert_eq!(local_writes, 4);
+    }
+
+    #[test]
+    fn read_only_sharing_caches_well_under_rb() {
+        // The input vector is re-read per row: after the first row it
+        // hits in every worker's cache.
+        let (_, _, machine) = run(ProtocolKind::Rb, 8, 8, 2);
+        let hit_ratio = machine.total_cache_stats().hit_ratio();
+        assert!(hit_ratio > 0.3, "hit ratio {hit_ratio:.2}");
+    }
+
+    #[test]
+    fn more_workers_than_rows_is_fine() {
+        let (_, expected, machine) = run(ProtocolKind::Rwb, 2, 3, 4);
+        let layout = MatVecLayout::new(Addr::new(0), 2, 3);
+        for r in 0..2u64 {
+            assert_eq!(
+                machine.memory().peek(layout.output.offset(r)).unwrap().value(),
+                expected[r as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn layout_addresses_do_not_overlap() {
+        let l = MatVecLayout::new(Addr::new(100), 3, 4);
+        assert_eq!(l.matrix, Addr::new(100));
+        assert_eq!(l.input, Addr::new(112));
+        assert_eq!(l.output, Addr::new(116));
+        assert_eq!(l.footprint().len(), 12 + 4 + 3);
+        assert_eq!(l.element(2, 3), Addr::new(111));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worker_out_of_range_panics() {
+        let layout = MatVecLayout::new(Addr::new(0), 2, 2);
+        let _ = MatVec::new(layout, 3, 3).worker;
+        let _ = MatVec::new(layout, 4, 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! The cyclic-sharing workload of Section 5 (experiment E12).
+
+use decache_machine::{MemOp, OpResult, Poll, Processor};
+use decache_mem::{AddrRange, Word};
+
+/// The producer/consumer roles of the cyclic sharing pattern: "many
+/// shared variables tend to be referenced in the cyclical pattern:
+/// written by some one PE and then read by others" (Section 5).
+///
+/// One PE produces a buffer of values and bumps a round flag; consumer
+/// PEs spin on the flag, then read every buffer word. Under RWB the
+/// producer's bus writes broadcast the new values into the consumers'
+/// caches, so the consumers' reads all hit; under RB each consumer
+/// refetches each word (mitigated by the read broadcast: the first
+/// consumer's fetch refills the others).
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::MachineBuilder;
+/// use decache_mem::{Addr, AddrRange};
+/// use decache_workloads::ProducerConsumer;
+///
+/// let pc = ProducerConsumer::new(AddrRange::with_len(Addr::new(8), 4), Addr::new(0), 2);
+/// let mut machine = MachineBuilder::new(ProtocolKind::Rwb)
+///     .memory_words(64)
+///     .processor(pc.producer())
+///     .processor(pc.consumer())
+///     .processor(pc.consumer())
+///     .build();
+/// machine.run_to_completion(100_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProducerConsumer {
+    buffer: AddrRange,
+    flag: decache_mem::Addr,
+    rounds: u64,
+}
+
+impl ProducerConsumer {
+    /// Creates the workload: `rounds` cycles over `buffer`, synchronized
+    /// through `flag` (which must lie outside the buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag lies inside the buffer or the buffer is empty.
+    pub fn new(buffer: AddrRange, flag: decache_mem::Addr, rounds: u64) -> Self {
+        assert!(!buffer.contains(flag), "the flag must not alias the buffer");
+        assert!(!buffer.is_empty(), "the buffer must be non-empty");
+        ProducerConsumer { buffer, flag, rounds }
+    }
+
+    /// Builds the producer program.
+    pub fn producer(&self) -> Box<dyn Processor + Send> {
+        Box::new(Producer {
+            buffer: self.buffer,
+            flag: self.flag,
+            rounds_left: self.rounds,
+            round: 0,
+            index: 0,
+        })
+    }
+
+    /// Builds a consumer program.
+    pub fn consumer(&self) -> Box<dyn Processor + Send> {
+        Box::new(Consumer {
+            buffer: self.buffer,
+            flag: self.flag,
+            rounds_left: self.rounds,
+            round: 0,
+            state: ConsumerState::AwaitFlag,
+            index: 0,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Producer {
+    buffer: AddrRange,
+    flag: decache_mem::Addr,
+    rounds_left: u64,
+    round: u64,
+    index: u64,
+}
+
+impl Processor for Producer {
+    fn next_op(&mut self, _last: Option<&OpResult>) -> Poll {
+        if self.rounds_left == 0 {
+            return Poll::Halt;
+        }
+        if self.index < self.buffer.len() {
+            // Value encodes (round, index) so consumers can verify it.
+            let value = Word::new((self.round + 1) << 16 | self.index);
+            let op = MemOp::write(self.buffer.nth(self.index), value);
+            self.index += 1;
+            Poll::Op(op)
+        } else {
+            // Publish the round.
+            self.round += 1;
+            self.rounds_left -= 1;
+            self.index = 0;
+            Poll::Op(MemOp::write(self.flag, Word::new(self.round)))
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConsumerState {
+    AwaitFlag,
+    Reading,
+}
+
+#[derive(Debug)]
+struct Consumer {
+    buffer: AddrRange,
+    flag: decache_mem::Addr,
+    rounds_left: u64,
+    round: u64,
+    state: ConsumerState,
+    index: u64,
+}
+
+impl Processor for Consumer {
+    fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
+        if self.rounds_left == 0 {
+            return Poll::Halt;
+        }
+        match self.state {
+            ConsumerState::AwaitFlag => {
+                if let Some(OpResult::Read(v)) = last {
+                    if v.value() > self.round {
+                        // New round published: consume the buffer.
+                        self.round = v.value();
+                        self.state = ConsumerState::Reading;
+                        self.index = 0;
+                        return self.next_op(None);
+                    }
+                }
+                Poll::Op(MemOp::read(self.flag))
+            }
+            ConsumerState::Reading => {
+                if self.index < self.buffer.len() {
+                    let op = MemOp::read(self.buffer.nth(self.index));
+                    self.index += 1;
+                    Poll::Op(op)
+                } else {
+                    self.rounds_left -= 1;
+                    self.state = ConsumerState::AwaitFlag;
+                    if self.rounds_left == 0 {
+                        Poll::Halt
+                    } else {
+                        Poll::Op(MemOp::read(self.flag))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::ProtocolKind;
+    use decache_machine::MachineBuilder;
+    use decache_mem::Addr;
+
+    fn run(kind: ProtocolKind, consumers: usize, rounds: u64) -> decache_machine::Machine {
+        let pc = ProducerConsumer::new(AddrRange::with_len(Addr::new(8), 8), Addr::new(0), rounds);
+        let mut builder = MachineBuilder::new(kind);
+        builder.memory_words(64).cache_lines(32).processor(pc.producer());
+        for _ in 0..consumers {
+            builder.processor(pc.consumer());
+        }
+        let mut machine = builder.build();
+        machine.run_to_completion(1_000_000);
+        machine
+    }
+
+    #[test]
+    fn completes_under_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            let machine = run(kind, 2, 2);
+            // The flag reached the final round.
+            assert_eq!(machine.memory().peek(Addr::new(0)).unwrap(), Word::new(2), "{kind}");
+        }
+    }
+
+    #[test]
+    fn rwb_consumers_read_mostly_from_cache() {
+        // After warmup, RWB write broadcasts refresh consumer caches in
+        // place, so consumers generate almost no read traffic; RB
+        // consumers must refetch after each invalidation.
+        let rb = run(ProtocolKind::Rb, 2, 4);
+        let rwb = run(ProtocolKind::Rwb, 2, 4);
+        let reads = |m: &decache_machine::Machine| {
+            m.traffic().count(decache_bus::BusOpKind::Read)
+        };
+        assert!(
+            reads(&rwb) < reads(&rb),
+            "RWB bus reads {} should be fewer than RB {}",
+            reads(&rwb),
+            reads(&rb)
+        );
+    }
+
+    #[test]
+    fn write_once_costs_more_reads_than_rb() {
+        // Without the read broadcast, every consumer fetches separately.
+        let rb = run(ProtocolKind::Rb, 3, 3);
+        let wo = run(ProtocolKind::WriteOnce, 3, 3);
+        let reads = |m: &decache_machine::Machine| {
+            m.traffic().count(decache_bus::BusOpKind::Read)
+        };
+        assert!(
+            reads(&wo) > reads(&rb),
+            "write-once reads {} should exceed RB {}",
+            reads(&wo),
+            reads(&rb)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not alias")]
+    fn flag_inside_buffer_panics() {
+        let _ = ProducerConsumer::new(AddrRange::with_len(Addr::new(0), 8), Addr::new(3), 1);
+    }
+}

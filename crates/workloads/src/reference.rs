@@ -1,0 +1,243 @@
+//! Classified reference streams with a controlled locality profile.
+
+use decache_cache::{AccessKind, RefClass};
+use decache_mem::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One classified memory reference of a flat stream (no data values:
+/// these streams feed miss-ratio emulation, not the full machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reference {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The referenced address.
+    pub addr: Addr,
+    /// Ground-truth class.
+    pub class: RefClass,
+}
+
+/// A piecewise LRU **stack-distance profile**: for each cache size `s`,
+/// the fraction of cachable reads whose reuse distance exceeds `s`
+/// (i.e. the target miss ratio of a size-`s` cache).
+///
+/// Sampling a reuse distance from this profile produces a stream whose
+/// miss ratio, measured at each of the profile's sizes, approximates the
+/// targets — which is exactly how we substitute for the unavailable Cm*
+/// traces behind Table 1-1 (see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use decache_workloads::StackProfile;
+///
+/// // 30% of reads reuse beyond 256 words, 7% beyond 2048.
+/// let profile = StackProfile::new(vec![
+///     (256, 0.30),
+///     (512, 0.25),
+///     (1024, 0.13),
+///     (2048, 0.07),
+/// ]);
+/// assert_eq!(profile.miss_target(256), Some(0.30));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackProfile {
+    /// `(cache size, target miss ratio)`, ascending in size, descending
+    /// in miss ratio.
+    points: Vec<(u64, f64)>,
+}
+
+impl StackProfile {
+    /// Creates a profile from `(size, miss ratio)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are empty, not strictly ascending in size,
+    /// not non-increasing in miss ratio, or have ratios outside `[0,1]`.
+    pub fn new(points: Vec<(u64, f64)>) -> Self {
+        assert!(!points.is_empty(), "a stack profile needs at least one point");
+        for window in points.windows(2) {
+            assert!(
+                window[0].0 < window[1].0,
+                "profile sizes must strictly ascend: {points:?}"
+            );
+            assert!(
+                window[0].1 >= window[1].1,
+                "profile miss ratios must not increase with size: {points:?}"
+            );
+        }
+        for &(_, m) in &points {
+            assert!((0.0..=1.0).contains(&m), "miss ratio {m} outside [0, 1]");
+        }
+        StackProfile { points }
+    }
+
+    /// The target miss ratio at exactly `size`, if `size` is a profile
+    /// point.
+    pub fn miss_target(&self, size: u64) -> Option<f64> {
+        self.points.iter().find(|(s, _)| *s == size).map(|(_, m)| *m)
+    }
+
+    /// The profile's `(size, miss ratio)` points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Samples a reuse distance: with the bucket probabilities implied by
+    /// the profile, uniform within each bucket; `None` means "beyond the
+    /// largest size" (a cold/capacity miss at every profiled size).
+    fn sample_distance(&self, rng: &mut StdRng) -> Option<u64> {
+        let u: f64 = rng.gen();
+        // P(distance <= smallest size) = 1 - miss(smallest).
+        let mut cumulative = 1.0 - self.points[0].1;
+        if u < cumulative {
+            let hi = self.points[0].0;
+            return Some(rng.gen_range(1..=hi));
+        }
+        for window in self.points.windows(2) {
+            let (lo, m_lo) = window[0];
+            let (hi, m_hi) = window[1];
+            let bucket = m_lo - m_hi;
+            cumulative += bucket;
+            if u < cumulative {
+                return Some(rng.gen_range(lo + 1..=hi));
+            }
+        }
+        None
+    }
+}
+
+/// An infinite stream of read references over a private region whose
+/// reuse distances follow a [`StackProfile`]; maintains the true LRU
+/// stack so sampled distances translate into concrete addresses.
+#[derive(Debug)]
+pub struct StackStream {
+    profile: StackProfile,
+    region_base: u64,
+    stack: Vec<u64>, // most recent first
+    next_fresh: u64,
+    rng: StdRng,
+    max_stack: usize,
+}
+
+impl StackStream {
+    /// Creates a stream over addresses starting at `region_base`.
+    pub fn new(profile: StackProfile, region_base: Addr, seed: u64) -> Self {
+        let max_stack = profile.points.last().map(|(s, _)| *s as usize * 4).unwrap_or(8192);
+        StackStream {
+            profile,
+            region_base: region_base.index(),
+            stack: Vec::new(),
+            next_fresh: 0,
+            rng: StdRng::seed_from_u64(seed),
+            max_stack,
+        }
+    }
+
+    /// Pre-populates the LRU stack with `count` fresh addresses, as if
+    /// the program had already been running for a long time. Without
+    /// this, early samples of large reuse distances find the stack too
+    /// short and degrade into cold misses, inflating measured miss
+    /// ratios above the profile's targets.
+    pub fn prefill(&mut self, count: u64) {
+        for _ in 0..count {
+            self.stack.push(self.next_fresh);
+            self.next_fresh += 1;
+        }
+        self.stack.truncate(self.max_stack);
+    }
+
+    /// Produces the next address of the stream.
+    pub fn next_addr(&mut self) -> Addr {
+        let raw = match self.profile.sample_distance(&mut self.rng) {
+            Some(d) if (d as usize) <= self.stack.len() => {
+                // Reuse the d-th most recently used address.
+                self.stack.remove(d as usize - 1)
+            }
+            _ => {
+                // Cold: a never-seen address.
+                let a = self.next_fresh;
+                self.next_fresh += 1;
+                a
+            }
+        };
+        self.stack.insert(0, raw);
+        self.stack.truncate(self.max_stack);
+        Addr::new(self.region_base + raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_cache::CmStarCache;
+
+    #[test]
+    fn profile_validation() {
+        let p = StackProfile::new(vec![(256, 0.3), (512, 0.2)]);
+        assert_eq!(p.miss_target(256), Some(0.3));
+        assert_eq!(p.miss_target(123), None);
+        assert_eq!(p.points().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn unsorted_profile_panics() {
+        let _ = StackProfile::new(vec![(512, 0.3), (256, 0.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn increasing_miss_panics() {
+        let _ = StackProfile::new(vec![(256, 0.1), (512, 0.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_profile_panics() {
+        let _ = StackProfile::new(vec![]);
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let profile = StackProfile::new(vec![(64, 0.3), (128, 0.1)]);
+        let mut a = StackStream::new(profile.clone(), Addr::new(0), 9);
+        let mut b = StackStream::new(profile, Addr::new(0), 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_addr(), b.next_addr());
+        }
+    }
+
+    #[test]
+    fn measured_miss_ratio_tracks_profile() {
+        // Feed the stream to fully-associative LRU caches of the
+        // profiled sizes; the measured read miss ratio should closely
+        // match the target (LRU realizes the stack-distance model).
+        let profile = StackProfile::new(vec![(256, 0.30), (1024, 0.12)]);
+        for (size, target) in [(256usize, 0.30f64), (1024, 0.12)] {
+            let mut stream = StackStream::new(profile.clone(), Addr::new(0), 42);
+            let mut cache = CmStarCache::fully_associative(size);
+            let n = 40_000;
+            let mut misses = 0u32;
+            for _ in 0..n {
+                if !cache.access(stream.next_addr(), AccessKind::Read, RefClass::Code) {
+                    misses += 1;
+                }
+            }
+            let measured = f64::from(misses) / f64::from(n);
+            assert!(
+                (measured - target).abs() < 0.03,
+                "size {size}: measured {measured:.3} vs target {target:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_respect_region_base() {
+        let profile = StackProfile::new(vec![(16, 0.5)]);
+        let mut stream = StackStream::new(profile, Addr::new(1000), 1);
+        for _ in 0..50 {
+            assert!(stream.next_addr().index() >= 1000);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! A systolic ring: the neighbour-to-neighbour pipeline of [RUD84].
+//!
+//! The paper's companion report ("Executing Systolic Arrays by MIMD
+//! Multiprocessors", cited as [RUD84] and as the source of "further
+//! examples of the RWB scheme") executes systolic algorithms on exactly
+//! this class of machine. The communication skeleton is a ring of
+//! single-writer/single-reader cells: stage `i` reads its input cell,
+//! transforms the value, and writes its output cell, which is stage
+//! `i+1`'s input. Each cell carries a sequence tag so a stage can spin
+//! (in its cache!) until its input is fresh — the cyclic
+//! write-then-read pattern Section 5 optimizes.
+
+use decache_machine::{MemOp, OpResult, Poll, Processor};
+use decache_mem::{Addr, Word};
+
+/// How many low bits of a cell word carry the sequence tag.
+const TAG_BITS: u64 = 16;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+/// Packs a payload and a sequence tag into one cell word.
+fn pack(payload: u64, tag: u64) -> Word {
+    Word::new((payload << TAG_BITS) | (tag & TAG_MASK))
+}
+
+fn unpack(word: Word) -> (u64, u64) {
+    (word.value() >> TAG_BITS, word.value() & TAG_MASK)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Spinning on the input cell until its tag reaches the wanted round.
+    AwaitInput,
+    /// The output write is in flight.
+    WriteOutput,
+    Finished,
+}
+
+/// One stage of a systolic ring of `stages` processors pumping `rounds`
+/// values around.
+///
+/// Stage 0 is the source: it injects a fresh value each round without
+/// waiting. Every other stage waits for its input cell's tag, adds its
+/// stage number to the payload, and forwards. After `rounds` full
+/// circulations the ring drains.
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::ProtocolKind;
+/// use decache_machine::MachineBuilder;
+/// use decache_mem::Addr;
+/// use decache_workloads::SystolicStage;
+///
+/// let mut machine = MachineBuilder::new(ProtocolKind::Rwb)
+///     .memory_words(64)
+///     .processors(4, |pe| Box::new(SystolicStage::new(Addr::new(0), pe, 4, 3)))
+///     .build();
+/// machine.run_to_completion(1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicStage {
+    input: Addr,
+    output: Addr,
+    stage: usize,
+    rounds_left: u64,
+    round: u64,
+    phase: Phase,
+    forwarded: u64,
+}
+
+impl SystolicStage {
+    /// Creates stage `stage` of a `stages`-long ring whose cells start
+    /// at `cells_base` (one word per stage), pumping `rounds` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= stages` or `stages == 0`.
+    pub fn new(cells_base: Addr, stage: usize, stages: usize, rounds: u64) -> Self {
+        assert!(stages > 0, "a ring needs at least one stage");
+        assert!(stage < stages, "stage {stage} out of range for {stages} stages");
+        let input = cells_base.offset(((stage + stages - 1) % stages) as u64);
+        let output = cells_base.offset(stage as u64);
+        SystolicStage {
+            input,
+            output,
+            stage,
+            rounds_left: rounds,
+            round: 0,
+            phase: if rounds == 0 { Phase::Finished } else { Phase::start(stage) },
+            forwarded: 0,
+        }
+    }
+
+    /// The number of values this stage has forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    fn emit(&mut self, payload: u64) -> Poll {
+        self.round += 1;
+        self.phase = Phase::WriteOutput;
+        Poll::Op(MemOp::write(self.output, pack(payload, self.round)))
+    }
+}
+
+impl Phase {
+    fn start(stage: usize) -> Phase {
+        if stage == 0 {
+            // The source injects without waiting.
+            Phase::WriteOutput
+        } else {
+            Phase::AwaitInput
+        }
+    }
+}
+
+impl Processor for SystolicStage {
+    fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
+        match self.phase {
+            Phase::Finished => Poll::Halt,
+
+            Phase::AwaitInput => match last {
+                Some(OpResult::Read(w)) => {
+                    let (payload, tag) = unpack(*w);
+                    if tag > self.round {
+                        // Fresh input: transform and forward.
+                        self.forwarded += 1;
+                        self.emit(payload + self.stage as u64)
+                    } else {
+                        Poll::Op(MemOp::read(self.input))
+                    }
+                }
+                _ => Poll::Op(MemOp::read(self.input)),
+            },
+
+            Phase::WriteOutput => {
+                if self.stage == 0 && self.round == 0 {
+                    // First injection.
+                    return self.emit(1);
+                }
+                match last {
+                    Some(OpResult::Write) => {
+                        self.rounds_left -= 1;
+                        if self.rounds_left == 0 {
+                            self.phase = Phase::Finished;
+                            Poll::Halt
+                        } else if self.stage == 0 {
+                            // Source: inject the next value immediately.
+                            self.emit(self.round + 1)
+                        } else {
+                            self.phase = Phase::AwaitInput;
+                            Poll::Op(MemOp::read(self.input))
+                        }
+                    }
+                    _ => self.emit(1),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::ProtocolKind;
+    use decache_machine::MachineBuilder;
+
+    fn run(kind: ProtocolKind, stages: usize, rounds: u64) -> decache_machine::Machine {
+        let base = Addr::new(0);
+        let mut machine = MachineBuilder::new(kind)
+            .memory_words(64)
+            .cache_lines(32)
+            .processors(stages, |pe| Box::new(SystolicStage::new(base, pe, stages, rounds)))
+            .build();
+        machine.run_to_completion(10_000_000);
+        machine
+    }
+
+    #[test]
+    fn ring_drains_under_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            let machine = run(kind, 4, 3);
+            // The last stage's output cell carries the final round's tag.
+            let snap = machine.snapshot(Addr::new(3));
+            let latest = (0..4)
+                .find_map(|pe| {
+                    machine
+                        .cache_line(pe, Addr::new(3))
+                        .filter(|(s, _)| s.owns_latest())
+                        .map(|(_, d)| d)
+                })
+                .unwrap_or(snap.memory());
+            let (_, tag) = super::unpack(latest);
+            assert_eq!(tag, 3, "{kind}");
+        }
+    }
+
+    #[test]
+    fn payload_accumulates_stage_numbers() {
+        // One full circulation: source injects round r with payload r+? —
+        // stage i adds i; after stages 1..3 of a 4-ring the payload of
+        // round 1 is 1 + 1 + 2 + 3 = 7.
+        let machine = run(ProtocolKind::Rb, 4, 1);
+        let snap = machine.snapshot(Addr::new(3));
+        let latest = (0..4)
+            .find_map(|pe| {
+                machine
+                    .cache_line(pe, Addr::new(3))
+                    .filter(|(s, _)| s.owns_latest())
+                    .map(|(_, d)| d)
+            })
+            .unwrap_or(snap.memory());
+        let (payload, tag) = super::unpack(latest);
+        assert_eq!(tag, 1);
+        assert_eq!(payload, 1 + 1 + 2 + 3);
+    }
+
+    #[test]
+    fn rwb_pipelines_with_less_read_traffic_than_write_once() {
+        let rwb = run(ProtocolKind::Rwb, 6, 4);
+        let wo = run(ProtocolKind::WriteOnce, 6, 4);
+        let reads = |m: &decache_machine::Machine| m.traffic().total_reads();
+        assert!(
+            reads(&rwb) < reads(&wo),
+            "RWB {} should beat write-once {}",
+            reads(&rwb),
+            reads(&wo)
+        );
+    }
+
+    #[test]
+    fn spinning_stages_spin_in_cache() {
+        // While waiting for input, a stage's repeated reads hit locally:
+        // references far exceed bus transactions.
+        let machine = run(ProtocolKind::Rwb, 4, 4);
+        let refs = machine.total_cache_stats().total_references();
+        let bus = machine.traffic().total_transactions();
+        assert!(bus < refs, "spins must be cache-local: {bus} bus tx for {refs} refs");
+    }
+
+    #[test]
+    fn zero_rounds_halts() {
+        let mut s = SystolicStage::new(Addr::new(0), 1, 4, 0);
+        assert_eq!(s.next_op(None), Poll::Halt);
+        assert_eq!(s.forwarded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_out_of_range_panics() {
+        let _ = SystolicStage::new(Addr::new(0), 4, 4, 1);
+    }
+}

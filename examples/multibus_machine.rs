@@ -1,0 +1,37 @@
+//! The Figure 7-1 machine: split the caches and memory over multiple
+//! interleaved shared buses and watch the per-bus load divide.
+//!
+//! Run with `cargo run --example multibus_machine`.
+
+use decache::analysis::{MultibusExperiment, SbbModel};
+use decache::core::ProtocolKind;
+
+fn main() {
+    // The analytic motivation first: the paper's worked example.
+    let model = SbbModel::paper_example();
+    println!("analytic bound: {model}");
+    for buses in [1u32, 2, 4] {
+        println!(
+            "  {buses} bus(es): {:.1} MACS per bus required",
+            model.per_bus_macs(buses)
+        );
+    }
+    println!();
+
+    // Then the simulation: 16 processors on 1, 2, and 4 buses.
+    let rows = MultibusExperiment::new(16).protocol(ProtocolKind::Rwb).run();
+    println!("simulated (16 PEs, RWB, LSB-interleaved banks):");
+    println!("{}", MultibusExperiment::render(&rows));
+    println!("per-bus shares:");
+    for r in &rows {
+        println!(
+            "  {} bus(es): {}",
+            r.buses,
+            r.shares
+                .iter()
+                .map(|s| format!("{:.1}%", s * 100.0))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+}

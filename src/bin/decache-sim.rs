@@ -1,0 +1,231 @@
+//! `decache-sim` — a small CLI front end for the simulator: pick a
+//! protocol, a workload, and a machine shape; get cycles, traffic, and
+//! hit ratios.
+//!
+//! ```text
+//! decache-sim [--protocol rb|rb-nb|rwb|rwb:K|write-once|write-through]
+//!             [--workload mix|array|lock|barrier]
+//!             [--pes N] [--buses B] [--ops N] [--cache-lines N]
+//! ```
+
+use decache::core::ProtocolKind;
+use decache::machine::MachineBuilder;
+use decache::mem::{Addr, AddrRange};
+use decache::sync::{BarrierWorker, LockWorker, Primitive};
+use decache::workloads::{ArrayInit, MixConfig, MixWorkload};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Mix,
+    Array,
+    Lock,
+    Barrier,
+}
+
+#[derive(Debug)]
+struct Options {
+    protocol: ProtocolKind,
+    workload: Workload,
+    pes: usize,
+    buses: usize,
+    ops: u64,
+    cache_lines: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            protocol: ProtocolKind::Rwb,
+            workload: Workload::Mix,
+            pes: 8,
+            buses: 1,
+            ops: 2_000,
+            cache_lines: 256,
+        }
+    }
+}
+
+fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
+    match raw {
+        "rb" => Ok(ProtocolKind::Rb),
+        "rb-nb" => Ok(ProtocolKind::RbNoBroadcast),
+        "rwb" => Ok(ProtocolKind::Rwb),
+        "write-once" => Ok(ProtocolKind::WriteOnce),
+        "write-through" => Ok(ProtocolKind::WriteThrough),
+        other => {
+            if let Some(k) = other.strip_prefix("rwb:") {
+                let k: u8 = k.parse().map_err(|_| format!("bad rwb threshold: {other}"))?;
+                Ok(ProtocolKind::RwbThreshold(k))
+            } else {
+                Err(format!("unknown protocol: {other}"))
+            }
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--protocol" => options.protocol = parse_protocol(value()?)?,
+            "--workload" => {
+                options.workload = match value()? {
+                    "mix" => Workload::Mix,
+                    "array" => Workload::Array,
+                    "lock" => Workload::Lock,
+                    "barrier" => Workload::Barrier,
+                    other => return Err(format!("unknown workload: {other}")),
+                }
+            }
+            "--pes" => {
+                options.pes =
+                    value()?.parse().map_err(|e| format!("bad --pes: {e}"))?;
+            }
+            "--buses" => {
+                options.buses =
+                    value()?.parse().map_err(|e| format!("bad --buses: {e}"))?;
+            }
+            "--ops" => {
+                options.ops = value()?.parse().map_err(|e| format!("bad --ops: {e}"))?;
+            }
+            "--cache-lines" => {
+                options.cache_lines =
+                    value()?.parse().map_err(|e| format!("bad --cache-lines: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: decache-sim [--protocol P] [--workload W] [--pes N] \
+                            [--buses B] [--ops N] [--cache-lines N]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if options.pes == 0 {
+        return Err("--pes must be at least 1".to_owned());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut builder = MachineBuilder::new(options.protocol);
+    builder
+        .memory_words(1 << 15)
+        .cache_lines(options.cache_lines)
+        .buses(options.buses);
+
+    match options.workload {
+        Workload::Mix => {
+            let shared = AddrRange::with_len(Addr::new(0), 64);
+            let config = MixConfig { ops_per_pe: options.ops, ..MixConfig::default() };
+            builder.processors(options.pes, |pe| {
+                Box::new(MixWorkload::new(config, shared, pe as u64))
+            });
+        }
+        Workload::Array => {
+            let array = AddrRange::with_len(Addr::new(0), options.ops);
+            builder.processor(Box::new(ArrayInit::new(array)));
+        }
+        Workload::Lock => {
+            let rounds = options.ops.max(1);
+            builder.processors(options.pes, |pe| {
+                Box::new(
+                    LockWorker::new(Addr::new(0), Primitive::TestAndTestAndSet)
+                        .rounds(rounds)
+                        .critical_section(Addr::new(1024 + pe as u64), 8),
+                )
+            });
+        }
+        Workload::Barrier => {
+            let pes = options.pes as u64;
+            let episodes = options.ops.max(1);
+            builder.processors(options.pes, |_| {
+                Box::new(BarrierWorker::new(Addr::new(0), pes, episodes))
+            });
+        }
+    }
+
+    let mut machine = builder.build();
+    let cycles = machine.run_to_completion(10_000_000_000);
+
+    println!("protocol:      {}", machine.protocol().name());
+    println!("processors:    {}", machine.pe_count());
+    println!("topology:      {}", machine.routing());
+    println!("cycles:        {cycles}");
+    println!("bus traffic:   {}", machine.traffic());
+    println!("cache stats:   {}", machine.total_cache_stats());
+    println!("machine stats: {}", machine.stats());
+    if options.buses > 1 {
+        let per_bus = machine.traffic_per_bus();
+        for bus in 0..per_bus.bus_count() {
+            println!("  bus {bus}: {}", per_bus.bus(bus));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_with_no_flags() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.protocol, ProtocolKind::Rwb);
+        assert_eq!(o.workload, Workload::Mix);
+        assert_eq!(o.pes, 8);
+        assert_eq!(o.buses, 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = parse_args(&args(&[
+            "--protocol", "rb", "--workload", "lock", "--pes", "4", "--buses", "2", "--ops",
+            "100", "--cache-lines", "64",
+        ]))
+        .unwrap();
+        assert_eq!(o.protocol, ProtocolKind::Rb);
+        assert_eq!(o.workload, Workload::Lock);
+        assert_eq!(o.pes, 4);
+        assert_eq!(o.buses, 2);
+        assert_eq!(o.ops, 100);
+        assert_eq!(o.cache_lines, 64);
+    }
+
+    #[test]
+    fn protocol_spellings() {
+        assert_eq!(parse_protocol("rb-nb").unwrap(), ProtocolKind::RbNoBroadcast);
+        assert_eq!(parse_protocol("rwb:3").unwrap(), ProtocolKind::RwbThreshold(3));
+        assert_eq!(parse_protocol("write-once").unwrap(), ProtocolKind::WriteOnce);
+        assert!(parse_protocol("mesi").is_err());
+        assert!(parse_protocol("rwb:x").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_args(&args(&["--pes"])).is_err());
+        assert!(parse_args(&args(&["--pes", "0"])).is_err());
+        assert!(parse_args(&args(&["--workload", "nonsense"])).is_err());
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--help"])).is_err());
+    }
+}

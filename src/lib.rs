@@ -1,0 +1,80 @@
+//! # decache
+//!
+//! A full-system simulation and reproduction of Rudolph & Segall's
+//! *Dynamic Decentralized Cache Schemes for MIMD Parallel Processors*
+//! (CMU-CS-84-139 / ISCA 1984): the **RB** and **RWB** snooping cache
+//! coherence schemes, the **Test-and-Test-and-Set** synchronization
+//! construct, the consistency proof as an executable model checker, and
+//! the shared-bus bandwidth analysis including the multiple-bus machine.
+//!
+//! This umbrella crate re-exports the whole workspace under stable module
+//! names; downstream users depend on `decache` alone.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use decache::core::ProtocolKind;
+//! use decache::machine::{MachineBuilder, Script};
+//! use decache::mem::{Addr, Word};
+//!
+//! // Two PEs share one variable under the RB scheme.
+//! let shared = Addr::new(0);
+//! let mut machine = MachineBuilder::new(ProtocolKind::Rb)
+//!     .memory_words(64)
+//!     .cache_lines(16)
+//!     .processor(Script::new().write(shared, Word::new(42)).build())
+//!     .processor(Script::new().read(shared).build())
+//!     .build();
+//! machine.run_to_completion(1_000);
+//! assert_eq!(machine.memory().peek(shared).unwrap(), Word::new(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Memory substrate: words, addresses, main memory, interleaved banks.
+pub mod mem {
+    pub use decache_mem::*;
+}
+
+/// Shared-bus substrate: transactions, arbitration, traffic accounting.
+pub mod bus {
+    pub use decache_bus::*;
+}
+
+/// Cache substrate: geometry, tag stores, statistics, Cm* emulation cache.
+pub mod cache {
+    pub use decache_cache::*;
+}
+
+/// The paper's contribution: the RB and RWB coherence protocols and their
+/// baselines.
+pub mod core {
+    pub use decache_core::*;
+}
+
+/// The cycle-based MIMD machine simulator.
+pub mod machine {
+    pub use decache_machine::*;
+}
+
+/// Synchronization built on the simulated caches: TS and TTS spinlocks.
+pub mod sync {
+    pub use decache_sync::*;
+}
+
+/// Executable consistency proofs: product-machine checking and the
+/// latest-value oracle.
+pub mod verify {
+    pub use decache_verify::*;
+}
+
+/// Workload generators.
+pub mod workloads {
+    pub use decache_workloads::*;
+}
+
+/// Bandwidth analytics and experiment table rendering.
+pub mod analysis {
+    pub use decache_analysis::*;
+}

@@ -1,0 +1,186 @@
+//! Property-based whole-machine consistency: the Section 4 theorem as a
+//! randomized invariant over concurrent machines, for every protocol.
+
+use decache::core::{Configuration, ProtocolKind};
+use decache::machine::{MachineBuilder, Script};
+use decache::mem::{Addr, Word};
+use proptest::prelude::*;
+
+const ADDRESSES: u64 = 8;
+
+/// A tiny op encoding for proptest: (pe_op_kind, address, value).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64),
+    Write(u64, u64),
+    Ts(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ADDRESSES).prop_map(Op::Read),
+        (0..ADDRESSES, 1u64..1000).prop_map(|(a, v)| Op::Write(a, v)),
+        (0..ADDRESSES).prop_map(Op::Ts),
+    ]
+}
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Rb),
+        Just(ProtocolKind::RbNoBroadcast),
+        Just(ProtocolKind::Rwb),
+        Just(ProtocolKind::RwbThreshold(1)),
+        Just(ProtocolKind::RwbThreshold(3)),
+        Just(ProtocolKind::WriteOnce),
+        Just(ProtocolKind::WriteThrough),
+    ]
+}
+
+fn build_script(ops: &[Op]) -> Script {
+    let mut script = Script::new();
+    for &op in ops {
+        script = match op {
+            Op::Read(a) => script.read(Addr::new(a)),
+            Op::Write(a, v) => script.write(Addr::new(a), Word::new(v)),
+            Op::Ts(a) => script.test_and_set(Addr::new(a), Word::ONE),
+        };
+    }
+    script
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any concurrent program on any protocol terminates, and every
+    /// address ends in a legal configuration whose owner (if any) holds
+    /// a value some processor actually wrote.
+    #[test]
+    fn random_concurrent_programs_stay_consistent(
+        kind in protocol_strategy(),
+        programs in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 1..20),
+            1..5
+        ),
+    ) {
+        let mut builder = MachineBuilder::new(kind);
+        builder.memory_words(64).cache_lines(4); // tiny cache: force evictions
+        for ops in &programs {
+            builder.processor(build_script(ops).build());
+        }
+        let mut machine = builder.build();
+        prop_assert!(machine.run(2_000_000), "machine did not terminate under {kind}");
+
+        for a in 0..ADDRESSES {
+            let snap = machine.snapshot(Addr::new(a));
+            prop_assert_ne!(
+                snap.configuration(),
+                Configuration::Illegal,
+                "illegal configuration at @{} under {}: {}", a, kind, snap
+            );
+            // All readable copies agree with each other and with memory
+            // (when no owner exists, memory is current).
+            let owner = (0..machine.pe_count())
+                .find(|&pe| snap.line(pe).is_some_and(|(s, _)| s.owns_latest()));
+            if owner.is_none() {
+                for pe in 0..machine.pe_count() {
+                    if let Some((state, data)) = snap.line(pe) {
+                        if state.is_readable_locally() {
+                            prop_assert_eq!(
+                                data, snap.memory(),
+                                "stale readable copy at P{} @{} under {}", pe, a, kind
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mutual exclusion: across any interleaving, at most one TS per
+    /// address acquires while the word stays nonzero.
+    #[test]
+    fn test_and_set_is_atomic_under_races(
+        kind in protocol_strategy(),
+        pes in 2usize..6,
+    ) {
+        let lock = Addr::new(0);
+        let mut builder = MachineBuilder::new(kind);
+        builder.memory_words(16);
+        for _ in 0..pes {
+            builder.processor(Script::new().test_and_set(lock, Word::ONE).build());
+        }
+        let mut machine = builder.build();
+        prop_assert!(machine.run(100_000));
+        prop_assert_eq!(machine.stats().ts_successes, 1);
+        prop_assert_eq!(machine.stats().ts_failures, pes as u64 - 1);
+        prop_assert_eq!(machine.memory().peek(lock).unwrap(), Word::ONE);
+    }
+
+    /// Single-writer visibility: when one PE writes an ascending
+    /// sequence and others read, every read observes a value the writer
+    /// actually wrote (or the initial zero), never garbage.
+    #[test]
+    fn readers_only_see_written_values(
+        kind in protocol_strategy(),
+        writes in 1u64..12,
+    ) {
+        let x = Addr::new(0);
+        let mut writer = Script::new();
+        for v in 1..=writes {
+            writer = writer.write(x, Word::new(v));
+        }
+        let mut builder = MachineBuilder::new(kind);
+        builder.memory_words(16);
+        builder.processor(writer.build());
+        let mut reader = Script::new();
+        for _ in 0..writes {
+            reader = reader.read(x);
+        }
+        builder.processor(reader.build());
+        let mut machine = builder.build();
+        prop_assert!(machine.run(100_000));
+        // Final latest value is the last write, held by the owner or
+        // memory.
+        let snap = machine.snapshot(x);
+        let latest = (0..machine.pe_count())
+            .find_map(|pe| snap.line(pe).filter(|(s, _)| s.owns_latest()).map(|(_, d)| d))
+            .unwrap_or(snap.memory());
+        prop_assert_eq!(latest, Word::new(writes));
+    }
+
+    /// The op encoding on a 1-PE machine behaves like a plain memory.
+    #[test]
+    fn single_pe_machine_is_a_plain_memory(
+        kind in protocol_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut builder = MachineBuilder::new(kind);
+        builder.memory_words(64).cache_lines(4);
+        builder.processor(build_script(&ops).build());
+        let mut machine = builder.build();
+        prop_assert!(machine.run(1_000_000));
+
+        // Replay against a flat model.
+        let mut model = [0u64; ADDRESSES as usize];
+        for op in &ops {
+            match *op {
+                Op::Read(_) => {}
+                Op::Write(a, v) => model[a as usize] = v,
+                Op::Ts(a) => {
+                    if model[a as usize] == 0 {
+                        model[a as usize] = 1;
+                    }
+                }
+            }
+        }
+        for a in 0..ADDRESSES {
+            let snap = machine.snapshot(Addr::new(a));
+            let latest = snap
+                .line(0)
+                .filter(|(s, _)| s.owns_latest())
+                .map(|(_, d)| d)
+                .unwrap_or(snap.memory());
+            prop_assert_eq!(latest, Word::new(model[a as usize]), "@{} under {}", a, kind);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration: whole experiments through the umbrella API.
+
+use decache::analysis::{MultibusExperiment, ProtocolComparison, SbbModel};
+use decache::core::{Configuration, ProtocolKind};
+use decache::mem::{Addr, Word};
+use decache::sync::{ContentionExperiment, Primitive, SyncScenario};
+use decache::verify::{ProductChecker, SerialOracle};
+use decache::workloads::{CmStarApp, MixConfig};
+
+#[test]
+fn paper_headline_results_hold_together() {
+    // 1. Table 1-1 shape: read miss ratio falls monotonically with size.
+    let rows = CmStarApp::application_a().run_table(30_000);
+    for pair in rows.windows(2) {
+        assert!(pair[0].read_miss_pct >= pair[1].read_miss_pct - 0.5);
+    }
+
+    // 2. The Section 4 proof holds for both schemes.
+    for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+        assert!(ProductChecker::new(kind, 3).explore().holds());
+    }
+
+    // 3. TTS beats TS on bus traffic under contention.
+    let ts = ContentionExperiment::new(ProtocolKind::Rb, Primitive::TestAndSet, 8).run();
+    let tts =
+        ContentionExperiment::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet, 8).run();
+    assert!(tts.bus_transactions < ts.bus_transactions);
+
+    // 4. The SBB worked example.
+    assert!((SbbModel::paper_example().required_sbb_macs() - 12.8).abs() < 1e-9);
+}
+
+#[test]
+fn scenario_tables_match_published_figures() {
+    // Figure 6-1 final row: everyone readable with the lock value 1.
+    let fig61 = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndSet).run();
+    let (_, last) = fig61.table.rows().last().unwrap();
+    for pe in 0..3 {
+        assert_eq!(last.cell(pe), "R(1)");
+    }
+
+    // Figure 6-3's signature row: the intermediate configuration after a
+    // successful TS under RWB.
+    let fig63 = SyncScenario::new(ProtocolKind::Rwb, Primitive::TestAndTestAndSet).run();
+    let (_, lock_row) = &fig63.table.rows()[1];
+    assert_eq!(lock_row.configuration(), Configuration::Intermediate);
+    assert_eq!(lock_row.cell(1), "F(1)");
+}
+
+#[test]
+fn comparison_and_multibus_experiments_agree_with_the_paper() {
+    let rows = ProtocolComparison::new(8)
+        .config(MixConfig { ops_per_pe: 1_200, ..MixConfig::default() })
+        .run();
+    let tx = |name: &str| {
+        rows.iter().find(|r| r.protocol.to_string() == name).unwrap().bus_transactions
+    };
+    // Who wins: the dynamic schemes beat the static baselines.
+    assert!(tx("RB") < tx("write-through"));
+    assert!(tx("RWB") < tx("write-through"));
+
+    let multibus = MultibusExperiment::new(8)
+        .config(MixConfig { ops_per_pe: 1_200, ..MixConfig::default() })
+        .run();
+    // Dual bus halves the busiest bus's load (within tolerance).
+    let single = multibus[0].max_bus_transactions as f64;
+    let dual = multibus[1].max_bus_transactions as f64;
+    assert!(dual < 0.7 * single, "dual {dual} vs single {single}");
+}
+
+#[test]
+fn oracle_validates_the_simulator_for_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        SerialOracle::new(kind, 3, 99).addresses(32).run(400).unwrap();
+    }
+}
+
+#[test]
+fn umbrella_reexports_compose() {
+    // Build a machine through the umbrella, drive it with the sync
+    // conductor, and check a snapshot — five crates in one test.
+    let conductor = decache::sync::Conductor::new(2);
+    let mut machine = decache::machine::MachineBuilder::new(ProtocolKind::Rwb)
+        .memory_words(64)
+        .processors(2, |pe| conductor.processor(pe))
+        .build();
+    conductor.run_op(&mut machine, 0, decache::machine::MemOp::write(Addr::new(3), Word::ONE));
+    conductor.run_op(&mut machine, 1, decache::machine::MemOp::read(Addr::new(3)));
+    let snap = machine.snapshot(Addr::new(3));
+    assert_ne!(snap.configuration(), Configuration::Illegal);
+    assert_eq!(snap.memory(), Word::ONE);
+}
