@@ -34,7 +34,11 @@ impl TextChart {
     /// Panics if `width` is zero.
     pub fn new(title: impl Into<String>, width: usize) -> Self {
         assert!(width > 0, "a chart needs at least one column");
-        TextChart { title: title.into(), width, bars: Vec::new() }
+        TextChart {
+            title: title.into(),
+            width,
+            bars: Vec::new(),
+        }
     }
 
     /// Appends a labelled bar. Negative values are clamped to zero.
@@ -111,8 +115,7 @@ mod tests {
         c.bar("a", 1.0).bar("longer", 1.0);
         let text = c.render();
         // Both bars start at the same column.
-        let starts: Vec<usize> =
-            text.lines().skip(1).map(|l| l.find('#').unwrap()).collect();
+        let starts: Vec<usize> = text.lines().skip(1).map(|l| l.find('#').unwrap()).collect();
         assert_eq!(starts[0], starts[1]);
     }
 

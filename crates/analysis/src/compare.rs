@@ -66,7 +66,10 @@ impl ProtocolComparison {
 
     /// Runs all protocols and returns one row each.
     pub fn run(&self) -> Vec<ProtocolRow> {
-        self.protocols.iter().map(|&kind| self.run_one(kind)).collect()
+        self.protocols
+            .iter()
+            .map(|&kind| self.run_one(kind))
+            .collect()
     }
 
     /// Runs a single protocol.
@@ -76,7 +79,9 @@ impl ProtocolComparison {
         let mut machine = MachineBuilder::new(kind)
             .memory_words(1 << 14)
             .cache_lines(512)
-            .processors(self.pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .processors(self.pes, |pe| {
+                Box::new(MixWorkload::new(config, shared, pe as u64))
+            })
             .build();
         let cycles = machine.run_to_completion(100_000_000);
         let traffic = machine.traffic();
@@ -133,7 +138,10 @@ mod tests {
 
     fn quick() -> Vec<ProtocolRow> {
         ProtocolComparison::new(4)
-            .config(MixConfig { ops_per_pe: 1_500, ..MixConfig::default() })
+            .config(MixConfig {
+                ops_per_pe: 1_500,
+                ..MixConfig::default()
+            })
             .run()
     }
 
@@ -150,7 +158,10 @@ mod tests {
     fn paper_schemes_beat_write_through_on_traffic_and_cycles() {
         let rows = quick();
         let get = |name: &str| {
-            *rows.iter().find(|r| r.protocol.to_string() == name).unwrap()
+            *rows
+                .iter()
+                .find(|r| r.protocol.to_string() == name)
+                .unwrap()
         };
         let rb = get("RB");
         let rwb = get("RWB");

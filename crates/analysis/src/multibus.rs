@@ -77,7 +77,10 @@ impl MultibusExperiment {
 
     /// Runs 1-, 2-, and 4-bus machines.
     pub fn run(&self) -> Vec<MultibusRow> {
-        [1usize, 2, 4].iter().map(|&b| self.run_with_buses(b)).collect()
+        [1usize, 2, 4]
+            .iter()
+            .map(|&b| self.run_with_buses(b))
+            .collect()
     }
 
     /// Runs one machine with `buses` buses.
@@ -92,7 +95,9 @@ impl MultibusExperiment {
             .memory_words(1 << 14)
             .cache_lines(512)
             .buses(buses)
-            .processors(self.pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .processors(self.pes, |pe| {
+                Box::new(MixWorkload::new(config, shared, pe as u64))
+            })
             .build();
         let cycles = machine.run_to_completion(100_000_000);
         let per_bus = machine.traffic_per_bus();
@@ -133,7 +138,10 @@ mod tests {
 
     fn quick() -> Vec<MultibusRow> {
         MultibusExperiment::new(4)
-            .config(MixConfig { ops_per_pe: 1_500, ..MixConfig::default() })
+            .config(MixConfig {
+                ops_per_pe: 1_500,
+                ..MixConfig::default()
+            })
             .run()
     }
 

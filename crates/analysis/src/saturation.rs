@@ -65,7 +65,10 @@ impl SaturationSweep {
         SaturationSweep {
             pe_counts,
             protocol: ProtocolKind::Rb,
-            config: MixConfig { ops_per_pe: 1_500, ..MixConfig::default() },
+            config: MixConfig {
+                ops_per_pe: 1_500,
+                ..MixConfig::default()
+            },
             buses: 1,
         }
     }
@@ -103,7 +106,9 @@ impl SaturationSweep {
             .memory_words(1 << 16)
             .cache_lines(512)
             .buses(self.buses)
-            .processors(pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .processors(pes, |pe| {
+                Box::new(MixWorkload::new(config, shared, pe as u64))
+            })
             .build();
         let cycles = machine.run_to_completion(1_000_000_000);
         let stats = machine.total_cache_stats();
@@ -150,7 +155,11 @@ mod tests {
         assert!(points[0].utilization < points[2].utilization);
         // At 24 PEs with a ~5-10% miss ratio the single bus is near or
         // at saturation.
-        assert!(points[3].utilization > 0.8, "util {}", points[3].utilization);
+        assert!(
+            points[3].utilization > 0.8,
+            "util {}",
+            points[3].utilization
+        );
     }
 
     #[test]

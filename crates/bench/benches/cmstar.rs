@@ -1,28 +1,17 @@
-//! Criterion benchmark: Table 1-1 regeneration cost per cache size
+//! Timing harness: Table 1-1 regeneration cost per cache size
 //! (experiment E1's hot loop: stream generation + LRU emulation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decache_bench::time_case;
 use decache_workloads::{CmStarApp, CMSTAR_CACHE_SIZES};
-use std::hint::black_box;
 
-fn table_rows(c: &mut Criterion) {
+fn main() {
     let app = CmStarApp::application_a();
-    let mut group = c.benchmark_group("cmstar_row");
-    group.sample_size(10);
     for &size in &CMSTAR_CACHE_SIZES {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter(|| black_box(app.run(size, 20_000)))
-        });
+        time_case(&format!("cmstar_row/{size}"), 10, || app.run(size, 20_000));
     }
-    group.finish();
-}
 
-fn reference_generation(c: &mut Criterion) {
-    let app = CmStarApp::application_b();
-    c.bench_function("cmstar_reference_stream_20k", |b| {
-        b.iter(|| black_box(app.references(20_000)))
+    let app_b = CmStarApp::application_b();
+    time_case("cmstar_reference_stream_20k", 10, || {
+        app_b.references(20_000)
     });
 }
-
-criterion_group!(benches, table_rows, reference_generation);
-criterion_main!(benches);

@@ -1,32 +1,18 @@
-//! Criterion benchmark: product-machine exploration cost (experiment
-//! E4) as the cache count grows.
+//! Timing harness: product-machine exploration cost (experiment E4) as
+//! the cache count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decache_bench::time_case;
 use decache_core::ProtocolKind;
 use decache_verify::ProductChecker;
-use std::hint::black_box;
 
-fn product_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("product_machine");
-    group.sample_size(10);
+fn main() {
     for n in [2usize, 3, 4] {
         for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
-            let label = format!("{kind}/n={n}");
-            group.bench_with_input(
-                BenchmarkId::from_parameter(label),
-                &(kind, n),
-                |b, &(kind, n)| {
-                    b.iter(|| {
-                        let report = ProductChecker::new(kind, n).explore();
-                        assert!(report.holds());
-                        black_box(report.states)
-                    })
-                },
-            );
+            time_case(&format!("product_machine/{kind}/n={n}"), 10, || {
+                let report = ProductChecker::new(kind, n).explore();
+                assert!(report.holds());
+                report.states
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, product_machine);
-criterion_main!(benches);

@@ -1,47 +1,38 @@
-//! Criterion benchmark: machine simulation throughput per protocol on
-//! the mixed workload (the engine behind experiments E13, E9, E10).
+//! Timing harness: machine simulation throughput per protocol on the
+//! mixed workload (the engine behind experiments E13, E9, E10).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decache_bench::time_case;
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
 use decache_mem::{Addr, AddrRange};
 use decache_workloads::{MixConfig, MixWorkload};
-use std::hint::black_box;
 
 fn run_machine(kind: ProtocolKind, pes: usize, ops: u64) -> u64 {
     let shared = AddrRange::with_len(Addr::new(0), 64);
-    let config = MixConfig { ops_per_pe: ops, ..MixConfig::default() };
+    let config = MixConfig {
+        ops_per_pe: ops,
+        ..MixConfig::default()
+    };
     let mut machine = MachineBuilder::new(kind)
         .memory_words(1 << 14)
         .cache_lines(256)
-        .processors(pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+        .processors(pes, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        })
         .build();
     machine.run_to_completion(100_000_000)
 }
 
-fn protocol_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mix_workload_8pe");
-    group.sample_size(10);
+fn main() {
     for kind in ProtocolKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.to_string()),
-            &kind,
-            |b, &kind| b.iter(|| black_box(run_machine(kind, 8, 500))),
-        );
-    }
-    group.finish();
-}
-
-fn scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rb_scaling");
-    group.sample_size(10);
-    for pes in [2usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |b, &pes| {
-            b.iter(|| black_box(run_machine(ProtocolKind::Rb, pes, 300)))
+        time_case(&format!("mix_workload_8pe/{kind}"), 10, || {
+            run_machine(kind, 8, 500)
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, protocol_throughput, scaling);
-criterion_main!(benches);
+    for pes in [2usize, 8, 32] {
+        time_case(&format!("rb_scaling/{pes}"), 10, || {
+            run_machine(ProtocolKind::Rb, pes, 300)
+        });
+    }
+}

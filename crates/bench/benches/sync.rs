@@ -1,32 +1,22 @@
-//! Criterion benchmark: lock contention runs (experiment E8's hot loop),
-//! TS vs TTS on RB and RWB.
+//! Timing harness: lock contention runs (experiment E8's hot loop), TS
+//! vs TTS on RB and RWB.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decache_bench::time_case;
 use decache_core::ProtocolKind;
 use decache_sync::{ContentionExperiment, Primitive};
-use std::hint::black_box;
 
-fn contention(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contention_8pe");
-    group.sample_size(10);
+fn main() {
     for protocol in [ProtocolKind::Rb, ProtocolKind::Rwb] {
         for primitive in [Primitive::TestAndSet, Primitive::TestAndTestAndSet] {
-            let label = format!("{protocol}/{primitive}");
-            group.bench_with_input(
-                BenchmarkId::from_parameter(label),
-                &(protocol, primitive),
-                |b, &(protocol, primitive)| {
-                    b.iter(|| {
-                        black_box(
-                            ContentionExperiment::new(protocol, primitive, 8).rounds(3).run(),
-                        )
-                    })
+            time_case(
+                &format!("contention_8pe/{protocol}/{primitive}"),
+                10,
+                || {
+                    ContentionExperiment::new(protocol, primitive, 8)
+                        .rounds(3)
+                        .run()
                 },
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, contention);
-criterion_main!(benches);

@@ -13,21 +13,30 @@ use decache_workloads::{MixConfig, MixWorkload};
 
 fn run(arbiter: ArbiterKind, pes: usize) -> (u64, f64, Vec<u64>) {
     let shared = AddrRange::with_len(Addr::new(0), 64);
-    let config = MixConfig { ops_per_pe: 1_500, ..MixConfig::default() };
+    let config = MixConfig {
+        ops_per_pe: 1_500,
+        ..MixConfig::default()
+    };
     let mut machine = MachineBuilder::new(ProtocolKind::Rb)
         .memory_words(1 << 14)
         .cache_lines(256)
         .arbiter(arbiter)
-        .processors(pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+        .processors(pes, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        })
         .build();
     let cycles = machine.run_to_completion(100_000_000);
-    let per_pe_misses: Vec<u64> =
-        (0..pes).map(|pe| machine.cache_stats(pe).total_misses()).collect();
+    let per_pe_misses: Vec<u64> = (0..pes)
+        .map(|pe| machine.cache_stats(pe).total_misses())
+        .collect();
     (cycles, machine.traffic().utilization(), per_pe_misses)
 }
 
 fn main() {
-    banner("Bus arbitration policy", "Section 2 assumption 2 (pluggable arbiter)");
+    banner(
+        "Bus arbitration policy",
+        "Section 2 assumption 2 (pluggable arbiter)",
+    );
 
     let mut table = TextTable::new(vec!["arbiter", "cycles", "bus util", "per-PE misses"]);
     for arbiter in [
@@ -40,7 +49,11 @@ fn main() {
             arbiter.to_string(),
             cycles.to_string(),
             format!("{:.1}%", util * 100.0),
-            misses.iter().map(u64::to_string).collect::<Vec<_>>().join(","),
+            misses
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
         ]);
     }
     println!("{table}");

@@ -15,15 +15,24 @@ use decache_workloads::{MixConfig, MixWorkload};
 
 fn run(kind: ProtocolKind, geometry: Geometry) -> (u64, u64, f64) {
     let shared = AddrRange::with_len(Addr::new(0), 64);
-    let config = MixConfig { ops_per_pe: 2_000, ..MixConfig::default() };
+    let config = MixConfig {
+        ops_per_pe: 2_000,
+        ..MixConfig::default()
+    };
     let mut machine = MachineBuilder::new(kind)
         .memory_words(1 << 14)
         .cache_geometry(geometry)
-        .processors(8, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+        .processors(8, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        })
         .build();
     let cycles = machine.run_to_completion(1_000_000_000);
     let stats = machine.total_cache_stats();
-    (cycles, machine.traffic().total_transactions(), stats.hit_ratio())
+    (
+        cycles,
+        machine.traffic().total_transactions(),
+        stats.hit_ratio(),
+    )
 }
 
 fn main() {

@@ -15,7 +15,10 @@ use decache_workloads::{MixConfig, ProducerConsumer};
 fn producer_consumer_reads(kind: ProtocolKind, consumers: usize) -> u64 {
     let pc = ProducerConsumer::new(AddrRange::with_len(Addr::new(8), 16), Addr::new(0), 6);
     let mut builder = MachineBuilder::new(kind);
-    builder.memory_words(64).cache_lines(32).processor(pc.producer());
+    builder
+        .memory_words(64)
+        .cache_lines(32)
+        .processor(pc.producer());
     for _ in 0..consumers {
         builder.processor(pc.consumer());
     }
@@ -31,11 +34,19 @@ fn main() {
     );
 
     println!("mixed workload (8 PEs):");
-    let mut table =
-        TextTable::new(vec!["variant", "cycles", "bus tx", "hit ratio", "bcast-satisfied"]);
+    let mut table = TextTable::new(vec![
+        "variant",
+        "cycles",
+        "bus tx",
+        "hit ratio",
+        "bcast-satisfied",
+    ]);
     for kind in [ProtocolKind::Rb, ProtocolKind::RbNoBroadcast] {
         let row = ProtocolComparison::new(8)
-            .config(MixConfig { ops_per_pe: 2_000, ..MixConfig::default() })
+            .config(MixConfig {
+                ops_per_pe: 2_000,
+                ..MixConfig::default()
+            })
             .run_one(kind);
         table.row(vec![
             kind.to_string(),

@@ -16,10 +16,19 @@ fn main() {
     );
 
     println!("mixed workload (8 PEs):");
-    let mut table = TextTable::new(vec!["k", "cycles", "bus tx", "hit ratio", "bcast-satisfied"]);
+    let mut table = TextTable::new(vec![
+        "k",
+        "cycles",
+        "bus tx",
+        "hit ratio",
+        "bcast-satisfied",
+    ]);
     for k in [1u8, 2, 3, 4] {
         let row = ProtocolComparison::new(8)
-            .config(MixConfig { ops_per_pe: 2_000, ..MixConfig::default() })
+            .config(MixConfig {
+                ops_per_pe: 2_000,
+                ..MixConfig::default()
+            })
             .run_one(ProtocolKind::RwbThreshold(k));
         table.row(vec![
             k.to_string(),

@@ -14,12 +14,17 @@ use decache_workloads::{MixConfig, MixWorkload};
 
 fn run(kind: ProtocolKind, pes: usize, latency: u64) -> (u64, f64) {
     let shared = AddrRange::with_len(Addr::new(0), 64);
-    let config = MixConfig { ops_per_pe: 1_200, ..MixConfig::default() };
+    let config = MixConfig {
+        ops_per_pe: 1_200,
+        ..MixConfig::default()
+    };
     let mut machine = MachineBuilder::new(kind)
         .memory_words(1 << 14)
         .cache_lines(256)
         .transaction_cycles(latency)
-        .processors(pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+        .processors(pes, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        })
         .build();
     let cycles = machine.run_to_completion(1_000_000_000);
     (cycles, machine.traffic().utilization())

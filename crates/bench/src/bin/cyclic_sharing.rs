@@ -15,7 +15,10 @@ use decache_workloads::ProducerConsumer;
 fn run(kind: ProtocolKind, consumers: usize, rounds: u64) -> (u64, u64, u64) {
     let pc = ProducerConsumer::new(AddrRange::with_len(Addr::new(8), 16), Addr::new(0), rounds);
     let mut builder = MachineBuilder::new(kind);
-    builder.memory_words(64).cache_lines(32).processor(pc.producer());
+    builder
+        .memory_words(64)
+        .cache_lines(32)
+        .processor(pc.producer());
     for _ in 0..consumers {
         builder.processor(pc.consumer());
     }

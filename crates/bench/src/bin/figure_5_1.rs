@@ -25,7 +25,10 @@ fn main() {
         let rwb = Rwb::with_threshold(k);
         println!(
             "k = {k}: states {:?}",
-            rwb.states().iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            rwb.states()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -7,7 +7,10 @@ use decache_core::ProtocolKind;
 use decache_sync::{Primitive, SyncScenario};
 
 fn main() {
-    banner("Synchronization with Test-and-Test-and-Set on RB", "Figure 6-2");
+    banner(
+        "Synchronization with Test-and-Test-and-Set on RB",
+        "Figure 6-2",
+    );
     let report = SyncScenario::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet).run();
     println!("{}", report.render());
     println!("bus transactions per phase:");

@@ -9,7 +9,10 @@ use decache_core::ProtocolKind;
 use decache_sync::{Primitive, SyncScenario};
 
 fn main() {
-    banner("Synchronization with Test-and-Test-and-Set on RWB", "Figure 6-3");
+    banner(
+        "Synchronization with Test-and-Test-and-Set on RWB",
+        "Figure 6-3",
+    );
     let report = SyncScenario::new(ProtocolKind::Rwb, Primitive::TestAndTestAndSet).run();
     println!("{}", report.render());
     println!("bus transactions per phase:");

@@ -9,7 +9,10 @@ use decache_bench::banner;
 use decache_core::ProtocolKind;
 
 fn main() {
-    banner("Multiple shared buses", "Figure 7-1 (LSB-interleaved banks)");
+    banner(
+        "Multiple shared buses",
+        "Figure 7-1 (LSB-interleaved banks)",
+    );
 
     for protocol in [ProtocolKind::Rb, ProtocolKind::Rwb] {
         println!("protocol: {protocol}");

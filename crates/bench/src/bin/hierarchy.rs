@@ -23,14 +23,22 @@ fn workload(
     memory_words: u64,
 ) -> Box<dyn decache_machine::Processor + Send> {
     let shared = AddrRange::with_len(Addr::new(0), GLOBAL_WORDS);
-    let config = MixConfig { ops_per_pe: OPS_PER_PE, ..MixConfig::default() };
+    let config = MixConfig {
+        ops_per_pe: OPS_PER_PE,
+        ..MixConfig::default()
+    };
     let per_cluster_pes = pes / clusters;
     let cluster = pe / per_cluster_pes;
     let cluster_words = (memory_words - GLOBAL_WORDS) / clusters as u64;
     let cluster_base = GLOBAL_WORDS + cluster as u64 * cluster_words;
     let slot = (pe % per_cluster_pes) as u64;
-    let private = AddrRange::with_len(Addr::new(cluster_base + slot * PRIVATE_PER_PE), PRIVATE_PER_PE);
-    Box::new(MixWorkload::with_private_region(config, shared, private, pe as u64))
+    let private = AddrRange::with_len(
+        Addr::new(cluster_base + slot * PRIVATE_PER_PE),
+        PRIVATE_PER_PE,
+    );
+    Box::new(MixWorkload::with_private_region(
+        config, shared, private, pe as u64,
+    ))
 }
 
 fn run(pes: usize, clusters: usize) -> (u64, f64, f64) {
@@ -75,7 +83,11 @@ fn main() {
                 clusters.to_string(),
                 cycles.to_string(),
                 format!("{:.1}%", global * 100.0),
-                if clusters > 1 { format!("{:.1}%", cluster * 100.0) } else { "-".to_owned() },
+                if clusters > 1 {
+                    format!("{:.1}%", cluster * 100.0)
+                } else {
+                    "-".to_owned()
+                },
             ]);
         }
     }

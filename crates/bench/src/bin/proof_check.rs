@@ -45,7 +45,11 @@ fn main() {
                     .map(|c| c.to_string())
                     .collect::<Vec<_>>()
                     .join("+"),
-                if report.holds() { "HOLDS".to_owned() } else { "VIOLATED".to_owned() },
+                if report.holds() {
+                    "HOLDS".to_owned()
+                } else {
+                    "VIOLATED".to_owned()
+                },
             ]);
             assert!(report.holds(), "{kind} n={n}: {:?}", report.violations);
         }
@@ -54,7 +58,10 @@ fn main() {
 
     println!("runtime oracle (serialized random ops against a reference memory):");
     for kind in kinds {
-        let report = SerialOracle::new(kind, 4, 2024).addresses(48).run(2_000).unwrap();
+        let report = SerialOracle::new(kind, 4, 2024)
+            .addresses(48)
+            .run(2_000)
+            .unwrap();
         println!(
             "  {kind:<16} {} steps, {} reads checked, {} TS checked: OK",
             report.steps, report.reads_checked, report.ts_checked

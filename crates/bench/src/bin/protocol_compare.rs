@@ -16,15 +16,27 @@ fn main() {
     for pes in [4usize, 8, 16] {
         println!("{pes} processors:");
         let rows = ProtocolComparison::new(pes)
-            .config(MixConfig { ops_per_pe: 3_000, ..MixConfig::default() })
+            .config(MixConfig {
+                ops_per_pe: 3_000,
+                ..MixConfig::default()
+            })
             .run();
         println!("{}", ProtocolComparison::render(&rows));
     }
 
     println!("sensitivity: shared-data fraction sweep (8 PEs, RB vs write-once)");
-    let mut table = TextTable::new(vec!["shared %", "RB bus tx", "write-once bus tx", "RWB bus tx"]);
+    let mut table = TextTable::new(vec![
+        "shared %",
+        "RB bus tx",
+        "write-once bus tx",
+        "RWB bus tx",
+    ]);
     for shared in [0.02f64, 0.05, 0.10, 0.20] {
-        let config = MixConfig { shared_fraction: shared, ops_per_pe: 2_000, ..MixConfig::default() };
+        let config = MixConfig {
+            shared_fraction: shared,
+            ops_per_pe: 2_000,
+            ..MixConfig::default()
+        };
         let cmp = ProtocolComparison::new(8).config(config);
         let rb = cmp.run_one(decache_core::ProtocolKind::Rb);
         let wo = cmp.run_one(decache_core::ProtocolKind::WriteOnce);

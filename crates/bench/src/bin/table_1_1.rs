@@ -38,8 +38,9 @@ fn main() {
         ),
     ];
 
-    for (app, (paper_name, paper_rows)) in
-        [CmStarApp::application_a(), CmStarApp::application_b()].into_iter().zip(paper)
+    for (app, (paper_name, paper_rows)) in [CmStarApp::application_a(), CmStarApp::application_b()]
+        .into_iter()
+        .zip(paper)
     {
         println!("{} (paper: {paper_name})", app.name());
         let mut table = TextTable::new(vec![
@@ -53,8 +54,10 @@ fn main() {
             "total miss %",
             "(paper)",
         ]);
-        for (row, (size, paper_row)) in
-            app.run_table(REFERENCES).iter().zip(CMSTAR_CACHE_SIZES.iter().zip(paper_rows))
+        for (row, (size, paper_row)) in app
+            .run_table(REFERENCES)
+            .iter()
+            .zip(CMSTAR_CACHE_SIZES.iter().zip(paper_rows))
         {
             table.row(vec![
                 size.to_string(),

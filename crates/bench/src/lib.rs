@@ -2,7 +2,8 @@
 //!
 //! Experiment harnesses regenerating every table and figure of Rudolph &
 //! Segall (1984), one binary per artifact (see DESIGN.md's experiment
-//! index), plus Criterion micro-benchmarks of the simulator itself.
+//! index), plus dependency-free micro-benchmarks of the simulator
+//! itself (`cargo bench -p decache-bench`, plain timing harnesses).
 //!
 //! Run any experiment with `cargo run -p decache-bench --bin <name>`:
 //!
@@ -31,10 +32,44 @@ pub fn banner(title: &str, artifact: &str) {
     println!();
 }
 
+/// Times `body` over `iters` iterations after one warmup call and
+/// prints a `name ... mean per-iter` line; the dependency-free stand-in
+/// for the former Criterion harness. Returns the mean nanoseconds per
+/// iteration so callers can assert coarse regressions if they want.
+pub fn time_case<T>(name: &str, iters: u32, mut body: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "at least one iteration");
+    std::hint::black_box(body());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(body());
+    }
+    let nanos = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    if nanos >= 1_000_000.0 {
+        println!(
+            "{name:<44} {:>10.2} ms/iter ({iters} iters)",
+            nanos / 1_000_000.0
+        );
+    } else if nanos >= 1_000.0 {
+        println!(
+            "{name:<44} {:>10.2} us/iter ({iters} iters)",
+            nanos / 1_000.0
+        );
+    } else {
+        println!("{name:<44} {nanos:>10.0} ns/iter ({iters} iters)");
+    }
+    nanos
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn banner_prints() {
         super::banner("test", "artifact");
+    }
+
+    #[test]
+    fn time_case_returns_positive_mean() {
+        let mean = super::time_case("noop", 10, || 1 + 1);
+        assert!(mean >= 0.0);
     }
 }

@@ -6,6 +6,7 @@
 //! here (and why ablation A2 in DESIGN.md sweeps it).
 
 use decache_mem::PeId;
+use decache_rng::Rng;
 use std::fmt;
 
 /// A bus arbitration policy: given the set of requesting processing
@@ -90,40 +91,26 @@ impl Arbiter for FixedPriority {
     }
 }
 
-/// Random arbitration with a deterministic xorshift generator, so that
+/// Random arbitration on a seeded [`decache_rng::Rng`] stream, so that
 /// simulations remain reproducible from a seed.
 #[derive(Debug, Clone)]
 pub struct RandomArbiter {
-    state: u64,
+    rng: Rng,
 }
 
 impl RandomArbiter {
-    /// Creates a random arbiter from a non-zero seed.
-    ///
-    /// A zero seed is remapped to a fixed non-zero constant because
-    /// xorshift has a fixed point at zero.
+    /// Creates a random arbiter from a seed (any seed, including zero).
     pub fn new(seed: u64) -> Self {
         RandomArbiter {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            rng: Rng::from_seed(seed),
         }
-    }
-
-    fn next(&mut self) -> u64 {
-        // xorshift64*: adequate statistical quality for arbitration.
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 }
 
 impl Arbiter for RandomArbiter {
     fn grant(&mut self, requesters: &[PeId]) -> PeId {
         assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
-        let i = (self.next() % requesters.len() as u64) as usize;
-        requesters[i]
+        *self.rng.choose(requesters)
     }
 }
 

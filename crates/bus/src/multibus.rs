@@ -37,7 +37,10 @@ impl Topology {
     /// Panics if `bank_bits > 8` (256 buses), far beyond the "small number
     /// of multiple shared buses" the paper considers.
     pub fn new(bank_bits: u32) -> Self {
-        assert!(bank_bits <= 8, "bank_bits {bank_bits} exceeds the supported maximum of 8");
+        assert!(
+            bank_bits <= 8,
+            "bank_bits {bank_bits} exceeds the supported maximum of 8"
+        );
         Topology { bank_bits }
     }
 

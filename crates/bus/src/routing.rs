@@ -65,7 +65,11 @@ impl Routing {
     pub fn clustered(clusters: usize, global_words: u64, cluster_words: u64) -> Self {
         assert!(clusters > 0, "a hierarchy needs at least one cluster");
         assert!(cluster_words > 0, "cluster regions must be non-empty");
-        Routing::Clustered { clusters, global_words, cluster_words }
+        Routing::Clustered {
+            clusters,
+            global_words,
+            cluster_words,
+        }
     }
 
     /// The number of buses.
@@ -85,7 +89,11 @@ impl Routing {
     pub fn bus_of(&self, addr: Addr) -> usize {
         match *self {
             Routing::Interleaved(t) => t.bus_of(addr),
-            Routing::Clustered { clusters, global_words, cluster_words } => {
+            Routing::Clustered {
+                clusters,
+                global_words,
+                cluster_words,
+            } => {
                 if addr.index() < global_words {
                     0
                 } else {
@@ -117,7 +125,7 @@ impl Routing {
                     return true;
                 }
                 assert!(
-                    pe_count % clusters == 0,
+                    pe_count.is_multiple_of(clusters),
                     "{pe_count} PEs do not divide into {clusters} clusters"
                 );
                 let per_cluster = pe_count / clusters;
@@ -145,9 +153,16 @@ impl Routing {
     /// Panics for interleaved routing or an out-of-range cluster.
     pub fn cluster_region(&self, cluster: usize) -> (Addr, u64) {
         match *self {
-            Routing::Clustered { clusters, global_words, cluster_words } => {
+            Routing::Clustered {
+                clusters,
+                global_words,
+                cluster_words,
+            } => {
                 assert!(cluster < clusters, "cluster {cluster} out of range");
-                (Addr::new(global_words + cluster as u64 * cluster_words), cluster_words)
+                (
+                    Addr::new(global_words + cluster as u64 * cluster_words),
+                    cluster_words,
+                )
             }
             Routing::Interleaved(_) => {
                 panic!("interleaved routing has no cluster regions")
@@ -166,7 +181,11 @@ impl fmt::Display for Routing {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Routing::Interleaved(t) => write!(f, "{t}"),
-            Routing::Clustered { clusters, global_words, cluster_words } => write!(
+            Routing::Clustered {
+                clusters,
+                global_words,
+                cluster_words,
+            } => write!(
                 f,
                 "hierarchical: global bus ({global_words} words) + {clusters} cluster bus(es) \
                  ({cluster_words} words each)"
@@ -248,7 +267,9 @@ mod tests {
     #[test]
     fn display_names_the_shape() {
         assert!(Routing::single().to_string().contains("1 shared bus"));
-        assert!(Routing::clustered(2, 64, 32).to_string().contains("hierarchical"));
+        assert!(Routing::clustered(2, 64, 32)
+            .to_string()
+            .contains("hierarchical"));
     }
 
     #[test]

@@ -145,7 +145,11 @@ pub struct BusTransaction {
 impl BusTransaction {
     /// Creates a transaction.
     pub const fn new(initiator: PeId, addr: Addr, op: BusOp) -> Self {
-        BusTransaction { initiator, addr, op }
+        BusTransaction {
+            initiator,
+            addr,
+            op,
+        }
     }
 }
 

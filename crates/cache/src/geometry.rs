@@ -40,8 +40,14 @@ impl Geometry {
     /// Panics if any parameter is zero, or if `sets` or `block_words` is
     /// not a power of two (address splitting requires power-of-two sizes).
     pub fn new(sets: usize, ways: usize, block_words: u64) -> Self {
-        assert!(sets > 0 && ways > 0 && block_words > 0, "geometry parameters must be nonzero");
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets > 0 && ways > 0 && block_words > 0,
+            "geometry parameters must be nonzero"
+        );
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         assert!(
             block_words.is_power_of_two(),
             "block size {block_words} must be a power of two"

@@ -90,7 +90,11 @@ impl CacheStats {
 
     /// Records one reference.
     pub fn record(&mut self, kind: AccessKind, class: RefClass, hit: bool) {
-        let table = if hit { &mut self.hits } else { &mut self.misses };
+        let table = if hit {
+            &mut self.hits
+        } else {
+            &mut self.misses
+        };
         table[Self::kind_slot(kind)][Self::class_slot(class)] += 1;
     }
 

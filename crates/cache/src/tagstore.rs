@@ -2,6 +2,7 @@
 
 use crate::Geometry;
 use decache_mem::{Addr, Word};
+use decache_rng::Rng;
 use std::fmt;
 
 /// The victim-selection policy within a set. The paper: "the exact
@@ -84,7 +85,7 @@ pub struct TagStore<S> {
     lines: Vec<Option<Entry<S>>>,
     clock: u64,
     policy: ReplacementPolicy,
-    rng_state: u64,
+    rng: Rng,
 }
 
 impl<S> TagStore<S> {
@@ -96,16 +97,18 @@ impl<S> TagStore<S> {
 
     /// Creates an empty store with an explicit replacement policy.
     pub fn with_policy(geometry: Geometry, policy: ReplacementPolicy) -> Self {
-        let rng_state = match policy {
-            ReplacementPolicy::Random(seed) if seed != 0 => seed,
-            _ => 0x9e37_79b9_7f4a_7c15,
+        let rng = match policy {
+            ReplacementPolicy::Random(seed) => Rng::from_seed(seed),
+            _ => Rng::from_seed(0),
         };
         TagStore {
             geometry,
-            lines: (0..geometry.sets() * geometry.ways()).map(|_| None).collect(),
+            lines: (0..geometry.sets() * geometry.ways())
+                .map(|_| None)
+                .collect(),
             clock: 0,
             policy,
-            rng_state,
+            rng,
         }
     }
 
@@ -117,15 +120,6 @@ impl<S> TagStore<S> {
     /// Returns the replacement policy.
     pub fn policy(&self) -> ReplacementPolicy {
         self.policy
-    }
-
-    fn next_random(&mut self) -> u64 {
-        let mut x = self.rng_state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng_state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
     fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
@@ -143,7 +137,11 @@ impl<S> TagStore<S> {
     /// Returns the line holding `addr`, if present, without touching LRU
     /// ordering.
     pub fn get(&self, addr: Addr) -> Option<&Entry<S>> {
-        self.slot_of(addr).map(|i| self.lines[i].as_ref().expect("slot_of returns occupied slots"))
+        self.slot_of(addr).map(|i| {
+            self.lines[i]
+                .as_ref()
+                .expect("slot_of returns occupied slots")
+        })
     }
 
     /// Returns the line holding `addr` mutably and marks it most recently
@@ -151,7 +149,9 @@ impl<S> TagStore<S> {
     pub fn get_mut(&mut self, addr: Addr) -> Option<&mut Entry<S>> {
         let slot = self.slot_of(addr)?;
         self.clock += 1;
-        let entry = self.lines[slot].as_mut().expect("slot_of returns occupied slots");
+        let entry = self.lines[slot]
+            .as_mut()
+            .expect("slot_of returns occupied slots");
         entry.lru_stamp = self.clock;
         Some(entry)
     }
@@ -179,7 +179,10 @@ impl<S> TagStore<S> {
             empty.unwrap_or_else(|| match self.policy {
                 ReplacementPolicy::Lru => range
                     .min_by_key(|&i| {
-                        self.lines[i].as_ref().expect("non-empty in else branch").lru_stamp
+                        self.lines[i]
+                            .as_ref()
+                            .expect("non-empty in else branch")
+                            .lru_stamp
                     })
                     .expect("sets have at least one way"),
                 ReplacementPolicy::Fifo => range
@@ -192,7 +195,7 @@ impl<S> TagStore<S> {
                     .expect("sets have at least one way"),
                 ReplacementPolicy::Random(_) => {
                     let ways = range.len();
-                    let pick = (self.next_random() % ways as u64) as usize;
+                    let pick = self.rng.gen_range(0..ways);
                     range.start + pick
                 }
             })
@@ -414,8 +417,7 @@ mod tests {
             ReplacementPolicy::Fifo,
             ReplacementPolicy::Random(3),
         ] {
-            let mut s: TagStore<u8> =
-                TagStore::with_policy(Geometry::direct_mapped(4), policy);
+            let mut s: TagStore<u8> = TagStore::with_policy(Geometry::direct_mapped(4), policy);
             s.insert(Addr::new(1), 0, Word::ZERO);
             let evicted = s.insert(Addr::new(5), 1, Word::ZERO).unwrap();
             assert_eq!(evicted.addr, Addr::new(1), "{policy}");

@@ -1,9 +1,9 @@
-//! Property-based tests for the cache substrate, including a
+//! Seeded randomized tests for the cache substrate, including a
 //! model-based check of the tag store against a reference LRU.
 
 use decache_cache::{AccessKind, CmStarCache, Geometry, RefClass, ReplacementPolicy, TagStore};
 use decache_mem::{Addr, Word};
-use proptest::prelude::*;
+use decache_rng::testing::check;
 use std::collections::VecDeque;
 
 /// A reference model of one fully-associative LRU set.
@@ -16,7 +16,10 @@ struct LruModel {
 
 impl LruModel {
     fn new(capacity: usize) -> Self {
-        LruModel { entries: VecDeque::new(), capacity }
+        LruModel {
+            entries: VecDeque::new(),
+            capacity,
+        }
     }
 
     fn get_mut(&mut self, addr: u64) -> Option<(u8, u64)> {
@@ -46,64 +49,71 @@ impl LruModel {
     }
 }
 
-proptest! {
-    /// A one-set LRU tag store agrees with the reference model on every
-    /// lookup, insertion, and eviction.
-    #[test]
-    fn tagstore_matches_lru_model(
-        ways in 1usize..9,
-        ops in prop::collection::vec((0u64..32, any::<bool>(), 0u8..4, any::<u64>()), 1..120),
-    ) {
+/// A one-set LRU tag store agrees with the reference model on every
+/// lookup, insertion, and eviction.
+#[test]
+fn tagstore_matches_lru_model() {
+    check("tagstore_matches_lru_model", 64, |rng| {
+        let ways = rng.gen_range(1usize..9);
+        let ops = rng.gen_range(1usize..120);
         let mut store: TagStore<u8> = TagStore::new(Geometry::new(1, ways, 1));
         let mut model = LruModel::new(ways);
-        for (addr, is_insert, state, data) in ops {
-            if is_insert {
+        for _ in 0..ops {
+            let addr = rng.gen_range(0u64..32);
+            if rng.gen_bool(0.5) {
+                let state = rng.gen_range(0u8..4);
+                let data = rng.next_u64();
                 let evicted = store.insert(Addr::new(addr), state, Word::new(data));
                 let model_evicted = model.insert(addr, state, data);
-                prop_assert_eq!(evicted.map(|e| e.addr.index()), model_evicted);
+                assert_eq!(evicted.map(|e| e.addr.index()), model_evicted);
             } else {
-                let got = store.get_mut(Addr::new(addr)).map(|e| (e.state, e.data.value()));
+                let got = store
+                    .get_mut(Addr::new(addr))
+                    .map(|e| (e.state, e.data.value()));
                 let expected = model.get_mut(addr);
-                prop_assert_eq!(got, expected);
+                assert_eq!(got, expected);
             }
-            prop_assert_eq!(store.len(), model.entries.len());
+            assert_eq!(store.len(), model.entries.len());
         }
         // Final contents agree.
         for a in 0..32u64 {
-            prop_assert_eq!(store.contains(Addr::new(a)), model.contains(a));
+            assert_eq!(store.contains(Addr::new(a)), model.contains(a));
         }
-    }
+    });
+}
 
-    /// Multi-set stores behave as independent per-set LRUs: operations
-    /// on one set never evict another set's lines.
-    #[test]
-    fn sets_are_independent(
-        sets_log2 in 1u32..4,
-        ops in prop::collection::vec(0u64..64, 1..80),
-    ) {
-        let sets = 1usize << sets_log2;
+/// Multi-set stores behave as independent per-set LRUs: operations on
+/// one set never evict another set's lines.
+#[test]
+fn sets_are_independent() {
+    check("sets_are_independent", 64, |rng| {
+        let sets = 1usize << rng.gen_range(1u32..4);
         let geometry = Geometry::new(sets, 2, 1);
         let mut store: TagStore<u8> = TagStore::new(geometry);
-        for addr in ops {
+        for _ in 0..rng.gen_range(1usize..80) {
+            let addr = rng.gen_range(0u64..64);
             if let Some(evicted) = store.insert(Addr::new(addr), 0, Word::ZERO) {
-                prop_assert_eq!(
+                assert_eq!(
                     geometry.set_of(evicted.addr),
                     geometry.set_of(Addr::new(addr)),
                     "eviction crossed sets"
                 );
             }
         }
-        prop_assert!(store.len() <= sets * 2);
-    }
+        assert!(store.len() <= sets * 2);
+    });
+}
 
-    /// Every replacement policy preserves the fundamental store
-    /// invariants: lookups find exactly what was inserted last for each
-    /// address, and occupancy never exceeds capacity.
-    #[test]
-    fn policies_preserve_lookup_correctness(
-        seed in any::<u64>(),
-        ops in prop::collection::vec((0u64..24, any::<u64>()), 1..100),
-    ) {
+/// Every replacement policy preserves the fundamental store invariants:
+/// lookups find exactly what was inserted last for each address, and
+/// occupancy never exceeds capacity.
+#[test]
+fn policies_preserve_lookup_correctness() {
+    check("policies_preserve_lookup_correctness", 64, |rng| {
+        let seed = rng.next_u64();
+        let ops: Vec<(u64, u64)> = (0..rng.gen_range(1usize..100))
+            .map(|_| (rng.gen_range(0u64..24), rng.next_u64()))
+            .collect();
         for policy in [
             ReplacementPolicy::Lru,
             ReplacementPolicy::Fifo,
@@ -115,43 +125,45 @@ proptest! {
                 store.insert(Addr::new(addr), 0, Word::new(data));
                 last_written.insert(addr, data);
             }
-            prop_assert!(store.len() <= 6);
+            assert!(store.len() <= 6);
             for e in store.iter() {
-                prop_assert_eq!(
+                assert_eq!(
                     e.data.value(),
                     last_written[&e.addr.index()],
-                    "{}: stale data survived",
-                    policy
+                    "{policy}: stale data survived"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Geometry round-trip for arbitrary power-of-two shapes.
-    #[test]
-    fn geometry_round_trips(
-        sets_log2 in 0u32..10,
-        ways in 1usize..5,
-        block_log2 in 0u32..4,
-        raw in 0u64..1_000_000,
-    ) {
-        let g = Geometry::new(1 << sets_log2, ways, 1 << block_log2);
+/// Geometry round-trip for arbitrary power-of-two shapes.
+#[test]
+fn geometry_round_trips() {
+    check("geometry_round_trips", 64, |rng| {
+        let g = Geometry::new(
+            1 << rng.gen_range(0u32..10),
+            rng.gen_range(1usize..5),
+            1 << rng.gen_range(0u32..4),
+        );
+        let raw = rng.gen_range(0u64..1_000_000);
         let addr = Addr::new(raw);
         let base = g.block_base(addr);
-        prop_assert_eq!(g.addr_of(g.tag_of(addr), g.set_of(addr)), base);
-        prop_assert!(base.index() <= raw);
-        prop_assert!(raw - base.index() < g.block_words());
-    }
+        assert_eq!(g.addr_of(g.tag_of(addr), g.set_of(addr)), base);
+        assert!(base.index() <= raw);
+        assert!(raw - base.index() < g.block_words());
+    });
+}
 
-    /// The Cm* emulation cache never reports more hits than references,
-    /// and its report columns always sum to the total.
-    #[test]
-    fn cmstar_report_is_internally_consistent(
-        ops in prop::collection::vec((0u64..64, 0u8..5), 1..200),
-    ) {
+/// The Cm* emulation cache never reports more hits than references, and
+/// its report columns always sum to the total.
+#[test]
+fn cmstar_report_is_internally_consistent() {
+    check("cmstar_report_is_internally_consistent", 64, |rng| {
         let mut cache = CmStarCache::new(16);
-        for (addr, kind) in ops {
-            let (access, class) = match kind {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let addr = rng.gen_range(0u64..64);
+            let (access, class) = match rng.gen_range(0u8..5) {
                 0 => (AccessKind::Read, RefClass::Code),
                 1 => (AccessKind::Read, RefClass::Local),
                 2 => (AccessKind::Write, RefClass::Local),
@@ -161,14 +173,14 @@ proptest! {
             cache.access(Addr::new(addr), access, class);
         }
         let stats = cache.stats();
-        prop_assert!(stats.total_hits() <= stats.total_references());
+        assert!(stats.total_hits() <= stats.total_references());
         let report = cache.report();
-        prop_assert!(
+        assert!(
             (report.read_miss_pct + report.local_write_pct + report.shared_pct
                 - report.total_miss_pct)
                 .abs()
                 < 1e-9
         );
-        prop_assert!(report.total_miss_pct <= 100.0 + 1e-9);
-    }
+        assert!(report.total_miss_pct <= 100.0 + 1e-9);
+    });
 }

@@ -63,7 +63,10 @@ impl Configuration {
 
         match (owners, firsts) {
             (0, 0) => {
-                if states.iter().all(|s| matches!(s, Readable | Invalid | Valid)) {
+                if states
+                    .iter()
+                    .all(|s| matches!(s, Readable | Invalid | Valid))
+                {
                     Configuration::Shared
                 } else {
                     Configuration::Illegal
@@ -80,9 +83,10 @@ impl Configuration {
                 }
             }
             (0, 1) => {
-                if states.iter().all(|s| {
-                    matches!(s, FirstWrite(_) | Reserved | Readable | Invalid | Valid)
-                }) {
+                if states
+                    .iter()
+                    .all(|s| matches!(s, FirstWrite(_) | Reserved | Readable | Invalid | Valid))
+                {
                     Configuration::Intermediate
                 } else {
                     Configuration::Illegal

@@ -140,7 +140,11 @@ pub fn transition_table(protocol: &dyn Protocol) -> Vec<TransitionRow> {
                 from,
                 stimulus: Stimulus::BusRead,
                 to: out.next,
-                modifier: if out.capture { "capture data".to_owned() } else { String::new() },
+                modifier: if out.capture {
+                    "capture data".to_owned()
+                } else {
+                    String::new()
+                },
             });
         }
 
@@ -150,7 +154,11 @@ pub fn transition_table(protocol: &dyn Protocol) -> Vec<TransitionRow> {
             from,
             stimulus: Stimulus::BusWrite,
             to: out.next,
-            modifier: if out.capture { "capture data".to_owned() } else { String::new() },
+            modifier: if out.capture {
+                "capture data".to_owned()
+            } else {
+                String::new()
+            },
         });
 
         // Snooped bus invalidate — only for protocols that can emit it.
@@ -259,12 +267,21 @@ mod tests {
         assert_eq!(r.to, Local);
         assert_eq!(r.modifier, "generate BI");
 
-        assert_eq!(find(&rows, FirstWrite(1), Stimulus::CpuRead).to, FirstWrite(1));
-        assert_eq!(find(&rows, FirstWrite(1), Stimulus::BusRead).to, FirstWrite(1));
+        assert_eq!(
+            find(&rows, FirstWrite(1), Stimulus::CpuRead).to,
+            FirstWrite(1)
+        );
+        assert_eq!(
+            find(&rows, FirstWrite(1), Stimulus::BusRead).to,
+            FirstWrite(1)
+        );
         let r = find(&rows, FirstWrite(1), Stimulus::BusWrite);
         assert_eq!(r.to, Readable);
         assert_eq!(r.modifier, "capture data");
-        assert_eq!(find(&rows, FirstWrite(1), Stimulus::BusInvalidate).to, Invalid);
+        assert_eq!(
+            find(&rows, FirstWrite(1), Stimulus::BusInvalidate).to,
+            Invalid
+        );
 
         let r = find(&rows, Readable, Stimulus::BusWrite);
         assert_eq!(r.to, Readable);

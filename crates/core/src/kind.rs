@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn build_produces_the_named_protocol() {
         assert_eq!(ProtocolKind::Rb.build().name(), "RB");
-        assert_eq!(ProtocolKind::RbNoBroadcast.build().name(), "RB-no-broadcast");
+        assert_eq!(
+            ProtocolKind::RbNoBroadcast.build().name(),
+            "RB-no-broadcast"
+        );
         assert_eq!(ProtocolKind::Rwb.build().name(), "RWB");
         assert_eq!(ProtocolKind::RwbThreshold(3).build().name(), "RWB(k=3)");
         assert_eq!(ProtocolKind::WriteOnce.build().name(), "write-once");

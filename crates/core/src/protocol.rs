@@ -104,17 +104,26 @@ pub struct SnoopOutcome {
 impl SnoopOutcome {
     /// A state change without data capture.
     pub const fn to(next: LineState) -> Self {
-        SnoopOutcome { next, capture: false }
+        SnoopOutcome {
+            next,
+            capture: false,
+        }
     }
 
     /// A state change that also captures the bus data.
     pub const fn capture(next: LineState) -> Self {
-        SnoopOutcome { next, capture: true }
+        SnoopOutcome {
+            next,
+            capture: true,
+        }
     }
 
     /// No state change, no capture.
     pub const fn unchanged(state: LineState) -> Self {
-        SnoopOutcome { next: state, capture: false }
+        SnoopOutcome {
+            next: state,
+            capture: false,
+        }
     }
 }
 
@@ -214,10 +223,7 @@ mod tests {
     fn snoop_event_words() {
         assert_eq!(SnoopEvent::Read(Word::new(4)).word(), Some(Word::new(4)));
         assert_eq!(SnoopEvent::Invalidate.word(), None);
-        assert_eq!(
-            SnoopEvent::UnlockWrite(Word::ONE).word(),
-            Some(Word::ONE)
-        );
+        assert_eq!(SnoopEvent::UnlockWrite(Word::ONE).word(), Some(Word::ONE));
     }
 
     #[test]
@@ -233,7 +239,13 @@ mod tests {
 
     #[test]
     fn hit_predicate() {
-        assert!(CpuOutcome::Hit { next: LineState::Readable }.is_hit());
-        assert!(!CpuOutcome::Miss { intent: BusIntent::Read }.is_hit());
+        assert!(CpuOutcome::Hit {
+            next: LineState::Readable
+        }
+        .is_hit());
+        assert!(!CpuOutcome::Miss {
+            intent: BusIntent::Read
+        }
+        .is_hit());
     }
 }

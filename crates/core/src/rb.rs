@@ -45,13 +45,17 @@ pub struct Rb {
 impl Rb {
     /// Creates the RB scheme as published.
     pub fn new() -> Self {
-        Rb { read_broadcast: true }
+        Rb {
+            read_broadcast: true,
+        }
     }
 
     /// Creates the ablated variant in which snooping caches do *not*
     /// capture the data returned by foreign bus reads.
     pub fn without_read_broadcast() -> Self {
-        Rb { read_broadcast: false }
+        Rb {
+            read_broadcast: false,
+        }
     }
 
     /// Returns `true` if read broadcasting is enabled (the published
@@ -92,7 +96,9 @@ impl Protocol for Rb {
         match state.map(|s| self.check(s)) {
             // "A reference to an item not in the cache behaves exactly as
             // if it were in the invalid state."
-            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            None | Some(Invalid) => CpuOutcome::Miss {
+                intent: BusIntent::Read,
+            },
             Some(Readable) => CpuOutcome::Hit { next: Readable },
             Some(Local) => CpuOutcome::Hit { next: Local },
             Some(_) => unreachable!(),
@@ -103,7 +109,9 @@ impl Protocol for Rb {
         match state.map(|s| self.check(s)) {
             // Write-through with invalidation: the bus write "informs the
             // other caches that the variable is now considered local".
-            None | Some(Invalid) | Some(Readable) => CpuOutcome::Miss { intent: BusIntent::Write },
+            None | Some(Invalid) | Some(Readable) => CpuOutcome::Miss {
+                intent: BusIntent::Write,
+            },
             Some(Local) => CpuOutcome::Hit { next: Local },
             Some(_) => unreachable!(),
         }
@@ -164,9 +172,7 @@ impl Protocol for Rb {
             (Local, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
                 SnoopOutcome::capture(Readable)
             }
-            (Local, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_)) => {
-                SnoopOutcome::to(Invalid)
-            }
+            (Local, SnoopEvent::Write(_) | SnoopEvent::UnlockWrite(_)) => SnoopOutcome::to(Invalid),
 
             // RB never receives BI (no cache issues it), but stay total.
             (_, SnoopEvent::Invalidate) => SnoopOutcome::to(Invalid),
@@ -223,7 +229,9 @@ mod tests {
         let rb = Rb::new();
         assert_eq!(
             rb.cpu_write(Some(Readable)),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
         assert_eq!(rb.own_complete(Some(Readable), BusIntent::Write), Local);
     }
@@ -251,7 +259,9 @@ mod tests {
         let rb = Rb::new();
         assert_eq!(
             rb.cpu_read(Some(Invalid)),
-            CpuOutcome::Miss { intent: BusIntent::Read }
+            CpuOutcome::Miss {
+                intent: BusIntent::Read
+            }
         );
         assert_eq!(rb.own_complete(Some(Invalid), BusIntent::Read), Readable);
     }
@@ -261,7 +271,9 @@ mod tests {
         let rb = Rb::new();
         assert_eq!(
             rb.cpu_write(Some(Invalid)),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
         assert_eq!(rb.own_complete(Some(Invalid), BusIntent::Write), Local);
     }

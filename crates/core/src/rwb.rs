@@ -125,7 +125,9 @@ impl Protocol for Rwb {
 
     fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
         match state.map(|s| self.check(s)) {
-            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            None | Some(Invalid) => CpuOutcome::Miss {
+                intent: BusIntent::Read,
+            },
             Some(s @ (Readable | Local | FirstWrite(_))) => CpuOutcome::Hit { next: s },
             Some(_) => unreachable!(),
         }
@@ -262,7 +264,9 @@ mod tests {
         let p = Rwb::new();
         assert_eq!(
             p.cpu_write(Some(Readable)),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
         assert_eq!(
             p.own_complete(Some(Readable), BusIntent::Write),
@@ -275,7 +279,9 @@ mod tests {
         let p = Rwb::new();
         assert_eq!(
             p.cpu_write(Some(FirstWrite(1))),
-            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+            CpuOutcome::Miss {
+                intent: BusIntent::Invalidate
+            }
         );
         assert_eq!(
             p.own_complete(Some(FirstWrite(1)), BusIntent::Invalidate),
@@ -288,7 +294,9 @@ mod tests {
         let p = Rwb::new();
         assert_eq!(
             p.cpu_write(None),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
         assert_eq!(p.own_complete(None, BusIntent::Write), FirstWrite(1));
     }
@@ -298,7 +306,9 @@ mod tests {
         let p = Rwb::new();
         assert_eq!(
             p.cpu_read(Some(FirstWrite(1))),
-            CpuOutcome::Hit { next: FirstWrite(1) }
+            CpuOutcome::Hit {
+                next: FirstWrite(1)
+            }
         );
         // A foreign read leaves F unchanged: "all other configurations
         // will be unchanged".
@@ -333,7 +343,10 @@ mod tests {
     fn fig5_1_bi_invalidates_all_other_holders() {
         let p = Rwb::new();
         for s in [Invalid, Readable, FirstWrite(1), Local] {
-            assert_eq!(p.snoop(s, SnoopEvent::Invalidate), SnoopOutcome::to(Invalid));
+            assert_eq!(
+                p.snoop(s, SnoopEvent::Invalidate),
+                SnoopOutcome::to(Invalid)
+            );
         }
     }
 
@@ -380,7 +393,9 @@ mod tests {
         let p = Rwb::new();
         assert_eq!(
             p.cpu_write(Some(FirstWrite(1))),
-            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+            CpuOutcome::Miss {
+                intent: BusIntent::Invalidate
+            }
         );
     }
 
@@ -393,12 +408,19 @@ mod tests {
         let p = Rwb::with_threshold(3);
         assert_eq!(
             p.cpu_write(Some(Readable)),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
-        assert_eq!(p.own_complete(Some(Readable), BusIntent::Write), FirstWrite(1));
+        assert_eq!(
+            p.own_complete(Some(Readable), BusIntent::Write),
+            FirstWrite(1)
+        );
         assert_eq!(
             p.cpu_write(Some(FirstWrite(1))),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
         assert_eq!(
             p.own_complete(Some(FirstWrite(1)), BusIntent::Write),
@@ -406,9 +428,14 @@ mod tests {
         );
         assert_eq!(
             p.cpu_write(Some(FirstWrite(2))),
-            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+            CpuOutcome::Miss {
+                intent: BusIntent::Invalidate
+            }
         );
-        assert_eq!(p.states(), vec![Invalid, Readable, FirstWrite(1), FirstWrite(2), Local]);
+        assert_eq!(
+            p.states(),
+            vec![Invalid, Readable, FirstWrite(1), FirstWrite(2), Local]
+        );
         assert_eq!(p.name(), "RWB(k=3)");
     }
 
@@ -418,7 +445,9 @@ mod tests {
         // Every bus-visible write is an immediate locality claim.
         assert_eq!(
             p.cpu_write(Some(Readable)),
-            CpuOutcome::Miss { intent: BusIntent::Invalidate }
+            CpuOutcome::Miss {
+                intent: BusIntent::Invalidate
+            }
         );
         assert_eq!(p.own_complete(Some(Readable), BusIntent::Invalidate), Local);
         assert_eq!(p.own_unlock_write_complete(Some(Readable)), Local);

@@ -66,7 +66,9 @@ impl Protocol for WriteOnce {
 
     fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
         match state.map(|s| self.check(s)) {
-            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            None | Some(Invalid) => CpuOutcome::Miss {
+                intent: BusIntent::Read,
+            },
             Some(s @ (Valid | Reserved | Dirty)) => CpuOutcome::Hit { next: s },
             Some(_) => unreachable!(),
         }
@@ -78,7 +80,9 @@ impl Protocol for WriteOnce {
             // announcing the write so other copies invalidate. A write
             // miss allocates via the same write-through (sound with
             // one-word blocks: the whole block is overwritten).
-            None | Some(Invalid) | Some(Valid) => CpuOutcome::Miss { intent: BusIntent::Write },
+            None | Some(Invalid) | Some(Valid) => CpuOutcome::Miss {
+                intent: BusIntent::Write,
+            },
             // Subsequent writes stay in the cache.
             Some(Reserved | Dirty) => CpuOutcome::Hit { next: Dirty },
             Some(_) => unreachable!(),
@@ -115,9 +119,7 @@ impl Protocol for WriteOnce {
             // A foreign read of a Reserved line means another cache now
             // holds a copy; a later silent Reserved->Dirty write would
             // leave that copy stale, so demote to Valid.
-            (Reserved, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => {
-                SnoopOutcome::to(Valid)
-            }
+            (Reserved, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => SnoopOutcome::to(Valid),
             // The Dirty holder supplies the data via the interrupt path
             // and lands in Valid; this arm keeps the function total.
             (Dirty, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) => SnoopOutcome::to(Valid),
@@ -163,7 +165,9 @@ mod tests {
         let p = WriteOnce::new();
         assert_eq!(
             p.cpu_read(None),
-            CpuOutcome::Miss { intent: BusIntent::Read }
+            CpuOutcome::Miss {
+                intent: BusIntent::Read
+            }
         );
         assert_eq!(p.own_complete(None, BusIntent::Read), Valid);
         // The defining gap vs RB: an invalid holder does NOT capture.
@@ -178,7 +182,9 @@ mod tests {
         let p = WriteOnce::new();
         assert_eq!(
             p.cpu_write(Some(Valid)),
-            CpuOutcome::Miss { intent: BusIntent::Write }
+            CpuOutcome::Miss {
+                intent: BusIntent::Write
+            }
         );
         assert_eq!(p.own_complete(Some(Valid), BusIntent::Write), Reserved);
     }
@@ -186,10 +192,7 @@ mod tests {
     #[test]
     fn second_write_is_silent_and_dirty() {
         let p = WriteOnce::new();
-        assert_eq!(
-            p.cpu_write(Some(Reserved)),
-            CpuOutcome::Hit { next: Dirty }
-        );
+        assert_eq!(p.cpu_write(Some(Reserved)), CpuOutcome::Hit { next: Dirty });
         assert_eq!(p.cpu_write(Some(Dirty)), CpuOutcome::Hit { next: Dirty });
     }
 
@@ -215,7 +218,10 @@ mod tests {
     fn foreign_writes_invalidate_every_state() {
         let p = WriteOnce::new();
         for s in [Invalid, Valid, Reserved, Dirty] {
-            assert_eq!(p.snoop(s, SnoopEvent::Write(w(9))), SnoopOutcome::to(Invalid));
+            assert_eq!(
+                p.snoop(s, SnoopEvent::Write(w(9))),
+                SnoopOutcome::to(Invalid)
+            );
             assert_eq!(
                 p.snoop(s, SnoopEvent::UnlockWrite(w(9))),
                 SnoopOutcome::to(Invalid)

@@ -53,7 +53,9 @@ impl Protocol for WriteThrough {
 
     fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
         match state.map(|s| self.check(s)) {
-            None | Some(Invalid) => CpuOutcome::Miss { intent: BusIntent::Read },
+            None | Some(Invalid) => CpuOutcome::Miss {
+                intent: BusIntent::Read,
+            },
             Some(Valid) => CpuOutcome::Hit { next: Valid },
             Some(_) => unreachable!(),
         }
@@ -61,7 +63,9 @@ impl Protocol for WriteThrough {
 
     fn cpu_write(&self, _state: Option<LineState>) -> CpuOutcome {
         // Every write is written through, hit or miss.
-        CpuOutcome::Miss { intent: BusIntent::Write }
+        CpuOutcome::Miss {
+            intent: BusIntent::Write,
+        }
     }
 
     fn own_complete(&self, _state: Option<LineState>, intent: BusIntent) -> LineState {
@@ -117,7 +121,9 @@ mod tests {
         assert_eq!(p.cpu_read(Some(Valid)), CpuOutcome::Hit { next: Valid });
         assert_eq!(
             p.cpu_read(Some(Invalid)),
-            CpuOutcome::Miss { intent: BusIntent::Read }
+            CpuOutcome::Miss {
+                intent: BusIntent::Read
+            }
         );
         assert_eq!(p.cpu_read(None), p.cpu_read(Some(Invalid)));
     }
@@ -126,7 +132,12 @@ mod tests {
     fn every_write_reaches_the_bus() {
         let p = WriteThrough::new();
         for s in [None, Some(Invalid), Some(Valid)] {
-            assert_eq!(p.cpu_write(s), CpuOutcome::Miss { intent: BusIntent::Write });
+            assert_eq!(
+                p.cpu_write(s),
+                CpuOutcome::Miss {
+                    intent: BusIntent::Write
+                }
+            );
         }
         assert_eq!(p.own_complete(Some(Valid), BusIntent::Write), Valid);
     }

@@ -1,47 +1,45 @@
-//! Property-based tests of the protocol state machines: invariants that
-//! must hold for *every* protocol, every state, and every stimulus.
+//! Seeded randomized tests of the protocol state machines: invariants
+//! that must hold for *every* protocol, every state, and every
+//! stimulus. Exhaustive over protocols and states; randomized only over
+//! data values and snoop events.
 
-use decache_core::{
-    transition_table, BusIntent, CpuOutcome, LineState, Protocol, ProtocolKind, SnoopEvent,
-};
+use decache_core::{transition_table, BusIntent, CpuOutcome, LineState, ProtocolKind, SnoopEvent};
 use decache_mem::Word;
-use proptest::prelude::*;
+use decache_rng::{testing::check, Rng};
 
-fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Rb),
-        Just(ProtocolKind::RbNoBroadcast),
-        Just(ProtocolKind::Rwb),
-        Just(ProtocolKind::RwbThreshold(1)),
-        Just(ProtocolKind::RwbThreshold(2)),
-        Just(ProtocolKind::RwbThreshold(3)),
-        Just(ProtocolKind::RwbThreshold(4)),
-        Just(ProtocolKind::WriteOnce),
-        Just(ProtocolKind::WriteThrough),
-    ]
+/// Every protocol variant under test, including the historical
+/// `RwbThreshold(1)` regression (the proptest-era shrink case).
+const PROTOCOLS: [ProtocolKind; 9] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(2),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::RwbThreshold(4),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+fn gen_snoop_event(rng: &mut Rng) -> SnoopEvent {
+    let w = Word::new(rng.next_u64());
+    match rng.gen_range(0u8..5) {
+        0 => SnoopEvent::Read(w),
+        1 => SnoopEvent::Write(w),
+        2 => SnoopEvent::Invalidate,
+        3 => SnoopEvent::LockedRead(w),
+        _ => SnoopEvent::UnlockWrite(w),
+    }
 }
 
-fn snoop_event_strategy() -> impl Strategy<Value = SnoopEvent> {
-    (any::<u64>(), 0u8..5).prop_map(|(v, k)| {
-        let w = Word::new(v);
-        match k {
-            0 => SnoopEvent::Read(w),
-            1 => SnoopEvent::Write(w),
-            2 => SnoopEvent::Invalidate,
-            3 => SnoopEvent::LockedRead(w),
-            _ => SnoopEvent::UnlockWrite(w),
-        }
-    })
-}
-
-proptest! {
-    /// "A reference to an item not in the cache behaves exactly as if it
-    /// were in the invalid state" (Section 3) — for every protocol.
-    #[test]
-    fn not_present_is_equivalent_to_invalid(kind in protocol_strategy()) {
+/// "A reference to an item not in the cache behaves exactly as if it
+/// were in the invalid state" (Section 3) — for every protocol.
+#[test]
+fn not_present_is_equivalent_to_invalid() {
+    for kind in PROTOCOLS {
         let p = kind.build();
-        prop_assert_eq!(p.cpu_read(None), p.cpu_read(Some(LineState::Invalid)));
-        prop_assert_eq!(p.cpu_write(None), p.cpu_write(Some(LineState::Invalid)));
+        assert_eq!(p.cpu_read(None), p.cpu_read(Some(LineState::Invalid)));
+        assert_eq!(p.cpu_write(None), p.cpu_write(Some(LineState::Invalid)));
         for intent in [BusIntent::Read, BusIntent::Write] {
             // Only compare intents the protocol can issue from Invalid.
             let issued = match p.cpu_write(Some(LineState::Invalid)) {
@@ -49,111 +47,130 @@ proptest! {
                 CpuOutcome::Hit { .. } => None,
             };
             if issued == Some(intent) || intent == BusIntent::Read {
-                prop_assert_eq!(
+                assert_eq!(
                     p.own_complete(None, intent),
                     p.own_complete(Some(LineState::Invalid), intent)
                 );
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             p.own_locked_read_complete(None),
             p.own_locked_read_complete(Some(LineState::Invalid))
         );
     }
+}
 
-    /// Every snoop reaction lands in a state the protocol declares, and
-    /// all protocol entry points are closed over the declared state set.
-    #[test]
-    fn protocols_are_closed_over_their_state_sets(
-        kind in protocol_strategy(),
-        event in snoop_event_strategy(),
-    ) {
-        let p = kind.build();
-        let states = p.states();
-        for &s in &states {
-            if !p.supplies_on_snoop_read(s) || !matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) {
-                let out = p.snoop(s, event);
-                prop_assert!(
-                    states.contains(&out.next),
-                    "{}: snoop {s:?} x {event:?} -> undeclared {:?}",
-                    p.name(), out.next
-                );
-            }
-            match p.cpu_read(Some(s)) {
-                CpuOutcome::Hit { next } => prop_assert!(states.contains(&next)),
-                CpuOutcome::Miss { intent } => {
-                    prop_assert!(states.contains(&p.own_complete(Some(s), intent)));
+/// Every snoop reaction lands in a state the protocol declares, and all
+/// protocol entry points are closed over the declared state set.
+#[test]
+fn protocols_are_closed_over_their_state_sets() {
+    check("protocols_are_closed_over_their_state_sets", 32, |rng| {
+        let event = gen_snoop_event(rng);
+        for kind in PROTOCOLS {
+            let p = kind.build();
+            let states = p.states();
+            for &s in &states {
+                if !p.supplies_on_snoop_read(s)
+                    || !matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_))
+                {
+                    let out = p.snoop(s, event);
+                    assert!(
+                        states.contains(&out.next),
+                        "{}: snoop {s:?} x {event:?} -> undeclared {:?}",
+                        p.name(),
+                        out.next
+                    );
+                }
+                match p.cpu_read(Some(s)) {
+                    CpuOutcome::Hit { next } => assert!(states.contains(&next)),
+                    CpuOutcome::Miss { intent } => {
+                        assert!(states.contains(&p.own_complete(Some(s), intent)));
+                    }
+                }
+                match p.cpu_write(Some(s)) {
+                    CpuOutcome::Hit { next } => assert!(states.contains(&next)),
+                    CpuOutcome::Miss { intent } => {
+                        assert!(states.contains(&p.own_complete(Some(s), intent)));
+                    }
+                }
+                if p.supplies_on_snoop_read(s) {
+                    assert!(states.contains(&p.after_supply(s)));
                 }
             }
-            match p.cpu_write(Some(s)) {
-                CpuOutcome::Hit { next } => prop_assert!(states.contains(&next)),
-                CpuOutcome::Miss { intent } => {
-                    prop_assert!(states.contains(&p.own_complete(Some(s), intent)));
+            assert!(states.contains(&p.own_locked_read_complete(None)));
+            assert!(states.contains(&p.own_unlock_write_complete(None)));
+        }
+    });
+}
+
+/// A foreign invalidate or write never leaves a stale-readable window:
+/// afterwards the holder is either invalid or captured the new data.
+#[test]
+fn foreign_writes_never_leave_stale_readable_copies() {
+    check(
+        "foreign_writes_never_leave_stale_readable_copies",
+        32,
+        |rng| {
+            let value = rng.next_u64();
+            for kind in PROTOCOLS {
+                let p = kind.build();
+                for &s in &p.states() {
+                    for event in [
+                        SnoopEvent::Write(Word::new(value)),
+                        SnoopEvent::UnlockWrite(Word::new(value)),
+                        SnoopEvent::Invalidate,
+                    ] {
+                        let out = p.snoop(s, event);
+                        let readable = out.next.is_readable_locally();
+                        assert!(
+                            !readable || out.capture,
+                            "{}: {s:?} x {event:?} -> readable {:?} without capture",
+                            p.name(),
+                            out.next
+                        );
+                    }
                 }
             }
-            if p.supplies_on_snoop_read(s) {
-                prop_assert!(states.contains(&p.after_supply(s)));
-            }
-        }
-        prop_assert!(states.contains(&p.own_locked_read_complete(None)));
-        prop_assert!(states.contains(&p.own_unlock_write_complete(None)));
-    }
+        },
+    );
+}
 
-    /// A foreign invalidate or write never leaves a stale-readable
-    /// window: afterwards the holder is either invalid or captured the
-    /// new data.
-    #[test]
-    fn foreign_writes_never_leave_stale_readable_copies(
-        kind in protocol_strategy(),
-        value in any::<u64>(),
-    ) {
+/// Suppliers are exactly the states that own the latest value; only
+/// those states require write-back on eviction. (A readable,
+/// memory-consistent line must never be flushed or supplied.)
+#[test]
+fn supply_and_writeback_align_with_ownership() {
+    for kind in PROTOCOLS {
         let p = kind.build();
         for &s in &p.states() {
-            for event in [
-                SnoopEvent::Write(Word::new(value)),
-                SnoopEvent::UnlockWrite(Word::new(value)),
-                SnoopEvent::Invalidate,
-            ] {
-                let out = p.snoop(s, event);
-                let readable = out.next.is_readable_locally();
-                prop_assert!(
-                    !readable || out.capture,
-                    "{}: {s:?} x {event:?} -> readable {:?} without capture",
-                    p.name(), out.next
-                );
-            }
-        }
-    }
-
-    /// Suppliers are exactly the states that own the latest value; only
-    /// those states require write-back on eviction. (A readable,
-    /// memory-consistent line must never be flushed or supplied.)
-    #[test]
-    fn supply_and_writeback_align_with_ownership(kind in protocol_strategy()) {
-        let p = kind.build();
-        for &s in &p.states() {
-            prop_assert_eq!(
+            assert_eq!(
                 p.supplies_on_snoop_read(s),
                 s.owns_latest(),
-                "{}: state {:?}", p.name(), s
+                "{}: state {:?}",
+                p.name(),
+                s
             );
-            prop_assert_eq!(
+            assert_eq!(
                 p.writeback_on_evict(s),
                 s.owns_latest(),
-                "{}: state {:?}", p.name(), s
+                "{}: state {:?}",
+                p.name(),
+                s
             );
         }
     }
+}
 
-    /// Local silent writes are only permitted in owning states: a write
-    /// that completes without bus activity must leave the line as the
-    /// unique up-to-date copy.
-    #[test]
-    fn silent_writes_imply_ownership_or_prior_ownership(kind in protocol_strategy()) {
+/// Local silent writes are only permitted in owning states: a write
+/// that completes without bus activity must leave the line as the
+/// unique up-to-date copy.
+#[test]
+fn silent_writes_imply_ownership_or_prior_ownership() {
+    for kind in PROTOCOLS {
         let p = kind.build();
         for &s in &p.states() {
             if let CpuOutcome::Hit { next } = p.cpu_write(Some(s)) {
-                prop_assert!(
+                assert!(
                     next.owns_latest(),
                     "{}: silent write in {s:?} leaves non-owning {next:?}",
                     p.name()
@@ -161,53 +178,55 @@ proptest! {
             }
         }
     }
+}
 
-    /// CPU reads never change the data and never reach the bus from a
-    /// readable state.
-    #[test]
-    fn reads_from_readable_states_are_free(kind in protocol_strategy()) {
+/// CPU reads never change the data and never reach the bus from a
+/// readable state.
+#[test]
+fn reads_from_readable_states_are_free() {
+    for kind in PROTOCOLS {
         let p = kind.build();
         for &s in &p.states() {
             if s.is_readable_locally() {
-                match p.cpu_read(Some(s)) {
-                    CpuOutcome::Hit { .. } => {}
-                    CpuOutcome::Miss { .. } => {
-                        prop_assert!(false, "{}: read missed in readable {s:?}", p.name());
-                    }
-                }
+                assert!(
+                    matches!(p.cpu_read(Some(s)), CpuOutcome::Hit { .. }),
+                    "{}: read missed in readable {s:?}",
+                    p.name()
+                );
             }
         }
     }
+}
 
-    /// The diagram extractor covers exactly (states x CPU stimuli) plus
-    /// snooped stimuli, and every edge it reports is reproducible.
-    #[test]
-    fn transition_tables_are_complete_and_deterministic(kind in protocol_strategy()) {
+/// The diagram extractor covers exactly (states x CPU stimuli) plus
+/// snooped stimuli, and every edge it reports is reproducible.
+#[test]
+fn transition_tables_are_complete_and_deterministic() {
+    for kind in PROTOCOLS {
         let p = kind.build();
         let rows = transition_table(p.as_ref());
         let per_state = if p.uses_bus_invalidate() { 5 } else { 4 };
-        prop_assert_eq!(rows.len(), p.states().len() * per_state);
+        assert_eq!(rows.len(), p.states().len() * per_state);
         // Deterministic: extracting twice yields identical rows.
-        prop_assert_eq!(rows, transition_table(p.as_ref()));
-    }
-
-    /// Only RWB captures write data; only RB-family protocols capture
-    /// read data.
-    #[test]
-    fn capture_capabilities_match_documentation(kind in protocol_strategy()) {
-        let p = kind.build();
-        let writes_captured = p.states().iter().any(|&s| {
-            p.snoop(s, SnoopEvent::Write(Word::ONE)).capture
-        });
-        prop_assert_eq!(
-            writes_captured,
-            p.broadcasts_write_data(),
-            "{}", p.name()
-        );
+        assert_eq!(rows, transition_table(p.as_ref()));
     }
 }
 
-/// Non-proptest: the three-state RB machine is exactly the paper's.
+/// Only RWB captures write data; only RB-family protocols capture read
+/// data.
+#[test]
+fn capture_capabilities_match_documentation() {
+    for kind in PROTOCOLS {
+        let p = kind.build();
+        let writes_captured = p
+            .states()
+            .iter()
+            .any(|&s| p.snoop(s, SnoopEvent::Write(Word::ONE)).capture);
+        assert_eq!(writes_captured, p.broadcasts_write_data(), "{}", p.name());
+    }
+}
+
+/// Non-randomized: the three-state RB machine is exactly the paper's.
 #[test]
 fn rb_state_count_matches_paper() {
     assert_eq!(ProtocolKind::Rb.build().states().len(), 3);

@@ -58,10 +58,13 @@ impl std::fmt::Debug for MachineBuilder {
             .field("protocol", &self.protocol)
             .field("memory_words", &self.memory_words)
             .field("cache_lines", &self.cache_lines)
-            .field("shape", &match self.shape {
-                Shape::Interleaved { bank_bits } => format!("interleaved({bank_bits})"),
-                Shape::Clustered { clusters, .. } => format!("clustered({clusters})"),
-            })
+            .field(
+                "shape",
+                &match self.shape {
+                    Shape::Interleaved { bank_bits } => format!("interleaved({bank_bits})"),
+                    Shape::Clustered { clusters, .. } => format!("clustered({clusters})"),
+                },
+            )
             .field("arbiter", &self.arbiter)
             .field("trace", &self.trace)
             .field("processors", &self.processors.len())
@@ -143,7 +146,9 @@ impl MachineBuilder {
             buses.is_power_of_two() && (1..=256).contains(&buses),
             "bus count {buses} must be a power of two in 1..=256"
         );
-        self.shape = Shape::Interleaved { bank_bits: buses.trailing_zeros() };
+        self.shape = Shape::Interleaved {
+            bank_bits: buses.trailing_zeros(),
+        };
         self
     }
 
@@ -160,7 +165,10 @@ impl MachineBuilder {
     /// PEs do not divide evenly.
     pub fn clusters(&mut self, clusters: usize, global_words: u64) -> &mut Self {
         assert!(clusters > 0, "a hierarchy needs at least one cluster");
-        self.shape = Shape::Clustered { clusters, global_words };
+        self.shape = Shape::Clustered {
+            clusters,
+            global_words,
+        };
         self
     }
 
@@ -217,12 +225,18 @@ impl MachineBuilder {
     /// divisible by the bus count.
     pub fn build(&mut self) -> Machine {
         let processors = std::mem::take(&mut self.processors);
-        assert!(!processors.is_empty(), "a machine needs at least one processor");
+        assert!(
+            !processors.is_empty(),
+            "a machine needs at least one processor"
+        );
         let routing = match self.shape {
             Shape::Interleaved { bank_bits } => Routing::interleaved(bank_bits),
-            Shape::Clustered { clusters, global_words } => {
+            Shape::Clustered {
+                clusters,
+                global_words,
+            } => {
                 assert!(
-                    processors.len() % clusters == 0,
+                    processors.len().is_multiple_of(clusters),
                     "{} PEs do not divide into {clusters} clusters",
                     processors.len()
                 );
@@ -237,16 +251,24 @@ impl MachineBuilder {
             }
         };
         let protocol: Arc<dyn decache_core::Protocol> = Arc::from(self.protocol.build());
-        let geometry = self.geometry.unwrap_or_else(|| Geometry::direct_mapped(self.cache_lines));
-        let caches = (0..processors.len()).map(|_| TagStore::new(geometry)).collect();
-        let arbiters = (0..routing.bus_count()).map(|_| self.arbiter.build()).collect();
+        let geometry = self
+            .geometry
+            .unwrap_or_else(|| Geometry::direct_mapped(self.cache_lines));
+        let caches = (0..processors.len())
+            .map(|_| TagStore::new(geometry))
+            .collect();
+        let arbiters = (0..routing.bus_count())
+            .map(|_| self.arbiter.build())
+            .collect();
         let mut trace = Trace::new();
         if self.trace {
             trace.enable(DEFAULT_TRACE_CAPACITY);
         }
         let mut memory = Memory::new(self.memory_words);
         for &(addr, value) in &self.initial_memory {
-            memory.write(addr, value).expect("initial memory contents in range");
+            memory
+                .write(addr, value)
+                .expect("initial memory contents in range");
         }
         memory.reset_stats();
         Machine::from_parts(
@@ -303,7 +325,9 @@ mod tests {
     #[test]
     fn factory_adds_n_processors() {
         let machine = MachineBuilder::new(ProtocolKind::Rwb)
-            .processors(5, |i| Script::new().write(Addr::new(i as u64), Word::ONE).build())
+            .processors(5, |i| {
+                Script::new().write(Addr::new(i as u64), Word::ONE).build()
+            })
             .build();
         assert_eq!(machine.pe_count(), 5);
     }

@@ -55,8 +55,8 @@ mod trace;
 pub use builder::MachineBuilder;
 pub use machine::Machine;
 pub use op::{Access, MemOp, OpResult};
-pub use recovery::RecoveryError;
 pub use processor::{IdleProcessor, LoopProcessor, Poll, Processor, Script, SpinReader};
+pub use recovery::RecoveryError;
 pub use snapshot::{Snapshot, SnapshotTable};
 pub use stats::MachineStats;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -83,7 +83,10 @@ impl Machine {
         let buses = routing.bus_count();
         assert_eq!(arbiters.len(), buses, "one arbiter per bus");
         assert_eq!(caches.len(), n, "one cache per processor");
-        assert!(transaction_cycles >= 1, "transactions take at least one cycle");
+        assert!(
+            transaction_cycles >= 1,
+            "transactions take at least one cycle"
+        );
         Machine {
             protocol,
             routing,
@@ -293,7 +296,12 @@ impl Machine {
 
     fn record(&mut self, kind: TraceKind, pe: Option<PeId>, text: impl FnOnce() -> String) {
         if self.trace.is_enabled() {
-            self.trace.record(TraceEvent { cycle: self.cycle, kind, pe, text: text() });
+            self.trace.record(TraceEvent {
+                cycle: self.cycle,
+                kind,
+                pe,
+                text: text(),
+            });
         }
     }
 
@@ -322,27 +330,29 @@ impl Machine {
         let pe_id = PeId::new(pe as u16);
         self.record(TraceKind::Issue, Some(pe_id), || op.to_string());
         match op.access {
-            Access::Read(addr) => {
-                match self.protocol.cpu_read(self.line_state(pe, addr)) {
-                    CpuOutcome::Hit { next } => {
-                        let entry = self.caches[pe]
-                            .get_mut(addr)
-                            .expect("hit requires a held line");
-                        entry.state = next;
-                        let value = entry.data;
-                        self.cache_stats[pe].record(AccessKind::Read, op.class, true);
-                        self.last_results[pe] = Some(OpResult::Read(value));
-                        self.record(TraceKind::Hit, Some(pe_id), || format!("read {addr} = {value}"));
-                    }
-                    CpuOutcome::Miss { intent } => {
-                        debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
-                        self.cache_stats[pe].record(AccessKind::Read, op.class, false);
-                        self.enqueue(pe_id, addr, BusOp::Read);
-                        self.statuses[pe] =
-                            PeStatus::WaitBus(Pending::Read { addr, class: op.class });
-                    }
+            Access::Read(addr) => match self.protocol.cpu_read(self.line_state(pe, addr)) {
+                CpuOutcome::Hit { next } => {
+                    let entry = self.caches[pe]
+                        .get_mut(addr)
+                        .expect("hit requires a held line");
+                    entry.state = next;
+                    let value = entry.data;
+                    self.cache_stats[pe].record(AccessKind::Read, op.class, true);
+                    self.last_results[pe] = Some(OpResult::Read(value));
+                    self.record(TraceKind::Hit, Some(pe_id), || {
+                        format!("read {addr} = {value}")
+                    });
                 }
-            }
+                CpuOutcome::Miss { intent } => {
+                    debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
+                    self.cache_stats[pe].record(AccessKind::Read, op.class, false);
+                    self.enqueue(pe_id, addr, BusOp::Read);
+                    self.statuses[pe] = PeStatus::WaitBus(Pending::Read {
+                        addr,
+                        class: op.class,
+                    });
+                }
+            },
             Access::Write(addr, value) => {
                 match self.protocol.cpu_write(self.line_state(pe, addr)) {
                     CpuOutcome::Hit { next } => {
@@ -367,8 +377,11 @@ impl Machine {
                         };
                         self.cache_stats[pe].record(AccessKind::Write, op.class, false);
                         self.enqueue(pe_id, addr, bus_op);
-                        self.statuses[pe] =
-                            PeStatus::WaitBus(Pending::Write { addr, value, class: op.class });
+                        self.statuses[pe] = PeStatus::WaitBus(Pending::Write {
+                            addr,
+                            value,
+                            class: op.class,
+                        });
                     }
                 }
             }
@@ -376,8 +389,11 @@ impl Machine {
                 // "The initial read-with-lock does not reference the value
                 // in the cache" — always a bus operation.
                 self.enqueue(pe_id, addr, BusOp::ReadWithLock);
-                self.statuses[pe] =
-                    PeStatus::WaitBus(Pending::LockedRead { addr, set_to, class: op.class });
+                self.statuses[pe] = PeStatus::WaitBus(Pending::LockedRead {
+                    addr,
+                    set_to,
+                    class: op.class,
+                });
             }
         }
     }
@@ -458,20 +474,28 @@ impl Machine {
                 .get(addr)
                 .expect("supplier holds the line")
                 .data;
-            self.memory.write(addr, data).expect("supplier write-back in range");
+            self.memory
+                .write(addr, data)
+                .expect("supplier write-back in range");
             let supplier_id = PeId::new(supplier as u16);
             self.record(TraceKind::Abort, Some(supplier_id), || {
                 format!("interrupt {} and supply {addr} = {data}", tx.op)
             });
             {
-                let entry = self.caches[supplier].get_mut(addr).expect("supplier holds the line");
+                let entry = self.caches[supplier]
+                    .get_mut(addr)
+                    .expect("supplier holds the line");
                 entry.state = self.protocol.after_supply(entry.state);
             }
             let t = self.traffic.bus_mut(bus);
             t.record_abort();
             t.record(BusOpKind::Write);
             // The substituted write is snooped like any bus write.
-            self.dispatch_snoop(addr, SnoopEvent::Write(data), &[supplier, tx.initiator.index()]);
+            self.dispatch_snoop(
+                addr,
+                SnoopEvent::Write(data),
+                &[supplier, tx.initiator.index()],
+            );
             self.traffic.bus_mut(bus).record_retry();
             self.queues[bus].push_retry(tx);
             self.satisfy_pending_reads(addr);
@@ -487,7 +511,9 @@ impl Machine {
                     // the attempt burns the cycle and rearbitrates.
                     self.stats.lock_rejections += 1;
                     self.traffic.bus_mut(bus).record(BusOpKind::ReadWithLock);
-                    self.record(TraceKind::LockRejected, Some(tx.initiator), || tx.to_string());
+                    self.record(TraceKind::LockRejected, Some(tx.initiator), || {
+                        tx.to_string()
+                    });
                     self.queues[bus].request(tx).expect("requeue after grant");
                     return;
                 }
@@ -503,7 +529,11 @@ impl Machine {
         });
 
         // Broadcast: every other holder snoops the returned value.
-        let event = if locked { SnoopEvent::LockedRead(value) } else { SnoopEvent::Read(value) };
+        let event = if locked {
+            SnoopEvent::LockedRead(value)
+        } else {
+            SnoopEvent::Read(value)
+        };
         self.dispatch_snoop(addr, event, &[tx.initiator.index()]);
 
         // The initiator's own line fills.
@@ -525,8 +555,11 @@ impl Machine {
                 if value.is_zero() {
                     // Test succeeded: proceed to the unlocking write.
                     self.enqueue(tx.initiator, addr, BusOp::WriteWithUnlock(set_to));
-                    self.statuses[pe] =
-                        PeStatus::WaitBus(Pending::UnlockWrite { addr, old: value, class });
+                    self.statuses[pe] = PeStatus::WaitBus(Pending::UnlockWrite {
+                        addr,
+                        old: value,
+                        class,
+                    });
                 } else {
                     // Failed Test-and-Set: "treated as a non-cachable
                     // read" — release the lock without writing.
@@ -535,7 +568,13 @@ impl Machine {
                         .expect("failing TS holds the lock it releases");
                     self.stats.ts_failures += 1;
                     self.cache_stats[pe].record(AccessKind::Read, class, false);
-                    self.finish(pe, OpResult::TestAndSet { old: value, acquired: false });
+                    self.finish(
+                        pe,
+                        OpResult::TestAndSet {
+                            old: value,
+                            acquired: false,
+                        },
+                    );
                 }
             }
             other => panic!("read completion for PE in state {other:?}"),
@@ -558,7 +597,9 @@ impl Machine {
                     // "Any bus writes before the unlock will fail."
                     self.stats.lock_rejections += 1;
                     self.traffic.bus_mut(bus).record(BusOpKind::Write);
-                    self.record(TraceKind::LockRejected, Some(tx.initiator), || tx.to_string());
+                    self.record(TraceKind::LockRejected, Some(tx.initiator), || {
+                        tx.to_string()
+                    });
                     self.queues[bus].request(tx).expect("requeue after grant");
                     return;
                 }
@@ -566,8 +607,11 @@ impl Machine {
             }
         }
 
-        let event =
-            if unlock { SnoopEvent::UnlockWrite(value) } else { SnoopEvent::Write(value) };
+        let event = if unlock {
+            SnoopEvent::UnlockWrite(value)
+        } else {
+            SnoopEvent::Write(value)
+        };
         self.dispatch_snoop(addr, event, &[tx.initiator.index()]);
 
         let pe = tx.initiator.index();
@@ -586,7 +630,13 @@ impl Machine {
             PeStatus::WaitBus(Pending::UnlockWrite { old, class, .. }) => {
                 self.stats.ts_successes += 1;
                 self.cache_stats[pe].record(AccessKind::Write, class, false);
-                self.finish(pe, OpResult::TestAndSet { old, acquired: true });
+                self.finish(
+                    pe,
+                    OpResult::TestAndSet {
+                        old,
+                        acquired: true,
+                    },
+                );
             }
             other => panic!("write completion for PE in state {other:?}"),
         }
@@ -614,7 +664,9 @@ impl Machine {
     }
 
     fn finish(&mut self, pe: usize, result: OpResult) {
-        self.record(TraceKind::Complete, Some(PeId::new(pe as u16)), || result.to_string());
+        self.record(TraceKind::Complete, Some(PeId::new(pe as u16)), || {
+            result.to_string()
+        });
         self.statuses[pe] = PeStatus::Idle;
         self.last_results[pe] = Some(result);
     }
@@ -669,7 +721,9 @@ impl Machine {
             if want != addr {
                 continue;
             }
-            let Some(entry) = self.caches[pe].get(addr) else { continue };
+            let Some(entry) = self.caches[pe].get(addr) else {
+                continue;
+            };
             if !entry.state.is_readable_locally() {
                 continue;
             }
@@ -677,9 +731,11 @@ impl Machine {
             let bus = self.routing.bus_of(addr);
             self.queues[bus].cancel(PeId::new(pe as u16));
             self.stats.broadcast_satisfied += 1;
-            self.record(TraceKind::BroadcastSatisfied, Some(PeId::new(pe as u16)), || {
-                format!("read {addr} = {value} from broadcast")
-            });
+            self.record(
+                TraceKind::BroadcastSatisfied,
+                Some(PeId::new(pe as u16)),
+                || format!("read {addr} = {value} from broadcast"),
+            );
             self.finish(pe, OpResult::Read(value));
         }
     }

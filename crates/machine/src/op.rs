@@ -66,17 +66,26 @@ pub struct MemOp {
 impl MemOp {
     /// A shared-class read (shared is the conservative default class).
     pub fn read(addr: Addr) -> Self {
-        MemOp { access: Access::Read(addr), class: RefClass::Shared }
+        MemOp {
+            access: Access::Read(addr),
+            class: RefClass::Shared,
+        }
     }
 
     /// A shared-class write.
     pub fn write(addr: Addr, value: Word) -> Self {
-        MemOp { access: Access::Write(addr, value), class: RefClass::Shared }
+        MemOp {
+            access: Access::Write(addr, value),
+            class: RefClass::Shared,
+        }
     }
 
     /// A Test-and-Set that stores `value` if the word is currently zero.
     pub fn test_and_set(addr: Addr, value: Word) -> Self {
-        MemOp { access: Access::TestAndSet(addr, value), class: RefClass::Shared }
+        MemOp {
+            access: Access::TestAndSet(addr, value),
+            class: RefClass::Shared,
+        }
     }
 
     /// Re-tags the operation with an explicit reference class.
@@ -133,7 +142,11 @@ impl fmt::Display for OpResult {
             OpResult::Read(w) => write!(f, "= {w}"),
             OpResult::Write => write!(f, "stored"),
             OpResult::TestAndSet { old, acquired } => {
-                write!(f, "TS old={old} {}", if *acquired { "acquired" } else { "failed" })
+                write!(
+                    f,
+                    "TS old={old} {}",
+                    if *acquired { "acquired" } else { "failed" }
+                )
             }
         }
     }
@@ -146,7 +159,10 @@ mod tests {
     #[test]
     fn constructors_default_to_shared_class() {
         assert_eq!(MemOp::read(Addr::new(1)).class, RefClass::Shared);
-        assert_eq!(MemOp::write(Addr::new(1), Word::ONE).class, RefClass::Shared);
+        assert_eq!(
+            MemOp::write(Addr::new(1), Word::ONE).class,
+            RefClass::Shared
+        );
         assert_eq!(
             MemOp::test_and_set(Addr::new(1), Word::ONE).class,
             RefClass::Shared
@@ -173,10 +189,17 @@ mod tests {
     fn result_words() {
         assert_eq!(OpResult::Read(Word::new(7)).word(), Some(Word::new(7)));
         assert_eq!(OpResult::Write.word(), None);
-        let ts = OpResult::TestAndSet { old: Word::ZERO, acquired: true };
+        let ts = OpResult::TestAndSet {
+            old: Word::ZERO,
+            acquired: true,
+        };
         assert_eq!(ts.word(), Some(Word::ZERO));
         assert!(ts.acquired());
-        assert!(!OpResult::TestAndSet { old: Word::ONE, acquired: false }.acquired());
+        assert!(!OpResult::TestAndSet {
+            old: Word::ONE,
+            acquired: false
+        }
+        .acquired());
         assert!(!OpResult::Write.acquired());
     }
 
@@ -184,7 +207,11 @@ mod tests {
     fn displays() {
         assert_eq!(MemOp::read(Addr::new(1)).to_string(), "read @1 [shared]");
         assert_eq!(
-            OpResult::TestAndSet { old: Word::ZERO, acquired: true }.to_string(),
+            OpResult::TestAndSet {
+                old: Word::ZERO,
+                acquired: true
+            }
+            .to_string(),
             "TS old=0 acquired"
         );
     }

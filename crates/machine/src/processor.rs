@@ -151,7 +151,9 @@ impl Script {
 
     /// Finishes the script into a boxed [`Processor`].
     pub fn build(self) -> Box<dyn Processor + Send> {
-        Box::new(ScriptProcessor { ops: self.ops.into_iter() })
+        Box::new(ScriptProcessor {
+            ops: self.ops.into_iter(),
+        })
     }
 }
 
@@ -210,7 +212,11 @@ pub struct LoopProcessor {
 impl LoopProcessor {
     /// Creates a processor that issues `body` in order, `rounds` times.
     pub fn new(body: Vec<MemOp>, rounds: u64) -> Self {
-        LoopProcessor { body, rounds_left: rounds, position: 0 }
+        LoopProcessor {
+            body,
+            rounds_left: rounds,
+            position: 0,
+        }
     }
 }
 
@@ -247,7 +253,11 @@ impl fmt::Debug for SpinReader {
 impl SpinReader {
     /// Spins reading `addr` until `until(value)` is true.
     pub fn new(addr: Addr, until: impl FnMut(Word) -> bool + Send + 'static) -> Self {
-        SpinReader { addr, until: Box::new(until), satisfied: false }
+        SpinReader {
+            addr,
+            until: Box::new(until),
+            satisfied: false,
+        }
     }
 }
 

@@ -58,7 +58,10 @@ impl Snapshot {
     /// The states of the caches holding the address, in cache order —
     /// the input to the Section 4 configuration lemma.
     pub fn held_states(&self) -> Vec<LineState> {
-        self.lines.iter().filter_map(|l| l.map(|(s, _)| s)).collect()
+        self.lines
+            .iter()
+            .filter_map(|l| l.map(|(s, _)| s))
+            .collect()
     }
 
     /// Classifies the snapshot per the Section 4 lemma.

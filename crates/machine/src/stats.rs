@@ -50,7 +50,11 @@ mod tests {
 
     #[test]
     fn ts_attempts_sum() {
-        let s = MachineStats { ts_failures: 3, ts_successes: 2, ..Default::default() };
+        let s = MachineStats {
+            ts_failures: 3,
+            ts_successes: 2,
+            ..Default::default()
+        };
         assert_eq!(s.ts_attempts(), 5);
     }
 

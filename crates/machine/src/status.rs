@@ -11,11 +11,23 @@ pub(crate) enum Pending {
     /// A bus write (or bus invalidate) for a CPU write miss; carries the
     /// CPU value so the bus-invalidate path (which has no data payload)
     /// can install it locally on completion.
-    Write { addr: Addr, value: Word, class: RefClass },
+    Write {
+        addr: Addr,
+        value: Word,
+        class: RefClass,
+    },
     /// The locked-read half of a Test-and-Set.
-    LockedRead { addr: Addr, set_to: Word, class: RefClass },
+    LockedRead {
+        addr: Addr,
+        set_to: Word,
+        class: RefClass,
+    },
     /// The unlocking-write half of a successful Test-and-Set.
-    UnlockWrite { addr: Addr, old: Word, class: RefClass },
+    UnlockWrite {
+        addr: Addr,
+        old: Word,
+        class: RefClass,
+    },
 }
 
 impl Pending {
@@ -50,10 +62,25 @@ mod tests {
     fn pending_addr_extraction() {
         let a = Addr::new(9);
         for p in [
-            Pending::Read { addr: a, class: RefClass::Shared },
-            Pending::Write { addr: a, value: Word::ONE, class: RefClass::Local },
-            Pending::LockedRead { addr: a, set_to: Word::ONE, class: RefClass::Shared },
-            Pending::UnlockWrite { addr: a, old: Word::ZERO, class: RefClass::Shared },
+            Pending::Read {
+                addr: a,
+                class: RefClass::Shared,
+            },
+            Pending::Write {
+                addr: a,
+                value: Word::ONE,
+                class: RefClass::Local,
+            },
+            Pending::LockedRead {
+                addr: a,
+                set_to: Word::ONE,
+                class: RefClass::Shared,
+            },
+            Pending::UnlockWrite {
+                addr: a,
+                old: Word::ZERO,
+                class: RefClass::Shared,
+            },
         ] {
             assert_eq!(p.addr(), a);
         }

@@ -162,7 +162,12 @@ mod tests {
         assert!(text.contains("42"));
         assert!(text.contains("P0"));
         assert!(text.contains("issue"));
-        let anon = TraceEvent { cycle: 1, kind: TraceKind::Grant, pe: None, text: "x".into() };
+        let anon = TraceEvent {
+            cycle: 1,
+            kind: TraceKind::Grant,
+            pe: None,
+            text: "x".into(),
+        };
         assert!(anon.to_string().contains("grant"));
     }
 }

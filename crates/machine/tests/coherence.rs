@@ -208,7 +208,15 @@ fn rwb_write_broadcast_updates_reader_caches_in_place() {
     // P0 reads x; P1 writes it once. Under RWB P0's copy is refreshed
     // (R with new value), so P0's subsequent reads hit with no traffic.
     let mut m = MachineBuilder::new(ProtocolKind::Rwb)
-        .processor(Script::new().read(x).read(x).read(x).read(x).read(x).build())
+        .processor(
+            Script::new()
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .read(x)
+                .build(),
+        )
         .processor(Script::new().write(x, w(5)).build())
         .build();
     m.run_to_completion(200);
@@ -233,7 +241,10 @@ fn rwb_foreign_write_interrupts_first_write_streak() {
     // With round-robin arbitration P0 and P1 alternate; every write is a
     // data write in some order; depending on interleaving at most one BI
     // occurs (if P0's two writes are consecutive).
-    assert_eq!(t.count(BusOpKind::Write) + t.count(BusOpKind::Invalidate), 3);
+    assert_eq!(
+        t.count(BusOpKind::Write) + t.count(BusOpKind::Invalidate),
+        3
+    );
     assert!(m.traffic().count(BusOpKind::Invalidate) <= 1);
 }
 
@@ -279,7 +290,12 @@ fn write_through_every_write_costs_a_bus_cycle() {
     let x = addr(6);
     let mut m = MachineBuilder::new(ProtocolKind::WriteThrough)
         .processor(
-            Script::new().write(x, w(1)).write(x, w(2)).write(x, w(3)).read(x).build(),
+            Script::new()
+                .write(x, w(1))
+                .write(x, w(2))
+                .write(x, w(3))
+                .read(x)
+                .build(),
         )
         .build();
     m.run_to_completion(200);
@@ -352,7 +368,10 @@ fn rb_successful_ts_leaves_local_configuration() {
     assert_eq!(m.cache_line(1, s).map(|(st, _)| st), Some(Local));
     assert_eq!(m.cache_line(0, s).map(|(st, _)| st), Some(Invalid));
     assert_eq!(m.cache_line(2, s).map(|(st, _)| st), Some(Invalid));
-    assert_eq!(m.snapshot(s).configuration(), decache_core::Configuration::Local);
+    assert_eq!(
+        m.snapshot(s).configuration(),
+        decache_core::Configuration::Local
+    );
 }
 
 #[test]

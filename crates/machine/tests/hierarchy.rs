@@ -20,10 +20,7 @@ fn routing_shape_is_exposed() {
     b.processors(4, |_| Script::new().build());
     let machine = b.build();
     assert_eq!(machine.bus_count(), 3);
-    assert_eq!(
-        machine.routing(),
-        Routing::clustered(2, 64, 96)
-    );
+    assert_eq!(machine.routing(), Routing::clustered(2, 64, 96));
     assert!(machine.routing().to_string().contains("hierarchical"));
 }
 
@@ -32,7 +29,12 @@ fn cluster_private_traffic_stays_off_the_global_bus() {
     let mut b = builder(ProtocolKind::Rb);
     // PEs 0,1 (cluster 0) touch only cluster 0's region at 64..;
     // PEs 2,3 (cluster 1) touch only cluster 1's region at 160.. .
-    b.processor(Script::new().write(Addr::new(64), Word::ONE).read(Addr::new(65)).build());
+    b.processor(
+        Script::new()
+            .write(Addr::new(64), Word::ONE)
+            .read(Addr::new(65))
+            .build(),
+    );
     b.processor(Script::new().read(Addr::new(64)).build());
     b.processor(Script::new().write(Addr::new(160), Word::ONE).build());
     b.processor(Script::new().read(Addr::new(161)).build());
@@ -40,7 +42,11 @@ fn cluster_private_traffic_stays_off_the_global_bus() {
     machine.run_to_completion(10_000);
 
     let per_bus = machine.traffic_per_bus();
-    assert_eq!(per_bus.bus(0).total_transactions(), 0, "global bus must stay idle");
+    assert_eq!(
+        per_bus.bus(0).total_transactions(),
+        0,
+        "global bus must stay idle"
+    );
     assert!(per_bus.bus(1).total_transactions() > 0);
     assert!(per_bus.bus(2).total_transactions() > 0);
 }
@@ -51,7 +57,12 @@ fn global_addresses_stay_coherent_across_clusters() {
     for kind in ProtocolKind::ALL {
         let mut b = builder(kind);
         // Writer in cluster 0, readers in both clusters.
-        b.processor(Script::new().write(shared, Word::new(9)).write(shared, Word::new(10)).build());
+        b.processor(
+            Script::new()
+                .write(shared, Word::new(9))
+                .write(shared, Word::new(10))
+                .build(),
+        );
         b.processor(Script::new().read(shared).read(shared).build());
         b.processor(Script::new().read(shared).read(shared).build());
         b.processor(Script::new().read(shared).read(shared).build());
@@ -112,14 +123,25 @@ fn cluster_buses_run_in_parallel() {
 fn local_state_works_inside_a_cluster() {
     let mut b = builder(ProtocolKind::Rb);
     let x = Addr::new(70); // cluster 0's region
-    b.processor(Script::new().write(x, Word::new(1)).write(x, Word::new(2)).build());
+    b.processor(
+        Script::new()
+            .write(x, Word::new(1))
+            .write(x, Word::new(2))
+            .build(),
+    );
     b.processor(Script::new().read(x).build()); // same cluster: supply path
     b.processor(Script::new().build());
     b.processor(Script::new().build());
     let mut machine = b.build();
     machine.run_to_completion(10_000);
-    assert_eq!(machine.cache_line(0, x), Some((LineState::Readable, Word::new(2))));
-    assert_eq!(machine.cache_line(1, x), Some((LineState::Readable, Word::new(2))));
+    assert_eq!(
+        machine.cache_line(0, x),
+        Some((LineState::Readable, Word::new(2)))
+    );
+    assert_eq!(
+        machine.cache_line(1, x),
+        Some((LineState::Readable, Word::new(2)))
+    );
     assert_eq!(machine.memory().peek(x).unwrap(), Word::new(2));
     assert_eq!(machine.traffic_per_bus().bus(1).aborted_reads, 1);
 }

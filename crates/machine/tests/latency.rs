@@ -21,14 +21,22 @@ fn slow_transactions_stretch_the_run_without_changing_results() {
     let fast = run(1);
     let slow = run(4);
     // Same final state...
-    assert_eq!(fast.memory().peek(x).unwrap(), slow.memory().peek(x).unwrap());
+    assert_eq!(
+        fast.memory().peek(x).unwrap(),
+        slow.memory().peek(x).unwrap()
+    );
     assert_eq!(fast.cache_line(0, x), slow.cache_line(0, x));
     assert_eq!(
         fast.traffic().total_transactions(),
         slow.traffic().total_transactions()
     );
     // ...but the slow machine takes strictly longer.
-    assert!(slow.cycles() > fast.cycles(), "{} vs {}", slow.cycles(), fast.cycles());
+    assert!(
+        slow.cycles() > fast.cycles(),
+        "{} vs {}",
+        slow.cycles(),
+        fast.cycles()
+    );
 }
 
 #[test]
@@ -106,8 +114,14 @@ fn set_associative_caches_eliminate_conflict_misses() {
     assert!(dm_misses > 10, "direct-mapped thrashes: {dm_misses}");
     assert_eq!(sa_misses, 2, "2-way holds both: only cold misses");
     // Both remain coherent.
-    assert_eq!(sa.cache_line(0, a).map(|(s, _)| s), Some(LineState::Readable));
-    assert_eq!(sa.cache_line(0, b).map(|(s, _)| s), Some(LineState::Readable));
+    assert_eq!(
+        sa.cache_line(0, a).map(|(s, _)| s),
+        Some(LineState::Readable)
+    );
+    assert_eq!(
+        sa.cache_line(0, b).map(|(s, _)| s),
+        Some(LineState::Readable)
+    );
 }
 
 #[test]

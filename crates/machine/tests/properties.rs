@@ -1,17 +1,29 @@
-//! Property-based tests of the machine simulator.
+//! Seeded randomized tests of the machine simulator.
 
 use decache_core::{Configuration, ProtocolKind};
-use decache_machine::{MachineBuilder, Machine, Script};
+use decache_machine::{Machine, MachineBuilder, Script};
 use decache_mem::{Addr, Word};
-use proptest::prelude::*;
+use decache_rng::{testing::check, Rng};
 
-fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Rb),
-        Just(ProtocolKind::Rwb),
-        Just(ProtocolKind::WriteOnce),
-        Just(ProtocolKind::WriteThrough),
-    ]
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Rb,
+    ProtocolKind::Rwb,
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+/// Random `(op selector, address, value)` triples, the common program
+/// encoding of this suite.
+fn gen_ops(rng: &mut Rng, lo: usize, hi: usize) -> Vec<(u8, u64, u64)> {
+    (0..rng.gen_range(lo..hi))
+        .map(|_| {
+            (
+                rng.gen_range(0u8..=255),
+                rng.next_u64(),
+                rng.gen_range(1u64..100),
+            )
+        })
+        .collect()
 }
 
 /// Builds a machine running the encoded single-PE program.
@@ -33,138 +45,156 @@ fn single_pe(kind: ProtocolKind, ops: &[(u8, u64, u64)], buses: usize) -> Machin
     machine
 }
 
-proptest! {
-    /// Bus count is performance-transparent: the same single-PE program
-    /// on 1, 2, or 4 buses produces identical final memory and cache
-    /// contents.
-    #[test]
-    fn bus_count_is_semantically_transparent(
-        kind in protocol_strategy(),
-        ops in prop::collection::vec((any::<u8>(), any::<u64>(), 1u64..100), 1..40),
-    ) {
-        let single = single_pe(kind, &ops, 1);
-        for buses in [2usize, 4] {
-            let multi = single_pe(kind, &ops, buses);
-            for a in 0..32u64 {
-                let addr = Addr::new(a);
-                prop_assert_eq!(
-                    single.memory().peek(addr).unwrap(),
-                    multi.memory().peek(addr).unwrap(),
-                    "memory diverges at @{} with {} buses under {}", a, buses, kind
-                );
-                prop_assert_eq!(
-                    single.cache_line(0, addr),
-                    multi.cache_line(0, addr),
-                    "cache diverges at @{} with {} buses under {}", a, buses, kind
+/// Bus count is performance-transparent: the same single-PE program on
+/// 1, 2, or 4 buses produces identical final memory and cache contents.
+#[test]
+fn bus_count_is_semantically_transparent() {
+    check("bus_count_is_semantically_transparent", 16, |rng| {
+        let ops = gen_ops(rng, 1, 40);
+        for kind in PROTOCOLS {
+            let single = single_pe(kind, &ops, 1);
+            for buses in [2usize, 4] {
+                let multi = single_pe(kind, &ops, buses);
+                for a in 0..32u64 {
+                    let addr = Addr::new(a);
+                    assert_eq!(
+                        single.memory().peek(addr).unwrap(),
+                        multi.memory().peek(addr).unwrap(),
+                        "memory diverges at @{a} with {buses} buses under {kind}"
+                    );
+                    assert_eq!(
+                        single.cache_line(0, addr),
+                        multi.cache_line(0, addr),
+                        "cache diverges at @{a} with {buses} buses under {kind}"
+                    );
+                }
+                // Total traffic is also identical; it just spreads over
+                // buses.
+                assert_eq!(
+                    single.traffic().total_transactions(),
+                    multi.traffic().total_transactions()
                 );
             }
-            // Total traffic is also identical; it just spreads over buses.
-            prop_assert_eq!(
-                single.traffic().total_transactions(),
-                multi.traffic().total_transactions()
-            );
         }
-    }
+    });
+}
 
-    /// Simulation is deterministic: identical builds produce identical
-    /// cycle counts, traffic, and stats.
-    #[test]
-    fn runs_are_deterministic(
-        kind in protocol_strategy(),
-        ops in prop::collection::vec((any::<u8>(), any::<u64>(), 1u64..100), 1..30),
-        pes in 1usize..4,
-    ) {
-        let build = || {
+/// Simulation is deterministic: identical builds produce identical
+/// cycle counts, traffic, and stats.
+#[test]
+fn runs_are_deterministic() {
+    check("runs_are_deterministic", 16, |rng| {
+        let ops = gen_ops(rng, 1, 30);
+        let pes = rng.gen_range(1usize..4);
+        for kind in PROTOCOLS {
+            let build = || {
+                let mut builder = MachineBuilder::new(kind);
+                builder.memory_words(64).cache_lines(8);
+                for _ in 0..pes {
+                    let mut script = Script::new();
+                    for &(op, addr, value) in &ops {
+                        let a = Addr::new(addr % 16);
+                        script = match op % 3 {
+                            0 => script.read(a),
+                            1 => script.write(a, Word::new(value)),
+                            _ => script.test_and_set(a, Word::new(value | 1)),
+                        };
+                    }
+                    builder.processor(script.build());
+                }
+                let mut m = builder.build();
+                m.run_to_completion(5_000_000);
+                m
+            };
+            let a = build();
+            let b = build();
+            assert_eq!(a.cycles(), b.cycles());
+            assert_eq!(a.traffic(), b.traffic());
+            assert_eq!(a.stats(), b.stats());
+        }
+    });
+}
+
+/// Cycle-by-cycle invariant: at every step of a concurrent run, every
+/// address is in a legal configuration (the Lemma holds not just at
+/// quiescence but at every bus-cycle boundary).
+#[test]
+fn lemma_holds_at_every_cycle() {
+    check("lemma_holds_at_every_cycle", 16, |rng| {
+        let seed_ops: Vec<(u8, u64, u64)> = (0..rng.gen_range(4usize..24))
+            .map(|_| {
+                (
+                    rng.gen_range(0u8..=255),
+                    rng.gen_range(0u64..6),
+                    rng.gen_range(1u64..50),
+                )
+            })
+            .collect();
+        for kind in PROTOCOLS {
             let mut builder = MachineBuilder::new(kind);
-            builder.memory_words(64).cache_lines(8);
-            for _ in 0..pes {
+            builder.memory_words(64).cache_lines(4);
+            for chunk in seed_ops.chunks(6) {
                 let mut script = Script::new();
-                for &(op, addr, value) in &ops {
-                    let a = Addr::new(addr % 16);
+                for &(op, addr, value) in chunk {
+                    let a = Addr::new(addr);
                     script = match op % 3 {
                         0 => script.read(a),
                         1 => script.write(a, Word::new(value)),
-                        _ => script.test_and_set(a, Word::new(value | 1)),
+                        _ => script.test_and_set(a, Word::new(1)),
                     };
                 }
                 builder.processor(script.build());
             }
-            let mut m = builder.build();
-            m.run_to_completion(5_000_000);
-            m
-        };
-        let a = build();
-        let b = build();
-        prop_assert_eq!(a.cycles(), b.cycles());
-        prop_assert_eq!(a.traffic(), b.traffic());
-        prop_assert_eq!(a.stats(), b.stats());
-    }
+            let mut machine = builder.build();
+            for _ in 0..5_000 {
+                if machine.is_done() {
+                    break;
+                }
+                machine.step();
+                for a in 0..6u64 {
+                    let snap = machine.snapshot(Addr::new(a));
+                    assert_ne!(
+                        snap.configuration(),
+                        Configuration::Illegal,
+                        "cycle {}: illegal configuration at @{a} under {kind}: {snap}",
+                        machine.cycles()
+                    );
+                }
+            }
+            assert!(machine.is_done());
+        }
+    });
+}
 
-    /// Cycle-by-cycle invariant: at every step of a concurrent run,
-    /// every address is in a legal configuration (the Lemma holds not
-    /// just at quiescence but at every bus-cycle boundary).
-    #[test]
-    fn lemma_holds_at_every_cycle(
-        kind in protocol_strategy(),
-        seed_ops in prop::collection::vec((any::<u8>(), 0u64..6, 1u64..50), 4..24),
-    ) {
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(4);
-        for chunk in seed_ops.chunks(6) {
-            let mut script = Script::new();
-            for &(op, addr, value) in chunk {
-                let a = Addr::new(addr);
-                script = match op % 3 {
-                    0 => script.read(a),
-                    1 => script.write(a, Word::new(value)),
-                    _ => script.test_and_set(a, Word::new(1)),
-                };
+/// Conservation: every processor-issued reference is accounted as
+/// exactly one hit or miss, and bus transactions never exceed
+/// references plus retries/write-backs.
+#[test]
+fn reference_accounting_balances() {
+    check("reference_accounting_balances", 16, |rng| {
+        let ops_per_pe = rng.gen_range(1usize..25);
+        let pes = rng.gen_range(1usize..5);
+        for kind in PROTOCOLS {
+            let mut builder = MachineBuilder::new(kind);
+            builder.memory_words(64).cache_lines(8);
+            for pe in 0..pes {
+                let mut script = Script::new();
+                for i in 0..ops_per_pe {
+                    let a = Addr::new(((pe * 7 + i * 3) % 16) as u64);
+                    script = if i % 3 == 0 {
+                        script.write(a, Word::new(i as u64 + 1))
+                    } else {
+                        script.read(a)
+                    };
+                }
+                builder.processor(script.build());
             }
-            builder.processor(script.build());
+            let mut machine = builder.build();
+            machine.run_to_completion(1_000_000);
+            let refs = machine.total_cache_stats().total_references();
+            assert_eq!(refs, (ops_per_pe * pes) as u64);
+            let t = machine.traffic();
+            assert!(t.busy_cycles + t.idle_cycles >= machine.cycles());
         }
-        let mut machine = builder.build();
-        for _ in 0..5_000 {
-            if machine.is_done() {
-                break;
-            }
-            machine.step();
-            for a in 0..6u64 {
-                let snap = machine.snapshot(Addr::new(a));
-                prop_assert_ne!(
-                    snap.configuration(),
-                    Configuration::Illegal,
-                    "cycle {}: illegal configuration at @{} under {}: {}",
-                    machine.cycles(), a, kind, snap
-                );
-            }
-        }
-        prop_assert!(machine.is_done());
-    }
-
-    /// Conservation: every processor-issued reference is accounted as
-    /// exactly one hit or miss, and bus transactions never exceed
-    /// references plus retries/write-backs.
-    #[test]
-    fn reference_accounting_balances(
-        kind in protocol_strategy(),
-        ops_per_pe in 1usize..25,
-        pes in 1usize..5,
-    ) {
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(8);
-        for pe in 0..pes {
-            let mut script = Script::new();
-            for i in 0..ops_per_pe {
-                let a = Addr::new(((pe * 7 + i * 3) % 16) as u64);
-                script = if i % 3 == 0 { script.write(a, Word::new(i as u64 + 1)) } else { script.read(a) };
-            }
-            builder.processor(script.build());
-        }
-        let mut machine = builder.build();
-        machine.run_to_completion(1_000_000);
-        let refs = machine.total_cache_stats().total_references();
-        prop_assert_eq!(refs, (ops_per_pe * pes) as u64);
-        let t = machine.traffic();
-        prop_assert!(t.busy_cycles + t.idle_cycles >= machine.cycles());
-    }
+    });
 }

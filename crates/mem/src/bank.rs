@@ -40,7 +40,7 @@ impl BankedMemory {
     pub fn new(size: u64, bank_bits: u32) -> Self {
         let banks_n = 1u64 << bank_bits;
         assert!(
-            size % banks_n == 0,
+            size.is_multiple_of(banks_n),
             "memory size {size} must be divisible by the bank count {banks_n}"
         );
         let per_bank = size / banks_n;

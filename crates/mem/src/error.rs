@@ -63,7 +63,10 @@ mod tests {
             addr: Addr::new(10),
             size: 8,
         };
-        assert_eq!(e.to_string(), "address @10 out of bounds for memory of 8 words");
+        assert_eq!(
+            e.to_string(),
+            "address @10 out of bounds for memory of 8 words"
+        );
 
         let e = MemError::Locked {
             addr: Addr::new(1),

@@ -313,9 +313,7 @@ mod tests {
         let mut mem = Memory::new(4);
         let a = Addr::new(0);
         mem.read_with_lock(a, PeId::new(2)).unwrap();
-        assert!(mem
-            .write_with_unlock(a, Word::ONE, PeId::new(3))
-            .is_err());
+        assert!(mem.write_with_unlock(a, Word::ONE, PeId::new(3)).is_err());
         mem.write_with_unlock(a, Word::ONE, PeId::new(2)).unwrap();
         assert_eq!(mem.lock_holder(a), None);
         assert_eq!(mem.read(a).unwrap(), Word::ONE);

@@ -1,113 +1,126 @@
-//! Property-based tests for the memory substrate.
+//! Seeded randomized tests for the memory substrate.
 
 use decache_mem::{Addr, AddrRange, BankedMemory, Memory, PeId, Word};
-use proptest::prelude::*;
+use decache_rng::testing::check;
 
-proptest! {
-    /// A write followed by a read of the same address returns the value
-    /// written, regardless of any other traffic to other addresses.
-    #[test]
-    fn write_then_read_round_trips(
-        size in 1u64..512,
-        ops in prop::collection::vec((0u64..512, any::<u64>()), 1..64),
-    ) {
+/// A write followed by a read of the same address returns the value
+/// written, regardless of any other traffic to other addresses.
+#[test]
+fn write_then_read_round_trips() {
+    check("write_then_read_round_trips", 64, |rng| {
+        let size = rng.gen_range(1u64..512);
         let mut mem = Memory::new(size);
         let mut model = vec![Word::ZERO; size as usize];
-        for (raw_addr, value) in ops {
-            let addr = Addr::new(raw_addr % size);
-            let word = Word::new(value);
+        for _ in 0..rng.gen_range(1usize..64) {
+            let addr = Addr::new(rng.gen_range(0u64..512) % size);
+            let word = Word::new(rng.next_u64());
             mem.write(addr, word).unwrap();
             model[addr.index() as usize] = word;
         }
         for i in 0..size {
-            prop_assert_eq!(mem.read(Addr::new(i)).unwrap(), model[i as usize]);
+            assert_eq!(mem.read(Addr::new(i)).unwrap(), model[i as usize]);
         }
-    }
+    });
+}
 
-    /// A banked memory is observationally equivalent to a flat memory for
-    /// any interleaving factor: banking is an implementation detail.
-    #[test]
-    fn banked_memory_matches_flat_memory(
-        bank_bits in 0u32..4,
-        ops in prop::collection::vec((0u64..256, any::<u64>(), any::<bool>()), 1..128),
-    ) {
+/// A banked memory is observationally equivalent to a flat memory for
+/// any interleaving factor: banking is an implementation detail.
+#[test]
+fn banked_memory_matches_flat_memory() {
+    check("banked_memory_matches_flat_memory", 64, |rng| {
+        let bank_bits = rng.gen_range(0u32..4);
         let size = 256u64;
         let mut flat = Memory::new(size);
         let mut banked = BankedMemory::new(size, bank_bits);
-        for (raw_addr, value, is_write) in ops {
-            let addr = Addr::new(raw_addr % size);
-            if is_write {
-                let w = Word::new(value);
+        for _ in 0..rng.gen_range(1usize..128) {
+            let addr = Addr::new(rng.gen_range(0u64..size));
+            if rng.gen_bool(0.5) {
+                let w = Word::new(rng.next_u64());
                 flat.write(addr, w).unwrap();
                 banked.write(addr, w).unwrap();
             } else {
-                prop_assert_eq!(flat.read(addr).unwrap(), banked.read(addr).unwrap());
+                assert_eq!(flat.read(addr).unwrap(), banked.read(addr).unwrap());
             }
         }
         for i in 0..size {
-            prop_assert_eq!(flat.peek(Addr::new(i)).unwrap(), banked.peek(Addr::new(i)).unwrap());
+            assert_eq!(
+                flat.peek(Addr::new(i)).unwrap(),
+                banked.peek(Addr::new(i)).unwrap()
+            );
         }
-    }
+    });
+}
 
-    /// Bank traffic partitions total traffic: the per-bank write counters
-    /// always sum to the number of writes issued.
-    #[test]
-    fn bank_stats_partition_traffic(
-        bank_bits in 0u32..3,
-        addrs in prop::collection::vec(0u64..64, 1..64),
-    ) {
+/// Bank traffic partitions total traffic: the per-bank write counters
+/// always sum to the number of writes issued.
+#[test]
+fn bank_stats_partition_traffic() {
+    check("bank_stats_partition_traffic", 64, |rng| {
+        let bank_bits = rng.gen_range(0u32..3);
+        let writes = rng.gen_range(1usize..64);
         let mut banked = BankedMemory::new(64, bank_bits);
-        for raw in &addrs {
-            banked.write(Addr::new(*raw), Word::ONE).unwrap();
+        for _ in 0..writes {
+            banked
+                .write(Addr::new(rng.gen_range(0u64..64)), Word::ONE)
+                .unwrap();
         }
         let sum: u64 = (0..banked.bank_count())
             .map(|b| banked.bank_stats(b).writes)
             .sum();
-        prop_assert_eq!(sum, addrs.len() as u64);
-        prop_assert_eq!(banked.total_stats().writes, addrs.len() as u64);
-    }
+        assert_eq!(sum, writes as u64);
+        assert_eq!(banked.total_stats().writes, writes as u64);
+    });
+}
 
-    /// While a word is locked, no other PE can mutate it; after unlock the
-    /// final value is the unlocking write's value.
-    #[test]
-    fn lock_excludes_other_writers(
-        addr in 0u64..32,
-        intruders in prop::collection::vec(0u16..8, 0..8),
-        unlock_value in any::<u64>(),
-    ) {
+/// While a word is locked, no other PE can mutate it; after unlock the
+/// final value is the unlocking write's value.
+#[test]
+fn lock_excludes_other_writers() {
+    check("lock_excludes_other_writers", 64, |rng| {
+        let a = Addr::new(rng.gen_range(0u64..32));
+        let unlock_value = rng.next_u64();
         let mut mem = Memory::new(32);
-        let a = Addr::new(addr);
         let holder = PeId::new(100);
         mem.read_with_lock(a, holder).unwrap();
-        for pe in intruders {
+        for _ in 0..rng.gen_range(0usize..8) {
             // Writes and locked reads by anyone else must fail.
-            prop_assert!(mem.write_checked(a, Word::new(7), PeId::new(pe)).is_err());
-            prop_assert!(mem.read_with_lock(a, PeId::new(pe)).is_err());
+            let pe = rng.gen_range(0u16..8);
+            assert!(mem.write_checked(a, Word::new(7), PeId::new(pe)).is_err());
+            assert!(mem.read_with_lock(a, PeId::new(pe)).is_err());
         }
-        mem.write_with_unlock(a, Word::new(unlock_value), holder).unwrap();
-        prop_assert_eq!(mem.peek(a).unwrap(), Word::new(unlock_value));
-        prop_assert_eq!(mem.lock_holder(a), None);
-    }
+        mem.write_with_unlock(a, Word::new(unlock_value), holder)
+            .unwrap();
+        assert_eq!(mem.peek(a).unwrap(), Word::new(unlock_value));
+        assert_eq!(mem.lock_holder(a), None);
+    });
+}
 
-    /// Address ranges enumerate exactly their length and agree with
-    /// `contains`.
-    #[test]
-    fn range_iteration_matches_contains(start in 0u64..1000, len in 0u64..100) {
+/// Address ranges enumerate exactly their length and agree with
+/// `contains`.
+#[test]
+fn range_iteration_matches_contains() {
+    check("range_iteration_matches_contains", 64, |rng| {
+        let start = rng.gen_range(0u64..1000);
+        let len = rng.gen_range(0u64..100);
         let range = AddrRange::with_len(Addr::new(start), len);
         let members: Vec<Addr> = range.iter().collect();
-        prop_assert_eq!(members.len() as u64, len);
+        assert_eq!(members.len() as u64, len);
         for a in &members {
-            prop_assert!(range.contains(*a));
+            assert!(range.contains(*a));
         }
-        prop_assert!(!range.contains(Addr::new(start + len)));
-    }
+        assert!(!range.contains(Addr::new(start + len)));
+    });
+}
 
-    /// Bank selection and within-bank index reconstruct the address.
-    #[test]
-    fn bank_split_reconstructs_address(raw in 0u64..1_000_000, bank_bits in 0u32..6) {
+/// Bank selection and within-bank index reconstruct the address.
+#[test]
+fn bank_split_reconstructs_address() {
+    check("bank_split_reconstructs_address", 64, |rng| {
+        let raw = rng.gen_range(0u64..1_000_000);
+        let bank_bits = rng.gen_range(0u32..6);
         let addr = Addr::new(raw);
         let bank = addr.bank_of(bank_bits) as u64;
         let local = addr.within_bank(bank_bits).index();
-        prop_assert_eq!((local << bank_bits) | bank, raw);
-    }
+        assert_eq!((local << bank_bits) | bank, raw);
+    });
 }

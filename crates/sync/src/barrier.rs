@@ -86,7 +86,11 @@ impl BarrierWorker {
             total,
             episodes,
             episode: 0,
-            phase: if episodes == 0 { Phase::Finished } else { Phase::Test },
+            phase: if episodes == 0 {
+                Phase::Finished
+            } else {
+                Phase::Test
+            },
         }
     }
 
@@ -125,7 +129,9 @@ impl Processor for BarrierWorker {
                     self.phase = Phase::ReadCounter;
                     Poll::Op(MemOp::read(self.counter))
                 }
-                Some(OpResult::TestAndSet { acquired: false, .. }) => {
+                Some(OpResult::TestAndSet {
+                    acquired: false, ..
+                }) => {
                     self.phase = Phase::Test;
                     Poll::Op(MemOp::read(self.lock))
                 }
@@ -147,7 +153,9 @@ impl Processor for BarrierWorker {
             },
 
             Phase::BumpCounter => {
-                self.phase = Phase::ReleaseLock { then_publish: false };
+                self.phase = Phase::ReleaseLock {
+                    then_publish: false,
+                };
                 Poll::Op(MemOp::write(self.lock, Word::ZERO))
             }
 

@@ -67,7 +67,9 @@ impl Conductor {
     /// Creates a conductor for `pes` processing elements.
     pub fn new(pes: usize) -> Self {
         Conductor {
-            slots: (0..pes).map(|_| Arc::new(Mutex::new(Slot::default()))).collect(),
+            slots: (0..pes)
+                .map(|_| Arc::new(Mutex::new(Slot::default())))
+                .collect(),
         }
     }
 
@@ -85,7 +87,9 @@ impl Conductor {
     ///
     /// Panics if `pe` is out of range.
     pub fn processor(&self, pe: usize) -> Box<dyn Processor + Send> {
-        Box::new(ConductedProcessor { slot: Arc::clone(&self.slots[pe]) })
+        Box::new(ConductedProcessor {
+            slot: Arc::clone(&self.slots[pe]),
+        })
     }
 
     /// Queues `op` on PE `pe` without running the machine.
@@ -94,7 +98,11 @@ impl Conductor {
     ///
     /// Panics if `pe` is out of range.
     pub fn push(&self, pe: usize, op: MemOp) {
-        self.slots[pe].lock().expect("conductor slot poisoned").queue.push_back(op);
+        self.slots[pe]
+            .lock()
+            .expect("conductor slot poisoned")
+            .queue
+            .push_back(op);
     }
 
     /// Runs the machine until all queued operations complete and the
@@ -113,12 +121,16 @@ impl Conductor {
         // more (idle) step so every conducted processor records its
         // result.
         machine.step();
-        assert!(machine.is_quiescent(), "result-delivery step started new work");
+        assert!(
+            machine.is_quiescent(),
+            "result-delivery step started new work"
+        );
         // Quiescent with empty conductor queues means every op finished.
-        debug_assert!(self
-            .slots
-            .iter()
-            .all(|s| s.lock().expect("conductor slot poisoned").queue.is_empty()));
+        debug_assert!(self.slots.iter().all(|s| s
+            .lock()
+            .expect("conductor slot poisoned")
+            .queue
+            .is_empty()));
     }
 
     /// Convenience: queue one op on one PE, settle, and return its
@@ -162,7 +174,11 @@ impl Conductor {
     ///
     /// Panics if `pe` is out of range.
     pub fn results(&self, pe: usize) -> Vec<OpResult> {
-        self.slots[pe].lock().expect("conductor slot poisoned").results.clone()
+        self.slots[pe]
+            .lock()
+            .expect("conductor slot poisoned")
+            .results
+            .clone()
     }
 }
 
@@ -185,8 +201,14 @@ mod tests {
     fn conducted_ops_execute_in_order() {
         let (c, mut m) = setup(ProtocolKind::Rb, 2);
         let x = Addr::new(4);
-        assert_eq!(c.run_op(&mut m, 0, MemOp::write(x, Word::new(3))), OpResult::Write);
-        assert_eq!(c.run_op(&mut m, 1, MemOp::read(x)), OpResult::Read(Word::new(3)));
+        assert_eq!(
+            c.run_op(&mut m, 0, MemOp::write(x, Word::new(3))),
+            OpResult::Write
+        );
+        assert_eq!(
+            c.run_op(&mut m, 1, MemOp::read(x)),
+            OpResult::Read(Word::new(3))
+        );
         assert_eq!(c.results(1).len(), 1);
     }
 
@@ -205,9 +227,21 @@ mod tests {
         let (c, mut m) = setup(ProtocolKind::Rwb, 2);
         let s = Addr::new(0);
         let r = c.run_op(&mut m, 0, MemOp::test_and_set(s, Word::ONE));
-        assert_eq!(r, OpResult::TestAndSet { old: Word::ZERO, acquired: true });
+        assert_eq!(
+            r,
+            OpResult::TestAndSet {
+                old: Word::ZERO,
+                acquired: true
+            }
+        );
         let r = c.run_op(&mut m, 1, MemOp::test_and_set(s, Word::ONE));
-        assert_eq!(r, OpResult::TestAndSet { old: Word::ONE, acquired: false });
+        assert_eq!(
+            r,
+            OpResult::TestAndSet {
+                old: Word::ONE,
+                acquired: false
+            }
+        );
     }
 
     #[test]

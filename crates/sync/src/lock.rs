@@ -140,7 +140,9 @@ impl LockWorker {
     fn enter_critical(&mut self) -> Poll {
         if self.cs_refs > 0 {
             // Issue the first critical-section reference now.
-            self.phase = Phase::Critical { left: self.cs_refs - 1 };
+            self.phase = Phase::Critical {
+                left: self.cs_refs - 1,
+            };
             Poll::Op(MemOp::read(self.private).with_class(decache_cache::RefClass::Local))
         } else {
             self.phase = Phase::Releasing;
@@ -175,7 +177,9 @@ impl Processor for LockWorker {
 
             Phase::Attempting => match last {
                 Some(OpResult::TestAndSet { acquired: true, .. }) => self.enter_critical(),
-                Some(OpResult::TestAndSet { acquired: false, .. }) => match self.primitive {
+                Some(OpResult::TestAndSet {
+                    acquired: false, ..
+                }) => match self.primitive {
                     // TS retries the read-modify-write immediately.
                     Primitive::TestAndSet => Poll::Op(self.acquire_op()),
                     // TTS falls back to testing in the cache.
@@ -242,9 +246,18 @@ mod tests {
         let ops = drive(
             &mut w,
             vec![
-                OpResult::TestAndSet { old: Word::ONE, acquired: false },
-                OpResult::TestAndSet { old: Word::ONE, acquired: false },
-                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::TestAndSet {
+                    old: Word::ONE,
+                    acquired: false,
+                },
+                OpResult::TestAndSet {
+                    old: Word::ONE,
+                    acquired: false,
+                },
+                OpResult::TestAndSet {
+                    old: Word::ZERO,
+                    acquired: true,
+                },
                 OpResult::Write,
             ],
         );
@@ -266,7 +279,10 @@ mod tests {
                 OpResult::Read(Word::ONE),  // busy: keep testing
                 OpResult::Read(Word::ONE),  // busy
                 OpResult::Read(Word::ZERO), // looks free: attempt
-                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::TestAndSet {
+                    old: Word::ZERO,
+                    acquired: true,
+                },
                 OpResult::Write,
             ],
         );
@@ -285,7 +301,10 @@ mod tests {
             &mut w,
             vec![
                 OpResult::Read(Word::ZERO), // looks free
-                OpResult::TestAndSet { old: Word::ONE, acquired: false }, // lost the race
+                OpResult::TestAndSet {
+                    old: Word::ONE,
+                    acquired: false,
+                }, // lost the race
                 OpResult::Read(Word::ONE),  // back to testing
             ],
         );
@@ -303,7 +322,10 @@ mod tests {
         let ops = drive(
             &mut w,
             vec![
-                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::TestAndSet {
+                    old: Word::ZERO,
+                    acquired: true,
+                },
                 OpResult::Read(Word::ZERO),
                 OpResult::Read(Word::ZERO),
                 OpResult::Write,
@@ -321,9 +343,15 @@ mod tests {
         let ops = drive(
             &mut w,
             vec![
-                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::TestAndSet {
+                    old: Word::ZERO,
+                    acquired: true,
+                },
                 OpResult::Write,
-                OpResult::TestAndSet { old: Word::ZERO, acquired: true },
+                OpResult::TestAndSet {
+                    old: Word::ZERO,
+                    acquired: true,
+                },
                 OpResult::Write,
             ],
         );

@@ -84,7 +84,11 @@ pub struct SyncScenario {
 impl SyncScenario {
     /// Creates the scenario for a protocol and primitive.
     pub fn new(protocol: ProtocolKind, primitive: Primitive) -> Self {
-        SyncScenario { protocol, primitive, spin_rounds: 3 }
+        SyncScenario {
+            protocol,
+            primitive,
+            spin_rounds: 3,
+        }
     }
 
     /// Sets how many failed acquisition rounds the waiting processors
@@ -139,7 +143,12 @@ impl SyncScenario {
                     .map(|&pe| (pe, MemOp::test_and_set(LOCK, Word::ONE)))
                     .collect();
                 conductor.run_ops(&mut machine, &attempts);
-                observe(&machine, &mut table, &mut phase_traffic, "Others try to get S (TS)");
+                observe(
+                    &machine,
+                    &mut table,
+                    &mut phase_traffic,
+                    "Others try to get S (TS)",
+                );
                 // Continued spinning: each extra round is more bus traffic.
                 for _ in 0..self.spin_rounds {
                     conductor.run_ops(&mut machine, &attempts);
@@ -157,7 +166,12 @@ impl SyncScenario {
                 let tests: Vec<(usize, MemOp)> =
                     others.iter().map(|&pe| (pe, MemOp::read(LOCK))).collect();
                 conductor.run_ops(&mut machine, &tests);
-                observe(&machine, &mut table, &mut phase_traffic, "Others test S (first test)");
+                observe(
+                    &machine,
+                    &mut table,
+                    &mut phase_traffic,
+                    "Others test S (first test)",
+                );
                 for _ in 0..self.spin_rounds {
                     conductor.run_ops(&mut machine, &tests);
                 }
@@ -198,7 +212,12 @@ impl SyncScenario {
             })
             .collect();
         conductor.run_ops(&mut machine, &attempts);
-        observe(&machine, &mut table, &mut phase_traffic, "Others try to get S");
+        observe(
+            &machine,
+            &mut table,
+            &mut phase_traffic,
+            "Others try to get S",
+        );
 
         ScenarioReport {
             protocol: self.protocol,

@@ -23,7 +23,10 @@ struct RecordingReader {
 impl Processor for RecordingReader {
     fn next_op(&mut self, last: Option<&OpResult>) -> Poll {
         if let Some(OpResult::Read(w)) = last {
-            self.log.lock().expect("reader log poisoned").push(w.value());
+            self.log
+                .lock()
+                .expect("reader log poisoned")
+                .push(w.value());
         }
         if self.reads_left == 0 {
             return Poll::Halt;
@@ -69,14 +72,11 @@ impl MonotonicReport {
 ///
 /// Panics if the machine does not finish (it always does: both sides
 /// issue a bounded number of operations).
-pub fn check_monotonic_reads(
-    kind: ProtocolKind,
-    readers: usize,
-    versions: u64,
-) -> MonotonicReport {
+pub fn check_monotonic_reads(kind: ProtocolKind, readers: usize, versions: u64) -> MonotonicReport {
     let addr = Addr::new(0);
-    let logs: Vec<Arc<Mutex<Vec<u64>>>> =
-        (0..readers).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let logs: Vec<Arc<Mutex<Vec<u64>>>> = (0..readers)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
 
     let mut builder = MachineBuilder::new(kind);
     builder.memory_words(64).cache_lines(16);
@@ -97,8 +97,10 @@ pub fn check_monotonic_reads(
     let mut machine = builder.build();
     machine.run_to_completion(10_000_000);
 
-    let observations: Vec<Vec<u64>> =
-        logs.iter().map(|l| l.lock().expect("reader log poisoned").clone()).collect();
+    let observations: Vec<Vec<u64>> = logs
+        .iter()
+        .map(|l| l.lock().expect("reader log poisoned").clone())
+        .collect();
     let mut violations = Vec::new();
     for (reader, seq) in observations.iter().enumerate() {
         for (i, pair) in seq.windows(2).enumerate() {
@@ -107,7 +109,11 @@ pub fn check_monotonic_reads(
             }
         }
     }
-    MonotonicReport { observations, versions, violations }
+    MonotonicReport {
+        observations,
+        versions,
+        violations,
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use decache_core::{Configuration, ProtocolKind};
 use decache_machine::{Machine, MachineBuilder, MemOp, OpResult};
 use decache_mem::{Addr, Word};
+use decache_rng::Rng;
 use decache_sync::Conductor;
 use std::collections::HashMap;
 use std::error::Error;
@@ -78,7 +79,13 @@ impl SerialOracle {
     /// Panics if `pes` is zero.
     pub fn new(kind: ProtocolKind, pes: usize, seed: u64) -> Self {
         assert!(pes > 0, "the oracle needs at least one processor");
-        SerialOracle { kind, pes, seed, addresses: 24, cache_lines: 16 }
+        SerialOracle {
+            kind,
+            pes,
+            seed,
+            addresses: 24,
+            cache_lines: 16,
+        }
     }
 
     /// Sets the number of distinct addresses exercised (default 24 — more
@@ -103,17 +110,17 @@ impl SerialOracle {
             .build();
 
         let mut reference: HashMap<u64, Word> = HashMap::new();
-        let mut rng = Xorshift::new(self.seed);
+        let mut rng = Rng::from_seed(self.seed);
         let mut reads_checked = 0;
         let mut ts_checked = 0;
 
         for step in 0..steps {
-            let pe = (rng.next() % self.pes as u64) as usize;
-            let raw = rng.next() % self.addresses;
+            let pe = rng.gen_range(0..self.pes);
+            let raw = rng.gen_range(0..self.addresses);
             let addr = Addr::new(raw);
             let expected = reference.get(&raw).copied().unwrap_or(Word::ZERO);
 
-            match rng.next() % 3 {
+            match rng.gen_range(0u64..3) {
                 0 => {
                     // Read: must observe the reference value.
                     let got = conductor.run_op(&mut machine, pe, MemOp::read(addr));
@@ -140,7 +147,10 @@ impl SerialOracle {
                         conductor.run_op(&mut machine, pe, MemOp::test_and_set(addr, Word::ONE));
                     ts_checked += 1;
                     let should_acquire = expected.is_zero();
-                    let expect = OpResult::TestAndSet { old: expected, acquired: should_acquire };
+                    let expect = OpResult::TestAndSet {
+                        old: expected,
+                        acquired: should_acquire,
+                    };
                     if got != expect {
                         return Err(OracleError {
                             step,
@@ -184,8 +194,8 @@ impl SerialOracle {
                     detail: format!("{}: illegal configuration at {addr}: {snap}", self.kind),
                 });
             }
-            let owner = (0..self.pes)
-                .find(|&pe| snap.line(pe).is_some_and(|(s, _)| s.owns_latest()));
+            let owner =
+                (0..self.pes).find(|&pe| snap.line(pe).is_some_and(|(s, _)| s.owns_latest()));
             match owner {
                 Some(pe) => {
                     let (_, data) = snap.line(pe).expect("owner holds the line");
@@ -228,25 +238,6 @@ impl SerialOracle {
             }
         }
         Ok(())
-    }
-}
-
-/// Small deterministic generator so the oracle needs no external RNG.
-#[derive(Debug)]
-struct Xorshift(u64);
-
-impl Xorshift {
-    fn new(seed: u64) -> Self {
-        Xorshift(if seed == 0 { 0x853c_49e6_748f_ea9b } else { seed })
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 }
 
@@ -293,7 +284,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = OracleError { step: 3, detail: "boom".into() };
+        let e = OracleError {
+            step: 3,
+            detail: "boom".into(),
+        };
         assert_eq!(e.to_string(), "oracle violation at step 3: boom");
     }
 }

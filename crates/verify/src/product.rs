@@ -29,11 +29,18 @@ struct PState {
 
 impl PState {
     fn initial(n: usize) -> Self {
-        PState { cells: vec![None; n], mem_latest: true, locked_by: None }
+        PState {
+            cells: vec![None; n],
+            mem_latest: true,
+            locked_by: None,
+        }
     }
 
     fn held_states(&self) -> Vec<LineState> {
-        self.cells.iter().filter_map(|c| c.map(|(s, _)| s)).collect()
+        self.cells
+            .iter()
+            .filter_map(|c| c.map(|(s, _)| s))
+            .collect()
     }
 }
 
@@ -125,8 +132,7 @@ impl ProductChecker {
     ///
     /// Panics if `n` is zero.
     pub fn new(kind: ProtocolKind, n: usize) -> Self {
-        let allow_intermediate =
-            !matches!(kind, ProtocolKind::Rb | ProtocolKind::RbNoBroadcast);
+        let allow_intermediate = !matches!(kind, ProtocolKind::Rb | ProtocolKind::RbNoBroadcast);
         Self::from_protocol(kind.build(), allow_intermediate, n)
     }
 
@@ -214,9 +220,9 @@ impl ProductChecker {
         // cache participates: a locked read bypasses the cache, so an
         // issuer holding the line Local flushes it first (mirroring
         // `decache-machine`).
-        if let Some(supplier) = (0..self.n).find(|&j| {
-            s.cells[j].is_some_and(|(st, _)| self.protocol.supplies_on_snoop_read(st))
-        }) {
+        if let Some(supplier) = (0..self.n)
+            .find(|&j| s.cells[j].is_some_and(|(st, _)| self.protocol.supplies_on_snoop_read(st)))
+        {
             let (st, latest) = s.cells[supplier].expect("supplier holds the line");
             s.mem_latest = latest;
             s.cells[supplier] = Some((self.protocol.after_supply(st), latest));
@@ -236,14 +242,22 @@ impl ProductChecker {
         }
         // The (retried) read returns the memory value and broadcasts it.
         let probe = Word::ZERO;
-        let event = if locked { SnoopEvent::LockedRead(probe) } else { SnoopEvent::Read(probe) };
+        let event = if locked {
+            SnoopEvent::LockedRead(probe)
+        } else {
+            SnoopEvent::Read(probe)
+        };
         for j in 0..self.n {
             if j == initiator {
                 continue;
             }
             if let Some((st, was_latest)) = s.cells[j] {
                 let out = self.protocol.snoop(st, event);
-                let now_latest = if out.capture { s.mem_latest } else { was_latest };
+                let now_latest = if out.capture {
+                    s.mem_latest
+                } else {
+                    was_latest
+                };
                 s.cells[j] = Some((out.next, now_latest));
             }
         }
@@ -254,8 +268,11 @@ impl ProductChecker {
     fn bus_write_effects(&self, s: &mut PState, initiator: usize, unlock: bool) {
         s.mem_latest = true;
         let probe = Word::ZERO;
-        let event =
-            if unlock { SnoopEvent::UnlockWrite(probe) } else { SnoopEvent::Write(probe) };
+        let event = if unlock {
+            SnoopEvent::UnlockWrite(probe)
+        } else {
+            SnoopEvent::Write(probe)
+        };
         for j in 0..self.n {
             if j == initiator {
                 continue;
@@ -335,13 +352,11 @@ impl ProductChecker {
                                         continue;
                                     }
                                     if let Some((st, _)) = next.cells[j] {
-                                        let out =
-                                            self.protocol.snoop(st, SnoopEvent::Invalidate);
+                                        let out = self.protocol.snoop(st, SnoopEvent::Invalidate);
                                         next.cells[j] = Some((out.next, false));
                                     }
                                 }
-                                let to =
-                                    self.protocol.own_complete(state_i, BusIntent::Invalidate);
+                                let to = self.protocol.own_complete(state_i, BusIntent::Invalidate);
                                 next.cells[i] = Some((to, true));
                             }
                             BusIntent::Read => unreachable!("write misses never read"),
@@ -473,7 +488,12 @@ impl ProductChecker {
 
         let mut configurations: Vec<Configuration> = configurations.into_iter().collect();
         configurations.sort_by_key(|c| format!("{c}"));
-        ProductReport { states: seen.len(), transitions, violations, configurations }
+        ProductReport {
+            states: seen.len(),
+            transitions,
+            violations,
+            configurations,
+        }
     }
 }
 
@@ -534,7 +554,9 @@ mod tests {
 
     #[test]
     fn no_evictions_matches_papers_simplified_lemma() {
-        let report = ProductChecker::new(ProtocolKind::Rb, 3).without_evictions().explore();
+        let report = ProductChecker::new(ProtocolKind::Rb, 3)
+            .without_evictions()
+            .explore();
         assert!(report.holds());
         // Without the NP state the machine is strictly smaller.
         let full = ProductChecker::new(ProtocolKind::Rb, 3).explore();

@@ -2,9 +2,7 @@
 //! must be *caught* by the product machine. A checker that passes
 //! everything proves nothing; these tests show each invariant has teeth.
 
-use decache_core::{
-    BusIntent, CpuOutcome, LineState, Protocol, ProtocolKind, Rb, SnoopEvent, SnoopOutcome,
-};
+use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, Rb, SnoopEvent, SnoopOutcome};
 use decache_verify::ProductChecker;
 use LineState::{Local, Readable};
 
@@ -137,8 +135,7 @@ fn healthy_rb_passes() {
 
 #[test]
 fn missing_invalidate_is_caught() {
-    let report =
-        ProductChecker::from_protocol(Box::new(NoInvalidateRb::new()), false, 3).explore();
+    let report = ProductChecker::from_protocol(Box::new(NoInvalidateRb::new()), false, 3).explore();
     assert!(!report.holds(), "the checker must catch the stale-copy bug");
     assert!(
         report.violations.iter().any(|v| v.contains("stale")),
@@ -149,9 +146,11 @@ fn missing_invalidate_is_caught() {
 
 #[test]
 fn missing_writeback_is_caught() {
-    let report =
-        ProductChecker::from_protocol(Box::new(NoWritebackRb::new()), false, 2).explore();
-    assert!(!report.holds(), "the checker must catch the lost-update bug");
+    let report = ProductChecker::from_protocol(Box::new(NoWritebackRb::new()), false, 2).explore();
+    assert!(
+        !report.holds(),
+        "the checker must catch the lost-update bug"
+    );
     // The latest value vanishes: no owner and stale memory.
     assert!(
         report.violations.iter().any(|v| v.contains("stale memory")),
@@ -163,16 +162,21 @@ fn missing_writeback_is_caught() {
 #[test]
 fn missing_supply_is_caught() {
     let report = ProductChecker::from_protocol(Box::new(NoSupplyRb::new()), false, 2).explore();
-    assert!(!report.holds(), "the checker must catch the stale-memory-read bug");
+    assert!(
+        !report.holds(),
+        "the checker must catch the stale-memory-read bug"
+    );
 }
 
 #[test]
 fn double_owner_is_caught_as_illegal_configuration() {
-    let report =
-        ProductChecker::from_protocol(Box::new(DoubleOwnerRb::new()), false, 2).explore();
+    let report = ProductChecker::from_protocol(Box::new(DoubleOwnerRb::new()), false, 2).explore();
     assert!(!report.holds());
     assert!(
-        report.violations.iter().any(|v| v.contains("illegal configuration")),
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("illegal configuration")),
         "violations: {:?}",
         report.violations
     );

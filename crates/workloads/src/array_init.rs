@@ -44,7 +44,12 @@ pub struct ArrayInit {
 impl ArrayInit {
     /// Creates an initializer writing each element of `array` once.
     pub fn new(array: AddrRange) -> Self {
-        ArrayInit { array, writes_per_element: 1, index: 0, writes_done: 0 }
+        ArrayInit {
+            array,
+            writes_per_element: 1,
+            index: 0,
+            writes_done: 0,
+        }
     }
 
     /// Writes each element `writes` times before moving on (exposes the
@@ -97,7 +102,9 @@ mod tests {
         let mut machine = MachineBuilder::new(kind)
             .memory_words(128)
             .cache_lines(16)
-            .processor(Box::new(ArrayInit::new(array).writes_per_element(writes_per_element)))
+            .processor(Box::new(
+                ArrayInit::new(array).writes_per_element(writes_per_element),
+            ))
             .build();
         machine.run_to_completion(100_000);
         machine

@@ -3,8 +3,7 @@
 use crate::{Reference, StackProfile, StackStream};
 use decache_cache::{AccessKind, CmStarCache, CmStarReport, RefClass};
 use decache_mem::Addr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use decache_rng::Rng;
 
 /// The cache sizes of Table 1-1 ("Cache Size (set size 1 word)").
 pub const CMSTAR_CACHE_SIZES: [usize; 4] = [256, 512, 1024, 2048];
@@ -100,7 +99,7 @@ impl CmStarApp {
 
     /// Generates `n` classified references.
     pub fn references(&self, n: usize) -> Vec<Reference> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::from_seed(self.seed);
         // Cachable reads (code + local data) live in one region with the
         // fitted locality; shared data in a disjoint region; local
         // writes go to a small private region (they miss regardless —
@@ -115,17 +114,17 @@ impl CmStarApp {
 
         (0..n)
             .map(|_| {
-                let u: f64 = rng.gen();
+                let u = rng.next_f64();
                 if u < self.shared_fraction {
                     // Shared read/write data: reads and writes 2:1.
-                    let kind = if rng.gen_range(0..3) < 2 {
+                    let kind = if rng.gen_range(0u64..3) < 2 {
                         AccessKind::Read
                     } else {
                         AccessKind::Write
                     };
                     Reference {
                         kind,
-                        addr: Addr::new(shared_base + rng.gen_range(0..512)),
+                        addr: Addr::new(shared_base + rng.gen_range(0u64..512)),
                         class: RefClass::Shared,
                     }
                 } else if u < self.shared_fraction + self.local_write_fraction {
@@ -136,15 +135,23 @@ impl CmStarApp {
                     // calibrated.
                     Reference {
                         kind: AccessKind::Write,
-                        addr: Addr::new(private_base + rng.gen_range(0..16)),
+                        addr: Addr::new(private_base + rng.gen_range(0u64..16)),
                         class: RefClass::Local,
                     }
                 } else {
                     // Cachable read; code vs local read split 3:1 (code
                     // dominates: "most references are to read-only
                     // data").
-                    let class = if rng.gen_range(0..4) < 3 { RefClass::Code } else { RefClass::Local };
-                    Reference { kind: AccessKind::Read, addr: cachable.next_addr(), class }
+                    let class = if rng.gen_range(0u64..4) < 3 {
+                        RefClass::Code
+                    } else {
+                        RefClass::Local
+                    };
+                    Reference {
+                        kind: AccessKind::Read,
+                        addr: cachable.next_addr(),
+                        class,
+                    }
                 }
             })
             .collect()
@@ -181,7 +188,10 @@ impl CmStarApp {
 
     /// Runs the full Table 1-1 column set for this application.
     pub fn run_table(&self, n: usize) -> Vec<CmStarReport> {
-        CMSTAR_CACHE_SIZES.iter().map(|&size| self.run(size, n)).collect()
+        CMSTAR_CACHE_SIZES
+            .iter()
+            .map(|&size| self.run(size, n))
+            .collect()
     }
 }
 

@@ -38,7 +38,13 @@ impl MatVecLayout {
         let matrix = base;
         let input = matrix.offset(rows * cols);
         let output = input.offset(cols);
-        MatVecLayout { rows, cols, matrix, input, output }
+        MatVecLayout {
+            rows,
+            cols,
+            matrix,
+            input,
+            output,
+        }
     }
 
     /// The address of element `M[row, col]`.
@@ -102,7 +108,6 @@ enum Phase {
 #[derive(Debug, Clone)]
 pub struct MatVec {
     layout: MatVecLayout,
-    worker: u64,
     workers: u64,
     row: u64,
     col: u64,
@@ -118,17 +123,23 @@ impl MatVec {
     ///
     /// Panics if `worker >= workers`.
     pub fn new(layout: MatVecLayout, worker: u64, workers: u64) -> Self {
-        assert!(worker < workers, "worker {worker} out of range for {workers} workers");
+        assert!(
+            worker < workers,
+            "worker {worker} out of range for {workers} workers"
+        );
         let row = worker;
         MatVec {
             layout,
-            worker,
             workers,
             row,
             col: 0,
             accumulator: 0,
             element: 0,
-            phase: if row < layout.rows { Phase::ReadElement } else { Phase::Finished },
+            phase: if row < layout.rows {
+                Phase::ReadElement
+            } else {
+                Phase::Finished
+            },
         }
     }
 
@@ -136,8 +147,11 @@ impl MatVec {
         self.row += self.workers;
         self.col = 0;
         self.accumulator = 0;
-        self.phase =
-            if self.row < self.layout.rows { Phase::ReadElement } else { Phase::Finished };
+        self.phase = if self.row < self.layout.rows {
+            Phase::ReadElement
+        } else {
+            Phase::Finished
+        };
     }
 }
 
@@ -171,8 +185,9 @@ impl Processor for MatVec {
                 let Some(OpResult::Read(x)) = last else {
                     unreachable!("input element read must return a value")
                 };
-                self.accumulator =
-                    self.accumulator.wrapping_add(self.element.wrapping_mul(x.value()));
+                self.accumulator = self
+                    .accumulator
+                    .wrapping_add(self.element.wrapping_mul(x.value()));
                 self.col += 1;
                 if self.col < self.layout.cols {
                     self.phase = Phase::ReadInput;
@@ -202,7 +217,12 @@ mod tests {
         values.iter().map(|&v| Word::new(v)).collect()
     }
 
-    fn run(kind: ProtocolKind, rows: u64, cols: u64, workers: u64) -> (MatVecLayout, Vec<u64>, decache_machine::Machine) {
+    fn run(
+        kind: ProtocolKind,
+        rows: u64,
+        cols: u64,
+        workers: u64,
+    ) -> (MatVecLayout, Vec<u64>, decache_machine::Machine) {
         let layout = MatVecLayout::new(Addr::new(0), rows, cols);
         let matrix: Vec<u64> = (0..rows * cols).map(|i| i % 7 + 1).collect();
         let input: Vec<u64> = (0..cols).map(|i| i + 1).collect();
@@ -271,7 +291,11 @@ mod tests {
         let layout = MatVecLayout::new(Addr::new(0), 2, 3);
         for r in 0..2u64 {
             assert_eq!(
-                machine.memory().peek(layout.output.offset(r)).unwrap().value(),
+                machine
+                    .memory()
+                    .peek(layout.output.offset(r))
+                    .unwrap()
+                    .value(),
                 expected[r as usize]
             );
         }
@@ -291,7 +315,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn worker_out_of_range_panics() {
         let layout = MatVecLayout::new(Addr::new(0), 2, 2);
-        let _ = MatVec::new(layout, 3, 3).worker;
-        let _ = MatVec::new(layout, 4, 3);
+        let _ = MatVec::new(layout, 3, 3);
     }
 }

@@ -3,8 +3,7 @@
 use decache_cache::RefClass;
 use decache_machine::{MemOp, OpResult, Poll, Processor};
 use decache_mem::{Addr, AddrRange, Word};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use decache_rng::Rng;
 
 /// The reference mix of a [`MixWorkload`], following the paper's traffic
 /// assumptions (Section 2): reads dominate writes, and local/read-only
@@ -60,7 +59,7 @@ pub struct MixWorkload {
     config: MixConfig,
     shared: AddrRange,
     private: AddrRange,
-    rng: StdRng,
+    rng: Rng,
     issued: u64,
     counter: u64,
 }
@@ -97,7 +96,7 @@ impl MixWorkload {
             config,
             shared,
             private,
-            rng: StdRng::seed_from_u64(0xD1CE ^ (seed << 32) ^ seed),
+            rng: Rng::from_seed(0xD1CE ^ (seed << 32) ^ seed),
             issued: 0,
             counter: 0,
         }
@@ -107,7 +106,7 @@ impl MixWorkload {
         // 80/20-style locality: most references hit a hot prefix.
         let len = region.len();
         let hot = hot.min(len);
-        if self.rng.gen::<f64>() < 0.8 {
+        if self.rng.next_f64() < 0.8 {
             region.nth(self.rng.gen_range(0..hot))
         } else {
             region.nth(self.rng.gen_range(0..len))
@@ -124,16 +123,16 @@ impl Processor for MixWorkload {
         self.counter += 1;
         let value = Word::new(self.counter << 8);
 
-        let op = if self.rng.gen::<f64>() < self.config.shared_fraction {
+        let op = if self.rng.next_f64() < self.config.shared_fraction {
             let addr = self.pick(self.shared, 16);
-            if self.rng.gen::<f64>() < self.config.shared_write_fraction {
+            if self.rng.next_f64() < self.config.shared_write_fraction {
                 MemOp::write(addr, value).with_class(RefClass::Shared)
             } else {
                 MemOp::read(addr).with_class(RefClass::Shared)
             }
         } else {
             let addr = self.pick(self.private, 64);
-            if self.rng.gen::<f64>() < self.config.local_write_fraction {
+            if self.rng.next_f64() < self.config.local_write_fraction {
                 MemOp::write(addr, value).with_class(RefClass::Local)
             } else {
                 MemOp::read(addr).with_class(RefClass::Local)
@@ -151,11 +150,16 @@ mod tests {
 
     fn run(kind: ProtocolKind, pes: usize) -> decache_machine::Machine {
         let shared = AddrRange::with_len(Addr::new(0), 64);
-        let config = MixConfig { ops_per_pe: 4_000, ..MixConfig::default() };
+        let config = MixConfig {
+            ops_per_pe: 4_000,
+            ..MixConfig::default()
+        };
         let mut machine = MachineBuilder::new(kind)
             .memory_words(16384)
             .cache_lines(512)
-            .processors(pes, |pe| Box::new(MixWorkload::new(config, shared, pe as u64)))
+            .processors(pes, |pe| {
+                Box::new(MixWorkload::new(config, shared, pe as u64))
+            })
             .build();
         machine.run_to_completion(10_000_000);
         machine
@@ -165,7 +169,11 @@ mod tests {
     fn completes_for_all_protocols() {
         for kind in ProtocolKind::ALL {
             let machine = run(kind, 4);
-            assert_eq!(machine.total_cache_stats().total_references(), 16_000, "{kind}");
+            assert_eq!(
+                machine.total_cache_stats().total_references(),
+                16_000,
+                "{kind}"
+            );
         }
     }
 
@@ -175,15 +183,16 @@ mod tests {
         // for private data; with 7% shared traffic the overall ratio
         // stays well above write-through's.
         let rb = run(ProtocolKind::Rb, 4).total_cache_stats().hit_ratio();
-        let wt = run(ProtocolKind::WriteThrough, 4).total_cache_stats().hit_ratio();
+        let wt = run(ProtocolKind::WriteThrough, 4)
+            .total_cache_stats()
+            .hit_ratio();
         assert!(rb > 0.84, "RB hit ratio {rb:.3}");
         assert!(rb > wt, "RB {rb:.3} should beat write-through {wt:.3}");
     }
 
     #[test]
     fn dynamic_classification_beats_baselines_on_bus_traffic() {
-        let traffic =
-            |kind| run(kind, 4).traffic().total_transactions();
+        let traffic = |kind| run(kind, 4).traffic().total_transactions();
         let rb = traffic(ProtocolKind::Rb);
         let rwb = traffic(ProtocolKind::Rwb);
         let wt = traffic(ProtocolKind::WriteThrough);
@@ -202,8 +211,16 @@ mod tests {
 
     #[test]
     fn private_regions_do_not_overlap() {
-        let w0 = MixWorkload::new(MixConfig::default(), AddrRange::with_len(Addr::new(0), 8), 0);
-        let w1 = MixWorkload::new(MixConfig::default(), AddrRange::with_len(Addr::new(0), 8), 1);
+        let w0 = MixWorkload::new(
+            MixConfig::default(),
+            AddrRange::with_len(Addr::new(0), 8),
+            0,
+        );
+        let w1 = MixWorkload::new(
+            MixConfig::default(),
+            AddrRange::with_len(Addr::new(0), 8),
+            1,
+        );
         assert!(w0.private.end() <= w1.private.start());
     }
 }

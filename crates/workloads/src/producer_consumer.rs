@@ -48,7 +48,11 @@ impl ProducerConsumer {
     pub fn new(buffer: AddrRange, flag: decache_mem::Addr, rounds: u64) -> Self {
         assert!(!buffer.contains(flag), "the flag must not alias the buffer");
         assert!(!buffer.is_empty(), "the buffer must be non-empty");
-        ProducerConsumer { buffer, flag, rounds }
+        ProducerConsumer {
+            buffer,
+            flag,
+            rounds,
+        }
     }
 
     /// Builds the producer program.
@@ -130,7 +134,14 @@ impl Processor for Consumer {
             ConsumerState::AwaitFlag => {
                 if let Some(OpResult::Read(v)) = last {
                     if v.value() > self.round {
-                        // New round published: consume the buffer.
+                        // New round published. The producer may have
+                        // published several rounds since our last look;
+                        // those buffers are already overwritten, so count
+                        // the skipped rounds as consumed and read the
+                        // latest contents (the one extra decrement
+                        // happens when the read pass completes).
+                        let skipped = v.value() - self.round - 1;
+                        self.rounds_left = self.rounds_left.saturating_sub(skipped).max(1);
                         self.round = v.value();
                         self.state = ConsumerState::Reading;
                         self.index = 0;
@@ -168,7 +179,10 @@ mod tests {
     fn run(kind: ProtocolKind, consumers: usize, rounds: u64) -> decache_machine::Machine {
         let pc = ProducerConsumer::new(AddrRange::with_len(Addr::new(8), 8), Addr::new(0), rounds);
         let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(32).processor(pc.producer());
+        builder
+            .memory_words(64)
+            .cache_lines(32)
+            .processor(pc.producer());
         for _ in 0..consumers {
             builder.processor(pc.consumer());
         }
@@ -182,7 +196,11 @@ mod tests {
         for kind in ProtocolKind::ALL {
             let machine = run(kind, 2, 2);
             // The flag reached the final round.
-            assert_eq!(machine.memory().peek(Addr::new(0)).unwrap(), Word::new(2), "{kind}");
+            assert_eq!(
+                machine.memory().peek(Addr::new(0)).unwrap(),
+                Word::new(2),
+                "{kind}"
+            );
         }
     }
 
@@ -193,9 +211,7 @@ mod tests {
         // consumers must refetch after each invalidation.
         let rb = run(ProtocolKind::Rb, 2, 4);
         let rwb = run(ProtocolKind::Rwb, 2, 4);
-        let reads = |m: &decache_machine::Machine| {
-            m.traffic().count(decache_bus::BusOpKind::Read)
-        };
+        let reads = |m: &decache_machine::Machine| m.traffic().count(decache_bus::BusOpKind::Read);
         assert!(
             reads(&rwb) < reads(&rb),
             "RWB bus reads {} should be fewer than RB {}",
@@ -209,9 +225,7 @@ mod tests {
         // Without the read broadcast, every consumer fetches separately.
         let rb = run(ProtocolKind::Rb, 3, 3);
         let wo = run(ProtocolKind::WriteOnce, 3, 3);
-        let reads = |m: &decache_machine::Machine| {
-            m.traffic().count(decache_bus::BusOpKind::Read)
-        };
+        let reads = |m: &decache_machine::Machine| m.traffic().count(decache_bus::BusOpKind::Read);
         assert!(
             reads(&wo) > reads(&rb),
             "write-once reads {} should exceed RB {}",

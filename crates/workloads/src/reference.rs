@@ -2,8 +2,7 @@
 
 use decache_cache::{AccessKind, RefClass};
 use decache_mem::Addr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use decache_rng::Rng;
 
 /// One classified memory reference of a flat stream (no data values:
 /// these streams feed miss-ratio emulation, not the full machine).
@@ -55,7 +54,10 @@ impl StackProfile {
     /// Panics if the points are empty, not strictly ascending in size,
     /// not non-increasing in miss ratio, or have ratios outside `[0,1]`.
     pub fn new(points: Vec<(u64, f64)>) -> Self {
-        assert!(!points.is_empty(), "a stack profile needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "a stack profile needs at least one point"
+        );
         for window in points.windows(2) {
             assert!(
                 window[0].0 < window[1].0,
@@ -75,7 +77,10 @@ impl StackProfile {
     /// The target miss ratio at exactly `size`, if `size` is a profile
     /// point.
     pub fn miss_target(&self, size: u64) -> Option<f64> {
-        self.points.iter().find(|(s, _)| *s == size).map(|(_, m)| *m)
+        self.points
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, m)| *m)
     }
 
     /// The profile's `(size, miss ratio)` points.
@@ -86,8 +91,8 @@ impl StackProfile {
     /// Samples a reuse distance: with the bucket probabilities implied by
     /// the profile, uniform within each bucket; `None` means "beyond the
     /// largest size" (a cold/capacity miss at every profiled size).
-    fn sample_distance(&self, rng: &mut StdRng) -> Option<u64> {
-        let u: f64 = rng.gen();
+    fn sample_distance(&self, rng: &mut Rng) -> Option<u64> {
+        let u = rng.next_f64();
         // P(distance <= smallest size) = 1 - miss(smallest).
         let mut cumulative = 1.0 - self.points[0].1;
         if u < cumulative {
@@ -116,20 +121,24 @@ pub struct StackStream {
     region_base: u64,
     stack: Vec<u64>, // most recent first
     next_fresh: u64,
-    rng: StdRng,
+    rng: Rng,
     max_stack: usize,
 }
 
 impl StackStream {
     /// Creates a stream over addresses starting at `region_base`.
     pub fn new(profile: StackProfile, region_base: Addr, seed: u64) -> Self {
-        let max_stack = profile.points.last().map(|(s, _)| *s as usize * 4).unwrap_or(8192);
+        let max_stack = profile
+            .points
+            .last()
+            .map(|(s, _)| *s as usize * 4)
+            .unwrap_or(8192);
         StackStream {
             profile,
             region_base: region_base.index(),
             stack: Vec::new(),
             next_fresh: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::from_seed(seed),
             max_stack,
         }
     }

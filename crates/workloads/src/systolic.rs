@@ -77,7 +77,10 @@ impl SystolicStage {
     /// Panics if `stage >= stages` or `stages == 0`.
     pub fn new(cells_base: Addr, stage: usize, stages: usize, rounds: u64) -> Self {
         assert!(stages > 0, "a ring needs at least one stage");
-        assert!(stage < stages, "stage {stage} out of range for {stages} stages");
+        assert!(
+            stage < stages,
+            "stage {stage} out of range for {stages} stages"
+        );
         let input = cells_base.offset(((stage + stages - 1) % stages) as u64);
         let output = cells_base.offset(stage as u64);
         SystolicStage {
@@ -86,7 +89,11 @@ impl SystolicStage {
             stage,
             rounds_left: rounds,
             round: 0,
-            phase: if rounds == 0 { Phase::Finished } else { Phase::start(stage) },
+            phase: if rounds == 0 {
+                Phase::Finished
+            } else {
+                Phase::start(stage)
+            },
             forwarded: 0,
         }
     }
@@ -170,7 +177,9 @@ mod tests {
         let mut machine = MachineBuilder::new(kind)
             .memory_words(64)
             .cache_lines(32)
-            .processors(stages, |pe| Box::new(SystolicStage::new(base, pe, stages, rounds)))
+            .processors(stages, |pe| {
+                Box::new(SystolicStage::new(base, pe, stages, rounds))
+            })
             .build();
         machine.run_to_completion(10_000_000);
         machine
@@ -235,7 +244,10 @@ mod tests {
         let machine = run(ProtocolKind::Rwb, 4, 4);
         let refs = machine.total_cache_stats().total_references();
         let bus = machine.traffic().total_transactions();
-        assert!(bus < refs, "spins must be cache-local: {bus} bus tx for {refs} refs");
+        assert!(
+            bus < refs,
+            "spins must be cache-local: {bus} bus tx for {refs} refs"
+        );
     }
 
     #[test]

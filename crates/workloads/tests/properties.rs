@@ -1,122 +1,125 @@
-//! Property-based tests for the workload generators running on real
+//! Seeded randomized tests for the workload generators running on real
 //! machines.
 
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
 use decache_mem::{Addr, AddrRange, Word};
+use decache_rng::testing::check;
 use decache_workloads::{ArrayInit, MatVec, MatVecLayout, ProducerConsumer};
-use proptest::prelude::*;
 
-fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Rb),
-        Just(ProtocolKind::Rwb),
-        Just(ProtocolKind::WriteOnce),
-        Just(ProtocolKind::WriteThrough),
-    ]
-}
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Rb,
+    ProtocolKind::Rwb,
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Matrix–vector products are arithmetically correct on random
-    /// matrices under every protocol and worker count.
-    #[test]
-    fn matvec_is_correct_on_random_inputs(
-        kind in protocol_strategy(),
-        rows in 1u64..8,
-        cols in 1u64..8,
-        workers in 1u64..5,
-        seed in any::<u64>(),
-    ) {
+/// Matrix–vector products are arithmetically correct on random matrices
+/// under every protocol and worker count.
+#[test]
+fn matvec_is_correct_on_random_inputs() {
+    check("matvec_is_correct_on_random_inputs", 6, |rng| {
+        let rows = rng.gen_range(1u64..8);
+        let cols = rng.gen_range(1u64..8);
+        let workers = rng.gen_range(1u64..5);
         let layout = MatVecLayout::new(Addr::new(0), rows, cols);
-        // Small deterministic pseudo-random inputs.
-        let matrix: Vec<u64> =
-            (0..rows * cols).map(|i| (seed.wrapping_mul(i + 1) >> 32) % 50).collect();
-        let input: Vec<u64> = (0..cols).map(|i| (seed.wrapping_add(i) >> 16) % 50).collect();
+        let matrix: Vec<u64> = (0..rows * cols).map(|_| rng.gen_range(0u64..50)).collect();
+        let input: Vec<u64> = (0..cols).map(|_| rng.gen_range(0u64..50)).collect();
         let expected = layout.expected(&matrix, &input);
 
-        let mut builder = MachineBuilder::new(kind);
-        builder
-            .memory_words(layout.footprint().len().next_power_of_two().max(64))
-            .cache_lines(32)
-            .initialize_memory(
-                layout.matrix,
-                &matrix.iter().map(|&v| Word::new(v)).collect::<Vec<_>>(),
-            )
-            .initialize_memory(
-                layout.input,
-                &input.iter().map(|&v| Word::new(v)).collect::<Vec<_>>(),
+        for kind in PROTOCOLS {
+            let mut builder = MachineBuilder::new(kind);
+            builder
+                .memory_words(layout.footprint().len().next_power_of_two().max(64))
+                .cache_lines(32)
+                .initialize_memory(
+                    layout.matrix,
+                    &matrix.iter().map(|&v| Word::new(v)).collect::<Vec<_>>(),
+                )
+                .initialize_memory(
+                    layout.input,
+                    &input.iter().map(|&v| Word::new(v)).collect::<Vec<_>>(),
+                );
+            builder.processors(workers as usize, |pe| {
+                Box::new(MatVec::new(layout, pe as u64, workers))
+            });
+            let mut machine = builder.build();
+            assert!(machine.run(10_000_000), "{kind} did not finish");
+
+            for r in 0..rows {
+                let addr = layout.output.offset(r);
+                let snap = machine.snapshot(addr);
+                let latest = (0..workers as usize)
+                    .find_map(|pe| {
+                        machine
+                            .cache_line(pe, addr)
+                            .filter(|(s, _)| s.owns_latest())
+                            .map(|(_, d)| d)
+                    })
+                    .unwrap_or(snap.memory());
+                assert_eq!(latest.value(), expected[r as usize], "{kind} row {r}");
+            }
+        }
+    });
+}
+
+/// Array initialization leaves every element's latest value equal to
+/// its index, for any array/cache size combination.
+#[test]
+fn array_init_writes_every_element() {
+    check("array_init_writes_every_element", 8, |rng| {
+        let len = rng.gen_range(1u64..96);
+        let cache_log2 = rng.gen_range(2u32..6);
+        for kind in PROTOCOLS {
+            let array = AddrRange::with_len(Addr::new(0), len);
+            let mut machine = MachineBuilder::new(kind)
+                .memory_words(len.next_power_of_two().max(64))
+                .cache_lines(1 << cache_log2)
+                .processor(Box::new(ArrayInit::new(array)))
+                .build();
+            assert!(machine.run(1_000_000));
+            for i in 0..len {
+                let addr = Addr::new(i);
+                let snap = machine.snapshot(addr);
+                let latest = machine
+                    .cache_line(0, addr)
+                    .filter(|(s, _)| s.owns_latest())
+                    .map(|(_, d)| d)
+                    .unwrap_or(snap.memory());
+                assert_eq!(latest, Word::new(i), "{kind} element {i}");
+            }
+        }
+    });
+}
+
+/// Producer/consumer always drains: the flag reaches the final round
+/// and every consumer read a value the producer actually wrote.
+#[test]
+fn producer_consumer_always_drains() {
+    check("producer_consumer_always_drains", 8, |rng| {
+        let consumers = rng.gen_range(1usize..5);
+        let rounds = rng.gen_range(1u64..5);
+        let buffer_len = rng.gen_range(1u64..12);
+        for kind in PROTOCOLS {
+            let pc = ProducerConsumer::new(
+                AddrRange::with_len(Addr::new(8), buffer_len),
+                Addr::new(0),
+                rounds,
             );
-        builder.processors(workers as usize, |pe| {
-            Box::new(MatVec::new(layout, pe as u64, workers))
-        });
-        let mut machine = builder.build();
-        prop_assert!(machine.run(10_000_000), "{kind} did not finish");
-
-        for r in 0..rows {
-            let addr = layout.output.offset(r);
-            let snap = machine.snapshot(addr);
-            let latest = (0..workers as usize)
-                .find_map(|pe| {
-                    machine
-                        .cache_line(pe, addr)
-                        .filter(|(s, _)| s.owns_latest())
-                        .map(|(_, d)| d)
-                })
-                .unwrap_or(snap.memory());
-            prop_assert_eq!(latest.value(), expected[r as usize], "{} row {}", kind, r);
+            let mut builder = MachineBuilder::new(kind);
+            builder
+                .memory_words(64)
+                .cache_lines(32)
+                .processor(pc.producer());
+            for _ in 0..consumers {
+                builder.processor(pc.consumer());
+            }
+            let mut machine = builder.build();
+            assert!(machine.run(10_000_000), "{kind} stuck");
+            assert_eq!(
+                machine.memory().peek(Addr::new(0)).unwrap(),
+                Word::new(rounds)
+            );
         }
-    }
-
-    /// Array initialization leaves every element's latest value equal to
-    /// its index, for any array/cache size combination.
-    #[test]
-    fn array_init_writes_every_element(
-        kind in protocol_strategy(),
-        len in 1u64..96,
-        cache_log2 in 2u32..6,
-    ) {
-        let array = AddrRange::with_len(Addr::new(0), len);
-        let mut machine = MachineBuilder::new(kind)
-            .memory_words(len.next_power_of_two().max(64))
-            .cache_lines(1 << cache_log2)
-            .processor(Box::new(ArrayInit::new(array)))
-            .build();
-        prop_assert!(machine.run(1_000_000));
-        for i in 0..len {
-            let addr = Addr::new(i);
-            let snap = machine.snapshot(addr);
-            let latest = machine
-                .cache_line(0, addr)
-                .filter(|(s, _)| s.owns_latest())
-                .map(|(_, d)| d)
-                .unwrap_or(snap.memory());
-            prop_assert_eq!(latest, Word::new(i), "{} element {}", kind, i);
-        }
-    }
-
-    /// Producer/consumer always drains: the flag reaches the final round
-    /// and every consumer read a value the producer actually wrote.
-    #[test]
-    fn producer_consumer_always_drains(
-        kind in protocol_strategy(),
-        consumers in 1usize..5,
-        rounds in 1u64..5,
-        buffer_len in 1u64..12,
-    ) {
-        let pc = ProducerConsumer::new(
-            AddrRange::with_len(Addr::new(8), buffer_len),
-            Addr::new(0),
-            rounds,
-        );
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(32).processor(pc.producer());
-        for _ in 0..consumers {
-            builder.processor(pc.consumer());
-        }
-        let mut machine = builder.build();
-        prop_assert!(machine.run(10_000_000), "{kind} stuck");
-        prop_assert_eq!(machine.memory().peek(Addr::new(0)).unwrap(), Word::new(rounds));
-    }
+    });
 }

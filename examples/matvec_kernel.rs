@@ -19,13 +19,7 @@ fn main() {
     let input: Vec<u64> = (0..cols).map(|i| i + 1).collect();
     let expected = layout.expected(&matrix, &input);
 
-    let mut table = TextTable::new(vec![
-        "protocol",
-        "cycles",
-        "bus tx",
-        "hit ratio",
-        "result",
-    ]);
+    let mut table = TextTable::new(vec!["protocol", "cycles", "bus tx", "hit ratio", "result"]);
     for kind in ProtocolKind::ALL {
         let mut builder = MachineBuilder::new(kind);
         builder
@@ -64,7 +58,11 @@ fn main() {
             cycles.to_string(),
             machine.traffic().total_transactions().to_string(),
             format!("{:.1}%", machine.total_cache_stats().hit_ratio() * 100.0),
-            if correct { "correct".to_owned() } else { "WRONG".to_owned() },
+            if correct {
+                "correct".to_owned()
+            } else {
+                "WRONG".to_owned()
+            },
         ]);
     }
 

@@ -29,7 +29,10 @@ fn main() {
 
         // A cosmic ray hits the memory array.
         machine.corrupt_memory(x, Word::new(0xDEAD));
-        println!("  memory corrupted to {}", machine.memory().peek(x).unwrap());
+        println!(
+            "  memory corrupted to {}",
+            machine.memory().peek(x).unwrap()
+        );
 
         match machine.recover_memory(x) {
             Ok(recovered) => println!("  recovered {recovered} from the caches"),

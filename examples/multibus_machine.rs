@@ -19,7 +19,9 @@ fn main() {
     println!();
 
     // Then the simulation: 16 processors on 1, 2, and 4 buses.
-    let rows = MultibusExperiment::new(16).protocol(ProtocolKind::Rwb).run();
+    let rows = MultibusExperiment::new(16)
+        .protocol(ProtocolKind::Rwb)
+        .run();
     println!("simulated (16 PEs, RWB, LSB-interleaved banks):");
     println!("{}", MultibusExperiment::render(&rows));
     println!("per-bus shares:");

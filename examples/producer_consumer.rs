@@ -27,7 +27,10 @@ fn main() {
     for kind in ProtocolKind::ALL {
         let pc = ProducerConsumer::new(buffer, flag, 5);
         let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(32).processor(pc.producer());
+        builder
+            .memory_words(64)
+            .cache_lines(32)
+            .processor(pc.producer());
         for _ in 0..4 {
             builder.processor(pc.consumer());
         }

@@ -23,7 +23,10 @@ fn main() {
 
     let cycles = machine.run_to_completion(10_000);
 
-    println!("ran {cycles} bus cycles under {}", machine.protocol().name());
+    println!(
+        "ran {cycles} bus cycles under {}",
+        machine.protocol().name()
+    );
     println!("memory[flag] = {}", machine.memory().peek(flag).unwrap());
     println!("per-address snapshot: {}", machine.snapshot(flag));
     println!("bus traffic: {}", machine.traffic());

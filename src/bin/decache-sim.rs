@@ -55,7 +55,9 @@ fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
         "write-through" => Ok(ProtocolKind::WriteThrough),
         other => {
             if let Some(k) = other.strip_prefix("rwb:") {
-                let k: u8 = k.parse().map_err(|_| format!("bad rwb threshold: {other}"))?;
+                let k: u8 = k
+                    .parse()
+                    .map_err(|_| format!("bad rwb threshold: {other}"))?;
                 Ok(ProtocolKind::RwbThreshold(k))
             } else {
                 Err(format!("unknown protocol: {other}"))
@@ -85,24 +87,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--pes" => {
-                options.pes =
-                    value()?.parse().map_err(|e| format!("bad --pes: {e}"))?;
+                options.pes = value()?.parse().map_err(|e| format!("bad --pes: {e}"))?;
             }
             "--buses" => {
-                options.buses =
-                    value()?.parse().map_err(|e| format!("bad --buses: {e}"))?;
+                options.buses = value()?.parse().map_err(|e| format!("bad --buses: {e}"))?;
             }
             "--ops" => {
                 options.ops = value()?.parse().map_err(|e| format!("bad --ops: {e}"))?;
             }
             "--cache-lines" => {
-                options.cache_lines =
-                    value()?.parse().map_err(|e| format!("bad --cache-lines: {e}"))?;
+                options.cache_lines = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-lines: {e}"))?;
             }
             "--help" | "-h" => {
-                return Err("usage: decache-sim [--protocol P] [--workload W] [--pes N] \
+                return Err(
+                    "usage: decache-sim [--protocol P] [--workload W] [--pes N] \
                             [--buses B] [--ops N] [--cache-lines N]"
-                    .to_owned())
+                        .to_owned(),
+                )
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -132,7 +135,10 @@ fn main() -> ExitCode {
     match options.workload {
         Workload::Mix => {
             let shared = AddrRange::with_len(Addr::new(0), 64);
-            let config = MixConfig { ops_per_pe: options.ops, ..MixConfig::default() };
+            let config = MixConfig {
+                ops_per_pe: options.ops,
+                ..MixConfig::default()
+            };
             builder.processors(options.pes, |pe| {
                 Box::new(MixWorkload::new(config, shared, pe as u64))
             });
@@ -199,8 +205,18 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let o = parse_args(&args(&[
-            "--protocol", "rb", "--workload", "lock", "--pes", "4", "--buses", "2", "--ops",
-            "100", "--cache-lines", "64",
+            "--protocol",
+            "rb",
+            "--workload",
+            "lock",
+            "--pes",
+            "4",
+            "--buses",
+            "2",
+            "--ops",
+            "100",
+            "--cache-lines",
+            "64",
         ]))
         .unwrap();
         assert_eq!(o.protocol, ProtocolKind::Rb);
@@ -213,9 +229,18 @@ mod tests {
 
     #[test]
     fn protocol_spellings() {
-        assert_eq!(parse_protocol("rb-nb").unwrap(), ProtocolKind::RbNoBroadcast);
-        assert_eq!(parse_protocol("rwb:3").unwrap(), ProtocolKind::RwbThreshold(3));
-        assert_eq!(parse_protocol("write-once").unwrap(), ProtocolKind::WriteOnce);
+        assert_eq!(
+            parse_protocol("rb-nb").unwrap(),
+            ProtocolKind::RbNoBroadcast
+        );
+        assert_eq!(
+            parse_protocol("rwb:3").unwrap(),
+            ProtocolKind::RwbThreshold(3)
+        );
+        assert_eq!(
+            parse_protocol("write-once").unwrap(),
+            ProtocolKind::WriteOnce
+        );
         assert!(parse_protocol("mesi").is_err());
         assert!(parse_protocol("rwb:x").is_err());
     }

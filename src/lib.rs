@@ -32,6 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Deterministic dependency-free randomness: SplitMix64 seeding,
+/// xoshiro256** streams, and the seeded randomized-test harness.
+pub mod rng {
+    pub use decache_rng::*;
+}
+
 /// Memory substrate: words, addresses, main memory, interleaved banks.
 pub mod mem {
     pub use decache_mem::*;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_arbiter-c49ed23868cc7418.d: crates/bench/src/bin/ablation_arbiter.rs
+
+/root/repo/target/debug/deps/ablation_arbiter-c49ed23868cc7418: crates/bench/src/bin/ablation_arbiter.rs
+
+crates/bench/src/bin/ablation_arbiter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_arbiter-ce07ae7628afbc28.d: crates/bench/src/bin/ablation_arbiter.rs
+
+/root/repo/target/debug/deps/ablation_arbiter-ce07ae7628afbc28: crates/bench/src/bin/ablation_arbiter.rs
+
+crates/bench/src/bin/ablation_arbiter.rs:

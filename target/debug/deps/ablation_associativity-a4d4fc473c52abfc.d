@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_associativity-a4d4fc473c52abfc.d: crates/bench/src/bin/ablation_associativity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_associativity-a4d4fc473c52abfc.rmeta: crates/bench/src/bin/ablation_associativity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_associativity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

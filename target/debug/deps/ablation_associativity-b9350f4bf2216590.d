@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_associativity-b9350f4bf2216590.d: crates/bench/src/bin/ablation_associativity.rs
+
+/root/repo/target/debug/deps/ablation_associativity-b9350f4bf2216590: crates/bench/src/bin/ablation_associativity.rs
+
+crates/bench/src/bin/ablation_associativity.rs:

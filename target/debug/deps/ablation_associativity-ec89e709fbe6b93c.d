@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_associativity-ec89e709fbe6b93c.d: crates/bench/src/bin/ablation_associativity.rs
+
+/root/repo/target/debug/deps/ablation_associativity-ec89e709fbe6b93c: crates/bench/src/bin/ablation_associativity.rs
+
+crates/bench/src/bin/ablation_associativity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_broadcast-240464b101931f4c.d: crates/bench/src/bin/ablation_broadcast.rs
+
+/root/repo/target/debug/deps/ablation_broadcast-240464b101931f4c: crates/bench/src/bin/ablation_broadcast.rs
+
+crates/bench/src/bin/ablation_broadcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_broadcast-4f02bd2df44ab487.d: crates/bench/src/bin/ablation_broadcast.rs
+
+/root/repo/target/debug/deps/ablation_broadcast-4f02bd2df44ab487: crates/bench/src/bin/ablation_broadcast.rs
+
+crates/bench/src/bin/ablation_broadcast.rs:

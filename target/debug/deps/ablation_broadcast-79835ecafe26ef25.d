@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_broadcast-79835ecafe26ef25.d: crates/bench/src/bin/ablation_broadcast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_broadcast-79835ecafe26ef25.rmeta: crates/bench/src/bin/ablation_broadcast.rs Cargo.toml
+
+crates/bench/src/bin/ablation_broadcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

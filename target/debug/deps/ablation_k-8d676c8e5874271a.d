@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_k-8d676c8e5874271a.d: crates/bench/src/bin/ablation_k.rs
+
+/root/repo/target/debug/deps/ablation_k-8d676c8e5874271a: crates/bench/src/bin/ablation_k.rs
+
+crates/bench/src/bin/ablation_k.rs:

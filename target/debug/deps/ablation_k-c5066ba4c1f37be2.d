@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_k-c5066ba4c1f37be2.d: crates/bench/src/bin/ablation_k.rs
+
+/root/repo/target/debug/deps/ablation_k-c5066ba4c1f37be2: crates/bench/src/bin/ablation_k.rs
+
+crates/bench/src/bin/ablation_k.rs:

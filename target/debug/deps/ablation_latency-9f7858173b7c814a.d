@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_latency-9f7858173b7c814a.d: crates/bench/src/bin/ablation_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_latency-9f7858173b7c814a.rmeta: crates/bench/src/bin/ablation_latency.rs Cargo.toml
+
+crates/bench/src/bin/ablation_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

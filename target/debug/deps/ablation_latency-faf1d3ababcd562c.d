@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_latency-faf1d3ababcd562c.d: crates/bench/src/bin/ablation_latency.rs
+
+/root/repo/target/debug/deps/ablation_latency-faf1d3ababcd562c: crates/bench/src/bin/ablation_latency.rs
+
+crates/bench/src/bin/ablation_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_latency-fdbc64f40b8d905c.d: crates/bench/src/bin/ablation_latency.rs
+
+/root/repo/target/debug/deps/ablation_latency-fdbc64f40b8d905c: crates/bench/src/bin/ablation_latency.rs
+
+crates/bench/src/bin/ablation_latency.rs:

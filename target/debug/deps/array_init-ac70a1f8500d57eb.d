@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array_init-ac70a1f8500d57eb.d: crates/bench/src/bin/array_init.rs
+
+/root/repo/target/debug/deps/array_init-ac70a1f8500d57eb: crates/bench/src/bin/array_init.rs
+
+crates/bench/src/bin/array_init.rs:

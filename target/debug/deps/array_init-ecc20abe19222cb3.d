@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array_init-ecc20abe19222cb3.d: crates/bench/src/bin/array_init.rs
+
+/root/repo/target/debug/deps/array_init-ecc20abe19222cb3: crates/bench/src/bin/array_init.rs
+
+crates/bench/src/bin/array_init.rs:

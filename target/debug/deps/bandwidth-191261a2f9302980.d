@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth-191261a2f9302980.d: crates/bench/src/bin/bandwidth.rs
+
+/root/repo/target/debug/deps/bandwidth-191261a2f9302980: crates/bench/src/bin/bandwidth.rs
+
+crates/bench/src/bin/bandwidth.rs:

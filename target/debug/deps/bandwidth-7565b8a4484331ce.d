@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth-7565b8a4484331ce.d: crates/bench/src/bin/bandwidth.rs
+
+/root/repo/target/debug/deps/bandwidth-7565b8a4484331ce: crates/bench/src/bin/bandwidth.rs
+
+crates/bench/src/bin/bandwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth-99c687888e1c72ec.d: crates/bench/src/bin/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth-99c687888e1c72ec.rmeta: crates/bench/src/bin/bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/barrier_phases-039cabb4cf921baf.d: crates/bench/src/bin/barrier_phases.rs
+
+/root/repo/target/debug/deps/barrier_phases-039cabb4cf921baf: crates/bench/src/bin/barrier_phases.rs
+
+crates/bench/src/bin/barrier_phases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/barrier_phases-6ac8f28d13405a25.d: crates/bench/src/bin/barrier_phases.rs
+
+/root/repo/target/debug/deps/barrier_phases-6ac8f28d13405a25: crates/bench/src/bin/barrier_phases.rs
+
+crates/bench/src/bin/barrier_phases.rs:

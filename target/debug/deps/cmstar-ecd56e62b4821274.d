@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cmstar-ecd56e62b4821274.d: crates/bench/benches/cmstar.rs
+
+/root/repo/target/debug/deps/cmstar-ecd56e62b4821274: crates/bench/benches/cmstar.rs
+
+crates/bench/benches/cmstar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence-b7029661de0100df.d: crates/machine/tests/coherence.rs
+
+/root/repo/target/debug/deps/coherence-b7029661de0100df: crates/machine/tests/coherence.rs
+
+crates/machine/tests/coherence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-fff704194e4d010e.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-fff704194e4d010e: tests/consistency.rs
+
+tests/consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cyclic_sharing-408b34c5e13f4b21.d: crates/bench/src/bin/cyclic_sharing.rs
+
+/root/repo/target/debug/deps/cyclic_sharing-408b34c5e13f4b21: crates/bench/src/bin/cyclic_sharing.rs
+
+crates/bench/src/bin/cyclic_sharing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cyclic_sharing-96ef6e1c9bfe71b9.d: crates/bench/src/bin/cyclic_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclic_sharing-96ef6e1c9bfe71b9.rmeta: crates/bench/src/bin/cyclic_sharing.rs Cargo.toml
+
+crates/bench/src/bin/cyclic_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cyclic_sharing-d406bc4ddc5766c7.d: crates/bench/src/bin/cyclic_sharing.rs
+
+/root/repo/target/debug/deps/cyclic_sharing-d406bc4ddc5766c7: crates/bench/src/bin/cyclic_sharing.rs
+
+crates/bench/src/bin/cyclic_sharing.rs:

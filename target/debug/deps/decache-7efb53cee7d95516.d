@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decache-7efb53cee7d95516.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdecache-7efb53cee7d95516.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdecache-7efb53cee7d95516.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decache-d8f119ab59ee48e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/decache-d8f119ab59ee48e6: src/lib.rs
+
+src/lib.rs:

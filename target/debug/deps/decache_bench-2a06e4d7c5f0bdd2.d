@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decache_bench-2a06e4d7c5f0bdd2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/decache_bench-2a06e4d7c5f0bdd2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

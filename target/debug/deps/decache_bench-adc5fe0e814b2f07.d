@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decache_bench-adc5fe0e814b2f07.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdecache_bench-adc5fe0e814b2f07.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdecache_bench-adc5fe0e814b2f07.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

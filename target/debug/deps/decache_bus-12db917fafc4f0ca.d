@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/decache_bus-12db917fafc4f0ca.d: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+/root/repo/target/debug/deps/libdecache_bus-12db917fafc4f0ca.rlib: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+/root/repo/target/debug/deps/libdecache_bus-12db917fafc4f0ca.rmeta: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+crates/bus/src/lib.rs:
+crates/bus/src/arbiter.rs:
+crates/bus/src/multibus.rs:
+crates/bus/src/queue.rs:
+crates/bus/src/routing.rs:
+crates/bus/src/traffic.rs:
+crates/bus/src/transaction.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/decache_bus-d4ded36bb61e1501.d: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_bus-d4ded36bb61e1501.rmeta: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs Cargo.toml
+
+crates/bus/src/lib.rs:
+crates/bus/src/arbiter.rs:
+crates/bus/src/multibus.rs:
+crates/bus/src/queue.rs:
+crates/bus/src/routing.rs:
+crates/bus/src/traffic.rs:
+crates/bus/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

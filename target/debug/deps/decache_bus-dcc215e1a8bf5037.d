@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/decache_bus-dcc215e1a8bf5037.d: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+/root/repo/target/debug/deps/decache_bus-dcc215e1a8bf5037: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+crates/bus/src/lib.rs:
+crates/bus/src/arbiter.rs:
+crates/bus/src/multibus.rs:
+crates/bus/src/queue.rs:
+crates/bus/src/routing.rs:
+crates/bus/src/traffic.rs:
+crates/bus/src/transaction.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/decache_cache-288c224048f01344.d: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_cache-288c224048f01344.rmeta: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/emulation.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/tagstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

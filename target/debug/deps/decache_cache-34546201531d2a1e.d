@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/decache_cache-34546201531d2a1e.d: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+/root/repo/target/debug/deps/libdecache_cache-34546201531d2a1e.rlib: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+/root/repo/target/debug/deps/libdecache_cache-34546201531d2a1e.rmeta: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/emulation.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/tagstore.rs:

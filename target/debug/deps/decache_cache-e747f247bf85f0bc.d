@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decache_cache-e747f247bf85f0bc.d: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+/root/repo/target/debug/deps/decache_cache-e747f247bf85f0bc: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/emulation.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/tagstore.rs:

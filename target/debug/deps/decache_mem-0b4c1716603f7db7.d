@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/decache_mem-0b4c1716603f7db7.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+/root/repo/target/debug/deps/libdecache_mem-0b4c1716603f7db7.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+/root/repo/target/debug/deps/libdecache_mem-0b4c1716603f7db7.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/error.rs:
+crates/mem/src/memory.rs:
+crates/mem/src/word.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/decache_mem-2579fea596ed0d77.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+/root/repo/target/debug/deps/decache_mem-2579fea596ed0d77: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/error.rs:
+crates/mem/src/memory.rs:
+crates/mem/src/word.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/decache_mem-7033c789a07c994d.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_mem-7033c789a07c994d.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/error.rs:
+crates/mem/src/memory.rs:
+crates/mem/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decache_rng-437197052ff1fae0.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdecache_rng-437197052ff1fae0.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdecache_rng-437197052ff1fae0.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

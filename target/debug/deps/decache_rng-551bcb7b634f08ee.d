@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decache_rng-551bcb7b634f08ee.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/decache_rng-551bcb7b634f08ee: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

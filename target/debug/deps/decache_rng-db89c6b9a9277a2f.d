@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decache_rng-db89c6b9a9277a2f.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_rng-db89c6b9a9277a2f.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decache_sim-0052128f313489df.d: src/bin/decache-sim.rs
+
+/root/repo/target/debug/deps/decache_sim-0052128f313489df: src/bin/decache-sim.rs
+
+src/bin/decache-sim.rs:

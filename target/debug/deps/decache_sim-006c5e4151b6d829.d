@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decache_sim-006c5e4151b6d829.d: src/bin/decache-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_sim-006c5e4151b6d829.rmeta: src/bin/decache-sim.rs Cargo.toml
+
+src/bin/decache-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

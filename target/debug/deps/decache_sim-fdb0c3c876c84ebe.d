@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decache_sim-fdb0c3c876c84ebe.d: src/bin/decache-sim.rs
+
+/root/repo/target/debug/deps/decache_sim-fdb0c3c876c84ebe: src/bin/decache-sim.rs
+
+src/bin/decache-sim.rs:

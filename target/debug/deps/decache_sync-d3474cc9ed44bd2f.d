@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/decache_sync-d3474cc9ed44bd2f.d: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+/root/repo/target/debug/deps/libdecache_sync-d3474cc9ed44bd2f.rlib: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+/root/repo/target/debug/deps/libdecache_sync-d3474cc9ed44bd2f.rmeta: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/conduct.rs:
+crates/sync/src/contention.rs:
+crates/sync/src/lock.rs:
+crates/sync/src/scenario.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/decache_sync-efef95be9de1aed5.d: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+/root/repo/target/debug/deps/decache_sync-efef95be9de1aed5: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/conduct.rs:
+crates/sync/src/contention.rs:
+crates/sync/src/lock.rs:
+crates/sync/src/scenario.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/decache_verify-8fe2af4d92313932.d: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+
+/root/repo/target/debug/deps/decache_verify-8fe2af4d92313932: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/monotonic.rs:
+crates/verify/src/oracle.rs:
+crates/verify/src/product.rs:

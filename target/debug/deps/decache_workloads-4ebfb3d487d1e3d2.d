@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/decache_workloads-4ebfb3d487d1e3d2.d: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+/root/repo/target/debug/deps/libdecache_workloads-4ebfb3d487d1e3d2.rlib: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+/root/repo/target/debug/deps/libdecache_workloads-4ebfb3d487d1e3d2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/array_init.rs:
+crates/workloads/src/cmstar.rs:
+crates/workloads/src/matrix.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/producer_consumer.rs:
+crates/workloads/src/reference.rs:
+crates/workloads/src/systolic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/decache_workloads-64c7b50ee5a3c788.d: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+/root/repo/target/debug/deps/decache_workloads-64c7b50ee5a3c788: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/array_init.rs:
+crates/workloads/src/cmstar.rs:
+crates/workloads/src/matrix.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/producer_consumer.rs:
+crates/workloads/src/reference.rs:
+crates/workloads/src/systolic.rs:

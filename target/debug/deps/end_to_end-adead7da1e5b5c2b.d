@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-adead7da1e5b5c2b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-adead7da1e5b5c2b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_3_1-60fefec2fcd050ff.d: crates/bench/src/bin/figure_3_1.rs
+
+/root/repo/target/debug/deps/figure_3_1-60fefec2fcd050ff: crates/bench/src/bin/figure_3_1.rs
+
+crates/bench/src/bin/figure_3_1.rs:

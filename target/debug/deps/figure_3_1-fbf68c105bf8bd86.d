@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_3_1-fbf68c105bf8bd86.d: crates/bench/src/bin/figure_3_1.rs
+
+/root/repo/target/debug/deps/figure_3_1-fbf68c105bf8bd86: crates/bench/src/bin/figure_3_1.rs
+
+crates/bench/src/bin/figure_3_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_5_1-9e66417ad89dab99.d: crates/bench/src/bin/figure_5_1.rs
+
+/root/repo/target/debug/deps/figure_5_1-9e66417ad89dab99: crates/bench/src/bin/figure_5_1.rs
+
+crates/bench/src/bin/figure_5_1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_5_1-a6ef9bb4701893f9.d: crates/bench/src/bin/figure_5_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_5_1-a6ef9bb4701893f9.rmeta: crates/bench/src/bin/figure_5_1.rs Cargo.toml
+
+crates/bench/src/bin/figure_5_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_5_1-eb0f6b4b3e165710.d: crates/bench/src/bin/figure_5_1.rs
+
+/root/repo/target/debug/deps/figure_5_1-eb0f6b4b3e165710: crates/bench/src/bin/figure_5_1.rs
+
+crates/bench/src/bin/figure_5_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_6_1-5abbe9364619d809.d: crates/bench/src/bin/figure_6_1.rs
+
+/root/repo/target/debug/deps/figure_6_1-5abbe9364619d809: crates/bench/src/bin/figure_6_1.rs
+
+crates/bench/src/bin/figure_6_1.rs:

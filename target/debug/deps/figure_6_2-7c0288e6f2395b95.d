@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_6_2-7c0288e6f2395b95.d: crates/bench/src/bin/figure_6_2.rs
+
+/root/repo/target/debug/deps/figure_6_2-7c0288e6f2395b95: crates/bench/src/bin/figure_6_2.rs
+
+crates/bench/src/bin/figure_6_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_6_2-c8455fe68a1505db.d: crates/bench/src/bin/figure_6_2.rs
+
+/root/repo/target/debug/deps/figure_6_2-c8455fe68a1505db: crates/bench/src/bin/figure_6_2.rs
+
+crates/bench/src/bin/figure_6_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_6_3-1556f00adf74bd70.d: crates/bench/src/bin/figure_6_3.rs
+
+/root/repo/target/debug/deps/figure_6_3-1556f00adf74bd70: crates/bench/src/bin/figure_6_3.rs
+
+crates/bench/src/bin/figure_6_3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_6_3-1575c1baa2ebd1ba.d: crates/bench/src/bin/figure_6_3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_6_3-1575c1baa2ebd1ba.rmeta: crates/bench/src/bin/figure_6_3.rs Cargo.toml
+
+crates/bench/src/bin/figure_6_3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_6_3-355679d194ef569a.d: crates/bench/src/bin/figure_6_3.rs
+
+/root/repo/target/debug/deps/figure_6_3-355679d194ef569a: crates/bench/src/bin/figure_6_3.rs
+
+crates/bench/src/bin/figure_6_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_7_1-0fb5bf23d4b947c4.d: crates/bench/src/bin/figure_7_1.rs
+
+/root/repo/target/debug/deps/figure_7_1-0fb5bf23d4b947c4: crates/bench/src/bin/figure_7_1.rs
+
+crates/bench/src/bin/figure_7_1.rs:

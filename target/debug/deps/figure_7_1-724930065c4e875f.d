@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_7_1-724930065c4e875f.d: crates/bench/src/bin/figure_7_1.rs
+
+/root/repo/target/debug/deps/figure_7_1-724930065c4e875f: crates/bench/src/bin/figure_7_1.rs
+
+crates/bench/src/bin/figure_7_1.rs:

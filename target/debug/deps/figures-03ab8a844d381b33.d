@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-03ab8a844d381b33.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-03ab8a844d381b33: tests/figures.rs
+
+tests/figures.rs:

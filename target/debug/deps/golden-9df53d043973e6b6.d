@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-9df53d043973e6b6.d: crates/rng/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-9df53d043973e6b6: crates/rng/tests/golden.rs
+
+crates/rng/tests/golden.rs:

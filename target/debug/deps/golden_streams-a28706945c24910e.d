@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_streams-a28706945c24910e.d: crates/workloads/tests/golden_streams.rs
+
+/root/repo/target/debug/deps/golden_streams-a28706945c24910e: crates/workloads/tests/golden_streams.rs
+
+crates/workloads/tests/golden_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy-22a16179ac99251d.d: crates/bench/src/bin/hierarchy.rs
+
+/root/repo/target/debug/deps/hierarchy-22a16179ac99251d: crates/bench/src/bin/hierarchy.rs
+
+crates/bench/src/bin/hierarchy.rs:

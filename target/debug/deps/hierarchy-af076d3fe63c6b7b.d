@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy-af076d3fe63c6b7b.d: crates/machine/tests/hierarchy.rs
+
+/root/repo/target/debug/deps/hierarchy-af076d3fe63c6b7b: crates/machine/tests/hierarchy.rs
+
+crates/machine/tests/hierarchy.rs:

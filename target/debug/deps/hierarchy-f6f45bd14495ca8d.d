@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy-f6f45bd14495ca8d.d: crates/bench/src/bin/hierarchy.rs
+
+/root/repo/target/debug/deps/hierarchy-f6f45bd14495ca8d: crates/bench/src/bin/hierarchy.rs
+
+crates/bench/src/bin/hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy_sync-99215d109f29e164.d: tests/hierarchy_sync.rs
+
+/root/repo/target/debug/deps/hierarchy_sync-99215d109f29e164: tests/hierarchy_sync.rs
+
+tests/hierarchy_sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotspot_sweep-1095a7da1a5c2421.d: crates/bench/src/bin/hotspot_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotspot_sweep-1095a7da1a5c2421.rmeta: crates/bench/src/bin/hotspot_sweep.rs Cargo.toml
+
+crates/bench/src/bin/hotspot_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotspot_sweep-11aca69dc9792146.d: crates/bench/src/bin/hotspot_sweep.rs
+
+/root/repo/target/debug/deps/hotspot_sweep-11aca69dc9792146: crates/bench/src/bin/hotspot_sweep.rs
+
+crates/bench/src/bin/hotspot_sweep.rs:

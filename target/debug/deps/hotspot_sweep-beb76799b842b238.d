@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotspot_sweep-beb76799b842b238.d: crates/bench/src/bin/hotspot_sweep.rs
+
+/root/repo/target/debug/deps/hotspot_sweep-beb76799b842b238: crates/bench/src/bin/hotspot_sweep.rs
+
+crates/bench/src/bin/hotspot_sweep.rs:

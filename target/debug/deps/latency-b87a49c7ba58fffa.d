@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-b87a49c7ba58fffa.d: crates/machine/tests/latency.rs
+
+/root/repo/target/debug/deps/latency-b87a49c7ba58fffa: crates/machine/tests/latency.rs
+
+crates/machine/tests/latency.rs:

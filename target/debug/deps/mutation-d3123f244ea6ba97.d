@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutation-d3123f244ea6ba97.d: crates/verify/tests/mutation.rs
+
+/root/repo/target/debug/deps/mutation-d3123f244ea6ba97: crates/verify/tests/mutation.rs
+
+crates/verify/tests/mutation.rs:

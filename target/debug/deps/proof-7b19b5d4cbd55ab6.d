@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof-7b19b5d4cbd55ab6.d: crates/bench/benches/proof.rs
+
+/root/repo/target/debug/deps/proof-7b19b5d4cbd55ab6: crates/bench/benches/proof.rs
+
+crates/bench/benches/proof.rs:

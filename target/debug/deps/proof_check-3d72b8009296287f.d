@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_check-3d72b8009296287f.d: crates/bench/src/bin/proof_check.rs
+
+/root/repo/target/debug/deps/proof_check-3d72b8009296287f: crates/bench/src/bin/proof_check.rs
+
+crates/bench/src/bin/proof_check.rs:

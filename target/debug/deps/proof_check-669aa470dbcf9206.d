@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_check-669aa470dbcf9206.d: crates/bench/src/bin/proof_check.rs
+
+/root/repo/target/debug/deps/proof_check-669aa470dbcf9206: crates/bench/src/bin/proof_check.rs
+
+crates/bench/src/bin/proof_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1072fd7b3d865bc4.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1072fd7b3d865bc4: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

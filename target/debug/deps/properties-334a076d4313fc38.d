@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-334a076d4313fc38.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-334a076d4313fc38: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-34ca76650936d2c2.d: crates/machine/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-34ca76650936d2c2: crates/machine/tests/properties.rs
+
+crates/machine/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a438e9214385f96c.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a438e9214385f96c: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e03a188ee6aea323.d: crates/cache/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e03a188ee6aea323: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec686f52d299fa50.d: crates/bus/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec686f52d299fa50: crates/bus/tests/properties.rs
+
+crates/bus/tests/properties.rs:

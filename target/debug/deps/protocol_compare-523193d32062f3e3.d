@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_compare-523193d32062f3e3.d: crates/bench/src/bin/protocol_compare.rs
+
+/root/repo/target/debug/deps/protocol_compare-523193d32062f3e3: crates/bench/src/bin/protocol_compare.rs
+
+crates/bench/src/bin/protocol_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_compare-83dfc56d7aa51f2a.d: crates/bench/src/bin/protocol_compare.rs
+
+/root/repo/target/debug/deps/protocol_compare-83dfc56d7aa51f2a: crates/bench/src/bin/protocol_compare.rs
+
+crates/bench/src/bin/protocol_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-5041ffd43c8d5e27.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-5041ffd43c8d5e27: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync-3ef5e7a0058b63ad.d: crates/bench/benches/sync.rs
+
+/root/repo/target/debug/deps/sync-3ef5e7a0058b63ad: crates/bench/benches/sync.rs
+
+crates/bench/benches/sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_1_1-17da15a9fe6bdfc1.d: crates/bench/src/bin/table_1_1.rs
+
+/root/repo/target/debug/deps/table_1_1-17da15a9fe6bdfc1: crates/bench/src/bin/table_1_1.rs
+
+crates/bench/src/bin/table_1_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_1_1-9300e2b371fd06da.d: crates/bench/src/bin/table_1_1.rs
+
+/root/repo/target/debug/deps/table_1_1-9300e2b371fd06da: crates/bench/src/bin/table_1_1.rs
+
+crates/bench/src/bin/table_1_1.rs:

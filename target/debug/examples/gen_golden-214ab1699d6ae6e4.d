@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gen_golden-214ab1699d6ae6e4.d: crates/workloads/examples/gen_golden.rs
+
+/root/repo/target/debug/examples/gen_golden-214ab1699d6ae6e4: crates/workloads/examples/gen_golden.rs
+
+crates/workloads/examples/gen_golden.rs:

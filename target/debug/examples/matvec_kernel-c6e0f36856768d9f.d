@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matvec_kernel-c6e0f36856768d9f.d: examples/matvec_kernel.rs
+
+/root/repo/target/debug/examples/matvec_kernel-c6e0f36856768d9f: examples/matvec_kernel.rs
+
+examples/matvec_kernel.rs:

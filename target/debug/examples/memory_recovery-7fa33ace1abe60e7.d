@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_recovery-7fa33ace1abe60e7.d: examples/memory_recovery.rs
+
+/root/repo/target/debug/examples/memory_recovery-7fa33ace1abe60e7: examples/memory_recovery.rs
+
+examples/memory_recovery.rs:

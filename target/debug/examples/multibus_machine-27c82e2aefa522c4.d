@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multibus_machine-27c82e2aefa522c4.d: examples/multibus_machine.rs
+
+/root/repo/target/debug/examples/multibus_machine-27c82e2aefa522c4: examples/multibus_machine.rs
+
+examples/multibus_machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/producer_consumer-717f26d0d8a8867f.d: examples/producer_consumer.rs
+
+/root/repo/target/debug/examples/producer_consumer-717f26d0d8a8867f: examples/producer_consumer.rs
+
+examples/producer_consumer.rs:

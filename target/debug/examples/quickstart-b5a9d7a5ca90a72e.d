@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b5a9d7a5ca90a72e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b5a9d7a5ca90a72e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spinlock_contention-ddec223a36552573.d: examples/spinlock_contention.rs
+
+/root/repo/target/debug/examples/spinlock_contention-ddec223a36552573: examples/spinlock_contention.rs
+
+examples/spinlock_contention.rs:

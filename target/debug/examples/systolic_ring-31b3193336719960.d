@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/systolic_ring-31b3193336719960.d: examples/systolic_ring.rs
+
+/root/repo/target/debug/examples/systolic_ring-31b3193336719960: examples/systolic_ring.rs
+
+examples/systolic_ring.rs:

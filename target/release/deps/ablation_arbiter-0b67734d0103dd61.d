@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_arbiter-0b67734d0103dd61.d: crates/bench/src/bin/ablation_arbiter.rs
+
+/root/repo/target/release/deps/ablation_arbiter-0b67734d0103dd61: crates/bench/src/bin/ablation_arbiter.rs
+
+crates/bench/src/bin/ablation_arbiter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_associativity-f22b6a8859a4ce6f.d: crates/bench/src/bin/ablation_associativity.rs
+
+/root/repo/target/release/deps/ablation_associativity-f22b6a8859a4ce6f: crates/bench/src/bin/ablation_associativity.rs
+
+crates/bench/src/bin/ablation_associativity.rs:

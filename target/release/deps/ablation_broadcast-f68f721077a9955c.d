@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_broadcast-f68f721077a9955c.d: crates/bench/src/bin/ablation_broadcast.rs
+
+/root/repo/target/release/deps/ablation_broadcast-f68f721077a9955c: crates/bench/src/bin/ablation_broadcast.rs
+
+crates/bench/src/bin/ablation_broadcast.rs:

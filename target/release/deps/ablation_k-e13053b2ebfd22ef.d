@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_k-e13053b2ebfd22ef.d: crates/bench/src/bin/ablation_k.rs
+
+/root/repo/target/release/deps/ablation_k-e13053b2ebfd22ef: crates/bench/src/bin/ablation_k.rs
+
+crates/bench/src/bin/ablation_k.rs:

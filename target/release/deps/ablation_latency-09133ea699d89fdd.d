@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_latency-09133ea699d89fdd.d: crates/bench/src/bin/ablation_latency.rs
+
+/root/repo/target/release/deps/ablation_latency-09133ea699d89fdd: crates/bench/src/bin/ablation_latency.rs
+
+crates/bench/src/bin/ablation_latency.rs:

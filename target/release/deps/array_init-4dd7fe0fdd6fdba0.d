@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/array_init-4dd7fe0fdd6fdba0.d: crates/bench/src/bin/array_init.rs
+
+/root/repo/target/release/deps/array_init-4dd7fe0fdd6fdba0: crates/bench/src/bin/array_init.rs
+
+crates/bench/src/bin/array_init.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bandwidth-9000fa47662da866.d: crates/bench/src/bin/bandwidth.rs
+
+/root/repo/target/release/deps/bandwidth-9000fa47662da866: crates/bench/src/bin/bandwidth.rs
+
+crates/bench/src/bin/bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/barrier_phases-1f09c53bae182450.d: crates/bench/src/bin/barrier_phases.rs
+
+/root/repo/target/release/deps/barrier_phases-1f09c53bae182450: crates/bench/src/bin/barrier_phases.rs
+
+crates/bench/src/bin/barrier_phases.rs:

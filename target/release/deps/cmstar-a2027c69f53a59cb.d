@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cmstar-a2027c69f53a59cb.d: crates/bench/benches/cmstar.rs
+
+/root/repo/target/release/deps/cmstar-a2027c69f53a59cb: crates/bench/benches/cmstar.rs
+
+crates/bench/benches/cmstar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cyclic_sharing-0b9efae876ca532c.d: crates/bench/src/bin/cyclic_sharing.rs
+
+/root/repo/target/release/deps/cyclic_sharing-0b9efae876ca532c: crates/bench/src/bin/cyclic_sharing.rs
+
+crates/bench/src/bin/cyclic_sharing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decache-774e6a9acee97dce.d: src/lib.rs
+
+/root/repo/target/release/deps/libdecache-774e6a9acee97dce.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdecache-774e6a9acee97dce.rmeta: src/lib.rs
+
+src/lib.rs:

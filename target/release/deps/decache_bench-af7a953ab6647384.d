@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decache_bench-af7a953ab6647384.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdecache_bench-af7a953ab6647384.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdecache_bench-af7a953ab6647384.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/decache_bus-d6e5731d77a6bee3.d: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+/root/repo/target/release/deps/libdecache_bus-d6e5731d77a6bee3.rlib: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+/root/repo/target/release/deps/libdecache_bus-d6e5731d77a6bee3.rmeta: crates/bus/src/lib.rs crates/bus/src/arbiter.rs crates/bus/src/multibus.rs crates/bus/src/queue.rs crates/bus/src/routing.rs crates/bus/src/traffic.rs crates/bus/src/transaction.rs
+
+crates/bus/src/lib.rs:
+crates/bus/src/arbiter.rs:
+crates/bus/src/multibus.rs:
+crates/bus/src/queue.rs:
+crates/bus/src/routing.rs:
+crates/bus/src/traffic.rs:
+crates/bus/src/transaction.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/decache_cache-9cb5ae3ee327bb27.d: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+/root/repo/target/release/deps/libdecache_cache-9cb5ae3ee327bb27.rlib: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+/root/repo/target/release/deps/libdecache_cache-9cb5ae3ee327bb27.rmeta: crates/cache/src/lib.rs crates/cache/src/emulation.rs crates/cache/src/geometry.rs crates/cache/src/stats.rs crates/cache/src/tagstore.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/emulation.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/stats.rs:
+crates/cache/src/tagstore.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/decache_mem-1560222ace1ebcb8.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+/root/repo/target/release/deps/libdecache_mem-1560222ace1ebcb8.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+/root/repo/target/release/deps/libdecache_mem-1560222ace1ebcb8.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bank.rs crates/mem/src/error.rs crates/mem/src/memory.rs crates/mem/src/word.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/error.rs:
+crates/mem/src/memory.rs:
+crates/mem/src/word.rs:

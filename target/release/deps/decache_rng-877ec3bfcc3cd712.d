@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decache_rng-877ec3bfcc3cd712.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libdecache_rng-877ec3bfcc3cd712.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libdecache_rng-877ec3bfcc3cd712.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decache_sim-e7cce1b0529d0fd4.d: src/bin/decache-sim.rs
+
+/root/repo/target/release/deps/decache_sim-e7cce1b0529d0fd4: src/bin/decache-sim.rs
+
+src/bin/decache-sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/decache_sync-e51ea2c2aa94f31c.d: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+/root/repo/target/release/deps/libdecache_sync-e51ea2c2aa94f31c.rlib: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+/root/repo/target/release/deps/libdecache_sync-e51ea2c2aa94f31c.rmeta: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/conduct.rs:
+crates/sync/src/contention.rs:
+crates/sync/src/lock.rs:
+crates/sync/src/scenario.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/decache_workloads-ff0353c910733f31.d: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+/root/repo/target/release/deps/libdecache_workloads-ff0353c910733f31.rlib: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+/root/repo/target/release/deps/libdecache_workloads-ff0353c910733f31.rmeta: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/array_init.rs:
+crates/workloads/src/cmstar.rs:
+crates/workloads/src/matrix.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/producer_consumer.rs:
+crates/workloads/src/reference.rs:
+crates/workloads/src/systolic.rs:

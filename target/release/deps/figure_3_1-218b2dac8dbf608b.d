@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_3_1-218b2dac8dbf608b.d: crates/bench/src/bin/figure_3_1.rs
+
+/root/repo/target/release/deps/figure_3_1-218b2dac8dbf608b: crates/bench/src/bin/figure_3_1.rs
+
+crates/bench/src/bin/figure_3_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_5_1-999d541139f9d4f3.d: crates/bench/src/bin/figure_5_1.rs
+
+/root/repo/target/release/deps/figure_5_1-999d541139f9d4f3: crates/bench/src/bin/figure_5_1.rs
+
+crates/bench/src/bin/figure_5_1.rs:

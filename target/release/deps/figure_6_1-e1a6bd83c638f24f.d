@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_6_1-e1a6bd83c638f24f.d: crates/bench/src/bin/figure_6_1.rs
+
+/root/repo/target/release/deps/figure_6_1-e1a6bd83c638f24f: crates/bench/src/bin/figure_6_1.rs
+
+crates/bench/src/bin/figure_6_1.rs:

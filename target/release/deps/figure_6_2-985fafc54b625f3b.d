@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_6_2-985fafc54b625f3b.d: crates/bench/src/bin/figure_6_2.rs
+
+/root/repo/target/release/deps/figure_6_2-985fafc54b625f3b: crates/bench/src/bin/figure_6_2.rs
+
+crates/bench/src/bin/figure_6_2.rs:

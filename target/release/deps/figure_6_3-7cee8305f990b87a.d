@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_6_3-7cee8305f990b87a.d: crates/bench/src/bin/figure_6_3.rs
+
+/root/repo/target/release/deps/figure_6_3-7cee8305f990b87a: crates/bench/src/bin/figure_6_3.rs
+
+crates/bench/src/bin/figure_6_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_7_1-ec272a6a273a7222.d: crates/bench/src/bin/figure_7_1.rs
+
+/root/repo/target/release/deps/figure_7_1-ec272a6a273a7222: crates/bench/src/bin/figure_7_1.rs
+
+crates/bench/src/bin/figure_7_1.rs:

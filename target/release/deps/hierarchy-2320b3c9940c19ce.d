@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hierarchy-2320b3c9940c19ce.d: crates/bench/src/bin/hierarchy.rs
+
+/root/repo/target/release/deps/hierarchy-2320b3c9940c19ce: crates/bench/src/bin/hierarchy.rs
+
+crates/bench/src/bin/hierarchy.rs:

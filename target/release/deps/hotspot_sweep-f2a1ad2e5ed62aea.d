@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotspot_sweep-f2a1ad2e5ed62aea.d: crates/bench/src/bin/hotspot_sweep.rs
+
+/root/repo/target/release/deps/hotspot_sweep-f2a1ad2e5ed62aea: crates/bench/src/bin/hotspot_sweep.rs
+
+crates/bench/src/bin/hotspot_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proof-11dd1f6e33cdbd73.d: crates/bench/benches/proof.rs
+
+/root/repo/target/release/deps/proof-11dd1f6e33cdbd73: crates/bench/benches/proof.rs
+
+crates/bench/benches/proof.rs:

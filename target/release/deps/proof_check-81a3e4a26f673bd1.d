@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proof_check-81a3e4a26f673bd1.d: crates/bench/src/bin/proof_check.rs
+
+/root/repo/target/release/deps/proof_check-81a3e4a26f673bd1: crates/bench/src/bin/proof_check.rs
+
+crates/bench/src/bin/proof_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_compare-10a956d8f46fb98e.d: crates/bench/src/bin/protocol_compare.rs
+
+/root/repo/target/release/deps/protocol_compare-10a956d8f46fb98e: crates/bench/src/bin/protocol_compare.rs
+
+crates/bench/src/bin/protocol_compare.rs:

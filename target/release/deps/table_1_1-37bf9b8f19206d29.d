@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_1_1-37bf9b8f19206d29.d: crates/bench/src/bin/table_1_1.rs
+
+/root/repo/target/release/deps/table_1_1-37bf9b8f19206d29: crates/bench/src/bin/table_1_1.rs
+
+crates/bench/src/bin/table_1_1.rs:

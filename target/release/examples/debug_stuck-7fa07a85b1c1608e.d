@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_stuck-7fa07a85b1c1608e.d: examples/debug_stuck.rs
+
+/root/repo/target/release/examples/debug_stuck-7fa07a85b1c1608e: examples/debug_stuck.rs
+
+examples/debug_stuck.rs:

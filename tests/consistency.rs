@@ -1,14 +1,30 @@
-//! Property-based whole-machine consistency: the Section 4 theorem as a
-//! randomized invariant over concurrent machines, for every protocol.
+//! Seeded randomized whole-machine consistency: the Section 4 theorem
+//! as an invariant over concurrent machines, for every protocol.
+//!
+//! Each test runs a fixed corpus of seeded cases (replayable via
+//! `DECACHE_TEST_SEED`, scalable via `DECACHE_TEST_CASES`) and checks
+//! the invariant under **all seven** `ProtocolKind` variants for every
+//! generated program, so no protocol is ever skipped by chance.
 
 use decache::core::{Configuration, ProtocolKind};
 use decache::machine::{MachineBuilder, Script};
 use decache::mem::{Addr, Word};
-use proptest::prelude::*;
+use decache::rng::{testing::check, Rng};
 
 const ADDRESSES: u64 = 8;
 
-/// A tiny op encoding for proptest: (pe_op_kind, address, value).
+/// The seven protocol variants of the §4 consistency claim.
+const PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+/// A tiny op encoding: read, write, or test-and-set.
 #[derive(Debug, Clone, Copy)]
 enum Op {
     Read(u64),
@@ -16,24 +32,17 @@ enum Op {
     Ts(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..ADDRESSES).prop_map(Op::Read),
-        (0..ADDRESSES, 1u64..1000).prop_map(|(a, v)| Op::Write(a, v)),
-        (0..ADDRESSES).prop_map(Op::Ts),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0u8..3) {
+        0 => Op::Read(rng.gen_range(0..ADDRESSES)),
+        1 => Op::Write(rng.gen_range(0..ADDRESSES), rng.gen_range(1u64..1000)),
+        _ => Op::Ts(rng.gen_range(0..ADDRESSES)),
+    }
 }
 
-fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Rb),
-        Just(ProtocolKind::RbNoBroadcast),
-        Just(ProtocolKind::Rwb),
-        Just(ProtocolKind::RwbThreshold(1)),
-        Just(ProtocolKind::RwbThreshold(3)),
-        Just(ProtocolKind::WriteOnce),
-        Just(ProtocolKind::WriteThrough),
-    ]
+fn gen_ops(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Op> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| gen_op(rng)).collect()
 }
 
 fn build_script(ops: &[Op]) -> Script {
@@ -48,139 +57,149 @@ fn build_script(ops: &[Op]) -> Script {
     script
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any concurrent program on any protocol terminates, and every
-    /// address ends in a legal configuration whose owner (if any) holds
-    /// a value some processor actually wrote.
-    #[test]
-    fn random_concurrent_programs_stay_consistent(
-        kind in protocol_strategy(),
-        programs in prop::collection::vec(
-            prop::collection::vec(op_strategy(), 1..20),
-            1..5
-        ),
-    ) {
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(4); // tiny cache: force evictions
-        for ops in &programs {
-            builder.processor(build_script(ops).build());
-        }
-        let mut machine = builder.build();
-        prop_assert!(machine.run(2_000_000), "machine did not terminate under {kind}");
-
-        for a in 0..ADDRESSES {
-            let snap = machine.snapshot(Addr::new(a));
-            prop_assert_ne!(
-                snap.configuration(),
-                Configuration::Illegal,
-                "illegal configuration at @{} under {}: {}", a, kind, snap
+/// Any concurrent program on any protocol terminates, and every address
+/// ends in a legal configuration whose owner (if any) holds a value
+/// some processor actually wrote.
+#[test]
+fn random_concurrent_programs_stay_consistent() {
+    check("random_concurrent_programs_stay_consistent", 12, |rng| {
+        let programs: Vec<Vec<Op>> = (0..rng.gen_range(1usize..5))
+            .map(|_| gen_ops(rng, 1, 20))
+            .collect();
+        for &kind in &PROTOCOLS {
+            let mut builder = MachineBuilder::new(kind);
+            builder.memory_words(64).cache_lines(4); // tiny cache: force evictions
+            for ops in &programs {
+                builder.processor(build_script(ops).build());
+            }
+            let mut machine = builder.build();
+            assert!(
+                machine.run(2_000_000),
+                "machine did not terminate under {kind}"
             );
-            // All readable copies agree with each other and with memory
-            // (when no owner exists, memory is current).
-            let owner = (0..machine.pe_count())
-                .find(|&pe| snap.line(pe).is_some_and(|(s, _)| s.owns_latest()));
-            if owner.is_none() {
-                for pe in 0..machine.pe_count() {
-                    if let Some((state, data)) = snap.line(pe) {
-                        if state.is_readable_locally() {
-                            prop_assert_eq!(
-                                data, snap.memory(),
-                                "stale readable copy at P{} @{} under {}", pe, a, kind
-                            );
+
+            for a in 0..ADDRESSES {
+                let snap = machine.snapshot(Addr::new(a));
+                assert_ne!(
+                    snap.configuration(),
+                    Configuration::Illegal,
+                    "illegal configuration at @{a} under {kind}: {snap}"
+                );
+                // All readable copies agree with each other and with
+                // memory (when no owner exists, memory is current).
+                let owner = (0..machine.pe_count())
+                    .find(|&pe| snap.line(pe).is_some_and(|(s, _)| s.owns_latest()));
+                if owner.is_none() {
+                    for pe in 0..machine.pe_count() {
+                        if let Some((state, data)) = snap.line(pe) {
+                            if state.is_readable_locally() {
+                                assert_eq!(
+                                    data,
+                                    snap.memory(),
+                                    "stale readable copy at P{pe} @{a} under {kind}"
+                                );
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Mutual exclusion: across any interleaving, at most one TS per
-    /// address acquires while the word stays nonzero.
-    #[test]
-    fn test_and_set_is_atomic_under_races(
-        kind in protocol_strategy(),
-        pes in 2usize..6,
-    ) {
-        let lock = Addr::new(0);
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(16);
-        for _ in 0..pes {
-            builder.processor(Script::new().test_and_set(lock, Word::ONE).build());
+/// Mutual exclusion: across any interleaving, at most one TS per
+/// address acquires while the word stays nonzero.
+#[test]
+fn test_and_set_is_atomic_under_races() {
+    check("test_and_set_is_atomic_under_races", 12, |rng| {
+        let pes = rng.gen_range(2usize..6);
+        for &kind in &PROTOCOLS {
+            let lock = Addr::new(0);
+            let mut builder = MachineBuilder::new(kind);
+            builder.memory_words(16);
+            for _ in 0..pes {
+                builder.processor(Script::new().test_and_set(lock, Word::ONE).build());
+            }
+            let mut machine = builder.build();
+            assert!(machine.run(100_000));
+            assert_eq!(machine.stats().ts_successes, 1, "{kind}");
+            assert_eq!(machine.stats().ts_failures, pes as u64 - 1, "{kind}");
+            assert_eq!(machine.memory().peek(lock).unwrap(), Word::ONE, "{kind}");
         }
-        let mut machine = builder.build();
-        prop_assert!(machine.run(100_000));
-        prop_assert_eq!(machine.stats().ts_successes, 1);
-        prop_assert_eq!(machine.stats().ts_failures, pes as u64 - 1);
-        prop_assert_eq!(machine.memory().peek(lock).unwrap(), Word::ONE);
-    }
+    });
+}
 
-    /// Single-writer visibility: when one PE writes an ascending
-    /// sequence and others read, every read observes a value the writer
-    /// actually wrote (or the initial zero), never garbage.
-    #[test]
-    fn readers_only_see_written_values(
-        kind in protocol_strategy(),
-        writes in 1u64..12,
-    ) {
-        let x = Addr::new(0);
-        let mut writer = Script::new();
-        for v in 1..=writes {
-            writer = writer.write(x, Word::new(v));
+/// Single-writer visibility: when one PE writes an ascending sequence
+/// and another reads, the final latest value is the last write.
+#[test]
+fn readers_only_see_written_values() {
+    check("readers_only_see_written_values", 12, |rng| {
+        let writes = rng.gen_range(1u64..12);
+        for &kind in &PROTOCOLS {
+            let x = Addr::new(0);
+            let mut writer = Script::new();
+            for v in 1..=writes {
+                writer = writer.write(x, Word::new(v));
+            }
+            let mut builder = MachineBuilder::new(kind);
+            builder.memory_words(16);
+            builder.processor(writer.build());
+            let mut reader = Script::new();
+            for _ in 0..writes {
+                reader = reader.read(x);
+            }
+            builder.processor(reader.build());
+            let mut machine = builder.build();
+            assert!(machine.run(100_000));
+            // Final latest value is the last write, held by the owner
+            // or memory.
+            let snap = machine.snapshot(x);
+            let latest = (0..machine.pe_count())
+                .find_map(|pe| {
+                    snap.line(pe)
+                        .filter(|(s, _)| s.owns_latest())
+                        .map(|(_, d)| d)
+                })
+                .unwrap_or(snap.memory());
+            assert_eq!(latest, Word::new(writes), "{kind}");
         }
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(16);
-        builder.processor(writer.build());
-        let mut reader = Script::new();
-        for _ in 0..writes {
-            reader = reader.read(x);
-        }
-        builder.processor(reader.build());
-        let mut machine = builder.build();
-        prop_assert!(machine.run(100_000));
-        // Final latest value is the last write, held by the owner or
-        // memory.
-        let snap = machine.snapshot(x);
-        let latest = (0..machine.pe_count())
-            .find_map(|pe| snap.line(pe).filter(|(s, _)| s.owns_latest()).map(|(_, d)| d))
-            .unwrap_or(snap.memory());
-        prop_assert_eq!(latest, Word::new(writes));
-    }
+    });
+}
 
-    /// The op encoding on a 1-PE machine behaves like a plain memory.
-    #[test]
-    fn single_pe_machine_is_a_plain_memory(
-        kind in protocol_strategy(),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
-        let mut builder = MachineBuilder::new(kind);
-        builder.memory_words(64).cache_lines(4);
-        builder.processor(build_script(&ops).build());
-        let mut machine = builder.build();
-        prop_assert!(machine.run(1_000_000));
+/// The op encoding on a 1-PE machine behaves like a plain memory.
+#[test]
+fn single_pe_machine_is_a_plain_memory() {
+    check("single_pe_machine_is_a_plain_memory", 12, |rng| {
+        let ops = gen_ops(rng, 1, 40);
+        for &kind in &PROTOCOLS {
+            let mut builder = MachineBuilder::new(kind);
+            builder.memory_words(64).cache_lines(4);
+            builder.processor(build_script(&ops).build());
+            let mut machine = builder.build();
+            assert!(machine.run(1_000_000));
 
-        // Replay against a flat model.
-        let mut model = [0u64; ADDRESSES as usize];
-        for op in &ops {
-            match *op {
-                Op::Read(_) => {}
-                Op::Write(a, v) => model[a as usize] = v,
-                Op::Ts(a) => {
-                    if model[a as usize] == 0 {
-                        model[a as usize] = 1;
+            // Replay against a flat model.
+            let mut model = [0u64; ADDRESSES as usize];
+            for op in &ops {
+                match *op {
+                    Op::Read(_) => {}
+                    Op::Write(a, v) => model[a as usize] = v,
+                    Op::Ts(a) => {
+                        if model[a as usize] == 0 {
+                            model[a as usize] = 1;
+                        }
                     }
                 }
             }
+            for a in 0..ADDRESSES {
+                let snap = machine.snapshot(Addr::new(a));
+                let latest = snap
+                    .line(0)
+                    .filter(|(s, _)| s.owns_latest())
+                    .map(|(_, d)| d)
+                    .unwrap_or(snap.memory());
+                assert_eq!(latest, Word::new(model[a as usize]), "@{a} under {kind}");
+            }
         }
-        for a in 0..ADDRESSES {
-            let snap = machine.snapshot(Addr::new(a));
-            let latest = snap
-                .line(0)
-                .filter(|(s, _)| s.owns_latest())
-                .map(|(_, d)| d)
-                .unwrap_or(snap.memory());
-            prop_assert_eq!(latest, Word::new(model[a as usize]), "@{} under {}", a, kind);
-        }
-    }
+    });
 }

@@ -22,8 +22,7 @@ fn paper_headline_results_hold_together() {
 
     // 3. TTS beats TS on bus traffic under contention.
     let ts = ContentionExperiment::new(ProtocolKind::Rb, Primitive::TestAndSet, 8).run();
-    let tts =
-        ContentionExperiment::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet, 8).run();
+    let tts = ContentionExperiment::new(ProtocolKind::Rb, Primitive::TestAndTestAndSet, 8).run();
     assert!(tts.bus_transactions < ts.bus_transactions);
 
     // 4. The SBB worked example.
@@ -50,17 +49,26 @@ fn scenario_tables_match_published_figures() {
 #[test]
 fn comparison_and_multibus_experiments_agree_with_the_paper() {
     let rows = ProtocolComparison::new(8)
-        .config(MixConfig { ops_per_pe: 1_200, ..MixConfig::default() })
+        .config(MixConfig {
+            ops_per_pe: 1_200,
+            ..MixConfig::default()
+        })
         .run();
     let tx = |name: &str| {
-        rows.iter().find(|r| r.protocol.to_string() == name).unwrap().bus_transactions
+        rows.iter()
+            .find(|r| r.protocol.to_string() == name)
+            .unwrap()
+            .bus_transactions
     };
     // Who wins: the dynamic schemes beat the static baselines.
     assert!(tx("RB") < tx("write-through"));
     assert!(tx("RWB") < tx("write-through"));
 
     let multibus = MultibusExperiment::new(8)
-        .config(MixConfig { ops_per_pe: 1_200, ..MixConfig::default() })
+        .config(MixConfig {
+            ops_per_pe: 1_200,
+            ..MixConfig::default()
+        })
         .run();
     // Dual bus halves the busiest bus's load (within tolerance).
     let single = multibus[0].max_bus_transactions as f64;
@@ -71,7 +79,10 @@ fn comparison_and_multibus_experiments_agree_with_the_paper() {
 #[test]
 fn oracle_validates_the_simulator_for_every_protocol() {
     for kind in ProtocolKind::ALL {
-        SerialOracle::new(kind, 3, 99).addresses(32).run(400).unwrap();
+        SerialOracle::new(kind, 3, 99)
+            .addresses(32)
+            .run(400)
+            .unwrap();
     }
 }
 
@@ -84,7 +95,11 @@ fn umbrella_reexports_compose() {
         .memory_words(64)
         .processors(2, |pe| conductor.processor(pe))
         .build();
-    conductor.run_op(&mut machine, 0, decache::machine::MemOp::write(Addr::new(3), Word::ONE));
+    conductor.run_op(
+        &mut machine,
+        0,
+        decache::machine::MemOp::write(Addr::new(3), Word::ONE),
+    );
     conductor.run_op(&mut machine, 1, decache::machine::MemOp::read(Addr::new(3)));
     let snap = machine.snapshot(Addr::new(3));
     assert_ne!(snap.configuration(), Configuration::Illegal);

@@ -40,7 +40,10 @@ R(0)  R(0)  R(0)  0     A Bus Read to S
 L(1)  I(-)  I(-)  1     P1 gets the S
 R(1)  R(1)  R(1)  1     Others try to get S
 ";
-    assert_eq!(rendered(ProtocolKind::Rb, Primitive::TestAndTestAndSet), expected);
+    assert_eq!(
+        rendered(ProtocolKind::Rb, Primitive::TestAndTestAndSet),
+        expected
+    );
 }
 
 #[test]
@@ -59,14 +62,19 @@ R(0)  R(0)  R(0)  0     A Bus Read to S
 F(1)  R(1)  R(1)  1     P1 gets the S
 F(1)  R(1)  R(1)  1     Others try to get S
 ";
-    assert_eq!(rendered(ProtocolKind::Rwb, Primitive::TestAndTestAndSet), expected);
+    assert_eq!(
+        rendered(ProtocolKind::Rwb, Primitive::TestAndTestAndSet),
+        expected
+    );
 }
 
 #[test]
 fn figure_3_1_transition_table_golden() {
     use decache::core::{transition_table, Rb};
-    let rows: Vec<String> =
-        transition_table(&Rb::new()).iter().map(|r| r.to_string()).collect();
+    let rows: Vec<String> = transition_table(&Rb::new())
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
     let expected = vec![
         "I --CR [generate BR]--> R",
         "I --CW [generate BW]--> L",
@@ -87,8 +95,10 @@ fn figure_3_1_transition_table_golden() {
 #[test]
 fn figure_5_1_transition_table_golden() {
     use decache::core::{transition_table, Rwb};
-    let rows: Vec<String> =
-        transition_table(&Rwb::new()).iter().map(|r| r.to_string()).collect();
+    let rows: Vec<String> = transition_table(&Rwb::new())
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
     let expected = vec![
         "I --CR [generate BR]--> R",
         "I --CW [generate BW]--> F",

@@ -24,7 +24,9 @@ fn cross_cluster_locking_is_mutually_exclusive() {
         let pes = 8;
         let clusters = 4;
         let mut b = MachineBuilder::new(kind);
-        b.memory_words(MEMORY_WORDS).cache_lines(64).clusters(clusters, GLOBAL_WORDS);
+        b.memory_words(MEMORY_WORDS)
+            .cache_lines(64)
+            .clusters(clusters, GLOBAL_WORDS);
         b.processors(pes, |pe| {
             Box::new(
                 LockWorker::new(Addr::new(0), Primitive::TestAndTestAndSet)
@@ -54,7 +56,9 @@ fn critical_section_work_uses_only_the_cluster_bus() {
     let pes = 4;
     let clusters = 2;
     let mut b = MachineBuilder::new(ProtocolKind::Rwb);
-    b.memory_words(MEMORY_WORDS).cache_lines(64).clusters(clusters, GLOBAL_WORDS);
+    b.memory_words(MEMORY_WORDS)
+        .cache_lines(64)
+        .clusters(clusters, GLOBAL_WORDS);
     b.processors(pes, |pe| {
         Box::new(
             LockWorker::new(Addr::new(0), Primitive::TestAndTestAndSet)
@@ -85,8 +89,12 @@ fn critical_section_work_uses_only_the_cluster_bus() {
 fn barrier_spans_clusters_through_the_global_region() {
     let pes = 8;
     let mut b = MachineBuilder::new(ProtocolKind::Rwb);
-    b.memory_words(MEMORY_WORDS).cache_lines(64).clusters(4, GLOBAL_WORDS);
-    b.processors(pes, |_| Box::new(BarrierWorker::new(Addr::new(0), pes as u64, 3)));
+    b.memory_words(MEMORY_WORDS)
+        .cache_lines(64)
+        .clusters(4, GLOBAL_WORDS);
+    b.processors(pes, |_| {
+        Box::new(BarrierWorker::new(Addr::new(0), pes as u64, 3))
+    });
     let mut machine = b.build();
     machine.run_to_completion(10_000_000);
     assert_eq!(machine.stats().ts_successes, 24); // 8 workers x 3 episodes
