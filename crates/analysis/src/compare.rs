@@ -64,12 +64,10 @@ impl ProtocolComparison {
         self
     }
 
-    /// Runs all protocols and returns one row each.
+    /// Runs all protocols (in parallel, one machine per worker) and
+    /// returns one row each, in protocol order.
     pub fn run(&self) -> Vec<ProtocolRow> {
-        self.protocols
-            .iter()
-            .map(|&kind| self.run_one(kind))
-            .collect()
+        crate::par::run_cases(&self.protocols, |&kind| self.run_one(kind))
     }
 
     /// Runs a single protocol.

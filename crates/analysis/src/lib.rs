@@ -17,6 +17,8 @@
 //!   "who wins" table.
 //! * [`TextTable`] / [`TextChart`] — minimal fixed-width tables and
 //!   ASCII bar charts for experiment output.
+//! * [`par`] — the dependency-free parallel sweep harness every
+//!   experiment driver fans its independent cases over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ mod bandwidth;
 mod chart;
 mod compare;
 mod multibus;
+pub mod par;
 mod saturation;
 mod table;
 

@@ -75,12 +75,10 @@ impl MultibusExperiment {
         self
     }
 
-    /// Runs 1-, 2-, and 4-bus machines.
+    /// Runs 1-, 2-, and 4-bus machines (in parallel, rows in bus-count
+    /// order).
     pub fn run(&self) -> Vec<MultibusRow> {
-        [1usize, 2, 4]
-            .iter()
-            .map(|&b| self.run_with_buses(b))
-            .collect()
+        crate::par::run_cases(&[1usize, 2, 4], |&b| self.run_with_buses(b))
     }
 
     /// Runs one machine with `buses` buses.

@@ -1,0 +1,124 @@
+//! A dependency-free parallel sweep harness.
+//!
+//! Every experiment in this workspace is a list of *independent*
+//! simulated machines (one per protocol, PE count, bus shape, …) whose
+//! results are rendered as a table in case order. [`run_cases`] fans
+//! such a list over `std::thread::scope` workers and reassembles the
+//! results **in input order**, so a ported experiment prints exactly
+//! the bytes the sequential loop printed — only faster. Simulated
+//! machines are deterministic (seeded in-tree RNG, no wall clock), so
+//! parallel execution cannot perturb any measured statistic.
+//!
+//! Worker count defaults to the machine's available parallelism,
+//! capped by the number of cases; `DECACHE_BENCH_THREADS` overrides it
+//! (set it to `1` to force the sequential path, e.g. when timing the
+//! simulator itself).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads for `cases` cases: available
+/// parallelism (or the `DECACHE_BENCH_THREADS` override), never more
+/// than one per case.
+fn thread_count(cases: usize) -> usize {
+    let workers = match std::env::var("DECACHE_BENCH_THREADS") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("DECACHE_BENCH_THREADS={v} is not a number")),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    workers.clamp(1, cases.max(1))
+}
+
+/// Runs `run` over every case on a pool of scoped worker threads and
+/// returns the results **in input order**. Cases are claimed from a
+/// shared counter, so long and short cases balance across workers.
+/// With one worker (single-core machine, one case, or
+/// `DECACHE_BENCH_THREADS=1`) the cases run inline on the caller's
+/// thread.
+///
+/// # Panics
+///
+/// If `run` panics for any case, the panic propagates to the caller
+/// once all workers have stopped.
+///
+/// # Examples
+///
+/// ```
+/// let squares = decache_analysis::par::run_cases(&[1, 2, 3], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn run_cases<T, R, F>(cases: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count(cases.len());
+    if threads <= 1 {
+        return cases.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = cases.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(case) = cases.get(i) else { break };
+                let result = run(case);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every case slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let cases: Vec<usize> = (0..100).collect();
+        // Uneven work so fast cases finish before slow earlier ones.
+        let results = run_cases(&cases, |&i| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            i * 2
+        });
+        assert_eq!(results, cases.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_case_lists_work() {
+        let none: Vec<u32> = run_cases(&[], |&x: &u32| x);
+        assert!(none.is_empty());
+        assert_eq!(run_cases(&[5], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn captures_borrowed_state() {
+        let offset = 10;
+        let results = run_cases(&[1, 2, 3], |&x| x + offset);
+        assert_eq!(results, vec![11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = run_cases(&[0, 1], |&x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

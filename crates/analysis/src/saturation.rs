@@ -94,9 +94,9 @@ impl SaturationSweep {
         self
     }
 
-    /// Runs the sweep.
+    /// Runs the sweep (points in parallel, results in input order).
     pub fn run(&self) -> Vec<SaturationPoint> {
-        self.pe_counts.iter().map(|&m| self.run_one(m)).collect()
+        crate::par::run_cases(&self.pe_counts, |&m| self.run_one(m))
     }
 
     fn run_one(&self, pes: usize) -> SaturationPoint {

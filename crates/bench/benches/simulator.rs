@@ -30,7 +30,14 @@ fn main() {
         });
     }
 
-    for pes in [2usize, 8, 32] {
+    // The headline engine case: 16 PEs on the full mixed workload.
+    for kind in ProtocolKind::ALL {
+        time_case(&format!("mix_workload_16pe/{kind}"), 10, || {
+            run_machine(kind, 16, 500)
+        });
+    }
+
+    for pes in [2usize, 8, 16, 32] {
         time_case(&format!("rb_scaling/{pes}"), 10, || {
             run_machine(ProtocolKind::Rb, pes, 300)
         });

@@ -4,7 +4,7 @@
 //! high-numbered processors; the cache schemes stay correct regardless.
 
 use decache_analysis::TextTable;
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_bus::ArbiterKind;
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
@@ -38,13 +38,15 @@ fn main() {
         "Section 2 assumption 2 (pluggable arbiter)",
     );
 
-    let mut table = TextTable::new(vec!["arbiter", "cycles", "bus util", "per-PE misses"]);
-    for arbiter in [
+    let arbiters = [
         ArbiterKind::RoundRobin,
         ArbiterKind::FixedPriority,
         ArbiterKind::Random(0xBEEF),
-    ] {
-        let (cycles, util, misses) = run(arbiter, 8);
+    ];
+    let results = par::run_cases(&arbiters, |&arbiter| run(arbiter, 8));
+
+    let mut table = TextTable::new(vec!["arbiter", "cycles", "bus util", "per-PE misses"]);
+    for (arbiter, (cycles, util, misses)) in arbiters.iter().zip(&results) {
         table.row(vec![
             arbiter.to_string(),
             cycles.to_string(),

@@ -6,7 +6,7 @@
 //! orthogonal to our scheme".
 
 use decache_analysis::TextTable;
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_cache::Geometry;
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
@@ -49,18 +49,25 @@ fn main() {
         "bus tx",
         "hit ratio",
     ]);
-    for ways in [1usize, 2, 4] {
-        let geometry = Geometry::new(capacity / ways, ways, 1);
-        for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
-            let (cycles, tx, hits) = run(kind, geometry);
-            table.row(vec![
-                geometry.to_string(),
-                kind.to_string(),
-                cycles.to_string(),
-                tx.to_string(),
-                format!("{:.1}%", hits * 100.0),
-            ]);
-        }
+    let cases: Vec<(Geometry, ProtocolKind)> = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&ways| {
+            let geometry = Geometry::new(capacity / ways, ways, 1);
+            [ProtocolKind::Rb, ProtocolKind::Rwb]
+                .iter()
+                .map(move |&kind| (geometry, kind))
+        })
+        .collect();
+    let results = par::run_cases(&cases, |&(geometry, kind)| run(kind, geometry));
+
+    for (&(geometry, kind), &(cycles, tx, hits)) in cases.iter().zip(&results) {
+        table.row(vec![
+            geometry.to_string(),
+            kind.to_string(),
+            cycles.to_string(),
+            tx.to_string(),
+            format!("{:.1}%", hits * 100.0),
+        ]);
     }
     println!("{table}");
     println!("expected: modest hit-ratio gains from associativity at equal capacity");

@@ -5,7 +5,7 @@
 //! also to distribute data" (abstract).
 
 use decache_analysis::{ProtocolComparison, TextTable};
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_bus::BusOpKind;
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
@@ -34,6 +34,15 @@ fn main() {
     );
 
     println!("mixed workload (8 PEs):");
+    let variants = [ProtocolKind::Rb, ProtocolKind::RbNoBroadcast];
+    let rows = par::run_cases(&variants, |&kind| {
+        ProtocolComparison::new(8)
+            .config(MixConfig {
+                ops_per_pe: 2_000,
+                ..MixConfig::default()
+            })
+            .run_one(kind)
+    });
     let mut table = TextTable::new(vec![
         "variant",
         "cycles",
@@ -41,13 +50,7 @@ fn main() {
         "hit ratio",
         "bcast-satisfied",
     ]);
-    for kind in [ProtocolKind::Rb, ProtocolKind::RbNoBroadcast] {
-        let row = ProtocolComparison::new(8)
-            .config(MixConfig {
-                ops_per_pe: 2_000,
-                ..MixConfig::default()
-            })
-            .run_one(kind);
+    for (kind, row) in variants.iter().zip(&rows) {
         table.row(vec![
             kind.to_string(),
             row.cycles.to_string(),
@@ -59,12 +62,20 @@ fn main() {
     println!("{table}");
 
     println!("producer/consumer bus reads (where broadcast matters most):");
+    let consumer_counts = [2usize, 4, 8];
+    let cases: Vec<(ProtocolKind, usize)> = consumer_counts
+        .iter()
+        .flat_map(|&consumers| variants.iter().map(move |&kind| (kind, consumers)))
+        .collect();
+    let reads = par::run_cases(&cases, |&(kind, consumers)| {
+        producer_consumer_reads(kind, consumers)
+    });
     let mut table = TextTable::new(vec!["consumers", "RB", "RB-no-broadcast"]);
-    for consumers in [2usize, 4, 8] {
+    for (consumers, pair) in consumer_counts.iter().zip(reads.chunks(variants.len())) {
         table.row(vec![
             consumers.to_string(),
-            producer_consumer_reads(ProtocolKind::Rb, consumers).to_string(),
-            producer_consumer_reads(ProtocolKind::RbNoBroadcast, consumers).to_string(),
+            pair[0].to_string(),
+            pair[1].to_string(),
         ]);
     }
     println!("{table}");

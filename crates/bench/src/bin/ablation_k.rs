@@ -4,10 +4,12 @@
 //! broadcasts more writes before claiming locality.
 
 use decache_analysis::{ProtocolComparison, TextTable};
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_core::ProtocolKind;
 use decache_sync::{ContentionExperiment, Primitive};
 use decache_workloads::MixConfig;
+
+const KS: [u8; 4] = [1, 2, 3, 4];
 
 fn main() {
     banner(
@@ -16,6 +18,14 @@ fn main() {
     );
 
     println!("mixed workload (8 PEs):");
+    let mix_rows = par::run_cases(&KS, |&k| {
+        ProtocolComparison::new(8)
+            .config(MixConfig {
+                ops_per_pe: 2_000,
+                ..MixConfig::default()
+            })
+            .run_one(ProtocolKind::RwbThreshold(k))
+    });
     let mut table = TextTable::new(vec![
         "k",
         "cycles",
@@ -23,13 +33,7 @@ fn main() {
         "hit ratio",
         "bcast-satisfied",
     ]);
-    for k in [1u8, 2, 3, 4] {
-        let row = ProtocolComparison::new(8)
-            .config(MixConfig {
-                ops_per_pe: 2_000,
-                ..MixConfig::default()
-            })
-            .run_one(ProtocolKind::RwbThreshold(k));
+    for (k, row) in KS.iter().zip(&mix_rows) {
         table.row(vec![
             k.to_string(),
             row.cycles.to_string(),
@@ -41,15 +45,17 @@ fn main() {
     println!("{table}");
 
     println!("lock contention (8 PEs, TTS):");
-    let mut table = TextTable::new(vec!["k", "cycles", "bus tx", "tx/acquisition"]);
-    for k in [1u8, 2, 3, 4] {
-        let r = ContentionExperiment::new(
+    let contention = par::run_cases(&KS, |&k| {
+        ContentionExperiment::new(
             ProtocolKind::RwbThreshold(k),
             Primitive::TestAndTestAndSet,
             8,
         )
         .rounds(4)
-        .run();
+        .run()
+    });
+    let mut table = TextTable::new(vec!["k", "cycles", "bus tx", "tx/acquisition"]);
+    for (k, r) in KS.iter().zip(&contention) {
         table.row(vec![
             k.to_string(),
             r.cycles.to_string(),

@@ -6,7 +6,7 @@
 //! because the losing schemes lose by making more transactions.
 
 use decache_analysis::TextTable;
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
 use decache_mem::{Addr, AddrRange};
@@ -44,19 +44,31 @@ fn main() {
         "WT/RB",
         "RB util",
     ]);
-    for &latency in &[1u64, 2, 4, 8] {
-        for &pes in &[4usize, 16] {
-            let (rb_cycles, rb_util) = run(ProtocolKind::Rb, pes, latency);
-            let (wt_cycles, _) = run(ProtocolKind::WriteThrough, pes, latency);
-            table.row(vec![
-                latency.to_string(),
-                pes.to_string(),
-                rb_cycles.to_string(),
-                wt_cycles.to_string(),
-                format!("{:.2}x", wt_cycles as f64 / rb_cycles as f64),
-                format!("{:.1}%", rb_util * 100.0),
-            ]);
-        }
+    let grid: Vec<(u64, usize)> = [1u64, 2, 4, 8]
+        .iter()
+        .flat_map(|&latency| [4usize, 16].iter().map(move |&pes| (latency, pes)))
+        .collect();
+    let cases: Vec<(ProtocolKind, u64, usize)> = grid
+        .iter()
+        .flat_map(|&(latency, pes)| {
+            [ProtocolKind::Rb, ProtocolKind::WriteThrough]
+                .iter()
+                .map(move |&kind| (kind, latency, pes))
+        })
+        .collect();
+    let results = par::run_cases(&cases, |&(kind, latency, pes)| run(kind, pes, latency));
+
+    for (&(latency, pes), pair) in grid.iter().zip(results.chunks(2)) {
+        let (rb_cycles, rb_util) = pair[0];
+        let (wt_cycles, _) = pair[1];
+        table.row(vec![
+            latency.to_string(),
+            pes.to_string(),
+            rb_cycles.to_string(),
+            wt_cycles.to_string(),
+            format!("{:.2}x", wt_cycles as f64 / rb_cycles as f64),
+            format!("{:.1}%", rb_util * 100.0),
+        ]);
     }
     println!("{table}");
     println!("expected: the write-through/RB ratio grows with latency — every");

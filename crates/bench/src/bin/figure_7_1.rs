@@ -2,10 +2,11 @@
 //! Parallel Processor**: the same workload on 1, 2, and 4
 //! least-significant-bit-interleaved shared buses; per-bus traffic
 //! should divide evenly ("the required bandwidth for each shared bus
-//! will be about half", Section 7).
+//! will be about half", Section 7). The protocol × bus-count grid fans
+//! out over `decache_bench::par`; tables print in grid order.
 
 use decache_analysis::{MultibusExperiment, TextTable};
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_core::ProtocolKind;
 
 fn main() {
@@ -14,13 +15,24 @@ fn main() {
         "Figure 7-1 (LSB-interleaved banks)",
     );
 
-    for protocol in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+    let protocols = [ProtocolKind::Rb, ProtocolKind::Rwb];
+    let bus_counts = [1usize, 2, 4];
+    let cases: Vec<(ProtocolKind, usize)> = protocols
+        .iter()
+        .flat_map(|&protocol| bus_counts.iter().map(move |&buses| (protocol, buses)))
+        .collect();
+    let rows = par::run_cases(&cases, |&(protocol, buses)| {
+        MultibusExperiment::new(16)
+            .protocol(protocol)
+            .run_with_buses(buses)
+    });
+
+    for (protocol, group) in protocols.iter().zip(rows.chunks(bus_counts.len())) {
         println!("protocol: {protocol}");
-        let rows = MultibusExperiment::new(16).protocol(protocol).run();
-        println!("{}", MultibusExperiment::render(&rows));
+        println!("{}", MultibusExperiment::render(group));
 
         let mut shares = TextTable::new(vec!["buses", "per-bus traffic shares"]);
-        for r in &rows {
+        for r in group {
             shares.row(vec![
                 r.buses.to_string(),
                 r.shares

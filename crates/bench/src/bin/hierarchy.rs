@@ -4,7 +4,7 @@
 //! the hierarchy scales where the flat single-bus machine saturates.
 
 use decache_analysis::TextTable;
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
 use decache_mem::{Addr, AddrRange};
@@ -65,6 +65,17 @@ fn main() {
         "Section 8 future work: global bus + per-cluster buses",
     );
 
+    let cases: Vec<(usize, usize)> = [8usize, 16, 32]
+        .iter()
+        .flat_map(|&pes| {
+            [1usize, 2, 4, 8]
+                .iter()
+                .filter(move |&&clusters| pes % clusters == 0)
+                .map(move |&clusters| (pes, clusters))
+        })
+        .collect();
+    let results = par::run_cases(&cases, |&(pes, clusters)| run(pes, clusters));
+
     let mut table = TextTable::new(vec![
         "PEs",
         "clusters",
@@ -72,24 +83,18 @@ fn main() {
         "global-bus util",
         "busiest cluster-bus util",
     ]);
-    for &pes in &[8usize, 16, 32] {
-        for &clusters in &[1usize, 2, 4, 8] {
-            if pes % clusters != 0 {
-                continue;
-            }
-            let (cycles, global, cluster) = run(pes, clusters);
-            table.row(vec![
-                pes.to_string(),
-                clusters.to_string(),
-                cycles.to_string(),
-                format!("{:.1}%", global * 100.0),
-                if clusters > 1 {
-                    format!("{:.1}%", cluster * 100.0)
-                } else {
-                    "-".to_owned()
-                },
-            ]);
-        }
+    for (&(pes, clusters), &(cycles, global, cluster)) in cases.iter().zip(&results) {
+        table.row(vec![
+            pes.to_string(),
+            clusters.to_string(),
+            cycles.to_string(),
+            format!("{:.1}%", global * 100.0),
+            if clusters > 1 {
+                format!("{:.1}%", cluster * 100.0)
+            } else {
+                "-".to_owned()
+            },
+        ]);
     }
     println!("{table}");
     println!("with clusters = 1 the single bus carries everything and saturates;");

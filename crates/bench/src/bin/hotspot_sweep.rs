@@ -1,9 +1,10 @@
 //! E8 — the **Section 6 hot-spot claim, quantified**: bus traffic under
 //! lock contention for TS vs TTS, RB vs RWB, sweeping the number of
-//! contending processors.
+//! contending processors. The PEs × protocol × primitive grid fans out
+//! over `decache_bench::par`; rows print in grid order.
 
 use decache_analysis::TextTable;
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_core::ProtocolKind;
 use decache_sync::{ContentionExperiment, Primitive};
 
@@ -12,6 +13,25 @@ fn main() {
         "Hot-spot bus traffic under lock contention",
         "Section 6 (TS vs TTS on RB and RWB)",
     );
+
+    let cases: Vec<(usize, ProtocolKind, Primitive)> = [2usize, 4, 8, 16, 32]
+        .iter()
+        .flat_map(|&pes| {
+            [ProtocolKind::Rb, ProtocolKind::Rwb]
+                .iter()
+                .flat_map(move |&protocol| {
+                    [Primitive::TestAndSet, Primitive::TestAndTestAndSet]
+                        .iter()
+                        .map(move |&primitive| (pes, protocol, primitive))
+                })
+        })
+        .collect();
+    let results = par::run_cases(&cases, |&(pes, protocol, primitive)| {
+        ContentionExperiment::new(protocol, primitive, pes)
+            .rounds(4)
+            .critical_refs(16)
+            .run()
+    });
 
     let mut table = TextTable::new(vec![
         "protocol",
@@ -24,26 +44,18 @@ fn main() {
         "tx/acquisition",
         "sync waste",
     ]);
-    for &pes in &[2usize, 4, 8, 16, 32] {
-        for protocol in [ProtocolKind::Rb, ProtocolKind::Rwb] {
-            for primitive in [Primitive::TestAndSet, Primitive::TestAndTestAndSet] {
-                let r = ContentionExperiment::new(protocol, primitive, pes)
-                    .rounds(4)
-                    .critical_refs(16)
-                    .run();
-                table.row(vec![
-                    protocol.to_string(),
-                    primitive.to_string(),
-                    pes.to_string(),
-                    r.acquisitions.to_string(),
-                    r.cycles.to_string(),
-                    r.bus_transactions.to_string(),
-                    r.failed_ts.to_string(),
-                    format!("{:.1}", r.transactions_per_acquisition()),
-                    format!("{:.0}%", r.waste_fraction() * 100.0),
-                ]);
-            }
-        }
+    for (&(pes, protocol, primitive), r) in cases.iter().zip(&results) {
+        table.row(vec![
+            protocol.to_string(),
+            primitive.to_string(),
+            pes.to_string(),
+            r.acquisitions.to_string(),
+            r.cycles.to_string(),
+            r.bus_transactions.to_string(),
+            r.failed_ts.to_string(),
+            format!("{:.1}", r.transactions_per_acquisition()),
+            format!("{:.0}%", r.waste_fraction() * 100.0),
+        ]);
     }
     println!("{table}");
     println!("expected shape: TS traffic grows with contention; TTS stays near-flat");

@@ -1,10 +1,12 @@
 //! E13 — the headline **protocol comparison**: RB, RWB, write-once, and
 //! write-through on the paper's assumed reference mix (reads dominate;
 //! local and read-only dominate shared), measuring cycles, bus traffic,
-//! and hit ratio.
+//! and hit ratio. All machines fan out over `decache_bench::par`; the
+//! tables print in the same order as the old sequential loops.
 
 use decache_analysis::{ProtocolComparison, TextTable};
-use decache_bench::banner;
+use decache_bench::{banner, par};
+use decache_core::ProtocolKind;
 use decache_workloads::MixConfig;
 
 fn main() {
@@ -13,39 +15,48 @@ fn main() {
         "Section 1/5 claims: dynamic classification + data broadcast win",
     );
 
-    for pes in [4usize, 8, 16] {
-        println!("{pes} processors:");
-        let rows = ProtocolComparison::new(pes)
+    let pe_counts = [4usize, 8, 16];
+    let groups = par::run_cases(&pe_counts, |&pes| {
+        ProtocolComparison::new(pes)
             .config(MixConfig {
                 ops_per_pe: 3_000,
                 ..MixConfig::default()
             })
-            .run();
-        println!("{}", ProtocolComparison::render(&rows));
+            .run()
+    });
+    for (pes, rows) in pe_counts.iter().zip(&groups) {
+        println!("{pes} processors:");
+        println!("{}", ProtocolComparison::render(rows));
     }
 
     println!("sensitivity: shared-data fraction sweep (8 PEs, RB vs write-once)");
+    let kinds = [ProtocolKind::Rb, ProtocolKind::WriteOnce, ProtocolKind::Rwb];
+    let fractions = [0.02f64, 0.05, 0.10, 0.20];
+    let cases: Vec<(f64, ProtocolKind)> = fractions
+        .iter()
+        .flat_map(|&shared| kinds.iter().map(move |&kind| (shared, kind)))
+        .collect();
+    let rows = par::run_cases(&cases, |&(shared, kind)| {
+        ProtocolComparison::new(8)
+            .config(MixConfig {
+                shared_fraction: shared,
+                ops_per_pe: 2_000,
+                ..MixConfig::default()
+            })
+            .run_one(kind)
+    });
     let mut table = TextTable::new(vec![
         "shared %",
         "RB bus tx",
         "write-once bus tx",
         "RWB bus tx",
     ]);
-    for shared in [0.02f64, 0.05, 0.10, 0.20] {
-        let config = MixConfig {
-            shared_fraction: shared,
-            ops_per_pe: 2_000,
-            ..MixConfig::default()
-        };
-        let cmp = ProtocolComparison::new(8).config(config);
-        let rb = cmp.run_one(decache_core::ProtocolKind::Rb);
-        let wo = cmp.run_one(decache_core::ProtocolKind::WriteOnce);
-        let rwb = cmp.run_one(decache_core::ProtocolKind::Rwb);
+    for (shared, group) in fractions.iter().zip(rows.chunks(kinds.len())) {
         table.row(vec![
             format!("{:.0}%", shared * 100.0),
-            rb.bus_transactions.to_string(),
-            wo.bus_transactions.to_string(),
-            rwb.bus_transactions.to_string(),
+            group[0].bus_transactions.to_string(),
+            group[1].bus_transactions.to_string(),
+            group[2].bus_transactions.to_string(),
         ]);
     }
     println!("{table}");

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use decache_analysis::par;
+
 /// Prints an experiment banner: title and the paper artifact it
 /// regenerates.
 pub fn banner(title: &str, artifact: &str) {
@@ -32,11 +34,58 @@ pub fn banner(title: &str, artifact: &str) {
     println!();
 }
 
+/// Escapes a bench-case name for embedding in a JSON string.
+fn json_escape(name: &str) -> String {
+    name.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Appends one `{"name", "ns_per_iter", "iters"}` record to the file
+/// named by `DECACHE_BENCH_JSON`, if set.
+fn record_json(name: &str, nanos: f64, iters: u32) {
+    let Ok(path) = std::env::var("DECACHE_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+    writeln!(
+        file,
+        "{{\"name\":\"{}\",\"ns_per_iter\":{nanos:.1},\"iters\":{iters}}}",
+        json_escape(name)
+    )
+    .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+}
+
 /// Times `body` over `iters` iterations after one warmup call and
 /// prints a `name ... mean per-iter` line; the dependency-free stand-in
 /// for the former Criterion harness. Returns the mean nanoseconds per
 /// iteration so callers can assert coarse regressions if they want.
+///
+/// Two environment knobs:
+///
+/// * `DECACHE_BENCH_ITERS=<n>` overrides every case's iteration count —
+///   CI smoke runs set it to `1` to type-check and exercise the bench
+///   bins without paying for statistics.
+/// * `DECACHE_BENCH_JSON=<path>` appends one JSON line per case
+///   (`{"name": …, "ns_per_iter": …, "iters": …}`) to `<path>`, so
+///   sweeps can be diffed across commits (see `BENCH_simulator.json`).
 pub fn time_case<T>(name: &str, iters: u32, mut body: impl FnMut() -> T) -> f64 {
+    let iters = match std::env::var("DECACHE_BENCH_ITERS") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("DECACHE_BENCH_ITERS={v} is not a number")),
+        Err(_) => iters,
+    };
     assert!(iters > 0, "at least one iteration");
     std::hint::black_box(body());
     let start = std::time::Instant::now();
@@ -44,6 +93,7 @@ pub fn time_case<T>(name: &str, iters: u32, mut body: impl FnMut() -> T) -> f64 
         std::hint::black_box(body());
     }
     let nanos = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    record_json(name, nanos, iters);
     if nanos >= 1_000_000.0 {
         println!(
             "{name:<44} {:>10.2} ms/iter ({iters} iters)",

@@ -86,6 +86,8 @@ pub struct TagStore<S> {
     clock: u64,
     policy: ReplacementPolicy,
     rng: Rng,
+    /// Running count of valid lines, so [`TagStore::len`] is O(1).
+    valid: usize,
 }
 
 impl<S> TagStore<S> {
@@ -109,6 +111,7 @@ impl<S> TagStore<S> {
             clock: 0,
             policy,
             rng,
+            valid: 0,
         }
     }
 
@@ -201,6 +204,10 @@ impl<S> TagStore<S> {
             })
         };
 
+        let occupied = self.lines[slot].is_some();
+        if !occupied {
+            self.valid += 1;
+        }
         let displaced = self.lines[slot].take().and_then(|old| {
             (old.addr != base).then_some(EvictedLine {
                 addr: old.addr,
@@ -221,21 +228,25 @@ impl<S> TagStore<S> {
     /// Removes and returns the line holding `addr`, if present.
     pub fn remove(&mut self, addr: Addr) -> Option<EvictedLine<S>> {
         let slot = self.slot_of(addr)?;
-        self.lines[slot].take().map(|e| EvictedLine {
+        let removed = self.lines[slot].take().map(|e| EvictedLine {
             addr: e.addr,
             state: e.state,
             data: e.data,
-        })
+        });
+        if removed.is_some() {
+            self.valid -= 1;
+        }
+        removed
     }
 
     /// Returns the number of valid lines.
     pub fn len(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
+        self.valid
     }
 
     /// Returns `true` if no lines are valid.
     pub fn is_empty(&self) -> bool {
-        self.lines.iter().all(|l| l.is_none())
+        self.valid == 0
     }
 
     /// Iterates over all valid lines in set order.
@@ -253,6 +264,7 @@ impl<S> TagStore<S> {
         for line in &mut self.lines {
             *line = None;
         }
+        self.valid = 0;
     }
 }
 

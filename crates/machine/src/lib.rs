@@ -47,6 +47,7 @@ mod machine;
 mod op;
 mod processor;
 mod recovery;
+mod sharers;
 mod snapshot;
 mod stats;
 mod status;

@@ -1,5 +1,6 @@
 //! The cycle-based shared-bus MIMD machine.
 
+use crate::sharers::{AddrPeIndex, PeMask};
 use crate::status::{PeStatus, Pending};
 use crate::{MachineStats, MemOp, OpResult, Processor, Snapshot, Trace, TraceEvent, TraceKind};
 use decache_bus::{
@@ -54,6 +55,27 @@ pub struct Machine {
     /// Per-bus cycle number until which the bus is still occupied.
     bus_free_at: Vec<u64>,
     trace: Trace,
+    /// The geometry shared by every cache, for block-base lookups in
+    /// the sharer index.
+    geometry: decache_cache::Geometry,
+    /// Sharer index: for each block base address, the set of caches
+    /// currently holding the block (in any state, including `Invalid` —
+    /// an invalid line still snoops, e.g. to capture an RWB broadcast).
+    /// Maintained at the two presence-mutation points, install and
+    /// evict; lets `find_supplier` and `dispatch_snoop` visit only
+    /// actual holders instead of scanning all `n` caches.
+    sharers: AddrPeIndex,
+    /// Pending-read index: for each address, the set of PEs stalled in
+    /// [`Pending::Read`] on it — `satisfy_pending_reads` consults this
+    /// instead of scanning every PE per bus transaction.
+    pending_readers: AddrPeIndex,
+    /// The set of PEs in [`PeStatus::Idle`], so `issue_phase` skips
+    /// stalled and finished PEs without touching them.
+    idle: PeMask,
+    /// Running count of PEs in [`PeStatus::Idle`].
+    idle_count: usize,
+    /// Running count of PEs in [`PeStatus::Done`].
+    done_count: usize,
 }
 
 impl std::fmt::Debug for Machine {
@@ -87,9 +109,30 @@ impl Machine {
             transaction_cycles >= 1,
             "transactions take at least one cycle"
         );
+        let geometry = caches
+            .first()
+            .map(TagStore::geometry)
+            .unwrap_or_else(|| decache_cache::Geometry::direct_mapped(1));
+        assert!(
+            caches.iter().all(|c| c.geometry() == geometry),
+            "the sharer index requires all caches to share one geometry"
+        );
+        let mut sharers = AddrPeIndex::new(n);
+        for (pe, cache) in caches.iter().enumerate() {
+            for entry in cache.iter() {
+                sharers.add(entry.addr.index(), pe);
+            }
+        }
+        let mut idle = PeMask::new(n);
+        for pe in 0..n {
+            idle.set(pe);
+        }
         Machine {
             protocol,
             routing,
+            geometry,
+            sharers,
+            pending_readers: AddrPeIndex::new(n),
             memory,
             caches,
             statuses: vec![PeStatus::Idle; n],
@@ -104,6 +147,9 @@ impl Machine {
             transaction_cycles,
             bus_free_at: vec![0; buses],
             trace,
+            idle,
+            idle_count: n,
+            done_count: 0,
         }
     }
 
@@ -159,17 +205,14 @@ impl Machine {
     /// Returns `true` once every processor has finished and no bus
     /// requests remain.
     pub fn is_done(&self) -> bool {
-        self.statuses.iter().all(|s| *s == PeStatus::Done)
-            && self.queues.iter().all(BusQueue::is_empty)
+        self.done_count == self.pe_count() && self.queues.iter().all(BusQueue::is_empty)
     }
 
     /// Returns `true` when no PE is stalled and no bus requests remain —
     /// every processor is either finished or idle (e.g. a conducted
     /// scenario program returning [`Poll::Wait`](crate::Poll::Wait)).
     pub fn is_quiescent(&self) -> bool {
-        self.statuses
-            .iter()
-            .all(|s| matches!(s, PeStatus::Idle | PeStatus::Done))
+        self.idle_count + self.done_count == self.pe_count()
             && self.queues.iter().all(BusQueue::is_empty)
     }
 
@@ -309,16 +352,50 @@ impl Machine {
         self.caches[pe].get(addr).map(|e| e.state)
     }
 
+    /// The sharer-index key for `addr`: its block base address.
+    fn block_base(&self, addr: Addr) -> u64 {
+        self.geometry.block_base(addr).index()
+    }
+
+    /// The single gate for PE status transitions: keeps the idle set,
+    /// the done/idle counters, and the pending-read index in sync.
+    fn set_status(&mut self, pe: usize, status: PeStatus) {
+        match std::mem::replace(&mut self.statuses[pe], status) {
+            PeStatus::Idle => {
+                self.idle.clear(pe);
+                self.idle_count -= 1;
+            }
+            PeStatus::Done => self.done_count -= 1,
+            PeStatus::WaitBus(Pending::Read { addr, .. }) => {
+                self.pending_readers.remove(addr.index(), pe);
+            }
+            PeStatus::WaitBus(_) => {}
+        }
+        match status {
+            PeStatus::Idle => {
+                self.idle.set(pe);
+                self.idle_count += 1;
+            }
+            PeStatus::Done => self.done_count += 1,
+            PeStatus::WaitBus(Pending::Read { addr, .. }) => {
+                self.pending_readers.add(addr.index(), pe);
+            }
+            PeStatus::WaitBus(_) => {}
+        }
+    }
+
     // ----- issue phase ------------------------------------------------
 
     fn issue_phase(&mut self) {
-        for pe in 0..self.pe_count() {
-            if self.statuses[pe] != PeStatus::Idle {
-                continue;
-            }
+        // Cursor over the idle bitset: handling one PE never changes
+        // another PE's status, so this visits exactly the PEs the old
+        // full scan found idle, in the same ascending order.
+        let mut cursor = 0;
+        while let Some(pe) = self.idle.next_from(cursor) {
+            cursor = pe + 1;
             let last = self.last_results[pe].take();
             match self.processors[pe].next_op(last.as_ref()) {
-                crate::Poll::Halt => self.statuses[pe] = PeStatus::Done,
+                crate::Poll::Halt => self.set_status(pe, PeStatus::Done),
                 crate::Poll::Wait => {}
                 crate::Poll::Op(op) => self.start_op(pe, op),
             }
@@ -347,10 +424,13 @@ impl Machine {
                     debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
                     self.cache_stats[pe].record(AccessKind::Read, op.class, false);
                     self.enqueue(pe_id, addr, BusOp::Read);
-                    self.statuses[pe] = PeStatus::WaitBus(Pending::Read {
-                        addr,
-                        class: op.class,
-                    });
+                    self.set_status(
+                        pe,
+                        PeStatus::WaitBus(Pending::Read {
+                            addr,
+                            class: op.class,
+                        }),
+                    );
                 }
             },
             Access::Write(addr, value) => {
@@ -377,11 +457,14 @@ impl Machine {
                         };
                         self.cache_stats[pe].record(AccessKind::Write, op.class, false);
                         self.enqueue(pe_id, addr, bus_op);
-                        self.statuses[pe] = PeStatus::WaitBus(Pending::Write {
-                            addr,
-                            value,
-                            class: op.class,
-                        });
+                        self.set_status(
+                            pe,
+                            PeStatus::WaitBus(Pending::Write {
+                                addr,
+                                value,
+                                class: op.class,
+                            }),
+                        );
                     }
                 }
             }
@@ -389,11 +472,14 @@ impl Machine {
                 // "The initial read-with-lock does not reference the value
                 // in the cache" — always a bus operation.
                 self.enqueue(pe_id, addr, BusOp::ReadWithLock);
-                self.statuses[pe] = PeStatus::WaitBus(Pending::LockedRead {
-                    addr,
-                    set_to,
-                    class: op.class,
-                });
+                self.set_status(
+                    pe,
+                    PeStatus::WaitBus(Pending::LockedRead {
+                        addr,
+                        set_to,
+                        class: op.class,
+                    }),
+                );
             }
         }
     }
@@ -402,7 +488,8 @@ impl Machine {
         let bus = self.routing.bus_of(addr);
         assert!(
             self.routing.is_attached(pe.index(), bus, self.pe_count()),
-            "{pe} is not attached to the bus serving {addr} (workload violates the              hierarchy's region discipline)"
+            "{pe} is not attached to the bus serving {addr} \
+             (workload violates the hierarchy's region discipline)"
         );
         self.queues[bus]
             .request(BusTransaction::new(pe, addr, op))
@@ -455,12 +542,19 @@ impl Machine {
     /// read would observe stale memory.
     fn find_supplier(&self, addr: Addr) -> Option<usize> {
         let bus = self.routing.bus_of(addr);
-        (0..self.pe_count()).find(|&pe| {
-            self.routing.is_attached(pe, bus, self.pe_count())
+        let base = self.block_base(addr);
+        let mut cursor = 0;
+        while let Some(pe) = self.sharers.next_from(base, cursor) {
+            cursor = pe + 1;
+            if self.routing.is_attached(pe, bus, self.pe_count())
                 && self
                     .line_state(pe, addr)
                     .is_some_and(|s| self.protocol.supplies_on_snoop_read(s))
-        })
+            {
+                return Some(pe);
+            }
+        }
+        None
     }
 
     fn execute_read(&mut self, bus: usize, tx: BusTransaction) {
@@ -494,7 +588,8 @@ impl Machine {
             self.dispatch_snoop(
                 addr,
                 SnoopEvent::Write(data),
-                &[supplier, tx.initiator.index()],
+                Some(tx.initiator.index()),
+                Some(supplier),
             );
             self.traffic.bus_mut(bus).record_retry();
             self.queues[bus].push_retry(tx);
@@ -534,7 +629,7 @@ impl Machine {
         } else {
             SnoopEvent::Read(value)
         };
-        self.dispatch_snoop(addr, event, &[tx.initiator.index()]);
+        self.dispatch_snoop(addr, event, Some(tx.initiator.index()), None);
 
         // The initiator's own line fills.
         let pe = tx.initiator.index();
@@ -555,11 +650,14 @@ impl Machine {
                 if value.is_zero() {
                     // Test succeeded: proceed to the unlocking write.
                     self.enqueue(tx.initiator, addr, BusOp::WriteWithUnlock(set_to));
-                    self.statuses[pe] = PeStatus::WaitBus(Pending::UnlockWrite {
-                        addr,
-                        old: value,
-                        class,
-                    });
+                    self.set_status(
+                        pe,
+                        PeStatus::WaitBus(Pending::UnlockWrite {
+                            addr,
+                            old: value,
+                            class,
+                        }),
+                    );
                 } else {
                     // Failed Test-and-Set: "treated as a non-cachable
                     // read" — release the lock without writing.
@@ -612,7 +710,7 @@ impl Machine {
         } else {
             SnoopEvent::Write(value)
         };
-        self.dispatch_snoop(addr, event, &[tx.initiator.index()]);
+        self.dispatch_snoop(addr, event, Some(tx.initiator.index()), None);
 
         let pe = tx.initiator.index();
         let prior = self.line_state(pe, addr);
@@ -647,7 +745,12 @@ impl Machine {
     fn execute_invalidate(&mut self, bus: usize, tx: BusTransaction) {
         let addr = tx.addr;
         self.traffic.bus_mut(bus).record(BusOpKind::Invalidate);
-        self.dispatch_snoop(addr, SnoopEvent::Invalidate, &[tx.initiator.index()]);
+        self.dispatch_snoop(
+            addr,
+            SnoopEvent::Invalidate,
+            Some(tx.initiator.index()),
+            None,
+        );
 
         let pe = tx.initiator.index();
         let prior = self.line_state(pe, addr);
@@ -667,18 +770,31 @@ impl Machine {
         self.record(TraceKind::Complete, Some(PeId::new(pe as u16)), || {
             result.to_string()
         });
-        self.statuses[pe] = PeStatus::Idle;
+        self.set_status(pe, PeStatus::Idle);
         self.last_results[pe] = Some(result);
     }
 
-    /// Dispatches a snoop event to every cache holding `addr` except
-    /// those in `skip` (the initiator, and the supplier on the abort
-    /// path).
-    fn dispatch_snoop(&mut self, addr: Addr, event: SnoopEvent, skip: &[usize]) {
+    /// Dispatches a snoop event to every cache holding `addr` except the
+    /// two skip slots: the transaction's `initiator`, and the `supplier`
+    /// on the abort path. Consults the sharer index, so only actual
+    /// holders are visited.
+    fn dispatch_snoop(
+        &mut self,
+        addr: Addr,
+        event: SnoopEvent,
+        initiator: Option<usize>,
+        supplier: Option<usize>,
+    ) {
         let bus = self.routing.bus_of(addr);
         let n = self.pe_count();
-        for pe in 0..n {
-            if skip.contains(&pe) || !self.routing.is_attached(pe, bus, n) {
+        let base = self.block_base(addr);
+        let mut cursor = 0;
+        while let Some(pe) = self.sharers.next_from(base, cursor) {
+            cursor = pe + 1;
+            if Some(pe) == initiator
+                || Some(pe) == supplier
+                || !self.routing.is_attached(pe, bus, n)
+            {
                 continue;
             }
             if let Some(entry) = self.caches[pe].get_mut(addr) {
@@ -694,9 +810,14 @@ impl Machine {
     }
 
     /// Installs a line after a completed bus transaction, handling the
-    /// eviction write-back shortcut.
+    /// eviction write-back shortcut. Keeps the sharer index in sync:
+    /// the installed block gains this cache as a holder, a displaced
+    /// block loses it.
     fn install(&mut self, pe: usize, addr: Addr, state: LineState, data: Word) {
-        if let Some(evicted) = self.caches[pe].insert(addr, state, data) {
+        let evicted = self.caches[pe].insert(addr, state, data);
+        self.sharers.add(self.block_base(addr), pe);
+        if let Some(evicted) = evicted {
+            self.sharers.remove(evicted.addr.index(), pe);
             if self.protocol.writeback_on_evict(evicted.state) {
                 self.memory
                     .write(evicted.addr, evicted.data)
@@ -713,14 +834,18 @@ impl Machine {
 
     /// Completes stalled plain reads whose cache line just became
     /// readable by snooping a broadcast, cancelling their bus requests.
+    /// Consults the pending-read index, so only PEs actually waiting on
+    /// `addr` are visited.
     fn satisfy_pending_reads(&mut self, addr: Addr) {
-        for pe in 0..self.pe_count() {
-            let PeStatus::WaitBus(Pending::Read { addr: want, .. }) = self.statuses[pe] else {
-                continue;
-            };
-            if want != addr {
-                continue;
-            }
+        // Cursor over the pending-read bitset: `finish` clears the
+        // visited PE's own bit and nothing else, so the scan is exact.
+        let mut cursor = 0;
+        while let Some(pe) = self.pending_readers.next_from(addr.index(), cursor) {
+            cursor = pe + 1;
+            debug_assert!(matches!(
+                self.statuses[pe],
+                PeStatus::WaitBus(Pending::Read { addr: want, .. }) if want == addr
+            ));
             let Some(entry) = self.caches[pe].get(addr) else {
                 continue;
             };
@@ -738,5 +863,65 @@ impl Machine {
             );
             self.finish(pe, OpResult::Read(value));
         }
+    }
+
+    /// Asserts every fast-path index against a brute-force recompute
+    /// from the architectural state: the sharer index must equal the
+    /// per-address holder sets scanned from all tag stores, the
+    /// pending-read index must equal the set of PEs stalled in
+    /// [`Pending::Read`], and the idle/done bookkeeping must match the
+    /// status vector. Test instrumentation — O(caches + index size).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending PE/address) if any index diverges.
+    #[doc(hidden)]
+    pub fn assert_fast_path_invariants(&self) {
+        let mut cached_lines = 0;
+        for (pe, cache) in self.caches.iter().enumerate() {
+            assert_eq!(cache.len(), cache.iter().count(), "cached len for P{pe}");
+            for entry in cache.iter() {
+                cached_lines += 1;
+                assert!(
+                    self.sharers.contains(entry.addr.index(), pe),
+                    "sharer index misses P{pe} holding {}",
+                    entry.addr
+                );
+            }
+        }
+        assert_eq!(
+            self.sharers.total(),
+            cached_lines,
+            "sharer index has stale holder bits"
+        );
+
+        let mut pending_reads = 0;
+        let mut idle = 0;
+        let mut done = 0;
+        for (pe, status) in self.statuses.iter().enumerate() {
+            match *status {
+                PeStatus::Idle => {
+                    idle += 1;
+                    assert_eq!(self.idle.next_from(pe), Some(pe), "idle set misses P{pe}");
+                }
+                PeStatus::Done => done += 1,
+                PeStatus::WaitBus(Pending::Read { addr, .. }) => {
+                    pending_reads += 1;
+                    assert!(
+                        self.pending_readers.contains(addr.index(), pe),
+                        "pending-read index misses P{pe} waiting on {addr}"
+                    );
+                }
+                PeStatus::WaitBus(_) => {}
+            }
+        }
+        assert_eq!(self.idle_count, idle, "idle_count drifted");
+        assert_eq!(self.idle.total(), idle, "idle set has stale bits");
+        assert_eq!(self.done_count, done, "done_count drifted");
+        assert_eq!(
+            self.pending_readers.total(),
+            pending_reads,
+            "pending-read index has stale bits"
+        );
     }
 }

@@ -1,0 +1,224 @@
+//! Internal bitset indexes that fast-path the cycle engine.
+//!
+//! The paper's machine is a broadcast medium: every bus transaction is
+//! observed by every cache, and the straightforward implementation
+//! re-scans all `n` processing elements per transaction (snoop
+//! dispatch, supplier search) and per cycle (issue scan, pending-read
+//! completion, done checks) — the O(n) "snoop everything" cost the
+//! shared-bus scaling literature identifies as the bottleneck. These
+//! indexes make every such scan proportional to the number of *actual*
+//! participants instead, without changing which caches are visited or
+//! in which order, so the simulation's cycle-by-cycle behaviour is
+//! bit-for-bit identical (pinned by the machine-fingerprint golden
+//! test).
+//!
+//! * [`PeMask`] — one bitset over processing elements (the idle set).
+//! * [`AddrPeIndex`] — a per-address bitset of processing elements: the
+//!   sharer index (which caches hold a block) and the pending-read
+//!   index (which PEs stall on a bus read of an address).
+//!
+//! Bit iteration is always in ascending PE order, matching the
+//! `for pe in 0..n` loops these indexes replace.
+
+/// Scans `words` for the first set bit at position `>= from`; bit `i`
+/// lives in `words[i / 64]` at bit `i % 64`.
+fn next_set_bit(words: &[u64], from: usize) -> Option<usize> {
+    let mut word = from / 64;
+    if word >= words.len() {
+        return None;
+    }
+    let mut current = words[word] & (!0u64 << (from % 64));
+    loop {
+        if current != 0 {
+            return Some(word * 64 + current.trailing_zeros() as usize);
+        }
+        word += 1;
+        if word >= words.len() {
+            return None;
+        }
+        current = words[word];
+    }
+}
+
+/// A bitset over processing elements.
+#[derive(Debug, Clone)]
+pub(crate) struct PeMask {
+    words: Vec<u64>,
+}
+
+impl PeMask {
+    /// An all-clear mask sized for `pes` processing elements.
+    pub(crate) fn new(pes: usize) -> Self {
+        PeMask {
+            words: vec![0; pes.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Sets bit `pe`.
+    pub(crate) fn set(&mut self, pe: usize) {
+        self.words[pe / 64] |= 1u64 << (pe % 64);
+    }
+
+    /// Clears bit `pe`.
+    pub(crate) fn clear(&mut self, pe: usize) {
+        self.words[pe / 64] &= !(1u64 << (pe % 64));
+    }
+
+    /// The first set bit `>= from`, in ascending order.
+    pub(crate) fn next_from(&self, from: usize) -> Option<usize> {
+        next_set_bit(&self.words, from)
+    }
+
+    /// Number of set bits (invariant checks only).
+    pub(crate) fn total(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A per-address bitset of processing elements, stored flat: address
+/// `a`'s mask occupies `words[a * stride .. (a + 1) * stride]`. The
+/// backing vector starts empty and grows on first [`add`](Self::add)
+/// touching an address, so construction is O(1), short runs never pay
+/// for the full memory range, and addresses beyond the memory size
+/// (which would fault at the memory access itself) never fault here
+/// first.
+#[derive(Debug, Clone)]
+pub(crate) struct AddrPeIndex {
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl AddrPeIndex {
+    /// An empty index over `pes` processing elements.
+    pub(crate) fn new(pes: usize) -> Self {
+        AddrPeIndex {
+            stride: pes.div_ceil(64).max(1),
+            words: Vec::new(),
+        }
+    }
+
+    fn base(&self, addr: u64) -> usize {
+        addr as usize * self.stride
+    }
+
+    /// Sets bit `pe` for `addr` (idempotent).
+    pub(crate) fn add(&mut self, addr: u64, pe: usize) {
+        let base = self.base(addr);
+        if base + self.stride > self.words.len() {
+            self.words.resize(base + self.stride, 0);
+        }
+        self.words[base + pe / 64] |= 1u64 << (pe % 64);
+    }
+
+    /// Clears bit `pe` for `addr` (idempotent).
+    pub(crate) fn remove(&mut self, addr: u64, pe: usize) {
+        let base = self.base(addr);
+        if base + self.stride <= self.words.len() {
+            self.words[base + pe / 64] &= !(1u64 << (pe % 64));
+        }
+    }
+
+    /// Whether bit `pe` is set for `addr`.
+    pub(crate) fn contains(&self, addr: u64, pe: usize) -> bool {
+        let base = self.base(addr);
+        base + self.stride <= self.words.len()
+            && self.words[base + pe / 64] & (1u64 << (pe % 64)) != 0
+    }
+
+    /// The first PE `>= from` whose bit is set for `addr`, in ascending
+    /// order — the cursor primitive behind every holder loop.
+    pub(crate) fn next_from(&self, addr: u64, from: usize) -> Option<usize> {
+        let base = self.base(addr);
+        if base + self.stride > self.words.len() {
+            return None;
+        }
+        next_set_bit(&self.words[base..base + self.stride], from)
+    }
+
+    /// Total number of set bits across all addresses (invariant checks
+    /// only — O(index size)).
+    pub(crate) fn total(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_mask_set_clear_iterate() {
+        let mut m = PeMask::new(130);
+        for pe in [0usize, 63, 64, 129] {
+            m.set(pe);
+        }
+        let mut seen = Vec::new();
+        let mut cursor = 0;
+        while let Some(pe) = m.next_from(cursor) {
+            seen.push(pe);
+            cursor = pe + 1;
+        }
+        assert_eq!(seen, vec![0, 63, 64, 129]);
+        m.clear(64);
+        assert_eq!(m.next_from(64), Some(129));
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn empty_mask_yields_nothing() {
+        let m = PeMask::new(8);
+        assert_eq!(m.next_from(0), None);
+    }
+
+    #[test]
+    fn index_add_remove_contains() {
+        let mut idx = AddrPeIndex::new(4);
+        idx.add(3, 2);
+        idx.add(3, 0);
+        assert!(idx.contains(3, 2));
+        assert!(!idx.contains(3, 1));
+        assert!(!idx.contains(4, 2));
+        assert_eq!(idx.next_from(3, 0), Some(0));
+        assert_eq!(idx.next_from(3, 1), Some(2));
+        assert_eq!(idx.next_from(3, 3), None);
+        idx.remove(3, 0);
+        assert_eq!(idx.next_from(3, 0), Some(2));
+        assert_eq!(idx.total(), 1);
+    }
+
+    #[test]
+    fn index_is_idempotent() {
+        let mut idx = AddrPeIndex::new(2);
+        idx.add(1, 1);
+        idx.add(1, 1);
+        assert_eq!(idx.total(), 1);
+        idx.remove(1, 0);
+        assert_eq!(idx.total(), 1);
+    }
+
+    #[test]
+    fn index_grows_beyond_initial_size() {
+        let mut idx = AddrPeIndex::new(70);
+        assert_eq!(idx.next_from(100, 0), None);
+        assert!(!idx.contains(100, 69));
+        idx.remove(100, 69); // no-op, no panic
+        idx.add(100, 69);
+        assert!(idx.contains(100, 69));
+        assert_eq!(idx.next_from(100, 0), Some(69));
+    }
+
+    #[test]
+    fn ascending_order_across_words() {
+        let mut idx = AddrPeIndex::new(200);
+        for pe in [5usize, 70, 199] {
+            idx.add(0, pe);
+        }
+        let mut seen = Vec::new();
+        let mut cursor = 0;
+        while let Some(pe) = idx.next_from(0, cursor) {
+            seen.push(pe);
+            cursor = pe + 1;
+        }
+        assert_eq!(seen, vec![5, 70, 199]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Seeded randomized invariant test for the cycle engine's fast-path
+//! indexes: at any point during any run, the sharer index must equal
+//! the set recomputed by a brute-force scan of all tag stores, and the
+//! scheduler's idle/done/pending-read bookkeeping must match the PE
+//! statuses it summarizes ([`Machine::assert_fast_path_invariants`]
+//! performs the brute-force comparison).
+//!
+//! Runs under `decache_rng::testing::check`, so a divergence prints a
+//! replayable seed (`DECACHE_TEST_SEED=<seed>`); `DECACHE_TEST_CASES`
+//! widens the corpus when hunting rare interleavings.
+
+use decache_core::ProtocolKind;
+use decache_machine::{Machine, MachineBuilder, Script};
+use decache_mem::{Addr, Word};
+use decache_rng::Rng;
+
+const PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+const MEMORY_WORDS: u64 = 256;
+const GLOBAL_WORDS: u64 = 64;
+
+/// The bus shapes a random machine may take.
+#[derive(Clone, Copy)]
+enum Shape {
+    Single,
+    Interleaved(usize),
+    Clustered(usize),
+}
+
+/// A random address the given PE is allowed to touch under `shape`
+/// (clustered machines impose the hierarchy's region discipline:
+/// global words plus the PE's own cluster slice).
+fn random_addr(rng: &mut Rng, shape: Shape, pe: usize, pes: usize) -> Addr {
+    match shape {
+        Shape::Single | Shape::Interleaved(_) => {
+            if rng.gen_bool(0.7) {
+                // Hot shared region: forces migration and invalidation.
+                Addr::new(rng.gen_range(0..GLOBAL_WORDS))
+            } else {
+                Addr::new(rng.gen_range(0..MEMORY_WORDS))
+            }
+        }
+        Shape::Clustered(clusters) => {
+            if rng.gen_bool(0.5) {
+                Addr::new(rng.gen_range(0..GLOBAL_WORDS))
+            } else {
+                let cluster = pe / (pes / clusters);
+                let cluster_words = (MEMORY_WORDS - GLOBAL_WORDS) / clusters as u64;
+                let base = GLOBAL_WORDS + cluster as u64 * cluster_words;
+                Addr::new(base + rng.gen_range(0..cluster_words))
+            }
+        }
+    }
+}
+
+/// Builds a machine with random protocol, PE count, bus shape, cache
+/// size, and per-PE scripts mixing reads, writes, and Test-and-Set.
+fn build_random(rng: &mut Rng) -> Machine {
+    let kind = *rng.choose(&PROTOCOLS);
+    let shape = *rng.choose(&[
+        Shape::Single,
+        Shape::Interleaved(2),
+        Shape::Interleaved(4),
+        Shape::Clustered(2),
+    ]);
+    let pes = match shape {
+        Shape::Clustered(clusters) => clusters * rng.gen_range(1usize..4),
+        _ => rng.gen_range(1usize..9),
+    };
+    // Tiny caches so conflict evictions churn the sharer index.
+    let cache_lines = *rng.choose(&[4usize, 8, 16]);
+
+    let mut builder = MachineBuilder::new(kind);
+    builder.memory_words(MEMORY_WORDS).cache_lines(cache_lines);
+    match shape {
+        Shape::Single => {}
+        Shape::Interleaved(buses) => {
+            builder.buses(buses);
+        }
+        Shape::Clustered(clusters) => {
+            builder.clusters(clusters, GLOBAL_WORDS);
+        }
+    }
+    for pe in 0..pes {
+        let ops = rng.gen_range(10u64..60);
+        let mut script = Script::new();
+        for i in 0..ops {
+            let addr = random_addr(rng, shape, pe, pes);
+            script = match rng.gen_range(0..10u32) {
+                0 => script.test_and_set(addr, Word::ONE),
+                1..=4 => script.write(addr, Word::new(pe as u64 * 1000 + i)),
+                _ => script.read(addr),
+            };
+        }
+        builder.processor(script.build());
+    }
+    builder.build()
+}
+
+#[test]
+fn sharer_index_matches_brute_force_recompute() {
+    decache_rng::testing::check("fast_path_invariants", 64, |rng| {
+        let mut machine = build_random(rng);
+        machine.assert_fast_path_invariants();
+        let mut budget = 100_000u64;
+        while !machine.is_done() && budget > 0 {
+            let burst = rng.gen_range(1u64..64);
+            machine.run(burst.min(budget));
+            budget = budget.saturating_sub(burst);
+            machine.assert_fast_path_invariants();
+        }
+        assert!(machine.is_done(), "random machine failed to terminate");
+        machine.assert_fast_path_invariants();
+    });
+}

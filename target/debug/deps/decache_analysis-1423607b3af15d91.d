@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/decache_analysis-1423607b3af15d91.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/debug/deps/decache_analysis-1423607b3af15d91.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
-/root/repo/target/debug/deps/libdecache_analysis-1423607b3af15d91.rlib: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/debug/deps/libdecache_analysis-1423607b3af15d91.rlib: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
-/root/repo/target/debug/deps/libdecache_analysis-1423607b3af15d91.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/debug/deps/libdecache_analysis-1423607b3af15d91.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bandwidth.rs:
 crates/analysis/src/chart.rs:
 crates/analysis/src/compare.rs:
 crates/analysis/src/multibus.rs:
+crates/analysis/src/par.rs:
 crates/analysis/src/saturation.rs:
 crates/analysis/src/table.rs:

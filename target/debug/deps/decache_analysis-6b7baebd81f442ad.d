@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/decache_analysis-6b7baebd81f442ad.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/decache_analysis-6b7baebd81f442ad.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdecache_analysis-6b7baebd81f442ad.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libdecache_analysis-6b7baebd81f442ad.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs Cargo.toml
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bandwidth.rs:
 crates/analysis/src/chart.rs:
 crates/analysis/src/compare.rs:
 crates/analysis/src/multibus.rs:
+crates/analysis/src/par.rs:
 crates/analysis/src/saturation.rs:
 crates/analysis/src/table.rs:
 Cargo.toml:

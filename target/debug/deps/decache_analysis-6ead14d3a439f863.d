@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/decache_analysis-6ead14d3a439f863.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/debug/deps/decache_analysis-6ead14d3a439f863.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
-/root/repo/target/debug/deps/decache_analysis-6ead14d3a439f863: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/debug/deps/decache_analysis-6ead14d3a439f863: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bandwidth.rs:
 crates/analysis/src/chart.rs:
 crates/analysis/src/compare.rs:
 crates/analysis/src/multibus.rs:
+crates/analysis/src/par.rs:
 crates/analysis/src/saturation.rs:
 crates/analysis/src/table.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/decache_machine-e6684af405a58778.d: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
+/root/repo/target/debug/deps/decache_machine-e6684af405a58778.d: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
 
-/root/repo/target/debug/deps/libdecache_machine-e6684af405a58778.rlib: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
+/root/repo/target/debug/deps/libdecache_machine-e6684af405a58778.rlib: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
 
-/root/repo/target/debug/deps/libdecache_machine-e6684af405a58778.rmeta: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
+/root/repo/target/debug/deps/libdecache_machine-e6684af405a58778.rmeta: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
 
 crates/machine/src/lib.rs:
 crates/machine/src/builder.rs:
@@ -10,6 +10,7 @@ crates/machine/src/machine.rs:
 crates/machine/src/op.rs:
 crates/machine/src/processor.rs:
 crates/machine/src/recovery.rs:
+crates/machine/src/sharers.rs:
 crates/machine/src/snapshot.rs:
 crates/machine/src/stats.rs:
 crates/machine/src/status.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/decache_machine-eac192c1f81c4270.d: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/decache_machine-eac192c1f81c4270.d: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdecache_machine-eac192c1f81c4270.rmeta: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libdecache_machine-eac192c1f81c4270.rmeta: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs Cargo.toml
 
 crates/machine/src/lib.rs:
 crates/machine/src/builder.rs:
@@ -8,6 +8,7 @@ crates/machine/src/machine.rs:
 crates/machine/src/op.rs:
 crates/machine/src/processor.rs:
 crates/machine/src/recovery.rs:
+crates/machine/src/sharers.rs:
 crates/machine/src/snapshot.rs:
 crates/machine/src/stats.rs:
 crates/machine/src/status.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fast_path_invariants-99e2761d33433491.d: crates/machine/tests/fast_path_invariants.rs
+
+/root/repo/target/debug/deps/fast_path_invariants-99e2761d33433491: crates/machine/tests/fast_path_invariants.rs
+
+crates/machine/tests/fast_path_invariants.rs:

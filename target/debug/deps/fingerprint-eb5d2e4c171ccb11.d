@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fingerprint-eb5d2e4c171ccb11.d: tests/fingerprint.rs
+
+/root/repo/target/debug/deps/fingerprint-eb5d2e4c171ccb11: tests/fingerprint.rs
+
+tests/fingerprint.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/decache_analysis-079ee0b355b6bf8f.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/release/deps/decache_analysis-079ee0b355b6bf8f.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
-/root/repo/target/release/deps/libdecache_analysis-079ee0b355b6bf8f.rlib: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/release/deps/libdecache_analysis-079ee0b355b6bf8f.rlib: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
-/root/repo/target/release/deps/libdecache_analysis-079ee0b355b6bf8f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
+/root/repo/target/release/deps/libdecache_analysis-079ee0b355b6bf8f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bandwidth.rs:
 crates/analysis/src/chart.rs:
 crates/analysis/src/compare.rs:
 crates/analysis/src/multibus.rs:
+crates/analysis/src/par.rs:
 crates/analysis/src/saturation.rs:
 crates/analysis/src/table.rs:

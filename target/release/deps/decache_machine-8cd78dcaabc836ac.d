@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/decache_machine-8cd78dcaabc836ac.d: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
+/root/repo/target/release/deps/decache_machine-8cd78dcaabc836ac.d: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
 
-/root/repo/target/release/deps/libdecache_machine-8cd78dcaabc836ac.rlib: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
+/root/repo/target/release/deps/libdecache_machine-8cd78dcaabc836ac.rlib: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
 
-/root/repo/target/release/deps/libdecache_machine-8cd78dcaabc836ac.rmeta: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
+/root/repo/target/release/deps/libdecache_machine-8cd78dcaabc836ac.rmeta: crates/machine/src/lib.rs crates/machine/src/builder.rs crates/machine/src/machine.rs crates/machine/src/op.rs crates/machine/src/processor.rs crates/machine/src/recovery.rs crates/machine/src/sharers.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs crates/machine/src/status.rs crates/machine/src/trace.rs
 
 crates/machine/src/lib.rs:
 crates/machine/src/builder.rs:
@@ -10,6 +10,7 @@ crates/machine/src/machine.rs:
 crates/machine/src/op.rs:
 crates/machine/src/processor.rs:
 crates/machine/src/recovery.rs:
+crates/machine/src/sharers.rs:
 crates/machine/src/snapshot.rs:
 crates/machine/src/stats.rs:
 crates/machine/src/status.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fingerprint-9f592e272e607e59.d: tests/fingerprint.rs
+
+/root/repo/target/release/deps/fingerprint-9f592e272e607e59: tests/fingerprint.rs
+
+tests/fingerprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-31cbe811bc31d792.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-31cbe811bc31d792: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

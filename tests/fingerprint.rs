@@ -1,0 +1,278 @@
+//! Machine-fingerprint golden test: pins the *complete observable
+//! behaviour* of the cycle engine so performance work cannot change a
+//! single simulated statistic.
+//!
+//! For a grid of seeded scenarios × all seven [`ProtocolKind`] variants,
+//! the test runs the machine to completion and folds every statistic the
+//! machine exposes — elapsed cycles, per-bus traffic by transaction
+//! type, per-PE cache hit/miss counters by access kind and reference
+//! class, the machine counters (broadcast-satisfied, write-backs,
+//! Test-and-Set successes/failures, lock rejections), and a checksum of
+//! final memory contents — into one FNV-1a fingerprint. The golden
+//! values below were captured from the engine *before* the sharer-index
+//! fast path landed; the fast path must be invisible to every one of
+//! them.
+//!
+//! To regenerate after an *intentional* behavioural change, run
+//! `DECACHE_FINGERPRINT_PRINT=1 cargo test --test fingerprint -- --nocapture`
+//! and paste the printed table.
+
+use decache::cache::{AccessKind, RefClass};
+use decache::core::ProtocolKind;
+use decache::machine::{Machine, MachineBuilder, Script};
+use decache::mem::{Addr, AddrRange, Word};
+use decache::workloads::{MixConfig, MixWorkload};
+
+/// The seven protocol variants, in fingerprint order.
+const PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+/// FNV-1a over the rendered statistics dump.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders every statistic of a finished machine into one stable string.
+fn dump(machine: &Machine, cycles: u64) -> String {
+    use decache::bus::BusOpKind;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    writeln!(out, "cycles={cycles}").unwrap();
+    let per_bus = machine.traffic_per_bus();
+    for bus in 0..per_bus.bus_count() {
+        let t = per_bus.bus(bus);
+        writeln!(
+            out,
+            "bus{bus}: BR={} BW={} BI={} BRL={} BWU={} aborts={} retries={} busy={} idle={}",
+            t.count(BusOpKind::Read),
+            t.count(BusOpKind::Write),
+            t.count(BusOpKind::Invalidate),
+            t.count(BusOpKind::ReadWithLock),
+            t.count(BusOpKind::WriteWithUnlock),
+            t.aborted_reads,
+            t.retries,
+            t.busy_cycles,
+            t.idle_cycles,
+        )
+        .unwrap();
+    }
+    for pe in 0..machine.pe_count() {
+        let s = machine.cache_stats(pe);
+        write!(out, "pe{pe}:").unwrap();
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            for class in RefClass::ALL {
+                write!(out, " {}/{}", s.hits(kind, class), s.misses(kind, class)).unwrap();
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    let m = machine.stats();
+    writeln!(
+        out,
+        "machine: bcast={} wb={} ts_ok={} ts_fail={} lockrej={}",
+        m.broadcast_satisfied, m.writebacks, m.ts_successes, m.ts_failures, m.lock_rejections
+    )
+    .unwrap();
+    // Memory contents checksum: position-sensitive fold over every word.
+    let mut mem_hash = 0xcbf2_9ce4_8422_2325u64;
+    for addr in 0..machine.memory().size() {
+        let w = machine.memory().peek(Addr::new(addr)).unwrap();
+        mem_hash ^= w.value().rotate_left((addr % 63) as u32);
+        mem_hash = mem_hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    writeln!(out, "memory={mem_hash:016x}").unwrap();
+    out
+}
+
+/// One scenario: a named machine constructor.
+struct Scenario {
+    name: &'static str,
+    build: fn(ProtocolKind) -> Machine,
+}
+
+/// 8 PEs on the default mixed workload, single bus, small caches so
+/// conflict evictions (and write-backs) occur.
+fn mix_single(kind: ProtocolKind) -> Machine {
+    let shared = AddrRange::with_len(Addr::new(0), 64);
+    let config = MixConfig {
+        ops_per_pe: 400,
+        ..MixConfig::default()
+    };
+    MachineBuilder::new(kind)
+        .memory_words(1 << 12)
+        .cache_lines(64)
+        .processors(8, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        })
+        .build()
+}
+
+/// 8 PEs over two interleaved buses.
+fn mix_dualbus(kind: ProtocolKind) -> Machine {
+    let shared = AddrRange::with_len(Addr::new(0), 64);
+    let config = MixConfig {
+        ops_per_pe: 300,
+        ..MixConfig::default()
+    };
+    MachineBuilder::new(kind)
+        .memory_words(1 << 12)
+        .cache_lines(128)
+        .buses(2)
+        .processors(8, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        })
+        .build()
+}
+
+/// 8 PEs in 2 clusters: shared refs on the global bus, private refs on
+/// the cluster buses.
+fn mix_clustered(kind: ProtocolKind) -> Machine {
+    const GLOBAL: u64 = 64;
+    let shared = AddrRange::with_len(Addr::new(0), GLOBAL);
+    let config = MixConfig {
+        ops_per_pe: 300,
+        ..MixConfig::default()
+    };
+    let memory_words = 1u64 << 13;
+    let clusters = 2usize;
+    let pes = 8usize;
+    let mut builder = MachineBuilder::new(kind);
+    builder
+        .memory_words(memory_words)
+        .cache_lines(64)
+        .clusters(clusters, GLOBAL);
+    builder.processors(pes, |pe| {
+        let per_cluster = pes / clusters;
+        let cluster_words = (memory_words - GLOBAL) / clusters as u64;
+        let base = GLOBAL + (pe / per_cluster) as u64 * cluster_words;
+        let slot = (pe % per_cluster) as u64;
+        let private = AddrRange::with_len(Addr::new(base + slot * 128), 128);
+        Box::new(MixWorkload::with_private_region(
+            config, shared, private, pe as u64,
+        ))
+    });
+    builder.build()
+}
+
+/// 4 PEs hammering one lock word with Test-and-Set while touching a few
+/// shared words — exercises locked reads, unlocking writes, lock
+/// rejections, and TS failures.
+fn ts_contention(kind: ProtocolKind) -> Machine {
+    let lock = Addr::new(0);
+    let mut builder = MachineBuilder::new(kind);
+    builder.memory_words(64).cache_lines(16);
+    for pe in 0..4usize {
+        let mut script = Script::new();
+        for round in 0..6u64 {
+            script = script
+                .test_and_set(lock, Word::ONE)
+                .read(Addr::new(1 + (pe as u64 + round) % 8))
+                .write(Addr::new(1 + round % 8), Word::new(pe as u64 * 100 + round))
+                .write(lock, Word::ZERO);
+        }
+        builder.processor(script.build());
+    }
+    builder.build()
+}
+
+/// 4 PEs with tiny caches cycling through a region larger than the
+/// cache — eviction- and write-back-heavy, with heavy line migration.
+fn eviction_churn(kind: ProtocolKind) -> Machine {
+    let mut builder = MachineBuilder::new(kind);
+    builder.memory_words(256).cache_lines(8);
+    for pe in 0..4usize {
+        let mut script = Script::new();
+        for i in 0..48u64 {
+            let a = Addr::new((i * 7 + pe as u64 * 3) % 64);
+            script = if i % 3 == 0 {
+                script.write(a, Word::new(i + pe as u64))
+            } else {
+                script.read(a)
+            };
+        }
+        builder.processor(script.build());
+    }
+    builder.build()
+}
+
+const SCENARIOS: [Scenario; 5] = [
+    Scenario {
+        name: "mix_single",
+        build: mix_single,
+    },
+    Scenario {
+        name: "mix_dualbus",
+        build: mix_dualbus,
+    },
+    Scenario {
+        name: "mix_clustered",
+        build: mix_clustered,
+    },
+    Scenario {
+        name: "ts_contention",
+        build: ts_contention,
+    },
+    Scenario {
+        name: "eviction_churn",
+        build: eviction_churn,
+    },
+];
+
+/// Golden fingerprints captured from the pre-optimization engine
+/// (rows: scenario; columns: the seven protocols in `PROTOCOLS` order).
+#[rustfmt::skip]
+const GOLDEN: [(&str, [u64; 7]); 5] = [
+    ("mix_single", [0x636d5a182cc03c6c, 0x0dcfcc4b752adba9, 0xac24686ff847893c, 0x4398f6f33868cb32, 0x457c0946a3ec3baa, 0x69eca5b8cf8e6847, 0x734b3f48eeeec781]),
+    ("mix_dualbus", [0x19c17eb2a87033c0, 0x3f8e376bdfc16e89, 0xc6a406c794b2b991, 0x11f01a82e70a7482, 0x6c3a98743900fa3a, 0xf52cb474e4d6c471, 0x569af8055d022000]),
+    ("mix_clustered", [0x9fcfb04e0dfd63b2, 0x3cbc8fb1e23a3055, 0xcca416d13c172d5d, 0x328f83a224abe505, 0x315dc7ba6093e22f, 0x3c0291232dfe0544, 0x4111bbb37c0bc4dd]),
+    ("ts_contention", [0xa73bbda14da1f1b4, 0xa73bbda14da1f1b4, 0xfb6d0ccb464e2e25, 0xbda95245f6865ec2, 0x66be13973f1cac59, 0x66be13973f1cac59, 0x66be13973f1cac59]),
+    ("eviction_churn", [0xc4351197056304ec, 0xc4351197056304ec, 0x0b15d5de758b6bf4, 0x1016366c2f145d1d, 0x0b15d5de758b6bf4, 0x0b15d5de758b6bf4, 0x0b15d5de758b6bf4]),
+];
+
+fn fingerprint(scenario: &Scenario, kind: ProtocolKind) -> (u64, String) {
+    let mut machine = (scenario.build)(kind);
+    let cycles = machine.run_to_completion(50_000_000);
+    let text = dump(&machine, cycles);
+    (fnv1a(&text), text)
+}
+
+#[test]
+fn machine_fingerprints_match_pre_optimization_goldens() {
+    let print_mode = std::env::var("DECACHE_FINGERPRINT_PRINT").is_ok();
+    for (scenario, golden) in SCENARIOS.iter().zip(GOLDEN.iter()) {
+        assert_eq!(
+            scenario.name, golden.0,
+            "scenario/golden tables out of sync"
+        );
+        if print_mode {
+            let prints: Vec<String> = PROTOCOLS
+                .iter()
+                .map(|&kind| format!("0x{:016x}", fingerprint(scenario, kind).0))
+                .collect();
+            println!("    (\"{}\", [{}]),", scenario.name, prints.join(", "));
+            continue;
+        }
+        for (&kind, &expect) in PROTOCOLS.iter().zip(golden.1.iter()) {
+            let (hash, text) = fingerprint(scenario, kind);
+            assert_eq!(
+                hash, expect,
+                "fingerprint drift in scenario '{}' under {kind:?} \
+                 (got 0x{hash:016x}, want 0x{expect:016x});\nfull dump:\n{text}",
+                scenario.name
+            );
+        }
+    }
+}
