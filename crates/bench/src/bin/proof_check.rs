@@ -2,11 +2,15 @@
 //! product-machine exploration (lemma: only legal configurations are
 //! reachable; theorem: every read hit returns the latest value) plus a
 //! randomized refinement check of the real simulator.
+//!
+//! On a violation the product checker's reconstructed witness trace —
+//! the shortest event sequence from `NP … NP | mem*` to the bad
+//! configuration — is printed instead of a bare boolean.
 
 use decache_analysis::TextTable;
-use decache_bench::banner;
+use decache_bench::{banner, par};
 use decache_core::ProtocolKind;
-use decache_verify::{ProductChecker, SerialOracle};
+use decache_verify::{ProductChecker, ProductReport, SerialOracle};
 
 fn main() {
     banner(
@@ -14,14 +18,6 @@ fn main() {
         "Section 4 lemma & theorem (product machine + runtime oracle)",
     );
 
-    let mut table = TextTable::new(vec![
-        "protocol",
-        "caches",
-        "product states",
-        "transitions",
-        "configurations",
-        "verdict",
-    ]);
     let kinds = [
         ProtocolKind::Rb,
         ProtocolKind::RbNoBroadcast,
@@ -31,30 +27,51 @@ fn main() {
         ProtocolKind::WriteOnce,
         ProtocolKind::WriteThrough,
     ];
-    for kind in kinds {
-        for n in [2usize, 3, 4] {
-            let report = ProductChecker::new(kind, n).explore();
-            table.row(vec![
-                kind.to_string(),
-                n.to_string(),
-                report.states.to_string(),
-                report.transitions.to_string(),
-                report
-                    .configurations
-                    .iter()
-                    .map(|c| c.to_string())
-                    .collect::<Vec<_>>()
-                    .join("+"),
-                if report.holds() {
-                    "HOLDS".to_owned()
-                } else {
-                    "VIOLATED".to_owned()
-                },
-            ]);
-            assert!(report.holds(), "{kind} n={n}: {:?}", report.violations);
+    let cases: Vec<(ProtocolKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| [2usize, 3, 4].map(|n| (kind, n)))
+        .collect();
+    let reports: Vec<ProductReport> =
+        par::run_cases(&cases, |&(kind, n)| ProductChecker::new(kind, n).explore());
+
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "caches",
+        "product states",
+        "transitions",
+        "configurations",
+        "verdict",
+    ]);
+    let mut all_hold = true;
+    for (&(kind, n), report) in cases.iter().zip(&reports) {
+        table.row(vec![
+            kind.to_string(),
+            n.to_string(),
+            report.states.to_string(),
+            report.transitions.to_string(),
+            report
+                .configurations
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            if report.holds() {
+                "HOLDS".to_owned()
+            } else {
+                "VIOLATED".to_owned()
+            },
+        ]);
+        if !report.holds() {
+            all_hold = false;
+            println!("counterexample for {kind} (n={n}):");
+            match &report.witness {
+                Some(witness) => println!("{witness}"),
+                None => println!("  (no witness reconstructed) {:?}", report.violations),
+            }
         }
     }
     println!("{table}");
+    assert!(all_hold, "product machine found violations (see witnesses)");
 
     println!("runtime oracle (serialized random ops against a reference memory):");
     for kind in kinds {

@@ -1,0 +1,222 @@
+//! The protocol static-analysis gate: exhaustive product-machine
+//! reachability plus the dead-transition lint, for every protocol at
+//! every supported checker configuration.
+//!
+//! Runs all seven protocol variants × `n ∈ {2, 3, 4}` × every
+//! combination of {evictions on/off, Test-and-Set on/off} (84 cases,
+//! fanned across threads), then compares each protocol's canonical
+//! lint (`n = 3`, full event set) against the committed baseline in
+//! `crates/verify/src/lint_baseline.txt`.
+//!
+//! Exits non-zero — failing CI — if any case violates the Section 4
+//! lemma/theorem (printing the reconstructed witness trace), if any
+//! transition table is non-total over its explored domain, if any
+//! declared state is unreachable, or if a protocol has dead table
+//! entries the baseline does not expect.
+//!
+//! `--print-baseline` prints a fresh baseline file to stdout instead
+//! (redirect it over `lint_baseline.txt` after an intentional change).
+
+use decache_analysis::TextTable;
+use decache_bench::{banner, par};
+use decache_core::ProtocolKind;
+use decache_verify::{committed_baseline, LintReport, ProductChecker, ProductReport};
+use std::process::ExitCode;
+
+/// The seven protocol variants the workspace checks everywhere.
+const KINDS: [ProtocolKind; 7] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+/// One checker configuration to explore and lint.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    kind: ProtocolKind,
+    n: usize,
+    evictions: bool,
+    test_and_set: bool,
+}
+
+impl Case {
+    /// The canonical configuration is the one the baseline pins.
+    fn is_canonical(self) -> bool {
+        self.n == 3 && self.evictions && self.test_and_set
+    }
+
+    fn checker(self) -> ProductChecker {
+        let mut checker = ProductChecker::new(self.kind, self.n);
+        if !self.evictions {
+            checker = checker.without_evictions();
+        }
+        if !self.test_and_set {
+            checker = checker.without_test_and_set();
+        }
+        checker
+    }
+}
+
+struct Outcome {
+    case: Case,
+    report: ProductReport,
+    lint: LintReport,
+}
+
+fn run(case: &Case) -> Outcome {
+    let checker = case.checker();
+    let report = checker.explore();
+    let lint = checker.lint(&report);
+    Outcome {
+        case: *case,
+        report,
+        lint,
+    }
+}
+
+fn main() -> ExitCode {
+    let print_baseline = std::env::args().any(|a| a == "--print-baseline");
+
+    let mut cases = Vec::new();
+    for kind in KINDS {
+        for n in [2usize, 3, 4] {
+            for evictions in [true, false] {
+                for test_and_set in [true, false] {
+                    cases.push(Case {
+                        kind,
+                        n,
+                        evictions,
+                        test_and_set,
+                    });
+                }
+            }
+        }
+    }
+    let outcomes = par::run_cases(&cases, run);
+
+    if print_baseline {
+        println!("# Dead-transition baseline: one line per protocol, canonical checker");
+        println!("# configuration (n = 3, evictions and Test-and-Set enabled).");
+        println!("# Regenerate with:");
+        println!("#   cargo run -p decache-bench --bin protocol_check -- --print-baseline");
+        for outcome in outcomes.iter().filter(|o| o.case.is_canonical()) {
+            println!("{}", outcome.lint.baseline_line());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    banner(
+        "Protocol static analysis",
+        "reachability (lemma & theorem) + dead-transition lint, all configurations",
+    );
+
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "n",
+        "evict",
+        "TS",
+        "states",
+        "fired/domain",
+        "dead",
+        "verdict",
+    ]);
+    let mut failures = Vec::new();
+    for outcome in &outcomes {
+        let Outcome { case, report, lint } = outcome;
+        let mut problems = Vec::new();
+        if !report.holds() {
+            problems.push(format!("{} violations", report.violations.len()));
+        }
+        if !lint.is_total() {
+            problems.push(format!("non-total: {}", lint.non_total.len()));
+        }
+        if !lint.unreachable_states.is_empty() {
+            problems.push(format!("unreachable: {:?}", lint.unreachable_states));
+        }
+        let verdict = if problems.is_empty() {
+            "ok".to_owned()
+        } else {
+            problems.join("; ")
+        };
+        table.row(vec![
+            case.kind.to_string(),
+            case.n.to_string(),
+            if case.evictions { "+" } else { "-" }.to_owned(),
+            if case.test_and_set { "+" } else { "-" }.to_owned(),
+            report.states.to_string(),
+            format!("{}/{}", lint.fired, lint.domain),
+            lint.dead.len().to_string(),
+            verdict.clone(),
+        ]);
+        if verdict != "ok" {
+            failures.push(format!(
+                "{} n={} evict={} ts={}: {verdict}",
+                case.kind, case.n, case.evictions, case.test_and_set
+            ));
+            if let Some(witness) = &report.witness {
+                println!("counterexample for {} (n={}):", case.kind, case.n);
+                println!("{witness}");
+            }
+        }
+    }
+    println!("{table}");
+
+    println!("dead-transition lint versus committed baseline (canonical config):");
+    for outcome in outcomes.iter().filter(|o| o.case.is_canonical()) {
+        let lint = &outcome.lint;
+        match committed_baseline(&lint.protocol) {
+            None => {
+                println!(
+                    "  {:<16} NO BASELINE ({} dead entries)",
+                    lint.protocol,
+                    lint.dead.len()
+                );
+                failures.push(format!(
+                    "{}: no committed baseline line — add one with --print-baseline",
+                    lint.protocol
+                ));
+            }
+            Some(baseline) => {
+                let new_dead = lint.new_dead_versus(&baseline);
+                let fixed = lint.fixed_versus(&baseline);
+                let status = if new_dead.is_empty() && fixed.is_empty() {
+                    "matches baseline".to_owned()
+                } else {
+                    format!("{} new dead, {} stale entries", new_dead.len(), fixed.len())
+                };
+                println!(
+                    "  {:<16} {:>3} dead of {:>3} domain rows: {status}",
+                    lint.protocol,
+                    lint.dead.len(),
+                    lint.domain
+                );
+                for entry in &new_dead {
+                    println!("      NEW DEAD  {entry}");
+                    failures.push(format!("{}: new dead transition {entry}", lint.protocol));
+                }
+                for entry in &fixed {
+                    println!("      STALE     {entry}");
+                    failures.push(format!(
+                        "{}: baseline entry {entry} is no longer dead — regenerate",
+                        lint.protocol
+                    ));
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nprotocol_check: all {} cases ok", outcomes.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("\nprotocol_check: {} failure(s):", failures.len());
+        for failure in &failures {
+            println!("  {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

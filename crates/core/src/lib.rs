@@ -50,6 +50,7 @@
 
 mod config;
 mod diagram;
+pub mod introspect;
 mod kind;
 mod protocol;
 mod rb;

@@ -8,7 +8,7 @@ use std::fmt;
 ///
 /// The controller attaches the address and, for writes, the CPU-supplied
 /// data; for reads the data comes back from memory or a supplying cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BusIntent {
     /// Issue a bus read (`BR`).
     Read,

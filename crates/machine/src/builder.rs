@@ -1,6 +1,6 @@
 //! Fluent construction of [`Machine`]s.
 
-use crate::{Machine, Processor, Trace};
+use crate::{Machine, Observer, Processor, Trace};
 use decache_bus::{ArbiterKind, Routing};
 use decache_cache::{Geometry, TagStore};
 use decache_core::ProtocolKind;
@@ -49,6 +49,7 @@ pub struct MachineBuilder {
     transaction_cycles: u64,
     trace: bool,
     processors: Vec<Box<dyn Processor + Send>>,
+    observers: Vec<Box<dyn Observer>>,
     initial_memory: Vec<(decache_mem::Addr, decache_mem::Word)>,
 }
 
@@ -85,6 +86,7 @@ impl MachineBuilder {
             transaction_cycles: 1,
             trace: false,
             processors: Vec::new(),
+            observers: Vec::new(),
             initial_memory: Vec::new(),
         }
     }
@@ -184,6 +186,13 @@ impl MachineBuilder {
         self
     }
 
+    /// Attaches a structured protocol-event [`Observer`] (e.g. the
+    /// conformance oracle of `decache-verify`) from the first cycle on.
+    pub fn observer(&mut self, observer: Box<dyn Observer>) -> &mut Self {
+        self.observers.push(observer);
+        self
+    }
+
     /// Pre-loads consecutive memory words starting at `base` before the
     /// machine starts — input data for compute kernels.
     pub fn initialize_memory(
@@ -271,7 +280,7 @@ impl MachineBuilder {
                 .expect("initial memory contents in range");
         }
         memory.reset_stats();
-        Machine::from_parts(
+        let mut machine = Machine::from_parts(
             protocol,
             routing,
             memory,
@@ -280,7 +289,11 @@ impl MachineBuilder {
             arbiters,
             self.transaction_cycles,
             trace,
-        )
+        );
+        for observer in std::mem::take(&mut self.observers) {
+            machine.attach_observer(observer);
+        }
+        machine
     }
 }
 

@@ -60,4 +60,4 @@ pub use processor::{IdleProcessor, LoopProcessor, Poll, Processor, Script, SpinR
 pub use recovery::RecoveryError;
 pub use snapshot::{Snapshot, SnapshotTable};
 pub use stats::MachineStats;
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{CpuDecision, Observation, Observer, Trace, TraceEvent, TraceKind};

@@ -2,6 +2,7 @@
 
 use crate::sharers::{AddrPeIndex, PeMask};
 use crate::status::{PeStatus, Pending};
+use crate::trace::{CpuDecision, Observation, Observer};
 use crate::{MachineStats, MemOp, OpResult, Processor, Snapshot, Trace, TraceEvent, TraceKind};
 use decache_bus::{
     Arbiter, BusOp, BusOpKind, BusQueue, BusTransaction, MultiBusStats, Routing, TrafficStats,
@@ -55,6 +56,9 @@ pub struct Machine {
     /// Per-bus cycle number until which the bus is still occupied.
     bus_free_at: Vec<u64>,
     trace: Trace,
+    /// Structured protocol-level event subscribers (the conformance
+    /// oracle). Notified synchronously; cannot mutate the machine.
+    observers: Vec<Box<dyn Observer>>,
     /// The geometry shared by every cache, for block-base lookups in
     /// the sharer index.
     geometry: decache_cache::Geometry,
@@ -147,6 +151,7 @@ impl Machine {
             transaction_cycles,
             bus_free_at: vec![0; buses],
             trace,
+            observers: Vec::new(),
             idle,
             idle_count: n,
             done_count: 0,
@@ -299,6 +304,24 @@ impl Machine {
         self.trace.events()
     }
 
+    /// Attaches a structured protocol-event [`Observer`] (e.g. the
+    /// conformance oracle of `decache-verify`). Observers see every
+    /// protocol-level step from this point on; attaching one cannot
+    /// change any simulated behaviour or statistic.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    fn notify(&mut self, observation: Observation) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        for observer in &mut self.observers {
+            observer.observe(cycle, &observation);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Execution
     // ------------------------------------------------------------------
@@ -419,6 +442,12 @@ impl Machine {
                     self.record(TraceKind::Hit, Some(pe_id), || {
                         format!("read {addr} = {value}")
                     });
+                    self.notify(Observation::CpuAccess {
+                        pe,
+                        addr,
+                        write: false,
+                        decision: CpuDecision::Hit,
+                    });
                 }
                 CpuOutcome::Miss { intent } => {
                     debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
@@ -431,6 +460,12 @@ impl Machine {
                             class: op.class,
                         }),
                     );
+                    self.notify(Observation::CpuAccess {
+                        pe,
+                        addr,
+                        write: false,
+                        decision: CpuDecision::Miss(intent),
+                    });
                 }
             },
             Access::Write(addr, value) => {
@@ -445,6 +480,12 @@ impl Machine {
                         self.last_results[pe] = Some(OpResult::Write);
                         self.record(TraceKind::Hit, Some(pe_id), || {
                             format!("write {addr} <- {value}")
+                        });
+                        self.notify(Observation::CpuAccess {
+                            pe,
+                            addr,
+                            write: true,
+                            decision: CpuDecision::Hit,
                         });
                     }
                     CpuOutcome::Miss { intent } => {
@@ -465,6 +506,12 @@ impl Machine {
                                 class: op.class,
                             }),
                         );
+                        self.notify(Observation::CpuAccess {
+                            pe,
+                            addr,
+                            write: true,
+                            decision: CpuDecision::Miss(intent),
+                        });
                     }
                 }
             }
@@ -480,6 +527,7 @@ impl Machine {
                         class: op.class,
                     }),
                 );
+                self.notify(Observation::LockedReadIssued { pe, addr });
             }
         }
     }
@@ -591,6 +639,11 @@ impl Machine {
                 Some(tx.initiator.index()),
                 Some(supplier),
             );
+            self.notify(Observation::Supplied {
+                supplier,
+                initiator: tx.initiator.index(),
+                addr,
+            });
             self.traffic.bus_mut(bus).record_retry();
             self.queues[bus].push_retry(tx);
             self.satisfy_pending_reads(addr);
@@ -640,6 +693,7 @@ impl Machine {
             self.protocol.own_complete(prior, BusIntent::Read)
         };
         self.install(pe, addr, next, value);
+        self.notify(Observation::ReadCompleted { pe, addr, locked });
 
         // Deliver to the stalled PE.
         match self.statuses[pe] {
@@ -720,6 +774,7 @@ impl Machine {
             self.protocol.own_complete(prior, BusIntent::Write)
         };
         self.install(pe, addr, next, value);
+        self.notify(Observation::WriteCompleted { pe, addr, unlock });
 
         match self.statuses[pe] {
             PeStatus::WaitBus(Pending::Write { .. }) => {
@@ -762,6 +817,7 @@ impl Machine {
             ref other => panic!("invalidate completion for PE in state {other:?}"),
         };
         self.install(pe, addr, next, value);
+        self.notify(Observation::InvalidateCompleted { pe, addr });
 
         self.finish(pe, OpResult::Write);
     }
@@ -818,7 +874,8 @@ impl Machine {
         self.sharers.add(self.block_base(addr), pe);
         if let Some(evicted) = evicted {
             self.sharers.remove(evicted.addr.index(), pe);
-            if self.protocol.writeback_on_evict(evicted.state) {
+            let writeback = self.protocol.writeback_on_evict(evicted.state);
+            if writeback {
                 self.memory
                     .write(evicted.addr, evicted.data)
                     .expect("write-back in range");
@@ -829,6 +886,11 @@ impl Machine {
                     format!("write back {} = {}", evicted.addr, evicted.data)
                 });
             }
+            self.notify(Observation::Evicted {
+                pe,
+                addr: evicted.addr,
+                writeback,
+            });
         }
     }
 
@@ -861,6 +923,7 @@ impl Machine {
                 Some(PeId::new(pe as u16)),
                 || format!("read {addr} = {value} from broadcast"),
             );
+            self.notify(Observation::BroadcastSatisfied { pe, addr });
             self.finish(pe, OpResult::Read(value));
         }
     }

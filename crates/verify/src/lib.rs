@@ -27,17 +27,38 @@
 //! directly: concurrent readers of a streamed shared word must never
 //! observe a version regression.
 //!
+//! Around the product machine sit three static-analysis companions:
+//!
+//! * **Witness traces** ([`Witness`]) — any invariant violation is
+//!   reconstructed as the shortest event sequence from the initial
+//!   state to the bad configuration, rendered with the paper's state
+//!   letters.
+//! * **Dead-transition lint** ([`lint`], [`ProductChecker::lint`]) —
+//!   transition-table rows that can never fire, unreachable states,
+//!   and non-total handling, pinned by a committed per-protocol
+//!   baseline and gated in CI by the `protocol_check` binary.
+//! * **Live conformance oracle** ([`Refinement`]) — subscribes to a
+//!   running [`decache_machine::Machine`]'s observation stream and
+//!   replays every simulator step against the pure protocol tables,
+//!   flagging any step the product model does not allow.
+//!
 //! Together these give the repository's strongest guarantee: the
 //! protocol *specifications* are consistent (product machine), and the
-//! *implementation* refines them (oracle + monotonic reads).
+//! *implementation* refines them (oracles + monotonic reads).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
+pub mod lint;
 mod monotonic;
 mod oracle;
 mod product;
+mod witness;
 
+pub use conformance::{ConformanceError, Refinement};
+pub use lint::{committed_baseline, Coverage, LintReport};
 pub use monotonic::{check_monotonic_reads, MonotonicReport};
 pub use oracle::{OracleError, OracleReport, SerialOracle};
 pub use product::{ProductChecker, ProductReport};
+pub use witness::{Invariant, Step, Witness, WitnessEvent};

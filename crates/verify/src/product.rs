@@ -1,10 +1,13 @@
 //! The Section 4 product-machine model checker.
 
+use crate::lint::{self, Coverage, LintReport};
+use crate::witness::{Invariant, Step, Witness, WitnessEvent};
+use decache_core::introspect::{SnoopKind, TableInput};
 use decache_core::{
     BusIntent, Configuration, CpuOutcome, LineState, Protocol, ProtocolKind, SnoopEvent,
 };
 use decache_mem::Word;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// One cache's cell in the product state: the line state and whether the
@@ -78,6 +81,19 @@ enum Event {
     Evict(usize),
 }
 
+impl Event {
+    fn witness(self) -> WitnessEvent {
+        match self {
+            Event::CpuRead(i) => WitnessEvent::CpuRead(i),
+            Event::CpuWrite(i) => WitnessEvent::CpuWrite(i),
+            Event::TsLock(i) => WitnessEvent::TsLock(i),
+            Event::TsCommit(i) => WitnessEvent::TsCommit(i),
+            Event::TsAbort(i) => WitnessEvent::TsAbort(i),
+            Event::Evict(i) => WitnessEvent::Evict(i),
+        }
+    }
+}
+
 /// The result of an exhaustive exploration.
 #[derive(Debug, Clone)]
 pub struct ProductReport {
@@ -87,8 +103,12 @@ pub struct ProductReport {
     pub transitions: usize,
     /// Invariant violations found (empty = the lemma and theorem hold).
     pub violations: Vec<String>,
+    /// A shortest-path counterexample for the first violation found.
+    pub witness: Option<Witness>,
     /// Every reachable configuration classification (for reporting).
     pub configurations: Vec<Configuration>,
+    /// Which transition-table cells fired (input to the lint).
+    pub coverage: Coverage,
 }
 
 impl ProductReport {
@@ -122,6 +142,92 @@ pub struct ProductChecker {
     evictions: bool,
     test_and_set: bool,
     max_states: usize,
+}
+
+/// The exploration bookkeeping: interned states, predecessor edges, and
+/// the accumulating violation/witness record.
+struct Exploration {
+    states: Vec<PState>,
+    index: HashMap<PState, usize>,
+    /// For each state (except the initial), the predecessor state index
+    /// and the event that produced it. BFS discovery order makes the
+    /// parent chain a shortest path.
+    parent: Vec<Option<(usize, Event)>>,
+    violations: Vec<String>,
+    witness: Option<Witness>,
+    coverage: Coverage,
+}
+
+impl Exploration {
+    fn new(n: usize) -> Self {
+        let initial = PState::initial(n);
+        Exploration {
+            index: HashMap::from([(initial.clone(), 0)]),
+            states: vec![initial],
+            parent: vec![None],
+            violations: Vec::new(),
+            witness: None,
+            coverage: Coverage::default(),
+        }
+    }
+
+    /// The shortest event path from the initial state to `idx`.
+    fn path_to(&self, mut idx: usize) -> Vec<Step> {
+        let mut steps = Vec::new();
+        while let Some((pred, event)) = self.parent[idx] {
+            steps.push(Step {
+                event: event.witness(),
+                state: self.states[idx].to_string(),
+            });
+            idx = pred;
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// Records violations found *in* state `idx` (lemma checks); the
+    /// witness is the path to the state itself.
+    fn record_state_violations(&mut self, idx: usize, found: Vec<(Invariant, String)>) {
+        for (invariant, message) in found {
+            if self.witness.is_none() {
+                self.witness = Some(Witness {
+                    invariant,
+                    message: message.clone(),
+                    initial: self.states[0].to_string(),
+                    steps: self.path_to(idx),
+                });
+            }
+            self.violations.push(message);
+        }
+    }
+
+    /// Records violations found *on* a transition out of state `idx`
+    /// (theorem checks); the witness is the path to `idx` plus the
+    /// violating event itself.
+    fn record_transition_violations(
+        &mut self,
+        idx: usize,
+        event: Event,
+        successor: &PState,
+        found: Vec<(Invariant, String)>,
+    ) {
+        for (invariant, message) in found {
+            if self.witness.is_none() {
+                let mut steps = self.path_to(idx);
+                steps.push(Step {
+                    event: event.witness(),
+                    state: successor.to_string(),
+                });
+                self.witness = Some(Witness {
+                    invariant,
+                    message: message.clone(),
+                    initial: self.states[0].to_string(),
+                    steps,
+                });
+            }
+            self.violations.push(message);
+        }
+    }
 }
 
 impl ProductChecker {
@@ -172,6 +278,11 @@ impl ProductChecker {
         self
     }
 
+    /// The display name of the protocol under check.
+    pub fn protocol_name(&self) -> String {
+        self.protocol.name()
+    }
+
     fn legal(&self, c: Configuration) -> bool {
         if self.allow_intermediate {
             c.is_rwb_legal()
@@ -214,7 +325,7 @@ impl ProductChecker {
     /// Applies the effects of a completed bus read: memory (made current
     /// beforehand if a supplier interrupted) broadcasts the value to
     /// every snooping holder.
-    fn bus_read_effects(&self, s: &mut PState, initiator: usize, locked: bool) {
+    fn bus_read_effects(&self, s: &mut PState, initiator: usize, locked: bool, cov: &mut Coverage) {
         // Interrupt-and-supply: an owning cache kills the read, writes
         // its (latest) data to memory, and demotes. The initiator's own
         // cache participates: a locked read bypasses the cache, so an
@@ -224,6 +335,7 @@ impl ProductChecker {
             .find(|&j| s.cells[j].is_some_and(|(st, _)| self.protocol.supplies_on_snoop_read(st)))
         {
             let (st, latest) = s.cells[supplier].expect("supplier holds the line");
+            cov.record(Some(st), TableInput::Supply);
             s.mem_latest = latest;
             s.cells[supplier] = Some((self.protocol.after_supply(st), latest));
             // The substituted write is snooped by the other holders.
@@ -233,6 +345,7 @@ impl ProductChecker {
                     continue;
                 }
                 if let Some((st, _)) = s.cells[j] {
+                    cov.record(Some(st), TableInput::Snoop(SnoopKind::Write));
                     let out = self.protocol.snoop(st, SnoopEvent::Write(probe));
                     // A capture copies the supplier's (latest) data.
                     let now_latest = out.capture && latest;
@@ -242,16 +355,17 @@ impl ProductChecker {
         }
         // The (retried) read returns the memory value and broadcasts it.
         let probe = Word::ZERO;
-        let event = if locked {
-            SnoopEvent::LockedRead(probe)
+        let (event, kind) = if locked {
+            (SnoopEvent::LockedRead(probe), SnoopKind::LockedRead)
         } else {
-            SnoopEvent::Read(probe)
+            (SnoopEvent::Read(probe), SnoopKind::Read)
         };
         for j in 0..self.n {
             if j == initiator {
                 continue;
             }
             if let Some((st, was_latest)) = s.cells[j] {
+                cov.record(Some(st), TableInput::Snoop(kind));
                 let out = self.protocol.snoop(st, event);
                 let now_latest = if out.capture {
                     s.mem_latest
@@ -265,19 +379,26 @@ impl ProductChecker {
 
     /// Applies the effects of a bus write (data or unlocking): memory is
     /// updated with the new latest value and every holder snoops it.
-    fn bus_write_effects(&self, s: &mut PState, initiator: usize, unlock: bool) {
+    fn bus_write_effects(
+        &self,
+        s: &mut PState,
+        initiator: usize,
+        unlock: bool,
+        cov: &mut Coverage,
+    ) {
         s.mem_latest = true;
         let probe = Word::ZERO;
-        let event = if unlock {
-            SnoopEvent::UnlockWrite(probe)
+        let (event, kind) = if unlock {
+            (SnoopEvent::UnlockWrite(probe), SnoopKind::UnlockWrite)
         } else {
-            SnoopEvent::Write(probe)
+            (SnoopEvent::Write(probe), SnoopKind::Write)
         };
         for j in 0..self.n {
             if j == initiator {
                 continue;
             }
             if let Some((st, _)) = s.cells[j] {
+                cov.record(Some(st), TableInput::Snoop(kind));
                 let out = self.protocol.snoop(st, event);
                 // Whatever was cached is superseded; only captures of the
                 // new value are latest.
@@ -286,36 +407,50 @@ impl ProductChecker {
         }
     }
 
-    /// Applies one event; returns the successor state, or `None` with a
-    /// violation pushed.
-    fn apply(&self, s: &PState, event: Event, violations: &mut Vec<String>) -> Option<PState> {
+    /// Applies one event, recording table coverage and any transition
+    /// (theorem) violations; returns the successor state.
+    fn apply(
+        &self,
+        s: &PState,
+        event: Event,
+        violations: &mut Vec<(Invariant, String)>,
+        cov: &mut Coverage,
+    ) -> PState {
         let mut next = s.clone();
         match event {
             Event::CpuRead(i) => {
                 let state_i = s.cells[i].map(|(st, _)| st);
+                cov.record(state_i, TableInput::CpuRead);
                 match self.protocol.cpu_read(state_i) {
                     CpuOutcome::Hit { next: to } => {
                         let (_, latest) = s.cells[i].expect("hit requires a held line");
                         // THE THEOREM: "Each PE always reads the latest
                         // value written."
                         if !latest {
-                            violations.push(format!(
-                                "{}: P{i} read HIT on stale data in {s}",
-                                self.protocol.name()
+                            violations.push((
+                                Invariant::StaleReadHit,
+                                format!(
+                                    "{}: P{i} read HIT on stale data in {s}",
+                                    self.protocol.name()
+                                ),
                             ));
                         }
                         next.cells[i] = Some((to, latest));
                     }
                     CpuOutcome::Miss { intent } => {
                         debug_assert_eq!(intent, BusIntent::Read);
-                        self.bus_read_effects(&mut next, i, false);
+                        self.bus_read_effects(&mut next, i, false, cov);
                         // The initiator reads from (now current) memory.
                         if !next.mem_latest {
-                            violations.push(format!(
-                                "{}: P{i} bus read served stale memory in {s}",
-                                self.protocol.name()
+                            violations.push((
+                                Invariant::StaleMemoryServed,
+                                format!(
+                                    "{}: P{i} bus read served stale memory in {s}",
+                                    self.protocol.name()
+                                ),
                             ));
                         }
+                        cov.record(state_i, TableInput::OwnComplete(BusIntent::Read));
                         let to = self.protocol.own_complete(state_i, BusIntent::Read);
                         next.cells[i] = Some((to, next.mem_latest));
                     }
@@ -323,6 +458,7 @@ impl ProductChecker {
             }
             Event::CpuWrite(i) => {
                 let state_i = s.cells[i].map(|(st, _)| st);
+                cov.record(state_i, TableInput::CpuWrite);
                 match self.protocol.cpu_write(state_i) {
                     CpuOutcome::Hit { next: to } => {
                         // A silent local write creates a new latest value
@@ -340,7 +476,8 @@ impl ProductChecker {
                     CpuOutcome::Miss { intent } => {
                         match intent {
                             BusIntent::Write => {
-                                self.bus_write_effects(&mut next, i, false);
+                                self.bus_write_effects(&mut next, i, false, cov);
+                                cov.record(state_i, TableInput::OwnComplete(BusIntent::Write));
                                 let to = self.protocol.own_complete(state_i, BusIntent::Write);
                                 next.cells[i] = Some((to, true));
                             }
@@ -352,10 +489,15 @@ impl ProductChecker {
                                         continue;
                                     }
                                     if let Some((st, _)) = next.cells[j] {
+                                        cov.record(
+                                            Some(st),
+                                            TableInput::Snoop(SnoopKind::Invalidate),
+                                        );
                                         let out = self.protocol.snoop(st, SnoopEvent::Invalidate);
                                         next.cells[j] = Some((out.next, false));
                                     }
                                 }
+                                cov.record(state_i, TableInput::OwnComplete(BusIntent::Invalidate));
                                 let to = self.protocol.own_complete(state_i, BusIntent::Invalidate);
                                 next.cells[i] = Some((to, true));
                             }
@@ -367,21 +509,26 @@ impl ProductChecker {
             Event::TsLock(i) => {
                 // The locked read bypasses the cache, reads (current)
                 // memory, and broadcasts.
-                self.bus_read_effects(&mut next, i, true);
+                self.bus_read_effects(&mut next, i, true, cov);
                 if !next.mem_latest {
-                    violations.push(format!(
-                        "{}: P{i} locked read served stale memory in {s}",
-                        self.protocol.name()
+                    violations.push((
+                        Invariant::StaleMemoryServed,
+                        format!(
+                            "{}: P{i} locked read served stale memory in {s}",
+                            self.protocol.name()
+                        ),
                     ));
                 }
                 let state_i = s.cells[i].map(|(st, _)| st);
+                cov.record(state_i, TableInput::OwnLockedRead);
                 let to = self.protocol.own_locked_read_complete(state_i);
                 next.cells[i] = Some((to, next.mem_latest));
                 next.locked_by = Some(i);
             }
             Event::TsCommit(i) => {
-                self.bus_write_effects(&mut next, i, true);
+                self.bus_write_effects(&mut next, i, true, cov);
                 let state_i = s.cells[i].map(|(st, _)| st);
+                cov.record(state_i, TableInput::OwnUnlockWrite);
                 let to = self.protocol.own_unlock_write_complete(state_i);
                 next.cells[i] = Some((to, true));
                 next.locked_by = None;
@@ -392,22 +539,26 @@ impl ProductChecker {
             }
             Event::Evict(i) => {
                 let (st, latest) = s.cells[i].expect("evicting a held line");
+                cov.record(Some(st), TableInput::Evict);
                 if self.protocol.writeback_on_evict(st) {
                     next.mem_latest = latest;
                 }
                 next.cells[i] = None;
             }
         }
-        Some(next)
+        next
     }
 
     /// Checks the state invariants (the Lemma).
-    fn check(&self, s: &PState, violations: &mut Vec<String>) -> Configuration {
+    fn check(&self, s: &PState, violations: &mut Vec<(Invariant, String)>) -> Configuration {
         let config = Configuration::classify(&s.held_states());
         if !self.legal(config) {
-            violations.push(format!(
-                "{}: illegal configuration {config} in {s}",
-                self.protocol.name()
+            violations.push((
+                Invariant::IllegalConfiguration,
+                format!(
+                    "{}: illegal configuration {config} in {s}",
+                    self.protocol.name()
+                ),
             ));
         }
         // Value half of the lemma: "the latest value written is contained
@@ -418,25 +569,31 @@ impl ProductChecker {
             Some(i) => {
                 let (_, latest) = s.cells[i].expect("owner holds the line");
                 if !latest {
-                    violations.push(format!(
-                        "{}: owner P{i} does not hold the latest value in {s}",
-                        self.protocol.name()
+                    violations.push((
+                        Invariant::OwnerStale,
+                        format!(
+                            "{}: owner P{i} does not hold the latest value in {s}",
+                            self.protocol.name()
+                        ),
                     ));
                 }
             }
             None => {
                 if !s.mem_latest {
-                    violations.push(format!(
-                        "{}: no owner and stale memory in {s}",
-                        self.protocol.name()
+                    violations.push((
+                        Invariant::NoOwnerStaleMemory,
+                        format!("{}: no owner and stale memory in {s}", self.protocol.name()),
                     ));
                 }
                 for i in 0..self.n {
                     if let Some((st, latest)) = s.cells[i] {
                         if st.is_readable_locally() && !latest {
-                            violations.push(format!(
-                                "{}: readable copy at P{i} is stale in {s}",
-                                self.protocol.name()
+                            violations.push((
+                                Invariant::StaleReadableCopy,
+                                format!(
+                                    "{}: readable copy at P{i} is stale in {s}",
+                                    self.protocol.name()
+                                ),
                             ));
                         }
                     }
@@ -453,35 +610,45 @@ impl ProductChecker {
     /// Panics if the state space exceeds the safety bound (it cannot for
     /// the supported protocols and `n ≤ 5`).
     pub fn explore(&self) -> ProductReport {
-        let mut seen: HashSet<PState> = HashSet::new();
-        let mut queue: VecDeque<PState> = VecDeque::new();
-        let mut violations = Vec::new();
+        let mut exp = Exploration::new(self.n);
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
         let mut configurations = HashSet::new();
         let mut transitions = 0usize;
 
-        let initial = PState::initial(self.n);
-        configurations.insert(self.check(&initial, &mut violations));
-        seen.insert(initial.clone());
-        queue.push_back(initial);
+        let mut found = Vec::new();
+        configurations.insert(self.check(&exp.states[0], &mut found));
+        exp.record_state_violations(0, found);
 
-        while let Some(state) = queue.pop_front() {
+        while let Some(idx) = queue.pop_front() {
             assert!(
-                seen.len() <= self.max_states,
+                exp.states.len() <= self.max_states,
                 "product machine exceeded {} states",
                 self.max_states
             );
+            let state = exp.states[idx].clone();
             for event in self.enabled_events(&state) {
-                let Some(next) = self.apply(&state, event, &mut violations) else {
-                    continue;
-                };
+                let mut found = Vec::new();
+                let next = self.apply(&state, event, &mut found, &mut exp.coverage);
                 transitions += 1;
-                if seen.insert(next.clone()) {
-                    configurations.insert(self.check(&next, &mut violations));
-                    queue.push_back(next);
+                if !found.is_empty() {
+                    exp.record_transition_violations(idx, event, &next, found);
+                }
+                if !exp.index.contains_key(&next) {
+                    let ni = exp.states.len();
+                    exp.index.insert(next.clone(), ni);
+                    exp.parent.push(Some((idx, event)));
+                    for (st, _) in next.cells.iter().flatten() {
+                        exp.coverage.see_state(*st);
+                    }
+                    let mut found = Vec::new();
+                    configurations.insert(self.check(&next, &mut found));
+                    exp.states.push(next);
+                    exp.record_state_violations(ni, found);
+                    queue.push_back(ni);
                 }
             }
             // Stop exploring on the first violations; they only multiply.
-            if violations.len() > 16 {
+            if exp.violations.len() > 16 {
                 break;
             }
         }
@@ -489,11 +656,27 @@ impl ProductChecker {
         let mut configurations: Vec<Configuration> = configurations.into_iter().collect();
         configurations.sort_by_key(|c| format!("{c}"));
         ProductReport {
-            states: seen.len(),
+            states: exp.states.len(),
             transitions,
-            violations,
+            violations: exp.violations,
+            witness: exp.witness,
             configurations,
+            coverage: exp.coverage,
         }
+    }
+
+    /// Builds the dead-transition lint report from an exploration of
+    /// this checker (see [`crate::lint`]). The lint domain respects this
+    /// checker's event restrictions, so `without_evictions` /
+    /// `without_test_and_set` do not surface disabled families as dead.
+    pub fn lint(&self, report: &ProductReport) -> LintReport {
+        lint::build_report(
+            self.protocol.as_ref(),
+            &report.coverage,
+            self.n,
+            self.evictions,
+            self.test_and_set,
+        )
     }
 }
 
@@ -507,6 +690,7 @@ mod tests {
             let report = ProductChecker::new(ProtocolKind::Rb, n).explore();
             assert!(report.holds(), "n={n}: {:?}", report.violations);
             assert!(report.states > 0);
+            assert!(report.witness.is_none());
         }
     }
 
@@ -580,6 +764,22 @@ mod tests {
             Configuration::classify(&[LineState::Local, LineState::Local]),
             Configuration::Illegal
         );
+    }
+
+    #[test]
+    fn coverage_fires_the_live_rb_rows() {
+        let report = ProductChecker::new(ProtocolKind::Rb, 3).explore();
+        let cov = &report.coverage;
+        // The dynamic-classification core: a write-through makes the
+        // writer local, a read broadcast re-shares.
+        assert!(cov.has_fired(Some(LineState::Readable), TableInput::CpuWrite));
+        assert!(cov.has_fired(Some(LineState::Local), TableInput::Supply));
+        assert!(cov.has_fired(Some(LineState::Invalid), TableInput::Snoop(SnoopKind::Read)));
+        assert!(cov.has_fired(None, TableInput::CpuRead));
+        // But an owner can never snoop a plain bus read: the supply path
+        // always intercepts first.
+        assert!(!cov.has_fired(Some(LineState::Local), TableInput::Snoop(SnoopKind::Read)));
+        assert!(cov.state_reached(LineState::Local));
     }
 
     #[test]

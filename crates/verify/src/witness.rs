@@ -1,0 +1,187 @@
+//! Counterexample witnesses: the shortest event sequence from the
+//! initial product state to an invariant violation.
+//!
+//! The product checker's breadth-first exploration records, for every
+//! discovered state, the predecessor state and the event that produced
+//! it. On the first violation it walks those edges back to the initial
+//! state and renders each intermediate state with the paper's letters
+//! (`R`, `L`, `F2`, `NP`, …) — turning a bare "the lemma fails" into a
+//! replayable trace a protocol author can step through against the
+//! transition table.
+
+use std::fmt;
+
+/// One event of the product machine, attributed to the processing
+/// element that performed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessEvent {
+    /// PE `i` issued a CPU read.
+    CpuRead(usize),
+    /// PE `i` issued a CPU write.
+    CpuWrite(usize),
+    /// PE `i` began a Test-and-Set (the locked bus read).
+    TsLock(usize),
+    /// PE `i` committed its Test-and-Set (the unlocking bus write).
+    TsCommit(usize),
+    /// PE `i` abandoned its Test-and-Set (the value looked taken).
+    TsAbort(usize),
+    /// PE `i`'s cache evicted the line.
+    Evict(usize),
+}
+
+impl fmt::Display for WitnessEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessEvent::CpuRead(i) => write!(f, "P{i} CPU read"),
+            WitnessEvent::CpuWrite(i) => write!(f, "P{i} CPU write"),
+            WitnessEvent::TsLock(i) => write!(f, "P{i} TS locked read"),
+            WitnessEvent::TsCommit(i) => write!(f, "P{i} TS unlock write"),
+            WitnessEvent::TsAbort(i) => write!(f, "P{i} TS abort"),
+            WitnessEvent::Evict(i) => write!(f, "P{i} evict"),
+        }
+    }
+}
+
+/// The invariant a witness violates — the checkable pieces of the
+/// Section 4 lemma and theorem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// The lemma's configuration half: the reached state vector is
+    /// neither shared, local, nor (where allowed) intermediate.
+    IllegalConfiguration,
+    /// The lemma's value half: the owning cache does not hold the
+    /// latest written value.
+    OwnerStale,
+    /// The lemma's value half: no cache owns the line yet memory is
+    /// stale — the latest value has been lost.
+    NoOwnerStaleMemory,
+    /// The lemma's value half: a locally-readable copy is stale while
+    /// no owner exists to supply the latest value.
+    StaleReadableCopy,
+    /// The theorem ("each PE always reads the latest value written"):
+    /// a CPU read hit returned stale data.
+    StaleReadHit,
+    /// The theorem: a bus read (plain or locked) was served from stale
+    /// memory with no owner interrupting to supply.
+    StaleMemoryServed,
+}
+
+impl Invariant {
+    /// A short stable identifier for assertions and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::IllegalConfiguration => "illegal-configuration",
+            Invariant::OwnerStale => "owner-stale",
+            Invariant::NoOwnerStaleMemory => "no-owner-stale-memory",
+            Invariant::StaleReadableCopy => "stale-readable-copy",
+            Invariant::StaleReadHit => "stale-read-hit",
+            Invariant::StaleMemoryServed => "stale-memory-served",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step of a witness: the event taken and the product state it
+/// produced, rendered with the paper's state letters (a `*` marks
+/// copies holding the latest written value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The event applied.
+    pub event: WitnessEvent,
+    /// The resulting product state, e.g. `"L* I NP | mem"`.
+    pub state: String,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<18} => {}", self.event.to_string(), self.state)
+    }
+}
+
+/// A reconstructed counterexample: the shortest event sequence from the
+/// initial state to a state (or transition) violating an invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// The checker's full violation message.
+    pub message: String,
+    /// The initial product state, rendered.
+    pub initial: String,
+    /// The events from the initial state to the violation, in order.
+    /// The length equals the BFS depth of the violation — no shorter
+    /// event sequence reaches it.
+    pub steps: Vec<Step>,
+}
+
+impl Witness {
+    /// The number of events in the witness (= the violation's BFS
+    /// depth).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violated invariant: {}", self.invariant)?;
+        writeln!(f, "  {}", self.message)?;
+        writeln!(f, "  witness ({} events):", self.steps.len())?;
+        writeln!(f, "     start               {}", self.initial)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>4}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_with_pe_attribution() {
+        assert_eq!(WitnessEvent::CpuWrite(2).to_string(), "P2 CPU write");
+        assert_eq!(WitnessEvent::TsLock(0).to_string(), "P0 TS locked read");
+        assert_eq!(WitnessEvent::Evict(1).to_string(), "P1 evict");
+    }
+
+    #[test]
+    fn invariant_names_are_stable() {
+        assert_eq!(Invariant::StaleReadHit.name(), "stale-read-hit");
+        assert_eq!(
+            Invariant::IllegalConfiguration.to_string(),
+            "illegal-configuration"
+        );
+    }
+
+    #[test]
+    fn witness_display_numbers_steps_from_the_initial_state() {
+        let w = Witness {
+            invariant: Invariant::OwnerStale,
+            message: "RB: owner P0 does not hold the latest value".to_owned(),
+            initial: "NP NP | mem*".to_owned(),
+            steps: vec![
+                Step {
+                    event: WitnessEvent::CpuWrite(0),
+                    state: "L* NP | mem".to_owned(),
+                },
+                Step {
+                    event: WitnessEvent::CpuRead(1),
+                    state: "R* R* | mem*".to_owned(),
+                },
+            ],
+        };
+        assert_eq!(w.depth(), 2);
+        let text = w.to_string();
+        assert!(text.contains("violated invariant: owner-stale"));
+        assert!(text.contains("start"));
+        assert!(text.contains("1. P0 CPU write"));
+        assert!(text.contains("2. P1 CPU read"));
+    }
+}

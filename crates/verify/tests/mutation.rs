@@ -1,177 +1,203 @@
 //! Mutation testing of the model checker: deliberately broken protocols
 //! must be *caught* by the product machine. A checker that passes
-//! everything proves nothing; these tests show each invariant has teeth.
+//! everything proves nothing; these tests show each invariant has teeth
+//! — and that every catch comes with a reconstructed shortest witness
+//! trace naming the violated invariant.
 
-use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, Rb, SnoopEvent, SnoopOutcome};
-use decache_verify::ProductChecker;
-use LineState::{Local, Readable};
+use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, Rb, Rwb, SnoopEvent, SnoopOutcome};
+use decache_verify::{Invariant, ProductChecker, ProductReport};
+use LineState::{FirstWrite, Local, Readable};
 
-/// Wraps RB and overrides selected behaviours to inject one bug each.
-macro_rules! rb_mutant {
-    ($name:ident, $display:expr, { $($override_fn:item)* }) => {
-        #[derive(Debug)]
-        struct $name(Rb);
-
-        impl $name {
-            fn new() -> Self {
-                $name(Rb::new())
-            }
-        }
-
-        impl Protocol for $name {
-            fn name(&self) -> String {
-                $display.to_owned()
-            }
-            fn states(&self) -> Vec<LineState> {
-                self.0.states()
-            }
-            fn cpu_read(&self, s: Option<LineState>) -> CpuOutcome {
-                self.0.cpu_read(s)
-            }
-            fn cpu_write(&self, s: Option<LineState>) -> CpuOutcome {
-                self.0.cpu_write(s)
-            }
-            fn own_complete(&self, s: Option<LineState>, i: BusIntent) -> LineState {
-                self.0.own_complete(s, i)
-            }
-            fn own_locked_read_complete(&self, s: Option<LineState>) -> LineState {
-                self.0.own_locked_read_complete(s)
-            }
-            fn own_unlock_write_complete(&self, s: Option<LineState>) -> LineState {
-                self.0.own_unlock_write_complete(s)
-            }
-            fn broadcasts_write_data(&self) -> bool {
-                false
-            }
-            $($override_fn)*
-        }
-    };
+/// Wraps a healthy protocol and overrides selected behaviours through
+/// optional function pointers — one injected bug per mutant. Everything
+/// not overridden forwards to the base, so each mutant differs from
+/// health in exactly one decision.
+#[derive(Debug)]
+struct Mutant<P: Protocol> {
+    base: P,
+    name: &'static str,
+    cpu_write: Option<fn(&P, Option<LineState>) -> CpuOutcome>,
+    snoop: Option<fn(&P, LineState, SnoopEvent) -> SnoopOutcome>,
+    supplies: Option<fn(&P, LineState) -> bool>,
+    writeback: Option<fn(&P, LineState) -> bool>,
 }
 
-rb_mutant!(NoInvalidateRb, "RB-broken-no-invalidate", {
-    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
-        // THE BUG: a readable holder ignores foreign writes, keeping a
-        // stale copy readable.
-        if state == Readable && matches!(event, SnoopEvent::Write(_)) {
-            return SnoopOutcome::unchanged(Readable);
+impl<P: Protocol> Mutant<P> {
+    fn of(base: P, name: &'static str) -> Self {
+        Mutant {
+            base,
+            name,
+            cpu_write: None,
+            snoop: None,
+            supplies: None,
+            writeback: None,
         }
-        self.0.snoop(state, event)
+    }
+}
+
+impl<P: Protocol> Protocol for Mutant<P> {
+    fn name(&self) -> String {
+        self.name.to_owned()
+    }
+    fn states(&self) -> Vec<LineState> {
+        self.base.states()
+    }
+    fn cpu_read(&self, s: Option<LineState>) -> CpuOutcome {
+        self.base.cpu_read(s)
+    }
+    fn cpu_write(&self, s: Option<LineState>) -> CpuOutcome {
+        match self.cpu_write {
+            Some(f) => f(&self.base, s),
+            None => self.base.cpu_write(s),
+        }
+    }
+    fn own_complete(&self, s: Option<LineState>, i: BusIntent) -> LineState {
+        self.base.own_complete(s, i)
+    }
+    fn own_locked_read_complete(&self, s: Option<LineState>) -> LineState {
+        self.base.own_locked_read_complete(s)
+    }
+    fn own_unlock_write_complete(&self, s: Option<LineState>) -> LineState {
+        self.base.own_unlock_write_complete(s)
+    }
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        match self.snoop {
+            Some(f) => f(&self.base, state, event),
+            None => self.base.snoop(state, event),
+        }
     }
     fn supplies_on_snoop_read(&self, s: LineState) -> bool {
-        self.0.supplies_on_snoop_read(s)
-    }
-    fn after_supply(&self, s: LineState) -> LineState {
-        self.0.after_supply(s)
-    }
-    fn writeback_on_evict(&self, s: LineState) -> bool {
-        self.0.writeback_on_evict(s)
-    }
-});
-
-rb_mutant!(NoWritebackRb, "RB-broken-no-writeback", {
-    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
-        self.0.snoop(state, event)
-    }
-    fn supplies_on_snoop_read(&self, s: LineState) -> bool {
-        self.0.supplies_on_snoop_read(s)
-    }
-    fn after_supply(&self, s: LineState) -> LineState {
-        self.0.after_supply(s)
-    }
-    fn writeback_on_evict(&self, _s: LineState) -> bool {
-        // THE BUG: Local lines are dropped without flushing, losing the
-        // latest value.
-        false
-    }
-});
-
-rb_mutant!(NoSupplyRb, "RB-broken-no-supply", {
-    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
-        if state == Local && matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) {
-            // Pretend memory served the read; keep the Local copy.
-            return SnoopOutcome::unchanged(Local);
+        match self.supplies {
+            Some(f) => f(&self.base, s),
+            None => self.base.supplies_on_snoop_read(s),
         }
-        self.0.snoop(state, event)
-    }
-    fn supplies_on_snoop_read(&self, _s: LineState) -> bool {
-        // THE BUG: the owner never interrupts foreign reads, so they are
-        // served from stale memory.
-        false
     }
     fn after_supply(&self, s: LineState) -> LineState {
-        self.0.after_supply(s)
+        self.base.after_supply(s)
     }
     fn writeback_on_evict(&self, s: LineState) -> bool {
-        self.0.writeback_on_evict(s)
-    }
-});
-
-rb_mutant!(DoubleOwnerRb, "RB-broken-double-owner", {
-    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
-        // THE BUG: a Local holder survives a foreign write as Local,
-        // creating two owners (and violating the lemma's configuration
-        // claim directly).
-        if state == Local && matches!(event, SnoopEvent::Write(_)) {
-            return SnoopOutcome::unchanged(Local);
+        match self.writeback {
+            Some(f) => f(&self.base, s),
+            None => self.base.writeback_on_evict(s),
         }
-        self.0.snoop(state, event)
     }
-    fn supplies_on_snoop_read(&self, s: LineState) -> bool {
-        self.0.supplies_on_snoop_read(s)
+    fn broadcasts_write_data(&self) -> bool {
+        self.base.broadcasts_write_data()
     }
-    fn after_supply(&self, s: LineState) -> LineState {
-        self.0.after_supply(s)
+    fn uses_bus_invalidate(&self) -> bool {
+        self.base.uses_bus_invalidate()
     }
-    fn writeback_on_evict(&self, s: LineState) -> bool {
-        self.0.writeback_on_evict(s)
-    }
-});
+}
+
+/// Asserts a mutant is caught *and* produces a well-formed witness: a
+/// non-empty shortest event trace ending in the named invariant, whose
+/// message matches the first recorded violation.
+fn assert_caught(report: &ProductReport, invariant: Invariant) -> usize {
+    assert!(!report.holds(), "the checker must catch this mutant");
+    let witness = report
+        .witness
+        .as_ref()
+        .expect("every violation must reconstruct a witness");
+    assert_eq!(
+        witness.invariant, invariant,
+        "wrong invariant; witness:\n{witness}"
+    );
+    assert!(
+        witness.depth() > 0,
+        "a bug cannot hold in the initial state"
+    );
+    assert_eq!(
+        witness.message, report.violations[0],
+        "the witness must explain the first violation"
+    );
+    let rendered = witness.to_string();
+    assert!(rendered.contains(invariant.name()));
+    assert!(rendered.contains("start"));
+    witness.depth()
+}
+
+// ----------------------------------------------------------------------
+// The original RB mutants (one broken decision each).
+// ----------------------------------------------------------------------
 
 #[test]
 fn healthy_rb_passes() {
     let report = ProductChecker::from_protocol(Box::new(Rb::new()), false, 3).explore();
     assert!(report.holds(), "{:?}", report.violations);
+    assert!(report.witness.is_none());
 }
 
 #[test]
 fn missing_invalidate_is_caught() {
-    let report = ProductChecker::from_protocol(Box::new(NoInvalidateRb::new()), false, 3).explore();
-    assert!(!report.holds(), "the checker must catch the stale-copy bug");
+    // THE BUG: a readable holder ignores foreign writes, keeping a stale
+    // copy readable.
+    let mut m = Mutant::of(Rb::new(), "RB-broken-no-invalidate");
+    m.snoop = Some(|base, state, event| {
+        if state == Readable && matches!(event, SnoopEvent::Write(_)) {
+            SnoopOutcome::unchanged(Readable)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), false, 3).explore();
     assert!(
         report.violations.iter().any(|v| v.contains("stale")),
         "violations: {:?}",
         report.violations
     );
+    // The stale R copy survives alongside the writer's new L copy, so
+    // the *shortest* counterexample is the resulting R+L configuration.
+    assert_caught(&report, Invariant::IllegalConfiguration);
 }
 
 #[test]
 fn missing_writeback_is_caught() {
-    let report = ProductChecker::from_protocol(Box::new(NoWritebackRb::new()), false, 2).explore();
-    assert!(
-        !report.holds(),
-        "the checker must catch the lost-update bug"
-    );
-    // The latest value vanishes: no owner and stale memory.
+    // THE BUG: Local lines are dropped without flushing, losing the
+    // latest value.
+    let mut m = Mutant::of(Rb::new(), "RB-broken-no-writeback");
+    m.writeback = Some(|_base, _state| false);
+    let report = ProductChecker::from_protocol(Box::new(m), false, 2).explore();
     assert!(
         report.violations.iter().any(|v| v.contains("stale memory")),
         "violations: {:?}",
         report.violations
     );
+    assert_caught(&report, Invariant::NoOwnerStaleMemory);
 }
 
 #[test]
 fn missing_supply_is_caught() {
-    let report = ProductChecker::from_protocol(Box::new(NoSupplyRb::new()), false, 2).explore();
-    assert!(
-        !report.holds(),
-        "the checker must catch the stale-memory-read bug"
-    );
+    // THE BUG: the owner never interrupts foreign reads, so they are
+    // served from stale memory.
+    let mut m = Mutant::of(Rb::new(), "RB-broken-no-supply");
+    m.supplies = Some(|_base, _state| false);
+    m.snoop = Some(|base, state, event| {
+        if state == Local && matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) {
+            // Pretend memory served the read; keep the Local copy.
+            SnoopOutcome::unchanged(Local)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), false, 2).explore();
+    // The owner keeps L while the reader installs R — the configuration
+    // breaks one event before the stale memory would be served.
+    assert_caught(&report, Invariant::IllegalConfiguration);
 }
 
 #[test]
 fn double_owner_is_caught_as_illegal_configuration() {
-    let report = ProductChecker::from_protocol(Box::new(DoubleOwnerRb::new()), false, 2).explore();
-    assert!(!report.holds());
+    // THE BUG: a Local holder survives a foreign write as Local,
+    // creating two owners (violating the lemma's configuration claim).
+    let mut m = Mutant::of(Rb::new(), "RB-broken-double-owner");
+    m.snoop = Some(|base, state, event| {
+        if state == Local && matches!(event, SnoopEvent::Write(_)) {
+            SnoopOutcome::unchanged(Local)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), false, 2).explore();
     assert!(
         report
             .violations
@@ -180,18 +206,132 @@ fn double_owner_is_caught_as_illegal_configuration() {
         "violations: {:?}",
         report.violations
     );
+    assert_caught(&report, Invariant::IllegalConfiguration);
+}
+
+// ----------------------------------------------------------------------
+// New mutants: RWB-family bugs and witness-depth checks.
+// ----------------------------------------------------------------------
+
+#[test]
+fn rwb_skipping_the_bus_invalidate_is_caught() {
+    // THE BUG: the threshold write that should broadcast BI instead
+    // completes silently in the cache — other caches keep readable
+    // copies while the writer privately owns the line.
+    let mut m = Mutant::of(Rwb::new(), "RWB-broken-skip-bi");
+    m.cpu_write = Some(|base, state| {
+        if matches!(state, Some(FirstWrite(_))) {
+            CpuOutcome::Hit { next: Local }
+        } else {
+            base.cpu_write(state)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), true, 3).explore();
+    let depth = assert_caught(&report, Invariant::IllegalConfiguration);
+    // Shortest trace: P_a write (F1), P_b read (R), P_a write (silent L).
+    assert_eq!(depth, 3, "witness:\n{}", report.witness.as_ref().unwrap());
+}
+
+#[test]
+fn rb_installing_local_on_snooped_read_is_caught() {
+    // THE BUG: a readable holder "upgrades" to Local when it snoops a
+    // foreign read broadcast — a reader manufactures ownership.
+    let mut m = Mutant::of(Rb::new(), "RB-broken-snoop-read-local");
+    m.snoop = Some(|base, state, event| {
+        if state == Readable && matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) {
+            SnoopOutcome::capture(Local)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), false, 2).explore();
+    let depth = assert_caught(&report, Invariant::IllegalConfiguration);
+    // Shortest trace: P_a read (R), P_b read (R + bogus L).
+    assert_eq!(depth, 2, "witness:\n{}", report.witness.as_ref().unwrap());
+}
+
+#[test]
+fn rwb_dropping_the_write_broadcast_capture_is_caught() {
+    // THE BUG: readable holders see the foreign bus write but do not
+    // capture the broadcast data, keeping a stale copy readable — the
+    // defining RWB behaviour ("the caches also note the data part of
+    // the bus writes", Section 5), silently disabled.
+    let mut m = Mutant::of(Rwb::new(), "RWB-broken-no-capture");
+    m.snoop = Some(|base, state, event| {
+        if state == Readable && matches!(event, SnoopEvent::Write(_)) {
+            SnoopOutcome::unchanged(Readable)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), true, 2).explore();
+    let depth = assert_caught(&report, Invariant::StaleReadableCopy);
+    // Shortest trace: P_a read (R), P_b write (BW leaves the stale R).
+    assert_eq!(depth, 2, "witness:\n{}", report.witness.as_ref().unwrap());
+}
+
+#[test]
+fn rb_ignoring_the_unlock_write_is_caught() {
+    // THE BUG: readable holders treat a foreign unlocking write (a
+    // successful Test-and-Set's second half) as harmless, surviving the
+    // transition to the local configuration.
+    let mut m = Mutant::of(Rb::new(), "RB-broken-stale-unlock");
+    m.snoop = Some(|base, state, event| {
+        if state == Readable && matches!(event, SnoopEvent::UnlockWrite(_)) {
+            SnoopOutcome::unchanged(Readable)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), false, 2).explore();
+    let depth = assert_caught(&report, Invariant::IllegalConfiguration);
+    assert!(
+        depth <= 3,
+        "witness longer than the obvious read/lock/commit trace:\n{}",
+        report.witness.as_ref().unwrap()
+    );
+}
+
+#[test]
+fn rb_faking_the_supply_refresh_is_caught_serving_stale_memory() {
+    // THE BUG: the owner stops interrupting foreign reads but demotes
+    // itself as if the broadcast had refreshed everyone — so the read
+    // is served from memory that was never made current.
+    let mut m = Mutant::of(Rb::new(), "RB-broken-ghost-supply");
+    m.supplies = Some(|_base, _state| false);
+    m.snoop = Some(|base, state, event| {
+        if state == Local && matches!(event, SnoopEvent::Read(_) | SnoopEvent::LockedRead(_)) {
+            SnoopOutcome::capture(Readable)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    let report = ProductChecker::from_protocol(Box::new(m), false, 2).explore();
+    let depth = assert_caught(&report, Invariant::StaleMemoryServed);
+    // Shortest trace: P_a write (L, memory current), P_a write again
+    // (silent hit, memory now stale), P_b read served from memory.
+    assert_eq!(depth, 3, "witness:\n{}", report.witness.as_ref().unwrap());
 }
 
 #[test]
 fn mutants_actually_differ_from_healthy() {
     let healthy = Rb::new();
     let e = SnoopEvent::Write(decache_mem::Word::ONE);
-    assert_ne!(
-        healthy.snoop(Readable, e),
-        NoInvalidateRb::new().snoop(Readable, e)
-    );
-    assert!(healthy.supplies_on_snoop_read(Local));
-    assert!(!NoSupplyRb::new().supplies_on_snoop_read(Local));
-    assert!(healthy.writeback_on_evict(Local));
-    assert!(!NoWritebackRb::new().writeback_on_evict(Local));
+    let mut no_invalidate = Mutant::of(Rb::new(), "RB-broken-no-invalidate");
+    no_invalidate.snoop = Some(|base, state, event| {
+        if state == Readable && matches!(event, SnoopEvent::Write(_)) {
+            SnoopOutcome::unchanged(Readable)
+        } else {
+            base.snoop(state, event)
+        }
+    });
+    assert_ne!(healthy.snoop(Readable, e), no_invalidate.snoop(Readable, e));
+    // Un-overridden behaviour forwards to the base unchanged.
+    assert_eq!(healthy.snoop(Local, e), no_invalidate.snoop(Local, e));
+    assert!(no_invalidate.supplies_on_snoop_read(Local));
+    assert!(no_invalidate.writeback_on_evict(Local));
+    assert!(!no_invalidate.uses_bus_invalidate());
+    let rwb_mutant = Mutant::of(Rwb::new(), "RWB-identity");
+    assert!(rwb_mutant.uses_bus_invalidate());
+    assert!(rwb_mutant.broadcasts_write_data());
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_arbiter-3723c9ddaffbc411.d: crates/bench/src/bin/ablation_arbiter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_arbiter-3723c9ddaffbc411.rmeta: crates/bench/src/bin/ablation_arbiter.rs Cargo.toml
+
+crates/bench/src/bin/ablation_arbiter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

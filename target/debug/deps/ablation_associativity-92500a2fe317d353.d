@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_associativity-92500a2fe317d353.d: crates/bench/src/bin/ablation_associativity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_associativity-92500a2fe317d353.rmeta: crates/bench/src/bin/ablation_associativity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_associativity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

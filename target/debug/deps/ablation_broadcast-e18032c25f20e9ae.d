@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_broadcast-e18032c25f20e9ae.d: crates/bench/src/bin/ablation_broadcast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_broadcast-e18032c25f20e9ae.rmeta: crates/bench/src/bin/ablation_broadcast.rs Cargo.toml
+
+crates/bench/src/bin/ablation_broadcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

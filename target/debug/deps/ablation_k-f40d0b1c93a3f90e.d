@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_k-f40d0b1c93a3f90e.d: crates/bench/src/bin/ablation_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_k-f40d0b1c93a3f90e.rmeta: crates/bench/src/bin/ablation_k.rs Cargo.toml
+
+crates/bench/src/bin/ablation_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

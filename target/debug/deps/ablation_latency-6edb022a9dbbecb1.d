@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_latency-6edb022a9dbbecb1.d: crates/bench/src/bin/ablation_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_latency-6edb022a9dbbecb1.rmeta: crates/bench/src/bin/ablation_latency.rs Cargo.toml
+
+crates/bench/src/bin/ablation_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

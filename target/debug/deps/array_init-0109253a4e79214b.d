@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_init-0109253a4e79214b.d: crates/bench/src/bin/array_init.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_init-0109253a4e79214b.rmeta: crates/bench/src/bin/array_init.rs Cargo.toml
+
+crates/bench/src/bin/array_init.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth-135d25041d42ddb0.d: crates/bench/src/bin/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth-135d25041d42ddb0.rmeta: crates/bench/src/bin/bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barrier_phases-409849db6dabc790.d: crates/bench/src/bin/barrier_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarrier_phases-409849db6dabc790.rmeta: crates/bench/src/bin/barrier_phases.rs Cargo.toml
+
+crates/bench/src/bin/barrier_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

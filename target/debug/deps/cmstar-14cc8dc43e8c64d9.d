@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cmstar-14cc8dc43e8c64d9.d: crates/bench/benches/cmstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcmstar-14cc8dc43e8c64d9.rmeta: crates/bench/benches/cmstar.rs Cargo.toml
+
+crates/bench/benches/cmstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coherence-ce82c608f6b76aa7.d: crates/machine/tests/coherence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence-ce82c608f6b76aa7.rmeta: crates/machine/tests/coherence.rs Cargo.toml
+
+crates/machine/tests/coherence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-fc0adf5c2b7eaf96.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-fc0adf5c2b7eaf96.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cyclic_sharing-a1234bb99026d6cf.d: crates/bench/src/bin/cyclic_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcyclic_sharing-a1234bb99026d6cf.rmeta: crates/bench/src/bin/cyclic_sharing.rs Cargo.toml
+
+crates/bench/src/bin/cyclic_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

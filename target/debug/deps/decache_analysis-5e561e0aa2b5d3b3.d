@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/decache_analysis-5e561e0aa2b5d3b3.d: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_analysis-5e561e0aa2b5d3b3.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bandwidth.rs crates/analysis/src/chart.rs crates/analysis/src/compare.rs crates/analysis/src/multibus.rs crates/analysis/src/par.rs crates/analysis/src/saturation.rs crates/analysis/src/table.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bandwidth.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/compare.rs:
+crates/analysis/src/multibus.rs:
+crates/analysis/src/par.rs:
+crates/analysis/src/saturation.rs:
+crates/analysis/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

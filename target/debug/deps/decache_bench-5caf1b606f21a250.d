@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decache_bench-5caf1b606f21a250.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_bench-5caf1b606f21a250.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/decache_core-7cc3859ce7af47ca.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/debug/deps/decache_core-7cc3859ce7af47ca.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
-/root/repo/target/debug/deps/libdecache_core-7cc3859ce7af47ca.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/debug/deps/libdecache_core-7cc3859ce7af47ca.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
-/root/repo/target/debug/deps/libdecache_core-7cc3859ce7af47ca.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/debug/deps/libdecache_core-7cc3859ce7af47ca.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/diagram.rs:
+crates/core/src/introspect.rs:
 crates/core/src/kind.rs:
 crates/core/src/protocol.rs:
 crates/core/src/rb.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/decache_core-8a178b29d0ad0853.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/debug/deps/decache_core-8a178b29d0ad0853.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
-/root/repo/target/debug/deps/decache_core-8a178b29d0ad0853: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/debug/deps/decache_core-8a178b29d0ad0853: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/diagram.rs:
+crates/core/src/introspect.rs:
 crates/core/src/kind.rs:
 crates/core/src/protocol.rs:
 crates/core/src/rb.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/decache_core-d0bb57b7469b3bc4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs Cargo.toml
+/root/repo/target/debug/deps/decache_core-d0bb57b7469b3bc4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdecache_core-d0bb57b7469b3bc4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs Cargo.toml
+/root/repo/target/debug/deps/libdecache_core-d0bb57b7469b3bc4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/diagram.rs:
+crates/core/src/introspect.rs:
 crates/core/src/kind.rs:
 crates/core/src/protocol.rs:
 crates/core/src/rb.rs:

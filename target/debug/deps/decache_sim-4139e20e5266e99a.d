@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decache_sim-4139e20e5266e99a.d: src/bin/decache-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_sim-4139e20e5266e99a.rmeta: src/bin/decache-sim.rs Cargo.toml
+
+src/bin/decache-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/decache_sync-a73f0f3e7e6d10c5.d: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_sync-a73f0f3e7e6d10c5.rmeta: crates/sync/src/lib.rs crates/sync/src/barrier.rs crates/sync/src/conduct.rs crates/sync/src/contention.rs crates/sync/src/lock.rs crates/sync/src/scenario.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+crates/sync/src/barrier.rs:
+crates/sync/src/conduct.rs:
+crates/sync/src/contention.rs:
+crates/sync/src/lock.rs:
+crates/sync/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,15 @@
-/root/repo/target/debug/deps/decache_verify-40bf943e43390e5c.d: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs Cargo.toml
+/root/repo/target/debug/deps/decache_verify-40bf943e43390e5c.d: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt Cargo.toml
 
-/root/repo/target/debug/deps/libdecache_verify-40bf943e43390e5c.rmeta: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs Cargo.toml
+/root/repo/target/debug/deps/libdecache_verify-40bf943e43390e5c.rmeta: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt Cargo.toml
 
 crates/verify/src/lib.rs:
+crates/verify/src/conformance.rs:
+crates/verify/src/lint.rs:
 crates/verify/src/monotonic.rs:
 crates/verify/src/oracle.rs:
 crates/verify/src/product.rs:
+crates/verify/src/witness.rs:
+crates/verify/src/lint_baseline.txt:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

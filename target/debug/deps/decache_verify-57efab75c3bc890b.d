@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/decache_verify-57efab75c3bc890b.d: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_verify-57efab75c3bc890b.rmeta: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/conformance.rs:
+crates/verify/src/lint.rs:
+crates/verify/src/monotonic.rs:
+crates/verify/src/oracle.rs:
+crates/verify/src/product.rs:
+crates/verify/src/witness.rs:
+crates/verify/src/lint_baseline.txt:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,14 @@
-/root/repo/target/debug/deps/decache_verify-87698c33569ae761.d: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/debug/deps/decache_verify-87698c33569ae761.d: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
-/root/repo/target/debug/deps/libdecache_verify-87698c33569ae761.rlib: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/debug/deps/libdecache_verify-87698c33569ae761.rlib: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
-/root/repo/target/debug/deps/libdecache_verify-87698c33569ae761.rmeta: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/debug/deps/libdecache_verify-87698c33569ae761.rmeta: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
 crates/verify/src/lib.rs:
+crates/verify/src/conformance.rs:
+crates/verify/src/lint.rs:
 crates/verify/src/monotonic.rs:
 crates/verify/src/oracle.rs:
 crates/verify/src/product.rs:
+crates/verify/src/witness.rs:
+crates/verify/src/lint_baseline.txt:

@@ -1,8 +1,12 @@
-/root/repo/target/debug/deps/decache_verify-8fe2af4d92313932.d: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/debug/deps/decache_verify-8fe2af4d92313932.d: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
-/root/repo/target/debug/deps/decache_verify-8fe2af4d92313932: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/debug/deps/decache_verify-8fe2af4d92313932: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
 crates/verify/src/lib.rs:
+crates/verify/src/conformance.rs:
+crates/verify/src/lint.rs:
 crates/verify/src/monotonic.rs:
 crates/verify/src/oracle.rs:
 crates/verify/src/product.rs:
+crates/verify/src/witness.rs:
+crates/verify/src/lint_baseline.txt:

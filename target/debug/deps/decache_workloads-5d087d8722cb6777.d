@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/decache_workloads-5d087d8722cb6777.d: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecache_workloads-5d087d8722cb6777.rmeta: crates/workloads/src/lib.rs crates/workloads/src/array_init.rs crates/workloads/src/cmstar.rs crates/workloads/src/matrix.rs crates/workloads/src/mix.rs crates/workloads/src/producer_consumer.rs crates/workloads/src/reference.rs crates/workloads/src/systolic.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/array_init.rs:
+crates/workloads/src/cmstar.rs:
+crates/workloads/src/matrix.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/producer_consumer.rs:
+crates/workloads/src/reference.rs:
+crates/workloads/src/systolic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

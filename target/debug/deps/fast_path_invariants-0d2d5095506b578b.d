@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fast_path_invariants-0d2d5095506b578b.d: crates/machine/tests/fast_path_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfast_path_invariants-0d2d5095506b578b.rmeta: crates/machine/tests/fast_path_invariants.rs Cargo.toml
+
+crates/machine/tests/fast_path_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

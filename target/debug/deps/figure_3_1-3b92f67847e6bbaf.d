@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_3_1-3b92f67847e6bbaf.d: crates/bench/src/bin/figure_3_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_3_1-3b92f67847e6bbaf.rmeta: crates/bench/src/bin/figure_3_1.rs Cargo.toml
+
+crates/bench/src/bin/figure_3_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_5_1-36eb20c4076e865a.d: crates/bench/src/bin/figure_5_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_5_1-36eb20c4076e865a.rmeta: crates/bench/src/bin/figure_5_1.rs Cargo.toml
+
+crates/bench/src/bin/figure_5_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

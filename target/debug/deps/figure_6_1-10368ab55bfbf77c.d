@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_6_1-10368ab55bfbf77c.d: crates/bench/src/bin/figure_6_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_6_1-10368ab55bfbf77c.rmeta: crates/bench/src/bin/figure_6_1.rs Cargo.toml
+
+crates/bench/src/bin/figure_6_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

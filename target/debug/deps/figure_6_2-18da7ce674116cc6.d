@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_6_2-18da7ce674116cc6.d: crates/bench/src/bin/figure_6_2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_6_2-18da7ce674116cc6.rmeta: crates/bench/src/bin/figure_6_2.rs Cargo.toml
+
+crates/bench/src/bin/figure_6_2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-a17cb6360ce2fb88.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-a17cb6360ce2fb88.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fingerprint-fdcbeb014c541fc9.d: tests/fingerprint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfingerprint-fdcbeb014c541fc9.rmeta: tests/fingerprint.rs Cargo.toml
+
+tests/fingerprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_streams-e14ee2f133f17867.d: crates/workloads/tests/golden_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_streams-e14ee2f133f17867.rmeta: crates/workloads/tests/golden_streams.rs Cargo.toml
+
+crates/workloads/tests/golden_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

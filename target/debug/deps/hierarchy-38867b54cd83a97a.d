@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy-38867b54cd83a97a.d: crates/machine/tests/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy-38867b54cd83a97a.rmeta: crates/machine/tests/hierarchy.rs Cargo.toml
+
+crates/machine/tests/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

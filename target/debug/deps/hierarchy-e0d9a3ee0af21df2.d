@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy-e0d9a3ee0af21df2.d: crates/bench/src/bin/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy-e0d9a3ee0af21df2.rmeta: crates/bench/src/bin/hierarchy.rs Cargo.toml
+
+crates/bench/src/bin/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

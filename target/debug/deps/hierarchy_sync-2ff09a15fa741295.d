@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy_sync-2ff09a15fa741295.d: tests/hierarchy_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy_sync-2ff09a15fa741295.rmeta: tests/hierarchy_sync.rs Cargo.toml
+
+tests/hierarchy_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotspot_sweep-dab23e0cd72741a8.d: crates/bench/src/bin/hotspot_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotspot_sweep-dab23e0cd72741a8.rmeta: crates/bench/src/bin/hotspot_sweep.rs Cargo.toml
+
+crates/bench/src/bin/hotspot_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

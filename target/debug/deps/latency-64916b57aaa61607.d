@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-64916b57aaa61607.d: crates/machine/tests/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-64916b57aaa61607.rmeta: crates/machine/tests/latency.rs Cargo.toml
+
+crates/machine/tests/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

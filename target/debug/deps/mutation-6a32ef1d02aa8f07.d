@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutation-6a32ef1d02aa8f07.d: crates/verify/tests/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation-6a32ef1d02aa8f07.rmeta: crates/verify/tests/mutation.rs Cargo.toml
+
+crates/verify/tests/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

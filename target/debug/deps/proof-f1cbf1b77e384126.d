@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof-f1cbf1b77e384126.d: crates/bench/benches/proof.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof-f1cbf1b77e384126.rmeta: crates/bench/benches/proof.rs Cargo.toml
+
+crates/bench/benches/proof.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

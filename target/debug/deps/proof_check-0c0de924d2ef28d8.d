@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof_check-0c0de924d2ef28d8.d: crates/bench/src/bin/proof_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof_check-0c0de924d2ef28d8.rmeta: crates/bench/src/bin/proof_check.rs Cargo.toml
+
+crates/bench/src/bin/proof_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3796a04e360cf5a3.d: crates/workloads/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3796a04e360cf5a3.rmeta: crates/workloads/tests/properties.rs Cargo.toml
+
+crates/workloads/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

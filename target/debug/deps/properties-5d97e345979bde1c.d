@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5d97e345979bde1c.d: crates/machine/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5d97e345979bde1c.rmeta: crates/machine/tests/properties.rs Cargo.toml
+
+crates/machine/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

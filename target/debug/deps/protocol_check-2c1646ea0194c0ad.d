@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_check-2c1646ea0194c0ad.d: crates/bench/src/bin/protocol_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_check-2c1646ea0194c0ad.rmeta: crates/bench/src/bin/protocol_check.rs Cargo.toml
+
+crates/bench/src/bin/protocol_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

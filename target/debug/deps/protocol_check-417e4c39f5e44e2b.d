@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_check-417e4c39f5e44e2b.d: crates/bench/src/bin/protocol_check.rs
+
+/root/repo/target/debug/deps/protocol_check-417e4c39f5e44e2b: crates/bench/src/bin/protocol_check.rs
+
+crates/bench/src/bin/protocol_check.rs:

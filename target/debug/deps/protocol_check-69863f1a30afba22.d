@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_check-69863f1a30afba22.d: crates/bench/src/bin/protocol_check.rs
+
+/root/repo/target/debug/deps/protocol_check-69863f1a30afba22: crates/bench/src/bin/protocol_check.rs
+
+crates/bench/src/bin/protocol_check.rs:

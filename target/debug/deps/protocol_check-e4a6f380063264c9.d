@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_check-e4a6f380063264c9.d: crates/bench/src/bin/protocol_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_check-e4a6f380063264c9.rmeta: crates/bench/src/bin/protocol_check.rs Cargo.toml
+
+crates/bench/src/bin/protocol_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

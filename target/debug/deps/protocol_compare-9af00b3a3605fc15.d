@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_compare-9af00b3a3605fc15.d: crates/bench/src/bin/protocol_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_compare-9af00b3a3605fc15.rmeta: crates/bench/src/bin/protocol_compare.rs Cargo.toml
+
+crates/bench/src/bin/protocol_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/refinement-fb37c9645af6a648.d: crates/verify/tests/refinement.rs
+
+/root/repo/target/debug/deps/refinement-fb37c9645af6a648: crates/verify/tests/refinement.rs
+
+crates/verify/tests/refinement.rs:

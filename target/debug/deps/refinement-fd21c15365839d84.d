@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/refinement-fd21c15365839d84.d: crates/verify/tests/refinement.rs Cargo.toml
+
+/root/repo/target/debug/deps/librefinement-fd21c15365839d84.rmeta: crates/verify/tests/refinement.rs Cargo.toml
+
+crates/verify/tests/refinement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-9d83ec5f28f50385.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-9d83ec5f28f50385.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

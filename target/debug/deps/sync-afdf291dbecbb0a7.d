@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync-afdf291dbecbb0a7.d: crates/bench/benches/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync-afdf291dbecbb0a7.rmeta: crates/bench/benches/sync.rs Cargo.toml
+
+crates/bench/benches/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

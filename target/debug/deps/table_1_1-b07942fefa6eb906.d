@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_1_1-b07942fefa6eb906.d: crates/bench/src/bin/table_1_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_1_1-b07942fefa6eb906.rmeta: crates/bench/src/bin/table_1_1.rs Cargo.toml
+
+crates/bench/src/bin/table_1_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matvec_kernel-a361c578696dfdae.d: examples/matvec_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatvec_kernel-a361c578696dfdae.rmeta: examples/matvec_kernel.rs Cargo.toml
+
+examples/matvec_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

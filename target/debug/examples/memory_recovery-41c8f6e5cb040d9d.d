@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_recovery-41c8f6e5cb040d9d.d: examples/memory_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_recovery-41c8f6e5cb040d9d.rmeta: examples/memory_recovery.rs Cargo.toml
+
+examples/memory_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multibus_machine-748c869a237b1c44.d: examples/multibus_machine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultibus_machine-748c869a237b1c44.rmeta: examples/multibus_machine.rs Cargo.toml
+
+examples/multibus_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/producer_consumer-615575258238344f.d: examples/producer_consumer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproducer_consumer-615575258238344f.rmeta: examples/producer_consumer.rs Cargo.toml
+
+examples/producer_consumer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spinlock_contention-ac9e741a13e4e778.d: examples/spinlock_contention.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspinlock_contention-ac9e741a13e4e778.rmeta: examples/spinlock_contention.rs Cargo.toml
+
+examples/spinlock_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/systolic_ring-4548cfca78880616.d: examples/systolic_ring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsystolic_ring-4548cfca78880616.rmeta: examples/systolic_ring.rs Cargo.toml
+
+examples/systolic_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

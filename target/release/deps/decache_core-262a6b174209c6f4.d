@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/decache_core-262a6b174209c6f4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/release/deps/decache_core-262a6b174209c6f4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
-/root/repo/target/release/deps/libdecache_core-262a6b174209c6f4.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/release/deps/libdecache_core-262a6b174209c6f4.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
-/root/repo/target/release/deps/libdecache_core-262a6b174209c6f4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
+/root/repo/target/release/deps/libdecache_core-262a6b174209c6f4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/diagram.rs crates/core/src/introspect.rs crates/core/src/kind.rs crates/core/src/protocol.rs crates/core/src/rb.rs crates/core/src/rwb.rs crates/core/src/state.rs crates/core/src/write_once.rs crates/core/src/write_through.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/diagram.rs:
+crates/core/src/introspect.rs:
 crates/core/src/kind.rs:
 crates/core/src/protocol.rs:
 crates/core/src/rb.rs:

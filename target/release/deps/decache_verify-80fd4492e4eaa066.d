@@ -1,10 +1,14 @@
-/root/repo/target/release/deps/decache_verify-80fd4492e4eaa066.d: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/release/deps/decache_verify-80fd4492e4eaa066.d: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
-/root/repo/target/release/deps/libdecache_verify-80fd4492e4eaa066.rlib: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/release/deps/libdecache_verify-80fd4492e4eaa066.rlib: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
-/root/repo/target/release/deps/libdecache_verify-80fd4492e4eaa066.rmeta: crates/verify/src/lib.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs
+/root/repo/target/release/deps/libdecache_verify-80fd4492e4eaa066.rmeta: crates/verify/src/lib.rs crates/verify/src/conformance.rs crates/verify/src/lint.rs crates/verify/src/monotonic.rs crates/verify/src/oracle.rs crates/verify/src/product.rs crates/verify/src/witness.rs crates/verify/src/lint_baseline.txt
 
 crates/verify/src/lib.rs:
+crates/verify/src/conformance.rs:
+crates/verify/src/lint.rs:
 crates/verify/src/monotonic.rs:
 crates/verify/src/oracle.rs:
 crates/verify/src/product.rs:
+crates/verify/src/witness.rs:
+crates/verify/src/lint_baseline.txt:

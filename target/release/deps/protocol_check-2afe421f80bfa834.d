@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_check-2afe421f80bfa834.d: crates/bench/src/bin/protocol_check.rs
+
+/root/repo/target/release/deps/protocol_check-2afe421f80bfa834: crates/bench/src/bin/protocol_check.rs
+
+crates/bench/src/bin/protocol_check.rs:

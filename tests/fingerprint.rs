@@ -249,6 +249,36 @@ fn fingerprint(scenario: &Scenario, kind: ProtocolKind) -> (u64, String) {
     (fnv1a(&text), text)
 }
 
+/// Attaching the conformance oracle must not move a single statistic:
+/// observers are pure, so the oracle-instrumented run reproduces the
+/// exact same golden fingerprints — and conforms to the product model.
+#[test]
+fn conformance_oracle_is_invisible_to_fingerprints() {
+    use decache::verify::Refinement;
+    // The two single-bus scenarios with the densest protocol activity
+    // (locked reads, unlocking writes, evictions, write-backs).
+    for (scenario, golden) in SCENARIOS.iter().zip(GOLDEN.iter()) {
+        if !matches!(scenario.name, "ts_contention" | "eviction_churn") {
+            continue;
+        }
+        for (&kind, &expect) in PROTOCOLS.iter().zip(golden.1.iter()) {
+            let mut machine = (scenario.build)(kind);
+            let oracle = Refinement::new(kind, machine.pe_count());
+            machine.attach_observer(oracle.observer());
+            let cycles = machine.run_to_completion(50_000_000);
+            let text = dump(&machine, cycles);
+            assert_eq!(
+                fnv1a(&text),
+                expect,
+                "the oracle perturbed scenario '{}' under {kind:?};\nfull dump:\n{text}",
+                scenario.name
+            );
+            assert!(oracle.checked_steps() > 0);
+            oracle.assert_clean();
+        }
+    }
+}
+
 #[test]
 fn machine_fingerprints_match_pre_optimization_goldens() {
     let print_mode = std::env::var("DECACHE_FINGERPRINT_PRINT").is_ok();
