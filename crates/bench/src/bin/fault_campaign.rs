@@ -1,0 +1,365 @@
+//! E-FAULT — fault-injection campaign quantifying the Section 5/8
+//! reliability claim: under RWB "there is a higher probability that
+//! some cache contains a correct copy", so memory-word faults recover
+//! more often than under RB, whose write invalidations strip the very
+//! replicas recovery needs.
+//!
+//! Three parts:
+//!
+//! 1. **Recovery sweep** — fault rate × all seven protocols, many
+//!    seeded runs per cell, the live conformance oracle riding on every
+//!    run (any protocol-state divergence under faults is fatal).
+//! 2. **RWB vs RB** — at equal fault rates, RWB's memory-recovery
+//!    success rate must strictly exceed RB's.
+//! 3. **Fail-stop degradation** — per protocol × {Drain, Forfeit}, a
+//!    PE is killed mid-run; the machine must reach a structured
+//!    `Completed` outcome with exact lost-write accounting.
+//!
+//! `DECACHE_CAMPAIGN_RUNS=<n>` overrides the per-cell run count (CI
+//! smoke runs use 1; the oracle and fail-stop checks still bite).
+
+use decache_analysis::TextTable;
+use decache_bench::{banner, par, record_metrics};
+use decache_core::ProtocolKind;
+use decache_machine::{FailStopPolicy, FaultPlan, FaultStats, Machine, MachineBuilder, Script};
+use decache_mem::{Addr, AddrRange, Word};
+use decache_rng::Rng;
+use decache_verify::Refinement;
+
+/// The seven protocol variants, in the workspace's canonical order.
+const PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+const PES: usize = 4;
+const HOT_WORDS: u64 = 8;
+const CHURN_WORDS: u64 = 32;
+
+fn campaign_runs() -> u64 {
+    match std::env::var("DECACHE_CAMPAIGN_RUNS") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("DECACHE_CAMPAIGN_RUNS={v} is not a number")),
+        Err(_) => 24,
+    }
+}
+
+/// The written-then-shared workload that separates the protocols, in
+/// three roles:
+///
+/// * **PE 0, writer** — writes random hot words, with churn reads so
+///   its owned lines evict (an attached owner would mask memory faults
+///   by supplying, and its write-back overwrites lingering corruption).
+/// * **PEs 1..n-1, holders** — populate the whole hot set once, then
+///   mostly spin on a private word, occasionally re-reading a hot one.
+///   These caches are where recovery replicas live — or don't.
+/// * **PE n-1, prober** — reads a hot word, then enough churn that the
+///   line is gone again by its next probe. Every probe is a miss whose
+///   memory read is a detection opportunity, under every protocol.
+///
+/// After each write, RWB's broadcast updates every holder's replica in
+/// place, so a probe that detects a flip finds a full quorum; RB's
+/// invalidation strips the replicas, and a holder only regains one the
+/// next time it happens to pick that word — a flip probed inside that
+/// window finds nothing to recover from.
+fn campaign_script(rng: &mut Rng, pe: usize) -> Script {
+    let mut script = Script::new();
+    if pe == 0 {
+        for round in 0..rng.gen_range(32u64..48) {
+            let hot = Addr::new(rng.gen_range(0..HOT_WORDS));
+            script = script.write(hot, Word::new(round * 10 + 1));
+            for k in 0..4u64 {
+                let churn = Addr::new(HOT_WORDS + (round * 4 + k) % CHURN_WORDS);
+                script = script.read(churn);
+            }
+        }
+    } else if pe == PES - 1 {
+        for round in 0..rng.gen_range(60u64..80) {
+            script = script.read(Addr::new(rng.gen_range(0..HOT_WORDS)));
+            for k in 0..4u64 {
+                let churn = Addr::new(HOT_WORDS + (round * 4 + k + 16) % CHURN_WORDS);
+                script = script.read(churn);
+            }
+        }
+    } else {
+        for w in 0..HOT_WORDS {
+            script = script.read(Addr::new(w));
+        }
+        let private = Addr::new(HOT_WORDS + CHURN_WORDS + pe as u64);
+        for _ in 0..rng.gen_range(150u64..200) {
+            script = if rng.gen_range(0u8..8) == 0 {
+                script.read(Addr::new(rng.gen_range(0..HOT_WORDS)))
+            } else {
+                script.read(private)
+            };
+        }
+    }
+    script
+}
+
+/// One seeded campaign run: oracle-instrumented machine under a
+/// rate-driven fault plan, required to complete and conform.
+fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64) -> FaultStats {
+    let mut rng = Rng::from_seed(seed);
+    let oracle = Refinement::new(kind, PES);
+    let mut builder = MachineBuilder::new(kind);
+    builder.memory_words(64).cache_lines(16);
+    for pe in 0..PES {
+        builder.processor(campaign_script(&mut rng, pe).build());
+    }
+    builder
+        .fault_plan(
+            FaultPlan::new(rng.next_u64())
+                .memory_flip_rate(rate)
+                .cache_flip_rate(rate / 2.0)
+                .bus_loss_rate(rate / 4.0)
+                .region(AddrRange::with_len(Addr::new(0), HOT_WORDS)),
+        )
+        .observer(oracle.observer());
+    let mut machine = builder.build();
+    let outcome = machine.run_outcome(10_000_000);
+    assert!(outcome.is_complete(), "{kind} seed {seed}: {outcome}");
+    assert!(
+        oracle.checked_steps() > 0,
+        "{kind}: the observer saw nothing"
+    );
+    oracle.assert_clean();
+    machine.fault_stats()
+}
+
+/// Aggregated recovery statistics for one (protocol, rate) cell.
+#[derive(Clone, Copy)]
+struct Cell {
+    injected: u64,
+    detected: u64,
+    owner: u64,
+    majority: u64,
+    failed: u64,
+    heals: u64,
+    lost_writes: u64,
+    latency_total: u64,
+    latency_samples: u64,
+}
+
+impl Cell {
+    fn attempts(&self) -> u64 {
+        self.owner + self.majority + self.failed
+    }
+
+    fn success_rate(&self) -> Option<f64> {
+        let attempts = self.attempts();
+        (attempts > 0).then(|| (self.owner + self.majority) as f64 / attempts as f64)
+    }
+
+    fn mean_latency(&self) -> f64 {
+        if self.latency_samples == 0 {
+            return 0.0;
+        }
+        self.latency_total as f64 / self.latency_samples as f64
+    }
+}
+
+fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> Cell {
+    let mut cell = Cell {
+        injected: 0,
+        detected: 0,
+        owner: 0,
+        majority: 0,
+        failed: 0,
+        heals: 0,
+        lost_writes: 0,
+        latency_total: 0,
+        latency_samples: 0,
+    };
+    for run in 0..runs {
+        // Seeds depend only on (rate, run), so every protocol sees the
+        // same fault-plan seeds at a given rate.
+        let seed = 0x5EED_0000 + (rate * 1e6) as u64 * 1_000 + run;
+        let s = campaign_run(kind, rate, seed);
+        cell.injected += s.total_injected();
+        cell.detected += s.memory_faults_detected + s.cache_faults_detected;
+        cell.owner += s.memory_recoveries_owner;
+        cell.majority += s.memory_recoveries_majority;
+        cell.failed += s.memory_recoveries_failed;
+        cell.heals += s.broadcast_heals;
+        cell.lost_writes += s.lost_writes;
+        cell.latency_total += s.recovery_latency_total;
+        cell.latency_samples += s.recovery_latency_samples;
+    }
+    cell
+}
+
+/// Fail-stop scenario: P0 writes `x` twice (the second write is silent
+/// under the write-back protocols, so the owned 9 may exist only in
+/// its cache) and `z` once, then is killed. A survivor reads `x`. The
+/// last values P0 wrote were x=9 and z=4; any of them memory does not
+/// hold after the kill is a lost write.
+fn fail_stop_run(kind: ProtocolKind, policy: FailStopPolicy) -> (Machine, Word, u64) {
+    let x = Addr::new(1);
+    let z = Addr::new(2);
+    let mut filler = Script::new();
+    for i in 0..20u64 {
+        filler = filler.read(Addr::new(16 + i % 4));
+    }
+    let mut machine = MachineBuilder::new(kind)
+        .memory_words(64)
+        .processor(
+            Script::new()
+                .write(x, Word::new(1))
+                .write(x, Word::new(9))
+                .write(z, Word::new(4))
+                .build(),
+        )
+        .processor(filler.read(x).build())
+        .fault_plan(FaultPlan::new(7).fail_stop_at(12, 0))
+        .fail_stop_policy(policy)
+        .build();
+    let outcome = machine.run_outcome(1_000_000);
+    assert!(
+        outcome.is_complete(),
+        "{kind} {policy:?}: no graceful degradation: {outcome}"
+    );
+    assert!(machine.pe_failed(0) && machine.live_pes() == 1);
+    let seen_x = machine.memory().peek(x).expect("x in range");
+    let seen_z = machine.memory().peek(z).expect("z in range");
+    let missing = u64::from(seen_x != Word::new(9)) + u64::from(seen_z != Word::new(4));
+    (machine, seen_x, missing)
+}
+
+fn main() {
+    banner(
+        "Fault-injection campaign",
+        "Section 5 reliability claim + Section 8 future work, quantified",
+    );
+    let runs = campaign_runs();
+    let rates = [0.002f64, 0.01];
+    println!("{runs} runs per cell (DECACHE_CAMPAIGN_RUNS), {PES} PEs,");
+    println!("conformance oracle attached to every run\n");
+
+    // Part 1: the sweep. Every (protocol, rate) cell in parallel.
+    let cases: Vec<(ProtocolKind, f64)> = rates
+        .iter()
+        .flat_map(|&rate| PROTOCOLS.iter().map(move |&kind| (kind, rate)))
+        .collect();
+    let cells = par::run_cases(&cases, |&(kind, rate)| sweep_cell(kind, rate, runs));
+
+    let mut table = TextTable::new(vec![
+        "protocol", "rate", "injected", "detected", "owner", "majority", "failed", "success",
+        "heals", "lost wr", "latency",
+    ]);
+    for (&(kind, rate), cell) in cases.iter().zip(&cells) {
+        table.row(vec![
+            kind.to_string(),
+            format!("{rate}"),
+            cell.injected.to_string(),
+            cell.detected.to_string(),
+            cell.owner.to_string(),
+            cell.majority.to_string(),
+            cell.failed.to_string(),
+            cell.success_rate()
+                .map_or_else(|| "-".into(), |r| format!("{:.0}%", r * 100.0)),
+            cell.heals.to_string(),
+            cell.lost_writes.to_string(),
+            format!("{:.1}", cell.mean_latency()),
+        ]);
+        record_metrics(
+            &format!("fault_campaign/{kind}/rate_{rate}"),
+            &[
+                ("injected", cell.injected as f64),
+                ("detected", cell.detected as f64),
+                ("recovered", (cell.owner + cell.majority) as f64),
+                ("failed", cell.failed as f64),
+                ("success_rate", cell.success_rate().unwrap_or(-1.0)),
+                ("broadcast_heals", cell.heals as f64),
+                ("lost_writes", cell.lost_writes as f64),
+                ("mean_detect_latency", cell.mean_latency()),
+            ],
+        );
+    }
+    println!("{table}");
+
+    // Part 2: the headline claim, asserted. Small smoke runs may not
+    // accumulate enough recovery attempts for the comparison to be
+    // meaningful; the threshold keeps CI smoke honest without flaking.
+    let cell_of = |kind: ProtocolKind, rate: f64| {
+        cases
+            .iter()
+            .position(|&(k, r)| k == kind && r == rate)
+            .map(|i| cells[i])
+            .expect("cell present")
+    };
+    for &rate in &rates {
+        let rb = cell_of(ProtocolKind::Rb, rate);
+        let rwb = cell_of(ProtocolKind::Rwb, rate);
+        let (Some(rb_rate), Some(rwb_rate)) = (rb.success_rate(), rwb.success_rate()) else {
+            println!("rate {rate}: too few detections to compare (smoke run)");
+            continue;
+        };
+        println!(
+            "rate {rate}: RWB recovers {:.0}% vs RB {:.0}% ({} vs {} attempts)",
+            rwb_rate * 100.0,
+            rb_rate * 100.0,
+            rwb.attempts(),
+            rb.attempts(),
+        );
+        if rb.attempts() >= 10 && rwb.attempts() >= 10 {
+            assert!(
+                rwb_rate > rb_rate,
+                "RWB must out-recover RB at rate {rate}: {rwb_rate:.3} vs {rb_rate:.3}"
+            );
+        }
+    }
+    println!();
+
+    // Part 3: fail-stop degradation, per protocol and policy.
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "drained (Drain)",
+        "lost (Drain)",
+        "survivor sees",
+        "lost (Forfeit)",
+        "survivor sees",
+    ]);
+    for &kind in &PROTOCOLS {
+        let (drain, drain_seen, drain_missing) = fail_stop_run(kind, FailStopPolicy::Drain);
+        let (forfeit, forfeit_seen, forfeit_missing) = fail_stop_run(kind, FailStopPolicy::Forfeit);
+        let ds = drain.fault_stats();
+        let fs = forfeit.fault_stats();
+        // Draining flushes every good-parity owned line, so nothing is
+        // lost; forfeiting drains nothing, and loses exactly the last
+        // written values memory does not hold after the kill.
+        assert_eq!(ds.lost_writes, 0, "{kind}: drain lost a write");
+        assert_eq!(drain_missing, 0, "{kind}: drain left memory incomplete");
+        assert_eq!(fs.drained_lines, 0, "{kind}: forfeit drained");
+        assert_eq!(drain_seen, Word::new(9), "{kind}: drain lost the 9");
+        assert_eq!(
+            fs.lost_writes, forfeit_missing,
+            "{kind}: lost-write accounting disagrees with memory's view \
+             (survivor saw {forfeit_seen})"
+        );
+        table.row(vec![
+            kind.to_string(),
+            ds.drained_lines.to_string(),
+            ds.lost_writes.to_string(),
+            drain_seen.to_string(),
+            fs.lost_writes.to_string(),
+            forfeit_seen.to_string(),
+        ]);
+        record_metrics(
+            &format!("fault_campaign/fail_stop/{kind}"),
+            &[
+                ("drained", ds.drained_lines as f64),
+                ("forfeit_lost", fs.lost_writes as f64),
+            ],
+        );
+    }
+    println!("{table}");
+    println!("every run completed with n-1 PEs (structured outcome, no panic);");
+    println!("Forfeit loses exactly the owned values memory never saw.");
+}

@@ -66,6 +66,29 @@ fn record_json(name: &str, nanos: f64, iters: u32) {
     .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
 }
 
+/// Appends one JSON record of named numeric metrics to the file named
+/// by `DECACHE_BENCH_JSON`, if set: `{"name": …, "<key>": <value>, …}`.
+/// The non-timing counterpart of [`time_case`]'s records, for
+/// experiment bins whose output is counters rather than nanoseconds
+/// (e.g. the fault campaign's recovery rates).
+pub fn record_metrics(name: &str, fields: &[(&str, f64)]) {
+    let Ok(path) = std::env::var("DECACHE_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let mut line = format!("{{\"name\":\"{}\"", json_escape(name));
+    for (key, value) in fields {
+        line.push_str(&format!(",\"{}\":{value}", json_escape(key)));
+    }
+    line.push('}');
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+    writeln!(file, "{line}").unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+}
+
 /// Times `body` over `iters` iterations after one warmup call and
 /// prints a `name ... mean per-iter` line; the dependency-free stand-in
 /// for the former Criterion harness. Returns the mean nanoseconds per

@@ -45,6 +45,12 @@ pub struct Entry<S> {
     /// presence at block granularity and this holds the block's first
     /// word; the coherence protocols all use one-word blocks.
     pub data: Word,
+    /// Parity check bit: `true` while the stored word matches the parity
+    /// computed when it was filled. A transient fault (the Section 8
+    /// reliability model) clears it; the cache controller detects the
+    /// mismatch on the next access to the line. Fresh fills always start
+    /// with good parity.
+    pub parity_ok: bool,
     lru_stamp: u64,
     insert_stamp: u64,
 }
@@ -61,6 +67,9 @@ pub struct EvictedLine<S> {
     pub state: S,
     /// Its data at eviction time.
     pub data: Word,
+    /// Its parity bit at eviction time — a corrupted line written back
+    /// propagates its fault into memory.
+    pub parity_ok: bool,
 }
 
 /// Protocol-agnostic cache line storage: a `sets × ways` array of optional
@@ -213,12 +222,14 @@ impl<S> TagStore<S> {
                 addr: old.addr,
                 state: old.state,
                 data: old.data,
+                parity_ok: old.parity_ok,
             })
         });
         self.lines[slot] = Some(Entry {
             addr: base,
             state,
             data,
+            parity_ok: true,
             lru_stamp: clock,
             insert_stamp: clock,
         });
@@ -232,6 +243,7 @@ impl<S> TagStore<S> {
             addr: e.addr,
             state: e.state,
             data: e.data,
+            parity_ok: e.parity_ok,
         });
         if removed.is_some() {
             self.valid -= 1;
@@ -318,7 +330,8 @@ mod tests {
             EvictedLine {
                 addr: Addr::new(3),
                 state: 'L',
-                data: Word::new(1)
+                data: Word::new(1),
+                parity_ok: true,
             }
         );
         assert!(!s.contains(Addr::new(3)));
@@ -434,6 +447,21 @@ mod tests {
             let evicted = s.insert(Addr::new(5), 1, Word::ZERO).unwrap();
             assert_eq!(evicted.addr, Addr::new(1), "{policy}");
         }
+    }
+
+    #[test]
+    fn fresh_fills_have_good_parity_and_refills_restore_it() {
+        let mut s = store(4);
+        s.insert(Addr::new(1), 'R', Word::new(5));
+        assert!(s.get(Addr::new(1)).unwrap().parity_ok);
+        s.get_mut(Addr::new(1)).unwrap().parity_ok = false;
+        assert!(!s.get(Addr::new(1)).unwrap().parity_ok);
+        // Evicting the corrupt line reports the bad parity...
+        let evicted = s.insert(Addr::new(5), 'R', Word::ZERO).unwrap();
+        assert!(!evicted.parity_ok);
+        // ...and a fresh fill of the same block starts clean again.
+        s.insert(Addr::new(1), 'R', Word::new(6));
+        assert!(s.get(Addr::new(1)).unwrap().parity_ok);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fluent construction of [`Machine`]s.
 
-use crate::{Machine, Observer, Processor, Trace};
+use crate::{FailStopPolicy, FaultPlan, Machine, Observer, Processor, RecoveryPolicy, Trace};
 use decache_bus::{ArbiterKind, Routing};
 use decache_cache::{Geometry, TagStore};
 use decache_core::ProtocolKind;
@@ -51,6 +51,9 @@ pub struct MachineBuilder {
     processors: Vec<Box<dyn Processor + Send>>,
     observers: Vec<Box<dyn Observer>>,
     initial_memory: Vec<(decache_mem::Addr, decache_mem::Word)>,
+    fault_plan: Option<FaultPlan>,
+    recovery_policy: RecoveryPolicy,
+    fail_stop_policy: FailStopPolicy,
 }
 
 impl std::fmt::Debug for MachineBuilder {
@@ -88,6 +91,9 @@ impl MachineBuilder {
             processors: Vec::new(),
             observers: Vec::new(),
             initial_memory: Vec::new(),
+            fault_plan: None,
+            recovery_policy: RecoveryPolicy::default(),
+            fail_stop_policy: FailStopPolicy::default(),
         }
     }
 
@@ -206,6 +212,29 @@ impl MachineBuilder {
         self
     }
 
+    /// Attaches a deterministic [`FaultPlan`]. An inert plan (no rates,
+    /// no scheduled events) leaves every statistic bit-identical to a
+    /// machine built without one.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Selects the in-loop repair policy for memory words whose parity
+    /// check fails on a bus read (default
+    /// [`RecoveryPolicy::Majority`]).
+    pub fn recovery_policy(&mut self, policy: RecoveryPolicy) -> &mut Self {
+        self.recovery_policy = policy;
+        self
+    }
+
+    /// Selects what fail-stop handling does with a dead PE's owned
+    /// lines (default [`FailStopPolicy::Drain`]).
+    pub fn fail_stop_policy(&mut self, policy: FailStopPolicy) -> &mut Self {
+        self.fail_stop_policy = policy;
+        self
+    }
+
     /// Adds a processing element running the given program.
     pub fn processor(&mut self, processor: Box<dyn Processor + Send>) -> &mut Self {
         self.processors.push(processor);
@@ -289,6 +318,9 @@ impl MachineBuilder {
             arbiters,
             self.transaction_cycles,
             trace,
+            self.fault_plan.take(),
+            self.recovery_policy,
+            self.fail_stop_policy,
         );
         for observer in std::mem::take(&mut self.observers) {
             machine.attach_observer(observer);

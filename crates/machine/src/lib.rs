@@ -43,8 +43,10 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod fault;
 mod machine;
 mod op;
+mod outcome;
 mod processor;
 mod recovery;
 mod sharers;
@@ -54,8 +56,12 @@ mod status;
 mod trace;
 
 pub use builder::MachineBuilder;
+pub use fault::{
+    FailStopPolicy, FaultKind, FaultPlan, FaultStats, InjectError, RecoveryPolicy, RecoverySource,
+};
 pub use machine::Machine;
 pub use op::{Access, MemOp, OpResult};
+pub use outcome::{HaltReason, PeBlame, RunOutcome, StallVerdict};
 pub use processor::{IdleProcessor, LoopProcessor, Poll, Processor, Script, SpinReader};
 pub use recovery::RecoveryError;
 pub use snapshot::{Snapshot, SnapshotTable};

@@ -1,15 +1,21 @@
 //! The cycle-based shared-bus MIMD machine.
 
+use crate::fault::{FaultEngine, FaultKind, FaultPlan, RecoverySource};
+use crate::outcome::progress_window;
 use crate::sharers::{AddrPeIndex, PeMask};
 use crate::status::{PeStatus, Pending};
 use crate::trace::{CpuDecision, Observation, Observer};
-use crate::{MachineStats, MemOp, OpResult, Processor, Snapshot, Trace, TraceEvent, TraceKind};
+use crate::{
+    FailStopPolicy, FaultStats, HaltReason, MachineStats, MemOp, OpResult, PeBlame, Processor,
+    RecoveryPolicy, RunOutcome, Snapshot, StallVerdict, Trace, TraceEvent, TraceKind,
+};
 use decache_bus::{
     Arbiter, BusOp, BusOpKind, BusQueue, BusTransaction, MultiBusStats, Routing, TrafficStats,
 };
 use decache_cache::{AccessKind, CacheStats, TagStore};
 use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent};
-use decache_mem::{Addr, MemError, Memory, PeId, Word};
+use decache_mem::{Addr, AddrRange, MemError, Memory, PeId, Word};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The simulated machine: `n` processing elements with private snooping
@@ -78,8 +84,31 @@ pub struct Machine {
     idle: PeMask,
     /// Running count of PEs in [`PeStatus::Idle`].
     idle_count: usize,
-    /// Running count of PEs in [`PeStatus::Done`].
+    /// Running count of PEs in [`PeStatus::Done`] or
+    /// [`PeStatus::Failed`] — a fail-stopped PE counts as finished, so
+    /// the survivors' completion is unchanged.
     done_count: usize,
+    /// The live fault-injection engine, `None` without a
+    /// [`FaultPlan`]. A machine with no plan performs zero fault work
+    /// per cycle beyond this `None` check.
+    faults: Option<FaultEngine>,
+    /// In-loop repair policy for memory words whose parity check fails
+    /// on a bus read.
+    recovery_policy: RecoveryPolicy,
+    /// What to do with a fail-stopped PE's owned lines.
+    fail_stop_policy: FailStopPolicy,
+    /// Fault-subsystem counters, separate from [`MachineStats`].
+    fault_stats: FaultStats,
+    /// Injection cycle of each outstanding (undetected) fault, keyed by
+    /// `(Some(pe), addr)` for cache faults and `(None, addr)` for
+    /// memory faults — the detection-latency ledger.
+    fault_clock: HashMap<(Option<usize>, u64), u64>,
+    /// Per-PE cycle of the most recent completed operation, for the
+    /// livelock/deadlock verdict in [`Machine::run_outcome`].
+    last_progress: Vec<u64>,
+    /// Per-PE address of the most recently issued operation, for
+    /// budget-exhaustion blame.
+    last_addr: Vec<Option<Addr>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -104,6 +133,9 @@ impl Machine {
         arbiters: Vec<Box<dyn Arbiter>>,
         transaction_cycles: u64,
         trace: Trace,
+        fault_plan: Option<FaultPlan>,
+        recovery_policy: RecoveryPolicy,
+        fail_stop_policy: FailStopPolicy,
     ) -> Self {
         let n = processors.len();
         let buses = routing.bus_count();
@@ -155,6 +187,13 @@ impl Machine {
             idle,
             idle_count: n,
             done_count: 0,
+            faults: fault_plan.map(|plan| FaultEngine::new(plan, buses)),
+            recovery_policy,
+            fail_stop_policy,
+            fault_stats: FaultStats::default(),
+            fault_clock: HashMap::new(),
+            last_progress: vec![0; n],
+            last_addr: vec![None; n],
         }
     }
 
@@ -287,6 +326,38 @@ impl Machine {
         self.stats
     }
 
+    /// Fault-injection and recovery counters (all zero without faults).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// The in-loop memory repair policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery_policy
+    }
+
+    /// The fail-stop drain/forfeit policy.
+    pub fn fail_stop_policy(&self) -> FailStopPolicy {
+        self.fail_stop_policy
+    }
+
+    /// `true` if PE `pe` has fail-stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= self.pe_count()`.
+    pub fn pe_failed(&self, pe: usize) -> bool {
+        matches!(self.statuses[pe], PeStatus::Failed)
+    }
+
+    /// The number of PEs that have not fail-stopped.
+    pub fn live_pes(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| !matches!(s, PeStatus::Failed))
+            .count()
+    }
+
     /// Resets every statistic (bus traffic, cache hit/miss counters,
     /// machine counters) without touching the architectural state —
     /// caches, memory, and in-flight work are preserved. Use to discard
@@ -329,6 +400,7 @@ impl Machine {
     /// Advances the machine by one bus cycle.
     pub fn step(&mut self) {
         self.cycle += 1;
+        self.fault_phase();
         self.issue_phase();
         self.bus_phase();
     }
@@ -344,20 +416,66 @@ impl Machine {
         self.is_done()
     }
 
+    /// Runs until done or `max_cycles` elapse and reports a structured
+    /// [`RunOutcome`]: [`HaltReason::Completed`], or
+    /// [`HaltReason::BudgetExhausted`] with per-PE blame — which PEs
+    /// are stuck on which addresses, and whether each stall looks like
+    /// livelock (still completing operations) or deadlock (no progress
+    /// in the trailing window). Blame is ordered most-starved first.
+    pub fn run_outcome(&mut self, max_cycles: u64) -> RunOutcome {
+        if self.run(max_cycles) {
+            return RunOutcome {
+                cycles: self.cycle,
+                reason: HaltReason::Completed,
+            };
+        }
+        let window = progress_window(max_cycles);
+        let mut blame: Vec<PeBlame> = Vec::new();
+        for pe in 0..self.pe_count() {
+            let (stalled, addr) = match self.statuses[pe] {
+                PeStatus::Done | PeStatus::Failed => continue,
+                PeStatus::Idle => (false, self.last_addr[pe]),
+                PeStatus::WaitBus(pending) => (true, Some(pending.addr())),
+            };
+            let last_progress = self.last_progress[pe];
+            let verdict = if self.cycle.saturating_sub(last_progress) > window {
+                StallVerdict::Deadlock
+            } else {
+                StallVerdict::Livelock
+            };
+            blame.push(PeBlame {
+                pe,
+                addr,
+                stalled,
+                last_progress,
+                verdict,
+            });
+        }
+        blame.sort_by_key(|b| b.last_progress);
+        RunOutcome {
+            cycles: self.cycle,
+            reason: HaltReason::BudgetExhausted { blame },
+        }
+    }
+
     /// Runs to completion and returns the elapsed cycle count.
     ///
     /// # Panics
     ///
     /// Panics if the machine is not done after `max_cycles` — programs
-    /// that spin forever (e.g. a lock never released) exceed any budget.
+    /// that spin forever (e.g. a lock never released) exceed any
+    /// budget. The panic message renders the [`RunOutcome`] blame; use
+    /// [`Machine::run_outcome`] to handle exhaustion without
+    /// panicking.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
+        let outcome = self.run_outcome(max_cycles);
         assert!(
-            self.run(max_cycles),
-            "machine not done after {max_cycles} cycles (protocol {}, {} PEs)",
+            outcome.is_complete(),
+            "machine not done after {max_cycles} cycles (protocol {}, {} PEs): {outcome}",
             self.protocol.name(),
             self.pe_count()
         );
-        self.cycle
+        outcome.cycles
     }
 
     fn record(&mut self, kind: TraceKind, pe: Option<PeId>, text: impl FnOnce() -> String) {
@@ -388,7 +506,7 @@ impl Machine {
                 self.idle.clear(pe);
                 self.idle_count -= 1;
             }
-            PeStatus::Done => self.done_count -= 1,
+            PeStatus::Done | PeStatus::Failed => self.done_count -= 1,
             PeStatus::WaitBus(Pending::Read { addr, .. }) => {
                 self.pending_readers.remove(addr.index(), pe);
             }
@@ -399,12 +517,412 @@ impl Machine {
                 self.idle.set(pe);
                 self.idle_count += 1;
             }
-            PeStatus::Done => self.done_count += 1,
+            PeStatus::Done | PeStatus::Failed => self.done_count += 1,
             PeStatus::WaitBus(Pending::Read { addr, .. }) => {
                 self.pending_readers.add(addr.index(), pe);
             }
             PeStatus::WaitBus(_) => {}
         }
+    }
+
+    // ----- fault phase ------------------------------------------------
+
+    /// `true` if fault work can exist at all: a plan is attached, or a
+    /// manual `corrupt_*` call left an undetected fault outstanding.
+    /// Every per-access parity check is gated on this, so a fault-free
+    /// machine pays two branch tests per cycle and nothing per access.
+    fn faults_possible(&self) -> bool {
+        self.faults.is_some() || !self.fault_clock.is_empty()
+    }
+
+    /// Draws this cycle's rate-driven faults, pops the scheduled ones,
+    /// and applies them — always in the fixed order memory flip, cache
+    /// flip, bus loss, fail stop, so a given seed yields one exact
+    /// fault history.
+    fn fault_phase(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        let n = self.pe_count();
+        let faults = {
+            let statuses = &self.statuses;
+            let caches = &self.caches;
+            let memory_size = self.memory.size();
+            let engine = self.faults.as_mut().expect("checked above");
+            engine.lose_grant.iter_mut().for_each(|b| *b = false);
+            let mut faults = engine.due(self.cycle);
+            if engine.plan.has_rates() {
+                let live = || {
+                    (0..n)
+                        .filter(|&pe| !matches!(statuses[pe], PeStatus::Failed))
+                        .collect::<Vec<usize>>()
+                };
+                if engine.plan.memory_flip_rate > 0.0
+                    && engine.rng.gen_bool(engine.plan.memory_flip_rate)
+                {
+                    let region = engine
+                        .plan
+                        .region
+                        .unwrap_or_else(|| AddrRange::with_len(Addr::new(0), memory_size));
+                    let addr = region.nth(engine.rng.gen_range(0..region.len()));
+                    faults.push(FaultKind::MemoryFlip { addr });
+                }
+                if engine.plan.cache_flip_rate > 0.0
+                    && engine.rng.gen_bool(engine.plan.cache_flip_rate)
+                {
+                    let live = live();
+                    if !live.is_empty() {
+                        let pe = *engine.rng.choose(&live);
+                        if !caches[pe].is_empty() {
+                            let k = engine.rng.gen_range(0..caches[pe].len());
+                            let addr = caches[pe].iter().nth(k).expect("k < len").addr;
+                            faults.push(FaultKind::CacheFlip { pe, addr });
+                        }
+                    }
+                }
+                if engine.plan.bus_loss_rate > 0.0 && engine.rng.gen_bool(engine.plan.bus_loss_rate)
+                {
+                    let bus = engine.rng.gen_range(0..engine.lose_grant.len());
+                    faults.push(FaultKind::BusLoss { bus });
+                }
+                if engine.plan.fail_stop_rate > 0.0
+                    && engine.rng.gen_bool(engine.plan.fail_stop_rate)
+                {
+                    let live = live();
+                    // Never kill the last live PE: a machine with no
+                    // processors cannot degrade gracefully.
+                    if live.len() > 1 {
+                        let pe = *engine.rng.choose(&live);
+                        faults.push(FaultKind::FailStop { pe });
+                    }
+                }
+            }
+            faults
+        };
+        for fault in faults {
+            self.apply_fault(fault);
+        }
+    }
+
+    fn apply_fault(&mut self, fault: FaultKind) {
+        match fault {
+            FaultKind::MemoryFlip { addr } => self.inject_memory_flip(addr),
+            FaultKind::CacheFlip { pe, addr } => self.inject_cache_flip(pe, addr),
+            FaultKind::BusLoss { bus } => {
+                // Marked here, consumed (and counted) by `bus_phase` if
+                // the bus actually grants something this cycle.
+                let engine = self.faults.as_mut().expect("bus loss requires an engine");
+                if bus < engine.lose_grant.len() {
+                    engine.lose_grant[bus] = true;
+                }
+            }
+            FaultKind::FailStop { pe } => {
+                if pe < self.pe_count() && !self.pe_failed(pe) {
+                    self.fail_stop(pe);
+                }
+            }
+        }
+    }
+
+    fn inject_memory_flip(&mut self, addr: Addr) {
+        let Ok(cur) = self.memory.peek(addr) else {
+            // Only a mis-scheduled flip can point outside memory;
+            // rate-driven draws stay in range by construction.
+            debug_assert!(false, "scheduled memory flip at {addr} out of range");
+            return;
+        };
+        let bit = self
+            .faults
+            .as_mut()
+            .expect("memory flip requires an engine")
+            .rng
+            .gen_range(0..64u64);
+        let garbage = Word::new(cur.value() ^ (1 << bit));
+        self.memory
+            .poke_corrupt(addr, garbage)
+            .expect("peeked address is in range");
+        self.fault_stats.memory_faults_injected += 1;
+        self.fault_clock.insert((None, addr.index()), self.cycle);
+        let fault = FaultKind::MemoryFlip { addr };
+        self.record(TraceKind::FaultInject, None, || fault.to_string());
+        self.notify(Observation::FaultInjected { fault });
+    }
+
+    fn inject_cache_flip(&mut self, pe: usize, addr: Addr) {
+        if pe >= self.pe_count() || self.pe_failed(pe) {
+            debug_assert!(pe < self.pe_count(), "scheduled cache flip in absent P{pe}");
+            return;
+        }
+        let bit = self
+            .faults
+            .as_mut()
+            .expect("cache flip requires an engine")
+            .rng
+            .gen_range(0..64u64);
+        let base = self.geometry.block_base(addr);
+        // `iter_mut`, not `get_mut`: a fault must not touch the LRU
+        // clock, or injection would perturb replacement decisions.
+        let Some(entry) = self.caches[pe].iter_mut().find(|e| e.addr == base) else {
+            // A scheduled flip of a line that is not cached when its
+            // cycle comes is a no-op (and not counted).
+            return;
+        };
+        entry.data = Word::new(entry.data.value() ^ (1 << bit));
+        entry.parity_ok = false;
+        self.fault_stats.cache_faults_injected += 1;
+        self.fault_clock
+            .insert((Some(pe), base.index()), self.cycle);
+        let fault = FaultKind::CacheFlip { pe, addr: base };
+        self.record(TraceKind::FaultInject, Some(PeId::new(pe as u16)), || {
+            fault.to_string()
+        });
+        self.notify(Observation::FaultInjected { fault });
+    }
+
+    /// Opens a detection-latency ledger entry for a fault injected at
+    /// the current cycle — the manual `corrupt_*` entry points share
+    /// this ledger with the rate-driven engine.
+    pub(crate) fn clock_fault(&mut self, pe: Option<usize>, addr: Addr) {
+        let idx = match pe {
+            Some(_) => self.block_base(addr),
+            None => addr.index(),
+        };
+        self.fault_clock.insert((pe, idx), self.cycle);
+    }
+
+    /// PE `pe`'s full tag-store entry for `addr`, parity bit included.
+    pub(crate) fn cache_entry(
+        &self,
+        pe: usize,
+        addr: Addr,
+    ) -> Option<&decache_cache::Entry<LineState>> {
+        self.caches[pe].get(addr)
+    }
+
+    /// Closes the detection-latency ledger entry for the fault at index
+    /// `idx` (in PE `pe`'s cache if `Some`, else in memory).
+    fn take_latency(&mut self, pe: Option<usize>, idx: u64) {
+        if let Some(at) = self.fault_clock.remove(&(pe, idx)) {
+            self.fault_stats.recovery_latency_total += self.cycle.saturating_sub(at);
+            self.fault_stats.recovery_latency_samples += 1;
+        }
+    }
+
+    /// The parity check a CPU access or a supply attempt performs on PE
+    /// `pe`'s copy of `addr`: a corrupted line is detected, invalidated,
+    /// and re-fetched from the coherent image by the access that found
+    /// it. If the line owned the latest value, that write is lost (the
+    /// refetch observes older memory). Returns `true` if a line was
+    /// scrubbed.
+    fn scrub_if_corrupt(&mut self, pe: usize, addr: Addr) -> bool {
+        match self.caches[pe].get(addr) {
+            Some(entry) if !entry.parity_ok => {}
+            _ => return false,
+        }
+        let removed = self.caches[pe].remove(addr).expect("entry just seen");
+        self.sharers.remove(removed.addr.index(), pe);
+        let lost_write = removed.state.owns_latest();
+        self.fault_stats.cache_faults_detected += 1;
+        self.fault_stats.cache_refetches += 1;
+        if lost_write {
+            self.fault_stats.lost_writes += 1;
+        }
+        self.take_latency(Some(pe), removed.addr.index());
+        let pe_id = PeId::new(pe as u16);
+        let base = removed.addr;
+        self.record(TraceKind::FaultDetect, Some(pe_id), || {
+            format!("cache parity failed for {base}")
+        });
+        self.record(TraceKind::Recover, Some(pe_id), || {
+            format!(
+                "scrub corrupted line {base}{}",
+                if lost_write { " (write lost)" } else { "" }
+            )
+        });
+        self.notify(Observation::FaultDetected {
+            pe: Some(pe),
+            addr: base,
+        });
+        self.notify(Observation::LineScrubbed {
+            pe,
+            addr: base,
+            lost_write,
+        });
+        true
+    }
+
+    /// A bus read found bad parity in the memory word it is about to
+    /// serve: count the detection and apply the in-loop
+    /// [`RecoveryPolicy`] — repair from a replica when one is usable,
+    /// else adopt the corrupt value (re-marking its parity good so each
+    /// fault is counted exactly once).
+    fn detect_and_repair_memory(&mut self, addr: Addr) {
+        self.fault_stats.memory_faults_detected += 1;
+        self.take_latency(None, addr.index());
+        self.record(TraceKind::FaultDetect, None, || {
+            format!("memory parity failed at {addr}")
+        });
+        self.notify(Observation::FaultDetected { pe: None, addr });
+        let allow_majority = match self.recovery_policy {
+            RecoveryPolicy::Off => {
+                self.fault_stats.memory_recoveries_failed += 1;
+                self.record(TraceKind::Recover, None, || {
+                    format!("recovery off: corrupt value at {addr} adopted")
+                });
+                self.memory.clear_corrupt(addr);
+                return;
+            }
+            RecoveryPolicy::OwnerOnly => false,
+            RecoveryPolicy::Majority => true,
+        };
+        self.fault_stats.replicas_at_recovery += self.replica_count(addr) as u64;
+        match self.recover_value(addr, allow_majority) {
+            Some((value, source)) => {
+                self.memory
+                    .repair(addr, value)
+                    .expect("detected address is in range");
+                match source {
+                    RecoverySource::Owner { .. } => self.fault_stats.memory_recoveries_owner += 1,
+                    RecoverySource::Majority { .. } => {
+                        self.fault_stats.memory_recoveries_majority += 1;
+                    }
+                }
+                self.record(TraceKind::Recover, None, || match source {
+                    RecoverySource::Owner { pe } => {
+                        format!("repair {addr} = {value} from owner P{pe}")
+                    }
+                    RecoverySource::Majority { votes } => {
+                        format!("repair {addr} = {value} by majority of {votes}")
+                    }
+                });
+                self.notify(Observation::MemoryRepaired { addr, source });
+            }
+            None => {
+                self.fault_stats.memory_recoveries_failed += 1;
+                self.record(TraceKind::Recover, None, || {
+                    format!("no usable replica: corrupt value at {addr} adopted")
+                });
+                self.memory.clear_corrupt(addr);
+            }
+        }
+    }
+
+    /// Fail-stops PE `pe` now: cancels its queued bus requests,
+    /// force-releases its memory locks, drains or forfeits its owned
+    /// lines per the [`FailStopPolicy`], empties its cache, and marks
+    /// it [`PeStatus::Failed`] — the surviving PEs run to completion.
+    /// Returns `false` if the PE had already fail-stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= self.pe_count()`.
+    pub fn fail_stop(&mut self, pe: usize) -> bool {
+        assert!(
+            pe < self.pe_count(),
+            "fail-stop of P{pe} on a {}-PE machine",
+            self.pe_count()
+        );
+        if self.pe_failed(pe) {
+            return false;
+        }
+        let pe_id = PeId::new(pe as u16);
+        for queue in &mut self.queues {
+            queue.cancel(pe_id);
+        }
+        let released = self.memory.release_locks_held_by(pe_id);
+        self.fault_stats.forced_unlocks += released.len() as u64;
+        let lines: Vec<(Addr, LineState, Word, bool)> = self.caches[pe]
+            .iter()
+            .map(|e| (e.addr, e.state, e.data, e.parity_ok))
+            .collect();
+        let mut drained = 0u32;
+        let mut lost = 0u32;
+        for (addr, state, data, parity_ok) in lines {
+            self.sharers.remove(addr.index(), pe);
+            self.fault_clock.remove(&(Some(pe), addr.index()));
+            if !state.owns_latest() {
+                continue;
+            }
+            match self.fail_stop_policy {
+                FailStopPolicy::Drain => {
+                    if parity_ok {
+                        // The recovery controller flushes the owned
+                        // value; the write-back is charged one bus
+                        // write like an eviction.
+                        self.memory
+                            .write(addr, data)
+                            .expect("drain write-back in range");
+                        let bus = self.routing.bus_of(addr);
+                        self.traffic.bus_mut(bus).record(BusOpKind::Write);
+                        drained += 1;
+                    } else {
+                        lost += 1;
+                    }
+                }
+                FailStopPolicy::Forfeit => {
+                    // Only writes memory does not already hold are
+                    // lost: an F-state line's first write reached the
+                    // bus, so memory may well be current.
+                    let held = self.memory.peek(addr).expect("cached address in range");
+                    if !parity_ok || held != data {
+                        lost += 1;
+                    }
+                }
+            }
+        }
+        self.caches[pe].clear();
+        self.fault_stats.pe_fail_stops += 1;
+        self.fault_stats.drained_lines += u64::from(drained);
+        self.fault_stats.lost_writes += u64::from(lost);
+        self.set_status(pe, PeStatus::Failed);
+        self.last_results[pe] = None;
+        self.record(TraceKind::FailStop, Some(pe_id), || {
+            format!(
+                "fail-stop: {drained} lines drained, {lost} writes lost, {} locks released",
+                released.len()
+            )
+        });
+        self.notify(Observation::PeFailStopped {
+            pe,
+            drained,
+            lost_writes: lost,
+        });
+        true
+    }
+
+    /// The replica-recovery core shared by the in-loop policy and the
+    /// manual [`Machine::recover_memory`](crate::RecoveryError) API: an
+    /// owning (`L`/`D`) good-parity copy is authoritative by the
+    /// Section 4 lemma; otherwise, if allowed, the majority value among
+    /// good-parity readable replicas wins (value ties break toward the
+    /// larger word, deterministically).
+    pub(crate) fn recover_value(
+        &self,
+        addr: Addr,
+        allow_majority: bool,
+    ) -> Option<(Word, RecoverySource)> {
+        for (pe, cache) in self.caches.iter().enumerate() {
+            if let Some(e) = cache.get(addr) {
+                if e.parity_ok && e.state.owns_latest() {
+                    return Some((e.data, RecoverySource::Owner { pe }));
+                }
+            }
+        }
+        if !allow_majority {
+            return None;
+        }
+        let mut votes: HashMap<Word, usize> = HashMap::new();
+        for cache in &self.caches {
+            if let Some(e) = cache.get(addr) {
+                if e.parity_ok && e.state.is_readable_locally() {
+                    *votes.entry(e.data).or_insert(0) += 1;
+                }
+            }
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(value, count)| (count, value.value()))
+            .map(|(value, count)| (value, RecoverySource::Majority { votes: count }))
     }
 
     // ----- issue phase ------------------------------------------------
@@ -428,6 +946,13 @@ impl Machine {
     fn start_op(&mut self, pe: usize, op: MemOp) {
         use crate::Access;
         let pe_id = PeId::new(pe as u16);
+        self.last_addr[pe] = Some(op.access.addr());
+        if self.faults_possible() {
+            // The access checks the line's parity before the protocol
+            // decides hit or miss: a corrupted line is scrubbed here,
+            // so the decision below sees a clean (missing) line.
+            self.scrub_if_corrupt(pe, op.access.addr());
+        }
         self.record(TraceKind::Issue, Some(pe_id), || op.to_string());
         match op.access {
             Access::Read(addr) => match self.protocol.cpu_read(self.line_state(pe, addr)) {
@@ -438,6 +963,7 @@ impl Machine {
                     entry.state = next;
                     let value = entry.data;
                     self.cache_stats[pe].record(AccessKind::Read, op.class, true);
+                    self.last_progress[pe] = self.cycle;
                     self.last_results[pe] = Some(OpResult::Read(value));
                     self.record(TraceKind::Hit, Some(pe_id), || {
                         format!("read {addr} = {value}")
@@ -477,6 +1003,7 @@ impl Machine {
                         entry.state = next;
                         entry.data = value;
                         self.cache_stats[pe].record(AccessKind::Write, op.class, true);
+                        self.last_progress[pe] = self.cycle;
                         self.last_results[pe] = Some(OpResult::Write);
                         self.record(TraceKind::Hit, Some(pe_id), || {
                             format!("write {addr} <- {value}")
@@ -559,6 +1086,26 @@ impl Machine {
             match self.queues[bus].grant(self.arbiters[bus].as_mut()) {
                 None => self.traffic.bus_mut(bus).record_idle(),
                 Some(tx) => {
+                    if self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|engine| engine.lose_grant[bus])
+                    {
+                        // The granted transaction is lost in flight: the
+                        // cycle is burned and the transaction retries at
+                        // the head of the queue. It never completes, so
+                        // no observer sees any protocol effect.
+                        self.faults.as_mut().expect("just checked").lose_grant[bus] = false;
+                        self.fault_stats.bus_transactions_lost += 1;
+                        self.traffic.bus_mut(bus).record_occupied();
+                        let fault = FaultKind::BusLoss { bus };
+                        self.record(TraceKind::FaultInject, Some(tx.initiator), || {
+                            format!("{fault}: dropped {tx}")
+                        });
+                        self.notify(Observation::FaultInjected { fault });
+                        self.queues[bus].push_retry(tx);
+                        continue;
+                    }
                     self.record(TraceKind::Grant, Some(tx.initiator), || tx.to_string());
                     if self.transaction_cycles > 1 {
                         self.bus_free_at[bus] = self.cycle + self.transaction_cycles;
@@ -611,7 +1158,13 @@ impl Machine {
 
         // Interrupt path: an owning cache kills the read and substitutes
         // its own bus write; the read retries next cycle (Section 3).
-        if let Some(supplier) = self.find_supplier(addr) {
+        // A supplier whose line fails its parity check cannot supply:
+        // it scrubs the corrupted line (losing the owned write) and the
+        // search continues with the next candidate.
+        while let Some(supplier) = self.find_supplier(addr) {
+            if self.faults_possible() && self.scrub_if_corrupt(supplier, addr) {
+                continue;
+            }
             let data = self.caches[supplier]
                 .get(addr)
                 .expect("supplier holds the line")
@@ -619,6 +1172,11 @@ impl Machine {
             self.memory
                 .write(addr, data)
                 .expect("supplier write-back in range");
+            if self.faults_possible() {
+                // The supply overwrites (and silently masks) any
+                // undetected corruption of the memory word.
+                self.fault_clock.remove(&(None, addr.index()));
+            }
             let supplier_id = PeId::new(supplier as u16);
             self.record(TraceKind::Abort, Some(supplier_id), || {
                 format!("interrupt {} and supply {addr} = {data}", tx.op)
@@ -650,7 +1208,12 @@ impl Machine {
             return;
         }
 
-        // Memory supplies the value.
+        // Memory supplies the value; its parity check rides the read,
+        // so detection (and policy-driven repair) happens before the
+        // value is served.
+        if self.faults_possible() && !self.memory.parity_ok(addr) {
+            self.detect_and_repair_memory(addr);
+        }
         let value = if locked {
             match self.memory.read_with_lock(addr, tx.initiator) {
                 Ok(v) => v,
@@ -758,6 +1321,11 @@ impl Machine {
                 Err(e) => panic!("bus write failed: {e}"),
             }
         }
+        if self.faults_possible() {
+            // A bus write overwrites (and silently masks) any
+            // undetected corruption of the memory word.
+            self.fault_clock.remove(&(None, addr.index()));
+        }
 
         let event = if unlock {
             SnoopEvent::UnlockWrite(value)
@@ -827,6 +1395,7 @@ impl Machine {
             result.to_string()
         });
         self.set_status(pe, PeStatus::Idle);
+        self.last_progress[pe] = self.cycle;
         self.last_results[pe] = Some(result);
     }
 
@@ -844,6 +1413,7 @@ impl Machine {
         let bus = self.routing.bus_of(addr);
         let n = self.pe_count();
         let base = self.block_base(addr);
+        let mut healed: Vec<usize> = Vec::new();
         let mut cursor = 0;
         while let Some(pe) = self.sharers.next_from(base, cursor) {
             cursor = pe + 1;
@@ -859,9 +1429,25 @@ impl Machine {
                 if out.capture {
                     if let Some(word) = event.word() {
                         entry.data = word;
+                        if !entry.parity_ok {
+                            // The captured broadcast overwrites the
+                            // corrupted word before anyone read it: the
+                            // line is healed in place (the RWB-family
+                            // bonus of write broadcasting).
+                            entry.parity_ok = true;
+                            healed.push(pe);
+                        }
                     }
                 }
             }
+        }
+        for pe in healed {
+            self.fault_stats.broadcast_heals += 1;
+            self.take_latency(Some(pe), base);
+            self.record(TraceKind::Recover, Some(PeId::new(pe as u16)), || {
+                format!("broadcast healed corrupted line {addr}")
+            });
+            self.notify(Observation::BroadcastHealed { pe, addr });
         }
     }
 
@@ -885,6 +1471,24 @@ impl Machine {
                 self.record(TraceKind::Writeback, Some(PeId::new(pe as u16)), || {
                     format!("write back {} = {}", evicted.addr, evicted.data)
                 });
+                if !evicted.parity_ok {
+                    // A corrupted owned line was written back while
+                    // still undetected: the corruption propagates to
+                    // memory, and the latency ledger entry follows it.
+                    self.memory
+                        .mark_corrupt(evicted.addr)
+                        .expect("write-back in range");
+                    if let Some(at) = self.fault_clock.remove(&(Some(pe), evicted.addr.index())) {
+                        self.fault_clock.insert((None, evicted.addr.index()), at);
+                    }
+                } else if self.faults_possible() {
+                    // A clean write-back overwrites (and so silently
+                    // masks) any undetected corruption of the word.
+                    self.fault_clock.remove(&(None, evicted.addr.index()));
+                }
+            } else if !evicted.parity_ok {
+                // The corrupted copy is discarded before detection.
+                self.fault_clock.remove(&(Some(pe), evicted.addr.index()));
             }
             self.notify(Observation::Evicted {
                 pe,
@@ -911,7 +1515,9 @@ impl Machine {
             let Some(entry) = self.caches[pe].get(addr) else {
                 continue;
             };
-            if !entry.state.is_readable_locally() {
+            // A corrupted line cannot satisfy a read — the pending bus
+            // transaction stays queued and fetches the coherent image.
+            if !entry.state.is_readable_locally() || !entry.parity_ok {
                 continue;
             }
             let value = entry.data;
@@ -967,7 +1573,7 @@ impl Machine {
                     idle += 1;
                     assert_eq!(self.idle.next_from(pe), Some(pe), "idle set misses P{pe}");
                 }
-                PeStatus::Done => done += 1,
+                PeStatus::Done | PeStatus::Failed => done += 1,
                 PeStatus::WaitBus(Pending::Read { addr, .. }) => {
                     pending_reads += 1;
                     assert!(

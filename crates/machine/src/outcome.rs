@@ -1,0 +1,176 @@
+//! Structured run termination: [`RunOutcome`] replaces the bare panic
+//! of [`Machine::run_to_completion`](crate::Machine::run_to_completion)
+//! with a diagnosis — did the machine finish, and if not, which PEs are
+//! stuck on what, and does their stall look like livelock or deadlock?
+
+use decache_mem::Addr;
+use std::fmt;
+
+/// The result of [`Machine::run_outcome`](crate::Machine::run_outcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Total bus cycles elapsed on the machine when the run stopped.
+    pub cycles: u64,
+    /// Why the run stopped.
+    pub reason: HaltReason,
+}
+
+impl RunOutcome {
+    /// `true` iff every PE finished (fail-stopped PEs count as
+    /// finished: graceful degradation is still a completion).
+    pub fn is_complete(&self) -> bool {
+        matches!(self.reason, HaltReason::Completed)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            HaltReason::Completed => write!(f, "completed at cycle {}", self.cycles),
+            HaltReason::BudgetExhausted { blame } => {
+                write!(
+                    f,
+                    "cycle budget exhausted at cycle {}; {} unfinished PE{}:",
+                    self.cycles,
+                    blame.len(),
+                    if blame.len() == 1 { "" } else { "s" }
+                )?;
+                for b in blame {
+                    write!(f, "\n  {b}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Every PE reached `Done` (or fail-stopped) and the buses drained.
+    Completed,
+    /// The cycle budget ran out with work outstanding; `blame` lists
+    /// every unfinished PE with a stall diagnosis, most-starved first.
+    BudgetExhausted {
+        /// Per-PE diagnosis of the unfinished processors.
+        blame: Vec<PeBlame>,
+    },
+}
+
+/// The diagnosis of one unfinished PE at budget exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeBlame {
+    /// The unfinished processing element.
+    pub pe: usize,
+    /// The address it is stuck on: its pending bus transaction's target
+    /// if stalled, else the last address it issued to.
+    pub addr: Option<Addr>,
+    /// `true` if the PE is stalled waiting on a bus transaction;
+    /// `false` if it is still issuing (e.g. a spin loop of completing
+    /// operations, or a conducted processor returning `Wait`).
+    pub stalled: bool,
+    /// The last cycle in which this PE completed an operation (0 if it
+    /// never completed one).
+    pub last_progress: u64,
+    /// Livelock or deadlock, judged from recent progress.
+    pub verdict: StallVerdict,
+}
+
+impl fmt::Display for PeBlame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{} {}: ", self.pe, self.verdict)?;
+        match (self.stalled, self.addr) {
+            (true, Some(addr)) => write!(f, "stalled on a bus transaction for {addr}")?,
+            (true, None) => write!(f, "stalled on a bus transaction")?,
+            (false, Some(addr)) => write!(f, "still issuing, last to {addr}")?,
+            (false, None) => write!(f, "never issued an operation")?,
+        }
+        write!(f, " (last completed an op at cycle {})", self.last_progress)
+    }
+}
+
+/// Whether an unfinished PE was making progress when the budget ran
+/// out.
+///
+/// The machine classifies by recent completions: a PE that completed an
+/// operation within the trailing progress window is **livelocked**
+/// (spinning productively but never halting — e.g. a Test-and-Set loop
+/// whose lock is never released), while one with no completions in the
+/// window is **deadlocked** (e.g. a write forever rejected by a memory
+/// lock, or a conducted processor waiting for an operation that never
+/// comes). The window is a quarter of the cycle budget, clamped to
+/// `[16, 4096]` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallVerdict {
+    /// Completing operations but never halting.
+    Livelock,
+    /// No operation completed in the trailing progress window.
+    Deadlock,
+}
+
+impl fmt::Display for StallVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallVerdict::Livelock => write!(f, "livelock"),
+            StallVerdict::Deadlock => write!(f, "deadlock"),
+        }
+    }
+}
+
+/// The livelock/deadlock window for a given budget: a quarter of the
+/// budget, clamped to `[16, 4096]` cycles.
+pub(crate) fn progress_window(max_cycles: u64) -> u64 {
+    (max_cycles / 4).clamp(16, 4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_display() {
+        let o = RunOutcome {
+            cycles: 12,
+            reason: HaltReason::Completed,
+        };
+        assert!(o.is_complete());
+        assert_eq!(o.to_string(), "completed at cycle 12");
+    }
+
+    #[test]
+    fn exhausted_display_lists_blame() {
+        let o = RunOutcome {
+            cycles: 500,
+            reason: HaltReason::BudgetExhausted {
+                blame: vec![
+                    PeBlame {
+                        pe: 1,
+                        addr: Some(Addr::new(17)),
+                        stalled: true,
+                        last_progress: 3,
+                        verdict: StallVerdict::Deadlock,
+                    },
+                    PeBlame {
+                        pe: 2,
+                        addr: Some(Addr::new(0)),
+                        stalled: false,
+                        last_progress: 499,
+                        verdict: StallVerdict::Livelock,
+                    },
+                ],
+            },
+        };
+        assert!(!o.is_complete());
+        let text = o.to_string();
+        assert!(text.contains("2 unfinished PEs"));
+        assert!(text.contains("P1 deadlock: stalled on a bus transaction for @17"));
+        assert!(text.contains("P2 livelock: still issuing, last to @0"));
+    }
+
+    #[test]
+    fn window_clamps() {
+        assert_eq!(progress_window(10), 16);
+        assert_eq!(progress_window(1_000), 250);
+        assert_eq!(progress_window(1_000_000), 4096);
+    }
+}

@@ -9,14 +9,18 @@
 //! RWB, whose write broadcasts keep many readable replicas alive.
 //!
 //! The model: a fault flips a memory word ([`Machine::corrupt_memory`])
-//! or a cached copy ([`Machine::corrupt_cache`]); recovery
-//! ([`Machine::recover_memory`]) consults the caches — an owning copy
-//! (`L`/`D`) is authoritative; otherwise the majority among readable
-//! replicas wins — and repairs memory.
+//! or a cached copy ([`Machine::corrupt_cache`]) and marks its parity
+//! bad, exactly as the rate-driven [`FaultPlan`](crate::FaultPlan)
+//! engine does; the running machine then detects the corruption on the
+//! next access and recovers per its
+//! [`RecoveryPolicy`](crate::RecoveryPolicy). The manual
+//! [`Machine::recover_memory`] entry point applies the same
+//! owner-then-majority policy immediately, for direct experiments on a
+//! stopped machine.
 
+use crate::fault::InjectError;
 use crate::Machine;
 use decache_mem::{Addr, Word};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -45,89 +49,88 @@ impl Error for RecoveryError {}
 
 impl Machine {
     /// Injects a fault: overwrites the memory word at `addr` with
-    /// `garbage`, bypassing the coherence protocol (as a bit flip
-    /// would).
+    /// `garbage` and marks its parity bad, bypassing the coherence
+    /// protocol (as a bit flip would). The running machine detects the
+    /// fault on the next bus read of the word and repairs it per its
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `addr` is out of range.
-    pub fn corrupt_memory(&mut self, addr: Addr, garbage: Word) {
-        self.memory_mut()
-            .write(addr, garbage)
-            .expect("fault injection address in range");
+    /// Returns [`InjectError::OutOfBounds`] if `addr` exceeds the
+    /// memory.
+    pub fn corrupt_memory(&mut self, addr: Addr, garbage: Word) -> Result<(), InjectError> {
+        self.memory_mut().poke_corrupt(addr, garbage)?;
+        self.clock_fault(None, addr);
+        Ok(())
     }
 
-    /// Injects a fault into PE `pe`'s cached copy of `addr`; returns
-    /// `true` if the cache held the line (and is now corrupted).
+    /// Injects a fault into PE `pe`'s cached copy of `addr`, marking
+    /// its parity bad; returns `Ok(true)` if the cache held the line
+    /// (and is now corrupted), `Ok(false)` if the line is not cached.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pe` is out of range.
-    pub fn corrupt_cache(&mut self, pe: usize, addr: Addr, garbage: Word) -> bool {
+    /// Returns [`InjectError::NoSuchPe`] if `pe` is out of range.
+    pub fn corrupt_cache(
+        &mut self,
+        pe: usize,
+        addr: Addr,
+        garbage: Word,
+    ) -> Result<bool, InjectError> {
+        if pe >= self.pe_count() {
+            return Err(InjectError::NoSuchPe {
+                pe,
+                pes: self.pe_count(),
+            });
+        }
         match self.cache_mut(pe).get_mut(addr) {
             Some(entry) => {
                 entry.data = garbage;
-                true
+                entry.parity_ok = false;
+                self.clock_fault(Some(pe), addr);
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
-    /// The number of usable replicas of `addr` across all caches: the
-    /// owning copy plus every locally-readable copy. The more replicas,
-    /// the likelier recovery — RWB's write broadcast keeps this high.
+    /// The number of usable replicas of `addr` across all caches: every
+    /// locally-readable copy whose parity is good (a corrupted replica
+    /// cannot vote). The more replicas, the likelier recovery — RWB's
+    /// write broadcast keeps this high.
     pub fn replica_count(&self, addr: Addr) -> usize {
         (0..self.pe_count())
             .filter(|&pe| {
-                self.cache_line(pe, addr)
-                    .is_some_and(|(s, _)| s.is_readable_locally())
+                self.cache_entry(pe, addr)
+                    .is_some_and(|e| e.parity_ok && e.state.is_readable_locally())
             })
             .count()
     }
 
     /// Recovers the memory word at `addr` from cache replicas and
-    /// repairs memory with the recovered value.
+    /// repairs memory with the recovered value, clearing its parity
+    /// flag.
     ///
-    /// Recovery policy:
-    /// 1. an **owning** copy (`L`/`D`) is authoritative — it holds the
-    ///    only up-to-date value by the Section 4 lemma;
-    /// 2. otherwise the **majority value** among readable replicas wins
-    ///    (all replicas agree in a fault-free machine; voting tolerates
-    ///    a minority of corrupted caches);
-    /// 3. with no replica at all, the word is unrecoverable.
+    /// Recovery policy (shared with the in-loop
+    /// [`RecoveryPolicy::Majority`](crate::RecoveryPolicy) path):
+    /// 1. an **owning** copy (`L`/`D`) with good parity is
+    ///    authoritative — it holds the only up-to-date value by the
+    ///    Section 4 lemma;
+    /// 2. otherwise the **majority value** among good-parity readable
+    ///    replicas wins (all replicas agree in a fault-free machine;
+    ///    voting tolerates a minority of corrupted caches);
+    /// 3. with no usable replica at all, the word is unrecoverable.
     ///
     /// # Errors
     ///
     /// Returns [`RecoveryError::NoReplica`] if no cache holds the line
-    /// in a readable or owning state.
+    /// in a readable or owning state with good parity.
     pub fn recover_memory(&mut self, addr: Addr) -> Result<Word, RecoveryError> {
-        // 1. Owner copy.
-        let owner_value = (0..self.pe_count()).find_map(|pe| {
-            self.cache_line(pe, addr)
-                .filter(|(s, _)| s.owns_latest())
-                .map(|(_, d)| d)
-        });
-        let recovered = match owner_value {
-            Some(v) => v,
-            None => {
-                // 2. Majority among readable replicas.
-                let mut votes: HashMap<Word, usize> = HashMap::new();
-                for pe in 0..self.pe_count() {
-                    if let Some((state, data)) = self.cache_line(pe, addr) {
-                        if state.is_readable_locally() {
-                            *votes.entry(data).or_insert(0) += 1;
-                        }
-                    }
-                }
-                votes
-                    .into_iter()
-                    .max_by_key(|&(_, count)| count)
-                    .map(|(value, _)| value)
-                    .ok_or(RecoveryError::NoReplica { addr })?
-            }
-        };
+        let (recovered, _source) = self
+            .recover_value(addr, true)
+            .ok_or(RecoveryError::NoReplica { addr })?;
         self.memory_mut()
-            .write(addr, recovered)
+            .repair(addr, recovered)
             .expect("recovery address in range");
         Ok(recovered)
     }
@@ -153,10 +156,12 @@ mod tests {
             .build();
         m.run_to_completion(1_000);
         assert!(m.replica_count(x) >= 2);
-        m.corrupt_memory(x, w(0xBAD));
+        m.corrupt_memory(x, w(0xBAD)).unwrap();
         assert_eq!(m.memory().peek(x).unwrap(), w(0xBAD));
+        assert!(!m.memory().parity_ok(x));
         assert_eq!(m.recover_memory(x).unwrap(), w(7));
         assert_eq!(m.memory().peek(x).unwrap(), w(7));
+        assert!(m.memory().parity_ok(x));
     }
 
     #[test]
@@ -168,7 +173,7 @@ mod tests {
             .processor(Script::new().write(x, w(1)).write(x, w(9)).build())
             .build();
         m.run_to_completion(1_000);
-        m.corrupt_memory(x, w(0xBAD));
+        m.corrupt_memory(x, w(0xBAD)).unwrap();
         assert_eq!(m.recover_memory(x).unwrap(), w(9));
     }
 
@@ -182,11 +187,12 @@ mod tests {
             .processor(Script::new().read(x).build())
             .build();
         m.run_to_completion(1_000);
-        // Corrupt one cache replica AND memory; the two healthy
-        // replicas outvote the corrupted one. (The writer holds F which
-        // is readable but not owning, so voting applies.)
-        assert!(m.corrupt_cache(1, x, w(0xEE)));
-        m.corrupt_memory(x, w(0xBAD));
+        // Corrupt one cache replica AND memory; the corrupted replica's
+        // bad parity excludes it from the vote and the healthy replicas
+        // win. (The writer holds F which is readable but not owning, so
+        // voting applies.)
+        assert!(m.corrupt_cache(1, x, w(0xEE)).unwrap());
+        m.corrupt_memory(x, w(0xBAD)).unwrap();
         assert_eq!(m.recover_memory(x).unwrap(), w(5));
     }
 
@@ -197,7 +203,7 @@ mod tests {
             .processor(Script::new().read(Addr::new(2)).build())
             .build();
         m.run_to_completion(1_000);
-        m.corrupt_memory(x, w(0xBAD));
+        m.corrupt_memory(x, w(0xBAD)).unwrap();
         let err = m.recover_memory(x).unwrap_err();
         assert_eq!(err, RecoveryError::NoReplica { addr: x });
         assert_eq!(err.to_string(), "no cache holds a replica of @1");
@@ -229,6 +235,39 @@ mod tests {
             .processor(Script::new().build())
             .build();
         m.run_to_completion(100);
-        assert!(!m.corrupt_cache(0, Addr::new(5), w(1)));
+        assert!(!m.corrupt_cache(0, Addr::new(5), w(1)).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_targets_are_errors_not_panics() {
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .memory_words(16)
+            .processor(Script::new().build())
+            .build();
+        assert_eq!(
+            m.corrupt_memory(Addr::new(99), w(1)).unwrap_err(),
+            InjectError::OutOfBounds {
+                addr: Addr::new(99),
+                size: 16
+            }
+        );
+        assert_eq!(
+            m.corrupt_cache(3, Addr::new(0), w(1)).unwrap_err(),
+            InjectError::NoSuchPe { pe: 3, pes: 1 }
+        );
+    }
+
+    #[test]
+    fn corrupted_replica_is_excluded_from_the_count() {
+        let x = Addr::new(1);
+        let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+            .processor(Script::new().write(x, w(5)).build())
+            .processor(Script::new().read(x).build())
+            .processor(Script::new().read(x).build())
+            .build();
+        m.run_to_completion(1_000);
+        let before = m.replica_count(x);
+        assert!(m.corrupt_cache(1, x, w(0xEE)).unwrap());
+        assert_eq!(m.replica_count(x), before - 1);
     }
 }

@@ -32,7 +32,6 @@ pub(crate) enum Pending {
 
 impl Pending {
     /// The address the pending transaction targets.
-    #[cfg(test)]
     pub(crate) fn addr(&self) -> Addr {
         match *self {
             Pending::Read { addr, .. }
@@ -52,6 +51,10 @@ pub(crate) enum PeStatus {
     WaitBus(Pending),
     /// The processor's program has finished.
     Done,
+    /// The PE fail-stopped: its cache is dark, its pending work was
+    /// cancelled, and it never issues again. Counts as finished for
+    /// completion purposes — the surviving PEs run on.
+    Failed,
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! plus the structured [`Observer`] callback the conformance oracle in
 //! `decache-verify` subscribes to.
 
+use crate::fault::{FaultKind, RecoverySource};
 use decache_core::BusIntent;
 use decache_mem::{Addr, PeId};
 use std::fmt;
@@ -102,6 +103,63 @@ pub enum Observation {
         /// Whether the line was written back to memory.
         writeback: bool,
     },
+    /// A fault was injected (by a [`FaultPlan`](crate::FaultPlan) or a
+    /// manual `corrupt_*` call). Injection changes no protocol state,
+    /// only data and parity, so the conformance oracle ignores it.
+    FaultInjected {
+        /// What was injected where.
+        fault: FaultKind,
+    },
+    /// A parity check failed: in PE `pe`'s cache if `pe` is `Some`,
+    /// else in memory.
+    FaultDetected {
+        /// The cache that detected the fault (`None` = memory parity,
+        /// detected on a bus read).
+        pe: Option<usize>,
+        /// The corrupted address.
+        addr: Addr,
+    },
+    /// A corrupted cache line was invalidated so the access re-fetches
+    /// the coherent image — the line is *gone* from `pe`'s cache. If
+    /// the line owned the latest value, that write is lost and the
+    /// refetch observes stale memory.
+    LineScrubbed {
+        /// The cache that dropped its corrupted line.
+        pe: usize,
+        /// The scrubbed address.
+        addr: Addr,
+        /// `true` if the dropped line owned the latest value (a lost
+        /// write).
+        lost_write: bool,
+    },
+    /// A corrupted memory word was repaired in-loop from cache
+    /// replicas, per the machine's
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy).
+    MemoryRepaired {
+        /// The repaired address.
+        addr: Addr,
+        /// Where the recovered value came from.
+        source: RecoverySource,
+    },
+    /// A corrupted cache line was healed in place by capturing a
+    /// snooped broadcast value (no state change beyond the ordinary
+    /// snoop).
+    BroadcastHealed {
+        /// The healed cache.
+        pe: usize,
+        /// The healed address.
+        addr: Addr,
+    },
+    /// PE `pe` fail-stopped: pending work cancelled, locks released,
+    /// cache drained or forfeited, all lines dropped.
+    PeFailStopped {
+        /// The dead processing element.
+        pe: usize,
+        /// Owned lines flushed to memory before going dark.
+        drained: u32,
+        /// Writes that existed only in the dead cache and are now gone.
+        lost_writes: u32,
+    },
 }
 
 /// A subscriber to the machine's structured protocol-level events.
@@ -137,6 +195,15 @@ pub enum TraceKind {
     BroadcastSatisfied,
     /// An evicted line was written back.
     Writeback,
+    /// A fault was injected.
+    FaultInject,
+    /// A parity check failed (cache or memory).
+    FaultDetect,
+    /// A corrupted word or line was recovered (refetch, repair, or
+    /// broadcast heal).
+    Recover,
+    /// A processing element fail-stopped.
+    FailStop,
 }
 
 impl fmt::Display for TraceKind {
@@ -150,6 +217,10 @@ impl fmt::Display for TraceKind {
             TraceKind::Complete => "complete",
             TraceKind::BroadcastSatisfied => "broadcast-satisfied",
             TraceKind::Writeback => "writeback",
+            TraceKind::FaultInject => "fault-inject",
+            TraceKind::FaultDetect => "fault-detect",
+            TraceKind::Recover => "recover",
+            TraceKind::FailStop => "fail-stop",
         };
         f.write_str(label)
     }

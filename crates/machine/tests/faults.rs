@@ -1,0 +1,540 @@
+//! Integration tests of the deterministic fault-injection engine:
+//! detection, in-loop recovery, fail-stop degradation, and the
+//! structured [`RunOutcome`] surface.
+
+use decache_core::ProtocolKind;
+use decache_machine::{
+    FailStopPolicy, FaultPlan, HaltReason, MachineBuilder, Poll, Processor, RecoveryPolicy, Script,
+    SpinReader, StallVerdict,
+};
+use decache_mem::{Addr, AddrRange, Word};
+use decache_rng::testing::check;
+
+fn w(v: u64) -> Word {
+    Word::new(v)
+}
+
+/// A conducted processor that waits forever — the canonical deadlock.
+struct WaitForever;
+
+impl Processor for WaitForever {
+    fn next_op(&mut self, _last: Option<&decache_machine::OpResult>) -> Poll {
+        Poll::Wait
+    }
+}
+
+/// A script of `n` filler reads over a private address range, to push a
+/// PE's interesting accesses past a scheduled fault cycle.
+fn fillers(base: u64, n: u64) -> Script {
+    let mut s = Script::new();
+    for i in 0..n {
+        s = s.read(Addr::new(base + (i % 4)));
+    }
+    s
+}
+
+#[test]
+fn scheduled_memory_flip_is_detected_and_majority_repaired() {
+    let x = Addr::new(1);
+    // Two PEs replicate x early; the third reaches x only after the
+    // scheduled flip, so its bus read performs the detection.
+    let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+        .memory_words(64)
+        .initialize_memory(x, &[w(5)])
+        .processor(Script::new().read(x).build())
+        .processor(Script::new().read(x).build())
+        .processor(fillers(40, 30).read(x).build())
+        .fault_plan(FaultPlan::new(7).memory_flip_at(25, x))
+        .build();
+    let outcome = m.run_outcome(10_000);
+    assert!(outcome.is_complete(), "{outcome}");
+    let s = m.fault_stats();
+    assert_eq!(s.memory_faults_injected, 1);
+    assert_eq!(s.memory_faults_detected, 1);
+    assert_eq!(s.memory_recoveries_majority, 1);
+    assert_eq!(s.memory_recoveries_failed, 0);
+    assert_eq!(s.memory_recovery_success_rate(), Some(1.0));
+    assert!(s.mean_recovery_latency().unwrap() > 0.0);
+    assert!(m.memory().parity_ok(x));
+    assert_eq!(m.memory().peek(x).unwrap(), w(5));
+}
+
+#[test]
+fn recovery_policy_off_adopts_the_corrupt_value() {
+    let x = Addr::new(1);
+    let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+        .memory_words(64)
+        .initialize_memory(x, &[w(5)])
+        .processor(Script::new().read(x).build())
+        .processor(fillers(40, 30).read(x).build())
+        .fault_plan(FaultPlan::new(7).memory_flip_at(25, x))
+        .recovery_policy(RecoveryPolicy::Off)
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.memory_faults_detected, 1);
+    assert_eq!(s.memory_recoveries_failed, 1);
+    assert_eq!(s.memory_recovery_success_rate(), Some(0.0));
+    // The corrupt value was adopted: parity is good again but the word
+    // differs from the original by exactly one bit.
+    assert!(m.memory().parity_ok(x));
+    let got = m.memory().peek(x).unwrap();
+    assert_eq!((got.value() ^ 5).count_ones(), 1, "got {got}");
+}
+
+#[test]
+fn unreplicated_memory_fault_is_detected_but_unrecoverable() {
+    let x = Addr::new(1);
+    // Nobody ever cached x before the flip: detection finds no replica.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .initialize_memory(x, &[w(5)])
+        .processor(fillers(40, 30).read(x).build())
+        .fault_plan(FaultPlan::new(7).memory_flip_at(10, x))
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.memory_faults_detected, 1);
+    assert_eq!(s.memory_recoveries_failed, 1);
+    assert_eq!(s.memory_recoveries_owner + s.memory_recoveries_majority, 0);
+}
+
+#[test]
+fn corrupted_cache_line_is_scrubbed_on_access_and_lost_write_counted() {
+    let x = Addr::new(1);
+    // P0's second write is silent, so its Local line (value 9) is the
+    // only copy of the latest value; the scheduled flip corrupts it and
+    // P0's own later read scrubs the line, losing the write and
+    // re-fetching stale memory.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(
+            Script::new()
+                .write(x, w(1))
+                .write(x, w(9))
+                .read(Addr::new(40))
+                .read(Addr::new(41))
+                .read(x)
+                .build(),
+        )
+        .fault_plan(FaultPlan::new(7).cache_flip_at(3, 0, x))
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.cache_faults_injected, 1);
+    assert_eq!(s.cache_faults_detected, 1);
+    assert_eq!(s.cache_refetches, 1);
+    assert_eq!(s.lost_writes, 1, "the owned value 9 existed only there");
+    // The refetch observed stale memory: the first write's 1.
+    assert_eq!(m.memory().peek(x).unwrap(), w(1));
+    assert_eq!(m.cache_line(0, x).unwrap().1, w(1));
+}
+
+#[test]
+fn corrupt_supplier_cannot_supply_and_the_read_falls_through_to_memory() {
+    let x = Addr::new(1);
+    // P0 owns x = 9 (silent second write); the flip lands before P1's
+    // read reaches the bus, so the supply attempt detects the bad
+    // parity, scrubs P0's line, and memory serves the stale 1.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(Script::new().write(x, w(1)).write(x, w(9)).build())
+        .processor(fillers(40, 12).read(x).build())
+        .fault_plan(FaultPlan::new(7).cache_flip_at(8, 0, x))
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.cache_faults_detected, 1);
+    assert_eq!(s.lost_writes, 1);
+    assert_eq!(m.cache_line(1, x).unwrap().1, w(1));
+    assert!(m.cache_line(0, x).is_none(), "scrubbed out of P0");
+}
+
+#[test]
+fn rwb_write_broadcast_heals_a_corrupted_replica_in_place() {
+    let x = Addr::new(1);
+    // P0 and P1 replicate x; P1's copy is corrupted; P2's later write
+    // broadcast overwrites the bad word before anyone reads it.
+    let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+        .memory_words(64)
+        .initialize_memory(x, &[w(5)])
+        .processor(Script::new().read(x).build())
+        .processor(Script::new().read(x).build())
+        .processor(fillers(40, 12).write(x, w(8)).build())
+        .fault_plan(FaultPlan::new(7).cache_flip_at(8, 1, x))
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.cache_faults_injected, 1);
+    assert_eq!(s.broadcast_heals, 1, "{s}");
+    assert_eq!(s.cache_faults_detected, 0, "healed before any access");
+    assert_eq!(s.lost_writes, 0);
+    assert_eq!(m.cache_line(1, x).unwrap().1, w(8));
+}
+
+#[test]
+fn corrupt_eviction_writeback_propagates_the_fault_to_memory() {
+    let x = Addr::new(1);
+    // Two-line cache: after the flip corrupts the owned line, reads of
+    // two conflicting addresses evict it; the corrupt write-back
+    // poisons memory, and the PE's own re-read detects it there. No
+    // cache holds a clean replica by then, so recovery fails and the
+    // flipped value is adopted.
+    let conflict_a = Addr::new(3);
+    let conflict_b = Addr::new(5);
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .cache_lines(2)
+        .processor(
+            Script::new()
+                .write(x, w(1))
+                .write(x, w(9))
+                .read(conflict_a)
+                .read(conflict_b)
+                .read(x)
+                .build(),
+        )
+        .fault_plan(FaultPlan::new(7).cache_flip_at(3, 0, x))
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.cache_faults_injected, 1);
+    assert_eq!(s.cache_faults_detected, 0, "never accessed while cached");
+    assert_eq!(s.memory_faults_detected, 1, "detected after write-back");
+    assert_eq!(s.memory_recoveries_failed, 1);
+    assert!(s.mean_recovery_latency().unwrap() > 0.0, "ledger followed");
+    assert!(m.memory().parity_ok(x), "adopted after failed recovery");
+    // The adopted value is the owned 9 with exactly one flipped bit.
+    let got = m.memory().peek(x).unwrap();
+    assert_eq!((got.value() ^ 9).count_ones(), 1, "got {got}");
+}
+
+#[test]
+fn scheduled_bus_loss_burns_a_cycle_and_the_transaction_retries() {
+    let x = Addr::new(1);
+    let build = |plan: Option<FaultPlan>| {
+        let mut b = MachineBuilder::new(ProtocolKind::Rb);
+        b.memory_words(64)
+            .initialize_memory(x, &[w(5)])
+            .processor(Script::new().read(x).read(Addr::new(2)).build());
+        if let Some(plan) = plan {
+            b.fault_plan(plan);
+        }
+        let mut m = b.build();
+        m.run_to_completion(10_000);
+        m
+    };
+    let clean = build(None);
+    let lossy = build(Some(FaultPlan::new(7).bus_loss_at(1, 0)));
+    assert_eq!(lossy.fault_stats().bus_transactions_lost, 1);
+    assert_eq!(lossy.cycles(), clean.cycles() + 1, "one cycle burned");
+    // Loss never corrupts: final state matches the clean run.
+    assert_eq!(
+        lossy.memory().peek(x).unwrap(),
+        clean.memory().peek(x).unwrap()
+    );
+    assert_eq!(lossy.cache_line(0, x), clean.cache_line(0, x));
+}
+
+#[test]
+fn bus_loss_on_an_idle_cycle_is_not_counted() {
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .processor(Script::new().build())
+        .fault_plan(FaultPlan::new(7).bus_loss_at(1, 0))
+        .build();
+    m.run_to_completion(100);
+    assert_eq!(m.fault_stats().bus_transactions_lost, 0);
+}
+
+#[test]
+fn fail_stop_drain_flushes_owned_lines_and_survivors_complete() {
+    let x = Addr::new(1);
+    let z = Addr::new(2);
+    // P0 owns x = 9 (memory stale at 1) and z = 4 (memory current);
+    // killing it at cycle 12 drains both owned lines. P1 then reads the
+    // drained value.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(
+            Script::new()
+                .write(x, w(1))
+                .write(x, w(9))
+                .write(z, w(4))
+                .build(),
+        )
+        .processor(fillers(40, 20).read(x).build())
+        .fault_plan(FaultPlan::new(7).fail_stop_at(12, 0))
+        .build();
+    let outcome = m.run_outcome(10_000);
+    assert!(outcome.is_complete(), "graceful degradation: {outcome}");
+    assert!(m.pe_failed(0));
+    assert!(!m.pe_failed(1));
+    assert_eq!(m.live_pes(), 1);
+    let s = m.fault_stats();
+    assert_eq!(s.pe_fail_stops, 1);
+    assert_eq!(s.drained_lines, 2, "x and z were both owned");
+    assert_eq!(s.lost_writes, 0);
+    assert_eq!(m.memory().peek(x).unwrap(), w(9));
+    assert_eq!(m.cache_line(1, x).unwrap().1, w(9));
+    assert!(m.cache_line(0, x).is_none(), "the dead cache is dark");
+    m.assert_fast_path_invariants();
+}
+
+#[test]
+fn fail_stop_forfeit_counts_exactly_the_writes_memory_never_saw() {
+    let x = Addr::new(1);
+    let z = Addr::new(2);
+    // Owned x = 9 differs from memory's stale 1 (one lost write); owned
+    // z = 4 matches memory (its bus write got there), so it loses
+    // nothing — the accounting must distinguish the two.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(
+            Script::new()
+                .write(x, w(1))
+                .write(x, w(9))
+                .write(z, w(4))
+                .build(),
+        )
+        .processor(fillers(40, 20).read(x).build())
+        .fault_plan(FaultPlan::new(7).fail_stop_at(12, 0))
+        .fail_stop_policy(FailStopPolicy::Forfeit)
+        .build();
+    let outcome = m.run_outcome(10_000);
+    assert!(outcome.is_complete(), "{outcome}");
+    let s = m.fault_stats();
+    assert_eq!(s.drained_lines, 0);
+    assert_eq!(s.lost_writes, 1, "only x's silent second write is gone");
+    assert_eq!(m.memory().peek(x).unwrap(), w(1), "stale value survives");
+    assert_eq!(m.cache_line(1, x).unwrap().1, w(1));
+}
+
+#[test]
+fn fail_stop_mid_transaction_cancels_the_pending_request() {
+    // Three PEs contend for the bus, so early kills catch P0 with a
+    // transaction still queued; the cancel must leave no orphaned
+    // completion behind and the survivors must drain cleanly.
+    for kill_at in [1, 2, 3] {
+        let mut m = MachineBuilder::new(ProtocolKind::Rb)
+            .memory_words(64)
+            .processor(fillers(8, 6).build())
+            .processor(fillers(16, 6).build())
+            .processor(fillers(24, 6).build())
+            .fault_plan(FaultPlan::new(7).fail_stop_at(kill_at, 0))
+            .build();
+        let outcome = m.run_outcome(10_000);
+        assert!(outcome.is_complete(), "kill at {kill_at}: {outcome}");
+        assert!(m.pe_failed(0));
+        m.assert_fast_path_invariants();
+    }
+}
+
+#[test]
+fn fail_stop_releases_the_dead_pes_memory_lock() {
+    let lock = Addr::new(1);
+    // P0 wins the lock (TS sets it to 1) and never releases it; P1
+    // spins on TS. Killing P0 forces the *memory* lock free; the word
+    // itself still holds 1, so P1 keeps failing TS — run_outcome blames
+    // it as a livelock rather than wedging the bus.
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(Script::new().test_and_set(lock, w(1)).build())
+        .processor(
+            Script::new()
+                .test_and_set(lock, w(1))
+                .test_and_set(lock, w(1))
+                .build(),
+        )
+        .fault_plan(FaultPlan::new(7).fail_stop_at(3, 0))
+        .build();
+    let outcome = m.run_outcome(1_000);
+    assert!(outcome.is_complete(), "{outcome}");
+    assert!(m.stats().ts_failures >= 1 || m.stats().ts_successes >= 1);
+}
+
+#[test]
+fn rate_driven_faults_are_deterministic_per_seed() {
+    let x = Addr::new(1);
+    let run = |seed: u64| {
+        let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+            .memory_words(64)
+            .cache_lines(8)
+            .processors(4, |i| {
+                let mut s = Script::new().write(x, w(i as u64 + 1));
+                for k in 0..30u64 {
+                    s = s.read(Addr::new((i as u64 * 8 + k) % 48)).read(x);
+                }
+                s.build()
+            })
+            .fault_plan(
+                FaultPlan::new(seed)
+                    .memory_flip_rate(0.02)
+                    .cache_flip_rate(0.02)
+                    .bus_loss_rate(0.01)
+                    .region(AddrRange::with_len(Addr::new(0), 48)),
+            )
+            .build();
+        let outcome = m.run_outcome(100_000);
+        assert!(outcome.is_complete(), "{outcome}");
+        m.assert_fast_path_invariants();
+        (outcome.cycles, m.fault_stats())
+    };
+    let (cycles_a, stats_a) = run(42);
+    let (cycles_b, stats_b) = run(42);
+    assert_eq!(cycles_a, cycles_b);
+    assert_eq!(stats_a, stats_b);
+    assert!(stats_a.total_injected() > 0, "rates this high must fire");
+    let (_, stats_c) = run(43);
+    assert_ne!(stats_a, stats_c, "a different seed draws different faults");
+}
+
+#[test]
+fn multi_bus_machine_detects_and_recovers_on_every_bus() {
+    // Interleaved routing: even addresses on bus 0, odd on bus 1. Flip
+    // one word on each bus; readers replicate both words first, so both
+    // detections repair by majority.
+    let even = Addr::new(2);
+    let odd = Addr::new(3);
+    let mut m = MachineBuilder::new(ProtocolKind::Rwb)
+        .memory_words(64)
+        .buses(2)
+        .initialize_memory(even, &[w(6), w(7)])
+        .processor(Script::new().read(even).read(odd).build())
+        .processor(Script::new().read(even).read(odd).build())
+        .processor(fillers(40, 30).read(even).read(odd).build())
+        .fault_plan(
+            FaultPlan::new(7)
+                .memory_flip_at(30, even)
+                .memory_flip_at(30, odd),
+        )
+        .build();
+    m.run_to_completion(10_000);
+    let s = m.fault_stats();
+    assert_eq!(s.memory_faults_injected, 2);
+    assert_eq!(s.memory_faults_detected, 2);
+    assert_eq!(s.memory_recoveries_majority, 2);
+    assert_eq!(m.memory().peek(even).unwrap(), w(6));
+    assert_eq!(m.memory().peek(odd).unwrap(), w(7));
+}
+
+#[test]
+fn run_outcome_blames_a_livelocked_spinner() {
+    let flag = Addr::new(1);
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(Box::new(SpinReader::new(flag, |v| !v.is_zero())))
+        .build();
+    let outcome = m.run_outcome(1_000);
+    assert!(!outcome.is_complete());
+    let HaltReason::BudgetExhausted { blame } = &outcome.reason else {
+        panic!("expected exhaustion, got {outcome}");
+    };
+    assert_eq!(blame.len(), 1);
+    assert_eq!(blame[0].pe, 0);
+    assert_eq!(blame[0].addr, Some(flag));
+    assert_eq!(blame[0].verdict, StallVerdict::Livelock);
+    assert!(outcome.to_string().contains("livelock"), "{outcome}");
+}
+
+#[test]
+fn run_outcome_blames_a_deadlocked_waiter() {
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .processor(Box::new(WaitForever))
+        .processor(Script::new().read(Addr::new(0)).build())
+        .build();
+    let outcome = m.run_outcome(1_000);
+    let HaltReason::BudgetExhausted { blame } = &outcome.reason else {
+        panic!("expected exhaustion, got {outcome}");
+    };
+    assert_eq!(blame.len(), 1, "the finished PE is not blamed");
+    assert_eq!(blame[0].pe, 0);
+    assert_eq!(blame[0].verdict, StallVerdict::Deadlock);
+    assert!(!blame[0].stalled);
+    assert!(
+        outcome.to_string().contains("never issued an operation"),
+        "{outcome}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "machine not done after")]
+fn run_to_completion_panic_carries_the_diagnosis() {
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .processor(Box::new(WaitForever))
+        .build();
+    m.run_to_completion(100);
+}
+
+#[test]
+fn randomized_fault_storms_never_wedge_the_machine() {
+    const KINDS: [ProtocolKind; 7] = [
+        ProtocolKind::Rb,
+        ProtocolKind::RbNoBroadcast,
+        ProtocolKind::Rwb,
+        ProtocolKind::RwbThreshold(1),
+        ProtocolKind::RwbThreshold(3),
+        ProtocolKind::WriteOnce,
+        ProtocolKind::WriteThrough,
+    ];
+    check(
+        "randomized_fault_storms_never_wedge_the_machine",
+        8,
+        |rng| {
+            let kind = *rng.choose(&KINDS);
+            let pes = rng.gen_range(2usize..=4);
+            let seed = rng.next_u64();
+            let ops = rng.gen_range(10u64..40);
+            let mut m = MachineBuilder::new(kind)
+                .memory_words(64)
+                .cache_lines(4)
+                .processors(pes, |i| {
+                    let mut s = Script::new();
+                    for k in 0..ops {
+                        let a = Addr::new((i as u64 * 7 + k * 3) % 32);
+                        s = if k % 3 == 0 {
+                            s.write(a, w(k + 1))
+                        } else {
+                            s.read(a)
+                        };
+                    }
+                    s.build()
+                })
+                .fault_plan(
+                    FaultPlan::new(seed)
+                        .memory_flip_rate(0.05)
+                        .cache_flip_rate(0.05)
+                        .bus_loss_rate(0.02)
+                        .fail_stop_rate(0.002)
+                        .region(AddrRange::with_len(Addr::new(0), 32)),
+                )
+                .build();
+            let outcome = m.run_outcome(200_000);
+            assert!(outcome.is_complete(), "{kind:?} seed {seed}: {outcome}");
+            m.assert_fast_path_invariants();
+            let s = m.fault_stats();
+            // Detection can never exceed what exists to detect.
+            assert!(s.cache_faults_detected + s.broadcast_heals <= s.cache_faults_injected);
+            assert!(s.pe_fail_stops < pes as u64, "last PE is never killed");
+        },
+    );
+}
+
+#[test]
+fn fail_stop_of_the_manual_api_matches_the_engine() {
+    let x = Addr::new(1);
+    let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .memory_words(64)
+        .processor(Script::new().write(x, w(1)).write(x, w(9)).build())
+        .processor(fillers(40, 10).read(x).build())
+        .build();
+    // Run a few cycles, then kill P0 by hand mid-run.
+    for _ in 0..6 {
+        m.step();
+    }
+    assert!(m.fail_stop(0));
+    assert!(!m.fail_stop(0), "second kill is a no-op");
+    let outcome = m.run_outcome(10_000);
+    assert!(outcome.is_complete(), "{outcome}");
+    assert_eq!(m.fault_stats().pe_fail_stops, 1);
+    assert_eq!(m.memory().peek(x).unwrap(), w(9), "drained by default");
+}

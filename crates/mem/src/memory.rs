@@ -1,7 +1,7 @@
 //! The simulated shared main memory.
 
 use crate::{Addr, MemError, PeId, Word};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Access counters maintained by a [`Memory`].
 ///
@@ -56,6 +56,11 @@ impl MemoryStats {
 pub struct Memory {
     words: Vec<Word>,
     locks: HashMap<u64, PeId>,
+    /// Addresses whose stored word no longer matches its parity check —
+    /// the word-granularity error-detection model of the Section 8
+    /// reliability extension. Any write to a word restores its parity
+    /// (the new value is stored with a freshly computed check bit).
+    bad_parity: HashSet<u64>,
     stats: MemoryStats,
 }
 
@@ -65,6 +70,7 @@ impl Memory {
         Memory {
             words: vec![Word::ZERO; usize::try_from(size).expect("memory size fits in usize")],
             locks: HashMap::new(),
+            bad_parity: HashSet::new(),
             stats: MemoryStats::default(),
         }
     }
@@ -134,6 +140,7 @@ impl Memory {
         let slot = self.slot(addr)?;
         self.stats.writes += 1;
         self.words[slot] = value;
+        self.bad_parity.remove(&addr.index());
         Ok(())
     }
 
@@ -156,6 +163,7 @@ impl Memory {
         }
         self.stats.writes += 1;
         self.words[slot] = value;
+        self.bad_parity.remove(&addr.index());
         Ok(())
     }
 
@@ -197,6 +205,7 @@ impl Memory {
                 self.locks.remove(&addr.index());
                 self.stats.writes += 1;
                 self.words[slot] = value;
+                self.bad_parity.remove(&addr.index());
                 Ok(())
             }
             _ => Err(MemError::NotLockHolder {
@@ -231,6 +240,89 @@ impl Memory {
     /// Returns the PE currently holding the lock on `addr`, if any.
     pub fn lock_holder(&self, addr: Addr) -> Option<PeId> {
         self.locks.get(&addr.index()).copied()
+    }
+
+    /// Forcibly releases every lock held by `holder` and returns the
+    /// addresses released, in ascending order.
+    ///
+    /// Used by PE fail-stop handling: a dead PE mid-Test-and-Set would
+    /// otherwise leave its lock word locked forever and deadlock every
+    /// surviving contender.
+    pub fn release_locks_held_by(&mut self, holder: PeId) -> Vec<Addr> {
+        let mut released: Vec<u64> = self
+            .locks
+            .iter()
+            .filter(|&(_, &h)| h == holder)
+            .map(|(&addr, _)| addr)
+            .collect();
+        released.sort_unstable();
+        for addr in &released {
+            self.locks.remove(addr);
+        }
+        released.into_iter().map(Addr::new).collect()
+    }
+
+    /// Marks the word at `addr` as failing its parity check without
+    /// changing the stored value — models detection-only corruption
+    /// (e.g. a fault injected *after* the value was stored). Cleared by
+    /// any subsequent write to the word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the memory
+    /// size.
+    pub fn mark_corrupt(&mut self, addr: Addr) -> Result<(), MemError> {
+        self.slot(addr)?;
+        self.bad_parity.insert(addr.index());
+        Ok(())
+    }
+
+    /// Overwrites the word at `addr` with `garbage` and marks its parity
+    /// bad, bypassing access statistics — the fault-injection primitive
+    /// (a bit flip corrupts the stored word *and* breaks its check bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the memory
+    /// size.
+    pub fn poke_corrupt(&mut self, addr: Addr, garbage: Word) -> Result<(), MemError> {
+        let slot = self.slot(addr)?;
+        self.words[slot] = garbage;
+        self.bad_parity.insert(addr.index());
+        Ok(())
+    }
+
+    /// Repairs the word at `addr`: stores `value` and restores its
+    /// parity, without counting an access — the memory controller's
+    /// internal scrub path, not a simulated bus write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the memory
+    /// size.
+    pub fn repair(&mut self, addr: Addr, value: Word) -> Result<(), MemError> {
+        let slot = self.slot(addr)?;
+        self.words[slot] = value;
+        self.bad_parity.remove(&addr.index());
+        Ok(())
+    }
+
+    /// Clears the parity mark on `addr` without changing the stored
+    /// value: the corrupt word is *adopted* as plain data (used after a
+    /// failed recovery, so one fault is detected exactly once).
+    pub fn clear_corrupt(&mut self, addr: Addr) {
+        self.bad_parity.remove(&addr.index());
+    }
+
+    /// Returns `true` while the word at `addr` passes its parity check.
+    /// Out-of-range addresses report `true` (there is no word to check).
+    pub fn parity_ok(&self, addr: Addr) -> bool {
+        !self.bad_parity.contains(&addr.index())
+    }
+
+    /// The number of words currently failing their parity check.
+    pub fn corrupt_words(&self) -> usize {
+        self.bad_parity.len()
     }
 
     /// Fills the range starting at `start` with the given words; convenient
@@ -365,6 +457,55 @@ mod tests {
         assert_eq!(s.total_accesses(), 4);
         mem.reset_stats();
         assert_eq!(mem.stats(), MemoryStats::default());
+    }
+
+    #[test]
+    fn parity_marks_survive_reads_and_clear_on_any_write() {
+        let mut mem = Memory::new(8);
+        let a = Addr::new(3);
+        assert!(mem.parity_ok(a));
+        mem.poke_corrupt(a, Word::new(0xBAD)).unwrap();
+        assert!(!mem.parity_ok(a));
+        assert_eq!(mem.corrupt_words(), 1);
+        // Reads observe the corrupt value but do not heal it.
+        assert_eq!(mem.read(a).unwrap(), Word::new(0xBAD));
+        assert!(!mem.parity_ok(a));
+        // Any write restores parity.
+        mem.write(a, Word::new(7)).unwrap();
+        assert!(mem.parity_ok(a));
+        assert_eq!(mem.corrupt_words(), 0);
+        // mark_corrupt flags without changing the value.
+        mem.mark_corrupt(a).unwrap();
+        assert_eq!(mem.peek(a).unwrap(), Word::new(7));
+        assert!(!mem.parity_ok(a));
+        mem.write_checked(a, Word::new(8), PeId::new(0)).unwrap();
+        assert!(mem.parity_ok(a));
+        assert!(mem.mark_corrupt(Addr::new(99)).is_err());
+        assert!(mem.poke_corrupt(Addr::new(99), Word::ONE).is_err());
+    }
+
+    #[test]
+    fn unlocking_write_restores_parity() {
+        let mut mem = Memory::new(4);
+        let a = Addr::new(1);
+        mem.read_with_lock(a, PeId::new(0)).unwrap();
+        mem.mark_corrupt(a).unwrap();
+        mem.write_with_unlock(a, Word::ONE, PeId::new(0)).unwrap();
+        assert!(mem.parity_ok(a));
+    }
+
+    #[test]
+    fn release_locks_held_by_frees_only_that_pe() {
+        let mut mem = Memory::new(8);
+        mem.read_with_lock(Addr::new(5), PeId::new(1)).unwrap();
+        mem.read_with_lock(Addr::new(2), PeId::new(1)).unwrap();
+        mem.read_with_lock(Addr::new(3), PeId::new(0)).unwrap();
+        let released = mem.release_locks_held_by(PeId::new(1));
+        assert_eq!(released, vec![Addr::new(2), Addr::new(5)]);
+        assert_eq!(mem.lock_holder(Addr::new(2)), None);
+        assert_eq!(mem.lock_holder(Addr::new(5)), None);
+        assert_eq!(mem.lock_holder(Addr::new(3)), Some(PeId::new(0)));
+        assert!(mem.release_locks_held_by(PeId::new(1)).is_empty());
     }
 
     #[test]

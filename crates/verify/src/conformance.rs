@@ -302,6 +302,30 @@ impl Inner {
                     }
                 }
             }
+            Observation::FaultInjected { .. } | Observation::FaultDetected { .. } => {
+                // Injection touches data and parity, never protocol
+                // state; detection is pure bookkeeping.
+            }
+            Observation::MemoryRepaired { .. } | Observation::BroadcastHealed { .. } => {
+                // Repair restores a data word; no line changes state.
+            }
+            Observation::LineScrubbed { pe, addr, .. } => {
+                // The corrupted line is invalidated out of the cache:
+                // the shadow copy is gone too, so the refetch is
+                // checked as an ordinary miss.
+                let addr = addr.index();
+                self.cells(addr)[pe] = None;
+            }
+            Observation::PeFailStopped { pe, .. } => {
+                // The dead PE's cache goes dark: clear its column in
+                // every shadow vector. Whatever it owned is forfeit
+                // (drained to memory or lost), which every protocol's
+                // configuration lemma tolerates — fewer holders is
+                // always legal.
+                for cells in self.lines.values_mut() {
+                    cells[pe] = None;
+                }
+            }
         }
     }
 }

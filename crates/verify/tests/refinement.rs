@@ -8,8 +8,8 @@
 //! search with `DECACHE_TEST_CASES=<n>`.
 
 use decache_core::ProtocolKind;
-use decache_machine::{MachineBuilder, Script};
-use decache_mem::{Addr, Word};
+use decache_machine::{FaultPlan, MachineBuilder, RecoveryPolicy, Script};
+use decache_mem::{Addr, AddrRange, Word};
 use decache_rng::{testing::check, Rng};
 use decache_verify::Refinement;
 
@@ -79,6 +79,48 @@ fn conformance_holds_under_multiple_buses() {
             builder.observer(oracle.observer());
             let mut machine = builder.build();
             machine.run_to_completion(1_000_000);
+            oracle.assert_clean();
+        }
+    });
+}
+
+#[test]
+fn conformance_holds_under_fault_storms() {
+    // Transient flips, bus losses, and fail-stops perturb data, parity,
+    // and timing but never protocol *state* transitions; scrubs and
+    // fail-stops only drop holders, which the product model always
+    // allows. The oracle must therefore stay clean through a storm.
+    check("conformance_holds_under_fault_storms", 6, |rng| {
+        for kind in KINDS {
+            let n = rng.gen_range(2usize..=4);
+            let oracle = Refinement::new(kind, n);
+            let mut builder = MachineBuilder::new(kind);
+            builder.memory_words(32).cache_lines(4);
+            for _ in 0..n {
+                builder.processor(random_script(rng, 16).build());
+            }
+            builder
+                .fault_plan(
+                    FaultPlan::new(rng.next_u64())
+                        .memory_flip_rate(0.04)
+                        .cache_flip_rate(0.04)
+                        .bus_loss_rate(0.02)
+                        .fail_stop_rate(0.002)
+                        .region(AddrRange::with_len(Addr::new(0), 16)),
+                )
+                .recovery_policy(if rng.gen_range(0u8..2) == 0 {
+                    RecoveryPolicy::Majority
+                } else {
+                    RecoveryPolicy::OwnerOnly
+                })
+                .observer(oracle.observer());
+            let mut machine = builder.build();
+            let outcome = machine.run_outcome(1_000_000);
+            assert!(outcome.is_complete(), "{kind}: {outcome}");
+            assert!(
+                oracle.checked_steps() > 0,
+                "{kind}: the observer saw nothing"
+            );
             oracle.assert_clean();
         }
     });

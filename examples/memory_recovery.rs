@@ -28,7 +28,9 @@ fn main() {
         println!("  usable replicas: {}", machine.replica_count(x));
 
         // A cosmic ray hits the memory array.
-        machine.corrupt_memory(x, Word::new(0xDEAD));
+        machine
+            .corrupt_memory(x, Word::new(0xDEAD))
+            .expect("x is in range");
         println!(
             "  memory corrupted to {}",
             machine.memory().peek(x).unwrap()

@@ -170,7 +170,7 @@ fn mix_clustered(kind: ProtocolKind) -> Machine {
 /// 4 PEs hammering one lock word with Test-and-Set while touching a few
 /// shared words — exercises locked reads, unlocking writes, lock
 /// rejections, and TS failures.
-fn ts_contention(kind: ProtocolKind) -> Machine {
+fn ts_contention_builder(kind: ProtocolKind) -> MachineBuilder {
     let lock = Addr::new(0);
     let mut builder = MachineBuilder::new(kind);
     builder.memory_words(64).cache_lines(16);
@@ -185,12 +185,16 @@ fn ts_contention(kind: ProtocolKind) -> Machine {
         }
         builder.processor(script.build());
     }
-    builder.build()
+    builder
+}
+
+fn ts_contention(kind: ProtocolKind) -> Machine {
+    ts_contention_builder(kind).build()
 }
 
 /// 4 PEs with tiny caches cycling through a region larger than the
 /// cache — eviction- and write-back-heavy, with heavy line migration.
-fn eviction_churn(kind: ProtocolKind) -> Machine {
+fn eviction_churn_builder(kind: ProtocolKind) -> MachineBuilder {
     let mut builder = MachineBuilder::new(kind);
     builder.memory_words(256).cache_lines(8);
     for pe in 0..4usize {
@@ -205,7 +209,11 @@ fn eviction_churn(kind: ProtocolKind) -> Machine {
         }
         builder.processor(script.build());
     }
-    builder.build()
+    builder
+}
+
+fn eviction_churn(kind: ProtocolKind) -> Machine {
+    eviction_churn_builder(kind).build()
 }
 
 const SCENARIOS: [Scenario; 5] = [
@@ -275,6 +283,40 @@ fn conformance_oracle_is_invisible_to_fingerprints() {
             );
             assert!(oracle.checked_steps() > 0);
             oracle.assert_clean();
+        }
+    }
+}
+
+/// A zero-rate [`FaultPlan`] must be free: the fault engine is armed
+/// but never draws, so the instrumented run is bit-identical to the
+/// golden fingerprints.
+#[test]
+fn inert_fault_plan_is_invisible_to_fingerprints() {
+    use decache::machine::FaultPlan;
+    for (scenario_name, builder_fn) in [
+        (
+            "ts_contention",
+            ts_contention_builder as fn(ProtocolKind) -> MachineBuilder,
+        ),
+        ("eviction_churn", eviction_churn_builder),
+    ] {
+        let golden = GOLDEN
+            .iter()
+            .find(|(name, _)| *name == scenario_name)
+            .expect("scenario present in the golden table");
+        for (&kind, &expect) in PROTOCOLS.iter().zip(golden.1.iter()) {
+            let mut builder = builder_fn(kind);
+            builder.fault_plan(FaultPlan::new(0xFEED));
+            let mut machine = builder.build();
+            let cycles = machine.run_to_completion(50_000_000);
+            let text = dump(&machine, cycles);
+            assert_eq!(
+                fnv1a(&text),
+                expect,
+                "an inert fault plan perturbed scenario '{scenario_name}' \
+                 under {kind:?};\nfull dump:\n{text}"
+            );
+            assert_eq!(machine.fault_stats().total_injected(), 0);
         }
     }
 }
