@@ -4,6 +4,7 @@ use crate::TextTable;
 use decache_core::ProtocolKind;
 use decache_machine::MachineBuilder;
 use decache_mem::{Addr, AddrRange};
+use decache_telemetry::MetricsSnapshot;
 use decache_workloads::{MixConfig, MixWorkload};
 use std::fmt;
 
@@ -22,6 +23,22 @@ pub struct ProtocolRow {
     pub utilization: f64,
     /// Reads completed by snooped broadcasts.
     pub broadcast_satisfied: u64,
+}
+
+impl ProtocolRow {
+    /// Projects the comparison row out of a unified metrics snapshot
+    /// (`kind` names the protocol the snapshot came from).
+    pub fn from_snapshot(kind: ProtocolKind, snapshot: &MetricsSnapshot) -> Self {
+        let bus = snapshot.bus_total();
+        ProtocolRow {
+            protocol: kind,
+            cycles: snapshot.cycles,
+            bus_transactions: bus.total_transactions(),
+            hit_ratio: snapshot.cache_total().hit_ratio(),
+            utilization: bus.utilization(),
+            broadcast_satisfied: snapshot.machine.broadcast_satisfied,
+        }
+    }
 }
 
 /// Runs the same mixed workload (the paper's assumed reference pattern)
@@ -72,25 +89,25 @@ impl ProtocolComparison {
 
     /// Runs a single protocol.
     pub fn run_one(&self, kind: ProtocolKind) -> ProtocolRow {
+        ProtocolRow::from_snapshot(kind, &self.snapshot_one(kind))
+    }
+
+    /// Runs a single protocol and returns the full unified metrics
+    /// snapshot (telemetry enabled, so the cycle-attribution histograms
+    /// populate); [`ProtocolRow`] is a projection of it.
+    pub fn snapshot_one(&self, kind: ProtocolKind) -> MetricsSnapshot {
         let shared = AddrRange::with_len(Addr::new(0), 64);
         let config = self.config;
         let mut machine = MachineBuilder::new(kind)
             .memory_words(1 << 14)
             .cache_lines(512)
+            .telemetry()
             .processors(self.pes, |pe| {
                 Box::new(MixWorkload::new(config, shared, pe as u64))
             })
             .build();
-        let cycles = machine.run_to_completion(100_000_000);
-        let traffic = machine.traffic();
-        ProtocolRow {
-            protocol: kind,
-            cycles,
-            bus_transactions: traffic.total_transactions(),
-            hit_ratio: machine.total_cache_stats().hit_ratio(),
-            utilization: traffic.utilization(),
-            broadcast_satisfied: machine.stats().broadcast_satisfied,
-        }
+        machine.run_to_completion(100_000_000);
+        MetricsSnapshot::from_machine(&machine)
     }
 
     /// Renders the comparison as a table.

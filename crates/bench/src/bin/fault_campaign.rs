@@ -19,11 +19,12 @@
 //! smoke runs use 1; the oracle and fail-stop checks still bite).
 
 use decache_analysis::TextTable;
-use decache_bench::{banner, par, record_metrics};
+use decache_bench::{banner, par, record_snapshot};
 use decache_core::ProtocolKind;
-use decache_machine::{FailStopPolicy, FaultPlan, FaultStats, Machine, MachineBuilder, Script};
+use decache_machine::{FailStopPolicy, FaultPlan, Machine, MachineBuilder, Script};
 use decache_mem::{Addr, AddrRange, Word};
 use decache_rng::Rng;
+use decache_telemetry::MetricsSnapshot;
 use decache_verify::Refinement;
 
 /// The seven protocol variants, in the workspace's canonical order.
@@ -104,12 +105,13 @@ fn campaign_script(rng: &mut Rng, pe: usize) -> Script {
 }
 
 /// One seeded campaign run: oracle-instrumented machine under a
-/// rate-driven fault plan, required to complete and conform.
-fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64) -> FaultStats {
+/// rate-driven fault plan, required to complete and conform. Returns
+/// the unified metrics snapshot (telemetry enabled).
+fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64) -> MetricsSnapshot {
     let mut rng = Rng::from_seed(seed);
     let oracle = Refinement::new(kind, PES);
     let mut builder = MachineBuilder::new(kind);
-    builder.memory_words(64).cache_lines(16);
+    builder.memory_words(64).cache_lines(16).telemetry();
     for pe in 0..PES {
         builder.processor(campaign_script(&mut rng, pe).build());
     }
@@ -130,7 +132,7 @@ fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64) -> FaultStats {
         "{kind}: the observer saw nothing"
     );
     oracle.assert_clean();
-    machine.fault_stats()
+    MetricsSnapshot::from_machine(&machine)
 }
 
 /// Aggregated recovery statistics for one (protocol, rate) cell.
@@ -165,7 +167,9 @@ impl Cell {
     }
 }
 
-fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> Cell {
+/// Runs one (protocol, rate) cell: the derived recovery table row plus
+/// the merged-across-runs metrics snapshot, conservation-audited.
+fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> (Cell, MetricsSnapshot) {
     let mut cell = Cell {
         injected: 0,
         detected: 0,
@@ -177,11 +181,13 @@ fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> Cell {
         latency_total: 0,
         latency_samples: 0,
     };
+    let mut merged: Option<MetricsSnapshot> = None;
     for run in 0..runs {
         // Seeds depend only on (rate, run), so every protocol sees the
         // same fault-plan seeds at a given rate.
         let seed = 0x5EED_0000 + (rate * 1e6) as u64 * 1_000 + run;
-        let s = campaign_run(kind, rate, seed);
+        let snapshot = campaign_run(kind, rate, seed);
+        let s = &snapshot.faults;
         cell.injected += s.total_injected();
         cell.detected += s.memory_faults_detected + s.cache_faults_detected;
         cell.owner += s.memory_recoveries_owner;
@@ -191,8 +197,19 @@ fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> Cell {
         cell.lost_writes += s.lost_writes;
         cell.latency_total += s.recovery_latency_total;
         cell.latency_samples += s.recovery_latency_samples;
+        match &mut merged {
+            None => merged = Some(snapshot),
+            Some(acc) => acc.merge(&snapshot).expect("same cell configuration"),
+        }
     }
-    cell
+    let merged = merged.expect("at least one run per cell");
+    merged.check_conservation().unwrap_or_else(|violations| {
+        panic!(
+            "{kind} rate {rate}: conservation violated:\n  {}",
+            violations.join("\n  ")
+        )
+    });
+    (cell, merged)
 }
 
 /// Fail-stop scenario: P0 writes `x` twice (the second write is silent
@@ -253,7 +270,7 @@ fn main() {
         "protocol", "rate", "injected", "detected", "owner", "majority", "failed", "success",
         "heals", "lost wr", "latency",
     ]);
-    for (&(kind, rate), cell) in cases.iter().zip(&cells) {
+    for (&(kind, rate), (cell, merged)) in cases.iter().zip(&cells) {
         table.row(vec![
             kind.to_string(),
             format!("{rate}"),
@@ -268,19 +285,7 @@ fn main() {
             cell.lost_writes.to_string(),
             format!("{:.1}", cell.mean_latency()),
         ]);
-        record_metrics(
-            &format!("fault_campaign/{kind}/rate_{rate}"),
-            &[
-                ("injected", cell.injected as f64),
-                ("detected", cell.detected as f64),
-                ("recovered", (cell.owner + cell.majority) as f64),
-                ("failed", cell.failed as f64),
-                ("success_rate", cell.success_rate().unwrap_or(-1.0)),
-                ("broadcast_heals", cell.heals as f64),
-                ("lost_writes", cell.lost_writes as f64),
-                ("mean_detect_latency", cell.mean_latency()),
-            ],
-        );
+        record_snapshot(&format!("fault_campaign/{kind}/rate_{rate}"), merged);
     }
     println!("{table}");
 
@@ -291,7 +296,7 @@ fn main() {
         cases
             .iter()
             .position(|&(k, r)| k == kind && r == rate)
-            .map(|i| cells[i])
+            .map(|i| cells[i].0)
             .expect("cell present")
     };
     for &rate in &rates {
@@ -351,15 +356,40 @@ fn main() {
             fs.lost_writes.to_string(),
             forfeit_seen.to_string(),
         ]);
-        record_metrics(
-            &format!("fault_campaign/fail_stop/{kind}"),
-            &[
-                ("drained", ds.drained_lines as f64),
-                ("forfeit_lost", fs.lost_writes as f64),
-            ],
+        record_snapshot(
+            &format!("fault_campaign/fail_stop/{kind}/drain"),
+            &MetricsSnapshot::from_machine(&drain),
+        );
+        record_snapshot(
+            &format!("fault_campaign/fail_stop/{kind}/forfeit"),
+            &MetricsSnapshot::from_machine(&forfeit),
         );
     }
     println!("{table}");
     println!("every run completed with n-1 PEs (structured outcome, no panic);");
     println!("Forfeit loses exactly the owned values memory never saw.");
+
+    // With DECACHE_TRACE=<path>, capture one representative faulted
+    // machine (RWB, the higher rate) as a Perfetto trace — injection,
+    // detection, and recovery events land on the tracks they hit.
+    if decache_telemetry::env_trace_path().is_some() {
+        let mut rng = Rng::from_seed(0x7ACE);
+        let mut builder = MachineBuilder::new(ProtocolKind::Rwb);
+        builder.memory_words(64).cache_lines(16).telemetry();
+        for pe in 0..PES {
+            builder.processor(campaign_script(&mut rng, pe).build());
+        }
+        builder.fault_plan(
+            FaultPlan::new(rng.next_u64())
+                .memory_flip_rate(0.01)
+                .cache_flip_rate(0.005)
+                .bus_loss_rate(0.0025)
+                .region(AddrRange::with_len(Addr::new(0), HOT_WORDS)),
+        );
+        let trace = decache_bench::env_trace(&mut builder);
+        let mut machine = builder.build();
+        let outcome = machine.run_outcome(10_000_000);
+        assert!(outcome.is_complete(), "trace run: {outcome}");
+        decache_bench::save_env_trace(&trace, &machine);
+    }
 }

@@ -4,8 +4,8 @@
 //! and hit ratio. All machines fan out over `decache_bench::par`; the
 //! tables print in the same order as the old sequential loops.
 
-use decache_analysis::{ProtocolComparison, TextTable};
-use decache_bench::{banner, par};
+use decache_analysis::{ProtocolComparison, ProtocolRow, TextTable};
+use decache_bench::{banner, par, record_snapshot};
 use decache_core::ProtocolKind;
 use decache_workloads::MixConfig;
 
@@ -16,17 +16,32 @@ fn main() {
     );
 
     let pe_counts = [4usize, 8, 16];
-    let groups = par::run_cases(&pe_counts, |&pes| {
+    let cases: Vec<(usize, ProtocolKind)> = pe_counts
+        .iter()
+        .flat_map(|&pes| ProtocolKind::ALL.map(move |kind| (pes, kind)))
+        .collect();
+    let snapshots = par::run_cases(&cases, |&(pes, kind)| {
         ProtocolComparison::new(pes)
             .config(MixConfig {
                 ops_per_pe: 3_000,
                 ..MixConfig::default()
             })
-            .run()
+            .snapshot_one(kind)
     });
-    for (pes, rows) in pe_counts.iter().zip(&groups) {
+    for (&(pes, kind), snapshot) in cases.iter().zip(&snapshots) {
+        record_snapshot(&format!("protocol_compare/{pes}pe/{kind}"), snapshot);
+    }
+    for (&pes, chunk) in pe_counts
+        .iter()
+        .zip(snapshots.chunks(ProtocolKind::ALL.len()))
+    {
+        let rows: Vec<ProtocolRow> = ProtocolKind::ALL
+            .iter()
+            .zip(chunk)
+            .map(|(&kind, snapshot)| ProtocolRow::from_snapshot(kind, snapshot))
+            .collect();
         println!("{pes} processors:");
-        println!("{}", ProtocolComparison::render(rows));
+        println!("{}", ProtocolComparison::render(&rows));
     }
 
     println!("sensitivity: shared-data fraction sweep (8 PEs, RB vs write-once)");
@@ -36,15 +51,26 @@ fn main() {
         .iter()
         .flat_map(|&shared| kinds.iter().map(move |&kind| (shared, kind)))
         .collect();
-    let rows = par::run_cases(&cases, |&(shared, kind)| {
+    let sweep = par::run_cases(&cases, |&(shared, kind)| {
         ProtocolComparison::new(8)
             .config(MixConfig {
                 shared_fraction: shared,
                 ops_per_pe: 2_000,
                 ..MixConfig::default()
             })
-            .run_one(kind)
+            .snapshot_one(kind)
     });
+    let rows: Vec<_> = cases
+        .iter()
+        .zip(&sweep)
+        .map(|(&(shared, kind), snapshot)| {
+            record_snapshot(
+                &format!("protocol_compare/shared_{shared}/{kind}"),
+                snapshot,
+            );
+            ProtocolRow::from_snapshot(kind, snapshot)
+        })
+        .collect();
     let mut table = TextTable::new(vec![
         "shared %",
         "RB bus tx",
@@ -60,4 +86,28 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    // With DECACHE_TRACE=<path>, capture one representative machine
+    // (4 PEs, RWB, the default mix) as a Perfetto trace.
+    if decache_telemetry::env_trace_path().is_some() {
+        use decache_machine::MachineBuilder;
+        use decache_mem::{Addr, AddrRange};
+        use decache_workloads::MixWorkload;
+        let shared = AddrRange::with_len(Addr::new(0), 64);
+        let config = MixConfig {
+            ops_per_pe: 200,
+            ..MixConfig::default()
+        };
+        let mut builder = MachineBuilder::new(ProtocolKind::Rwb);
+        builder
+            .memory_words(1 << 12)
+            .cache_lines(64)
+            .processors(4, |pe| {
+                Box::new(MixWorkload::new(config, shared, pe as u64))
+            });
+        let trace = decache_bench::env_trace(&mut builder);
+        let mut machine = builder.build();
+        machine.run_to_completion(10_000_000);
+        decache_bench::save_env_trace(&trace, &machine);
+    }
 }

@@ -1,0 +1,108 @@
+//! Telemetry self-check: a pinned Test-and-Set contention scenario
+//! under every protocol with the unified telemetry layer enabled.
+//!
+//! For each protocol it prints the four cycle-attribution histograms,
+//! audits the cross-crate stat-conservation identities, verifies the
+//! snapshot's JSON round-trip, and emits one [`MetricsSnapshot`] record
+//! (`DECACHE_BENCH_JSON`). With `DECACHE_TRACE=<path>` it additionally
+//! saves the RWB run's Perfetto trace. CI smoke-runs this binary, so a
+//! regression in any telemetry layer fails the build.
+
+use decache_analysis::TextTable;
+use decache_bench::{banner, env_trace, record_snapshot, save_env_trace};
+use decache_core::ProtocolKind;
+use decache_machine::MachineBuilder;
+use decache_machine::Script;
+use decache_mem::{Addr, Word};
+use decache_telemetry::{HistogramSnapshot, MetricsSnapshot};
+
+const PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::Rb,
+    ProtocolKind::RbNoBroadcast,
+    ProtocolKind::Rwb,
+    ProtocolKind::RwbThreshold(1),
+    ProtocolKind::RwbThreshold(3),
+    ProtocolKind::WriteOnce,
+    ProtocolKind::WriteThrough,
+];
+
+/// 4 PEs contending for one lock while reading and writing a small
+/// shared set — every histogram population is non-trivial.
+fn contention_builder(kind: ProtocolKind) -> MachineBuilder {
+    let lock = Addr::new(0);
+    let mut builder = MachineBuilder::new(kind);
+    builder.memory_words(64).cache_lines(16).telemetry();
+    for pe in 0..4usize {
+        let mut script = Script::new();
+        for round in 0..8u64 {
+            script = script
+                .test_and_set(lock, Word::ONE)
+                .read(Addr::new(1 + (pe as u64 + round) % 8))
+                .write(Addr::new(1 + round % 8), Word::new(pe as u64 * 100 + round))
+                .write(lock, Word::ZERO);
+        }
+        builder.processor(script.build());
+    }
+    builder
+}
+
+fn hist_cell(h: &HistogramSnapshot) -> String {
+    if h.count == 0 {
+        "-".into()
+    } else {
+        format!("n={} mean={:.1} max={}", h.count, h.mean(), h.max)
+    }
+}
+
+fn main() {
+    banner(
+        "Telemetry self-check: histograms, conservation, snapshot schema",
+        "unified telemetry layer (metrics registry + Perfetto export)",
+    );
+
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "cycles",
+        "bus-acquire wait",
+        "memory service",
+        "read fill",
+        "TS spin",
+    ]);
+    for kind in PROTOCOLS {
+        let mut builder = contention_builder(kind);
+        let trace = if kind == ProtocolKind::Rwb {
+            env_trace(&mut builder)
+        } else {
+            None
+        };
+        let mut machine = builder.build();
+        machine.run_to_completion(1_000_000);
+        assert!(machine.is_done(), "{kind}: machine failed to terminate");
+        save_env_trace(&trace, &machine);
+
+        let snapshot = MetricsSnapshot::from_machine(&machine);
+        snapshot.check_conservation().unwrap_or_else(|violations| {
+            panic!(
+                "{kind}: conservation violated:\n  {}",
+                violations.join("\n  ")
+            )
+        });
+        let text = snapshot.to_json_string();
+        let back = MetricsSnapshot::parse(&text)
+            .unwrap_or_else(|e| panic!("{kind}: snapshot does not re-parse: {e}"));
+        assert_eq!(back, snapshot, "{kind}: snapshot round-trip is lossy");
+        record_snapshot(&format!("telemetry_check/{kind}"), &snapshot);
+
+        let h = snapshot.histograms.as_ref().expect("telemetry enabled");
+        table.row(vec![
+            kind.to_string(),
+            snapshot.cycles.to_string(),
+            hist_cell(&h.bus_acquire_wait),
+            hist_cell(&h.memory_service),
+            hist_cell(&h.read_fill),
+            hist_cell(&h.ts_spin),
+        ]);
+    }
+    println!("{table}");
+    println!("all protocols: conservation identities hold, snapshots round-trip.");
+}

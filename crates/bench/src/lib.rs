@@ -26,6 +26,9 @@
 
 pub use decache_analysis::par;
 
+use decache_machine::{Machine, MachineBuilder};
+use decache_telemetry::{Json, MetricsSnapshot, PerfettoTrace};
+
 /// Prints an experiment banner: title and the paper artifact it
 /// regenerates.
 pub fn banner(title: &str, artifact: &str) {
@@ -34,59 +37,88 @@ pub fn banner(title: &str, artifact: &str) {
     println!();
 }
 
-/// Escapes a bench-case name for embedding in a JSON string.
-fn json_escape(name: &str) -> String {
-    name.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+/// Appends one JSON line to the file named by `DECACHE_BENCH_JSON`, if
+/// set. All bench records go through this single writer (and the
+/// canonical `decache_telemetry::Json` serializer), so the file is
+/// uniformly parseable line-by-line.
+fn record_line(value: Json) {
+    let Ok(path) = std::env::var("DECACHE_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+    writeln!(file, "{value}").unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
 }
 
 /// Appends one `{"name", "ns_per_iter", "iters"}` record to the file
 /// named by `DECACHE_BENCH_JSON`, if set.
 fn record_json(name: &str, nanos: f64, iters: u32) {
-    let Ok(path) = std::env::var("DECACHE_BENCH_JSON") else {
-        return;
-    };
-    use std::io::Write as _;
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
-    writeln!(
-        file,
-        "{{\"name\":\"{}\",\"ns_per_iter\":{nanos:.1},\"iters\":{iters}}}",
-        json_escape(name)
-    )
-    .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+    // Keep the historical one-decimal rendering of BENCH_simulator.json
+    // (`Json::F64` would print the full shortest-round-trip form).
+    let rounded = (nanos * 10.0).round() / 10.0;
+    record_line(Json::object(vec![
+        ("name", Json::Str(name.to_owned())),
+        ("ns_per_iter", Json::F64(rounded)),
+        ("iters", Json::U64(u64::from(iters))),
+    ]));
 }
 
 /// Appends one JSON record of named numeric metrics to the file named
 /// by `DECACHE_BENCH_JSON`, if set: `{"name": …, "<key>": <value>, …}`.
-/// The non-timing counterpart of [`time_case`]'s records, for
-/// experiment bins whose output is counters rather than nanoseconds
-/// (e.g. the fault campaign's recovery rates).
+/// The non-timing counterpart of [`time_case`]'s records, for derived
+/// quantities (rates, means) that are not raw counters. For full
+/// counter dumps, prefer [`record_snapshot`].
 pub fn record_metrics(name: &str, fields: &[(&str, f64)]) {
-    let Ok(path) = std::env::var("DECACHE_BENCH_JSON") else {
+    let mut obj = vec![("name", Json::Str(name.to_owned()))];
+    obj.extend(fields.iter().map(|&(key, value)| (key, Json::F64(value))));
+    record_line(Json::object(obj));
+}
+
+/// Appends one `{"name": …, "snapshot": <MetricsSnapshot>}` record to
+/// the file named by `DECACHE_BENCH_JSON`, if set — the one schema for
+/// experiment statistics: every counter the machine exposes, in the
+/// versioned [`MetricsSnapshot`] form, serialized by the same canonical
+/// writer as everything else.
+pub fn record_snapshot(name: &str, snapshot: &MetricsSnapshot) {
+    record_line(Json::object(vec![
+        ("name", Json::Str(name.to_owned())),
+        ("snapshot", snapshot.to_json()),
+    ]));
+}
+
+/// Attaches a Perfetto trace recorder to `builder` iff the
+/// `DECACHE_TRACE=<path>` environment knob is set. Pair with
+/// [`save_env_trace`] after the run.
+pub fn env_trace(builder: &mut MachineBuilder) -> Option<PerfettoTrace> {
+    decache_telemetry::env_trace_path()?;
+    let trace = PerfettoTrace::with_default_capacity();
+    builder.observer(trace.observer());
+    Some(trace)
+}
+
+/// Writes a trace captured via [`env_trace`] to the `DECACHE_TRACE`
+/// path and prints where it went. No-op when `trace` is `None`.
+pub fn save_env_trace(trace: &Option<PerfettoTrace>, machine: &Machine) {
+    let (Some(trace), Some(path)) = (trace, decache_telemetry::env_trace_path()) else {
         return;
     };
-    use std::io::Write as _;
-    let mut line = format!("{{\"name\":\"{}\"", json_escape(name));
-    for (key, value) in fields {
-        line.push_str(&format!(",\"{}\":{value}", json_escape(key)));
-    }
-    line.push('}');
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
-    writeln!(file, "{line}").unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
+    trace
+        .save(machine, &path)
+        .unwrap_or_else(|e| panic!("DECACHE_TRACE={}: {e}", path.display()));
+    println!(
+        "perfetto trace ({} events{}) written to {}",
+        trace.len(),
+        if trace.dropped() > 0 {
+            format!(", {} dropped", trace.dropped())
+        } else {
+            String::new()
+        },
+        path.display()
+    );
 }
 
 /// Times `body` over `iters` iterations after one warmup call and

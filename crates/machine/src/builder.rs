@@ -54,6 +54,7 @@ pub struct MachineBuilder {
     fault_plan: Option<FaultPlan>,
     recovery_policy: RecoveryPolicy,
     fail_stop_policy: FailStopPolicy,
+    telemetry: bool,
 }
 
 impl std::fmt::Debug for MachineBuilder {
@@ -94,6 +95,7 @@ impl MachineBuilder {
             fault_plan: None,
             recovery_policy: RecoveryPolicy::default(),
             fail_stop_policy: FailStopPolicy::default(),
+            telemetry: false,
         }
     }
 
@@ -212,6 +214,18 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables cycle-attribution telemetry: the machine records
+    /// power-of-2-bucket latency histograms
+    /// ([`Machine::histograms`](crate::Machine::histograms)) for
+    /// bus-acquire wait, memory service time, read-miss fill time, and
+    /// Test-and-Set lock-spin length. Pure observation — a
+    /// telemetry-enabled machine's statistics are bit-identical to one
+    /// built without it.
+    pub fn telemetry(&mut self) -> &mut Self {
+        self.telemetry = true;
+        self
+    }
+
     /// Attaches a deterministic [`FaultPlan`]. An inert plan (no rates,
     /// no scheduled events) leaves every statistic bit-identical to a
     /// machine built without one.
@@ -321,6 +335,7 @@ impl MachineBuilder {
             self.fault_plan.take(),
             self.recovery_policy,
             self.fail_stop_policy,
+            self.telemetry,
         );
         for observer in std::mem::take(&mut self.observers) {
             machine.attach_observer(observer);

@@ -53,6 +53,7 @@ mod sharers;
 mod snapshot;
 mod stats;
 mod status;
+mod telemetry;
 mod trace;
 
 pub use builder::MachineBuilder;
@@ -66,4 +67,5 @@ pub use processor::{IdleProcessor, LoopProcessor, Poll, Processor, Script, SpinR
 pub use recovery::RecoveryError;
 pub use snapshot::{Snapshot, SnapshotTable};
 pub use stats::MachineStats;
+pub use telemetry::{CycleHistograms, Histogram};
 pub use trace::{CpuDecision, Observation, Observer, Trace, TraceEvent, TraceKind};

@@ -4,6 +4,7 @@ use crate::fault::{FaultEngine, FaultKind, FaultPlan, RecoverySource};
 use crate::outcome::progress_window;
 use crate::sharers::{AddrPeIndex, PeMask};
 use crate::status::{PeStatus, Pending};
+use crate::telemetry::TelemetryState;
 use crate::trace::{CpuDecision, Observation, Observer};
 use crate::{
     FailStopPolicy, FaultStats, HaltReason, MachineStats, MemOp, OpResult, PeBlame, Processor,
@@ -109,6 +110,12 @@ pub struct Machine {
     /// Per-PE address of the most recently issued operation, for
     /// budget-exhaustion blame.
     last_addr: Vec<Option<Addr>>,
+    /// The cycle-attribution recorder, `None` unless telemetry was
+    /// enabled at build time. Mirrors the `faults` gating contract: a
+    /// machine without one performs zero telemetry work per hook beyond
+    /// this `None` check, and recording never changes any simulated
+    /// statistic.
+    telemetry: Option<Box<TelemetryState>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -136,6 +143,7 @@ impl Machine {
         fault_plan: Option<FaultPlan>,
         recovery_policy: RecoveryPolicy,
         fail_stop_policy: FailStopPolicy,
+        telemetry: bool,
     ) -> Self {
         let n = processors.len();
         let buses = routing.bus_count();
@@ -194,6 +202,7 @@ impl Machine {
             fault_clock: HashMap::new(),
             last_progress: vec![0; n],
             last_addr: vec![None; n],
+            telemetry: telemetry.then(|| Box::new(TelemetryState::new(n))),
         }
     }
 
@@ -331,6 +340,18 @@ impl Machine {
         self.fault_stats
     }
 
+    /// `true` if the machine records cycle-attribution histograms
+    /// ([`MachineBuilder::telemetry`](crate::MachineBuilder::telemetry)).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The cycle-attribution histograms, `None` unless telemetry was
+    /// enabled at build time.
+    pub fn histograms(&self) -> Option<&crate::CycleHistograms> {
+        self.telemetry.as_deref().map(|t| &t.hist)
+    }
+
     /// The in-loop memory repair policy.
     pub fn recovery_policy(&self) -> RecoveryPolicy {
         self.recovery_policy
@@ -368,6 +389,12 @@ impl Machine {
             *s = CacheStats::new();
         }
         self.stats = MachineStats::default();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            // The histograms reset with the other statistics; the
+            // start-cycle scratchpads survive, so an operation in
+            // flight across the reset still records its full latency.
+            t.hist = crate::CycleHistograms::default();
+        }
     }
 
     /// The event trace (empty unless enabled at build time).
@@ -533,6 +560,72 @@ impl Machine {
     /// machine pays two branch tests per cycle and nothing per access.
     fn faults_possible(&self) -> bool {
         self.faults.is_some() || !self.fault_clock.is_empty()
+    }
+
+    // ----- telemetry hooks --------------------------------------------
+    //
+    // Each hook is a single `Option` test when telemetry is disabled and
+    // touches only the recorder when enabled — never a simulated
+    // statistic, so enabling telemetry cannot perturb any golden.
+
+    /// Re-arms PE `pe`'s arbitration-wait clock: its transaction just
+    /// entered a bus queue (first request, lock-rejection requeue, or
+    /// abort/loss retry).
+    fn mark_enqueued(&mut self, pe: usize) {
+        let cycle = self.cycle;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.enqueued_at[pe] = cycle;
+        }
+    }
+
+    /// PE `pe`'s transaction was granted: samples the arbitration wait.
+    fn note_grant(&mut self, pe: usize) {
+        let cycle = self.cycle;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.hist.bus_acquire_wait.record(cycle - t.enqueued_at[pe]);
+        }
+    }
+
+    /// A transaction accessed memory: samples its bus occupancy.
+    fn note_memory_service(&mut self) {
+        let cycles = self.transaction_cycles;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.hist.memory_service.record(cycles);
+        }
+    }
+
+    /// Starts PE `pe`'s read-miss fill clock.
+    fn mark_read_miss(&mut self, pe: usize) {
+        let cycle = self.cycle;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.read_since[pe] = cycle;
+        }
+    }
+
+    /// PE `pe`'s pending read filled (own bus read or snooped
+    /// broadcast): samples the miss-to-fill latency.
+    fn note_read_fill(&mut self, pe: usize) {
+        let cycle = self.cycle;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.hist.read_fill.record(cycle - t.read_since[pe]);
+        }
+    }
+
+    /// Starts PE `pe`'s Test-and-Set spin clock at the locked read.
+    fn mark_ts_issued(&mut self, pe: usize) {
+        let cycle = self.cycle;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.ts_since[pe] = cycle;
+        }
+    }
+
+    /// PE `pe`'s Test-and-Set resolved (acquired or failed): samples the
+    /// lock-spin length.
+    fn note_ts_resolved(&mut self, pe: usize) {
+        let cycle = self.cycle;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.hist.ts_spin.record(cycle - t.ts_since[pe]);
+        }
     }
 
     /// Draws this cycle's rate-driven faults, pops the scheduled ones,
@@ -854,6 +947,7 @@ impl Machine {
                             .expect("drain write-back in range");
                         let bus = self.routing.bus_of(addr);
                         self.traffic.bus_mut(bus).record(BusOpKind::Write);
+                        self.note_memory_service();
                         drained += 1;
                     } else {
                         lost += 1;
@@ -978,6 +1072,7 @@ impl Machine {
                 CpuOutcome::Miss { intent } => {
                     debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
                     self.cache_stats[pe].record(AccessKind::Read, op.class, false);
+                    self.mark_read_miss(pe);
                     self.enqueue(pe_id, addr, BusOp::Read);
                     self.set_status(
                         pe,
@@ -1045,6 +1140,7 @@ impl Machine {
             Access::TestAndSet(addr, set_to) => {
                 // "The initial read-with-lock does not reference the value
                 // in the cache" — always a bus operation.
+                self.mark_ts_issued(pe);
                 self.enqueue(pe_id, addr, BusOp::ReadWithLock);
                 self.set_status(
                     pe,
@@ -1060,6 +1156,7 @@ impl Machine {
     }
 
     fn enqueue(&mut self, pe: PeId, addr: Addr, op: BusOp) {
+        self.mark_enqueued(pe.index());
         let bus = self.routing.bus_of(addr);
         assert!(
             self.routing.is_attached(pe.index(), bus, self.pe_count()),
@@ -1103,10 +1200,12 @@ impl Machine {
                             format!("{fault}: dropped {tx}")
                         });
                         self.notify(Observation::FaultInjected { fault });
+                        self.mark_enqueued(tx.initiator.index());
                         self.queues[bus].push_retry(tx);
                         continue;
                     }
                     self.record(TraceKind::Grant, Some(tx.initiator), || tx.to_string());
+                    self.note_grant(tx.initiator.index());
                     if self.transaction_cycles > 1 {
                         self.bus_free_at[bus] = self.cycle + self.transaction_cycles;
                     }
@@ -1190,6 +1289,7 @@ impl Machine {
             let t = self.traffic.bus_mut(bus);
             t.record_abort();
             t.record(BusOpKind::Write);
+            self.note_memory_service();
             // The substituted write is snooped like any bus write.
             self.dispatch_snoop(
                 addr,
@@ -1203,6 +1303,7 @@ impl Machine {
                 addr,
             });
             self.traffic.bus_mut(bus).record_retry();
+            self.mark_enqueued(tx.initiator.index());
             self.queues[bus].push_retry(tx);
             self.satisfy_pending_reads(addr);
             return;
@@ -1221,10 +1322,12 @@ impl Machine {
                     // The word is locked mid-Test-and-Set by another PE:
                     // the attempt burns the cycle and rearbitrates.
                     self.stats.lock_rejections += 1;
+                    self.stats.lock_rejected_reads += 1;
                     self.traffic.bus_mut(bus).record(BusOpKind::ReadWithLock);
                     self.record(TraceKind::LockRejected, Some(tx.initiator), || {
                         tx.to_string()
                     });
+                    self.mark_enqueued(tx.initiator.index());
                     self.queues[bus].request(tx).expect("requeue after grant");
                     return;
                 }
@@ -1238,6 +1341,7 @@ impl Machine {
         } else {
             BusOpKind::Read
         });
+        self.note_memory_service();
 
         // Broadcast: every other holder snoops the returned value.
         let event = if locked {
@@ -1261,6 +1365,7 @@ impl Machine {
         // Deliver to the stalled PE.
         match self.statuses[pe] {
             PeStatus::WaitBus(Pending::Read { class: _, .. }) => {
+                self.note_read_fill(pe);
                 self.finish(pe, OpResult::Read(value));
             }
             PeStatus::WaitBus(Pending::LockedRead { set_to, class, .. }) => {
@@ -1283,6 +1388,7 @@ impl Machine {
                         .expect("failing TS holds the lock it releases");
                     self.stats.ts_failures += 1;
                     self.cache_stats[pe].record(AccessKind::Read, class, false);
+                    self.note_ts_resolved(pe);
                     self.finish(
                         pe,
                         OpResult::TestAndSet {
@@ -1305,16 +1411,22 @@ impl Machine {
                 .write_with_unlock(addr, value, tx.initiator)
                 .expect("unlocking write holds the lock");
             self.traffic.bus_mut(bus).record(BusOpKind::WriteWithUnlock);
+            self.note_memory_service();
         } else {
             match self.memory.write_checked(addr, value, tx.initiator) {
-                Ok(()) => self.traffic.bus_mut(bus).record(BusOpKind::Write),
+                Ok(()) => {
+                    self.traffic.bus_mut(bus).record(BusOpKind::Write);
+                    self.note_memory_service();
+                }
                 Err(MemError::Locked { .. }) => {
                     // "Any bus writes before the unlock will fail."
                     self.stats.lock_rejections += 1;
+                    self.stats.lock_rejected_writes += 1;
                     self.traffic.bus_mut(bus).record(BusOpKind::Write);
                     self.record(TraceKind::LockRejected, Some(tx.initiator), || {
                         tx.to_string()
                     });
+                    self.mark_enqueued(tx.initiator.index());
                     self.queues[bus].request(tx).expect("requeue after grant");
                     return;
                 }
@@ -1351,6 +1463,7 @@ impl Machine {
             PeStatus::WaitBus(Pending::UnlockWrite { old, class, .. }) => {
                 self.stats.ts_successes += 1;
                 self.cache_stats[pe].record(AccessKind::Write, class, false);
+                self.note_ts_resolved(pe);
                 self.finish(
                     pe,
                     OpResult::TestAndSet {
@@ -1467,6 +1580,7 @@ impl Machine {
                     .expect("write-back in range");
                 let bus = self.routing.bus_of(evicted.addr);
                 self.traffic.bus_mut(bus).record(BusOpKind::Write);
+                self.note_memory_service();
                 self.stats.writebacks += 1;
                 self.record(TraceKind::Writeback, Some(PeId::new(pe as u16)), || {
                     format!("write back {} = {}", evicted.addr, evicted.data)
@@ -1530,6 +1644,7 @@ impl Machine {
                 || format!("read {addr} = {value} from broadcast"),
             );
             self.notify(Observation::BroadcastSatisfied { pe, addr });
+            self.note_read_fill(pe);
             self.finish(pe, OpResult::Read(value));
         }
     }

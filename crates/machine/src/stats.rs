@@ -21,6 +21,12 @@ pub struct MachineStats {
     pub ts_successes: u64,
     /// Bus transactions rejected by a memory lock and requeued.
     pub lock_rejections: u64,
+    /// Locked reads among [`MachineStats::lock_rejections`] — a second
+    /// PE's Test-and-Set bouncing off a held lock.
+    pub lock_rejected_reads: u64,
+    /// Plain bus writes among [`MachineStats::lock_rejections`] —
+    /// "any bus writes before the unlock will fail".
+    pub lock_rejected_writes: u64,
 }
 
 impl MachineStats {
@@ -47,6 +53,20 @@ impl fmt::Display for MachineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rejection_split_sums_to_total() {
+        let s = MachineStats {
+            lock_rejections: 5,
+            lock_rejected_reads: 3,
+            lock_rejected_writes: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.lock_rejected_reads + s.lock_rejected_writes,
+            s.lock_rejections
+        );
+    }
 
     #[test]
     fn ts_attempts_sum() {

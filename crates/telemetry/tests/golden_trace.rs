@@ -1,0 +1,103 @@
+//! Golden trace snapshot: a pinned 2-PE scenario under RB and RWB,
+//! exported to Perfetto JSON and diffed byte-for-byte against the
+//! committed goldens in `tests/golden/`.
+//!
+//! Timestamps are bus cycles and the writer emits canonical compact
+//! JSON, so the export is fully deterministic: any drift means the
+//! machine's observable event stream (or the exporter's format)
+//! changed. To regenerate after an *intentional* change, run
+//! `DECACHE_GOLDEN_PRINT=1 cargo test -p decache-telemetry --test golden_trace`
+//! and commit the rewritten files.
+
+use decache_core::ProtocolKind;
+use decache_machine::{Machine, MachineBuilder, Script};
+use decache_mem::{Addr, Word};
+use decache_telemetry::{Json, PerfettoTrace};
+
+/// The pinned scenario: P0 writes a shared word, both PEs contend for
+/// one Test-and-Set lock, and both touch a second shared word —
+/// exercising BR, BW, BRL, BWU, broadcast satisfaction, and (under
+/// RWB) invalidates, in a trace small enough to review by eye.
+fn traced_run(kind: ProtocolKind) -> (PerfettoTrace, Machine) {
+    let shared = Addr::new(0);
+    let lock = Addr::new(8);
+    let other = Addr::new(1);
+    let trace = PerfettoTrace::new(1024);
+    let mut machine = MachineBuilder::new(kind)
+        .memory_words(64)
+        .cache_lines(8)
+        .observer(trace.observer())
+        .processor(
+            Script::new()
+                .write(shared, Word::new(7))
+                .test_and_set(lock, Word::ONE)
+                .read(other)
+                .write(other, Word::new(5))
+                .build(),
+        )
+        .processor(
+            Script::new()
+                .read(shared)
+                .test_and_set(lock, Word::ONE)
+                .read(other)
+                .build(),
+        )
+        .build();
+    machine.run_to_completion(10_000);
+    assert!(machine.is_done());
+    (trace, machine)
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+#[test]
+fn pinned_trace_matches_committed_golden() {
+    let print_mode = std::env::var("DECACHE_GOLDEN_PRINT").is_ok();
+    for (kind, file) in [
+        (ProtocolKind::Rb, "trace_rb.json"),
+        (ProtocolKind::Rwb, "trace_rwb.json"),
+    ] {
+        let (trace, machine) = traced_run(kind);
+        assert_eq!(trace.dropped(), 0, "the pinned scenario fits the ring");
+        let exported = trace.export_string(&machine);
+        let path = golden_path(file);
+
+        if print_mode {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &exported).unwrap();
+            println!("rewrote {}", path.display());
+            continue;
+        }
+
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); regenerate with DECACHE_GOLDEN_PRINT=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            exported, golden,
+            "trace drift under {kind:?}; if intentional, regenerate with \
+             DECACHE_GOLDEN_PRINT=1 cargo test -p decache-telemetry --test golden_trace"
+        );
+
+        // The golden is well-formed Trace Event Format: it parses, and
+        // every event sits on a declared track.
+        let doc = Json::parse(&golden).expect("golden parses as JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(events.len() > 5, "scenario produced real events");
+        for event in events {
+            let tid = event.get("tid").and_then(Json::as_u64).expect("tid");
+            assert!(tid <= 3, "tid {tid} beyond machine/P0/P1/bus0 tracks");
+        }
+        // Round-trip: the canonical writer reproduces the file exactly.
+        assert_eq!(doc.to_string(), golden, "canonical form is stable");
+    }
+}

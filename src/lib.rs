@@ -84,3 +84,9 @@ pub mod workloads {
 pub mod analysis {
     pub use decache_analysis::*;
 }
+
+/// Unified telemetry: metrics snapshots, cycle-attribution histograms,
+/// Perfetto trace export.
+pub mod telemetry {
+    pub use decache_telemetry::*;
+}

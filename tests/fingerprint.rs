@@ -321,6 +321,51 @@ fn inert_fault_plan_is_invisible_to_fingerprints() {
     }
 }
 
+/// Enabling telemetry must not move a single statistic: histogram
+/// recording is pure observation behind the builder gate, so the
+/// telemetry-enabled run reproduces the exact golden fingerprints —
+/// while the cycle-attribution histograms populate and the unified
+/// snapshot passes its conservation audit.
+#[test]
+fn telemetry_is_invisible_to_fingerprints() {
+    use decache::telemetry::MetricsSnapshot;
+    for (scenario_name, builder_fn) in [
+        (
+            "ts_contention",
+            ts_contention_builder as fn(ProtocolKind) -> MachineBuilder,
+        ),
+        ("eviction_churn", eviction_churn_builder),
+    ] {
+        let golden = GOLDEN
+            .iter()
+            .find(|(name, _)| *name == scenario_name)
+            .expect("scenario present in the golden table");
+        for (&kind, &expect) in PROTOCOLS.iter().zip(golden.1.iter()) {
+            let mut builder = builder_fn(kind);
+            builder.telemetry();
+            let mut machine = builder.build();
+            let cycles = machine.run_to_completion(50_000_000);
+            let text = dump(&machine, cycles);
+            assert_eq!(
+                fnv1a(&text),
+                expect,
+                "telemetry perturbed scenario '{scenario_name}' under \
+                 {kind:?};\nfull dump:\n{text}"
+            );
+            let hist = machine.histograms().expect("telemetry is enabled");
+            assert!(hist.bus_acquire_wait.count() > 0, "histograms populated");
+            let snapshot = MetricsSnapshot::from_machine(&machine);
+            snapshot.check_conservation().unwrap_or_else(|violations| {
+                panic!(
+                    "conservation violated in '{scenario_name}' under \
+                     {kind:?}:\n  {}",
+                    violations.join("\n  ")
+                )
+            });
+        }
+    }
+}
+
 #[test]
 fn machine_fingerprints_match_pre_optimization_goldens() {
     let print_mode = std::env::var("DECACHE_FINGERPRINT_PRINT").is_ok();
