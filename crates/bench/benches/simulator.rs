@@ -13,8 +13,11 @@ fn run_machine(kind: ProtocolKind, pes: usize, ops: u64) -> u64 {
         ops_per_pe: ops,
         ..MixConfig::default()
     };
+    // Memory must cover every PE's private region (the regions start
+    // above the shared block; see MixWorkload::new).
+    let memory_words = (1u64 << 14).max((1088 + pes as u64 * 256).next_power_of_two());
     let mut machine = MachineBuilder::new(kind)
-        .memory_words(1 << 14)
+        .memory_words(memory_words)
         .cache_lines(256)
         .processors(pes, |pe| {
             Box::new(MixWorkload::new(config, shared, pe as u64))
@@ -37,9 +40,19 @@ fn main() {
         });
     }
 
-    for pes in [2usize, 8, 16, 32] {
+    for pes in [2usize, 8, 16, 32, 64, 128] {
         time_case(&format!("rb_scaling/{pes}"), 10, || {
             run_machine(ProtocolKind::Rb, pes, 300)
+        });
+    }
+
+    // Section 7's worked example at full scale: 128 PEs on one bus.
+    // Feasible only with the wake-schedule engine — the scan-everything
+    // loop made the cost per cycle linear in machine size even when
+    // every PE was stalled on the saturated bus.
+    for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+        time_case(&format!("section7_128pe/{kind}"), 10, || {
+            run_machine(kind, 128, 300)
         });
     }
 }

@@ -1,0 +1,164 @@
+//! E18 — runs **Section 7's worked example at full scale**: a 128-PE
+//! machine under the paper's reference mix, on one shared bus and on
+//! 16 LSB-interleaved buses.
+//!
+//! The paper sizes the shared-bus bandwidth demand as
+//! `SBB = m · x · (1/h)` — 128 PEs at 1 MACS and a 10% miss ratio
+//! demand 12.8 MACS, so one bus is hopelessly saturated and the
+//! multiple-bus organization is required. Historically this bin was
+//! infeasible: the scan-every-PE loop made each cycle cost O(m) even
+//! with every PE stalled on the saturated bus. The wake-schedule
+//! engine runs the full scenario in seconds.
+
+use decache_analysis::TextTable;
+use decache_bench::{banner, par, record_metrics};
+use decache_core::ProtocolKind;
+use decache_machine::{Machine, MachineBuilder};
+use decache_mem::{Addr, AddrRange};
+use decache_workloads::{MixConfig, MixWorkload};
+
+const PES: usize = 128;
+const OPS_PER_PE: u64 = 500;
+
+struct Row {
+    kind: ProtocolKind,
+    buses: usize,
+    cycles: u64,
+    miss_ratio: f64,
+    utilization: f64,
+    busiest_share: f64,
+}
+
+fn run_case(kind: ProtocolKind, buses: usize) -> Row {
+    let shared = AddrRange::with_len(Addr::new(0), 64);
+    let config = MixConfig {
+        ops_per_pe: OPS_PER_PE,
+        ..MixConfig::default()
+    };
+    // Memory must cover every PE's private region above the shared
+    // block (see MixWorkload::new).
+    let memory_words = (1088 + PES as u64 * 256).next_power_of_two();
+    let mut builder = MachineBuilder::new(kind);
+    builder
+        .memory_words(memory_words)
+        .cache_lines(256)
+        .buses(buses)
+        .processors(PES, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        });
+    let mut machine = builder.build();
+    let cycles = machine.run_to_completion(100_000_000);
+    Row {
+        kind,
+        buses,
+        cycles,
+        miss_ratio: 1.0 - machine.total_cache_stats().hit_ratio(),
+        utilization: mean_utilization(&machine),
+        busiest_share: busiest_share(&machine),
+    }
+}
+
+fn mean_utilization(machine: &Machine) -> f64 {
+    let buses = machine.bus_count();
+    (0..buses)
+        .map(|b| machine.traffic_per_bus().bus(b).utilization())
+        .sum::<f64>()
+        / buses as f64
+}
+
+fn busiest_share(machine: &Machine) -> f64 {
+    let total: u64 = (0..machine.bus_count())
+        .map(|b| machine.traffic_per_bus().bus(b).total_transactions())
+        .sum();
+    let busiest = (0..machine.bus_count())
+        .map(|b| machine.traffic_per_bus().bus(b).total_transactions())
+        .max()
+        .unwrap_or(0);
+    busiest as f64 / total.max(1) as f64
+}
+
+fn main() {
+    banner(
+        "Section 7 worked example, simulated",
+        "128 PEs: SBB = m*x*(1/h) versus one and sixteen buses",
+    );
+
+    let cases: Vec<(ProtocolKind, usize)> = [ProtocolKind::Rb, ProtocolKind::Rwb]
+        .iter()
+        .flat_map(|&kind| [1usize, 16].iter().map(move |&buses| (kind, buses)))
+        .collect();
+    let rows = par::run_cases(&cases, |&(kind, buses)| run_case(kind, buses));
+
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "buses",
+        "cycles",
+        "miss ratio",
+        "SBB demand",
+        "mean util",
+        "busiest bus",
+    ]);
+    for r in &rows {
+        // The paper's bandwidth demand in bus-equivalents: m * (1/h)
+        // (x = 1 access per PE-cycle).
+        let demand = PES as f64 * r.miss_ratio;
+        table.row(vec![
+            r.kind.to_string(),
+            r.buses.to_string(),
+            r.cycles.to_string(),
+            format!("{:.1}%", r.miss_ratio * 100.0),
+            format!("{demand:.1}"),
+            format!("{:.1}%", r.utilization * 100.0),
+            format!("{:.1}%", r.busiest_share * 100.0),
+        ]);
+        record_metrics(
+            &format!("section7/{}/{}bus", r.kind, r.buses),
+            &[
+                ("cycles", r.cycles as f64),
+                ("miss_ratio", r.miss_ratio),
+                ("sbb_demand", demand),
+                ("mean_utilization", r.utilization),
+                ("busiest_share", r.busiest_share),
+            ],
+        );
+    }
+    println!("{table}");
+
+    for pair in rows.chunks(2) {
+        let (single, multi) = (&pair[0], &pair[1]);
+        let demand = PES as f64 * single.miss_ratio;
+        assert!(
+            demand > 1.0,
+            "{}: a 128-PE machine must demand more than one bus (got {demand:.2})",
+            single.kind
+        );
+        assert!(
+            single.utilization > 0.95,
+            "{}: the single bus should saturate (utilization {:.3})",
+            single.kind,
+            single.utilization
+        );
+        assert!(
+            multi.cycles < single.cycles / 2,
+            "{}: 16 buses should relieve the bottleneck ({} -> {} cycles)",
+            single.kind,
+            single.cycles,
+            multi.cycles
+        );
+        assert!(
+            multi.busiest_share < 0.25,
+            "{}: interleaving should spread traffic (busiest {:.1}%)",
+            single.kind,
+            multi.busiest_share * 100.0
+        );
+        println!(
+            "{}: demand {demand:.1} bus-equivalents; 1 bus -> {} cycles at {:.1}% util, \
+             16 buses -> {} cycles (busiest {:.1}%)",
+            single.kind,
+            single.cycles,
+            single.utilization * 100.0,
+            multi.cycles,
+            multi.busiest_share * 100.0
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! orthogonal to the cache schemes, which is exactly why it is pluggable
 //! here (and why ablation A2 in DESIGN.md sweeps it).
 
+use crate::RequesterSet;
 use decache_mem::PeId;
 use decache_rng::Rng;
 use std::fmt;
@@ -19,6 +20,20 @@ pub trait Arbiter: fmt::Debug {
     ///
     /// `requesters` is sorted ascending and non-empty.
     fn grant(&mut self, requesters: &[PeId]) -> PeId;
+
+    /// Chooses the requester to grant from a [`RequesterSet`] view, the
+    /// form [`BusQueue::grant`] uses on the hot path. Must pick the same
+    /// PE that [`Arbiter::grant`] would pick from the set's members in
+    /// ascending order; the default materializes that slice and
+    /// delegates, so external arbiters only implementing `grant` keep
+    /// their exact behavior. The built-in policies override it with
+    /// allocation-free bit scans.
+    ///
+    /// [`BusQueue::grant`]: crate::BusQueue::grant
+    fn pick(&mut self, requesters: &RequesterSet) -> PeId {
+        let members: Vec<PeId> = requesters.iter().collect();
+        self.grant(&members)
+    }
 
     /// Resets any internal fairness state.
     fn reset(&mut self) {}
@@ -67,6 +82,17 @@ impl Arbiter for RoundRobin {
         chosen
     }
 
+    fn pick(&mut self, requesters: &RequesterSet) -> PeId {
+        assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
+        let first = requesters.first().expect("non-empty set has a first");
+        let chosen = match self.last {
+            None => first,
+            Some(last) => requesters.next_above(last).unwrap_or(first),
+        };
+        self.last = Some(chosen);
+        chosen
+    }
+
     fn reset(&mut self) {
         self.last = None;
     }
@@ -88,6 +114,12 @@ impl Arbiter for FixedPriority {
     fn grant(&mut self, requesters: &[PeId]) -> PeId {
         assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
         requesters[0]
+    }
+
+    fn pick(&mut self, requesters: &RequesterSet) -> PeId {
+        requesters
+            .first()
+            .expect("arbiter invoked with no requesters")
     }
 }
 
@@ -111,6 +143,13 @@ impl Arbiter for RandomArbiter {
     fn grant(&mut self, requesters: &[PeId]) -> PeId {
         assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
         *self.rng.choose(requesters)
+    }
+
+    fn pick(&mut self, requesters: &RequesterSet) -> PeId {
+        assert!(!requesters.is_empty(), "arbiter invoked with no requesters");
+        // gen_range(0..n) draws the same bounded sample `choose` does on a
+        // slice of the same length, so seeded streams are unchanged.
+        requesters.nth(self.rng.gen_range(0..requesters.len()))
     }
 }
 

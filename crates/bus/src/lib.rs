@@ -40,6 +40,7 @@
 mod arbiter;
 mod multibus;
 mod queue;
+mod requesters;
 mod routing;
 mod traffic;
 mod transaction;
@@ -47,6 +48,7 @@ mod transaction;
 pub use arbiter::{Arbiter, ArbiterKind, FixedPriority, RandomArbiter, RoundRobin};
 pub use multibus::{MultiBusStats, Topology};
 pub use queue::{BusError, BusQueue};
+pub use requesters::RequesterSet;
 pub use routing::Routing;
 pub use traffic::TrafficStats;
 pub use transaction::{BusOp, BusOpKind, BusTransaction};

@@ -1,8 +1,8 @@
 //! The pending-request queue in front of the arbiter.
 
-use crate::{Arbiter, BusTransaction};
+use crate::{Arbiter, BusTransaction, RequesterSet};
 use decache_mem::PeId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -41,6 +41,11 @@ impl Error for BusError {}
 /// * a **pending lane** holding at most one request per PE, from which the
 ///   [`Arbiter`] picks when the retry lane is empty.
 ///
+/// The pending lane is a [`RequesterSet`] bitset plus a PE-indexed slot
+/// vector, so every operation — request, grant, cancel — is constant-time
+/// in the number of waiting PEs and the granting cycle allocates nothing.
+/// Arbiters observe requesters in ascending id order exactly as before.
+///
 /// # Examples
 ///
 /// ```
@@ -60,7 +65,8 @@ impl Error for BusError {}
 #[derive(Debug, Default)]
 pub struct BusQueue {
     retry: VecDeque<BusTransaction>,
-    pending: BTreeMap<PeId, BusTransaction>,
+    requesters: RequesterSet,
+    slots: Vec<Option<BusTransaction>>,
 }
 
 impl BusQueue {
@@ -76,10 +82,14 @@ impl BusQueue {
     /// Returns [`BusError::AlreadyPending`] if the PE already has a request
     /// in the pending lane.
     pub fn request(&mut self, tx: BusTransaction) -> Result<(), BusError> {
-        if self.pending.contains_key(&tx.initiator) {
+        if !self.requesters.insert(tx.initiator) {
             return Err(BusError::AlreadyPending { pe: tx.initiator });
         }
-        self.pending.insert(tx.initiator, tx);
+        let slot = tx.initiator.index();
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        self.slots[slot] = Some(tx);
         Ok(())
     }
 
@@ -96,38 +106,72 @@ impl BusQueue {
         if let Some(tx) = self.retry.pop_front() {
             return Some(tx);
         }
-        if self.pending.is_empty() {
+        if self.requesters.is_empty() {
             return None;
         }
-        let requesters: Vec<PeId> = self.pending.keys().copied().collect();
-        let winner = arbiter.grant(&requesters);
+        let winner = arbiter.pick(&self.requesters);
+        assert!(
+            self.requesters.remove(winner),
+            "arbiter must choose one of the requesters"
+        );
         Some(
-            self.pending
-                .remove(&winner)
-                .expect("arbiter must choose one of the requesters"),
+            self.slots[winner.index()]
+                .take()
+                .expect("requester set names only occupied slots"),
         )
     }
 
     /// Returns `true` if the PE has a request waiting in either lane.
     pub fn has_pending(&self, pe: PeId) -> bool {
-        self.pending.contains_key(&pe) || self.retry.iter().any(|tx| tx.initiator == pe)
+        self.requesters.contains(pe) || self.retry.iter().any(|tx| tx.initiator == pe)
     }
 
     /// Removes any request the PE has in either lane; used when a pending
     /// miss is satisfied early by snooping a broadcast.
     pub fn cancel(&mut self, pe: PeId) {
-        self.pending.remove(&pe);
+        if self.requesters.remove(pe) {
+            self.slots[pe.index()] = None;
+        }
         self.retry.retain(|tx| tx.initiator != pe);
     }
 
     /// Returns the total number of queued transactions in both lanes.
     pub fn len(&self) -> usize {
-        self.retry.len() + self.pending.len()
+        self.retry.len() + self.requesters.len()
     }
 
     /// Returns `true` if no transactions are queued.
     pub fn is_empty(&self) -> bool {
-        self.retry.is_empty() && self.pending.is_empty()
+        self.retry.is_empty() && self.requesters.is_empty()
+    }
+
+    /// The set of PEs waiting in the pending lane (excludes the retry
+    /// lane), in the form handed to the arbiter.
+    pub fn requesters(&self) -> &RequesterSet {
+        &self.requesters
+    }
+
+    /// Checks the pending lane's internal bookkeeping: the requester
+    /// bitset must name exactly the occupied slots. Used by the machine's
+    /// fast-path invariant suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitset and slot vector disagree.
+    pub fn assert_lane_invariants(&self) {
+        let occupied: Vec<PeId> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(i, _)| PeId::new(i as u16))
+            .collect();
+        let named: Vec<PeId> = self.requesters.iter().collect();
+        assert_eq!(
+            named, occupied,
+            "requester bitset disagrees with occupied slots"
+        );
+        assert_eq!(self.requesters.len(), occupied.len());
     }
 }
 

@@ -1,0 +1,209 @@
+//! The set of processing elements waiting in a queue's pending lane.
+
+use decache_mem::PeId;
+
+/// A dense bitset over processing-element ids: the view of the pending
+/// lane that [`BusQueue`] hands an [`Arbiter`] each granting cycle.
+///
+/// Membership queries, ascending traversal, and rank selection are all
+/// word-at-a-time bit scans, so a grant decision costs O(pes/64) with no
+/// allocation — the property that keeps saturated-bus cycles cheap as the
+/// machine scales to the paper's 128-PE configuration (Section 7).
+///
+/// Ascending id order matches what arbiters historically saw as a sorted
+/// slice, so arbitration decisions are unchanged by the representation.
+///
+/// [`BusQueue`]: crate::BusQueue
+/// [`Arbiter`]: crate::Arbiter
+///
+/// # Examples
+///
+/// ```
+/// use decache_bus::RequesterSet;
+/// use decache_mem::PeId;
+///
+/// let mut set = RequesterSet::new();
+/// set.insert(PeId::new(5));
+/// set.insert(PeId::new(2));
+/// assert_eq!(set.first(), Some(PeId::new(2)));
+/// assert_eq!(set.next_above(PeId::new(2)), Some(PeId::new(5)));
+/// assert_eq!(set.iter().collect::<Vec<_>>(), [PeId::new(2), PeId::new(5)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequesterSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RequesterSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RequesterSet::default()
+    }
+
+    /// Adds a PE; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, pe: PeId) -> bool {
+        let (word, bit) = (pe.index() / 64, pe.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.words[word] & mask != 0 {
+            return false;
+        }
+        self.words[word] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Removes a PE; returns `true` if it was present.
+    pub fn remove(&mut self, pe: PeId) -> bool {
+        let (word, bit) = (pe.index() / 64, pe.index() % 64);
+        let mask = 1u64 << bit;
+        if word >= self.words.len() || self.words[word] & mask == 0 {
+            return false;
+        }
+        self.words[word] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Returns `true` if the PE is in the set.
+    pub fn contains(&self, pe: PeId) -> bool {
+        let (word, bit) = (pe.index() / 64, pe.index() % 64);
+        word < self.words.len() && self.words[word] & (1u64 << bit) != 0
+    }
+
+    /// The number of PEs in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no PE is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The lowest-id member, if any.
+    pub fn first(&self) -> Option<PeId> {
+        self.scan_from(0)
+    }
+
+    /// The lowest member with id strictly greater than `pe`, if any.
+    pub fn next_above(&self, pe: PeId) -> Option<PeId> {
+        self.scan_from(pe.index() + 1)
+    }
+
+    /// The `n`-th member in ascending id order (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.len()`.
+    pub fn nth(&self, n: usize) -> PeId {
+        assert!(
+            n < self.len,
+            "rank {n} out of bounds for {} members",
+            self.len
+        );
+        let mut remaining = n;
+        for (w, &word) in self.words.iter().enumerate() {
+            let count = word.count_ones() as usize;
+            if remaining < count {
+                let mut word = word;
+                for _ in 0..remaining {
+                    word &= word - 1; // clear lowest set bit
+                }
+                return PeId::new((w * 64 + word.trailing_zeros() as usize) as u16);
+            }
+            remaining -= count;
+        }
+        unreachable!("len invariant violated");
+    }
+
+    /// Iterates over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = PeId> + '_ {
+        let mut next = 0usize;
+        std::iter::from_fn(move || {
+            let pe = self.scan_from(next)?;
+            next = pe.index() + 1;
+            Some(pe)
+        })
+    }
+
+    fn scan_from(&self, start: usize) -> Option<PeId> {
+        let mut word = start / 64;
+        if word >= self.words.len() {
+            return None;
+        }
+        let mut bits = self.words[word] & (!0u64 << (start % 64));
+        loop {
+            if bits != 0 {
+                let idx = word * 64 + bits.trailing_zeros() as usize;
+                return Some(PeId::new(idx as u16));
+            }
+            word += 1;
+            if word >= self.words.len() {
+                return None;
+            }
+            bits = self.words[word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> RequesterSet {
+        let mut s = RequesterSet::new();
+        for &id in ids {
+            s.insert(PeId::new(id));
+        }
+        s
+    }
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = RequesterSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(PeId::new(3)));
+        assert!(!s.insert(PeId::new(3)));
+        assert!(s.contains(PeId::new(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(PeId::new(3)));
+        assert!(!s.remove(PeId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ascending_traversal_crosses_word_boundaries() {
+        let s = set(&[0, 63, 64, 127, 200]);
+        let ids: Vec<u16> = s.iter().map(|pe| pe.index() as u16).collect();
+        assert_eq!(ids, [0, 63, 64, 127, 200]);
+        assert_eq!(s.next_above(PeId::new(63)), Some(PeId::new(64)));
+        assert_eq!(s.next_above(PeId::new(200)), None);
+        assert_eq!(s.first(), Some(PeId::new(0)));
+    }
+
+    #[test]
+    fn nth_matches_sorted_order() {
+        let s = set(&[7, 1, 130, 64]);
+        assert_eq!(s.nth(0), PeId::new(1));
+        assert_eq!(s.nth(1), PeId::new(7));
+        assert_eq!(s.nth(2), PeId::new(64));
+        assert_eq!(s.nth(3), PeId::new(130));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn nth_out_of_range_panics() {
+        set(&[2]).nth(1);
+    }
+
+    #[test]
+    fn contains_beyond_storage_is_false() {
+        let s = set(&[1]);
+        assert!(!s.contains(PeId::new(500)));
+        assert_eq!(s.next_above(PeId::new(500)), None);
+    }
+}

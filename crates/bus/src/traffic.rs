@@ -62,10 +62,22 @@ impl TrafficStats {
         self.idle_cycles += 1;
     }
 
+    /// Records `n` idle bus cycles at once; the cycle engine uses this to
+    /// account for dead cycles it jumps over without simulating them.
+    pub fn record_idle_n(&mut self, n: u64) {
+        self.idle_cycles += n;
+    }
+
     /// Records a cycle in which the bus was still occupied by an earlier
     /// multi-cycle transaction (no new transaction is counted).
     pub fn record_occupied(&mut self) {
         self.busy_cycles += 1;
+    }
+
+    /// Records `n` occupied cycles at once (batch form of
+    /// [`TrafficStats::record_occupied`]).
+    pub fn record_occupied_n(&mut self, n: u64) {
+        self.busy_cycles += n;
     }
 
     fn slot(kind: BusOpKind) -> usize {

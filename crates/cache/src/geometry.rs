@@ -29,6 +29,13 @@ pub struct Geometry {
     sets: usize,
     ways: usize,
     block_words: u64,
+    // Both `sets` and `block_words` are powers of two (asserted in
+    // `new`), so the address split is shift/mask — these are derived
+    // from the fields above and keep `set_of`/`tag_of` division-free
+    // on the per-access hot path.
+    block_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
 }
 
 impl Geometry {
@@ -56,6 +63,9 @@ impl Geometry {
             sets,
             ways,
             block_words,
+            block_shift: block_words.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
         }
     }
 
@@ -97,18 +107,18 @@ impl Geometry {
 
     /// Returns the set index for `addr`.
     pub const fn set_of(&self, addr: Addr) -> usize {
-        ((addr.index() / self.block_words) % self.sets as u64) as usize
+        ((addr.index() >> self.block_shift) & self.set_mask) as usize
     }
 
     /// Returns the tag for `addr` (the address bits above the set index).
     pub const fn tag_of(&self, addr: Addr) -> u64 {
-        addr.index() / self.block_words / self.sets as u64
+        (addr.index() >> self.block_shift) >> self.set_shift
     }
 
     /// Reconstructs the block base address from a `(tag, set)` pair: the
     /// inverse of [`Geometry::tag_of`] / [`Geometry::set_of`].
     pub const fn addr_of(&self, tag: u64, set: usize) -> Addr {
-        Addr::new((tag * self.sets as u64 + set as u64) * self.block_words)
+        Addr::new(((tag << self.set_shift) | set as u64) << self.block_shift)
     }
 }
 

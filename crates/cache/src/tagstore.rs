@@ -29,8 +29,8 @@ impl fmt::Display for ReplacementPolicy {
     }
 }
 
-/// One valid cache line: its coherence state, cached word, and the block
-/// base address it holds.
+/// A by-value view of one valid cache line: its coherence state, cached
+/// word, and the block base address it holds.
 ///
 /// The state type `S` is supplied by the coherence protocol (e.g. the RB
 /// scheme's `R`/`I`/`L` states); the tag store itself is protocol-agnostic.
@@ -51,8 +51,22 @@ pub struct Entry<S> {
     /// mismatch on the next access to the line. Fresh fills always start
     /// with good parity.
     pub parity_ok: bool,
-    lru_stamp: u64,
-    insert_stamp: u64,
+}
+
+/// A mutable view of one valid cache line, borrowing the state, data, and
+/// parity cells out of the store's column arrays.
+#[derive(Debug)]
+pub struct EntryMut<'a, S> {
+    /// The block base address cached in this line (not reassignable; use
+    /// [`TagStore::insert`]/[`TagStore::remove`] to change what a line
+    /// holds).
+    pub addr: Addr,
+    /// The protocol-defined per-line state.
+    pub state: &'a mut S,
+    /// The cached word.
+    pub data: &'a mut Word,
+    /// Parity check bit (see [`Entry::parity_ok`]).
+    pub parity_ok: &'a mut bool,
 }
 
 /// A line displaced by [`TagStore::insert`], handed back so the cache
@@ -72,8 +86,21 @@ pub struct EvictedLine<S> {
     pub parity_ok: bool,
 }
 
-/// Protocol-agnostic cache line storage: a `sets × ways` array of optional
-/// [`Entry`] values with LRU victim selection within a set.
+/// The tag value marking an empty way. Real block bases never collide
+/// with it: the address space is bounded by the machine's memory size,
+/// far below `u64::MAX`.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// Protocol-agnostic cache line storage: a `sets × ways` array of lines
+/// with LRU victim selection within a set.
+///
+/// The storage is structure-of-arrays: tags, states, data words, parity
+/// bits, and replacement stamps each live in their own column. Lookups
+/// scan only the tag column, victim selection scans only a stamp column,
+/// and bulk walks (snoops, fingerprints, fault injection) touch just the
+/// columns they need instead of striding over full entries. [`Entry`] is
+/// a by-value row view assembled on demand; [`EntryMut`] borrows the
+/// mutable cells of one row.
 ///
 /// # Examples
 ///
@@ -91,7 +118,14 @@ pub struct EvictedLine<S> {
 #[derive(Debug, Clone)]
 pub struct TagStore<S> {
     geometry: Geometry,
-    lines: Vec<Option<Entry<S>>>,
+    /// Block base address per way; [`EMPTY_TAG`] marks an empty way.
+    tags: Vec<u64>,
+    /// Coherence state per way; `None` exactly where the tag is empty.
+    states: Vec<Option<S>>,
+    data: Vec<Word>,
+    parity: Vec<bool>,
+    lru_stamps: Vec<u64>,
+    insert_stamps: Vec<u64>,
     clock: u64,
     policy: ReplacementPolicy,
     rng: Rng,
@@ -112,11 +146,15 @@ impl<S> TagStore<S> {
             ReplacementPolicy::Random(seed) => Rng::from_seed(seed),
             _ => Rng::from_seed(0),
         };
+        let lines = geometry.sets() * geometry.ways();
         TagStore {
             geometry,
-            lines: (0..geometry.sets() * geometry.ways())
-                .map(|_| None)
-                .collect(),
+            tags: vec![EMPTY_TAG; lines],
+            states: (0..lines).map(|_| None).collect(),
+            data: vec![Word::ZERO; lines],
+            parity: vec![true; lines],
+            lru_stamps: vec![0; lines],
+            insert_stamps: vec![0; lines],
             clock: 0,
             policy,
             rng,
@@ -141,31 +179,62 @@ impl<S> TagStore<S> {
     }
 
     fn slot_of(&self, addr: Addr) -> Option<usize> {
-        let base = self.geometry.block_base(addr);
-        self.set_range(addr)
-            .find(|&i| self.lines[i].as_ref().is_some_and(|e| e.addr == base))
+        let base = self.geometry.block_base(addr).index();
+        self.set_range(addr).find(|&i| self.tags[i] == base)
+    }
+
+    fn row(&self, slot: usize) -> Entry<S>
+    where
+        S: Copy,
+    {
+        Entry {
+            addr: Addr::new(self.tags[slot]),
+            state: self.states[slot].expect("occupied slot has a state"),
+            data: self.data[slot],
+            parity_ok: self.parity[slot],
+        }
     }
 
     /// Returns the line holding `addr`, if present, without touching LRU
     /// ordering.
-    pub fn get(&self, addr: Addr) -> Option<&Entry<S>> {
-        self.slot_of(addr).map(|i| {
-            self.lines[i]
-                .as_ref()
-                .expect("slot_of returns occupied slots")
-        })
+    pub fn get(&self, addr: Addr) -> Option<Entry<S>>
+    where
+        S: Copy,
+    {
+        self.slot_of(addr).map(|i| self.row(i))
+    }
+
+    /// Returns just the coherence state of the line holding `addr`, if
+    /// present. Touches only the tag and state columns — the cheap probe
+    /// for hit/miss decisions, which need no data or parity.
+    pub fn state_of(&self, addr: Addr) -> Option<S>
+    where
+        S: Copy,
+    {
+        self.slot_of(addr)
+            .map(|i| self.states[i].expect("occupied slot has a state"))
     }
 
     /// Returns the line holding `addr` mutably and marks it most recently
     /// used.
-    pub fn get_mut(&mut self, addr: Addr) -> Option<&mut Entry<S>> {
+    #[inline]
+    pub fn get_mut(&mut self, addr: Addr) -> Option<EntryMut<'_, S>> {
         let slot = self.slot_of(addr)?;
-        self.clock += 1;
-        let entry = self.lines[slot]
-            .as_mut()
-            .expect("slot_of returns occupied slots");
-        entry.lru_stamp = self.clock;
-        Some(entry)
+        // Stamps only order ways within a set for victim selection; a
+        // direct-mapped store has one way per set, so recency tracking
+        // is skipped entirely on its hot path.
+        if self.geometry.ways() > 1 {
+            self.clock += 1;
+            self.lru_stamps[slot] = self.clock;
+        }
+        Some(EntryMut {
+            addr: Addr::new(self.tags[slot]),
+            state: self.states[slot]
+                .as_mut()
+                .expect("occupied slot has a state"),
+            data: &mut self.data[slot],
+            parity_ok: &mut self.parity[slot],
+        })
     }
 
     /// Returns `true` if the block containing `addr` is present.
@@ -179,31 +248,26 @@ impl<S> TagStore<S> {
     /// Victim selection within the set: an existing entry for the same
     /// block, else an empty way, else the least recently used way.
     pub fn insert(&mut self, addr: Addr, state: S, data: Word) -> Option<EvictedLine<S>> {
-        let base = self.geometry.block_base(addr);
-        self.clock += 1;
-        let clock = self.clock;
+        let base = self.geometry.block_base(addr).index();
+        debug_assert_ne!(base, EMPTY_TAG, "address collides with the empty tag");
+        let direct_mapped = self.geometry.ways() == 1;
 
-        let slot = if let Some(slot) = self.slot_of(addr) {
+        let slot = if direct_mapped {
+            // One way per set: the slot is forced, occupied or not, and
+            // no stamp or policy draw can change the choice. (With one
+            // candidate, even the random policy's pick is always 0.)
+            self.set_range(addr).start
+        } else if let Some(slot) = self.slot_of(addr) {
             slot
         } else {
             let range = self.set_range(addr);
-            let empty = range.clone().find(|&i| self.lines[i].is_none());
+            let empty = range.clone().find(|&i| self.tags[i] == EMPTY_TAG);
             empty.unwrap_or_else(|| match self.policy {
                 ReplacementPolicy::Lru => range
-                    .min_by_key(|&i| {
-                        self.lines[i]
-                            .as_ref()
-                            .expect("non-empty in else branch")
-                            .lru_stamp
-                    })
+                    .min_by_key(|&i| self.lru_stamps[i])
                     .expect("sets have at least one way"),
                 ReplacementPolicy::Fifo => range
-                    .min_by_key(|&i| {
-                        self.lines[i]
-                            .as_ref()
-                            .expect("non-empty in else branch")
-                            .insert_stamp
-                    })
+                    .min_by_key(|&i| self.insert_stamps[i])
                     .expect("sets have at least one way"),
                 ReplacementPolicy::Random(_) => {
                     let ways = range.len();
@@ -213,39 +277,40 @@ impl<S> TagStore<S> {
             })
         };
 
-        let occupied = self.lines[slot].is_some();
-        if !occupied {
+        if self.tags[slot] == EMPTY_TAG {
             self.valid += 1;
         }
-        let displaced = self.lines[slot].take().and_then(|old| {
-            (old.addr != base).then_some(EvictedLine {
-                addr: old.addr,
-                state: old.state,
-                data: old.data,
-                parity_ok: old.parity_ok,
+        let displaced = self.states[slot].take().and_then(|old_state| {
+            (self.tags[slot] != base).then(|| EvictedLine {
+                addr: Addr::new(self.tags[slot]),
+                state: old_state,
+                data: self.data[slot],
+                parity_ok: self.parity[slot],
             })
         });
-        self.lines[slot] = Some(Entry {
-            addr: base,
-            state,
-            data,
-            parity_ok: true,
-            lru_stamp: clock,
-            insert_stamp: clock,
-        });
+        self.tags[slot] = base;
+        self.states[slot] = Some(state);
+        self.data[slot] = data;
+        self.parity[slot] = true;
+        if !direct_mapped {
+            self.clock += 1;
+            self.lru_stamps[slot] = self.clock;
+            self.insert_stamps[slot] = self.clock;
+        }
         displaced
     }
 
     /// Removes and returns the line holding `addr`, if present.
     pub fn remove(&mut self, addr: Addr) -> Option<EvictedLine<S>> {
         let slot = self.slot_of(addr)?;
-        let removed = self.lines[slot].take().map(|e| EvictedLine {
-            addr: e.addr,
-            state: e.state,
-            data: e.data,
-            parity_ok: e.parity_ok,
+        let removed = self.states[slot].take().map(|state| EvictedLine {
+            addr: Addr::new(self.tags[slot]),
+            state,
+            data: self.data[slot],
+            parity_ok: self.parity[slot],
         });
         if removed.is_some() {
+            self.tags[slot] = EMPTY_TAG;
             self.valid -= 1;
         }
         removed
@@ -262,19 +327,43 @@ impl<S> TagStore<S> {
     }
 
     /// Iterates over all valid lines in set order.
-    pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
-        self.lines.iter().flatten()
+    pub fn iter(&self) -> impl Iterator<Item = Entry<S>> + '_
+    where
+        S: Copy,
+    {
+        (0..self.tags.len())
+            .filter(move |&i| self.tags[i] != EMPTY_TAG)
+            .map(move |i| self.row(i))
     }
 
     /// Iterates over all valid lines mutably; does not touch LRU order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry<S>> {
-        self.lines.iter_mut().flatten()
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = EntryMut<'_, S>> {
+        let TagStore {
+            tags,
+            states,
+            data,
+            parity,
+            ..
+        } = self;
+        tags.iter()
+            .zip(states.iter_mut())
+            .zip(data.iter_mut().zip(parity.iter_mut()))
+            .filter_map(|((&tag, state), (data, parity_ok))| {
+                let state = state.as_mut()?;
+                Some(EntryMut {
+                    addr: Addr::new(tag),
+                    state,
+                    data,
+                    parity_ok,
+                })
+            })
     }
 
     /// Drops every line, leaving the store empty.
     pub fn clear(&mut self) {
-        for line in &mut self.lines {
-            *line = None;
+        self.tags.fill(EMPTY_TAG);
+        for state in &mut self.states {
+            *state = None;
         }
         self.valid = 0;
     }
@@ -342,7 +431,7 @@ mod tests {
     fn get_mut_updates_state_in_place() {
         let mut s = store(4);
         s.insert(Addr::new(1), 'I', Word::ZERO);
-        s.get_mut(Addr::new(1)).unwrap().state = 'R';
+        *s.get_mut(Addr::new(1)).unwrap().state = 'R';
         assert_eq!(s.get(Addr::new(1)).unwrap().state, 'R');
     }
 
@@ -387,7 +476,7 @@ mod tests {
             s.insert(Addr::new(i), 'R', Word::ZERO);
         }
         for e in s.iter_mut() {
-            e.state = 'I';
+            *e.state = 'I';
         }
         assert!(s.iter().all(|e| e.state == 'I'));
     }
@@ -398,6 +487,7 @@ mod tests {
         s.insert(Addr::new(0), 'R', Word::ZERO);
         s.clear();
         assert!(s.is_empty());
+        assert!(s.get(Addr::new(0)).is_none());
     }
 
     #[test]
@@ -454,7 +544,7 @@ mod tests {
         let mut s = store(4);
         s.insert(Addr::new(1), 'R', Word::new(5));
         assert!(s.get(Addr::new(1)).unwrap().parity_ok);
-        s.get_mut(Addr::new(1)).unwrap().parity_ok = false;
+        *s.get_mut(Addr::new(1)).unwrap().parity_ok = false;
         assert!(!s.get(Addr::new(1)).unwrap().parity_ok);
         // Evicting the corrupt line reports the bad parity...
         let evicted = s.insert(Addr::new(5), 'R', Word::ZERO).unwrap();
@@ -472,5 +562,20 @@ mod tests {
         assert!(s.contains(Addr::new(4)));
         assert!(s.contains(Addr::new(7)));
         assert!(!s.contains(Addr::new(8)));
+    }
+
+    #[test]
+    fn entry_mut_edits_all_columns() {
+        let mut s = store(4);
+        s.insert(Addr::new(2), 'R', Word::new(1));
+        {
+            let e = s.get_mut(Addr::new(2)).unwrap();
+            assert_eq!(e.addr, Addr::new(2));
+            *e.state = 'L';
+            *e.data = Word::new(9);
+            *e.parity_ok = false;
+        }
+        let e = s.get(Addr::new(2)).unwrap();
+        assert_eq!((e.state, e.data, e.parity_ok), ('L', Word::new(9), false));
     }
 }

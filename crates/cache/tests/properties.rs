@@ -69,7 +69,7 @@ fn tagstore_matches_lru_model() {
             } else {
                 let got = store
                     .get_mut(Addr::new(addr))
-                    .map(|e| (e.state, e.data.value()));
+                    .map(|e| (*e.state, e.data.value()));
                 let expected = model.get_mut(addr);
                 assert_eq!(got, expected);
             }

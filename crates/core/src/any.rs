@@ -1,0 +1,199 @@
+//! Static dispatch over the built-in protocols.
+
+use crate::{
+    BusIntent, CpuOutcome, LineState, Protocol, ProtocolKind, Rb, Rwb, SnoopEvent, SnoopOutcome,
+    WriteOnce, WriteThrough,
+};
+
+/// A value-level union of the built-in protocols, dispatching every
+/// [`Protocol`] method with a direct (inlinable) match instead of a
+/// virtual call.
+///
+/// The simulator consults the protocol several times per bus transaction
+/// — once per snooping cache on a broadcast — so the machine stores one
+/// of these rather than a `Box<dyn Protocol>`: the per-line FSMs are a
+/// handful of instructions each, and static dispatch lets them inline
+/// into the snoop loop. Behaviour is identical to the boxed form by
+/// construction (each arm delegates to the same concrete method).
+///
+/// # Examples
+///
+/// ```
+/// use decache_core::{AnyProtocol, LineState, Protocol, ProtocolKind, SnoopEvent};
+/// use decache_mem::Word;
+///
+/// let p = AnyProtocol::build(ProtocolKind::Rb);
+/// assert_eq!(p.name(), "RB");
+/// let out = p.snoop(LineState::Invalid, SnoopEvent::Read(Word::new(9)));
+/// assert!(out.capture);
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnyProtocol {
+    /// The RB scheme (either variant).
+    Rb(Rb),
+    /// The RWB scheme (any threshold).
+    Rwb(Rwb),
+    /// Goodman's write-once baseline.
+    WriteOnce(WriteOnce),
+    /// The write-through-invalidate baseline.
+    WriteThrough(WriteThrough),
+}
+
+impl AnyProtocol {
+    /// Instantiates the named protocol, statically dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ProtocolKind::RwbThreshold`] value is out of range
+    /// (see [`Rwb::with_threshold`]).
+    pub fn build(kind: ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::Rb => AnyProtocol::Rb(Rb::new()),
+            ProtocolKind::RbNoBroadcast => AnyProtocol::Rb(Rb::without_read_broadcast()),
+            ProtocolKind::Rwb => AnyProtocol::Rwb(Rwb::new()),
+            ProtocolKind::RwbThreshold(k) => AnyProtocol::Rwb(Rwb::with_threshold(k)),
+            ProtocolKind::WriteOnce => AnyProtocol::WriteOnce(WriteOnce::new()),
+            ProtocolKind::WriteThrough => AnyProtocol::WriteThrough(WriteThrough::new()),
+        }
+    }
+}
+
+/// Forwards one method through the four variants.
+macro_rules! forward {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            AnyProtocol::Rb($p) => $body,
+            AnyProtocol::Rwb($p) => $body,
+            AnyProtocol::WriteOnce($p) => $body,
+            AnyProtocol::WriteThrough($p) => $body,
+        }
+    };
+}
+
+impl Protocol for AnyProtocol {
+    fn name(&self) -> String {
+        forward!(self, p => p.name())
+    }
+
+    fn states(&self) -> Vec<LineState> {
+        forward!(self, p => p.states())
+    }
+
+    #[inline]
+    fn cpu_read(&self, state: Option<LineState>) -> CpuOutcome {
+        forward!(self, p => p.cpu_read(state))
+    }
+
+    #[inline]
+    fn cpu_write(&self, state: Option<LineState>) -> CpuOutcome {
+        forward!(self, p => p.cpu_write(state))
+    }
+
+    #[inline]
+    fn own_complete(&self, state: Option<LineState>, intent: BusIntent) -> LineState {
+        forward!(self, p => p.own_complete(state, intent))
+    }
+
+    #[inline]
+    fn own_locked_read_complete(&self, state: Option<LineState>) -> LineState {
+        forward!(self, p => p.own_locked_read_complete(state))
+    }
+
+    #[inline]
+    fn own_unlock_write_complete(&self, state: Option<LineState>) -> LineState {
+        forward!(self, p => p.own_unlock_write_complete(state))
+    }
+
+    #[inline]
+    fn snoop(&self, state: LineState, event: SnoopEvent) -> SnoopOutcome {
+        forward!(self, p => p.snoop(state, event))
+    }
+
+    #[inline]
+    fn supplies_on_snoop_read(&self, state: LineState) -> bool {
+        forward!(self, p => p.supplies_on_snoop_read(state))
+    }
+
+    #[inline]
+    fn after_supply(&self, state: LineState) -> LineState {
+        forward!(self, p => p.after_supply(state))
+    }
+
+    #[inline]
+    fn writeback_on_evict(&self, state: LineState) -> bool {
+        forward!(self, p => p.writeback_on_evict(state))
+    }
+
+    fn broadcasts_write_data(&self) -> bool {
+        forward!(self, p => p.broadcasts_write_data())
+    }
+
+    fn uses_bus_invalidate(&self) -> bool {
+        forward!(self, p => p.uses_bus_invalidate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_mem::Word;
+
+    const KINDS: [ProtocolKind; 6] = [
+        ProtocolKind::Rb,
+        ProtocolKind::RbNoBroadcast,
+        ProtocolKind::Rwb,
+        ProtocolKind::RwbThreshold(4),
+        ProtocolKind::WriteOnce,
+        ProtocolKind::WriteThrough,
+    ];
+
+    /// The static dispatcher agrees with the boxed protocol on every
+    /// method over every declared state and event.
+    #[test]
+    fn agrees_with_boxed_dispatch_everywhere() {
+        for kind in KINDS {
+            let boxed = kind.build();
+            let fast = AnyProtocol::build(kind);
+            assert_eq!(fast.name(), boxed.name());
+            assert_eq!(fast.states(), boxed.states());
+            assert_eq!(fast.broadcasts_write_data(), boxed.broadcasts_write_data());
+            assert_eq!(fast.uses_bus_invalidate(), boxed.uses_bus_invalidate());
+            let w = Word::new(7);
+            let events = [
+                SnoopEvent::Read(w),
+                SnoopEvent::Write(w),
+                SnoopEvent::Invalidate,
+                SnoopEvent::LockedRead(w),
+                SnoopEvent::UnlockWrite(w),
+            ];
+            let states: Vec<Option<LineState>> = std::iter::once(None)
+                .chain(boxed.states().into_iter().map(Some))
+                .collect();
+            for &state in &states {
+                assert_eq!(fast.cpu_read(state), boxed.cpu_read(state), "{kind:?}");
+                assert_eq!(fast.cpu_write(state), boxed.cpu_write(state), "{kind:?}");
+                assert_eq!(
+                    fast.own_locked_read_complete(state),
+                    boxed.own_locked_read_complete(state)
+                );
+                assert_eq!(
+                    fast.own_unlock_write_complete(state),
+                    boxed.own_unlock_write_complete(state)
+                );
+                if let Some(s) = state {
+                    for event in events {
+                        assert_eq!(fast.snoop(s, event), boxed.snoop(s, event), "{kind:?}");
+                    }
+                    assert_eq!(
+                        fast.supplies_on_snoop_read(s),
+                        boxed.supplies_on_snoop_read(s)
+                    );
+                    assert_eq!(fast.writeback_on_evict(s), boxed.writeback_on_evict(s));
+                    if fast.supplies_on_snoop_read(s) {
+                        assert_eq!(fast.after_supply(s), boxed.after_supply(s));
+                    }
+                }
+            }
+        }
+    }
+}

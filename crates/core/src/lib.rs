@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod any;
 mod config;
 mod diagram;
 pub mod introspect;
@@ -59,6 +60,7 @@ mod state;
 mod write_once;
 mod write_through;
 
+pub use any::AnyProtocol;
 pub use config::Configuration;
 pub use diagram::{to_dot, transition_table, Stimulus, TransitionRow};
 pub use kind::ProtocolKind;

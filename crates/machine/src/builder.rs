@@ -5,7 +5,6 @@ use decache_bus::{ArbiterKind, Routing};
 use decache_cache::{Geometry, TagStore};
 use decache_core::ProtocolKind;
 use decache_mem::Memory;
-use std::sync::Arc;
 
 /// Default memory size in words.
 const DEFAULT_MEMORY_WORDS: u64 = 4096;
@@ -55,6 +54,7 @@ pub struct MachineBuilder {
     recovery_policy: RecoveryPolicy,
     fail_stop_policy: FailStopPolicy,
     telemetry: bool,
+    progress_window: u64,
 }
 
 impl std::fmt::Debug for MachineBuilder {
@@ -96,6 +96,7 @@ impl MachineBuilder {
             recovery_policy: RecoveryPolicy::default(),
             fail_stop_policy: FailStopPolicy::default(),
             telemetry: false,
+            progress_window: crate::DEFAULT_PROGRESS_WINDOW,
         }
     }
 
@@ -249,6 +250,25 @@ impl MachineBuilder {
         self
     }
 
+    /// Sets the livelock/deadlock progress window in cycles (default
+    /// [`DEFAULT_PROGRESS_WINDOW`](crate::DEFAULT_PROGRESS_WINDOW)):
+    /// at budget exhaustion, a PE with no completed operation in the
+    /// trailing `cycles` is judged deadlocked, one with a recent
+    /// completion livelocked. Absolute by design — the verdict for a
+    /// stuck machine must not change with the run budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn progress_window(&mut self, cycles: u64) -> &mut Self {
+        assert!(
+            cycles >= 1,
+            "the progress window must be at least one cycle"
+        );
+        self.progress_window = cycles;
+        self
+    }
+
     /// Adds a processing element running the given program.
     pub fn processor(&mut self, processor: Box<dyn Processor + Send>) -> &mut Self {
         self.processors.push(processor);
@@ -302,7 +322,7 @@ impl MachineBuilder {
                 Routing::clustered(clusters, global_words, cluster_words)
             }
         };
-        let protocol: Arc<dyn decache_core::Protocol> = Arc::from(self.protocol.build());
+        let protocol = decache_core::AnyProtocol::build(self.protocol);
         let geometry = self
             .geometry
             .unwrap_or_else(|| Geometry::direct_mapped(self.cache_lines));
@@ -336,6 +356,7 @@ impl MachineBuilder {
             self.recovery_policy,
             self.fail_stop_policy,
             self.telemetry,
+            self.progress_window,
         );
         for observer in std::mem::take(&mut self.observers) {
             machine.attach_observer(observer);

@@ -354,6 +354,18 @@ impl FaultEngine {
         }
     }
 
+    /// The cycle of the next not-yet-fired scheduled event, if any —
+    /// the fault engine's contribution to the machine's wake schedule.
+    /// Meaningless as a skip bound when the plan also has rates (those
+    /// draw every cycle); callers must check
+    /// [`FaultPlan::has_rates`] first.
+    pub(crate) fn next_scheduled(&self) -> Option<u64> {
+        self.plan
+            .scheduled
+            .get(self.cursor)
+            .map(|&(cycle, _)| cycle)
+    }
+
     /// Pops every scheduled event due at `cycle` (events scheduled for
     /// already-elapsed cycles fire late rather than never).
     pub(crate) fn due(&mut self, cycle: u64) -> Vec<FaultKind> {

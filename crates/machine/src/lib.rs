@@ -62,7 +62,9 @@ pub use fault::{
 };
 pub use machine::Machine;
 pub use op::{Access, MemOp, OpResult};
-pub use outcome::{HaltReason, PeBlame, RunOutcome, StallVerdict};
+pub use outcome::{
+    HaltReason, PeBlame, RunOutcome, StallSite, StallVerdict, DEFAULT_PROGRESS_WINDOW,
+};
 pub use processor::{IdleProcessor, LoopProcessor, Poll, Processor, Script, SpinReader};
 pub use recovery::RecoveryError;
 pub use snapshot::{Snapshot, SnapshotTable};

@@ -1,7 +1,7 @@
 //! The cycle-based shared-bus MIMD machine.
 
 use crate::fault::{FaultEngine, FaultKind, FaultPlan, RecoverySource};
-use crate::outcome::progress_window;
+use crate::outcome::StallSite;
 use crate::sharers::{AddrPeIndex, PeMask};
 use crate::status::{PeStatus, Pending};
 use crate::telemetry::TelemetryState;
@@ -14,10 +14,9 @@ use decache_bus::{
     Arbiter, BusOp, BusOpKind, BusQueue, BusTransaction, MultiBusStats, Routing, TrafficStats,
 };
 use decache_cache::{AccessKind, CacheStats, TagStore};
-use decache_core::{BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent};
+use decache_core::{AnyProtocol, BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent};
 use decache_mem::{Addr, AddrRange, MemError, Memory, PeId, Word};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// The simulated machine: `n` processing elements with private snooping
 /// caches, one or more shared buses, and a common memory.
@@ -44,7 +43,7 @@ use std::sync::Arc;
 ///   bus cycle and is requeued through arbitration — "any bus writes
 ///   before the unlock will fail" (Section 3).
 pub struct Machine {
-    protocol: Arc<dyn Protocol>,
+    protocol: AnyProtocol,
     routing: Routing,
     memory: Memory,
     caches: Vec<TagStore<LineState>>,
@@ -76,6 +75,14 @@ pub struct Machine {
     /// evict; lets `find_supplier` and `dispatch_snoop` visit only
     /// actual holders instead of scanning all `n` caches.
     sharers: AddrPeIndex,
+    /// Supplier index: for each block base address, the set of caches
+    /// whose line state answers a snooped bus read with its own data
+    /// ([`Protocol::supplies_on_snoop_read`]) — the owned states, so at
+    /// most one bit per address under coherent operation. Kept in sync
+    /// by [`Machine::sync_owner`] at every state transition; lets
+    /// `find_supplier` jump straight to the owning cache instead of
+    /// probing every sharer.
+    owners: AddrPeIndex,
     /// Pending-read index: for each address, the set of PEs stalled in
     /// [`Pending::Read`] on it — `satisfy_pending_reads` consults this
     /// instead of scanning every PE per bus transaction.
@@ -104,6 +111,10 @@ pub struct Machine {
     /// `(Some(pe), addr)` for cache faults and `(None, addr)` for
     /// memory faults — the detection-latency ledger.
     fault_clock: HashMap<(Option<usize>, u64), u64>,
+    /// The livelock/deadlock progress window in cycles — absolute
+    /// ([`crate::DEFAULT_PROGRESS_WINDOW`] unless configured), so a
+    /// stuck machine's verdict does not depend on the run budget.
+    progress_window: u64,
     /// Per-PE cycle of the most recent completed operation, for the
     /// livelock/deadlock verdict in [`Machine::run_outcome`].
     last_progress: Vec<u64>,
@@ -116,6 +127,16 @@ pub struct Machine {
     /// this `None` check, and recording never changes any simulated
     /// statistic.
     telemetry: Option<Box<TelemetryState>>,
+}
+
+/// Which halt condition a [`Machine::run_loop`] call waits for.
+#[derive(Clone, Copy)]
+enum RunUntil {
+    /// Every PE finished and all queues drained ([`Machine::is_done`]).
+    Done,
+    /// Every PE finished *or idle* and all queues drained
+    /// ([`Machine::is_quiescent`]).
+    Quiescent,
 }
 
 impl std::fmt::Debug for Machine {
@@ -132,7 +153,7 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
-        protocol: Arc<dyn Protocol>,
+        protocol: AnyProtocol,
         routing: Routing,
         memory: Memory,
         caches: Vec<TagStore<LineState>>,
@@ -144,6 +165,7 @@ impl Machine {
         recovery_policy: RecoveryPolicy,
         fail_stop_policy: FailStopPolicy,
         telemetry: bool,
+        progress_window: u64,
     ) -> Self {
         let n = processors.len();
         let buses = routing.bus_count();
@@ -161,10 +183,17 @@ impl Machine {
             caches.iter().all(|c| c.geometry() == geometry),
             "the sharer index requires all caches to share one geometry"
         );
-        let mut sharers = AddrPeIndex::new(n);
+        // Preallocate the per-address indexes for the whole memory
+        // range: one zeroed block at build time instead of repeated
+        // grow-and-copy while the run's footprint expands.
+        let mut sharers = AddrPeIndex::with_addr_capacity(n, memory.size());
+        let mut owners = AddrPeIndex::with_addr_capacity(n, memory.size());
         for (pe, cache) in caches.iter().enumerate() {
             for entry in cache.iter() {
                 sharers.add(entry.addr.index(), pe);
+                if protocol.supplies_on_snoop_read(entry.state) {
+                    owners.add(entry.addr.index(), pe);
+                }
             }
         }
         let mut idle = PeMask::new(n);
@@ -176,7 +205,8 @@ impl Machine {
             routing,
             geometry,
             sharers,
-            pending_readers: AddrPeIndex::new(n),
+            owners,
+            pending_readers: AddrPeIndex::with_addr_capacity(n, memory.size()),
             memory,
             caches,
             statuses: vec![PeStatus::Idle; n],
@@ -200,6 +230,7 @@ impl Machine {
             fail_stop_policy,
             fault_stats: FaultStats::default(),
             fault_clock: HashMap::new(),
+            progress_window,
             last_progress: vec![0; n],
             last_addr: vec![None; n],
             telemetry: telemetry.then(|| Box::new(TelemetryState::new(n))),
@@ -217,7 +248,7 @@ impl Machine {
 
     /// The coherence protocol in use.
     pub fn protocol(&self) -> &dyn Protocol {
-        self.protocol.as_ref()
+        &self.protocol
     }
 
     /// The bus routing (single, interleaved, or hierarchical).
@@ -269,20 +300,30 @@ impl Machine {
             && self.queues.iter().all(BusQueue::is_empty)
     }
 
-    /// Steps at least once, then until the machine is quiescent; returns
-    /// `true` on quiescence within `max_cycles`.
+    /// Runs until the machine is quiescent or `max_cycles` elapse;
+    /// returns `true` on quiescence.
     ///
-    /// Used by conducted scenarios: after handing an operation to a
-    /// waiting processor, run until it (and everything it perturbed)
-    /// settles.
+    /// Same check-then-step loop as [`Machine::run`]: the condition is
+    /// tested *before* each step, so a machine that is already
+    /// quiescent returns `true` without consuming any budget —
+    /// `run_until_quiescent(0)` answers "is it quiescent right now?".
+    /// Conducted scenarios that have just queued an operation should
+    /// use [`Machine::settle`] instead, which forces the first step.
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            self.step();
-            if self.is_quiescent() {
-                return true;
-            }
-        }
-        false
+        self.run_loop(max_cycles, false, RunUntil::Quiescent)
+    }
+
+    /// Steps at least once, then runs until the machine is quiescent;
+    /// returns `true` on quiescence within `max_cycles`.
+    ///
+    /// The forced first step is the point: a conducted scenario that
+    /// has just handed an operation to a waiting processor *looks*
+    /// quiescent until that processor gets a cycle to poll its queue,
+    /// so the check-then-step [`Machine::run_until_quiescent`] would
+    /// return `true` with the operation still pending. `settle(0)`
+    /// cannot take its required step and therefore returns `false`.
+    pub fn settle(&mut self, max_cycles: u64) -> bool {
+        self.run_loop(max_cycles, true, RunUntil::Quiescent)
     }
 
     /// The cache line (state and value) PE `pe` holds for `addr`.
@@ -433,14 +474,115 @@ impl Machine {
     }
 
     /// Runs until done or `max_cycles` elapse; returns `true` if done.
+    ///
+    /// Check-then-step: the completion test runs *before* each step,
+    /// so `run(0)` on a finished machine returns `true` without
+    /// advancing the clock. Internally this drives the wake schedule
+    /// ([`Machine::next_event_cycle`]): cycles on which provably
+    /// nothing can happen are skipped in bulk rather than simulated
+    /// one by one, with bit-identical statistics.
     pub fn run(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            if self.is_done() {
+        self.run_loop(max_cycles, false, RunUntil::Done)
+    }
+
+    /// The shared budgeted runner behind [`Machine::run`],
+    /// [`Machine::run_until_quiescent`], and [`Machine::settle`]. One
+    /// loop, one semantics: check the halt condition, then advance —
+    /// except when `step_first` demands an unconditional first step
+    /// (and the budget allows one).
+    fn run_loop(&mut self, max_cycles: u64, step_first: bool, until: RunUntil) -> bool {
+        let end = self.cycle.saturating_add(max_cycles);
+        let mut force_step = step_first;
+        loop {
+            if !force_step && self.halted(until) {
                 return true;
             }
-            self.step();
+            if self.cycle >= end {
+                return !force_step && self.halted(until);
+            }
+            force_step = false;
+            self.advance(end);
         }
-        self.is_done()
+    }
+
+    fn halted(&self, until: RunUntil) -> bool {
+        match until {
+            RunUntil::Done => self.is_done(),
+            RunUntil::Quiescent => self.is_quiescent(),
+        }
+    }
+
+    /// Advances toward `end`: steps the next cycle on which something
+    /// can happen, first skipping any dead cycles before it, or skips
+    /// straight to `end` when no event is due within the budget.
+    fn advance(&mut self, end: u64) {
+        match self.next_event_cycle() {
+            Some(at) if at <= end => {
+                if at > self.cycle + 1 {
+                    self.skip_dead_cycles(at - 1);
+                }
+                self.step();
+            }
+            _ => self.skip_dead_cycles(end),
+        }
+    }
+
+    /// The wake schedule: the earliest future cycle on which stepping
+    /// could do any work, or `None` if the machine is inert forever.
+    /// A cycle is *dead* — provably a no-op beyond advancing the clock
+    /// and per-bus occupied/idle counters — when no PE is idle (a
+    /// stalled, done, or failed PE issues nothing), the fault engine
+    /// has no per-cycle rates and no scheduled event due, and every
+    /// bus is either empty or still held by a multi-cycle transaction.
+    /// [`Machine::skip_dead_cycles`] retires such cycles in bulk.
+    #[doc(hidden)]
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let next = self.cycle + 1;
+        // An idle PE may issue next cycle; nothing is skippable.
+        if self.idle_count > 0 {
+            return Some(next);
+        }
+        let mut soonest: Option<u64> = None;
+        if let Some(engine) = &self.faults {
+            // Per-cycle Bernoulli rates draw the RNG every cycle; no
+            // cycle is dead while rates are live.
+            if engine.plan.has_rates() {
+                return Some(next);
+            }
+            if let Some(at) = engine.next_scheduled() {
+                soonest = Some(at.max(next));
+            }
+        }
+        for bus in 0..self.queues.len() {
+            if !self.queues[bus].is_empty() {
+                // A queued transaction is granted the cycle the bus
+                // frees up (lose-grant faults only retime the retry,
+                // which still goes through the same wake point).
+                let grant_at = next.max(self.bus_free_at[bus]);
+                soonest = Some(soonest.map_or(grant_at, |s| s.min(grant_at)));
+            }
+        }
+        soonest
+    }
+
+    /// Bulk-retires the dead cycles up to and including `to`, charging
+    /// each bus the same occupied/idle counts a step-by-step run would
+    /// have recorded: occupied while a multi-cycle transaction holds
+    /// it, idle otherwise (a dead cycle's queue is empty by
+    /// definition, so an unheld bus grants nothing).
+    fn skip_dead_cycles(&mut self, to: u64) {
+        let span = to.saturating_sub(self.cycle);
+        if span == 0 {
+            return;
+        }
+        let first = self.cycle + 1;
+        for bus in 0..self.queues.len() {
+            let occupied = self.bus_free_at[bus].saturating_sub(first).min(span);
+            let t = self.traffic.bus_mut(bus);
+            t.record_occupied_n(occupied);
+            t.record_idle_n(span - occupied);
+        }
+        self.cycle = to;
     }
 
     /// Runs until done or `max_cycles` elapse and reports a structured
@@ -448,21 +590,30 @@ impl Machine {
     /// [`HaltReason::BudgetExhausted`] with per-PE blame — which PEs
     /// are stuck on which addresses, and whether each stall looks like
     /// livelock (still completing operations) or deadlock (no progress
-    /// in the trailing window). Blame is ordered most-starved first.
+    /// in the machine's absolute progress window — see
+    /// [`MachineBuilder::progress_window`](crate::MachineBuilder::progress_window)).
+    /// Blame is ordered most-starved first.
     pub fn run_outcome(&mut self, max_cycles: u64) -> RunOutcome {
+        let window = self.progress_window;
         if self.run(max_cycles) {
             return RunOutcome {
                 cycles: self.cycle,
+                progress_window: window,
                 reason: HaltReason::Completed,
             };
         }
-        let window = progress_window(max_cycles);
         let mut blame: Vec<PeBlame> = Vec::new();
         for pe in 0..self.pe_count() {
-            let (stalled, addr) = match self.statuses[pe] {
+            let site = match self.statuses[pe] {
                 PeStatus::Done | PeStatus::Failed => continue,
-                PeStatus::Idle => (false, self.last_addr[pe]),
-                PeStatus::WaitBus(pending) => (true, Some(pending.addr())),
+                // An idle PE is not stuck on an address; report its
+                // last *completed* access, clearly labelled as such.
+                PeStatus::Idle => StallSite::Issuing {
+                    last: self.last_addr[pe],
+                },
+                PeStatus::WaitBus(pending) => StallSite::Blocked {
+                    addr: pending.addr(),
+                },
             };
             let last_progress = self.last_progress[pe];
             let verdict = if self.cycle.saturating_sub(last_progress) > window {
@@ -472,8 +623,7 @@ impl Machine {
             };
             blame.push(PeBlame {
                 pe,
-                addr,
-                stalled,
+                site,
                 last_progress,
                 verdict,
             });
@@ -481,6 +631,7 @@ impl Machine {
         blame.sort_by_key(|b| b.last_progress);
         RunOutcome {
             cycles: self.cycle,
+            progress_window: window,
             reason: HaltReason::BudgetExhausted { blame },
         }
     }
@@ -517,12 +668,36 @@ impl Machine {
     }
 
     fn line_state(&self, pe: usize, addr: Addr) -> Option<LineState> {
-        self.caches[pe].get(addr).map(|e| e.state)
+        self.caches[pe].state_of(addr)
     }
 
     /// The sharer-index key for `addr`: its block base address.
     fn block_base(&self, addr: Addr) -> u64 {
         self.geometry.block_base(addr).index()
+    }
+
+    /// Re-syncs the supplier index after PE `pe`'s line for `addr`
+    /// transitioned from `was` to `now` (`None` = no line held). Every
+    /// state mutation site must call this — the brute-force recompute in
+    /// [`Machine::assert_fast_path_invariants`] checks they all do.
+    #[inline]
+    fn sync_owner(
+        &mut self,
+        pe: usize,
+        addr: Addr,
+        was: Option<LineState>,
+        now: Option<LineState>,
+    ) {
+        let owned = was.is_some_and(|s| self.protocol.supplies_on_snoop_read(s));
+        let owns = now.is_some_and(|s| self.protocol.supplies_on_snoop_read(s));
+        if owned != owns {
+            let base = self.block_base(addr);
+            if owns {
+                self.owners.add(base, pe);
+            } else {
+                self.owners.remove(base, pe);
+            }
+        }
     }
 
     /// The single gate for PE status transitions: keeps the idle set,
@@ -760,8 +935,8 @@ impl Machine {
             // cycle comes is a no-op (and not counted).
             return;
         };
-        entry.data = Word::new(entry.data.value() ^ (1 << bit));
-        entry.parity_ok = false;
+        *entry.data = Word::new(entry.data.value() ^ (1 << bit));
+        *entry.parity_ok = false;
         self.fault_stats.cache_faults_injected += 1;
         self.fault_clock
             .insert((Some(pe), base.index()), self.cycle);
@@ -788,7 +963,7 @@ impl Machine {
         &self,
         pe: usize,
         addr: Addr,
-    ) -> Option<&decache_cache::Entry<LineState>> {
+    ) -> Option<decache_cache::Entry<LineState>> {
         self.caches[pe].get(addr)
     }
 
@@ -814,6 +989,7 @@ impl Machine {
         }
         let removed = self.caches[pe].remove(addr).expect("entry just seen");
         self.sharers.remove(removed.addr.index(), pe);
+        self.sync_owner(pe, removed.addr, Some(removed.state), None);
         let lost_write = removed.state.owns_latest();
         self.fault_stats.cache_faults_detected += 1;
         self.fault_stats.cache_refetches += 1;
@@ -932,6 +1108,7 @@ impl Machine {
         let mut lost = 0u32;
         for (addr, state, data, parity_ok) in lines {
             self.sharers.remove(addr.index(), pe);
+            self.sync_owner(pe, addr, Some(state), None);
             self.fault_clock.remove(&(Some(pe), addr.index()));
             if !state.owns_latest() {
                 continue;
@@ -1049,54 +1226,84 @@ impl Machine {
         }
         self.record(TraceKind::Issue, Some(pe_id), || op.to_string());
         match op.access {
-            Access::Read(addr) => match self.protocol.cpu_read(self.line_state(pe, addr)) {
-                CpuOutcome::Hit { next } => {
-                    let entry = self.caches[pe]
-                        .get_mut(addr)
-                        .expect("hit requires a held line");
-                    entry.state = next;
-                    let value = entry.data;
-                    self.cache_stats[pe].record(AccessKind::Read, op.class, true);
-                    self.last_progress[pe] = self.cycle;
-                    self.last_results[pe] = Some(OpResult::Read(value));
-                    self.record(TraceKind::Hit, Some(pe_id), || {
-                        format!("read {addr} = {value}")
-                    });
-                    self.notify(Observation::CpuAccess {
-                        pe,
-                        addr,
-                        write: false,
-                        decision: CpuDecision::Hit,
-                    });
-                }
-                CpuOutcome::Miss { intent } => {
-                    debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
-                    self.cache_stats[pe].record(AccessKind::Read, op.class, false);
-                    self.mark_read_miss(pe);
-                    self.enqueue(pe_id, addr, BusOp::Read);
-                    self.set_status(
-                        pe,
-                        PeStatus::WaitBus(Pending::Read {
+            Access::Read(addr) => {
+                // One probe serves both the protocol's hit/miss
+                // decision and the hit path's state-and-data access.
+                let mut hit = None;
+                let outcome = match self.caches[pe].get_mut(addr) {
+                    Some(entry) => {
+                        let outcome = self.protocol.cpu_read(Some(*entry.state));
+                        if let CpuOutcome::Hit { next } = outcome {
+                            let old = *entry.state;
+                            *entry.state = next;
+                            hit = Some((old, next, *entry.data));
+                        }
+                        outcome
+                    }
+                    None => self.protocol.cpu_read(None),
+                };
+                match outcome {
+                    CpuOutcome::Hit { .. } => {
+                        let (old, next, value) = hit.expect("hit requires a held line");
+                        if next != old {
+                            self.sync_owner(pe, addr, Some(old), Some(next));
+                        }
+                        self.cache_stats[pe].record(AccessKind::Read, op.class, true);
+                        self.last_progress[pe] = self.cycle;
+                        self.last_results[pe] = Some(OpResult::Read(value));
+                        self.record(TraceKind::Hit, Some(pe_id), || {
+                            format!("read {addr} = {value}")
+                        });
+                        self.notify(Observation::CpuAccess {
+                            pe,
                             addr,
-                            class: op.class,
-                        }),
-                    );
-                    self.notify(Observation::CpuAccess {
-                        pe,
-                        addr,
-                        write: false,
-                        decision: CpuDecision::Miss(intent),
-                    });
+                            write: false,
+                            decision: CpuDecision::Hit,
+                        });
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
+                        self.cache_stats[pe].record(AccessKind::Read, op.class, false);
+                        self.mark_read_miss(pe);
+                        self.enqueue(pe_id, addr, BusOp::Read);
+                        self.set_status(
+                            pe,
+                            PeStatus::WaitBus(Pending::Read {
+                                addr,
+                                class: op.class,
+                            }),
+                        );
+                        self.notify(Observation::CpuAccess {
+                            pe,
+                            addr,
+                            write: false,
+                            decision: CpuDecision::Miss(intent),
+                        });
+                    }
                 }
-            },
+            }
             Access::Write(addr, value) => {
-                match self.protocol.cpu_write(self.line_state(pe, addr)) {
-                    CpuOutcome::Hit { next } => {
-                        let entry = self.caches[pe]
-                            .get_mut(addr)
-                            .expect("hit requires a held line");
-                        entry.state = next;
-                        entry.data = value;
+                // Same single-probe structure as the read path above.
+                let mut hit = None;
+                let outcome = match self.caches[pe].get_mut(addr) {
+                    Some(entry) => {
+                        let outcome = self.protocol.cpu_write(Some(*entry.state));
+                        if let CpuOutcome::Hit { next } = outcome {
+                            let old = *entry.state;
+                            *entry.state = next;
+                            *entry.data = value;
+                            hit = Some((old, next));
+                        }
+                        outcome
+                    }
+                    None => self.protocol.cpu_write(None),
+                };
+                match outcome {
+                    CpuOutcome::Hit { .. } => {
+                        let (old, next) = hit.expect("hit requires a held line");
+                        if next != old {
+                            self.sync_owner(pe, addr, Some(old), Some(next));
+                        }
                         self.cache_stats[pe].record(AccessKind::Write, op.class, true);
                         self.last_progress[pe] = self.cycle;
                         self.last_results[pe] = Some(OpResult::Write);
@@ -1236,15 +1443,17 @@ impl Machine {
     /// read would observe stale memory.
     fn find_supplier(&self, addr: Addr) -> Option<usize> {
         let bus = self.routing.bus_of(addr);
+        let all_attached = self.routing.bus_count() == 1;
         let base = self.block_base(addr);
         let mut cursor = 0;
-        while let Some(pe) = self.sharers.next_from(base, cursor) {
+        while let Some(pe) = self.owners.next_from(base, cursor) {
             cursor = pe + 1;
-            if self.routing.is_attached(pe, bus, self.pe_count())
-                && self
-                    .line_state(pe, addr)
-                    .is_some_and(|s| self.protocol.supplies_on_snoop_read(s))
-            {
+            if all_attached || self.routing.is_attached(pe, bus, self.pe_count()) {
+                debug_assert!(
+                    self.line_state(pe, addr)
+                        .is_some_and(|s| self.protocol.supplies_on_snoop_read(s)),
+                    "supplier index names P{pe} for {addr} but its line does not supply"
+                );
                 return Some(pe);
             }
         }
@@ -1264,10 +1473,19 @@ impl Machine {
             if self.faults_possible() && self.scrub_if_corrupt(supplier, addr) {
                 continue;
             }
-            let data = self.caches[supplier]
-                .get(addr)
-                .expect("supplier holds the line")
-                .data;
+            // One probe yields the supplied data and applies the
+            // supplier's state transition; nothing in between reads
+            // cache state or the owner index, so the hoist is inert.
+            let (data, old, next) = {
+                let entry = self.caches[supplier]
+                    .get_mut(addr)
+                    .expect("supplier holds the line");
+                let old = *entry.state;
+                let next = self.protocol.after_supply(old);
+                *entry.state = next;
+                (*entry.data, old, next)
+            };
+            self.sync_owner(supplier, addr, Some(old), Some(next));
             self.memory
                 .write(addr, data)
                 .expect("supplier write-back in range");
@@ -1280,12 +1498,6 @@ impl Machine {
             self.record(TraceKind::Abort, Some(supplier_id), || {
                 format!("interrupt {} and supply {addr} = {data}", tx.op)
             });
-            {
-                let entry = self.caches[supplier]
-                    .get_mut(addr)
-                    .expect("supplier holds the line");
-                entry.state = self.protocol.after_supply(entry.state);
-            }
             let t = self.traffic.bus_mut(bus);
             t.record_abort();
             t.record(BusOpKind::Write);
@@ -1359,7 +1571,7 @@ impl Machine {
         } else {
             self.protocol.own_complete(prior, BusIntent::Read)
         };
-        self.install(pe, addr, next, value);
+        self.install(pe, addr, prior, next, value);
         self.notify(Observation::ReadCompleted { pe, addr, locked });
 
         // Deliver to the stalled PE.
@@ -1453,7 +1665,7 @@ impl Machine {
         } else {
             self.protocol.own_complete(prior, BusIntent::Write)
         };
-        self.install(pe, addr, next, value);
+        self.install(pe, addr, prior, next, value);
         self.notify(Observation::WriteCompleted { pe, addr, unlock });
 
         match self.statuses[pe] {
@@ -1497,7 +1709,7 @@ impl Machine {
             PeStatus::WaitBus(Pending::Write { value, .. }) => value,
             ref other => panic!("invalidate completion for PE in state {other:?}"),
         };
-        self.install(pe, addr, next, value);
+        self.install(pe, addr, prior, next, value);
         self.notify(Observation::InvalidateCompleted { pe, addr });
 
         self.finish(pe, OpResult::Write);
@@ -1525,6 +1737,9 @@ impl Machine {
     ) {
         let bus = self.routing.bus_of(addr);
         let n = self.pe_count();
+        // On a single-bus machine every PE is attached; hoist the check
+        // out of the per-sharer loop.
+        let all_attached = self.routing.bus_count() == 1;
         let base = self.block_base(addr);
         let mut healed: Vec<usize> = Vec::new();
         let mut cursor = 0;
@@ -1532,25 +1747,29 @@ impl Machine {
             cursor = pe + 1;
             if Some(pe) == initiator
                 || Some(pe) == supplier
-                || !self.routing.is_attached(pe, bus, n)
+                || !(all_attached || self.routing.is_attached(pe, bus, n))
             {
                 continue;
             }
             if let Some(entry) = self.caches[pe].get_mut(addr) {
-                let out = self.protocol.snoop(entry.state, event);
-                entry.state = out.next;
+                let old = *entry.state;
+                let out = self.protocol.snoop(old, event);
+                *entry.state = out.next;
                 if out.capture {
                     if let Some(word) = event.word() {
-                        entry.data = word;
-                        if !entry.parity_ok {
+                        *entry.data = word;
+                        if !*entry.parity_ok {
                             // The captured broadcast overwrites the
                             // corrupted word before anyone read it: the
                             // line is healed in place (the RWB-family
                             // bonus of write broadcasting).
-                            entry.parity_ok = true;
+                            *entry.parity_ok = true;
                             healed.push(pe);
                         }
                     }
+                }
+                if out.next != old {
+                    self.sync_owner(pe, addr, Some(old), Some(out.next));
                 }
             }
         }
@@ -1565,14 +1784,24 @@ impl Machine {
     }
 
     /// Installs a line after a completed bus transaction, handling the
-    /// eviction write-back shortcut. Keeps the sharer index in sync:
-    /// the installed block gains this cache as a holder, a displaced
-    /// block loses it.
-    fn install(&mut self, pe: usize, addr: Addr, state: LineState, data: Word) {
+    /// eviction write-back shortcut. Keeps the sharer and supplier
+    /// indexes in sync: the installed block gains this cache as a
+    /// holder (`prior` is its pre-transaction state, for the supplier
+    /// delta), a displaced block loses it.
+    fn install(
+        &mut self,
+        pe: usize,
+        addr: Addr,
+        prior: Option<LineState>,
+        state: LineState,
+        data: Word,
+    ) {
         let evicted = self.caches[pe].insert(addr, state, data);
         self.sharers.add(self.block_base(addr), pe);
+        self.sync_owner(pe, addr, prior, Some(state));
         if let Some(evicted) = evicted {
             self.sharers.remove(evicted.addr.index(), pe);
+            self.sync_owner(pe, evicted.addr, Some(evicted.state), None);
             let writeback = self.protocol.writeback_on_evict(evicted.state);
             if writeback {
                 self.memory
@@ -1662,6 +1891,7 @@ impl Machine {
     #[doc(hidden)]
     pub fn assert_fast_path_invariants(&self) {
         let mut cached_lines = 0;
+        let mut supplying_lines = 0;
         for (pe, cache) in self.caches.iter().enumerate() {
             assert_eq!(cache.len(), cache.iter().count(), "cached len for P{pe}");
             for entry in cache.iter() {
@@ -1671,12 +1901,28 @@ impl Machine {
                     "sharer index misses P{pe} holding {}",
                     entry.addr
                 );
+                let supplies = self.protocol.supplies_on_snoop_read(entry.state);
+                if supplies {
+                    supplying_lines += 1;
+                }
+                assert_eq!(
+                    self.owners.contains(entry.addr.index(), pe),
+                    supplies,
+                    "supplier index disagrees with P{pe}'s {:?} line at {}",
+                    entry.state,
+                    entry.addr
+                );
             }
         }
         assert_eq!(
             self.sharers.total(),
             cached_lines,
             "sharer index has stale holder bits"
+        );
+        assert_eq!(
+            self.owners.total(),
+            supplying_lines,
+            "supplier index has stale owner bits"
         );
 
         let mut pending_reads = 0;
@@ -1707,5 +1953,21 @@ impl Machine {
             pending_reads,
             "pending-read index has stale bits"
         );
+
+        for queue in &self.queues {
+            queue.assert_lane_invariants();
+        }
+
+        // The wake schedule must never name a cycle in the past, and a
+        // machine it declares inert must have no grantable work.
+        if let Some(at) = self.next_event_cycle() {
+            assert!(at > self.cycle, "wake schedule points backward");
+        } else {
+            assert_eq!(self.idle_count, 0, "idle PEs always wake next cycle");
+            assert!(
+                self.queues.iter().all(BusQueue::is_empty),
+                "inert machine with queued transactions"
+            );
+        }
     }
 }

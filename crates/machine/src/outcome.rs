@@ -6,11 +6,25 @@
 use decache_mem::Addr;
 use std::fmt;
 
+/// The default livelock/deadlock progress window, in cycles: a PE with
+/// no completed operation in the trailing window is judged deadlocked.
+///
+/// The window is an **absolute** machine property
+/// ([`MachineBuilder::progress_window`](crate::MachineBuilder::progress_window)),
+/// deliberately independent of the run budget: whether a stuck machine
+/// is livelocked or deadlocked is a fact about the machine, and must
+/// not flip when the same run is retried with a larger `max_cycles`.
+pub const DEFAULT_PROGRESS_WINDOW: u64 = 4096;
+
 /// The result of [`Machine::run_outcome`](crate::Machine::run_outcome).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Total bus cycles elapsed on the machine when the run stopped.
     pub cycles: u64,
+    /// The progress window (in cycles) the verdicts were judged
+    /// against — the machine's configured window, not a function of
+    /// this run's budget.
+    pub progress_window: u64,
     /// Why the run stopped.
     pub reason: HaltReason,
 }
@@ -62,13 +76,9 @@ pub enum HaltReason {
 pub struct PeBlame {
     /// The unfinished processing element.
     pub pe: usize,
-    /// The address it is stuck on: its pending bus transaction's target
-    /// if stalled, else the last address it issued to.
-    pub addr: Option<Addr>,
-    /// `true` if the PE is stalled waiting on a bus transaction;
-    /// `false` if it is still issuing (e.g. a spin loop of completing
-    /// operations, or a conducted processor returning `Wait`).
-    pub stalled: bool,
+    /// Where the PE stands: blocked on a specific transaction, or
+    /// still issuing.
+    pub site: StallSite,
     /// The last cycle in which this PE completed an operation (0 if it
     /// never completed one).
     pub last_progress: u64,
@@ -76,14 +86,41 @@ pub struct PeBlame {
     pub verdict: StallVerdict,
 }
 
+/// What an unfinished PE was doing when the budget ran out.
+///
+/// The distinction matters for diagnosis: a [`StallSite::Blocked`] PE
+/// names the address of the bus transaction it is *stuck on*, while a
+/// [`StallSite::Issuing`] PE is not stuck on any address — the address
+/// reported is merely its most recently *completed* access (its stall,
+/// if any, lies in what it chooses to issue next, e.g. a spin loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallSite {
+    /// Stalled in `WaitBus` on a pending transaction for `addr` — the
+    /// genuine stall site.
+    Blocked {
+        /// The pending transaction's target address.
+        addr: Addr,
+    },
+    /// Idle and free to issue (e.g. a spin loop of completing
+    /// operations, or a conducted processor returning `Wait`); `last`
+    /// is the last access it completed, `None` if it never issued.
+    Issuing {
+        /// The most recently completed access, not a stall site.
+        last: Option<Addr>,
+    },
+}
+
 impl fmt::Display for PeBlame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "P{} {}: ", self.pe, self.verdict)?;
-        match (self.stalled, self.addr) {
-            (true, Some(addr)) => write!(f, "stalled on a bus transaction for {addr}")?,
-            (true, None) => write!(f, "stalled on a bus transaction")?,
-            (false, Some(addr)) => write!(f, "still issuing, last to {addr}")?,
-            (false, None) => write!(f, "never issued an operation")?,
+        match self.site {
+            StallSite::Blocked { addr } => {
+                write!(f, "stalled on a bus transaction for {addr}")?;
+            }
+            StallSite::Issuing { last: Some(addr) } => {
+                write!(f, "still issuing (last completed access: {addr})")?;
+            }
+            StallSite::Issuing { last: None } => write!(f, "never issued an operation")?,
         }
         write!(f, " (last completed an op at cycle {})", self.last_progress)
     }
@@ -98,8 +135,11 @@ impl fmt::Display for PeBlame {
 /// whose lock is never released), while one with no completions in the
 /// window is **deadlocked** (e.g. a write forever rejected by a memory
 /// lock, or a conducted processor waiting for an operation that never
-/// comes). The window is a quarter of the cycle budget, clamped to
-/// `[16, 4096]` cycles.
+/// comes). The window is absolute — [`DEFAULT_PROGRESS_WINDOW`] cycles
+/// unless configured via
+/// [`MachineBuilder::progress_window`](crate::MachineBuilder::progress_window)
+/// — so the verdict for a given machine state does not depend on the
+/// budget the caller happened to run it with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallVerdict {
     /// Completing operations but never halting.
@@ -117,12 +157,6 @@ impl fmt::Display for StallVerdict {
     }
 }
 
-/// The livelock/deadlock window for a given budget: a quarter of the
-/// budget, clamped to `[16, 4096]` cycles.
-pub(crate) fn progress_window(max_cycles: u64) -> u64 {
-    (max_cycles / 4).clamp(16, 4096)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +165,7 @@ mod tests {
     fn completed_display() {
         let o = RunOutcome {
             cycles: 12,
+            progress_window: DEFAULT_PROGRESS_WINDOW,
             reason: HaltReason::Completed,
         };
         assert!(o.is_complete());
@@ -141,36 +176,39 @@ mod tests {
     fn exhausted_display_lists_blame() {
         let o = RunOutcome {
             cycles: 500,
+            progress_window: 100,
             reason: HaltReason::BudgetExhausted {
                 blame: vec![
                     PeBlame {
                         pe: 1,
-                        addr: Some(Addr::new(17)),
-                        stalled: true,
+                        site: StallSite::Blocked {
+                            addr: Addr::new(17),
+                        },
                         last_progress: 3,
                         verdict: StallVerdict::Deadlock,
                     },
                     PeBlame {
                         pe: 2,
-                        addr: Some(Addr::new(0)),
-                        stalled: false,
+                        site: StallSite::Issuing {
+                            last: Some(Addr::new(0)),
+                        },
                         last_progress: 499,
                         verdict: StallVerdict::Livelock,
+                    },
+                    PeBlame {
+                        pe: 3,
+                        site: StallSite::Issuing { last: None },
+                        last_progress: 0,
+                        verdict: StallVerdict::Deadlock,
                     },
                 ],
             },
         };
         assert!(!o.is_complete());
         let text = o.to_string();
-        assert!(text.contains("2 unfinished PEs"));
+        assert!(text.contains("3 unfinished PEs"));
         assert!(text.contains("P1 deadlock: stalled on a bus transaction for @17"));
-        assert!(text.contains("P2 livelock: still issuing, last to @0"));
-    }
-
-    #[test]
-    fn window_clamps() {
-        assert_eq!(progress_window(10), 16);
-        assert_eq!(progress_window(1_000), 250);
-        assert_eq!(progress_window(1_000_000), 4096);
+        assert!(text.contains("P2 livelock: still issuing (last completed access: @0)"));
+        assert!(text.contains("P3 deadlock: never issued an operation"));
     }
 }

@@ -85,8 +85,8 @@ impl Machine {
         }
         match self.cache_mut(pe).get_mut(addr) {
             Some(entry) => {
-                entry.data = garbage;
-                entry.parity_ok = false;
+                *entry.data = garbage;
+                *entry.parity_ok = false;
                 self.clock_fault(Some(pe), addr);
                 Ok(true)
             }

@@ -77,11 +77,10 @@ impl PeMask {
 
 /// A per-address bitset of processing elements, stored flat: address
 /// `a`'s mask occupies `words[a * stride .. (a + 1) * stride]`. The
-/// backing vector starts empty and grows on first [`add`](Self::add)
-/// touching an address, so construction is O(1), short runs never pay
-/// for the full memory range, and addresses beyond the memory size
-/// (which would fault at the memory access itself) never fault here
-/// first.
+/// machine preallocates the full memory range up front (one cheap
+/// zeroed block); [`add`](Self::add) still grows on demand past the
+/// initial capacity, so addresses beyond the memory size (which would
+/// fault at the memory access itself) never fault here first.
 #[derive(Debug, Clone)]
 pub(crate) struct AddrPeIndex {
     stride: usize,
@@ -89,11 +88,16 @@ pub(crate) struct AddrPeIndex {
 }
 
 impl AddrPeIndex {
-    /// An empty index over `pes` processing elements.
-    pub(crate) fn new(pes: usize) -> Self {
+    /// An empty index over `pes` processing elements with the masks for
+    /// addresses `0..addrs` preallocated. One up-front zeroed block
+    /// replaces the incremental `resize` reallocations that otherwise
+    /// dominate [`add`](Self::add) while a run's footprint grows — the
+    /// bitset contents (and thus machine behaviour) are unchanged.
+    pub(crate) fn with_addr_capacity(pes: usize, addrs: u64) -> Self {
+        let stride = pes.div_ceil(64).max(1);
         AddrPeIndex {
-            stride: pes.div_ceil(64).max(1),
-            words: Vec::new(),
+            stride,
+            words: vec![0; addrs as usize * stride],
         }
     }
 
@@ -172,7 +176,7 @@ mod tests {
 
     #[test]
     fn index_add_remove_contains() {
-        let mut idx = AddrPeIndex::new(4);
+        let mut idx = AddrPeIndex::with_addr_capacity(4, 0);
         idx.add(3, 2);
         idx.add(3, 0);
         assert!(idx.contains(3, 2));
@@ -188,7 +192,7 @@ mod tests {
 
     #[test]
     fn index_is_idempotent() {
-        let mut idx = AddrPeIndex::new(2);
+        let mut idx = AddrPeIndex::with_addr_capacity(2, 0);
         idx.add(1, 1);
         idx.add(1, 1);
         assert_eq!(idx.total(), 1);
@@ -198,7 +202,7 @@ mod tests {
 
     #[test]
     fn index_grows_beyond_initial_size() {
-        let mut idx = AddrPeIndex::new(70);
+        let mut idx = AddrPeIndex::with_addr_capacity(70, 0);
         assert_eq!(idx.next_from(100, 0), None);
         assert!(!idx.contains(100, 69));
         idx.remove(100, 69); // no-op, no panic
@@ -209,7 +213,7 @@ mod tests {
 
     #[test]
     fn ascending_order_across_words() {
-        let mut idx = AddrPeIndex::new(200);
+        let mut idx = AddrPeIndex::with_addr_capacity(200, 0);
         for pe in [5usize, 70, 199] {
             idx.add(0, pe);
         }

@@ -1,9 +1,14 @@
-//! Seeded randomized invariant test for the cycle engine's fast-path
-//! indexes: at any point during any run, the sharer index must equal
-//! the set recomputed by a brute-force scan of all tag stores, and the
-//! scheduler's idle/done/pending-read bookkeeping must match the PE
-//! statuses it summarizes ([`Machine::assert_fast_path_invariants`]
-//! performs the brute-force comparison).
+//! Seeded randomized invariant tests for the cycle engine's fast
+//! paths: at any point during any run, the sharer/supplier indexes
+//! must equal the sets recomputed by a brute-force scan of all tag
+//! stores, the scheduler's idle/done/pending-read bookkeeping must
+//! match the PE statuses it summarizes, the bus queues' lane
+//! invariants must hold, and the wake schedule must be sane
+//! ([`Machine::assert_fast_path_invariants`] performs the brute-force
+//! comparison). A second test pins the wake schedule's *semantics*:
+//! a run that bulk-skips dead cycles must be indistinguishable —
+//! cycle count, every statistic, every cache line, all of memory —
+//! from the same machine single-stepped.
 //!
 //! Runs under `decache_rng::testing::check`, so a divergence prints a
 //! replayable seed (`DECACHE_TEST_SEED=<seed>`); `DECACHE_TEST_CASES`
@@ -77,9 +82,15 @@ fn build_random(rng: &mut Rng) -> Machine {
     };
     // Tiny caches so conflict evictions churn the sharer index.
     let cache_lines = *rng.choose(&[4usize, 8, 16]);
+    // Multi-cycle transactions create bus-held dead spans, the case
+    // the wake schedule bulk-skips.
+    let transaction_cycles = rng.gen_range(1u64..5);
 
     let mut builder = MachineBuilder::new(kind);
-    builder.memory_words(MEMORY_WORDS).cache_lines(cache_lines);
+    builder
+        .memory_words(MEMORY_WORDS)
+        .cache_lines(cache_lines)
+        .transaction_cycles(transaction_cycles);
     match shape {
         Shape::Single => {}
         Shape::Interleaved(buses) => {
@@ -107,6 +118,9 @@ fn build_random(rng: &mut Rng) -> Machine {
 
 #[test]
 fn sharer_index_matches_brute_force_recompute() {
+    // NOTE: `machine.run(burst)` below drives the wake-schedule
+    // engine, so the invariant assertions land mid-run at arbitrary
+    // points between bulk skips.
     decache_rng::testing::check("fast_path_invariants", 64, |rng| {
         let mut machine = build_random(rng);
         machine.assert_fast_path_invariants();
@@ -119,5 +133,63 @@ fn sharer_index_matches_brute_force_recompute() {
         }
         assert!(machine.is_done(), "random machine failed to terminate");
         machine.assert_fast_path_invariants();
+    });
+}
+
+/// Two machines built from the same seed, one single-stepped and one
+/// driven through [`Machine::run`]'s dead-cycle-skipping wake
+/// schedule in random bursts, must agree on everything observable:
+/// cycle count, machine/cache/traffic statistics (per bus), every
+/// cache line, and all of memory. Covers all 7 protocols, every bus
+/// shape, and transaction_cycles 1..=4 via `build_random`.
+#[test]
+fn wake_schedule_matches_single_stepping() {
+    decache_rng::testing::check("wake_schedule_equivalence", 48, |rng| {
+        let seed = rng.next_u64();
+        let mut stepped = build_random(&mut Rng::from_seed(seed));
+        let mut jumped = build_random(&mut Rng::from_seed(seed));
+
+        let mut guard = 0u64;
+        while !stepped.is_done() {
+            stepped.step();
+            guard += 1;
+            assert!(guard < 200_000, "random machine failed to terminate");
+        }
+
+        while !jumped.is_done() {
+            let burst = rng.gen_range(1u64..128);
+            jumped.run(burst);
+            jumped.assert_fast_path_invariants();
+            assert!(
+                jumped.cycles() <= stepped.cycles(),
+                "wake schedule overshot the completion cycle"
+            );
+        }
+
+        assert_eq!(jumped.cycles(), stepped.cycles(), "seed {seed}");
+        assert_eq!(jumped.stats(), stepped.stats(), "seed {seed}");
+        assert_eq!(jumped.traffic(), stepped.traffic(), "seed {seed}");
+        for bus in 0..stepped.bus_count() {
+            assert_eq!(
+                jumped.traffic_per_bus().bus(bus),
+                stepped.traffic_per_bus().bus(bus),
+                "bus {bus} accounting diverged (seed {seed})"
+            );
+        }
+        for pe in 0..stepped.pe_count() {
+            assert_eq!(
+                jumped.cache_stats(pe),
+                stepped.cache_stats(pe),
+                "P{pe} cache stats diverged (seed {seed})"
+            );
+        }
+        for word in 0..MEMORY_WORDS {
+            let addr = Addr::new(word);
+            assert_eq!(
+                jumped.snapshot(addr),
+                stepped.snapshot(addr),
+                "{addr} diverged (seed {seed})"
+            );
+        }
     });
 }

@@ -5,7 +5,7 @@
 use decache_core::ProtocolKind;
 use decache_machine::{
     FailStopPolicy, FaultPlan, HaltReason, MachineBuilder, Poll, Processor, RecoveryPolicy, Script,
-    SpinReader, StallVerdict,
+    SpinReader, StallSite, StallVerdict,
 };
 use decache_mem::{Addr, AddrRange, Word};
 use decache_rng::testing::check;
@@ -431,7 +431,7 @@ fn run_outcome_blames_a_livelocked_spinner() {
     };
     assert_eq!(blame.len(), 1);
     assert_eq!(blame[0].pe, 0);
-    assert_eq!(blame[0].addr, Some(flag));
+    assert_eq!(blame[0].site, StallSite::Issuing { last: Some(flag) });
     assert_eq!(blame[0].verdict, StallVerdict::Livelock);
     assert!(outcome.to_string().contains("livelock"), "{outcome}");
 }
@@ -439,17 +439,19 @@ fn run_outcome_blames_a_livelocked_spinner() {
 #[test]
 fn run_outcome_blames_a_deadlocked_waiter() {
     let mut m = MachineBuilder::new(ProtocolKind::Rb)
+        .progress_window(256)
         .processor(Box::new(WaitForever))
         .processor(Script::new().read(Addr::new(0)).build())
         .build();
     let outcome = m.run_outcome(1_000);
+    assert_eq!(outcome.progress_window, 256);
     let HaltReason::BudgetExhausted { blame } = &outcome.reason else {
         panic!("expected exhaustion, got {outcome}");
     };
     assert_eq!(blame.len(), 1, "the finished PE is not blamed");
     assert_eq!(blame[0].pe, 0);
     assert_eq!(blame[0].verdict, StallVerdict::Deadlock);
-    assert!(!blame[0].stalled);
+    assert_eq!(blame[0].site, StallSite::Issuing { last: None });
     assert!(
         outcome.to_string().contains("never issued an operation"),
         "{outcome}"

@@ -140,7 +140,9 @@ impl Memory {
         let slot = self.slot(addr)?;
         self.stats.writes += 1;
         self.words[slot] = value;
-        self.bad_parity.remove(&addr.index());
+        if !self.bad_parity.is_empty() {
+            self.bad_parity.remove(&addr.index());
+        }
         Ok(())
     }
 
@@ -155,15 +157,19 @@ impl Memory {
     /// [`MemoryStats::rejected_writes`].
     pub fn write_checked(&mut self, addr: Addr, value: Word, writer: PeId) -> Result<(), MemError> {
         let slot = self.slot(addr)?;
-        if let Some(&holder) = self.locks.get(&addr.index()) {
-            if holder != writer {
-                self.stats.rejected_writes += 1;
-                return Err(MemError::Locked { addr, holder });
+        if !self.locks.is_empty() {
+            if let Some(&holder) = self.locks.get(&addr.index()) {
+                if holder != writer {
+                    self.stats.rejected_writes += 1;
+                    return Err(MemError::Locked { addr, holder });
+                }
             }
         }
         self.stats.writes += 1;
         self.words[slot] = value;
-        self.bad_parity.remove(&addr.index());
+        if !self.bad_parity.is_empty() {
+            self.bad_parity.remove(&addr.index());
+        }
         Ok(())
     }
 

@@ -132,6 +132,12 @@ impl Rng {
     /// Panics if `n == 0`.
     fn bounded(&mut self, n: u64) -> u64 {
         assert!(n > 0, "cannot sample from an empty range");
+        // Power-of-two bound: the rejection threshold is zero and the
+        // modulo is a mask, so this draws the same single sample as the
+        // general path without its two divisions.
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
         // Reject the low `2^64 mod n` values so every residue class is
         // equally likely.
         let threshold = n.wrapping_neg() % n;

@@ -113,8 +113,12 @@ impl Conductor {
     /// Panics if quiescence is not reached within the step budget (a
     /// conducted op that spins forever is a scenario bug).
     pub fn settle(&self, machine: &mut Machine) {
+        // Machine::settle, not run_until_quiescent: a machine with a
+        // freshly queued op still *looks* quiescent until the target
+        // PE gets a cycle to poll its conductor slot, so the first
+        // step must be unconditional.
         assert!(
-            machine.run_until_quiescent(STEP_BUDGET),
+            machine.settle(STEP_BUDGET),
             "conducted step did not settle within {STEP_BUDGET} cycles"
         );
         // Results are handed to processors at the next poll; take one
@@ -249,8 +253,12 @@ mod tests {
         let (c, mut m) = setup(ProtocolKind::Rb, 1);
         c.run_op(&mut m, 0, MemOp::read(Addr::new(0)));
         let cycles_before = m.cycles();
-        // No queued work: machine is quiescent immediately after a step.
+        // No queued work: already quiescent, so the check-then-step
+        // runner answers without consuming any cycles...
         assert!(m.run_until_quiescent(10));
+        assert_eq!(m.cycles(), cycles_before);
+        // ...while settle takes its mandatory step and re-settles.
+        assert!(m.settle(10));
         assert!(m.cycles() > cycles_before);
         assert_eq!(
             m.cache_line(0, Addr::new(0)).map(|(s, _)| s),
