@@ -40,8 +40,14 @@ fn main() {
         });
     }
 
-    for pes in [2usize, 8, 16, 32, 64, 128] {
-        time_case(&format!("rb_scaling/{pes}"), 10, || {
+    // Scaling sweep to 8x the paper's machine size. Simulated cycles
+    // grow linearly with PE count, but work per live cycle grows with
+    // the sharer fan-out, so the big sizes lean on the batched
+    // broadcast path (and get fewer iterations to keep the sweep
+    // quick).
+    for pes in [2usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let iters = if pes >= 256 { 5 } else { 10 };
+        time_case(&format!("rb_scaling/{pes}"), iters, || {
             run_machine(ProtocolKind::Rb, pes, 300)
         });
     }
@@ -53,6 +59,15 @@ fn main() {
     for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
         time_case(&format!("section7_128pe/{kind}"), 10, || {
             run_machine(kind, 128, 300)
+        });
+    }
+
+    // The same study pushed to 1024 PEs — far past the paper's 128-PE
+    // extrapolation ceiling. Tractable in seconds per run thanks to
+    // the batched broadcast path and the packed tag-store rows.
+    for kind in [ProtocolKind::Rb, ProtocolKind::Rwb] {
+        time_case(&format!("section7_1024pe/{kind}"), 3, || {
+            run_machine(kind, 1024, 300)
         });
     }
 }

@@ -1,6 +1,7 @@
-//! E18 — runs **Section 7's worked example at full scale**: a 128-PE
-//! machine under the paper's reference mix, on one shared bus and on
-//! 16 LSB-interleaved buses.
+//! E18/E19 — runs **Section 7's worked example at full scale**: the
+//! paper's 128-PE machine under the reference mix, on one shared bus
+//! and on 16 LSB-interleaved buses — and then the same study at
+//! 1024 PEs, eight times past the paper's extrapolation ceiling.
 //!
 //! The paper sizes the shared-bus bandwidth demand as
 //! `SBB = m · x · (1/h)` — 128 PEs at 1 MACS and a 10% miss ratio
@@ -8,7 +9,9 @@
 //! multiple-bus organization is required. Historically this bin was
 //! infeasible: the scan-every-PE loop made each cycle cost O(m) even
 //! with every PE stalled on the saturated bus. The wake-schedule
-//! engine runs the full scenario in seconds.
+//! engine runs the 128-PE scenario in milliseconds, and the batched
+//! broadcast path plus packed tag-store rows keep the 1024-PE runs in
+//! the seconds range.
 
 use decache_analysis::TextTable;
 use decache_bench::{banner, par, record_metrics};
@@ -17,11 +20,11 @@ use decache_machine::{Machine, MachineBuilder};
 use decache_mem::{Addr, AddrRange};
 use decache_workloads::{MixConfig, MixWorkload};
 
-const PES: usize = 128;
 const OPS_PER_PE: u64 = 500;
 
 struct Row {
     kind: ProtocolKind,
+    pes: usize,
     buses: usize,
     cycles: u64,
     miss_ratio: f64,
@@ -29,7 +32,7 @@ struct Row {
     busiest_share: f64,
 }
 
-fn run_case(kind: ProtocolKind, buses: usize) -> Row {
+fn run_case(kind: ProtocolKind, pes: usize, buses: usize) -> Row {
     let shared = AddrRange::with_len(Addr::new(0), 64);
     let config = MixConfig {
         ops_per_pe: OPS_PER_PE,
@@ -37,19 +40,20 @@ fn run_case(kind: ProtocolKind, buses: usize) -> Row {
     };
     // Memory must cover every PE's private region above the shared
     // block (see MixWorkload::new).
-    let memory_words = (1088 + PES as u64 * 256).next_power_of_two();
+    let memory_words = (1088 + pes as u64 * 256).next_power_of_two();
     let mut builder = MachineBuilder::new(kind);
     builder
         .memory_words(memory_words)
         .cache_lines(256)
         .buses(buses)
-        .processors(PES, |pe| {
+        .processors(pes, |pe| {
             Box::new(MixWorkload::new(config, shared, pe as u64))
         });
     let mut machine = builder.build();
-    let cycles = machine.run_to_completion(100_000_000);
+    let cycles = machine.run_to_completion(1_000_000_000);
     Row {
         kind,
+        pes,
         buses,
         cycles,
         miss_ratio: 1.0 - machine.total_cache_stats().hit_ratio(),
@@ -80,17 +84,22 @@ fn busiest_share(machine: &Machine) -> f64 {
 fn main() {
     banner(
         "Section 7 worked example, simulated",
-        "128 PEs: SBB = m*x*(1/h) versus one and sixteen buses",
+        "SBB = m*x*(1/h) versus one and sixteen buses, at 128 and 1024 PEs",
     );
 
-    let cases: Vec<(ProtocolKind, usize)> = [ProtocolKind::Rb, ProtocolKind::Rwb]
+    let cases: Vec<(ProtocolKind, usize, usize)> = [ProtocolKind::Rb, ProtocolKind::Rwb]
         .iter()
-        .flat_map(|&kind| [1usize, 16].iter().map(move |&buses| (kind, buses)))
+        .flat_map(|&kind| {
+            [(128usize, 1usize), (128, 16), (1024, 1), (1024, 16)]
+                .iter()
+                .map(move |&(pes, buses)| (kind, pes, buses))
+        })
         .collect();
-    let rows = par::run_cases(&cases, |&(kind, buses)| run_case(kind, buses));
+    let rows = par::run_cases(&cases, |&(kind, pes, buses)| run_case(kind, pes, buses));
 
     let mut table = TextTable::new(vec![
         "protocol",
+        "PEs",
         "buses",
         "cycles",
         "miss ratio",
@@ -101,9 +110,10 @@ fn main() {
     for r in &rows {
         // The paper's bandwidth demand in bus-equivalents: m * (1/h)
         // (x = 1 access per PE-cycle).
-        let demand = PES as f64 * r.miss_ratio;
+        let demand = r.pes as f64 * r.miss_ratio;
         table.row(vec![
             r.kind.to_string(),
+            r.pes.to_string(),
             r.buses.to_string(),
             r.cycles.to_string(),
             format!("{:.1}%", r.miss_ratio * 100.0),
@@ -112,7 +122,7 @@ fn main() {
             format!("{:.1}%", r.busiest_share * 100.0),
         ]);
         record_metrics(
-            &format!("section7/{}/{}bus", r.kind, r.buses),
+            &format!("section7/{}/{}pe/{}bus", r.kind, r.pes, r.buses),
             &[
                 ("cycles", r.cycles as f64),
                 ("miss_ratio", r.miss_ratio),
@@ -126,35 +136,40 @@ fn main() {
 
     for pair in rows.chunks(2) {
         let (single, multi) = (&pair[0], &pair[1]);
-        let demand = PES as f64 * single.miss_ratio;
+        let demand = single.pes as f64 * single.miss_ratio;
         assert!(
             demand > 1.0,
-            "{}: a 128-PE machine must demand more than one bus (got {demand:.2})",
-            single.kind
+            "{} at {} PEs: the machine must demand more than one bus (got {demand:.2})",
+            single.kind,
+            single.pes
         );
         assert!(
             single.utilization > 0.95,
-            "{}: the single bus should saturate (utilization {:.3})",
+            "{} at {} PEs: the single bus should saturate (utilization {:.3})",
             single.kind,
+            single.pes,
             single.utilization
         );
         assert!(
             multi.cycles < single.cycles / 2,
-            "{}: 16 buses should relieve the bottleneck ({} -> {} cycles)",
+            "{} at {} PEs: 16 buses should relieve the bottleneck ({} -> {} cycles)",
             single.kind,
+            single.pes,
             single.cycles,
             multi.cycles
         );
         assert!(
             multi.busiest_share < 0.25,
-            "{}: interleaving should spread traffic (busiest {:.1}%)",
+            "{} at {} PEs: interleaving should spread traffic (busiest {:.1}%)",
             single.kind,
+            single.pes,
             multi.busiest_share * 100.0
         );
         println!(
-            "{}: demand {demand:.1} bus-equivalents; 1 bus -> {} cycles at {:.1}% util, \
-             16 buses -> {} cycles (busiest {:.1}%)",
+            "{} at {} PEs: demand {demand:.1} bus-equivalents; 1 bus -> {} cycles at {:.1}% \
+             util, 16 buses -> {} cycles (busiest {:.1}%)",
             single.kind,
+            single.pes,
             single.cycles,
             single.utilization * 100.0,
             multi.cycles,

@@ -91,15 +91,41 @@ pub struct EvictedLine<S> {
 /// far below `u64::MAX`.
 const EMPTY_TAG: u64 = u64::MAX;
 
+/// One way's hot cells, packed so every probe is a single host cache
+/// line touch (see the [`TagStore`] layout note).
+#[derive(Debug, Clone)]
+struct Row<S> {
+    /// Block base address; [`EMPTY_TAG`] marks an empty way.
+    tag: u64,
+    data: Word,
+    /// Coherence state; `None` exactly where the tag is empty.
+    state: Option<S>,
+    parity: bool,
+}
+
+impl<S> Row<S> {
+    fn empty() -> Self {
+        Row {
+            tag: EMPTY_TAG,
+            data: Word::ZERO,
+            state: None,
+            parity: true,
+        }
+    }
+}
+
 /// Protocol-agnostic cache line storage: a `sets × ways` array of lines
 /// with LRU victim selection within a set.
 ///
-/// The storage is structure-of-arrays: tags, states, data words, parity
-/// bits, and replacement stamps each live in their own column. Lookups
-/// scan only the tag column, victim selection scans only a stamp column,
-/// and bulk walks (snoops, fingerprints, fault injection) touch just the
-/// columns they need instead of striding over full entries. [`Entry`] is
-/// a by-value row view assembled on demand; [`EntryMut`] borrows the
+/// The hot cells of a line — tag, state, data word, parity bit — are
+/// packed into one [`Row`] so a probe, snoop application, or fill
+/// touches a single cache line of host memory instead of striding four
+/// parallel columns; with hundreds of simulated caches that cut in
+/// scattered accesses dominates a machine cycle's cost. Replacement
+/// stamps stay in their own columns: they are cold on the
+/// direct-mapped fast path (one way per set needs no recency order)
+/// and victim selection scans only a stamp column. [`Entry`] is a
+/// by-value row view assembled on demand; [`EntryMut`] borrows the
 /// mutable cells of one row.
 ///
 /// # Examples
@@ -118,12 +144,7 @@ const EMPTY_TAG: u64 = u64::MAX;
 #[derive(Debug, Clone)]
 pub struct TagStore<S> {
     geometry: Geometry,
-    /// Block base address per way; [`EMPTY_TAG`] marks an empty way.
-    tags: Vec<u64>,
-    /// Coherence state per way; `None` exactly where the tag is empty.
-    states: Vec<Option<S>>,
-    data: Vec<Word>,
-    parity: Vec<bool>,
+    rows: Vec<Row<S>>,
     lru_stamps: Vec<u64>,
     insert_stamps: Vec<u64>,
     clock: u64,
@@ -149,10 +170,7 @@ impl<S> TagStore<S> {
         let lines = geometry.sets() * geometry.ways();
         TagStore {
             geometry,
-            tags: vec![EMPTY_TAG; lines],
-            states: (0..lines).map(|_| None).collect(),
-            data: vec![Word::ZERO; lines],
-            parity: vec![true; lines],
+            rows: (0..lines).map(|_| Row::empty()).collect(),
             lru_stamps: vec![0; lines],
             insert_stamps: vec![0; lines],
             clock: 0,
@@ -180,18 +198,19 @@ impl<S> TagStore<S> {
 
     fn slot_of(&self, addr: Addr) -> Option<usize> {
         let base = self.geometry.block_base(addr).index();
-        self.set_range(addr).find(|&i| self.tags[i] == base)
+        self.set_range(addr).find(|&i| self.rows[i].tag == base)
     }
 
     fn row(&self, slot: usize) -> Entry<S>
     where
         S: Copy,
     {
+        let row = &self.rows[slot];
         Entry {
-            addr: Addr::new(self.tags[slot]),
-            state: self.states[slot].expect("occupied slot has a state"),
-            data: self.data[slot],
-            parity_ok: self.parity[slot],
+            addr: Addr::new(row.tag),
+            state: row.state.expect("occupied slot has a state"),
+            data: row.data,
+            parity_ok: row.parity,
         }
     }
 
@@ -205,14 +224,14 @@ impl<S> TagStore<S> {
     }
 
     /// Returns just the coherence state of the line holding `addr`, if
-    /// present. Touches only the tag and state columns — the cheap probe
-    /// for hit/miss decisions, which need no data or parity.
+    /// present — the cheap probe for hit/miss decisions, which need no
+    /// data or parity.
     pub fn state_of(&self, addr: Addr) -> Option<S>
     where
         S: Copy,
     {
         self.slot_of(addr)
-            .map(|i| self.states[i].expect("occupied slot has a state"))
+            .map(|i| self.rows[i].state.expect("occupied slot has a state"))
     }
 
     /// Returns the line holding `addr` mutably and marks it most recently
@@ -227,19 +246,64 @@ impl<S> TagStore<S> {
             self.clock += 1;
             self.lru_stamps[slot] = self.clock;
         }
+        let row = &mut self.rows[slot];
         Some(EntryMut {
-            addr: Addr::new(self.tags[slot]),
-            state: self.states[slot]
-                .as_mut()
-                .expect("occupied slot has a state"),
-            data: &mut self.data[slot],
-            parity_ok: &mut self.parity[slot],
+            addr: Addr::new(row.tag),
+            state: row.state.as_mut().expect("occupied slot has a state"),
+            data: &mut row.data,
+            parity_ok: &mut row.parity,
         })
     }
 
     /// Returns `true` if the block containing `addr` is present.
     pub fn contains(&self, addr: Addr) -> bool {
         self.slot_of(addr).is_some()
+    }
+
+    /// Applies a broadcast snoop to the line holding `addr` without a
+    /// tag scan: with one way per set the slot is forced, so a caller
+    /// that already proves presence (the machine's sharer index) can
+    /// skip `slot_of` entirely. `f` maps the old state to
+    /// `(next, capture)`; on capture the broadcast `word` (if any)
+    /// overwrites the data column. Never touches the replacement clock,
+    /// matching [`TagStore::get_mut`] on a direct-mapped store. Returns
+    /// `(old, next)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty; debug-asserts that the store is
+    /// direct-mapped and that the slot holds `addr`'s block.
+    #[inline]
+    pub fn apply_broadcast(
+        &mut self,
+        addr: Addr,
+        word: Option<Word>,
+        f: impl FnOnce(S) -> (S, bool),
+    ) -> (S, S)
+    where
+        S: Copy,
+    {
+        debug_assert_eq!(
+            self.geometry.ways(),
+            1,
+            "apply_broadcast requires a forced (direct-mapped) slot"
+        );
+        let slot = self.set_range(addr).start;
+        debug_assert_eq!(
+            self.rows[slot].tag,
+            self.geometry.block_base(addr).index(),
+            "apply_broadcast on a slot holding a different block"
+        );
+        let row = &mut self.rows[slot];
+        let old = row.state.expect("broadcast to an empty slot");
+        let (next, capture) = f(old);
+        row.state = Some(next);
+        if capture {
+            if let Some(word) = word {
+                row.data = word;
+            }
+        }
+        (old, next)
     }
 
     /// Inserts (or overwrites) the line for `addr`, returning the line it
@@ -261,7 +325,7 @@ impl<S> TagStore<S> {
             slot
         } else {
             let range = self.set_range(addr);
-            let empty = range.clone().find(|&i| self.tags[i] == EMPTY_TAG);
+            let empty = range.clone().find(|&i| self.rows[i].tag == EMPTY_TAG);
             empty.unwrap_or_else(|| match self.policy {
                 ReplacementPolicy::Lru => range
                     .min_by_key(|&i| self.lru_stamps[i])
@@ -277,21 +341,22 @@ impl<S> TagStore<S> {
             })
         };
 
-        if self.tags[slot] == EMPTY_TAG {
+        let row = &mut self.rows[slot];
+        if row.tag == EMPTY_TAG {
             self.valid += 1;
         }
-        let displaced = self.states[slot].take().and_then(|old_state| {
-            (self.tags[slot] != base).then(|| EvictedLine {
-                addr: Addr::new(self.tags[slot]),
+        let displaced = row.state.take().and_then(|old_state| {
+            (row.tag != base).then(|| EvictedLine {
+                addr: Addr::new(row.tag),
                 state: old_state,
-                data: self.data[slot],
-                parity_ok: self.parity[slot],
+                data: row.data,
+                parity_ok: row.parity,
             })
         });
-        self.tags[slot] = base;
-        self.states[slot] = Some(state);
-        self.data[slot] = data;
-        self.parity[slot] = true;
+        row.tag = base;
+        row.state = Some(state);
+        row.data = data;
+        row.parity = true;
         if !direct_mapped {
             self.clock += 1;
             self.lru_stamps[slot] = self.clock;
@@ -303,14 +368,15 @@ impl<S> TagStore<S> {
     /// Removes and returns the line holding `addr`, if present.
     pub fn remove(&mut self, addr: Addr) -> Option<EvictedLine<S>> {
         let slot = self.slot_of(addr)?;
-        let removed = self.states[slot].take().map(|state| EvictedLine {
-            addr: Addr::new(self.tags[slot]),
+        let row = &mut self.rows[slot];
+        let removed = row.state.take().map(|state| EvictedLine {
+            addr: Addr::new(row.tag),
             state,
-            data: self.data[slot],
-            parity_ok: self.parity[slot],
+            data: row.data,
+            parity_ok: row.parity,
         });
         if removed.is_some() {
-            self.tags[slot] = EMPTY_TAG;
+            row.tag = EMPTY_TAG;
             self.valid -= 1;
         }
         removed
@@ -331,39 +397,30 @@ impl<S> TagStore<S> {
     where
         S: Copy,
     {
-        (0..self.tags.len())
-            .filter(move |&i| self.tags[i] != EMPTY_TAG)
+        (0..self.rows.len())
+            .filter(move |&i| self.rows[i].tag != EMPTY_TAG)
             .map(move |i| self.row(i))
     }
 
     /// Iterates over all valid lines mutably; does not touch LRU order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = EntryMut<'_, S>> {
-        let TagStore {
-            tags,
-            states,
-            data,
-            parity,
-            ..
-        } = self;
-        tags.iter()
-            .zip(states.iter_mut())
-            .zip(data.iter_mut().zip(parity.iter_mut()))
-            .filter_map(|((&tag, state), (data, parity_ok))| {
-                let state = state.as_mut()?;
-                Some(EntryMut {
-                    addr: Addr::new(tag),
-                    state,
-                    data,
-                    parity_ok,
-                })
+        self.rows.iter_mut().filter_map(|row| {
+            let tag = row.tag;
+            let state = row.state.as_mut()?;
+            Some(EntryMut {
+                addr: Addr::new(tag),
+                state,
+                data: &mut row.data,
+                parity_ok: &mut row.parity,
             })
+        })
     }
 
     /// Drops every line, leaving the store empty.
     pub fn clear(&mut self) {
-        self.tags.fill(EMPTY_TAG);
-        for state in &mut self.states {
-            *state = None;
+        for row in &mut self.rows {
+            row.tag = EMPTY_TAG;
+            row.state = None;
         }
         self.valid = 0;
     }

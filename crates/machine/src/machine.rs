@@ -127,7 +127,90 @@ pub struct Machine {
     /// this `None` check, and recording never changes any simulated
     /// statistic.
     telemetry: Option<Box<TelemetryState>>,
+    /// `true` when broadcast snoops may take the batched bitset path:
+    /// a single bus (every PE attached, no routing filter) and
+    /// direct-mapped caches (the slot for an address is forced, so
+    /// sharer-index membership proves the tag matches without a probe).
+    /// Computed once from the machine shape; the per-dispatch check
+    /// additionally requires [`Machine::faults_possible`] to be false.
+    batch_snoop: bool,
+    /// Worker count for the sharded issue phase; `<= 1` keeps the
+    /// sequential scan unconditionally.
+    step_threads: usize,
+    /// Per-PE issue decisions computed by the sharded issue phase's
+    /// workers against pre-cycle state, committed by the main thread in
+    /// ascending PE order. Empty unless `step_threads > 1`.
+    issue_decisions: Vec<IssueDecision>,
+    /// Cycles whose issue phase ran sharded — an engine-path odometer
+    /// (not a simulated statistic), so equivalence tests can prove the
+    /// shard gate actually engaged.
+    sharded_cycles: u64,
 }
+
+/// The caches a snoop dispatch must skip: the transaction's `initiator`
+/// (its own line is completed by `install`, not by snooping), and on
+/// the interrupt path the `supplier` (its line just transitioned via
+/// `after_supply`). Named fields so call sites cannot transpose the two
+/// — `dispatch_snoop` once took two positional `Option<usize>`s.
+#[derive(Debug, Clone, Copy, Default)]
+struct SkipPes {
+    initiator: Option<usize>,
+    supplier: Option<usize>,
+}
+
+impl SkipPes {
+    /// Skip only the transaction's initiator.
+    fn initiator(pe: usize) -> Self {
+        SkipPes {
+            initiator: Some(pe),
+            supplier: None,
+        }
+    }
+
+    /// Additionally skip the supplying cache (interrupt path).
+    fn with_supplier(mut self, pe: usize) -> Self {
+        self.supplier = Some(pe);
+        self
+    }
+
+    /// Whether `pe` is one of the skip slots.
+    fn skips(&self, pe: usize) -> bool {
+        self.initiator == Some(pe) || self.supplier == Some(pe)
+    }
+}
+
+/// One PE's issue-phase outcome, computed by a sharded worker against
+/// the immutable pre-cycle state and committed on the main thread. Only
+/// effects that touch *shared* machine state travel here — per-PE
+/// effects (cache update, hit statistics, `last_results`) are applied
+/// in place by the worker, exactly as the sequential path does.
+#[derive(Debug, Clone, Copy, Default)]
+enum IssueDecision {
+    /// Nothing to commit: the PE was not idle, returned `Poll::Wait`,
+    /// or completed a hit with no supplier-index delta.
+    #[default]
+    None,
+    /// The program halted.
+    Halt,
+    /// A cache hit whose state transition may move the supplier index.
+    Hit {
+        addr: Addr,
+        was: LineState,
+        now: LineState,
+    },
+    /// A miss or Test-and-Set: enqueue `op` on `addr`'s bus and stall
+    /// on `pending`.
+    Enqueue {
+        addr: Addr,
+        op: BusOp,
+        pending: Pending,
+    },
+}
+
+/// Sharding engages only when at least this many PEs are idle: a
+/// `std::thread::scope` spawn costs microseconds per worker per cycle,
+/// so small issue scans are faster sequentially.
+const SHARD_MIN_IDLE: usize = 128;
 
 /// Which halt condition a [`Machine::run_loop`] call waits for.
 #[derive(Clone, Copy)]
@@ -166,6 +249,7 @@ impl Machine {
         fail_stop_policy: FailStopPolicy,
         telemetry: bool,
         progress_window: u64,
+        step_threads: usize,
     ) -> Self {
         let n = processors.len();
         let buses = routing.bus_count();
@@ -234,6 +318,14 @@ impl Machine {
             last_progress: vec![0; n],
             last_addr: vec![None; n],
             telemetry: telemetry.then(|| Box::new(TelemetryState::new(n))),
+            batch_snoop: routing.bus_count() == 1 && geometry.ways() == 1,
+            step_threads,
+            issue_decisions: if step_threads > 1 {
+                vec![IssueDecision::None; n]
+            } else {
+                Vec::new()
+            },
+            sharded_cycles: 0,
         }
     }
 
@@ -1199,6 +1291,20 @@ impl Machine {
     // ----- issue phase ------------------------------------------------
 
     fn issue_phase(&mut self) {
+        // The sharded path computes the same decisions from the same
+        // pre-cycle state and commits them in the same ascending PE
+        // order, so it is byte-identical — but it cannot interleave
+        // trace records, observer notifications, or parity scrubs the
+        // way the sequential loop does, so any of those falls back.
+        if self.step_threads > 1
+            && self.idle_count >= SHARD_MIN_IDLE
+            && self.observers.is_empty()
+            && !self.trace.is_enabled()
+            && !self.faults_possible()
+        {
+            self.issue_phase_sharded();
+            return;
+        }
         // Cursor over the idle bitset: handling one PE never changes
         // another PE's status, so this visits exactly the PEs the old
         // full scan found idle, in the same ascending order.
@@ -1210,6 +1316,89 @@ impl Machine {
                 crate::Poll::Halt => self.set_status(pe, PeStatus::Done),
                 crate::Poll::Wait => {}
                 crate::Poll::Op(op) => self.start_op(pe, op),
+            }
+        }
+    }
+
+    /// The issue phase fanned over a `std::thread::scope` worker pool.
+    /// Workers own disjoint PE ranges — each PE's decision reads only
+    /// its own processor, cache, and per-PE scratch, all sliced out of
+    /// `self` by range — and record shared-state effects as
+    /// [`IssueDecision`]s. The main thread then commits decisions (bus
+    /// enqueues, status changes, supplier-index deltas) in ascending PE
+    /// order, so arbitration, RNG draws, and statistics are
+    /// byte-identical to the sequential scan.
+    fn issue_phase_sharded(&mut self) {
+        self.sharded_cycles += 1;
+        let n = self.processors.len();
+        if self.issue_decisions.len() != n {
+            self.issue_decisions = vec![IssueDecision::None; n];
+        }
+        let chunk = n.div_ceil(self.step_threads).max(1);
+        let cycle = self.cycle;
+        let Machine {
+            processors,
+            last_results,
+            caches,
+            cache_stats,
+            last_progress,
+            last_addr,
+            issue_decisions,
+            idle,
+            protocol,
+            ..
+        } = self;
+        let idle: &PeMask = idle;
+        let protocol: &AnyProtocol = protocol;
+        let probes = std::thread::scope(|scope| {
+            let shards = processors
+                .chunks_mut(chunk)
+                .zip(last_results.chunks_mut(chunk))
+                .zip(caches.chunks_mut(chunk))
+                .zip(cache_stats.chunks_mut(chunk))
+                .zip(last_progress.chunks_mut(chunk))
+                .zip(last_addr.chunks_mut(chunk))
+                .zip(issue_decisions.chunks_mut(chunk));
+            let handles: Vec<_> = shards
+                .enumerate()
+                .map(|(w, shard)| {
+                    let ((((((procs, results), caches), stats), progress), addrs), decisions) =
+                        shard;
+                    let start = w * chunk;
+                    scope.spawn(move || {
+                        issue_worker(
+                            start, procs, results, caches, stats, progress, addrs, decisions, idle,
+                            protocol, cycle,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("issue worker panicked"))
+                .sum::<u64>()
+        });
+        self.stats.tag_probes += probes;
+        for pe in 0..n {
+            match std::mem::take(&mut self.issue_decisions[pe]) {
+                IssueDecision::None => {}
+                IssueDecision::Halt => self.set_status(pe, PeStatus::Done),
+                IssueDecision::Hit { addr, was, now } => {
+                    self.sync_owner(pe, addr, Some(was), Some(now));
+                }
+                IssueDecision::Enqueue { addr, op, pending } => {
+                    // Mirror `start_op`'s exact effect order on shared
+                    // state: telemetry mark, then enqueue (which itself
+                    // re-arms the arbitration clock), then the status
+                    // gate.
+                    match pending {
+                        Pending::Read { .. } => self.mark_read_miss(pe),
+                        Pending::LockedRead { .. } => self.mark_ts_issued(pe),
+                        _ => {}
+                    }
+                    self.enqueue(PeId::new(pe as u16), addr, op);
+                    self.set_status(pe, PeStatus::WaitBus(pending));
+                }
             }
         }
     }
@@ -1229,6 +1418,7 @@ impl Machine {
             Access::Read(addr) => {
                 // One probe serves both the protocol's hit/miss
                 // decision and the hit path's state-and-data access.
+                self.stats.tag_probes += 1;
                 let mut hit = None;
                 let outcome = match self.caches[pe].get_mut(addr) {
                     Some(entry) => {
@@ -1284,6 +1474,7 @@ impl Machine {
             }
             Access::Write(addr, value) => {
                 // Same single-probe structure as the read path above.
+                self.stats.tag_probes += 1;
                 let mut hit = None;
                 let outcome = match self.caches[pe].get_mut(addr) {
                     Some(entry) => {
@@ -1387,6 +1578,9 @@ impl Machine {
                 self.traffic.bus_mut(bus).record_occupied();
                 continue;
             }
+            if !self.queues[bus].is_empty() {
+                self.stats.queue_scans += 1;
+            }
             match self.queues[bus].grant(self.arbiters[bus].as_mut()) {
                 None => self.traffic.bus_mut(bus).record_idle(),
                 Some(tx) => {
@@ -1476,6 +1670,7 @@ impl Machine {
             // One probe yields the supplied data and applies the
             // supplier's state transition; nothing in between reads
             // cache state or the owner index, so the hoist is inert.
+            self.stats.tag_probes += 1;
             let (data, old, next) = {
                 let entry = self.caches[supplier]
                     .get_mut(addr)
@@ -1506,8 +1701,7 @@ impl Machine {
             self.dispatch_snoop(
                 addr,
                 SnoopEvent::Write(data),
-                Some(tx.initiator.index()),
-                Some(supplier),
+                SkipPes::initiator(tx.initiator.index()).with_supplier(supplier),
             );
             self.notify(Observation::Supplied {
                 supplier,
@@ -1561,7 +1755,7 @@ impl Machine {
         } else {
             SnoopEvent::Read(value)
         };
-        self.dispatch_snoop(addr, event, Some(tx.initiator.index()), None);
+        self.dispatch_snoop(addr, event, SkipPes::initiator(tx.initiator.index()));
 
         // The initiator's own line fills.
         let pe = tx.initiator.index();
@@ -1656,7 +1850,7 @@ impl Machine {
         } else {
             SnoopEvent::Write(value)
         };
-        self.dispatch_snoop(addr, event, Some(tx.initiator.index()), None);
+        self.dispatch_snoop(addr, event, SkipPes::initiator(tx.initiator.index()));
 
         let pe = tx.initiator.index();
         let prior = self.line_state(pe, addr);
@@ -1696,8 +1890,7 @@ impl Machine {
         self.dispatch_snoop(
             addr,
             SnoopEvent::Invalidate,
-            Some(tx.initiator.index()),
-            None,
+            SkipPes::initiator(tx.initiator.index()),
         );
 
         let pe = tx.initiator.index();
@@ -1725,16 +1918,79 @@ impl Machine {
     }
 
     /// Dispatches a snoop event to every cache holding `addr` except the
-    /// two skip slots: the transaction's `initiator`, and the `supplier`
-    /// on the abort path. Consults the sharer index, so only actual
-    /// holders are visited.
-    fn dispatch_snoop(
-        &mut self,
-        addr: Addr,
-        event: SnoopEvent,
-        initiator: Option<usize>,
-        supplier: Option<usize>,
-    ) {
+    /// [`SkipPes`] slots. Consults the sharer index, so only actual
+    /// holders are visited — in ascending PE order on both paths, so
+    /// observable behaviour is bit-identical whichever one runs.
+    fn dispatch_snoop(&mut self, addr: Addr, event: SnoopEvent, skip: SkipPes) {
+        // The batched path requires per-sharer outcomes that cannot
+        // diverge: no parity faults to heal, no fault engine, and a
+        // machine shape with no per-sharer attachment filter.
+        if self.batch_snoop && !self.faults_possible() {
+            self.dispatch_snoop_batched(addr, event, skip);
+        } else {
+            self.dispatch_snoop_scan(addr, event, skip);
+        }
+    }
+
+    /// The batched broadcast application: walks `addr`'s sharer bitset
+    /// word at a time, popcounts the aggregate visit/probe work, and
+    /// applies the protocol's snoop transition straight into each SoA
+    /// tag store via [`TagStore::apply_broadcast`] — no per-sharer tag
+    /// scan, skip test, or attachment check. Only runs on shapes where
+    /// that is exact (see [`Machine::dispatch_snoop`]); a line's
+    /// parity is provably good here (bad parity implies
+    /// `faults_possible`), so the heal path cannot be needed.
+    fn dispatch_snoop_batched(&mut self, addr: Addr, event: SnoopEvent, skip: SkipPes) {
+        let base = self.block_base(addr);
+        let word = event.word();
+        // Disjoint field borrows: the sharer words are only read —
+        // snooping never evicts a line (even a snoop to Invalid leaves
+        // it present), so membership is stable across the loop.
+        let Machine {
+            sharers,
+            caches,
+            owners,
+            protocol,
+            stats,
+            ..
+        } = self;
+        for (w, &bits) in sharers.words(base).iter().enumerate() {
+            let mut bits = bits;
+            for skip_pe in [skip.initiator, skip.supplier].into_iter().flatten() {
+                if skip_pe / 64 == w {
+                    bits &= !(1u64 << (skip_pe % 64));
+                }
+            }
+            stats.sharer_visits += u64::from(bits.count_ones());
+            stats.tag_probes += u64::from(bits.count_ones());
+            while bits != 0 {
+                let pe = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (old, next) = caches[pe].apply_broadcast(addr, word, |s| {
+                    let out = protocol.snoop(s, event);
+                    (out.next, out.capture)
+                });
+                if next != old {
+                    // `sync_owner` inlined over the destructured
+                    // borrows.
+                    let owned = protocol.supplies_on_snoop_read(old);
+                    let owns = protocol.supplies_on_snoop_read(next);
+                    if owned != owns {
+                        if owns {
+                            owners.add(base, pe);
+                        } else {
+                            owners.remove(base, pe);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-sharer scan path: one cursor step, skip test, attachment
+    /// check, and tag probe per holder. Handles every machine shape and
+    /// the fault paths (parity heals) the batched path excludes.
+    fn dispatch_snoop_scan(&mut self, addr: Addr, event: SnoopEvent, skip: SkipPes) {
         let bus = self.routing.bus_of(addr);
         let n = self.pe_count();
         // On a single-bus machine every PE is attached; hoist the check
@@ -1745,12 +2001,11 @@ impl Machine {
         let mut cursor = 0;
         while let Some(pe) = self.sharers.next_from(base, cursor) {
             cursor = pe + 1;
-            if Some(pe) == initiator
-                || Some(pe) == supplier
-                || !(all_attached || self.routing.is_attached(pe, bus, n))
-            {
+            if skip.skips(pe) || !(all_attached || self.routing.is_attached(pe, bus, n)) {
                 continue;
             }
+            self.stats.sharer_visits += 1;
+            self.stats.tag_probes += 1;
             if let Some(entry) = self.caches[pe].get_mut(addr) {
                 let old = *entry.state;
                 let out = self.protocol.snoop(old, event);
@@ -1783,6 +2038,22 @@ impl Machine {
         }
     }
 
+    /// Test hook: forces the per-sharer scan path even on machines
+    /// whose shape qualifies for batched broadcast application, for
+    /// batched-vs-scan equivalence tests.
+    #[doc(hidden)]
+    pub fn force_scan_snoop(&mut self) {
+        self.batch_snoop = false;
+    }
+
+    /// Test hook: how many cycles ran their issue phase through the
+    /// sharded worker pool, so equivalence tests can assert the gate
+    /// engaged. An engine-path odometer, never a simulated statistic.
+    #[doc(hidden)]
+    pub fn sharded_cycles(&self) -> u64 {
+        self.sharded_cycles
+    }
+
     /// Installs a line after a completed bus transaction, handling the
     /// eviction write-back shortcut. Keeps the sharer and supplier
     /// indexes in sync: the installed block gains this cache as a
@@ -1796,6 +2067,7 @@ impl Machine {
         state: LineState,
         data: Word,
     ) {
+        self.stats.tag_probes += 1;
         let evicted = self.caches[pe].insert(addr, state, data);
         self.sharers.add(self.block_base(addr), pe);
         self.sync_owner(pe, addr, prior, Some(state));
@@ -1851,6 +2123,8 @@ impl Machine {
         let mut cursor = 0;
         while let Some(pe) = self.pending_readers.next_from(addr.index(), cursor) {
             cursor = pe + 1;
+            self.stats.sharer_visits += 1;
+            self.stats.tag_probes += 1;
             debug_assert!(matches!(
                 self.statuses[pe],
                 PeStatus::WaitBus(Pending::Read { addr: want, .. }) if want == addr
@@ -1970,4 +2244,160 @@ impl Machine {
             );
         }
     }
+}
+
+/// One sharded issue worker: the `start_op` decision logic over the PE
+/// range `[start, start + len)`, restricted to per-PE state. Mirrors
+/// the sequential path exactly — same probe, same protocol call, same
+/// per-PE bookkeeping — with shared-state effects deferred to
+/// [`IssueDecision`]s. Returns the worker's tag-probe count.
+///
+/// The fault, trace, and observer interleavings of the sequential path
+/// are absent by the sharding gate (`issue_phase` falls back when any
+/// of them is live), so skipping them here cannot diverge.
+#[allow(clippy::too_many_arguments)]
+fn issue_worker(
+    start: usize,
+    processors: &mut [Box<dyn Processor + Send>],
+    results: &mut [Option<OpResult>],
+    caches: &mut [TagStore<LineState>],
+    cache_stats: &mut [CacheStats],
+    last_progress: &mut [u64],
+    last_addr: &mut [Option<Addr>],
+    decisions: &mut [IssueDecision],
+    idle: &PeMask,
+    protocol: &AnyProtocol,
+    cycle: u64,
+) -> u64 {
+    use crate::Access;
+    let end = start + processors.len();
+    let mut probes = 0u64;
+    let mut cursor = start;
+    while let Some(pe) = idle.next_from(cursor) {
+        if pe >= end {
+            break;
+        }
+        cursor = pe + 1;
+        let i = pe - start;
+        let last = results[i].take();
+        let op = match processors[i].next_op(last.as_ref()) {
+            crate::Poll::Halt => {
+                decisions[i] = IssueDecision::Halt;
+                continue;
+            }
+            crate::Poll::Wait => continue,
+            crate::Poll::Op(op) => op,
+        };
+        last_addr[i] = Some(op.access.addr());
+        match op.access {
+            Access::Read(addr) => {
+                probes += 1;
+                let mut hit = None;
+                let outcome = match caches[i].get_mut(addr) {
+                    Some(entry) => {
+                        let outcome = protocol.cpu_read(Some(*entry.state));
+                        if let CpuOutcome::Hit { next } = outcome {
+                            let old = *entry.state;
+                            *entry.state = next;
+                            hit = Some((old, next, *entry.data));
+                        }
+                        outcome
+                    }
+                    None => protocol.cpu_read(None),
+                };
+                match outcome {
+                    CpuOutcome::Hit { .. } => {
+                        let (old, next, value) = hit.expect("hit requires a held line");
+                        cache_stats[i].record(AccessKind::Read, op.class, true);
+                        last_progress[i] = cycle;
+                        results[i] = Some(OpResult::Read(value));
+                        if next != old {
+                            decisions[i] = IssueDecision::Hit {
+                                addr,
+                                was: old,
+                                now: next,
+                            };
+                        }
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        debug_assert_eq!(intent, BusIntent::Read, "read misses issue bus reads");
+                        cache_stats[i].record(AccessKind::Read, op.class, false);
+                        decisions[i] = IssueDecision::Enqueue {
+                            addr,
+                            op: BusOp::Read,
+                            pending: Pending::Read {
+                                addr,
+                                class: op.class,
+                            },
+                        };
+                    }
+                }
+            }
+            Access::Write(addr, value) => {
+                probes += 1;
+                let mut hit = None;
+                let outcome = match caches[i].get_mut(addr) {
+                    Some(entry) => {
+                        let outcome = protocol.cpu_write(Some(*entry.state));
+                        if let CpuOutcome::Hit { next } = outcome {
+                            let old = *entry.state;
+                            *entry.state = next;
+                            *entry.data = value;
+                            hit = Some((old, next));
+                        }
+                        outcome
+                    }
+                    None => protocol.cpu_write(None),
+                };
+                match outcome {
+                    CpuOutcome::Hit { .. } => {
+                        let (old, next) = hit.expect("hit requires a held line");
+                        cache_stats[i].record(AccessKind::Write, op.class, true);
+                        last_progress[i] = cycle;
+                        results[i] = Some(OpResult::Write);
+                        if next != old {
+                            decisions[i] = IssueDecision::Hit {
+                                addr,
+                                was: old,
+                                now: next,
+                            };
+                        }
+                    }
+                    CpuOutcome::Miss { intent } => {
+                        let bus_op = match intent {
+                            BusIntent::Write => BusOp::Write(value),
+                            BusIntent::Invalidate => BusOp::Invalidate,
+                            BusIntent::Read => {
+                                unreachable!("{} asked to read on a write", protocol.name())
+                            }
+                        };
+                        cache_stats[i].record(AccessKind::Write, op.class, false);
+                        decisions[i] = IssueDecision::Enqueue {
+                            addr,
+                            op: bus_op,
+                            pending: Pending::Write {
+                                addr,
+                                value,
+                                class: op.class,
+                            },
+                        };
+                    }
+                }
+            }
+            Access::TestAndSet(addr, set_to) => {
+                // "The initial read-with-lock does not reference the
+                // value in the cache" — always a bus operation.
+                decisions[i] = IssueDecision::Enqueue {
+                    addr,
+                    op: BusOp::ReadWithLock,
+                    pending: Pending::LockedRead {
+                        addr,
+                        set_to,
+                        class: op.class,
+                    },
+                };
+            }
+        }
+    }
+    probes
 }

@@ -129,6 +129,19 @@ impl AddrPeIndex {
             && self.words[base + pe / 64] & (1u64 << (pe % 64)) != 0
     }
 
+    /// The raw 64-bit mask words for `addr`, bit `pe % 64` of word
+    /// `pe / 64` — the batched broadcast path iterates these directly
+    /// (popcount for aggregate counts, trailing-zeros for members in
+    /// ascending PE order). Empty for addresses past the index's
+    /// current extent.
+    pub(crate) fn words(&self, addr: u64) -> &[u64] {
+        let base = self.base(addr);
+        if base + self.stride > self.words.len() {
+            return &[];
+        }
+        &self.words[base..base + self.stride]
+    }
+
     /// The first PE `>= from` whose bit is set for `addr`, in ascending
     /// order — the cursor primitive behind every holder loop.
     pub(crate) fn next_from(&self, addr: u64, from: usize) -> Option<usize> {

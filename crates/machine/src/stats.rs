@@ -27,12 +27,32 @@ pub struct MachineStats {
     /// Plain bus writes among [`MachineStats::lock_rejections`] —
     /// "any bus writes before the unlock will fail".
     pub lock_rejected_writes: u64,
+    /// Deterministic work units: logical tag-store accesses (issue
+    /// probes, snoop applications, supplier reads, installs,
+    /// pending-read checks). Counts *logical* work, so every engine
+    /// path — sequential or sharded, scanned or batched — reports the
+    /// same number; a machine-independent perf proxy gated in CI.
+    pub tag_probes: u64,
+    /// Deterministic work units: per-holder visits during broadcast
+    /// snoop dispatch plus pending-reader visits after bus
+    /// transactions — the broadcast fan-out the batched path amortizes.
+    pub sharer_visits: u64,
+    /// Deterministic work units: arbitration scans of a non-empty bus
+    /// queue (one per granted cycle; dead and held cycles scan
+    /// nothing).
+    pub queue_scans: u64,
 }
 
 impl MachineStats {
     /// Total Test-and-Set operations.
     pub fn ts_attempts(&self) -> u64 {
         self.ts_failures + self.ts_successes
+    }
+
+    /// Total deterministic work units — the scalar the CI work-unit
+    /// gate tracks per scenario.
+    pub fn work_units(&self) -> u64 {
+        self.tag_probes + self.sharer_visits + self.queue_scans
     }
 }
 

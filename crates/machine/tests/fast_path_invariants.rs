@@ -15,7 +15,7 @@
 //! widens the corpus when hunting rare interleavings.
 
 use decache_core::ProtocolKind;
-use decache_machine::{Machine, MachineBuilder, Script};
+use decache_machine::{FaultPlan, Machine, MachineBuilder, Script};
 use decache_mem::{Addr, Word};
 use decache_rng::Rng;
 
@@ -69,6 +69,14 @@ fn random_addr(rng: &mut Rng, shape: Shape, pe: usize, pes: usize) -> Addr {
 /// Builds a machine with random protocol, PE count, bus shape, cache
 /// size, and per-PE scripts mixing reads, writes, and Test-and-Set.
 fn build_random(rng: &mut Rng) -> Machine {
+    build_random_config(rng, 1, None)
+}
+
+/// [`build_random`] with an issue-phase worker count and an optional
+/// seeded fault storm (memory/cache flips, bus losses, fail stops)
+/// layered on the same drawn configuration — the RNG draw sequence is
+/// untouched, so one seed pins one machine under every engine path.
+fn build_random_config(rng: &mut Rng, threads: usize, fault_seed: Option<u64>) -> Machine {
     let kind = *rng.choose(&PROTOCOLS);
     let shape = *rng.choose(&[
         Shape::Single,
@@ -113,7 +121,54 @@ fn build_random(rng: &mut Rng) -> Machine {
         }
         builder.processor(script.build());
     }
+    builder.step_threads(threads);
+    if let Some(seed) = fault_seed {
+        builder.fault_plan(
+            FaultPlan::new(seed)
+                .memory_flip_rate(0.01)
+                .cache_flip_rate(0.01)
+                .bus_loss_rate(0.005)
+                .fail_stop_rate(0.002),
+        );
+    }
     builder.build()
+}
+
+/// Asserts two finished machines agree on everything observable:
+/// cycle count, machine/fault/cache/traffic statistics (per bus and
+/// per PE, work-unit counters included via `MachineStats`'s equality),
+/// every cache line, and all of memory.
+fn assert_observably_identical(a: &Machine, b: &Machine, what: &str, seed: u64) {
+    assert_eq!(a.cycles(), b.cycles(), "{what}: cycles (seed {seed})");
+    assert_eq!(a.stats(), b.stats(), "{what}: machine stats (seed {seed})");
+    assert_eq!(
+        a.fault_stats(),
+        b.fault_stats(),
+        "{what}: fault stats (seed {seed})"
+    );
+    assert_eq!(a.traffic(), b.traffic(), "{what}: traffic (seed {seed})");
+    for bus in 0..a.bus_count() {
+        assert_eq!(
+            a.traffic_per_bus().bus(bus),
+            b.traffic_per_bus().bus(bus),
+            "{what}: bus {bus} accounting (seed {seed})"
+        );
+    }
+    for pe in 0..a.pe_count() {
+        assert_eq!(
+            a.cache_stats(pe),
+            b.cache_stats(pe),
+            "{what}: P{pe} cache stats (seed {seed})"
+        );
+    }
+    for word in 0..a.memory().size() {
+        let addr = Addr::new(word);
+        assert_eq!(
+            a.snapshot(addr),
+            b.snapshot(addr),
+            "{what}: {addr} (seed {seed})"
+        );
+    }
 }
 
 #[test]
@@ -192,4 +247,100 @@ fn wake_schedule_matches_single_stepping() {
             );
         }
     });
+}
+
+/// Two machines from the same seed, one on the default snoop dispatch
+/// (batched over the sharer bitset where the shape allows) and one
+/// forced onto the per-sharer scan path, must agree on everything
+/// observable — including the work-unit counters, which count logical
+/// work and so must be path-independent. A third of the corpus layers
+/// a fault storm on both machines: faults force the scan path at
+/// runtime, so the dispatcher's fallback is exercised too, and the
+/// fault histories must coincide exactly. Covers all 7 protocols and
+/// every bus shape via `build_random_config`.
+#[test]
+fn batched_broadcast_matches_forced_scan() {
+    decache_rng::testing::check("batched_vs_scan", 48, |rng| {
+        let seed = rng.next_u64();
+        let fault_seed = rng.gen_bool(0.33).then(|| rng.next_u64());
+        let mut batched = build_random_config(&mut Rng::from_seed(seed), 1, fault_seed);
+        let mut scanned = build_random_config(&mut Rng::from_seed(seed), 1, fault_seed);
+        scanned.force_scan_snoop();
+
+        assert!(batched.run(300_000), "batched machine failed to terminate");
+        assert!(scanned.run(300_000), "scanned machine failed to terminate");
+        batched.assert_fast_path_invariants();
+        scanned.assert_fast_path_invariants();
+        assert_observably_identical(&batched, &scanned, "batched vs scan", seed);
+    });
+}
+
+/// Two machines from the same seed, one sequential and one built with
+/// `step_threads(4)`, must agree on everything observable. Small
+/// random machines sit below the shard gate's idle floor, so this
+/// corpus pins the gate's *inertness* (the plumbing must not perturb a
+/// machine it never engages for); the companion 256-PE test below
+/// drives the gate itself.
+#[test]
+fn sharded_issue_plumbing_is_inert_below_the_gate() {
+    decache_rng::testing::check("sharded_vs_sequential", 32, |rng| {
+        let seed = rng.next_u64();
+        let fault_seed = rng.gen_bool(0.25).then(|| rng.next_u64());
+        let mut seq = build_random_config(&mut Rng::from_seed(seed), 1, fault_seed);
+        let mut sharded = build_random_config(&mut Rng::from_seed(seed), 4, fault_seed);
+
+        assert!(seq.run(300_000), "sequential machine failed to terminate");
+        assert!(sharded.run(300_000), "sharded machine failed to terminate");
+        assert_eq!(sharded.sharded_cycles(), 0, "gate engaged below the floor");
+        assert_observably_identical(&seq, &sharded, "sharded vs sequential", seed);
+    });
+}
+
+/// A 256-PE machine whose PEs mostly hit their warmed private words —
+/// so well over 128 PEs stay idle-and-issuing per cycle, holding the
+/// shard gate open — with periodic hot-word writes for coherence
+/// traffic. The sharded run must engage (checked via the engine-path
+/// odometer) and remain byte-identical to the sequential engine.
+#[test]
+fn sharded_issue_engages_and_matches_at_256_pes() {
+    fn build(threads: usize) -> Machine {
+        const PES: usize = 256;
+        let mut builder = MachineBuilder::new(ProtocolKind::Rwb);
+        builder
+            .memory_words(1 << 12)
+            .cache_lines(16)
+            .step_threads(threads);
+        for pe in 0..PES {
+            let base = 1024 + pe as u64 * 8;
+            let mut script = Script::new();
+            for w in 0..4u64 {
+                script = script.read(Addr::new(base + w));
+            }
+            for i in 0..96u64 {
+                script = if (i + pe as u64) % 24 == 0 {
+                    script.write(Addr::new(i % 16), Word::new(pe as u64 * 1000 + i))
+                } else {
+                    script.read(Addr::new(base + i % 4))
+                };
+            }
+            builder.processor(script.build());
+        }
+        builder.build()
+    }
+
+    let mut seq = build(1);
+    let mut sharded = build(4);
+    assert!(seq.run(1_000_000), "sequential machine failed to terminate");
+    assert!(
+        sharded.run(1_000_000),
+        "sharded machine failed to terminate"
+    );
+    assert_eq!(seq.sharded_cycles(), 0);
+    assert!(
+        sharded.sharded_cycles() > 0,
+        "the shard gate never engaged at 256 PEs"
+    );
+    seq.assert_fast_path_invariants();
+    sharded.assert_fast_path_invariants();
+    assert_observably_identical(&seq, &sharded, "sharded issue at 256 PEs", 0);
 }

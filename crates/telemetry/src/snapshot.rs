@@ -32,6 +32,17 @@ fn uint(value: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("field '{key}' is not an integer"))
 }
 
+/// Like [`uint`] but treats an absent field as 0, for counters added
+/// after snapshots of this schema version were first written.
+fn uint_or_zero(value: &Json, key: &str) -> Result<u64, String> {
+    match value.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' is not an integer")),
+    }
+}
+
 /// Per-PE cache hit/miss counters, keyed by access kind × reference
 /// class exactly like `CacheStats` (the paper's Table 1-1 taxonomy).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -271,6 +282,14 @@ pub struct MachineCounts {
     pub lock_rejected_reads: u64,
     /// Plain bus writes among the rejections.
     pub lock_rejected_writes: u64,
+    /// Deterministic work units: logical tag-store accesses.
+    pub tag_probes: u64,
+    /// Deterministic work units: broadcast fan-out visits (sharer and
+    /// pending-reader).
+    pub sharer_visits: u64,
+    /// Deterministic work units: arbitration scans of a non-empty bus
+    /// queue.
+    pub queue_scans: u64,
 }
 
 impl MachineCounts {
@@ -283,12 +302,21 @@ impl MachineCounts {
             lock_rejections: stats.lock_rejections,
             lock_rejected_reads: stats.lock_rejected_reads,
             lock_rejected_writes: stats.lock_rejected_writes,
+            tag_probes: stats.tag_probes,
+            sharer_visits: stats.sharer_visits,
+            queue_scans: stats.queue_scans,
         }
     }
 
     /// Total Test-and-Set operations.
     pub fn ts_attempts(&self) -> u64 {
         self.ts_successes + self.ts_failures
+    }
+
+    /// Total deterministic work units, matching
+    /// `MachineStats::work_units`.
+    pub fn work_units(&self) -> u64 {
+        self.tag_probes + self.sharer_visits + self.queue_scans
     }
 
     fn merge(&mut self, other: &MachineCounts) {
@@ -299,6 +327,9 @@ impl MachineCounts {
         self.lock_rejections += other.lock_rejections;
         self.lock_rejected_reads += other.lock_rejected_reads;
         self.lock_rejected_writes += other.lock_rejected_writes;
+        self.tag_probes += other.tag_probes;
+        self.sharer_visits += other.sharer_visits;
+        self.queue_scans += other.queue_scans;
     }
 
     fn to_json(self) -> Json {
@@ -310,6 +341,9 @@ impl MachineCounts {
             ("lock_rejections", Json::U64(self.lock_rejections)),
             ("lock_rejected_reads", Json::U64(self.lock_rejected_reads)),
             ("lock_rejected_writes", Json::U64(self.lock_rejected_writes)),
+            ("tag_probes", Json::U64(self.tag_probes)),
+            ("sharer_visits", Json::U64(self.sharer_visits)),
+            ("queue_scans", Json::U64(self.queue_scans)),
         ])
     }
 
@@ -322,6 +356,11 @@ impl MachineCounts {
             lock_rejections: uint(value, "lock_rejections")?,
             lock_rejected_reads: uint(value, "lock_rejected_reads")?,
             lock_rejected_writes: uint(value, "lock_rejected_writes")?,
+            // The work-unit counters postdate the first schema-1
+            // snapshots; absent means a run that never counted them.
+            tag_probes: uint_or_zero(value, "tag_probes")?,
+            sharer_visits: uint_or_zero(value, "sharer_visits")?,
+            queue_scans: uint_or_zero(value, "queue_scans")?,
         })
     }
 }
@@ -933,6 +972,44 @@ impl MetricsSnapshot {
             ),
         );
 
+        // Work-unit identities (skipped for legacy snapshots that
+        // predate the counters and parsed them as all-zero). Every
+        // sharer or pending-reader visit probes exactly one tag store,
+        // every issued CPU reference probes one, and every
+        // broadcast-satisfied read was one pending-reader visit — on
+        // both the scanned and the batched dispatch path.
+        if m.work_units() > 0 {
+            check(
+                m.tag_probes >= m.sharer_visits,
+                format!(
+                    "tag probes {} < sharer visits {}",
+                    m.tag_probes, m.sharer_visits
+                ),
+            );
+            check(
+                m.sharer_visits >= m.broadcast_satisfied,
+                format!(
+                    "sharer visits {} < broadcasts satisfied {}",
+                    m.sharer_visits, m.broadcast_satisfied
+                ),
+            );
+            check(
+                m.tag_probes >= self.cache_total().total_references(),
+                format!(
+                    "tag probes {} < cache references {}",
+                    m.tag_probes,
+                    self.cache_total().total_references()
+                ),
+            );
+            check(
+                m.queue_scans <= self.cycles.saturating_mul(self.buses),
+                format!(
+                    "queue scans {} > cycles {} x buses {}",
+                    m.queue_scans, self.cycles, self.buses
+                ),
+            );
+        }
+
         // Eviction write-backs and fail-stop drains are each charged
         // one bus write.
         check(
@@ -1115,6 +1192,47 @@ mod tests {
         assert_eq!(
             snapshot.machine.ts_attempts(),
             machine.stats().ts_attempts()
+        );
+        assert_eq!(
+            snapshot.machine.work_units(),
+            machine.stats().work_units(),
+            "work-unit counters survive the snapshot"
+        );
+        assert!(snapshot.machine.tag_probes > 0);
+    }
+
+    #[test]
+    fn legacy_snapshot_without_work_units_still_parses() {
+        let machine = sample_machine(false);
+        let snapshot = MetricsSnapshot::from_machine(&machine);
+        let mut text = snapshot.to_json_string();
+        for key in ["tag_probes", "sharer_visits", "queue_scans"] {
+            let needle = format!(
+                ",\"{key}\":{}",
+                match key {
+                    "tag_probes" => snapshot.machine.tag_probes,
+                    "sharer_visits" => snapshot.machine.sharer_visits,
+                    _ => snapshot.machine.queue_scans,
+                }
+            );
+            assert!(text.contains(&needle), "expected {needle} in {text}");
+            text = text.replace(&needle, "");
+        }
+        let back = MetricsSnapshot::parse(&text).unwrap();
+        assert_eq!(back.machine.work_units(), 0, "absent counters read as 0");
+        back.check_conservation()
+            .expect("work-unit identities are skipped for legacy snapshots");
+    }
+
+    #[test]
+    fn conservation_catches_doctored_work_units() {
+        let machine = sample_machine(true);
+        let mut snapshot = MetricsSnapshot::from_machine(&machine);
+        snapshot.machine.sharer_visits = snapshot.machine.tag_probes + 1;
+        let violations = snapshot.check_conservation().unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("tag probes")),
+            "{violations:?}"
         );
     }
 

@@ -216,7 +216,32 @@ fn eviction_churn(kind: ProtocolKind) -> Machine {
     eviction_churn_builder(kind).build()
 }
 
-const SCENARIOS: [Scenario; 5] = [
+/// 128 PEs on the mixed workload over one bus — the paper's §7 scale.
+/// Large-n coverage for the batched broadcast path and the sharded
+/// issue phase (every other scenario is small-n).
+fn mix_128pe_builder(kind: ProtocolKind) -> MachineBuilder {
+    let shared = AddrRange::with_len(Addr::new(0), 64);
+    let config = MixConfig {
+        ops_per_pe: 60,
+        ..MixConfig::default()
+    };
+    // Memory must cover every PE's private region (see MixWorkload::new).
+    let memory_words = (1u64 << 14).max((1088 + 128u64 * 256).next_power_of_two());
+    let mut builder = MachineBuilder::new(kind);
+    builder
+        .memory_words(memory_words)
+        .cache_lines(256)
+        .processors(128, |pe| {
+            Box::new(MixWorkload::new(config, shared, pe as u64))
+        });
+    builder
+}
+
+fn mix_128pe(kind: ProtocolKind) -> Machine {
+    mix_128pe_builder(kind).build()
+}
+
+const SCENARIOS: [Scenario; 6] = [
     Scenario {
         name: "mix_single",
         build: mix_single,
@@ -237,17 +262,22 @@ const SCENARIOS: [Scenario; 5] = [
         name: "eviction_churn",
         build: eviction_churn,
     },
+    Scenario {
+        name: "mix_128pe",
+        build: mix_128pe,
+    },
 ];
 
 /// Golden fingerprints captured from the pre-optimization engine
 /// (rows: scenario; columns: the seven protocols in `PROTOCOLS` order).
 #[rustfmt::skip]
-const GOLDEN: [(&str, [u64; 7]); 5] = [
+const GOLDEN: [(&str, [u64; 7]); 6] = [
     ("mix_single", [0x636d5a182cc03c6c, 0x0dcfcc4b752adba9, 0xac24686ff847893c, 0x4398f6f33868cb32, 0x457c0946a3ec3baa, 0x69eca5b8cf8e6847, 0x734b3f48eeeec781]),
     ("mix_dualbus", [0x19c17eb2a87033c0, 0x3f8e376bdfc16e89, 0xc6a406c794b2b991, 0x11f01a82e70a7482, 0x6c3a98743900fa3a, 0xf52cb474e4d6c471, 0x569af8055d022000]),
     ("mix_clustered", [0x9fcfb04e0dfd63b2, 0x3cbc8fb1e23a3055, 0xcca416d13c172d5d, 0x328f83a224abe505, 0x315dc7ba6093e22f, 0x3c0291232dfe0544, 0x4111bbb37c0bc4dd]),
     ("ts_contention", [0xa73bbda14da1f1b4, 0xa73bbda14da1f1b4, 0xfb6d0ccb464e2e25, 0xbda95245f6865ec2, 0x66be13973f1cac59, 0x66be13973f1cac59, 0x66be13973f1cac59]),
     ("eviction_churn", [0xc4351197056304ec, 0xc4351197056304ec, 0x0b15d5de758b6bf4, 0x1016366c2f145d1d, 0x0b15d5de758b6bf4, 0x0b15d5de758b6bf4, 0x0b15d5de758b6bf4]),
+    ("mix_128pe", [0xec9052056162eda5, 0xf065c988e81804ff, 0x6b680dfd553494e8, 0x9eab946c3805b74f, 0x1ca71498e80f7161, 0x9b7086944ffaafa1, 0xc87b4e3389d3bcb9]),
 ];
 
 fn fingerprint(scenario: &Scenario, kind: ProtocolKind) -> (u64, String) {
@@ -363,6 +393,30 @@ fn telemetry_is_invisible_to_fingerprints() {
                 )
             });
         }
+    }
+}
+
+/// The sharded issue phase must be invisible: `mix_128pe` rebuilt with
+/// `step_threads(4)` — a shape whose idle population holds the shard
+/// gate open — reproduces the exact same golden fingerprints as the
+/// sequential engine, for every protocol.
+#[test]
+fn sharded_issue_is_invisible_to_fingerprints() {
+    let golden = GOLDEN
+        .iter()
+        .find(|(name, _)| *name == "mix_128pe")
+        .expect("scenario present in the golden table");
+    for (&kind, &expect) in PROTOCOLS.iter().zip(golden.1.iter()) {
+        let mut builder = mix_128pe_builder(kind);
+        builder.step_threads(4);
+        let mut machine = builder.build();
+        let cycles = machine.run_to_completion(50_000_000);
+        let text = dump(&machine, cycles);
+        assert_eq!(
+            fnv1a(&text),
+            expect,
+            "the sharded issue phase perturbed mix_128pe under {kind:?};\nfull dump:\n{text}"
+        );
     }
 }
 
