@@ -27,7 +27,7 @@ fn main() {
             "k = {k}: states {:?}",
             rwb.states()
                 .iter()
-                .map(|s| s.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
         );
     }

@@ -52,7 +52,7 @@ fn main() {
             report
                 .configurations
                 .iter()
-                .map(|c| c.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("+"),
             if report.holds() {

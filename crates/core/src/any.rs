@@ -1,5 +1,6 @@
 //! Static dispatch over the built-in protocols.
 
+use crate::ir::{self, TableProtocol};
 use crate::{
     BusIntent, CpuOutcome, LineState, Protocol, ProtocolKind, Rb, Rwb, SnoopEvent, SnoopOutcome,
     WriteOnce, WriteThrough,
@@ -37,6 +38,11 @@ pub enum AnyProtocol {
     WriteOnce(WriteOnce),
     /// The write-through-invalidate baseline.
     WriteThrough(WriteThrough),
+    /// Any table-defined protocol (MESI and future IR-only schemes),
+    /// executed by the generic rule interpreter. Dispatch through this
+    /// arm is data-driven rather than inlined — acceptable because
+    /// table protocols are opt-in and never on the paper schemes' path.
+    Table(TableProtocol),
 }
 
 impl AnyProtocol {
@@ -54,6 +60,7 @@ impl AnyProtocol {
             ProtocolKind::RwbThreshold(k) => AnyProtocol::Rwb(Rwb::with_threshold(k)),
             ProtocolKind::WriteOnce => AnyProtocol::WriteOnce(WriteOnce::new()),
             ProtocolKind::WriteThrough => AnyProtocol::WriteThrough(WriteThrough::new()),
+            ProtocolKind::Mesi => AnyProtocol::Table(TableProtocol::new(ir::mesi())),
         }
     }
 }
@@ -66,6 +73,7 @@ macro_rules! forward {
             AnyProtocol::Rwb($p) => $body,
             AnyProtocol::WriteOnce($p) => $body,
             AnyProtocol::WriteThrough($p) => $body,
+            AnyProtocol::Table($p) => $body,
         }
     };
 }
@@ -131,6 +139,20 @@ impl Protocol for AnyProtocol {
     fn uses_bus_invalidate(&self) -> bool {
         forward!(self, p => p.uses_bus_invalidate())
     }
+
+    fn fill_depends_on_sharers(&self) -> bool {
+        forward!(self, p => p.fill_depends_on_sharers())
+    }
+
+    #[inline]
+    fn own_complete_shared(
+        &self,
+        state: Option<LineState>,
+        intent: BusIntent,
+        other_holders: bool,
+    ) -> LineState {
+        forward!(self, p => p.own_complete_shared(state, intent, other_holders))
+    }
 }
 
 #[cfg(test)]
@@ -138,13 +160,14 @@ mod tests {
     use super::*;
     use decache_mem::Word;
 
-    const KINDS: [ProtocolKind; 6] = [
+    const KINDS: [ProtocolKind; 7] = [
         ProtocolKind::Rb,
         ProtocolKind::RbNoBroadcast,
         ProtocolKind::Rwb,
         ProtocolKind::RwbThreshold(4),
         ProtocolKind::WriteOnce,
         ProtocolKind::WriteThrough,
+        ProtocolKind::Mesi,
     ];
 
     /// The static dispatcher agrees with the boxed protocol on every
@@ -158,6 +181,10 @@ mod tests {
             assert_eq!(fast.states(), boxed.states());
             assert_eq!(fast.broadcasts_write_data(), boxed.broadcasts_write_data());
             assert_eq!(fast.uses_bus_invalidate(), boxed.uses_bus_invalidate());
+            assert_eq!(
+                fast.fill_depends_on_sharers(),
+                boxed.fill_depends_on_sharers()
+            );
             let w = Word::new(7);
             let events = [
                 SnoopEvent::Read(w),
@@ -180,6 +207,13 @@ mod tests {
                     fast.own_unlock_write_complete(state),
                     boxed.own_unlock_write_complete(state)
                 );
+                for shared in [false, true] {
+                    assert_eq!(
+                        fast.own_complete_shared(state, BusIntent::Read, shared),
+                        boxed.own_complete_shared(state, BusIntent::Read, shared),
+                        "{kind:?}"
+                    );
+                }
                 if let Some(s) = state {
                     for event in events {
                         assert_eq!(fast.snoop(s, event), boxed.snoop(s, event), "{kind:?}");

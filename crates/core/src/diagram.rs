@@ -210,11 +210,7 @@ mod tests {
     use crate::{Rb, Rwb, WriteOnce};
     use LineState::{FirstWrite, Invalid, Local, Readable};
 
-    fn find<'a>(
-        rows: &'a [TransitionRow],
-        from: LineState,
-        stimulus: Stimulus,
-    ) -> &'a TransitionRow {
+    fn find(rows: &[TransitionRow], from: LineState, stimulus: Stimulus) -> &TransitionRow {
         rows.iter()
             .find(|r| r.from == from && r.stimulus == stimulus)
             .unwrap_or_else(|| panic!("no row for {from} on {stimulus}"))
@@ -318,7 +314,10 @@ mod tests {
 
     #[test]
     fn stimulus_display() {
-        let labels: Vec<String> = Stimulus::ALL.iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = Stimulus::ALL
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(labels, vec!["CR", "CW", "BR", "BW", "BI"]);
     }
 }

@@ -1,5 +1,6 @@
 //! Value-level protocol selection for experiment sweeps.
 
+use crate::ir::{self, TableProtocol};
 use crate::{Protocol, Rb, Rwb, WriteOnce, WriteThrough};
 use std::fmt;
 
@@ -32,6 +33,10 @@ pub enum ProtocolKind {
     WriteOnce,
     /// Plain write-through-invalidate baseline.
     WriteThrough,
+    /// The MESI protocol, defined purely as guarded-action IR data
+    /// ([`crate::ir::mesi`]) and executed by the generic rule
+    /// interpreter — no dedicated engine code.
+    Mesi,
 }
 
 impl ProtocolKind {
@@ -57,6 +62,7 @@ impl ProtocolKind {
             ProtocolKind::RwbThreshold(k) => Box::new(Rwb::with_threshold(k)),
             ProtocolKind::WriteOnce => Box::new(WriteOnce::new()),
             ProtocolKind::WriteThrough => Box::new(WriteThrough::new()),
+            ProtocolKind::Mesi => Box::new(TableProtocol::new(ir::mesi())),
         }
     }
 }
@@ -83,6 +89,7 @@ mod tests {
         assert_eq!(ProtocolKind::RwbThreshold(3).build().name(), "RWB(k=3)");
         assert_eq!(ProtocolKind::WriteOnce.build().name(), "write-once");
         assert_eq!(ProtocolKind::WriteThrough.build().name(), "write-through");
+        assert_eq!(ProtocolKind::Mesi.build().name(), "MESI");
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod any;
 mod config;
 mod diagram;
 pub mod introspect;
+pub mod ir;
 mod kind;
 mod protocol;
 mod rb;

@@ -206,6 +206,29 @@ pub trait Protocol: fmt::Debug + Send + Sync {
     fn uses_bus_invalidate(&self) -> bool {
         false
     }
+
+    /// Whether the read-miss fill state depends on the abstract
+    /// configuration of the other caches (MESI's exclusive-vs-shared
+    /// fill). False for every paper scheme, letting the machine skip
+    /// the sharer sample on the hot path.
+    fn fill_depends_on_sharers(&self) -> bool {
+        false
+    }
+
+    /// [`Protocol::own_complete`] with the sampled "some other cache
+    /// holds the line readable" bit, for protocols whose read-miss fill
+    /// is guarded on it ([`Protocol::fill_depends_on_sharers`]). The
+    /// bit is sampled after any interrupt-and-supply and before the
+    /// read broadcast. The default ignores it.
+    fn own_complete_shared(
+        &self,
+        state: Option<LineState>,
+        intent: BusIntent,
+        other_holders: bool,
+    ) -> LineState {
+        let _ = other_holders;
+        self.own_complete(state, intent)
+    }
 }
 
 #[cfg(test)]

@@ -259,10 +259,10 @@ impl Machine {
             transaction_cycles >= 1,
             "transactions take at least one cycle"
         );
-        let geometry = caches
-            .first()
-            .map(TagStore::geometry)
-            .unwrap_or_else(|| decache_cache::Geometry::direct_mapped(1));
+        let geometry = caches.first().map_or_else(
+            || decache_cache::Geometry::direct_mapped(1),
+            TagStore::geometry,
+        );
         assert!(
             caches.iter().all(|c| c.geometry() == geometry),
             "the sharer index requires all caches to share one geometry"
@@ -1654,6 +1654,30 @@ impl Machine {
         None
     }
 
+    /// Does any cache other than `pe` hold `addr` in a locally-readable
+    /// state? Samples the guarded-fill bit for protocols whose read-miss
+    /// fill depends on sharing (MESI). Walks the sharer index (which
+    /// includes `Invalid` holders, hence the per-holder tag probe, which
+    /// is counted honestly).
+    fn other_readable_holder(&mut self, pe: usize, addr: Addr) -> bool {
+        let base = self.block_base(addr);
+        let mut cursor = 0;
+        while let Some(holder) = self.sharers.next_from(base, cursor) {
+            cursor = holder + 1;
+            if holder == pe {
+                continue;
+            }
+            self.stats.tag_probes += 1;
+            if self
+                .line_state(holder, addr)
+                .is_some_and(decache_core::LineState::is_readable_locally)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     fn execute_read(&mut self, bus: usize, tx: BusTransaction) {
         let addr = tx.addr;
         let locked = matches!(tx.op, BusOp::ReadWithLock);
@@ -1749,6 +1773,17 @@ impl Machine {
         });
         self.note_memory_service();
 
+        let pe = tx.initiator.index();
+
+        // Guarded-fill sample (MESI exclusive-vs-shared): taken after
+        // any interrupt-and-supply, before the read broadcast — the
+        // read snoop of a sharer-dependent protocol never changes the
+        // readable-holder set, so the ordering is immaterial to it.
+        // Paper protocols short-circuit here and skip the tag walk.
+        let shared = !locked
+            && self.protocol.fill_depends_on_sharers()
+            && self.other_readable_holder(pe, addr);
+
         // Broadcast: every other holder snoops the returned value.
         let event = if locked {
             SnoopEvent::LockedRead(value)
@@ -1758,10 +1793,12 @@ impl Machine {
         self.dispatch_snoop(addr, event, SkipPes::initiator(tx.initiator.index()));
 
         // The initiator's own line fills.
-        let pe = tx.initiator.index();
         let prior = self.line_state(pe, addr);
         let next = if locked {
             self.protocol.own_locked_read_complete(prior)
+        } else if self.protocol.fill_depends_on_sharers() {
+            self.protocol
+                .own_complete_shared(prior, BusIntent::Read, shared)
         } else {
             self.protocol.own_complete(prior, BusIntent::Read)
         };

@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn spin_reader_stops_on_condition() {
-        let mut pe = SpinReader::new(Addr::new(4), |w| w.is_zero());
+        let mut pe = SpinReader::new(Addr::new(4), decache_mem::Word::is_zero);
         // Issues a read, sees 1, spins; sees 0, halts.
         assert!(pe.next_op(None).is_op());
         assert!(pe.next_op(Some(&OpResult::Read(Word::ONE))).is_op());

@@ -146,20 +146,16 @@ fn rb_reader_sees_latest_value_after_writer() {
     for kind in ProtocolKind::ALL {
         let mut m = MachineBuilder::new(kind)
             .processor(Script::new().write(x, w(42)).build())
-            .processor(SpinReaderBox::new(x, 42))
+            .processor(spin_reader(x, 42))
             .build();
         m.run_to_completion(10_000);
         assert_eq!(m.memory().peek(x).unwrap(), w(42), "{kind}");
     }
 }
 
-/// A spin reader that halts once it observes the expected value.
-struct SpinReaderBox;
-
-impl SpinReaderBox {
-    fn new(x: Addr, expect: u64) -> Box<dyn decache_machine::Processor + Send> {
-        Box::new(SpinReader::new(x, move |v| v == Word::new(expect)))
-    }
+/// A boxed spin reader that halts once it observes the expected value.
+fn spin_reader(x: Addr, expect: u64) -> Box<dyn decache_machine::Processor + Send> {
+    Box::new(SpinReader::new(x, move |v| v == Word::new(expect)))
 }
 
 // ---------------------------------------------------------------------

@@ -317,7 +317,7 @@ fn sharded_issue_engages_and_matches_at_256_pes() {
                 script = script.read(Addr::new(base + w));
             }
             for i in 0..96u64 {
-                script = if (i + pe as u64) % 24 == 0 {
+                script = if (i + pe as u64).is_multiple_of(24) {
                     script.write(Addr::new(i % 16), Word::new(pe as u64 * 1000 + i))
                 } else {
                     script.read(Addr::new(base + i % 4))

@@ -1,0 +1,114 @@
+//! Deriving a rule table from any [`Protocol`] implementation.
+
+use decache_core::introspect::{transition_domain, TableInput, TransitionKey};
+use decache_core::ir::{Effect, Guard, Rule, RuleTable};
+use decache_core::{CpuOutcome, Protocol};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Compiles a [`Protocol`] implementation to its guarded-action rule
+/// table by probing every cell of its transition domain.
+///
+/// The probe is context-free, so every compiled rule carries
+/// [`Guard::Always`] — correct for the paper's seven schemes, whose
+/// decisions never depend on other caches' states. (Compiling a
+/// sharer-dependent protocol like MESI through this path would collapse
+/// its guarded fill to the shared branch, which is why MESI's table is
+/// authored directly in [`decache_core::ir::mesi`] instead.)
+///
+/// Cells on which the implementation panics produce no rule; the
+/// analyzer then reports them as totality holes.
+pub fn compile(protocol: &dyn Protocol) -> RuleTable {
+    let rules = transition_domain(protocol)
+        .into_iter()
+        .filter_map(|key| {
+            probe_effect(protocol, key).map(|effect| Rule {
+                from: key.state,
+                input: key.input,
+                guard: Guard::Always,
+                effect,
+            })
+        })
+        .collect();
+    let mut table = RuleTable {
+        name: protocol.name(),
+        states: protocol.states(),
+        uses_bus_invalidate: protocol.uses_bus_invalidate(),
+        broadcasts_write_data: protocol.broadcasts_write_data(),
+        rules,
+    };
+    table.normalize();
+    table
+}
+
+/// Probes one cell, mapping the trait outcome to its [`Effect`];
+/// `None` when the implementation panics (non-total handling).
+fn probe_effect(protocol: &dyn Protocol, key: TransitionKey) -> Option<Effect> {
+    let cpu = |out: CpuOutcome| match out {
+        CpuOutcome::Hit { next } => Effect::Hit { next },
+        CpuOutcome::Miss { intent } => Effect::Issue { intent },
+    };
+    catch_unwind(AssertUnwindSafe(|| match key.input {
+        TableInput::CpuRead => cpu(protocol.cpu_read(key.state)),
+        TableInput::CpuWrite => cpu(protocol.cpu_write(key.state)),
+        TableInput::OwnComplete(intent) => Effect::Next {
+            next: protocol.own_complete(key.state, intent),
+            capture: false,
+        },
+        TableInput::OwnLockedRead => Effect::Next {
+            next: protocol.own_locked_read_complete(key.state),
+            capture: false,
+        },
+        TableInput::OwnUnlockWrite => Effect::Next {
+            next: protocol.own_unlock_write_complete(key.state),
+            capture: false,
+        },
+        TableInput::Snoop(kind) => {
+            let state = key.state.expect("snoop rows exist only for held states");
+            let out = protocol.snoop(state, kind.event());
+            Effect::Next {
+                next: out.next,
+                capture: out.capture,
+            }
+        }
+        TableInput::Supply => {
+            let state = key.state.expect("supply rows exist only for held states");
+            Effect::Supply {
+                next: protocol.after_supply(state),
+            }
+        }
+        TableInput::Evict => {
+            let state = key.state.expect("evict rows exist only for held states");
+            Effect::Evict {
+                writeback: protocol.writeback_on_evict(state),
+            }
+        }
+    }))
+    .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decache_core::introspect::probe_outcome;
+    use decache_core::ProtocolKind;
+
+    /// The compiled effect of every domain cell renders byte-for-byte as
+    /// the probe of the original implementation.
+    #[test]
+    fn compiled_effects_render_as_probe_outcomes() {
+        let p = ProtocolKind::Rwb.build();
+        let table = compile(p.as_ref());
+        for key in transition_domain(p.as_ref()) {
+            let rule = table
+                .matching(key.state, key.input, true)
+                .unwrap_or_else(|| panic!("no compiled rule for {key}"));
+            assert_eq!(Some(rule.effect.render()), probe_outcome(p.as_ref(), key));
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let p = ProtocolKind::WriteOnce.build();
+        assert_eq!(compile(p.as_ref()), compile(p.as_ref()));
+    }
+}

@@ -209,6 +209,14 @@ impl Inner {
                         ),
                     );
                 }
+                // The sharer bit for guarded fills: any *other* holder
+                // still readable, sampled post-supply (any Supplied
+                // observation already replayed) and pre-broadcast —
+                // exactly where the machine samples it.
+                let shared = cells
+                    .iter()
+                    .enumerate()
+                    .any(|(j, cell)| j != pe && cell.is_some_and(LineState::is_readable_locally));
                 let event = if locked {
                     SnoopEvent::LockedRead(probe)
                 } else {
@@ -220,7 +228,7 @@ impl Inner {
                     self.protocol.own_locked_read_complete(state)
                 } else {
                     self.protocol
-                        .own_complete(state, decache_core::BusIntent::Read)
+                        .own_complete_shared(state, decache_core::BusIntent::Read, shared)
                 };
                 self.cells(addr)[pe] = Some(next);
                 self.check_configuration(cycle, addr);
@@ -455,7 +463,7 @@ mod tests {
     use decache_machine::{MachineBuilder, MemOp, Script};
     use decache_mem::Addr;
 
-    const KINDS: [ProtocolKind; 7] = [
+    const KINDS: [ProtocolKind; 8] = [
         ProtocolKind::Rb,
         ProtocolKind::RbNoBroadcast,
         ProtocolKind::Rwb,
@@ -463,6 +471,7 @@ mod tests {
         ProtocolKind::RwbThreshold(3),
         ProtocolKind::WriteOnce,
         ProtocolKind::WriteThrough,
+        ProtocolKind::Mesi,
     ];
 
     fn sharing_machine(kind: ProtocolKind, oracle: &Refinement) -> decache_machine::Machine {

@@ -35,8 +35,14 @@
 //!   letters.
 //! * **Dead-transition lint** ([`lint`], [`ProductChecker::lint`]) —
 //!   transition-table rows that can never fire, unreachable states,
-//!   and non-total handling, pinned by a committed per-protocol
-//!   baseline and gated in CI by the `protocol_check` binary.
+//!   and non-total handling under exhaustive exploration at one `n`.
+//! * **Static analyzer gate** ([`static_check`]) — per-rule proofs of
+//!   totality, determinism, PE-symmetry, and invariant preservation
+//!   over **all** cache counts at once via
+//!   [`decache_protocol_ir`]'s counting abstraction, whose dead-rule
+//!   detection subsumes the dynamic lint; pinned by
+//!   `static_baseline.txt` and gated in CI by the `protocol_lint`
+//!   binary.
 //! * **Live conformance oracle** ([`Refinement`]) — subscribes to a
 //!   running [`decache_machine::Machine`]'s observation stream and
 //!   replays every simulator step against the pure protocol tables,
@@ -54,10 +60,11 @@ pub mod lint;
 mod monotonic;
 mod oracle;
 mod product;
+pub mod static_check;
 mod witness;
 
 pub use conformance::{ConformanceError, Refinement};
-pub use lint::{committed_baseline, Coverage, LintReport};
+pub use lint::{Coverage, LintReport};
 pub use monotonic::{check_monotonic_reads, MonotonicReport};
 pub use oracle::{OracleError, OracleReport, SerialOracle};
 pub use product::{ProductChecker, ProductReport};

@@ -13,19 +13,16 @@
 //! one owner and the owner intercepts the read *before* the broadcast.
 //! They are, however, exactly the rows a regression can silently grow:
 //! a protocol change that makes a previously-live row dead (or adds new
-//! dead rows) changes reachable behaviour. The committed per-protocol
-//! baseline in `lint_baseline.txt` pins the expected dead set; the
-//! `protocol_check` binary fails CI on any *new* dead entry.
+//! dead rows) changes reachable behaviour. The expected dead set is
+//! pinned by the **static** analyzer baseline in `static_baseline.txt`
+//! (see [`crate::static_check`]), whose abstraction-based dead-rule
+//! detection provably subsumes this coverage lint at every `n`; the
+//! per-`n` report here remains for exploration diagnostics and the
+//! subsumption test itself.
 
 use decache_core::introspect::{probe_outcome, transition_domain, TableInput, TransitionKey};
 use decache_core::{introspect::SnoopKind, LineState, Protocol};
 use std::collections::BTreeSet;
-
-/// The committed dead-transition baseline (canonical configuration:
-/// `n = 3`, evictions and Test-and-Set enabled). One line per protocol:
-/// `NAME: entry; entry; …`. Regenerate with
-/// `cargo run -p decache-bench --bin protocol_check -- --print-baseline`.
-const BASELINE: &str = include_str!("lint_baseline.txt");
 
 /// Records which transition-table cells fired during an exploration.
 #[derive(Debug, Clone, Default)]
@@ -121,32 +118,6 @@ impl LintReport {
     }
 }
 
-/// Looks up the committed dead-transition baseline for a protocol (by
-/// its display name). `None` if the protocol has no committed line —
-/// the CI gate treats that as a failure, forcing new protocols to
-/// commit a baseline.
-pub fn committed_baseline(protocol_name: &str) -> Option<Vec<String>> {
-    for line in BASELINE.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Some((name, entries)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim() == protocol_name {
-            return Some(
-                entries
-                    .split(';')
-                    .map(|e| e.trim().to_owned())
-                    .filter(|e| !e.is_empty())
-                    .collect(),
-            );
-        }
-    }
-    None
-}
-
 /// Builds the lint report for a protocol from exploration coverage.
 /// `evictions`/`test_and_set` restrict the domain to the events the
 /// checker actually generated, so disabled event families do not show
@@ -204,7 +175,7 @@ pub(crate) fn build_report(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::ProductChecker;
     use decache_core::ProtocolKind;
 
@@ -220,7 +191,7 @@ mod tests {
     ];
 
     #[test]
-    fn every_kind_matches_its_committed_baseline_at_the_canonical_config() {
+    fn every_kind_is_total_and_reaches_all_states_at_the_canonical_config() {
         for kind in KINDS {
             let checker = ProductChecker::new(kind, 3);
             let report = checker.explore();
@@ -231,18 +202,6 @@ mod tests {
                 lint.unreachable_states.is_empty(),
                 "{kind}: unreachable {:?}",
                 lint.unreachable_states
-            );
-            let baseline = committed_baseline(&lint.protocol)
-                .unwrap_or_else(|| panic!("{kind}: no committed baseline for {}", lint.protocol));
-            assert_eq!(
-                lint.new_dead_versus(&baseline),
-                Vec::<String>::new(),
-                "{kind}: new dead transitions (regenerate lint_baseline.txt if intended)"
-            );
-            assert_eq!(
-                lint.fixed_versus(&baseline),
-                Vec::<String>::new(),
-                "{kind}: stale baseline entries (regenerate lint_baseline.txt)"
             );
         }
     }
@@ -281,10 +240,5 @@ mod tests {
                 "restricted domain leaked {entry}"
             );
         }
-    }
-
-    #[test]
-    fn unknown_protocols_have_no_baseline() {
-        assert_eq!(committed_baseline("no-such-protocol"), None);
     }
 }

@@ -324,8 +324,17 @@ impl ProductChecker {
 
     /// Applies the effects of a completed bus read: memory (made current
     /// beforehand if a supplier interrupted) broadcasts the value to
-    /// every snooping holder.
-    fn bus_read_effects(&self, s: &mut PState, initiator: usize, locked: bool, cov: &mut Coverage) {
+    /// every snooping holder. Returns whether any *other* cache held the
+    /// line readable — the sharer bit for guarded fills, sampled after
+    /// the supply settles but before the broadcast, exactly where the
+    /// machine samples it.
+    fn bus_read_effects(
+        &self,
+        s: &mut PState,
+        initiator: usize,
+        locked: bool,
+        cov: &mut Coverage,
+    ) -> bool {
         // Interrupt-and-supply: an owning cache kills the read, writes
         // its (latest) data to memory, and demotes. The initiator's own
         // cache participates: a locked read bypasses the cache, so an
@@ -353,6 +362,8 @@ impl ProductChecker {
                 }
             }
         }
+        let shared = (0..self.n)
+            .any(|j| j != initiator && s.cells[j].is_some_and(|(st, _)| st.is_readable_locally()));
         // The (retried) read returns the memory value and broadcasts it.
         let probe = Word::ZERO;
         let (event, kind) = if locked {
@@ -375,6 +386,7 @@ impl ProductChecker {
                 s.cells[j] = Some((out.next, now_latest));
             }
         }
+        shared
     }
 
     /// Applies the effects of a bus write (data or unlocking): memory is
@@ -439,7 +451,7 @@ impl ProductChecker {
                     }
                     CpuOutcome::Miss { intent } => {
                         debug_assert_eq!(intent, BusIntent::Read);
-                        self.bus_read_effects(&mut next, i, false, cov);
+                        let shared = self.bus_read_effects(&mut next, i, false, cov);
                         // The initiator reads from (now current) memory.
                         if !next.mem_latest {
                             violations.push((
@@ -451,7 +463,9 @@ impl ProductChecker {
                             ));
                         }
                         cov.record(state_i, TableInput::OwnComplete(BusIntent::Read));
-                        let to = self.protocol.own_complete(state_i, BusIntent::Read);
+                        let to =
+                            self.protocol
+                                .own_complete_shared(state_i, BusIntent::Read, shared);
                         next.cells[i] = Some((to, next.mem_latest));
                     }
                 }
@@ -509,7 +523,7 @@ impl ProductChecker {
             Event::TsLock(i) => {
                 // The locked read bypasses the cache, reads (current)
                 // memory, and broadcasts.
-                self.bus_read_effects(&mut next, i, true, cov);
+                let _ = self.bus_read_effects(&mut next, i, true, cov);
                 if !next.mem_latest {
                     violations.push((
                         Invariant::StaleMemoryServed,
@@ -727,6 +741,20 @@ mod tests {
             let report = ProductChecker::new(kind, 3).explore();
             assert!(report.holds(), "{kind}: {:?}", report.violations);
         }
+    }
+
+    #[test]
+    fn mesi_table_protocol_lemma_and_theorem_hold() {
+        // MESI exists only as IR data; the generic interpreter must
+        // satisfy the same lemma/theorem as the hand-coded protocols.
+        for n in 1..=4 {
+            let report = ProductChecker::new(ProtocolKind::Mesi, n).explore();
+            assert!(report.holds(), "n={n}: {:?}", report.violations);
+        }
+        // The exclusive-clean fill actually happens: a lone reader's
+        // line classifies as Intermediate (E), not just Shared.
+        let report = ProductChecker::new(ProtocolKind::Mesi, 3).explore();
+        assert!(report.configurations.contains(&Configuration::Intermediate));
     }
 
     #[test]

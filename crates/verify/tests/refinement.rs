@@ -13,8 +13,8 @@ use decache_mem::{Addr, AddrRange, Word};
 use decache_rng::{testing::check, Rng};
 use decache_verify::Refinement;
 
-/// The seven protocol variants the workspace checks everywhere.
-const KINDS: [ProtocolKind; 7] = [
+/// The eight protocol variants the workspace checks everywhere.
+const KINDS: [ProtocolKind; 8] = [
     ProtocolKind::Rb,
     ProtocolKind::RbNoBroadcast,
     ProtocolKind::Rwb,
@@ -22,6 +22,7 @@ const KINDS: [ProtocolKind; 7] = [
     ProtocolKind::RwbThreshold(3),
     ProtocolKind::WriteOnce,
     ProtocolKind::WriteThrough,
+    ProtocolKind::Mesi,
 ];
 
 /// A random mix of reads, writes, and Test-and-Sets over a small hot

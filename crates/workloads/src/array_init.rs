@@ -140,8 +140,7 @@ mod tests {
                 let cached = (0..1).find_map(|pe| machine.cache_line(pe, Addr::new(i)));
                 let latest = cached
                     .filter(|(s, _)| s.owns_latest())
-                    .map(|(_, d)| d)
-                    .unwrap_or(mem);
+                    .map_or(mem, |(_, d)| d);
                 assert_eq!(latest, Word::new(i), "{kind} element {i}");
             }
         }

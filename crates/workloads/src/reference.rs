@@ -128,11 +128,7 @@ pub struct StackStream {
 impl StackStream {
     /// Creates a stream over addresses starting at `region_base`.
     pub fn new(profile: StackProfile, region_base: Addr, seed: u64) -> Self {
-        let max_stack = profile
-            .points
-            .last()
-            .map(|(s, _)| *s as usize * 4)
-            .unwrap_or(8192);
+        let max_stack = profile.points.last().map_or(8192, |(s, _)| *s as usize * 4);
         StackStream {
             profile,
             region_base: region_base.index(),

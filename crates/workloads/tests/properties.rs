@@ -84,8 +84,7 @@ fn array_init_writes_every_element() {
                 let latest = machine
                     .cache_line(0, addr)
                     .filter(|(s, _)| s.owns_latest())
-                    .map(|(_, d)| d)
-                    .unwrap_or(snap.memory());
+                    .map_or(snap.memory(), |(_, d)| d);
                 assert_eq!(latest, Word::new(i), "{kind} element {i}");
             }
         }

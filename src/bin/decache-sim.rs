@@ -3,7 +3,7 @@
 //! hit ratios.
 //!
 //! ```text
-//! decache-sim [--protocol rb|rb-nb|rwb|rwb:K|write-once|write-through]
+//! decache-sim [--protocol rb|rb-nb|rwb|rwb:K|write-once|write-through|mesi]
 //!             [--workload mix|array|lock|barrier]
 //!             [--pes N] [--buses B] [--ops N] [--cache-lines N]
 //! ```
@@ -53,6 +53,7 @@ fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
         "rwb" => Ok(ProtocolKind::Rwb),
         "write-once" => Ok(ProtocolKind::WriteOnce),
         "write-through" => Ok(ProtocolKind::WriteThrough),
+        "mesi" => Ok(ProtocolKind::Mesi),
         other => {
             if let Some(k) = other.strip_prefix("rwb:") {
                 let k: u8 = k
@@ -190,7 +191,7 @@ mod tests {
     use super::*;
 
     fn args(raw: &[&str]) -> Vec<String> {
-        raw.iter().map(|s| s.to_string()).collect()
+        raw.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -241,7 +242,8 @@ mod tests {
             parse_protocol("write-once").unwrap(),
             ProtocolKind::WriteOnce
         );
-        assert!(parse_protocol("mesi").is_err());
+        assert_eq!(parse_protocol("mesi").unwrap(), ProtocolKind::Mesi);
+        assert!(parse_protocol("moesi").is_err());
         assert!(parse_protocol("rwb:x").is_err());
     }
 

@@ -3,7 +3,8 @@
 //!
 //! Each test runs a fixed corpus of seeded cases (replayable via
 //! `DECACHE_TEST_SEED`, scalable via `DECACHE_TEST_CASES`) and checks
-//! the invariant under **all seven** `ProtocolKind` variants for every
+//! the invariant under **all eight** `ProtocolKind` variants — the
+//! paper's seven schemes plus the table-defined MESI — for every
 //! generated program, so no protocol is ever skipped by chance.
 
 use decache::core::{Configuration, ProtocolKind};
@@ -13,8 +14,9 @@ use decache::rng::{testing::check, Rng};
 
 const ADDRESSES: u64 = 8;
 
-/// The seven protocol variants of the §4 consistency claim.
-const PROTOCOLS: [ProtocolKind; 7] = [
+/// The seven protocol variants of the §4 consistency claim, plus the
+/// table-driven MESI (whose semantics live entirely in IR data).
+const PROTOCOLS: [ProtocolKind; 8] = [
     ProtocolKind::Rb,
     ProtocolKind::RbNoBroadcast,
     ProtocolKind::Rwb,
@@ -22,6 +24,7 @@ const PROTOCOLS: [ProtocolKind; 7] = [
     ProtocolKind::RwbThreshold(3),
     ProtocolKind::WriteOnce,
     ProtocolKind::WriteThrough,
+    ProtocolKind::Mesi,
 ];
 
 /// A tiny op encoding: read, write, or test-and-set.
@@ -196,8 +199,7 @@ fn single_pe_machine_is_a_plain_memory() {
                 let latest = snap
                     .line(0)
                     .filter(|(s, _)| s.owns_latest())
-                    .map(|(_, d)| d)
-                    .unwrap_or(snap.memory());
+                    .map_or(snap.memory(), |(_, d)| d);
                 assert_eq!(latest, Word::new(model[a as usize]), "@{a} under {kind}");
             }
         }

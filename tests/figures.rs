@@ -73,7 +73,7 @@ fn figure_3_1_transition_table_golden() {
     use decache::core::{transition_table, Rb};
     let rows: Vec<String> = transition_table(&Rb::new())
         .iter()
-        .map(|r| r.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let expected = vec![
         "I --CR [generate BR]--> R",
@@ -97,7 +97,7 @@ fn figure_5_1_transition_table_golden() {
     use decache::core::{transition_table, Rwb};
     let rows: Vec<String> = transition_table(&Rwb::new())
         .iter()
-        .map(|r| r.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let expected = vec![
         "I --CR [generate BR]--> R",

@@ -280,6 +280,21 @@ const GOLDEN: [(&str, [u64; 7]); 6] = [
     ("mix_128pe", [0xec9052056162eda5, 0xf065c988e81804ff, 0x6b680dfd553494e8, 0x9eab946c3805b74f, 0x1ca71498e80f7161, 0x9b7086944ffaafa1, 0xc87b4e3389d3bcb9]),
 ];
 
+/// Golden fingerprints for the table-driven MESI (rows: scenario).
+/// Kept separate from [`GOLDEN`]: those columns pin the pre-optimization
+/// engine and must never be regenerated for a protocol addition.
+/// Captured the same way, with
+/// `DECACHE_FINGERPRINT_PRINT=1 cargo test --test fingerprint -- --nocapture`.
+#[rustfmt::skip]
+const MESI_GOLDEN: [(&str, u64); 6] = [
+    ("mix_single", 0xdaaedc3b8cded7bb),
+    ("mix_dualbus", 0xf7786afab9ed5e2f),
+    ("mix_clustered", 0xc0437050a5e398f5),
+    ("ts_contention", 0x8fa3b6f530112c19),
+    ("eviction_churn", 0x0b15d5de758b6bf4),
+    ("mix_128pe", 0x6d194f5bebc80ce7),
+];
+
 fn fingerprint(scenario: &Scenario, kind: ProtocolKind) -> (u64, String) {
     let mut machine = (scenario.build)(kind);
     let cycles = machine.run_to_completion(50_000_000);
@@ -416,6 +431,32 @@ fn sharded_issue_is_invisible_to_fingerprints() {
             fnv1a(&text),
             expect,
             "the sharded issue phase perturbed mix_128pe under {kind:?};\nfull dump:\n{text}"
+        );
+    }
+}
+
+/// The table-driven MESI — executed by the generic rule interpreter
+/// from pure IR data — is deterministic across the full scenario grid,
+/// pinned by its own golden table so interpreter work cannot silently
+/// change a MESI statistic.
+#[test]
+fn mesi_fingerprints_match_seeded_goldens() {
+    let print_mode = std::env::var("DECACHE_FINGERPRINT_PRINT").is_ok();
+    for (scenario, golden) in SCENARIOS.iter().zip(MESI_GOLDEN.iter()) {
+        assert_eq!(
+            scenario.name, golden.0,
+            "scenario/MESI-golden tables out of sync"
+        );
+        let (hash, text) = fingerprint(scenario, ProtocolKind::Mesi);
+        if print_mode {
+            println!("    (\"{}\", 0x{hash:016x}),", scenario.name);
+            continue;
+        }
+        assert_eq!(
+            hash, golden.1,
+            "MESI fingerprint drift in scenario '{}' \
+             (got 0x{hash:016x}, want 0x{:016x});\nfull dump:\n{text}",
+            scenario.name, golden.1
         );
     }
 }
