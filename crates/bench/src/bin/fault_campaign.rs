@@ -17,14 +17,23 @@
 //!
 //! `DECACHE_CAMPAIGN_RUNS=<n>` overrides the per-cell run count (CI
 //! smoke runs use 1; the oracle and fail-stop checks still bite).
+//!
+//! The sweep runs on the supervised worker pool
+//! ([`par::supervise`]): each cell executes under a panic guard and a
+//! per-run cycle budget, so one pathological cell is quarantined and
+//! *reported* instead of silently tearing down the whole campaign.
+//! `--checkpoint-dir <dir>` / `--resume` add crash-safe progress
+//! checkpointing: completed cells land atomically in `<dir>` and a
+//! killed campaign resumes without recomputing them (see
+//! [`decache_bench::Campaign`]).
 
 use decache_analysis::TextTable;
-use decache_bench::{banner, par, record_snapshot};
+use decache_bench::{banner, par, record_snapshot, Campaign};
 use decache_core::ProtocolKind;
 use decache_machine::{FailStopPolicy, FaultPlan, Machine, MachineBuilder, Script};
 use decache_mem::{Addr, AddrRange, Word};
 use decache_rng::Rng;
-use decache_telemetry::MetricsSnapshot;
+use decache_telemetry::{Json, MetricsSnapshot};
 use decache_verify::Refinement;
 
 /// The seven protocol variants, in the workspace's canonical order.
@@ -105,9 +114,10 @@ fn campaign_script(rng: &mut Rng, pe: usize) -> Script {
 }
 
 /// One seeded campaign run: oracle-instrumented machine under a
-/// rate-driven fault plan, required to complete and conform. Returns
-/// the unified metrics snapshot (telemetry enabled).
-fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64) -> MetricsSnapshot {
+/// rate-driven fault plan, required to conform. Returns the unified
+/// metrics snapshot (telemetry enabled), or `None` if the run did not
+/// complete within `budget` cycles (the supervisor's watchdog verdict).
+fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64, budget: u64) -> Option<MetricsSnapshot> {
     let mut rng = Rng::from_seed(seed);
     let oracle = Refinement::new(kind, PES);
     let mut builder = MachineBuilder::new(kind);
@@ -125,14 +135,16 @@ fn campaign_run(kind: ProtocolKind, rate: f64, seed: u64) -> MetricsSnapshot {
         )
         .observer(oracle.observer());
     let mut machine = builder.build();
-    let outcome = machine.run_outcome(10_000_000);
-    assert!(outcome.is_complete(), "{kind} seed {seed}: {outcome}");
+    let outcome = machine.run_outcome(budget);
+    if !outcome.is_complete() {
+        return None;
+    }
     assert!(
         oracle.checked_steps() > 0,
         "{kind}: the observer saw nothing"
     );
     oracle.assert_clean();
-    MetricsSnapshot::from_machine(&machine)
+    Some(MetricsSnapshot::from_machine(&machine))
 }
 
 /// Aggregated recovery statistics for one (protocol, rate) cell.
@@ -169,7 +181,13 @@ impl Cell {
 
 /// Runs one (protocol, rate) cell: the derived recovery table row plus
 /// the merged-across-runs metrics snapshot, conservation-audited.
-fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> (Cell, MetricsSnapshot) {
+/// Returns `None` if any run exhausted the supervisor's cycle budget.
+fn sweep_cell(
+    kind: ProtocolKind,
+    rate: f64,
+    runs: u64,
+    budget: u64,
+) -> Option<(Cell, MetricsSnapshot)> {
     let mut cell = Cell {
         injected: 0,
         detected: 0,
@@ -186,7 +204,7 @@ fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> (Cell, MetricsSnapsho
         // Seeds depend only on (rate, run), so every protocol sees the
         // same fault-plan seeds at a given rate.
         let seed = 0x5EED_0000 + (rate * 1e6) as u64 * 1_000 + run;
-        let snapshot = campaign_run(kind, rate, seed);
+        let snapshot = campaign_run(kind, rate, seed, budget)?;
         let s = &snapshot.faults;
         cell.injected += s.total_injected();
         cell.detected += s.memory_faults_detected + s.cache_faults_detected;
@@ -209,7 +227,57 @@ fn sweep_cell(kind: ProtocolKind, rate: f64, runs: u64) -> (Cell, MetricsSnapsho
             violations.join("\n  ")
         )
     });
-    (cell, merged)
+    Some((cell, merged))
+}
+
+/// The stored form of a completed cell: the derived counters plus the
+/// merged snapshot, both raw integers, so a resumed campaign prints
+/// exactly what the uninterrupted campaign prints.
+fn encode_cell(cell: &Cell, merged: &MetricsSnapshot) -> Json {
+    Json::object(vec![
+        (
+            "cell",
+            Json::object(vec![
+                ("injected", Json::U64(cell.injected)),
+                ("detected", Json::U64(cell.detected)),
+                ("owner", Json::U64(cell.owner)),
+                ("majority", Json::U64(cell.majority)),
+                ("failed", Json::U64(cell.failed)),
+                ("heals", Json::U64(cell.heals)),
+                ("lost_writes", Json::U64(cell.lost_writes)),
+                ("latency_total", Json::U64(cell.latency_total)),
+                ("latency_samples", Json::U64(cell.latency_samples)),
+            ]),
+        ),
+        ("snapshot", merged.to_json()),
+    ])
+}
+
+fn decode_cell(json: &Json) -> Result<(Cell, MetricsSnapshot), String> {
+    let raw = json
+        .get("cell")
+        .ok_or_else(|| "missing 'cell'".to_string())?;
+    let uint = |key: &str| {
+        raw.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing counter '{key}'"))
+    };
+    let cell = Cell {
+        injected: uint("injected")?,
+        detected: uint("detected")?,
+        owner: uint("owner")?,
+        majority: uint("majority")?,
+        failed: uint("failed")?,
+        heals: uint("heals")?,
+        lost_writes: uint("lost_writes")?,
+        latency_total: uint("latency_total")?,
+        latency_samples: uint("latency_samples")?,
+    };
+    let snapshot = MetricsSnapshot::from_json(
+        json.get("snapshot")
+            .ok_or_else(|| "missing 'snapshot'".to_string())?,
+    )?;
+    Ok((cell, snapshot))
 }
 
 /// Fail-stop scenario: P0 writes `x` twice (the second write is silent
@@ -259,12 +327,48 @@ fn main() {
     println!("{runs} runs per cell (DECACHE_CAMPAIGN_RUNS), {PES} PEs,");
     println!("conformance oracle attached to every run\n");
 
-    // Part 1: the sweep. Every (protocol, rate) cell in parallel.
+    // Part 1: the sweep. Every (protocol, rate) cell in parallel, on
+    // the supervised pool: a panicking or over-budget cell becomes a
+    // reported verdict, not a torn-down campaign, and completed cells
+    // checkpoint to --checkpoint-dir for crash-safe resume.
+    let campaign = Campaign::from_args();
+    let supervisor = par::Supervisor::default();
     let cases: Vec<(ProtocolKind, f64)> = rates
         .iter()
         .flat_map(|&rate| PROTOCOLS.iter().map(move |&kind| (kind, rate)))
         .collect();
-    let cells = par::run_cases(&cases, |&(kind, rate)| sweep_cell(kind, rate, runs));
+    let outcomes = par::supervise(&cases, &supervisor, |&(kind, rate), budget| {
+        let key = format!("fault_campaign_{kind}_rate_{rate}");
+        if let Some(stored) = campaign.load(&key) {
+            match decode_cell(&stored) {
+                Ok(result) => return Some(result),
+                Err(e) => eprintln!("checkpoint for {key} ignored: {e}"),
+            }
+        }
+        let (cell, merged) = sweep_cell(kind, rate, runs, budget)?;
+        campaign.store(&key, &encode_cell(&cell, &merged));
+        Some((cell, merged))
+    });
+    let mut quarantined = Vec::new();
+    let mut cells = Vec::new();
+    for (&(kind, rate), outcome) in cases.iter().zip(outcomes) {
+        match outcome {
+            par::CaseOutcome::Ok(result) | par::CaseOutcome::Retried { result, .. } => {
+                cells.push(result);
+            }
+            par::CaseOutcome::Panicked { message } => {
+                quarantined.push(format!("{kind} rate {rate}: panicked: {message}"));
+            }
+            par::CaseOutcome::TimedOut { budget } => {
+                quarantined.push(format!("{kind} rate {rate}: exceeded {budget} cycles"));
+            }
+        }
+    }
+    assert!(
+        quarantined.is_empty(),
+        "quarantined cells:\n  {}",
+        quarantined.join("\n  ")
+    );
 
     let mut table = TextTable::new(vec![
         "protocol", "rate", "injected", "detected", "owner", "majority", "failed", "success",

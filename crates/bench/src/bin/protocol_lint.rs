@@ -16,7 +16,9 @@
 //!
 //! `--print-baseline` prints a fresh baseline file to stdout instead
 //! (redirect it over `static_baseline.txt` after an intentional
-//! change).
+//! change); `--print-baseline <path>` writes it straight to `<path>`
+//! crash-safely (tmp + rename), so an interrupted regeneration can
+//! never truncate the committed baseline.
 
 use decache_analysis::TextTable;
 use decache_bench::{banner, par};
@@ -26,18 +28,31 @@ use decache_verify::static_check::{
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let print_baseline = std::env::args().any(|a| a == "--print-baseline");
+    let args: Vec<String> = std::env::args().collect();
+    let print_baseline = args.iter().position(|a| a == "--print-baseline");
     let analyses: Vec<Analysis> = par::run_cases(&static_check::ANALYZED_KINDS, |kind| {
         static_check::check_kind(*kind)
     });
 
-    if print_baseline {
-        println!("# Statically-dead rule baseline: one line per protocol, from the");
-        println!("# per-rule static analyzer (counting abstraction, all n at once).");
-        println!("# Regenerate with:");
-        println!("#   cargo run -p decache-bench --bin protocol_lint -- --print-baseline");
+    if let Some(flag_at) = print_baseline {
+        let mut text = String::new();
+        text.push_str("# Statically-dead rule baseline: one line per protocol, from the\n");
+        text.push_str("# per-rule static analyzer (counting abstraction, all n at once).\n");
+        text.push_str("# Regenerate with:\n");
+        text.push_str("#   cargo run -p decache-bench --bin protocol_lint -- --print-baseline\n");
         for analysis in &analyses {
-            println!("{}", baseline_line(analysis));
+            text.push_str(&baseline_line(analysis));
+            text.push('\n');
+        }
+        match args.get(flag_at + 1).filter(|a| !a.starts_with("--")) {
+            Some(path) => {
+                // Land the regenerated baseline via tmp + rename so an
+                // interrupted run cannot truncate the committed file.
+                decache_telemetry::write_atomic(path, text.as_bytes())
+                    .unwrap_or_else(|e| panic!("writing baseline to {path}: {e}"));
+                println!("baseline written to {path}");
+            }
+            None => print!("{text}"),
         }
         return ExitCode::SUCCESS;
     }

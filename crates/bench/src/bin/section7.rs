@@ -13,11 +13,17 @@
 //! broadcast path plus packed tag-store rows keep the 1024-PE runs in
 //! the seconds range.
 
+//! Long sweeps support crash-safe resume: `--checkpoint-dir <dir>`
+//! records each completed case atomically, and `--resume` replays
+//! recorded cases instead of recomputing them, printing exactly the
+//! bytes an uninterrupted run prints (see [`decache_bench::Campaign`]).
+
 use decache_analysis::TextTable;
-use decache_bench::{banner, par, record_metrics};
+use decache_bench::{banner, par, record_metrics, Campaign};
 use decache_core::ProtocolKind;
 use decache_machine::{Machine, MachineBuilder};
 use decache_mem::{Addr, AddrRange};
+use decache_telemetry::Json;
 use decache_workloads::{MixConfig, MixWorkload};
 
 const OPS_PER_PE: u64 = 500;
@@ -62,6 +68,38 @@ fn run_case(kind: ProtocolKind, pes: usize, buses: usize) -> Row {
     }
 }
 
+/// The stored form of a completed case: raw result scalars only (the
+/// case identity lives in the file name and is re-derived from the
+/// case list on resume).
+fn encode_row(r: &Row) -> Json {
+    Json::object(vec![
+        ("cycles", Json::U64(r.cycles)),
+        ("miss_ratio", Json::F64(r.miss_ratio)),
+        ("utilization", Json::F64(r.utilization)),
+        ("busiest_share", Json::F64(r.busiest_share)),
+    ])
+}
+
+fn decode_row(kind: ProtocolKind, pes: usize, buses: usize, json: &Json) -> Result<Row, String> {
+    let float = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing float '{key}'"))
+    };
+    Ok(Row {
+        kind,
+        pes,
+        buses,
+        cycles: json
+            .get("cycles")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing 'cycles'".to_string())?,
+        miss_ratio: float("miss_ratio")?,
+        utilization: float("utilization")?,
+        busiest_share: float("busiest_share")?,
+    })
+}
+
 fn mean_utilization(machine: &Machine) -> f64 {
     let buses = machine.bus_count();
     (0..buses)
@@ -95,7 +133,15 @@ fn main() {
                 .map(move |&(pes, buses)| (kind, pes, buses))
         })
         .collect();
-    let rows = par::run_cases(&cases, |&(kind, pes, buses)| run_case(kind, pes, buses));
+    let campaign = Campaign::from_args();
+    let rows = par::run_cases(&cases, |&(kind, pes, buses)| {
+        campaign.case(
+            &format!("section7_{kind}_{pes}pe_{buses}bus"),
+            |json| decode_row(kind, pes, buses, json),
+            || run_case(kind, pes, buses),
+            encode_row,
+        )
+    });
 
     let mut table = TextTable::new(vec![
         "protocol",

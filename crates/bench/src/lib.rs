@@ -28,6 +28,112 @@ pub use decache_analysis::par;
 
 use decache_machine::{Machine, MachineBuilder};
 use decache_telemetry::{Json, MetricsSnapshot, PerfettoTrace};
+use std::path::PathBuf;
+
+/// Crash-safe per-case progress checkpointing for the long campaign
+/// bins (`section7`, `fault_campaign`), behind two CLI flags:
+///
+/// * `--checkpoint-dir <dir>` — after each completed case, its result
+///   is written to `<dir>/<case>.json` atomically (tmp + rename), so a
+///   `SIGKILL` mid-sweep leaves only whole case files behind.
+/// * `--resume` — completed cases found in the checkpoint directory
+///   are loaded instead of recomputed; the sweep continues from where
+///   the killed run stopped and prints exactly the bytes an
+///   uninterrupted run prints (results are raw counters, so replaying
+///   a case from disk is indistinguishable from re-simulating it).
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    dir: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Campaign {
+    /// Parses `--checkpoint-dir <dir>` and `--resume` from the
+    /// process's command line.
+    ///
+    /// # Panics
+    ///
+    /// If `--checkpoint-dir` is given without a directory, or
+    /// `--resume` without `--checkpoint-dir`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let dir = args.iter().position(|a| a == "--checkpoint-dir").map(|at| {
+            PathBuf::from(
+                args.get(at + 1)
+                    .filter(|a| !a.starts_with("--"))
+                    .unwrap_or_else(|| panic!("--checkpoint-dir needs a directory")),
+            )
+        });
+        let resume = args.iter().any(|a| a == "--resume");
+        assert!(
+            dir.is_some() || !resume,
+            "--resume needs --checkpoint-dir <dir>"
+        );
+        Campaign { dir, resume }
+    }
+
+    /// The on-disk file for a case, with the key sanitized to a safe
+    /// file name.
+    fn case_path(&self, case: &str) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let name: String = case
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        Some(dir.join(format!("{name}.json")))
+    }
+
+    /// The stored result for `case`, when resuming and the case file
+    /// exists and parses. A corrupt file is ignored (the case is
+    /// recomputed) — atomic writes mean that only happens if someone
+    /// edited it by hand.
+    pub fn load(&self, case: &str) -> Option<Json> {
+        if !self.resume {
+            return None;
+        }
+        let path = self.case_path(case)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        Json::parse(&text).ok()
+    }
+
+    /// Records a completed case crash-safely (no-op without
+    /// `--checkpoint-dir`).
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint directory is not writable.
+    pub fn store(&self, case: &str, value: &Json) {
+        let Some(path) = self.case_path(case) else {
+            return;
+        };
+        let mut text = value.to_string();
+        text.push('\n');
+        decache_telemetry::write_atomic(&path, text.as_bytes())
+            .unwrap_or_else(|e| panic!("checkpointing {case} to {}: {e}", path.display()));
+    }
+
+    /// Runs `case` through the checkpoint store: replays the stored
+    /// result when resuming (decoded by `decode`), otherwise computes
+    /// it with `compute` and stores its `encode`d form before
+    /// returning.
+    pub fn case<R>(
+        &self,
+        case: &str,
+        decode: impl FnOnce(&Json) -> Result<R, String>,
+        compute: impl FnOnce() -> R,
+        encode: impl FnOnce(&R) -> Json,
+    ) -> R {
+        if let Some(stored) = self.load(case) {
+            match decode(&stored) {
+                Ok(result) => return result,
+                Err(e) => eprintln!("checkpoint for {case} ignored: {e}"),
+            }
+        }
+        let result = compute();
+        self.store(case, &encode(&result));
+        result
+    }
+}
 
 /// Prints an experiment banner: title and the paper artifact it
 /// regenerates.
@@ -40,18 +146,15 @@ pub fn banner(title: &str, artifact: &str) {
 /// Appends one JSON line to the file named by `DECACHE_BENCH_JSON`, if
 /// set. All bench records go through this single writer (and the
 /// canonical `decache_telemetry::Json` serializer), so the file is
-/// uniformly parseable line-by-line.
+/// uniformly parseable line-by-line. The append is crash-safe
+/// (tmp + rename via `decache_telemetry::append_line_atomic`): a bench
+/// bin killed mid-record leaves the file with whole lines only.
 fn record_line(value: Json) {
     let Ok(path) = std::env::var("DECACHE_BENCH_JSON") else {
         return;
     };
-    use std::io::Write as _;
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
+    decache_telemetry::append_line_atomic(&path, &value.to_string())
         .unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
-    writeln!(file, "{value}").unwrap_or_else(|e| panic!("DECACHE_BENCH_JSON={path}: {e}"));
 }
 
 /// Appends one `{"name", "ns_per_iter", "iters"}` record to the file

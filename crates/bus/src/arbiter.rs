@@ -10,6 +10,25 @@ use decache_mem::PeId;
 use decache_rng::Rng;
 use std::fmt;
 
+/// The serializable fairness state of a built-in [`Arbiter`], as
+/// captured by [`Arbiter::checkpoint_state`] and reinstated by
+/// [`Arbiter::restore_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterCheckpoint {
+    /// The arbiter carries no mutable state ([`FixedPriority`]).
+    Stateless,
+    /// [`RoundRobin`]: the PE granted most recently, if any.
+    RoundRobin {
+        /// The previously granted PE.
+        last: Option<PeId>,
+    },
+    /// [`RandomArbiter`]: the 256-bit RNG stream state.
+    Random {
+        /// The xoshiro256\*\* state words.
+        rng_state: [u64; 4],
+    },
+}
+
 /// A bus arbitration policy: given the set of requesting processing
 /// elements (in ascending id order, never empty), choose the one to grant
 /// this cycle.
@@ -37,6 +56,27 @@ pub trait Arbiter: fmt::Debug {
 
     /// Resets any internal fairness state.
     fn reset(&mut self) {}
+
+    /// Exports the arbiter's fairness state for a checkpoint, or `None`
+    /// if this arbiter does not support checkpointing (the default for
+    /// external implementations — a machine holding one cannot be
+    /// checkpointed and reports it as a structured error).
+    fn checkpoint_state(&self) -> Option<ArbiterCheckpoint> {
+        None
+    }
+
+    /// Reinstates fairness state captured by
+    /// [`Arbiter::checkpoint_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if `state` belongs to a
+    /// different arbiter kind (or the arbiter does not support
+    /// checkpointing, the default).
+    fn restore_state(&mut self, state: &ArbiterCheckpoint) -> Result<(), String> {
+        let _ = state;
+        Err(format!("{self:?} does not support checkpoint restore"))
+    }
 }
 
 /// Round-robin arbitration: the grant rotates, starting from the id just
@@ -96,6 +136,20 @@ impl Arbiter for RoundRobin {
     fn reset(&mut self) {
         self.last = None;
     }
+
+    fn checkpoint_state(&self) -> Option<ArbiterCheckpoint> {
+        Some(ArbiterCheckpoint::RoundRobin { last: self.last })
+    }
+
+    fn restore_state(&mut self, state: &ArbiterCheckpoint) -> Result<(), String> {
+        match *state {
+            ArbiterCheckpoint::RoundRobin { last } => {
+                self.last = last;
+                Ok(())
+            }
+            other => Err(format!("round-robin arbiter cannot restore {other:?}")),
+        }
+    }
 }
 
 /// Fixed-priority arbitration: the lowest-numbered requester always wins.
@@ -120,6 +174,17 @@ impl Arbiter for FixedPriority {
         requesters
             .first()
             .expect("arbiter invoked with no requesters")
+    }
+
+    fn checkpoint_state(&self) -> Option<ArbiterCheckpoint> {
+        Some(ArbiterCheckpoint::Stateless)
+    }
+
+    fn restore_state(&mut self, state: &ArbiterCheckpoint) -> Result<(), String> {
+        match state {
+            ArbiterCheckpoint::Stateless => Ok(()),
+            other => Err(format!("fixed-priority arbiter cannot restore {other:?}")),
+        }
     }
 }
 
@@ -150,6 +215,22 @@ impl Arbiter for RandomArbiter {
         // gen_range(0..n) draws the same bounded sample `choose` does on a
         // slice of the same length, so seeded streams are unchanged.
         requesters.nth(self.rng.gen_range(0..requesters.len()))
+    }
+
+    fn checkpoint_state(&self) -> Option<ArbiterCheckpoint> {
+        Some(ArbiterCheckpoint::Random {
+            rng_state: self.rng.state(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &ArbiterCheckpoint) -> Result<(), String> {
+        match *state {
+            ArbiterCheckpoint::Random { rng_state } => {
+                self.rng = Rng::from_state(rng_state);
+                Ok(())
+            }
+            other => Err(format!("random arbiter cannot restore {other:?}")),
+        }
     }
 }
 
@@ -283,5 +364,38 @@ mod tests {
     #[should_panic(expected = "no requesters")]
     fn empty_request_set_panics() {
         RoundRobin::new().grant(&[]);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_fairness_state() {
+        // Round robin: the rotation pointer survives.
+        let reqs = pes(&[0, 1, 2]);
+        let mut arb = RoundRobin::new();
+        arb.grant(&reqs);
+        let ck = arb.checkpoint_state().unwrap();
+        let mut fresh = RoundRobin::new();
+        fresh.restore_state(&ck).unwrap();
+        assert_eq!(fresh.grant(&reqs), arb.grant(&reqs));
+
+        // Random: the stream resumes exactly.
+        let mut arb = RandomArbiter::new(11);
+        for _ in 0..5 {
+            arb.grant(&reqs);
+        }
+        let ck = arb.checkpoint_state().unwrap();
+        let mut fresh = RandomArbiter::new(0);
+        fresh.restore_state(&ck).unwrap();
+        for _ in 0..32 {
+            assert_eq!(fresh.grant(&reqs), arb.grant(&reqs));
+        }
+
+        // Kind mismatches are structured errors, not panics.
+        assert!(RoundRobin::new()
+            .restore_state(&ArbiterCheckpoint::Stateless)
+            .is_err());
+        assert!(FixedPriority::new().restore_state(&ck).is_err());
+        assert!(FixedPriority::new()
+            .restore_state(&ArbiterCheckpoint::Stateless)
+            .is_ok());
     }
 }

@@ -45,7 +45,9 @@ mod routing;
 mod traffic;
 mod transaction;
 
-pub use arbiter::{Arbiter, ArbiterKind, FixedPriority, RandomArbiter, RoundRobin};
+pub use arbiter::{
+    Arbiter, ArbiterCheckpoint, ArbiterKind, FixedPriority, RandomArbiter, RoundRobin,
+};
 pub use multibus::{MultiBusStats, Topology};
 pub use queue::{BusError, BusQueue};
 pub use requesters::RequesterSet;

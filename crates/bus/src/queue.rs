@@ -151,6 +151,42 @@ impl BusQueue {
         &self.requesters
     }
 
+    /// Exports both lanes for a checkpoint: `(retry lane in FIFO order,
+    /// pending lane in ascending PE order)`. Together with the arbiter's
+    /// own state this is the queue's complete behaviour-relevant state.
+    pub fn checkpoint_state(&self) -> (Vec<BusTransaction>, Vec<BusTransaction>) {
+        let retry: Vec<BusTransaction> = self.retry.iter().copied().collect();
+        let pending: Vec<BusTransaction> = self
+            .requesters
+            .iter()
+            .map(|pe| self.slots[pe.index()].expect("requester set names only occupied slots"))
+            .collect();
+        (retry, pending)
+    }
+
+    /// Replaces both lanes from a checkpoint produced by
+    /// [`BusQueue::checkpoint_state`]: `retry` refills the retry lane in
+    /// order, `pending` re-requests each transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::AlreadyPending`] if `pending` names the same
+    /// PE twice; the queue is left cleared in that case.
+    pub fn restore_state(
+        &mut self,
+        retry: Vec<BusTransaction>,
+        pending: Vec<BusTransaction>,
+    ) -> Result<(), BusError> {
+        self.retry.clear();
+        self.requesters = RequesterSet::new();
+        self.slots.clear();
+        for tx in pending {
+            self.request(tx)?;
+        }
+        self.retry.extend(retry);
+        Ok(())
+    }
+
     /// Checks the pending lane's internal bookkeeping: the requester
     /// bitset must name exactly the occupied slots. Used by the machine's
     /// fast-path invariant suite.
@@ -238,6 +274,35 @@ mod tests {
         assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
         assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(1));
         assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(2));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_both_lanes_and_order() {
+        let mut q = BusQueue::new();
+        q.request(tx(3, 30)).unwrap();
+        q.request(tx(1, 10)).unwrap();
+        q.push_retry(tx(7, 70));
+        q.push_retry(tx(5, 50));
+        let (retry, pending) = q.checkpoint_state();
+        assert_eq!(retry.len(), 2);
+        assert_eq!(pending.len(), 2);
+
+        let mut restored = BusQueue::new();
+        restored.restore_state(retry, pending).unwrap();
+        restored.assert_lane_invariants();
+        let mut arb = RoundRobin::new();
+        let mut arb2 = RoundRobin::new();
+        loop {
+            let (a, b) = (q.grant(&mut arb), restored.grant(&mut arb2));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+
+        // A duplicated pending PE is a structured error.
+        let mut bad = BusQueue::new();
+        assert!(bad.restore_state(vec![], vec![tx(2, 1), tx(2, 2)]).is_err());
     }
 
     #[test]

@@ -111,6 +111,31 @@ impl TrafficStats {
         self.count(BusOpKind::Write) + self.count(BusOpKind::WriteWithUnlock)
     }
 
+    /// Exports the per-kind transaction counts in [`BusOpKind::ALL`]
+    /// order — the checkpoint form (the four public counters are
+    /// directly accessible).
+    pub fn checkpoint_counts(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Reconstructs counters from a [`TrafficStats::checkpoint_counts`]
+    /// export plus the four public counters.
+    pub fn from_checkpoint(
+        counts: [u64; 5],
+        aborted_reads: u64,
+        retries: u64,
+        busy_cycles: u64,
+        idle_cycles: u64,
+    ) -> Self {
+        TrafficStats {
+            counts,
+            aborted_reads,
+            retries,
+            busy_cycles,
+            idle_cycles,
+        }
+    }
+
     /// The fraction of cycles the bus was busy, in `[0, 1]`; zero if no
     /// cycles elapsed.
     pub fn utilization(&self) -> f64 {

@@ -39,4 +39,6 @@ mod tagstore;
 pub use emulation::{CmStarCache, CmStarReport};
 pub use geometry::Geometry;
 pub use stats::{AccessKind, CacheStats, RefClass};
-pub use tagstore::{Entry, EntryMut, EvictedLine, ReplacementPolicy, TagStore};
+pub use tagstore::{
+    Entry, EntryMut, EvictedLine, LineCheckpoint, ReplacementPolicy, TagStore, TagStoreCheckpoint,
+};

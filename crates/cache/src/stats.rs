@@ -153,6 +153,19 @@ impl CacheStats {
         }
     }
 
+    /// Exports the raw counter tables `(hits, misses)`, indexed
+    /// `[kind][class]` in [`RefClass::ALL`] order — the checkpoint
+    /// form.
+    pub fn checkpoint_state(&self) -> ([[u64; 3]; 2], [[u64; 3]; 2]) {
+        (self.hits, self.misses)
+    }
+
+    /// Reconstructs counters from tables exported by
+    /// [`CacheStats::checkpoint_state`].
+    pub fn from_checkpoint(hits: [[u64; 3]; 2], misses: [[u64; 3]; 2]) -> Self {
+        CacheStats { hits, misses }
+    }
+
     /// The fraction of *all* references that are misses of the given
     /// kind/class — the unit in which Table 1-1 reports its columns.
     pub fn miss_fraction(&self, kind: AccessKind, class: RefClass) -> f64 {

@@ -91,6 +91,40 @@ pub struct EvictedLine<S> {
 /// far below `u64::MAX`.
 const EMPTY_TAG: u64 = u64::MAX;
 
+/// One line slot in a [`TagStoreCheckpoint`], in slot order (set-major,
+/// way-minor). Empty slots carry `state: None`; their `tag` and `data`
+/// cells are not meaningful and are normalized on restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCheckpoint<S> {
+    /// The block base address held by the slot (ignored when empty).
+    pub addr: Addr,
+    /// The data cell.
+    pub data: Word,
+    /// The coherence state; `None` marks an empty slot.
+    pub state: Option<S>,
+    /// The parity cell.
+    pub parity_ok: bool,
+}
+
+/// A full-fidelity export of a [`TagStore`]'s mutable state — every
+/// cell that influences future behaviour: line contents, both
+/// replacement-stamp columns, the stamp clock, and the random-policy
+/// RNG stream. Restoring it into a store of identical geometry and
+/// policy reproduces the original bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagStoreCheckpoint<S> {
+    /// Every slot in slot order, occupied or not.
+    pub lines: Vec<LineCheckpoint<S>>,
+    /// Per-slot last-use stamps (victim selection under LRU).
+    pub lru_stamps: Vec<u64>,
+    /// Per-slot insertion stamps (victim selection under FIFO).
+    pub insert_stamps: Vec<u64>,
+    /// The stamp clock.
+    pub clock: u64,
+    /// The replacement RNG's 256-bit stream state.
+    pub rng_state: [u64; 4],
+}
+
 /// One way's hot cells, packed so every probe is a single host cache
 /// line touch (see the [`TagStore`] layout note).
 #[derive(Debug, Clone)]
@@ -416,6 +450,87 @@ impl<S> TagStore<S> {
         })
     }
 
+    /// Exports the store's complete mutable state for a checkpoint.
+    pub fn checkpoint_state(&self) -> TagStoreCheckpoint<S>
+    where
+        S: Copy,
+    {
+        TagStoreCheckpoint {
+            lines: self
+                .rows
+                .iter()
+                .map(|row| LineCheckpoint {
+                    addr: Addr::new(if row.tag == EMPTY_TAG { 0 } else { row.tag }),
+                    data: row.data,
+                    state: row.state,
+                    parity_ok: row.parity,
+                })
+                .collect(),
+            lru_stamps: self.lru_stamps.clone(),
+            insert_stamps: self.insert_stamps.clone(),
+            clock: self.clock,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Overwrites the store's mutable state from a checkpoint produced
+    /// by [`TagStore::checkpoint_state`] on a store of the same
+    /// geometry. The geometry and policy themselves are construction
+    /// parameters and are not restored — build the store with them
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the checkpoint's slot
+    /// or stamp-column counts do not match this store's geometry, or if
+    /// an occupied slot names a block outside its own set.
+    pub fn restore_state(&mut self, ck: TagStoreCheckpoint<S>) -> Result<(), String> {
+        let lines = self.rows.len();
+        if ck.lines.len() != lines {
+            return Err(format!(
+                "checkpoint has {} line slots, store has {lines}",
+                ck.lines.len()
+            ));
+        }
+        if ck.lru_stamps.len() != lines || ck.insert_stamps.len() != lines {
+            return Err(format!(
+                "checkpoint stamp columns ({}, {}) do not match {lines} slots",
+                ck.lru_stamps.len(),
+                ck.insert_stamps.len()
+            ));
+        }
+        let ways = self.geometry.ways();
+        for (slot, line) in ck.lines.iter().enumerate() {
+            if line.state.is_some() && self.geometry.set_of(line.addr) != slot / ways {
+                return Err(format!(
+                    "checkpoint slot {slot} holds {}, which maps to a different set",
+                    line.addr
+                ));
+            }
+        }
+        let mut valid = 0;
+        for (row, line) in self.rows.iter_mut().zip(ck.lines) {
+            match line.state {
+                Some(state) => {
+                    row.tag = self.geometry.block_base(line.addr).index();
+                    row.data = line.data;
+                    row.state = Some(state);
+                    row.parity = line.parity_ok;
+                    valid += 1;
+                }
+                None => {
+                    *row = Row::empty();
+                }
+            }
+        }
+        self.lru_stamps = ck.lru_stamps;
+        self.insert_stamps = ck.insert_stamps;
+        self.clock = ck.clock;
+        self.rng = Rng::from_state(ck.rng_state);
+        self.valid = valid;
+        Ok(())
+    }
+
     /// Drops every line, leaving the store empty.
     pub fn clear(&mut self) {
         for row in &mut self.rows {
@@ -619,6 +734,60 @@ mod tests {
         assert!(s.contains(Addr::new(4)));
         assert!(s.contains(Addr::new(7)));
         assert!(!s.contains(Addr::new(8)));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_reproduces_future_behaviour() {
+        // A 2-way random-policy store mid-run: the checkpoint must carry
+        // stamps and the RNG stream so the *next* evictions agree.
+        let mk = || {
+            let mut s: TagStore<u8> =
+                TagStore::with_policy(Geometry::new(2, 2, 1), ReplacementPolicy::Random(9));
+            for i in 0..6 {
+                s.insert(Addr::new(i), i as u8, Word::new(i));
+            }
+            *s.get_mut(Addr::new(4)).unwrap().parity_ok = false;
+            s
+        };
+        let mut original = mk();
+        let ck = original.checkpoint_state();
+
+        let mut restored: TagStore<u8> =
+            TagStore::with_policy(Geometry::new(2, 2, 1), ReplacementPolicy::Random(9));
+        restored.restore_state(ck).unwrap();
+        assert_eq!(restored.len(), original.len());
+        let dump = |s: &TagStore<u8>| {
+            s.iter()
+                .map(|e| (e.addr, e.state, e.data, e.parity_ok))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(dump(&restored), dump(&original));
+        for i in 6..20 {
+            assert_eq!(
+                original.insert(Addr::new(i), 0, Word::ZERO),
+                restored.insert(Addr::new(i), 0, Word::ZERO),
+                "divergence at insert {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_wrong_shape() {
+        let small: TagStore<u8> = TagStore::new(Geometry::direct_mapped(2));
+        let ck = small.checkpoint_state();
+        let mut big: TagStore<u8> = TagStore::new(Geometry::direct_mapped(4));
+        assert!(big.restore_state(ck).is_err());
+
+        // An occupied slot must name a block of its own set.
+        let mut ck = small.checkpoint_state();
+        ck.lines[0] = LineCheckpoint {
+            addr: Addr::new(1), // maps to set 1, claimed for slot 0
+            data: Word::ZERO,
+            state: Some(7),
+            parity_ok: true,
+        };
+        let mut target: TagStore<u8> = TagStore::new(Geometry::direct_mapped(2));
+        assert!(target.restore_state(ck).is_err());
     }
 
     #[test]

@@ -60,12 +60,20 @@ pub use builder::MachineBuilder;
 pub use fault::{
     FailStopPolicy, FaultKind, FaultPlan, FaultStats, InjectError, RecoveryPolicy, RecoverySource,
 };
+pub use machine::checkpoint::{
+    CacheStatsCheckpoint, CheckpointError, FaultClockEntry, FaultEngineCheckpoint,
+    HistogramCheckpoint, MachineCheckpoint, MemoryCheckpoint, PendingCheckpoint, QueueCheckpoint,
+    RestoreError, StatusCheckpoint, TelemetryCheckpoint, TrafficCheckpoint, CHECKPOINT_VERSION,
+    FAULT_STAT_FIELDS,
+};
 pub use machine::Machine;
 pub use op::{Access, MemOp, OpResult};
 pub use outcome::{
     HaltReason, PeBlame, RunOutcome, StallSite, StallVerdict, DEFAULT_PROGRESS_WINDOW,
 };
-pub use processor::{IdleProcessor, LoopProcessor, Poll, Processor, Script, SpinReader};
+pub use processor::{
+    IdleProcessor, LoopProcessor, Poll, Processor, ProcessorCheckpoint, Script, SpinReader,
+};
 pub use recovery::RecoveryError;
 pub use snapshot::{Snapshot, SnapshotTable};
 pub use stats::MachineStats;

@@ -18,6 +18,12 @@ use decache_core::{AnyProtocol, BusIntent, CpuOutcome, LineState, Protocol, Snoo
 use decache_mem::{Addr, AddrRange, MemError, Memory, PeId, Word};
 use std::collections::HashMap;
 
+// Declared as a child of this module (with the file kept beside it)
+// so the checkpoint/restore code can reach the machine's private
+// fields without widening their visibility.
+#[path = "checkpoint.rs"]
+pub(crate) mod checkpoint;
+
 /// The simulated machine: `n` processing elements with private snooping
 /// caches, one or more shared buses, and a common memory.
 ///

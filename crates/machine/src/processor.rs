@@ -48,6 +48,50 @@ impl From<Option<MemOp>> for Poll {
     }
 }
 
+/// A processor's mutable state in serializable form, for machine
+/// checkpoint/restore.
+///
+/// A checkpoint records *progress through a program*, not the program
+/// itself: restore happens into a machine rebuilt with the same
+/// processors, so only the position within each program needs to
+/// travel. Processors whose state cannot be exported (e.g. arbitrary
+/// closures) simply return `None` from
+/// [`Processor::checkpoint_state`], which makes the whole machine
+/// uncheckpointable with a structured error — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessorCheckpoint {
+    /// A processor with no mutable state (e.g. [`IdleProcessor`]).
+    Stateless,
+    /// A [`Script`] in flight: how many operations it has not yet
+    /// issued.
+    Script {
+        /// Operations remaining in the script.
+        ops_left: u64,
+    },
+    /// A [`LoopProcessor`] in flight.
+    Loop {
+        /// Full rounds (plus the current partial one) still to run.
+        rounds_left: u64,
+        /// Position within the loop body.
+        position: u64,
+    },
+    /// A [`SpinReader`] in flight.
+    Spin {
+        /// Whether the spin condition has been met.
+        satisfied: bool,
+    },
+    /// A named bag of counters for processors defined outside this
+    /// crate (workload generators); the meaning of `words` is fixed by
+    /// the processor that wrote it, and `kind` guards against restoring
+    /// into the wrong one.
+    Custom {
+        /// The processor type that produced this state.
+        kind: String,
+        /// Opaque state words, interpreted by that type.
+        words: Vec<u64>,
+    },
+}
+
 /// A processing element's program: a source of memory operations that
 /// reacts to the results of previous operations.
 ///
@@ -61,6 +105,29 @@ pub trait Processor {
     /// Produces the next operation, given the result of the previous one
     /// (`None` on the very first call, and after a `Wait`).
     fn next_op(&mut self, last: Option<&OpResult>) -> Poll;
+
+    /// Exports this processor's mutable state for a machine checkpoint,
+    /// or `None` if the state cannot be captured (the default — e.g.
+    /// closure processors). A `None` makes
+    /// [`Machine::checkpoint`](crate::Machine::checkpoint) fail with a
+    /// structured error naming the PE.
+    fn checkpoint_state(&self) -> Option<ProcessorCheckpoint> {
+        None
+    }
+
+    /// Rewinds or fast-forwards this processor to a previously exported
+    /// state. Called on a freshly built processor during
+    /// [`Machine::restore`](crate::Machine::restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `state` has the wrong variant for this
+    /// processor or describes an impossible position (the default:
+    /// every restore is rejected).
+    fn restore_state(&mut self, state: &ProcessorCheckpoint) -> Result<(), String> {
+        let _ = state;
+        Err("this processor does not support checkpoint restore".into())
+    }
 }
 
 impl<F> Processor for F
@@ -172,6 +239,28 @@ impl Processor for ScriptProcessor {
     fn next_op(&mut self, _last: Option<&OpResult>) -> Poll {
         Poll::from(self.ops.next())
     }
+
+    fn checkpoint_state(&self) -> Option<ProcessorCheckpoint> {
+        Some(ProcessorCheckpoint::Script {
+            ops_left: self.ops.len() as u64,
+        })
+    }
+
+    fn restore_state(&mut self, state: &ProcessorCheckpoint) -> Result<(), String> {
+        let ProcessorCheckpoint::Script { ops_left } = *state else {
+            return Err(format!("script given {state:?}"));
+        };
+        let have = self.ops.len() as u64;
+        if ops_left > have {
+            return Err(format!(
+                "script checkpoint has {ops_left} ops left but only {have} exist"
+            ));
+        }
+        for _ in 0..(have - ops_left) {
+            self.ops.next();
+        }
+        Ok(())
+    }
 }
 
 /// A processor that issues no operations; occupies a PE slot in
@@ -182,6 +271,17 @@ pub struct IdleProcessor;
 impl Processor for IdleProcessor {
     fn next_op(&mut self, _last: Option<&OpResult>) -> Poll {
         Poll::Halt
+    }
+
+    fn checkpoint_state(&self) -> Option<ProcessorCheckpoint> {
+        Some(ProcessorCheckpoint::Stateless)
+    }
+
+    fn restore_state(&mut self, state: &ProcessorCheckpoint) -> Result<(), String> {
+        match state {
+            ProcessorCheckpoint::Stateless => Ok(()),
+            other => Err(format!("idle processor given {other:?}")),
+        }
     }
 }
 
@@ -233,6 +333,32 @@ impl Processor for LoopProcessor {
         }
         Poll::Op(op)
     }
+
+    fn checkpoint_state(&self) -> Option<ProcessorCheckpoint> {
+        Some(ProcessorCheckpoint::Loop {
+            rounds_left: self.rounds_left,
+            position: self.position as u64,
+        })
+    }
+
+    fn restore_state(&mut self, state: &ProcessorCheckpoint) -> Result<(), String> {
+        let ProcessorCheckpoint::Loop {
+            rounds_left,
+            position,
+        } = *state
+        else {
+            return Err(format!("loop processor given {state:?}"));
+        };
+        if !self.body.is_empty() && position as usize >= self.body.len() {
+            return Err(format!(
+                "loop position {position} outside body of {} ops",
+                self.body.len()
+            ));
+        }
+        self.rounds_left = rounds_left;
+        self.position = position as usize;
+        Ok(())
+    }
 }
 
 /// A word-returning spin: reads `addr` until the value satisfies `until`,
@@ -273,6 +399,20 @@ impl Processor for SpinReader {
             }
         }
         Poll::Op(MemOp::read(self.addr))
+    }
+
+    fn checkpoint_state(&self) -> Option<ProcessorCheckpoint> {
+        Some(ProcessorCheckpoint::Spin {
+            satisfied: self.satisfied,
+        })
+    }
+
+    fn restore_state(&mut self, state: &ProcessorCheckpoint) -> Result<(), String> {
+        let ProcessorCheckpoint::Spin { satisfied } = *state else {
+            return Err(format!("spin reader given {state:?}"));
+        };
+        self.satisfied = satisfied;
+        Ok(())
     }
 }
 
@@ -342,6 +482,63 @@ mod tests {
     fn empty_loop_body_halts_immediately() {
         let mut pe = LoopProcessor::new(vec![], 10);
         assert!(pe.next_op(None).is_halt());
+    }
+
+    #[test]
+    fn script_checkpoint_fast_forwards_to_position() {
+        let script = Script::new()
+            .read(Addr::new(0))
+            .read(Addr::new(1))
+            .read(Addr::new(2));
+        let mut pe = script.clone().build();
+        pe.next_op(None); // consume op 0
+        let state = pe.checkpoint_state().unwrap();
+        assert_eq!(state, ProcessorCheckpoint::Script { ops_left: 2 });
+
+        let mut fresh = script.build();
+        fresh.restore_state(&state).unwrap();
+        assert_eq!(
+            fresh.next_op(None),
+            Poll::Op(MemOp::read(Addr::new(1))),
+            "restored script resumes at the checkpointed position"
+        );
+        // A position beyond the program is a structured error.
+        let mut fresh = Script::new().read(Addr::new(0)).build();
+        assert!(fresh
+            .restore_state(&ProcessorCheckpoint::Script { ops_left: 9 })
+            .is_err());
+    }
+
+    #[test]
+    fn loop_and_spin_checkpoints_round_trip() {
+        let body = vec![MemOp::read(Addr::new(0)), MemOp::read(Addr::new(1))];
+        let mut pe = LoopProcessor::new(body.clone(), 3);
+        pe.next_op(None);
+        let state = pe.checkpoint_state().unwrap();
+        let mut fresh = LoopProcessor::new(body.clone(), 3);
+        fresh.restore_state(&state).unwrap();
+        assert_eq!(fresh.next_op(None), Poll::Op(body[1]));
+        assert!(fresh
+            .restore_state(&ProcessorCheckpoint::Loop {
+                rounds_left: 1,
+                position: 99,
+            })
+            .is_err());
+
+        let mut spin = SpinReader::new(Addr::new(4), decache_mem::Word::is_zero);
+        spin.next_op(Some(&OpResult::Read(Word::ZERO)));
+        let state = spin.checkpoint_state().unwrap();
+        assert_eq!(state, ProcessorCheckpoint::Spin { satisfied: true });
+        let mut fresh = SpinReader::new(Addr::new(4), decache_mem::Word::is_zero);
+        fresh.restore_state(&state).unwrap();
+        assert!(fresh.next_op(None).is_halt());
+    }
+
+    #[test]
+    fn closure_processors_are_not_checkpointable() {
+        let mut pe = |_last: Option<&OpResult>| Poll::Halt;
+        assert!(Processor::checkpoint_state(&pe).is_none());
+        assert!(Processor::restore_state(&mut pe, &ProcessorCheckpoint::Stateless).is_err());
     }
 
     #[test]

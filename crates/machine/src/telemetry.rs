@@ -159,6 +159,47 @@ impl Histogram {
             .collect()
     }
 
+    /// Exports the raw per-bucket counts plus the running moments —
+    /// the checkpoint form: `(buckets, count, sum, max)`. Round-trips
+    /// exactly through [`Histogram::from_checkpoint`].
+    pub fn checkpoint_state(&self) -> (Vec<u64>, u64, u64, u64) {
+        (self.buckets.to_vec(), self.count, self.sum, self.max)
+    }
+
+    /// Reconstructs a histogram from a [`Histogram::checkpoint_state`]
+    /// export.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `buckets` does not have exactly 65 entries
+    /// (the fixed bucket shape), or if `count` disagrees with the
+    /// bucket totals.
+    pub fn from_checkpoint(
+        buckets: &[u64],
+        count: u64,
+        sum: u64,
+        max: u64,
+    ) -> Result<Self, String> {
+        let raw: [u64; BUCKETS] = buckets.try_into().map_err(|_| {
+            format!(
+                "histogram has {} buckets, expected {BUCKETS}",
+                buckets.len()
+            )
+        })?;
+        let total: u64 = raw.iter().sum();
+        if total != count {
+            return Err(format!(
+                "histogram count {count} disagrees with bucket total {total}"
+            ));
+        }
+        Ok(Histogram {
+            buckets: raw,
+            count,
+            sum,
+            max,
+        })
+    }
+
     /// Merges another histogram into this one, bucket by bucket.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -269,6 +310,20 @@ mod tests {
         assert_eq!(h.max(), 17);
         assert!((h.mean() - 29.0 / 4.0).abs() < 1e-12);
         assert_eq!(h.nonzero_buckets().iter().map(|&(_, c)| c).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1023, u64::MAX] {
+            h.record(v);
+        }
+        let (buckets, count, sum, max) = h.checkpoint_state();
+        let back = Histogram::from_checkpoint(&buckets, count, sum, max).unwrap();
+        assert_eq!(back, h);
+        // Shape and consistency violations are structured errors.
+        assert!(Histogram::from_checkpoint(&buckets[1..], count, sum, max).is_err());
+        assert!(Histogram::from_checkpoint(&buckets, count + 1, sum, max).is_err());
     }
 
     #[test]

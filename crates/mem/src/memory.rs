@@ -331,6 +331,55 @@ impl Memory {
         self.bad_parity.len()
     }
 
+    /// Exports the complete module state for a checkpoint, bypassing
+    /// access statistics: `(words, locks sorted by address, bad-parity
+    /// addresses sorted, stats)`. The sorted orders make the export
+    /// deterministic regardless of hash-map iteration order.
+    #[allow(clippy::type_complexity)]
+    pub fn checkpoint_state(&self) -> (Vec<Word>, Vec<(u64, PeId)>, Vec<u64>, MemoryStats) {
+        let mut locks: Vec<(u64, PeId)> = self.locks.iter().map(|(&a, &p)| (a, p)).collect();
+        locks.sort_unstable_by_key(|&(a, _)| a);
+        let mut bad: Vec<u64> = self.bad_parity.iter().copied().collect();
+        bad.sort_unstable();
+        (self.words.clone(), locks, bad, self.stats)
+    }
+
+    /// Overwrites the complete module state from a checkpoint produced
+    /// by [`Memory::checkpoint_state`], without counting accesses or
+    /// touching parity (the restored `bad_parity` set *is* the parity
+    /// state). `words` must match the memory size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `words` has the wrong
+    /// length, or if any lock or parity address exceeds the size.
+    pub fn restore_state(
+        &mut self,
+        words: Vec<Word>,
+        locks: Vec<(u64, PeId)>,
+        bad_parity: Vec<u64>,
+        stats: MemoryStats,
+    ) -> Result<(), MemError> {
+        let size = self.size();
+        if words.len() as u64 != size {
+            return Err(MemError::OutOfBounds {
+                addr: Addr::new(words.len() as u64),
+                size,
+            });
+        }
+        for &(addr, _) in &locks {
+            self.slot(Addr::new(addr))?;
+        }
+        for &addr in &bad_parity {
+            self.slot(Addr::new(addr))?;
+        }
+        self.words = words;
+        self.locks = locks.into_iter().collect();
+        self.bad_parity = bad_parity.into_iter().collect();
+        self.stats = stats;
+        Ok(())
+    }
+
     /// Fills the range starting at `start` with the given words; convenient
     /// for initializing workloads.
     ///
@@ -512,6 +561,28 @@ mod tests {
         assert_eq!(mem.lock_holder(Addr::new(5)), None);
         assert_eq!(mem.lock_holder(Addr::new(3)), Some(PeId::new(0)));
         assert!(mem.release_locks_held_by(PeId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_state_round_trip() {
+        let mut mem = Memory::new(8);
+        mem.write(Addr::new(1), Word::new(11)).unwrap();
+        mem.read_with_lock(Addr::new(5), PeId::new(2)).unwrap();
+        mem.poke_corrupt(Addr::new(3), Word::new(0xBAD)).unwrap();
+        let (words, locks, bad, stats) = mem.checkpoint_state();
+
+        let mut copy = Memory::new(8);
+        copy.restore_state(words, locks, bad, stats).unwrap();
+        assert_eq!(copy.peek(Addr::new(1)).unwrap(), Word::new(11));
+        assert_eq!(copy.lock_holder(Addr::new(5)), Some(PeId::new(2)));
+        assert!(!copy.parity_ok(Addr::new(3)));
+        assert_eq!(copy.stats(), mem.stats());
+
+        // Wrong geometry is rejected without mutating anything.
+        let mut small = Memory::new(4);
+        let (words, locks, bad, stats) = mem.checkpoint_state();
+        assert!(small.restore_state(words, locks, bad, stats).is_err());
+        assert_eq!(small.peek(Addr::new(1)).unwrap(), Word::ZERO);
     }
 
     #[test]

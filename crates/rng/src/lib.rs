@@ -106,6 +106,14 @@ impl Rng {
         Rng { s: state }
     }
 
+    /// Returns the current 256-bit state, suitable for exact stream
+    /// resumption via [`Rng::from_state`] — the checkpoint/restore
+    /// primitive: `from_state(rng.state())` continues the stream
+    /// bit-identically.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Produces the next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -361,6 +369,18 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn bad_probability_panics() {
         Rng::from_seed(0).gen_bool(1.5);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream_exactly() {
+        let mut rng = Rng::from_seed(17);
+        for _ in 0..10 {
+            rng.next_u64();
+        }
+        let mut resumed = Rng::from_state(rng.state());
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Crash-safe artifact writes: every file this workspace emits
+//! (metrics JSONL, Perfetto traces, protocol baselines, checkpoint and
+//! progress files) lands via tmp + rename, so a crash or `SIGKILL`
+//! mid-write can never leave a truncated artifact. Readers observe
+//! either the previous complete file or the new complete file — never
+//! a partial state.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary sibling a write lands in before the rename: same
+/// directory as `path` (renames across filesystems are not atomic),
+/// suffixed with the writer's process id so concurrent writers of the
+/// same artifact cannot corrupt each other's staging file.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("artifact"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: the bytes are staged in a
+/// temporary file in the same directory, flushed to disk, and renamed
+/// over `path` in one step. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// Propagates any I/O error; on failure the staging file is removed
+/// and `path` is untouched.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    let staged = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        // The rename only makes durable bytes visible: flush file data
+        // before the new name can be observed.
+        file.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Appends one line to a JSONL artifact crash-safely: the existing
+/// contents are read, the line (with a trailing newline) is appended,
+/// and the whole file is rewritten through [`write_atomic`]. A missing
+/// file starts empty. O(file size) per append — fine for bench-report
+/// cadence, not for high-frequency logging.
+///
+/// # Errors
+///
+/// Propagates any I/O error; on failure the artifact keeps its
+/// previous complete contents.
+pub fn append_line_atomic(path: impl AsRef<Path>, line: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut contents = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    if !contents.is_empty() && !contents.ends_with(b"\n") {
+        contents.push(b'\n');
+    }
+    contents.extend_from_slice(line.as_bytes());
+    contents.push(b'\n');
+    write_atomic(path, &contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("decache-artifact-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let path = scratch("whole.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        // No staging file left behind.
+        assert!(!tmp_sibling(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_creates_parent_directories() {
+        let path = scratch("nested/deeper/a.json");
+        write_atomic(&path, b"{}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_line_accumulates_jsonl() {
+        let path = scratch("log.jsonl");
+        let _ = fs::remove_file(&path);
+        append_line_atomic(&path, "{\"a\":1}").unwrap();
+        append_line_atomic(&path, "{\"b\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -31,10 +31,14 @@
 //!
 //! [`check_conservation`]: MetricsSnapshot::check_conservation
 
+pub mod artifact;
+pub mod checkpoint;
 pub mod json;
 mod perfetto;
 mod snapshot;
 
+pub use artifact::{append_line_atomic, write_atomic};
+pub use checkpoint::{checkpoint_from_json, checkpoint_to_json, load_checkpoint, save_checkpoint};
 pub use json::Json;
 pub use perfetto::{env_trace_path, PerfettoTrace, DEFAULT_CAPACITY};
 pub use snapshot::{

@@ -345,13 +345,15 @@ impl PerfettoTrace {
         self.export(machine).to_string()
     }
 
-    /// Writes the exported document to `path`.
+    /// Writes the exported document to `path` crash-safely
+    /// (tmp + rename via [`crate::artifact::write_atomic`]); an
+    /// interrupted save never leaves a truncated trace.
     ///
     /// # Errors
     ///
     /// Propagates the underlying filesystem error.
     pub fn save(&self, machine: &Machine, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.export_string(machine))
+        crate::artifact::write_atomic(path, self.export_string(machine).as_bytes())
     }
 }
 

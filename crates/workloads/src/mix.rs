@@ -1,7 +1,7 @@
 //! Parameterized mixed reference workloads for machine-level sweeps.
 
 use decache_cache::RefClass;
-use decache_machine::{MemOp, OpResult, Poll, Processor};
+use decache_machine::{MemOp, OpResult, Poll, Processor, ProcessorCheckpoint};
 use decache_mem::{Addr, AddrRange, Word};
 use decache_rng::Rng;
 
@@ -140,6 +140,33 @@ impl Processor for MixWorkload {
         };
         Poll::Op(op)
     }
+
+    fn checkpoint_state(&self) -> Option<ProcessorCheckpoint> {
+        let [s0, s1, s2, s3] = self.rng.state();
+        Some(ProcessorCheckpoint::Custom {
+            kind: "mix-workload".to_string(),
+            words: vec![s0, s1, s2, s3, self.issued, self.counter],
+        })
+    }
+
+    fn restore_state(&mut self, state: &ProcessorCheckpoint) -> Result<(), String> {
+        let ProcessorCheckpoint::Custom { kind, words } = state else {
+            return Err(format!("mix workload given {state:?}"));
+        };
+        if kind != "mix-workload" {
+            return Err(format!("mix workload given {kind} state"));
+        }
+        let [s0, s1, s2, s3, issued, counter] = words.as_slice() else {
+            return Err(format!("mix workload expects 6 words, got {}", words.len()));
+        };
+        if [*s0, *s1, *s2, *s3] == [0; 4] {
+            return Err("mix workload RNG state is all zeros".to_string());
+        }
+        self.rng = Rng::from_state([*s0, *s1, *s2, *s3]);
+        self.issued = *issued;
+        self.counter = *counter;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +234,31 @@ mod tests {
         let a = run(ProtocolKind::Rb, 2).traffic().total_transactions();
         let b = run(ProtocolKind::Rb, 2).traffic().total_transactions();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_resumes_reference_stream_exactly() {
+        let shared = AddrRange::with_len(Addr::new(0), 8);
+        let mut w = MixWorkload::new(MixConfig::default(), shared, 3);
+        for _ in 0..7 {
+            w.next_op(None);
+        }
+        let state = Processor::checkpoint_state(&w).unwrap();
+        let mut fresh = MixWorkload::new(MixConfig::default(), shared, 3);
+        Processor::restore_state(&mut fresh, &state).unwrap();
+        for _ in 0..50 {
+            assert_eq!(fresh.next_op(None), w.next_op(None));
+        }
+        // Wrong kind and wrong arity are structured errors.
+        assert!(Processor::restore_state(&mut fresh, &ProcessorCheckpoint::Stateless).is_err());
+        assert!(Processor::restore_state(
+            &mut fresh,
+            &ProcessorCheckpoint::Custom {
+                kind: "mix-workload".to_string(),
+                words: vec![1, 2],
+            }
+        )
+        .is_err());
     }
 
     #[test]
