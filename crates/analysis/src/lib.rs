@@ -12,6 +12,9 @@
 //!   the analytic model predicts.
 //! * [`MultibusExperiment`] — Figure 7-1: the same workload on 1, 2, and
 //!   4 interleaved shared buses, measuring how per-bus traffic divides.
+//! * [`QueueingModel`] — exact finite-source discrete-time queueing
+//!   predictions (utilization, mean bus-acquire wait) per service
+//!   discipline, the analytic side of the `queueing_check` gate.
 //! * [`ProtocolComparison`] — experiment E13: RB, RWB, write-once, and
 //!   write-through on the same workload, the repository's headline
 //!   "who wins" table.
@@ -28,6 +31,7 @@ mod chart;
 mod compare;
 mod multibus;
 pub mod par;
+mod queueing;
 mod saturation;
 mod table;
 
@@ -35,5 +39,6 @@ pub use bandwidth::SbbModel;
 pub use chart::TextChart;
 pub use compare::{ProtocolComparison, ProtocolRow};
 pub use multibus::{MultibusExperiment, MultibusRow};
+pub use queueing::{QueueingModel, QueueingPrediction};
 pub use saturation::{SaturationPoint, SaturationSweep};
 pub use table::TextTable;

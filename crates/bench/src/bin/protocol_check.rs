@@ -11,12 +11,11 @@
 //! transition table is non-total over its explored domain, or if any
 //! declared state is unreachable.
 //!
-//! The dead-rule baseline moved to the **static** analyzer
+//! The dead-rule baseline lives with the **static** analyzer
 //! (`protocol_lint`, pinned by `crates/verify/src/static_baseline.txt`),
 //! whose abstraction-based dead set subsumes this checker's coverage at
-//! every `n`. `--print-baseline` remains as a migration shim: it prints
-//! the canonical dynamic coverage lines for comparison and points at
-//! the new gate.
+//! every `n`; regenerate it with
+//! `protocol_lint --print-baseline <path>`.
 
 use decache_analysis::TextTable;
 use decache_bench::{banner, par};
@@ -46,11 +45,6 @@ struct Case {
 }
 
 impl Case {
-    /// The canonical configuration is the one the baseline pins.
-    fn is_canonical(self) -> bool {
-        self.n == 3 && self.evictions && self.test_and_set
-    }
-
     fn checker(self) -> ProductChecker {
         let mut checker = ProductChecker::new(self.kind, self.n);
         if !self.evictions {
@@ -81,8 +75,6 @@ fn run(case: &Case) -> Outcome {
 }
 
 fn main() -> ExitCode {
-    let print_baseline = std::env::args().any(|a| a == "--print-baseline");
-
     let mut cases = Vec::new();
     for kind in KINDS {
         for n in [2usize, 3, 4] {
@@ -99,19 +91,6 @@ fn main() -> ExitCode {
         }
     }
     let outcomes = par::run_cases(&cases, run);
-
-    if print_baseline {
-        println!("# MIGRATION SHIM: the committed dead-rule baseline now lives in");
-        println!("# crates/verify/src/static_baseline.txt, produced by the static");
-        println!("# analyzer. Regenerate it with:");
-        println!("#   cargo run -p decache-bench --bin protocol_lint -- --print-baseline");
-        println!("# The dynamic n = 3 coverage lines below are printed for comparison");
-        println!("# only (the static dead set is a subset of each, by construction).");
-        for outcome in outcomes.iter().filter(|o| o.case.is_canonical()) {
-            println!("{}", outcome.lint.baseline_line());
-        }
-        return ExitCode::SUCCESS;
-    }
 
     banner(
         "Protocol static analysis",

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+mod discipline;
 mod multibus;
 mod queue;
 mod requesters;
@@ -48,8 +49,9 @@ mod transaction;
 pub use arbiter::{
     Arbiter, ArbiterCheckpoint, ArbiterKind, FixedPriority, RandomArbiter, RoundRobin,
 };
+pub use discipline::ServiceDiscipline;
 pub use multibus::{MultiBusStats, Topology};
-pub use queue::{BusError, BusQueue};
+pub use queue::{BusError, BusQueue, QueueState};
 pub use requesters::RequesterSet;
 pub use routing::Routing;
 pub use traffic::TrafficStats;

@@ -1,6 +1,6 @@
 //! The pending-request queue in front of the arbiter.
 
-use crate::{Arbiter, BusTransaction, RequesterSet};
+use crate::{Arbiter, BusTransaction, RequesterSet, ServiceDiscipline};
 use decache_mem::PeId;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -17,6 +17,13 @@ pub enum BusError {
         /// The PE with the duplicate request.
         pe: PeId,
     },
+    /// A restored queue state's lanes disagree with each other (e.g. the
+    /// FCFS arrival order names a different PE set than the pending
+    /// lane). The queue is left cleared.
+    InconsistentRestore {
+        /// Which consistency rule was violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for BusError {
@@ -25,11 +32,36 @@ impl fmt::Display for BusError {
             BusError::AlreadyPending { pe } => {
                 write!(f, "{pe} already has an outstanding bus request")
             }
+            BusError::InconsistentRestore { what } => {
+                write!(f, "inconsistent queue state: {what}")
+            }
         }
     }
 }
 
 impl Error for BusError {}
+
+/// The complete behaviour-relevant state of a [`BusQueue`], as exported
+/// by [`BusQueue::checkpoint_state`] and reinstated by
+/// [`BusQueue::restore_state`]. Lanes the active discipline does not
+/// use are empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueState {
+    /// The priority retry lane, in FIFO order.
+    pub retry: Vec<BusTransaction>,
+    /// The pending lane, in ascending PE order.
+    pub pending: Vec<BusTransaction>,
+    /// FCFS arrival order over the pending lane's PEs
+    /// ([`ServiceDiscipline::Fcfs`] only).
+    pub arrival: Vec<PeId>,
+    /// The unserved remainder of the current batch, in service order
+    /// ([`ServiceDiscipline::Batched`] only).
+    pub batch: Vec<PeId>,
+    /// Split-transaction address phases awaiting their data phase, as
+    /// `(transaction, ready_cycle)` in ascending ready order
+    /// ([`ServiceDiscipline::Split`] only).
+    pub in_flight: Vec<(BusTransaction, u64)>,
+}
 
 /// The request queue in front of the bus arbiter.
 ///
@@ -45,6 +77,13 @@ impl Error for BusError {}
 /// vector, so every operation — request, grant, cancel — is constant-time
 /// in the number of waiting PEs and the granting cycle allocates nothing.
 /// Arbiters observe requesters in ascending id order exactly as before.
+///
+/// A queue built with a non-default [`ServiceDiscipline`] layers extra
+/// bookkeeping on the pending lane: an arrival-order queue (FCFS), the
+/// current batch (batched/gated service), or the in-flight set of
+/// split-transaction address phases awaiting their data phase. A
+/// [`ServiceDiscipline::PerCycle`] queue maintains none of them and
+/// behaves bit-identically to the historical implementation.
 ///
 /// # Examples
 ///
@@ -64,15 +103,38 @@ impl Error for BusError {}
 /// ```
 #[derive(Debug, Default)]
 pub struct BusQueue {
+    discipline: ServiceDiscipline,
     retry: VecDeque<BusTransaction>,
     requesters: RequesterSet,
     slots: Vec<Option<BusTransaction>>,
+    /// FCFS: pending-lane PEs in request-arrival order.
+    arrival: VecDeque<PeId>,
+    /// Batched: the unserved remainder of the current batch.
+    batch: VecDeque<PeId>,
+    /// Split: address-phase-complete transactions awaiting their data
+    /// phase, with the cycle each becomes ready. Ready cycles are
+    /// strictly increasing (at most one address grant per cycle).
+    in_flight: VecDeque<(BusTransaction, u64)>,
 }
 
 impl BusQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default
+    /// [`ServiceDiscipline::PerCycle`] discipline.
     pub fn new() -> Self {
         BusQueue::default()
+    }
+
+    /// Creates an empty queue running the given service discipline.
+    pub fn with_discipline(discipline: ServiceDiscipline) -> Self {
+        BusQueue {
+            discipline,
+            ..BusQueue::default()
+        }
+    }
+
+    /// The service discipline this queue runs.
+    pub fn discipline(&self) -> ServiceDiscipline {
+        self.discipline
     }
 
     /// Enqueues a fresh request from a PE.
@@ -90,6 +152,9 @@ impl BusQueue {
             self.slots.resize_with(slot + 1, || None);
         }
         self.slots[slot] = Some(tx);
+        if self.discipline == ServiceDiscipline::Fcfs {
+            self.arrival.push_back(tx.initiator);
+        }
         Ok(())
     }
 
@@ -99,9 +164,23 @@ impl BusQueue {
         self.retry.push_back(tx);
     }
 
+    /// Removes the PE's pending-lane entry and returns its transaction.
+    fn take_pending(&mut self, pe: PeId) -> BusTransaction {
+        assert!(
+            self.requesters.remove(pe),
+            "grant winner must be a requester"
+        );
+        self.slots[pe.index()]
+            .take()
+            .expect("requester set names only occupied slots")
+    }
+
     /// Removes and returns the transaction to run this cycle: the oldest
-    /// retry if any, otherwise the arbiter's pick among pending requests.
-    /// Returns `None` when the queue is empty (an idle bus cycle).
+    /// retry if any, otherwise the pending request the discipline selects
+    /// — the arbiter's pick (per-cycle and split), the oldest arrival
+    /// (FCFS), or the next batch member (batched, capturing a fresh batch
+    /// from the waiting set when the previous one is exhausted). Returns
+    /// `None` when nothing is grantable (an idle bus cycle).
     pub fn grant(&mut self, arbiter: &mut dyn Arbiter) -> Option<BusTransaction> {
         if let Some(tx) = self.retry.pop_front() {
             return Some(tx);
@@ -109,40 +188,103 @@ impl BusQueue {
         if self.requesters.is_empty() {
             return None;
         }
-        let winner = arbiter.pick(&self.requesters);
-        assert!(
-            self.requesters.remove(winner),
-            "arbiter must choose one of the requesters"
-        );
-        Some(
-            self.slots[winner.index()]
-                .take()
-                .expect("requester set names only occupied slots"),
-        )
+        let winner = match self.discipline {
+            ServiceDiscipline::PerCycle | ServiceDiscipline::Split => {
+                arbiter.pick(&self.requesters)
+            }
+            ServiceDiscipline::Fcfs => self
+                .arrival
+                .pop_front()
+                .expect("FCFS arrival order tracks the requester set"),
+            ServiceDiscipline::Batched => {
+                if self.batch.is_empty() {
+                    self.batch.extend(self.requesters.iter());
+                }
+                self.batch
+                    .pop_front()
+                    .expect("batch captured from a non-empty requester set")
+            }
+        };
+        Some(self.take_pending(winner))
     }
 
-    /// Returns `true` if the PE has a request waiting in either lane.
+    /// Returns `true` if a [`BusQueue::grant`] call would serve
+    /// something this cycle — i.e. either lane the arbiter draws from is
+    /// non-empty. Excludes split-transaction in-flight entries, whose
+    /// data phases are claimed via [`BusQueue::take_ready`] instead.
+    pub fn has_grantable(&self) -> bool {
+        !self.retry.is_empty() || !self.requesters.is_empty()
+    }
+
+    /// Posts a granted transaction's address phase: the transaction
+    /// leaves the bus and re-appears as a ready data phase at
+    /// `ready_cycle` (split-transaction mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ready_cycle` does not exceed the previously posted
+    /// ready cycle — address phases are granted at most once per cycle,
+    /// so ready cycles are strictly increasing.
+    pub fn begin_in_flight(&mut self, tx: BusTransaction, ready_cycle: u64) {
+        if let Some(&(_, last)) = self.in_flight.back() {
+            assert!(
+                ready_cycle > last,
+                "ready cycle {ready_cycle} does not advance past {last}"
+            );
+        }
+        self.in_flight.push_back((tx, ready_cycle));
+    }
+
+    /// Claims the data phase that is due at `cycle`, if any: the oldest
+    /// in-flight transaction whose ready cycle has arrived.
+    pub fn take_ready(&mut self, cycle: u64) -> Option<BusTransaction> {
+        match self.in_flight.front() {
+            Some(&(_, ready)) if ready <= cycle => {
+                Some(self.in_flight.pop_front().expect("front exists").0)
+            }
+            _ => None,
+        }
+    }
+
+    /// The cycle the next in-flight data phase becomes ready, if any.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.in_flight.front().map(|&(_, ready)| ready)
+    }
+
+    /// Returns `true` if the PE has a request waiting in any lane,
+    /// including a split-transaction in-flight phase.
     pub fn has_pending(&self, pe: PeId) -> bool {
-        self.requesters.contains(pe) || self.retry.iter().any(|tx| tx.initiator == pe)
+        self.requesters.contains(pe)
+            || self.retry.iter().any(|tx| tx.initiator == pe)
+            || self.in_flight.iter().any(|(tx, _)| tx.initiator == pe)
     }
 
-    /// Removes any request the PE has in either lane; used when a pending
-    /// miss is satisfied early by snooping a broadcast.
-    pub fn cancel(&mut self, pe: PeId) {
+    /// Removes any request the PE has in any lane; used when a pending
+    /// miss is satisfied early by snooping a broadcast, and when a PE
+    /// fail-stops. Returns `true` if a split-transaction in-flight phase
+    /// was purged — its address phase was already granted, so the caller
+    /// must account for the transaction that will now never execute.
+    pub fn cancel(&mut self, pe: PeId) -> bool {
         if self.requesters.remove(pe) {
             self.slots[pe.index()] = None;
+            self.arrival.retain(|&p| p != pe);
+            self.batch.retain(|&p| p != pe);
         }
         self.retry.retain(|tx| tx.initiator != pe);
+        let before = self.in_flight.len();
+        self.in_flight.retain(|(tx, _)| tx.initiator != pe);
+        self.in_flight.len() != before
     }
 
-    /// Returns the total number of queued transactions in both lanes.
+    /// Returns the total number of queued transactions across all lanes
+    /// (retry, pending, and split-transaction in-flight).
     pub fn len(&self) -> usize {
-        self.retry.len() + self.requesters.len()
+        self.retry.len() + self.requesters.len() + self.in_flight.len()
     }
 
-    /// Returns `true` if no transactions are queued.
+    /// Returns `true` if no transactions are queued or in flight.
     pub fn is_empty(&self) -> bool {
-        self.retry.is_empty() && self.requesters.is_empty()
+        self.retry.is_empty() && self.requesters.is_empty() && self.in_flight.is_empty()
     }
 
     /// The set of PEs waiting in the pending lane (excludes the retry
@@ -151,49 +293,137 @@ impl BusQueue {
         &self.requesters
     }
 
-    /// Exports both lanes for a checkpoint: `(retry lane in FIFO order,
-    /// pending lane in ascending PE order)`. Together with the arbiter's
-    /// own state this is the queue's complete behaviour-relevant state.
-    pub fn checkpoint_state(&self) -> (Vec<BusTransaction>, Vec<BusTransaction>) {
-        let retry: Vec<BusTransaction> = self.retry.iter().copied().collect();
-        let pending: Vec<BusTransaction> = self
-            .requesters
-            .iter()
-            .map(|pe| self.slots[pe.index()].expect("requester set names only occupied slots"))
-            .collect();
-        (retry, pending)
+    /// Exports the queue's complete behaviour-relevant state for a
+    /// checkpoint. Together with the arbiter's own state this fully
+    /// determines future grant order.
+    pub fn checkpoint_state(&self) -> QueueState {
+        QueueState {
+            retry: self.retry.iter().copied().collect(),
+            pending: self
+                .requesters
+                .iter()
+                .map(|pe| self.slots[pe.index()].expect("requester set names only occupied slots"))
+                .collect(),
+            arrival: self.arrival.iter().copied().collect(),
+            batch: self.batch.iter().copied().collect(),
+            in_flight: self.in_flight.iter().copied().collect(),
+        }
     }
 
-    /// Replaces both lanes from a checkpoint produced by
-    /// [`BusQueue::checkpoint_state`]: `retry` refills the retry lane in
-    /// order, `pending` re-requests each transaction.
+    /// Replaces the queue's state from a checkpoint produced by
+    /// [`BusQueue::checkpoint_state`]. The queue's own discipline is
+    /// kept; lanes the discipline does not use must be empty in `state`.
     ///
     /// # Errors
     ///
     /// Returns [`BusError::AlreadyPending`] if `pending` names the same
-    /// PE twice; the queue is left cleared in that case.
-    pub fn restore_state(
-        &mut self,
-        retry: Vec<BusTransaction>,
-        pending: Vec<BusTransaction>,
-    ) -> Result<(), BusError> {
+    /// PE twice, and [`BusError::InconsistentRestore`] if the lanes
+    /// disagree (the FCFS arrival order is not a permutation of the
+    /// pending PEs, a batch member is not pending, an in-flight PE is
+    /// also pending, or a lane is populated under a discipline that
+    /// never fills it). The queue is left cleared on error.
+    pub fn restore_state(&mut self, state: QueueState) -> Result<(), BusError> {
         self.retry.clear();
         self.requesters = RequesterSet::new();
         self.slots.clear();
-        for tx in pending {
+        self.arrival.clear();
+        self.batch.clear();
+        self.in_flight.clear();
+        // Lanes a discipline never fills must be empty in the
+        // checkpoint; a populated foreign lane is corrupt.
+        if self.discipline != ServiceDiscipline::Fcfs && !state.arrival.is_empty() {
+            return Err(BusError::InconsistentRestore {
+                what: "arrival order present under a non-FCFS discipline",
+            });
+        }
+        if self.discipline != ServiceDiscipline::Batched && !state.batch.is_empty() {
+            return Err(BusError::InconsistentRestore {
+                what: "batch present under a non-batched discipline",
+            });
+        }
+        if self.discipline != ServiceDiscipline::Split && !state.in_flight.is_empty() {
+            return Err(BusError::InconsistentRestore {
+                what: "in-flight phases present under a non-split discipline",
+            });
+        }
+        for tx in state.pending {
             self.request(tx)?;
         }
-        self.retry.extend(retry);
+        match self.discipline {
+            ServiceDiscipline::Fcfs => {
+                let mut named = RequesterSet::new();
+                for &pe in &state.arrival {
+                    if !self.requesters.contains(pe) || !named.insert(pe) {
+                        self.clear_on_error();
+                        return Err(BusError::InconsistentRestore {
+                            what: "FCFS arrival order is not a permutation of the pending PEs",
+                        });
+                    }
+                }
+                if named.len() != self.requesters.len() {
+                    self.clear_on_error();
+                    return Err(BusError::InconsistentRestore {
+                        what: "FCFS arrival order omits a pending PE",
+                    });
+                }
+                self.arrival = state.arrival.into_iter().collect();
+            }
+            ServiceDiscipline::Batched => {
+                let mut named = RequesterSet::new();
+                for &pe in &state.batch {
+                    if !self.requesters.contains(pe) || !named.insert(pe) {
+                        self.clear_on_error();
+                        return Err(BusError::InconsistentRestore {
+                            what: "batch names a PE that is not pending",
+                        });
+                    }
+                }
+                self.batch = state.batch.into_iter().collect();
+            }
+            ServiceDiscipline::Split => {
+                let mut last_ready = None;
+                for &(tx, ready) in &state.in_flight {
+                    if self.requesters.contains(tx.initiator) {
+                        self.clear_on_error();
+                        return Err(BusError::InconsistentRestore {
+                            what: "in-flight PE also has a pending request",
+                        });
+                    }
+                    if last_ready.is_some_and(|last| ready <= last) {
+                        self.clear_on_error();
+                        return Err(BusError::InconsistentRestore {
+                            what: "in-flight ready cycles are not strictly increasing",
+                        });
+                    }
+                    last_ready = Some(ready);
+                }
+                self.in_flight = state.in_flight.into_iter().collect();
+            }
+            ServiceDiscipline::PerCycle => {}
+        }
+        self.retry.extend(state.retry);
         Ok(())
     }
 
-    /// Checks the pending lane's internal bookkeeping: the requester
-    /// bitset must name exactly the occupied slots. Used by the machine's
+    fn clear_on_error(&mut self) {
+        self.retry.clear();
+        self.requesters = RequesterSet::new();
+        self.slots.clear();
+        self.arrival.clear();
+        self.batch.clear();
+        self.in_flight.clear();
+    }
+
+    /// Checks the lanes' internal bookkeeping: the requester bitset must
+    /// name exactly the occupied slots, the FCFS arrival order must be a
+    /// permutation of the requesters, batch members must be requesters,
+    /// and in-flight PEs must be distinct and disjoint from the pending
+    /// lane with strictly increasing ready cycles. Used by the machine's
     /// fast-path invariant suite.
     ///
     /// # Panics
     ///
-    /// Panics if the bitset and slot vector disagree.
+    /// Panics if any lane's bookkeeping disagrees.
     pub fn assert_lane_invariants(&self) {
         let occupied: Vec<PeId> = self
             .slots
@@ -208,6 +438,43 @@ impl BusQueue {
             "requester bitset disagrees with occupied slots"
         );
         assert_eq!(self.requesters.len(), occupied.len());
+        if self.discipline == ServiceDiscipline::Fcfs {
+            let mut ordered: Vec<PeId> = self.arrival.iter().copied().collect();
+            ordered.sort_unstable();
+            assert_eq!(
+                ordered, named,
+                "FCFS arrival order disagrees with the requester set"
+            );
+        } else {
+            assert!(self.arrival.is_empty(), "stray arrival order");
+        }
+        if self.discipline == ServiceDiscipline::Batched {
+            for &pe in &self.batch {
+                assert!(
+                    self.requesters.contains(pe),
+                    "batch member {pe} is not a requester"
+                );
+            }
+        } else {
+            assert!(self.batch.is_empty(), "stray batch");
+        }
+        if self.discipline == ServiceDiscipline::Split {
+            let mut last = None;
+            for &(tx, ready) in &self.in_flight {
+                assert!(
+                    !self.requesters.contains(tx.initiator),
+                    "in-flight {} also pending",
+                    tx.initiator
+                );
+                assert!(
+                    last.is_none_or(|l| ready > l),
+                    "in-flight ready cycles not strictly increasing"
+                );
+                last = Some(ready);
+            }
+        } else {
+            assert!(self.in_flight.is_empty(), "stray in-flight phases");
+        }
     }
 }
 
@@ -258,7 +525,7 @@ mod tests {
         q.request(tx(1, 1)).unwrap();
         q.push_retry(tx(1, 2));
         assert!(q.has_pending(PeId::new(1)));
-        q.cancel(PeId::new(1));
+        assert!(!q.cancel(PeId::new(1)));
         assert!(!q.has_pending(PeId::new(1)));
         assert!(q.is_empty());
     }
@@ -277,18 +544,120 @@ mod tests {
     }
 
     #[test]
+    fn fcfs_grants_in_arrival_order() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Fcfs);
+        let mut arb = RoundRobin::new();
+        for pe in [2u16, 0, 1] {
+            q.request(tx(pe, u64::from(pe))).unwrap();
+        }
+        q.assert_lane_invariants();
+        // Arrival order wins over both slot order and round robin.
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(2));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
+        // A re-request joins the back of the line.
+        q.request(tx(2, 9)).unwrap();
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(1));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fcfs_cancel_leaves_order_intact() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Fcfs);
+        let mut arb = RoundRobin::new();
+        for pe in [3u16, 1, 2] {
+            q.request(tx(pe, 0)).unwrap();
+        }
+        q.cancel(PeId::new(1));
+        q.assert_lane_invariants();
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(3));
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(2));
+    }
+
+    #[test]
+    fn batched_serves_the_captured_batch_to_exhaustion() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Batched);
+        let mut arb = RoundRobin::new();
+        q.request(tx(1, 0)).unwrap();
+        q.request(tx(3, 0)).unwrap();
+        // First grant captures {1, 3}; a mid-batch arrival must wait.
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(1));
+        q.request(tx(0, 0)).unwrap();
+        q.assert_lane_invariants();
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(3));
+        // Batch exhausted; the next grant captures the waiting set.
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batched_cancel_skips_the_member() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Batched);
+        let mut arb = RoundRobin::new();
+        for pe in [0u16, 1, 2] {
+            q.request(tx(pe, 0)).unwrap();
+        }
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
+        q.cancel(PeId::new(1));
+        q.assert_lane_invariants();
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn split_in_flight_lifecycle() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Split);
+        let mut arb = RoundRobin::new();
+        q.request(tx(4, 8)).unwrap();
+        let granted = q.grant(&mut arb).unwrap();
+        q.begin_in_flight(granted, 13);
+        q.assert_lane_invariants();
+        // In flight counts as queued but not grantable.
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+        assert!(!q.has_grantable());
+        assert!(q.has_pending(PeId::new(4)));
+        assert_eq!(q.next_ready(), Some(13));
+        assert!(q.take_ready(12).is_none());
+        let done = q.take_ready(13).unwrap();
+        assert_eq!(done.initiator, PeId::new(4));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn split_cancel_purges_in_flight() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Split);
+        q.begin_in_flight(tx(5, 1), 10);
+        q.begin_in_flight(tx(6, 2), 11);
+        assert!(q.cancel(PeId::new(5)));
+        q.assert_lane_invariants();
+        assert_eq!(q.next_ready(), Some(11));
+        assert!(!q.has_pending(PeId::new(5)));
+        assert!(q.has_pending(PeId::new(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not advance")]
+    fn split_ready_cycles_must_increase() {
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Split);
+        q.begin_in_flight(tx(0, 0), 7);
+        q.begin_in_flight(tx(1, 0), 7);
+    }
+
+    #[test]
     fn checkpoint_round_trip_preserves_both_lanes_and_order() {
         let mut q = BusQueue::new();
         q.request(tx(3, 30)).unwrap();
         q.request(tx(1, 10)).unwrap();
         q.push_retry(tx(7, 70));
         q.push_retry(tx(5, 50));
-        let (retry, pending) = q.checkpoint_state();
-        assert_eq!(retry.len(), 2);
-        assert_eq!(pending.len(), 2);
+        let state = q.checkpoint_state();
+        assert_eq!(state.retry.len(), 2);
+        assert_eq!(state.pending.len(), 2);
+        assert!(state.arrival.is_empty());
 
         let mut restored = BusQueue::new();
-        restored.restore_state(retry, pending).unwrap();
+        restored.restore_state(state).unwrap();
         restored.assert_lane_invariants();
         let mut arb = RoundRobin::new();
         let mut arb2 = RoundRobin::new();
@@ -302,7 +671,115 @@ mod tests {
 
         // A duplicated pending PE is a structured error.
         let mut bad = BusQueue::new();
-        assert!(bad.restore_state(vec![], vec![tx(2, 1), tx(2, 2)]).is_err());
+        assert!(bad
+            .restore_state(QueueState {
+                pending: vec![tx(2, 1), tx(2, 2)],
+                ..QueueState::default()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_discipline_lanes() {
+        // FCFS: arrival order survives.
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Fcfs);
+        for pe in [4u16, 0, 2] {
+            q.request(tx(pe, 0)).unwrap();
+        }
+        let mut restored = BusQueue::with_discipline(ServiceDiscipline::Fcfs);
+        restored.restore_state(q.checkpoint_state()).unwrap();
+        restored.assert_lane_invariants();
+        let mut arb = RoundRobin::new();
+        for expect in [4u16, 0, 2] {
+            assert_eq!(
+                restored.grant(&mut arb).unwrap().initiator,
+                PeId::new(expect)
+            );
+        }
+
+        // Batched: the in-progress batch survives.
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Batched);
+        let mut arb = RoundRobin::new();
+        for pe in [0u16, 1] {
+            q.request(tx(pe, 0)).unwrap();
+        }
+        assert_eq!(q.grant(&mut arb).unwrap().initiator, PeId::new(0));
+        q.request(tx(2, 0)).unwrap(); // waits for the next batch
+        let mut restored = BusQueue::with_discipline(ServiceDiscipline::Batched);
+        restored.restore_state(q.checkpoint_state()).unwrap();
+        restored.assert_lane_invariants();
+        assert_eq!(restored.grant(&mut arb).unwrap().initiator, PeId::new(1));
+        assert_eq!(restored.grant(&mut arb).unwrap().initiator, PeId::new(2));
+
+        // Split: in-flight phases survive with their ready cycles.
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Split);
+        q.begin_in_flight(tx(3, 9), 21);
+        let mut restored = BusQueue::with_discipline(ServiceDiscipline::Split);
+        restored.restore_state(q.checkpoint_state()).unwrap();
+        restored.assert_lane_invariants();
+        assert_eq!(restored.next_ready(), Some(21));
+        assert_eq!(restored.take_ready(21).unwrap().initiator, PeId::new(3));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_lanes() {
+        // Arrival order must match the pending set exactly.
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Fcfs);
+        let err = q
+            .restore_state(QueueState {
+                pending: vec![tx(1, 0)],
+                arrival: vec![PeId::new(2)],
+                ..QueueState::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, BusError::InconsistentRestore { .. }));
+        assert!(q.is_empty(), "queue cleared after failed restore");
+        let err = q
+            .restore_state(QueueState {
+                pending: vec![tx(1, 0), tx(2, 0)],
+                arrival: vec![PeId::new(1)],
+                ..QueueState::default()
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("omits"));
+
+        // Discipline-foreign lanes are rejected.
+        let mut q = BusQueue::new();
+        assert!(q
+            .restore_state(QueueState {
+                arrival: vec![PeId::new(0)],
+                ..QueueState::default()
+            })
+            .is_err());
+        assert!(q
+            .restore_state(QueueState {
+                batch: vec![PeId::new(0)],
+                ..QueueState::default()
+            })
+            .is_err());
+        assert!(q
+            .restore_state(QueueState {
+                in_flight: vec![(tx(0, 0), 5)],
+                ..QueueState::default()
+            })
+            .is_err());
+
+        // An in-flight PE cannot also be pending, and ready cycles
+        // must increase.
+        let mut q = BusQueue::with_discipline(ServiceDiscipline::Split);
+        assert!(q
+            .restore_state(QueueState {
+                pending: vec![tx(1, 0)],
+                in_flight: vec![(tx(1, 0), 5)],
+                ..QueueState::default()
+            })
+            .is_err());
+        assert!(q
+            .restore_state(QueueState {
+                in_flight: vec![(tx(1, 0), 5), (tx(2, 0), 5)],
+                ..QueueState::default()
+            })
+            .is_err());
     }
 
     #[test]

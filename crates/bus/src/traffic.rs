@@ -31,6 +31,9 @@ pub struct TrafficStats {
     pub busy_cycles: u64,
     /// Cycles in which the bus was idle.
     pub idle_cycles: u64,
+    /// Split-transaction address phases granted (each also counts a busy
+    /// cycle); zero under non-split disciplines.
+    pub address_phases: u64,
 }
 
 impl TrafficStats {
@@ -80,6 +83,15 @@ impl TrafficStats {
         self.busy_cycles += n;
     }
 
+    /// Records a split-transaction address phase: one busy cycle in
+    /// which a request was posted but no transaction completed (the
+    /// transaction itself is counted by [`TrafficStats::record`] when
+    /// its data phase runs).
+    pub fn record_address_phase(&mut self) {
+        self.address_phases += 1;
+        self.busy_cycles += 1;
+    }
+
     fn slot(kind: BusOpKind) -> usize {
         match kind {
             BusOpKind::Read => 0,
@@ -119,13 +131,14 @@ impl TrafficStats {
     }
 
     /// Reconstructs counters from a [`TrafficStats::checkpoint_counts`]
-    /// export plus the four public counters.
+    /// export plus the five public counters.
     pub fn from_checkpoint(
         counts: [u64; 5],
         aborted_reads: u64,
         retries: u64,
         busy_cycles: u64,
         idle_cycles: u64,
+        address_phases: u64,
     ) -> Self {
         TrafficStats {
             counts,
@@ -133,6 +146,7 @@ impl TrafficStats {
             retries,
             busy_cycles,
             idle_cycles,
+            address_phases,
         }
     }
 
@@ -165,6 +179,7 @@ impl AddAssign for TrafficStats {
         self.retries += rhs.retries;
         self.busy_cycles += rhs.busy_cycles;
         self.idle_cycles += rhs.idle_cycles;
+        self.address_phases += rhs.address_phases;
     }
 }
 
@@ -247,6 +262,19 @@ mod tests {
         assert_eq!(c.retries, 1);
         assert_eq!(c.busy_cycles, 2);
         assert_eq!(c.idle_cycles, 1);
+    }
+
+    #[test]
+    fn address_phases_are_busy_without_transactions() {
+        let mut t = TrafficStats::new();
+        t.record_address_phase();
+        t.record_idle();
+        t.record(BusOpKind::Read);
+        assert_eq!(t.address_phases, 1);
+        assert_eq!(t.total_transactions(), 1);
+        assert_eq!(t.busy_cycles, 2);
+        let sum = t + t;
+        assert_eq!(sum.address_phases, 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Fluent construction of [`Machine`]s.
 
 use crate::{FailStopPolicy, FaultPlan, Machine, Observer, Processor, RecoveryPolicy, Trace};
-use decache_bus::{ArbiterKind, Routing};
+use decache_bus::{ArbiterKind, Routing, ServiceDiscipline};
 use decache_cache::{Geometry, TagStore};
 use decache_core::ProtocolKind;
 use decache_mem::Memory;
@@ -45,6 +45,7 @@ pub struct MachineBuilder {
     cache_lines: usize,
     shape: Shape,
     arbiter: ArbiterKind,
+    discipline: ServiceDiscipline,
     transaction_cycles: u64,
     trace: bool,
     processors: Vec<Box<dyn Processor + Send>>,
@@ -72,6 +73,7 @@ impl std::fmt::Debug for MachineBuilder {
                 },
             )
             .field("arbiter", &self.arbiter)
+            .field("discipline", &self.discipline)
             .field("trace", &self.trace)
             .field("processors", &self.processors.len())
             .finish()
@@ -88,6 +90,7 @@ impl MachineBuilder {
             cache_lines: DEFAULT_CACHE_LINES,
             shape: Shape::Interleaved { bank_bits: 0 },
             arbiter: ArbiterKind::RoundRobin,
+            discipline: ServiceDiscipline::default(),
             transaction_cycles: 1,
             trace: false,
             processors: Vec::new(),
@@ -188,6 +191,16 @@ impl MachineBuilder {
     /// Selects the bus arbitration policy (default round-robin).
     pub fn arbiter(&mut self, arbiter: ArbiterKind) -> &mut Self {
         self.arbiter = arbiter;
+        self
+    }
+
+    /// Selects the bus service discipline (default
+    /// [`ServiceDiscipline::PerCycle`]), shared by every bus. The
+    /// discipline decides *when* queued requests are served; the
+    /// [`MachineBuilder::arbiter`] policy still breaks same-cycle ties
+    /// where the discipline leaves any.
+    pub fn discipline(&mut self, discipline: ServiceDiscipline) -> &mut Self {
+        self.discipline = discipline;
         self
     }
 
@@ -378,6 +391,7 @@ impl MachineBuilder {
             processors,
             arbiters,
             self.transaction_cycles,
+            self.discipline,
             trace,
             self.fault_plan.take(),
             self.recovery_policy,

@@ -30,7 +30,7 @@ use crate::sharers::{AddrPeIndex, PeMask};
 use crate::status::{PeStatus, Pending};
 use crate::telemetry::{CycleHistograms, Histogram};
 use crate::{FaultStats, MachineStats, OpResult};
-use decache_bus::{ArbiterCheckpoint, BusTransaction, TrafficStats};
+use decache_bus::{ArbiterCheckpoint, BusTransaction, QueueState, TrafficStats};
 use decache_cache::{CacheStats, RefClass, TagStoreCheckpoint};
 use decache_core::{LineState, Protocol};
 use decache_mem::{Addr, MemoryStats, PeId, Word};
@@ -40,7 +40,7 @@ use std::fmt;
 
 /// The checkpoint format version; bumped on any layout change so stale
 /// files are rejected with a structured error instead of misread.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The canonical field order of [`MachineCheckpoint::fault_stats`]:
 /// `fault_stats[i]` is the counter named `FAULT_STAT_FIELDS[i]`. Kept
@@ -141,13 +141,22 @@ pub enum StatusCheckpoint {
     Failed,
 }
 
-/// Both lanes of one bus queue.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Every lane of one bus queue. The discipline-specific lanes
+/// (`arrival`, `batch`, `in_flight`) are empty unless the machine runs
+/// the matching [`ServiceDiscipline`](decache_bus::ServiceDiscipline).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueueCheckpoint {
     /// The priority retry lane, in FIFO order.
     pub retry: Vec<BusTransaction>,
     /// The pending lane, in ascending PE order.
     pub pending: Vec<BusTransaction>,
+    /// FCFS request-arrival order over the pending lane's PEs.
+    pub arrival: Vec<PeId>,
+    /// The unserved remainder of the current batch, in service order.
+    pub batch: Vec<PeId>,
+    /// Split-transaction address phases awaiting their data phase, as
+    /// `(transaction, ready_cycle)` in ascending ready order.
+    pub in_flight: Vec<(BusTransaction, u64)>,
 }
 
 /// One bus's traffic counters in raw form.
@@ -163,6 +172,8 @@ pub struct TrafficCheckpoint {
     pub busy_cycles: u64,
     /// Idle bus cycles.
     pub idle_cycles: u64,
+    /// Split-transaction address phases.
+    pub address_phases: u64,
 }
 
 /// The fault engine's mutable state. The plan itself (rates, schedule,
@@ -268,6 +279,10 @@ pub struct MachineCheckpoint {
     pub block_words: u64,
     /// Bus cycles per transaction.
     pub transaction_cycles: u64,
+    /// The bus service discipline's name
+    /// ([`ServiceDiscipline::name`](decache_bus::ServiceDiscipline::name)),
+    /// validated on restore.
+    pub discipline: String,
     /// The current cycle number.
     pub cycle: u64,
     /// Engine-path odometer: cycles whose issue phase ran sharded.
@@ -570,6 +585,7 @@ impl Machine {
             ways: self.geometry.ways() as u64,
             block_words: self.geometry.block_words(),
             transaction_cycles: self.transaction_cycles,
+            discipline: self.discipline.name().to_string(),
             cycle: self.cycle,
             sharded_cycles: self.sharded_cycles,
             memory: MemoryCheckpoint {
@@ -607,8 +623,14 @@ impl Machine {
                 .queues
                 .iter()
                 .map(|q| {
-                    let (retry, pending) = q.checkpoint_state();
-                    QueueCheckpoint { retry, pending }
+                    let s = q.checkpoint_state();
+                    QueueCheckpoint {
+                        retry: s.retry,
+                        pending: s.pending,
+                        arrival: s.arrival,
+                        batch: s.batch,
+                        in_flight: s.in_flight,
+                    }
                 })
                 .collect(),
             arbiters,
@@ -621,6 +643,7 @@ impl Machine {
                         retries: t.retries,
                         busy_cycles: t.busy_cycles,
                         idle_cycles: t.idle_cycles,
+                        address_phases: t.address_phases,
                     }
                 })
                 .collect(),
@@ -678,6 +701,15 @@ impl Machine {
             ck.transaction_cycles,
             self.transaction_cycles,
         )?;
+        if ck.discipline != self.discipline.name() {
+            return Err(component(
+                "service discipline",
+                format!(
+                    "checkpoint ran '{}' but this machine runs '{}'",
+                    ck.discipline, self.discipline
+                ),
+            ));
+        }
         check_len("cache snapshots", ck.caches.len(), n)?;
         check_len("cache-stat snapshots", ck.cache_stats.len(), n)?;
         check_len("statuses", ck.statuses.len(), n)?;
@@ -793,8 +825,15 @@ impl Machine {
         self.last_addr.clone_from(&ck.last_addr);
 
         for bus in 0..buses {
+            let q = &ck.queues[bus];
             self.queues[bus]
-                .restore_state(ck.queues[bus].retry.clone(), ck.queues[bus].pending.clone())
+                .restore_state(QueueState {
+                    retry: q.retry.clone(),
+                    pending: q.pending.clone(),
+                    arrival: q.arrival.clone(),
+                    batch: q.batch.clone(),
+                    in_flight: q.in_flight.clone(),
+                })
                 .map_err(|e| component(format!("bus {bus} queue"), e))?;
             self.arbiters[bus]
                 .restore_state(&ck.arbiters[bus])
@@ -806,6 +845,7 @@ impl Machine {
                 t.retries,
                 t.busy_cycles,
                 t.idle_cycles,
+                t.address_phases,
             );
         }
         self.bus_free_at.clone_from(&ck.bus_free_at);

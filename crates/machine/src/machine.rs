@@ -11,7 +11,8 @@ use crate::{
     RecoveryPolicy, RunOutcome, Snapshot, StallVerdict, Trace, TraceEvent, TraceKind,
 };
 use decache_bus::{
-    Arbiter, BusOp, BusOpKind, BusQueue, BusTransaction, MultiBusStats, Routing, TrafficStats,
+    Arbiter, BusOp, BusOpKind, BusQueue, BusTransaction, MultiBusStats, Routing, ServiceDiscipline,
+    TrafficStats,
 };
 use decache_cache::{AccessKind, CacheStats, TagStore};
 use decache_core::{AnyProtocol, BusIntent, CpuOutcome, LineState, Protocol, SnoopEvent};
@@ -65,7 +66,12 @@ pub struct Machine {
     /// Bus cycles each transaction occupies (1 = the paper's model;
     /// larger values model memory slower than the caches).
     transaction_cycles: u64,
+    /// How each bus schedules grants over time (all buses share one
+    /// discipline; the per-queue copy drives the queues themselves).
+    discipline: ServiceDiscipline,
     /// Per-bus cycle number until which the bus is still occupied.
+    /// Never set in split-transaction mode: the bus is released between
+    /// the address and data phases.
     bus_free_at: Vec<u64>,
     trace: Trace,
     /// Structured protocol-level event subscribers (the conformance
@@ -249,6 +255,7 @@ impl Machine {
         processors: Vec<Box<dyn Processor + Send>>,
         arbiters: Vec<Box<dyn Arbiter>>,
         transaction_cycles: u64,
+        discipline: ServiceDiscipline,
         trace: Trace,
         fault_plan: Option<FaultPlan>,
         recovery_policy: RecoveryPolicy,
@@ -302,13 +309,16 @@ impl Machine {
             statuses: vec![PeStatus::Idle; n],
             last_results: vec![None; n],
             processors,
-            queues: (0..buses).map(|_| BusQueue::new()).collect(),
+            queues: (0..buses)
+                .map(|_| BusQueue::with_discipline(discipline))
+                .collect(),
             arbiters,
             traffic: MultiBusStats::new(buses),
             cache_stats: vec![CacheStats::new(); n],
             stats: MachineStats::default(),
             cycle: 0,
             transaction_cycles,
+            discipline,
             bus_free_at: vec![0; buses],
             trace,
             observers: Vec::new(),
@@ -357,6 +367,11 @@ impl Machine {
     /// The number of shared buses.
     pub fn bus_count(&self) -> usize {
         self.routing.bus_count()
+    }
+
+    /// The bus service discipline (shared by every bus).
+    pub fn discipline(&self) -> ServiceDiscipline {
+        self.discipline
     }
 
     /// The shared memory (read-only view; use [`Memory::peek`]).
@@ -652,12 +667,19 @@ impl Machine {
             }
         }
         for bus in 0..self.queues.len() {
-            if !self.queues[bus].is_empty() {
+            if self.queues[bus].has_grantable() {
                 // A queued transaction is granted the cycle the bus
                 // frees up (lose-grant faults only retime the retry,
                 // which still goes through the same wake point).
                 let grant_at = next.max(self.bus_free_at[bus]);
                 soonest = Some(soonest.map_or(grant_at, |s| s.min(grant_at)));
+            }
+            if let Some(ready) = self.queues[bus].next_ready() {
+                // A split-transaction data phase wakes the bus when the
+                // memory access completes; the cycles in between are
+                // genuinely idle.
+                let at = next.max(ready);
+                soonest = Some(soonest.map_or(at, |s| s.min(at)));
             }
         }
         soonest
@@ -1194,7 +1216,12 @@ impl Machine {
         }
         let pe_id = PeId::new(pe as u16);
         for queue in &mut self.queues {
-            queue.cancel(pe_id);
+            if queue.cancel(pe_id) {
+                // An in-flight split transaction dies between its
+                // address and data phases; the address phase already
+                // happened, so count the transaction that never will.
+                self.stats.split_cancels += 1;
+            }
         }
         let released = self.memory.release_locks_held_by(pe_id);
         self.fault_stats.forced_unlocks += released.len() as u64;
@@ -1584,7 +1611,18 @@ impl Machine {
                 self.traffic.bus_mut(bus).record_occupied();
                 continue;
             }
-            if !self.queues[bus].is_empty() {
+            // Split-transaction data phase: a completed memory access
+            // takes the bus with priority over new address grants. Its
+            // wait was sampled at the address grant, so no second
+            // `note_grant` here.
+            if let Some(tx) = self.queues[bus].take_ready(self.cycle) {
+                self.record(TraceKind::Grant, Some(tx.initiator), || {
+                    format!("data phase {tx}")
+                });
+                self.execute(bus, tx);
+                continue;
+            }
+            if self.queues[bus].has_grantable() {
                 self.stats.queue_scans += 1;
             }
             match self.queues[bus].grant(self.arbiters[bus].as_mut()) {
@@ -1613,6 +1651,14 @@ impl Machine {
                     }
                     self.record(TraceKind::Grant, Some(tx.initiator), || tx.to_string());
                     self.note_grant(tx.initiator.index());
+                    if self.discipline == ServiceDiscipline::Split {
+                        // Address phase: post the request and release
+                        // the bus; the data phase returns once memory
+                        // has serviced the access.
+                        self.traffic.bus_mut(bus).record_address_phase();
+                        self.queues[bus].begin_in_flight(tx, self.cycle + self.transaction_cycles);
+                        continue;
+                    }
                     if self.transaction_cycles > 1 {
                         self.bus_free_at[bus] = self.cycle + self.transaction_cycles;
                     }
@@ -2182,7 +2228,11 @@ impl Machine {
             }
             let value = entry.data;
             let bus = self.routing.bus_of(addr);
-            self.queues[bus].cancel(PeId::new(pe as u16));
+            if self.queues[bus].cancel(PeId::new(pe as u16)) {
+                // The read's address phase already ran; its data phase
+                // is cancelled along with the request.
+                self.stats.split_cancels += 1;
+            }
             self.stats.broadcast_satisfied += 1;
             self.record(
                 TraceKind::BroadcastSatisfied,

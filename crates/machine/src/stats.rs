@@ -41,6 +41,12 @@ pub struct MachineStats {
     /// queue (one per granted cycle; dead and held cycles scan
     /// nothing).
     pub queue_scans: u64,
+    /// Split-transaction requests cancelled *between* their address and
+    /// data phases (broadcast-satisfied reads and fail-stops): their
+    /// address phase and acquire-wait sample happened, but no
+    /// transaction completion ever will. Zero under non-split
+    /// disciplines; closes the bus-acquire conservation identity.
+    pub split_cancels: u64,
 }
 
 impl MachineStats {

@@ -14,6 +14,7 @@
 //! replayable seed (`DECACHE_TEST_SEED=<seed>`); `DECACHE_TEST_CASES`
 //! widens the corpus when hunting rare interleavings.
 
+use decache_bus::ServiceDiscipline;
 use decache_core::ProtocolKind;
 use decache_machine::{FaultPlan, Machine, MachineBuilder, Script};
 use decache_mem::{Addr, Word};
@@ -93,12 +94,17 @@ fn build_random_config(rng: &mut Rng, threads: usize, fault_seed: Option<u64>) -
     // Multi-cycle transactions create bus-held dead spans, the case
     // the wake schedule bulk-skips.
     let transaction_cycles = rng.gen_range(1u64..5);
+    // Every service discipline, so the equivalence corpora cover the
+    // FCFS arrival lane, batched grant gating, and split in-flight
+    // phases alongside the default per-cycle arbitration.
+    let discipline = *rng.choose(&ServiceDiscipline::ALL);
 
     let mut builder = MachineBuilder::new(kind);
     builder
         .memory_words(MEMORY_WORDS)
         .cache_lines(cache_lines)
-        .transaction_cycles(transaction_cycles);
+        .transaction_cycles(transaction_cycles)
+        .discipline(discipline);
     match shape {
         Shape::Single => {}
         Shape::Interleaved(buses) => {
@@ -303,12 +309,28 @@ fn sharded_issue_plumbing_is_inert_below_the_gate() {
 /// odometer) and remain byte-identical to the sequential engine.
 #[test]
 fn sharded_issue_engages_and_matches_at_256_pes() {
-    fn build(threads: usize) -> Machine {
+    sharded_issue_at_256_pes(ServiceDiscipline::PerCycle);
+}
+
+/// The same 256-PE shard-gate scenario under split-transaction bus
+/// mode: the issue phase runs sharded while address phases sit in
+/// flight awaiting their data phases, so the worker pool and the
+/// split queue state must compose without perturbing a single
+/// statistic. This is the scenario TSan instruments end to end.
+#[test]
+fn sharded_issue_engages_and_matches_under_split_transactions() {
+    sharded_issue_at_256_pes(ServiceDiscipline::Split);
+}
+
+fn sharded_issue_at_256_pes(discipline: ServiceDiscipline) {
+    let build = |threads: usize| -> Machine {
         const PES: usize = 256;
         let mut builder = MachineBuilder::new(ProtocolKind::Rwb);
         builder
             .memory_words(1 << 12)
             .cache_lines(16)
+            .discipline(discipline)
+            .transaction_cycles(3)
             .step_threads(threads);
         for pe in 0..PES {
             let base = 1024 + pe as u64 * 8;
@@ -326,7 +348,7 @@ fn sharded_issue_engages_and_matches_at_256_pes() {
             builder.processor(script.build());
         }
         builder.build()
-    }
+    };
 
     let mut seq = build(1);
     let mut sharded = build(4);
@@ -342,5 +364,10 @@ fn sharded_issue_engages_and_matches_at_256_pes() {
     );
     seq.assert_fast_path_invariants();
     sharded.assert_fast_path_invariants();
-    assert_observably_identical(&seq, &sharded, "sharded issue at 256 PEs", 0);
+    assert_observably_identical(
+        &seq,
+        &sharded,
+        &format!("sharded issue at 256 PEs under {discipline}"),
+        0,
+    );
 }

@@ -495,13 +495,51 @@ fn queue_to_json(q: &QueueCheckpoint) -> Json {
             "pending",
             Json::Array(q.pending.iter().map(transaction_to_json).collect()),
         ),
+        (
+            "arrival",
+            uints_to_json(q.arrival.iter().map(|pe| pe.index() as u64)),
+        ),
+        (
+            "batch",
+            uints_to_json(q.batch.iter().map(|pe| pe.index() as u64)),
+        ),
+        (
+            "in_flight",
+            Json::Array(
+                q.in_flight
+                    .iter()
+                    .map(|(tx, ready)| {
+                        Json::object(vec![
+                            ("tx", transaction_to_json(tx)),
+                            ("ready", Json::U64(*ready)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
+}
+
+fn pes_from_json(value: &Json, name: &'static str) -> Result<Vec<PeId>, String> {
+    uints(value, name)?
+        .into_iter()
+        .map(|raw| {
+            u16::try_from(raw)
+                .map(PeId::new)
+                .map_err(|_| format!("field '{name}' holds PE id {raw} out of range"))
+        })
+        .collect()
 }
 
 fn queue_from_json(value: &Json) -> Result<QueueCheckpoint, String> {
     Ok(QueueCheckpoint {
         retry: items(value, "retry", transaction_from_json)?,
         pending: items(value, "pending", transaction_from_json)?,
+        arrival: pes_from_json(value, "arrival")?,
+        batch: pes_from_json(value, "batch")?,
+        in_flight: items(value, "in_flight", |v| {
+            Ok((transaction_from_json(field(v, "tx")?)?, uint(v, "ready")?))
+        })?,
     })
 }
 
@@ -547,6 +585,7 @@ fn traffic_to_json(t: &TrafficCheckpoint) -> Json {
         ("retries", Json::U64(t.retries)),
         ("busy_cycles", Json::U64(t.busy_cycles)),
         ("idle_cycles", Json::U64(t.idle_cycles)),
+        ("address_phases", Json::U64(t.address_phases)),
     ])
 }
 
@@ -559,6 +598,7 @@ fn traffic_from_json(value: &Json) -> Result<TrafficCheckpoint, String> {
         retries: uint(value, "retries")?,
         busy_cycles: uint(value, "busy_cycles")?,
         idle_cycles: uint(value, "idle_cycles")?,
+        address_phases: uint(value, "address_phases")?,
     })
 }
 
@@ -574,6 +614,7 @@ fn machine_stats_to_json(s: MachineStats) -> Json {
         ("tag_probes", Json::U64(s.tag_probes)),
         ("sharer_visits", Json::U64(s.sharer_visits)),
         ("queue_scans", Json::U64(s.queue_scans)),
+        ("split_cancels", Json::U64(s.split_cancels)),
     ])
 }
 
@@ -589,6 +630,7 @@ fn machine_stats_from_json(value: &Json) -> Result<MachineStats, String> {
         tag_probes: uint(value, "tag_probes")?,
         sharer_visits: uint(value, "sharer_visits")?,
         queue_scans: uint(value, "queue_scans")?,
+        split_cancels: uint(value, "split_cancels")?,
     })
 }
 
@@ -705,6 +747,7 @@ pub fn checkpoint_to_json(ck: &MachineCheckpoint) -> Json {
         ("ways", Json::U64(ck.ways)),
         ("block_words", Json::U64(ck.block_words)),
         ("transaction_cycles", Json::U64(ck.transaction_cycles)),
+        ("discipline", Json::Str(ck.discipline.clone())),
         ("cycle", Json::U64(ck.cycle)),
         ("sharded_cycles", Json::U64(ck.sharded_cycles)),
         ("memory", memory_to_json(&ck.memory)),
@@ -792,6 +835,7 @@ pub fn checkpoint_from_json(value: &Json) -> Result<MachineCheckpoint, String> {
         ways: uint(value, "ways")?,
         block_words: uint(value, "block_words")?,
         transaction_cycles: uint(value, "transaction_cycles")?,
+        discipline: string(value, "discipline")?.to_string(),
         cycle: uint(value, "cycle")?,
         sharded_cycles: uint(value, "sharded_cycles")?,
         memory: memory_from_json(field(value, "memory")?).map_err(|e| format!("memory: {e}"))?,

@@ -182,6 +182,9 @@ pub struct BusCounts {
     pub busy_cycles: u64,
     /// Cycles with the bus idle.
     pub idle_cycles: u64,
+    /// Split-transaction address phases (zero under non-split
+    /// disciplines).
+    pub address_phases: u64,
 }
 
 impl BusCounts {
@@ -196,6 +199,7 @@ impl BusCounts {
             retries: stats.retries,
             busy_cycles: stats.busy_cycles,
             idle_cycles: stats.idle_cycles,
+            address_phases: stats.address_phases,
         }
     }
 
@@ -234,6 +238,7 @@ impl BusCounts {
         self.retries += other.retries;
         self.busy_cycles += other.busy_cycles;
         self.idle_cycles += other.idle_cycles;
+        self.address_phases += other.address_phases;
     }
 
     fn to_json(self) -> Json {
@@ -247,6 +252,7 @@ impl BusCounts {
             ("retries", Json::U64(self.retries)),
             ("busy_cycles", Json::U64(self.busy_cycles)),
             ("idle_cycles", Json::U64(self.idle_cycles)),
+            ("address_phases", Json::U64(self.address_phases)),
         ])
     }
 
@@ -261,6 +267,9 @@ impl BusCounts {
             retries: uint(value, "retries")?,
             busy_cycles: uint(value, "busy_cycles")?,
             idle_cycles: uint(value, "idle_cycles")?,
+            // Postdates the first schema-1 snapshots; absent means a
+            // run under a non-split discipline that never counted it.
+            address_phases: uint_or_zero(value, "address_phases")?,
         })
     }
 }
@@ -290,6 +299,9 @@ pub struct MachineCounts {
     /// Deterministic work units: arbitration scans of a non-empty bus
     /// queue.
     pub queue_scans: u64,
+    /// Split-transaction requests cancelled between their address and
+    /// data phases (broadcast satisfaction or fail-stop).
+    pub split_cancels: u64,
 }
 
 impl MachineCounts {
@@ -305,6 +317,7 @@ impl MachineCounts {
             tag_probes: stats.tag_probes,
             sharer_visits: stats.sharer_visits,
             queue_scans: stats.queue_scans,
+            split_cancels: stats.split_cancels,
         }
     }
 
@@ -330,6 +343,7 @@ impl MachineCounts {
         self.tag_probes += other.tag_probes;
         self.sharer_visits += other.sharer_visits;
         self.queue_scans += other.queue_scans;
+        self.split_cancels += other.split_cancels;
     }
 
     fn to_json(self) -> Json {
@@ -344,6 +358,7 @@ impl MachineCounts {
             ("tag_probes", Json::U64(self.tag_probes)),
             ("sharer_visits", Json::U64(self.sharer_visits)),
             ("queue_scans", Json::U64(self.queue_scans)),
+            ("split_cancels", Json::U64(self.split_cancels)),
         ])
     }
 
@@ -361,6 +376,7 @@ impl MachineCounts {
             tag_probes: uint_or_zero(value, "tag_probes")?,
             sharer_visits: uint_or_zero(value, "sharer_visits")?,
             queue_scans: uint_or_zero(value, "queue_scans")?,
+            split_cancels: uint_or_zero(value, "split_cancels")?,
         })
     }
 }
@@ -1010,6 +1026,19 @@ impl MetricsSnapshot {
             );
         }
 
+        // Address phases are busy cycles the split discipline charges
+        // without a transaction completion; other disciplines never
+        // record one.
+        for (i, b) in self.bus_per_bus.iter().enumerate() {
+            check(
+                b.address_phases <= b.busy_cycles,
+                format!(
+                    "bus {i}: address phases {} > busy cycles {}",
+                    b.address_phases, b.busy_cycles
+                ),
+            );
+        }
+
         // Eviction write-backs and fail-stop drains are each charged
         // one bus write.
         check(
@@ -1057,15 +1086,29 @@ impl MetricsSnapshot {
         if let Some(h) = &self.histograms {
             // Histogram populations equal their driving counters —
             // exact even under faults.
+            // Split cancels sampled a wait at their address grant but
+            // never complete a transaction, so they join the
+            // ledger on the sample side.
             check(
                 h.bus_acquire_wait.count
-                    == bus.total_transactions() - m.writebacks - f.drained_lines,
+                    == bus.total_transactions() - m.writebacks - f.drained_lines + m.split_cancels,
                 format!(
-                    "acquire-wait samples {} != transactions {} - writebacks {} - drained {}",
+                    "acquire-wait samples {} != transactions {} - writebacks {} - drained {} \
+                     + split cancels {}",
                     h.bus_acquire_wait.count,
                     bus.total_transactions(),
                     m.writebacks,
-                    f.drained_lines
+                    f.drained_lines,
+                    m.split_cancels
+                ),
+            );
+            // Under split every grant records exactly one address
+            // phase; under other disciplines none do.
+            check(
+                bus.address_phases <= h.bus_acquire_wait.count,
+                format!(
+                    "address phases {} > acquire-wait samples {}",
+                    bus.address_phases, h.bus_acquire_wait.count
                 ),
             );
             check(

@@ -17,6 +17,7 @@
 //! change (with a version bump) via
 //! `DECACHE_CHECKPOINT_PRINT=1 cargo test --test checkpoint`.
 
+use decache::bus::ServiceDiscipline;
 use decache::cache::{AccessKind, RefClass};
 use decache::core::ProtocolKind;
 use decache::machine::{
@@ -257,6 +258,108 @@ fn restore_preserves_telemetry_exactly() {
             "telemetry snapshot diverged after restore under {kind:?}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Service disciplines
+// ---------------------------------------------------------------------
+
+/// Checkpoint/restore at the halfway cycle is invisible under every
+/// service discipline. Multi-cycle transactions make the capture land
+/// inside held-bus windows, so the FCFS arrival lane and the batched
+/// remainder are non-trivially populated at the boundary.
+#[test]
+fn restore_is_bit_exact_under_every_service_discipline() {
+    for discipline in ServiceDiscipline::ALL {
+        for buses in [1usize, 2] {
+            let build = || {
+                let mut builder = mix_builder(ProtocolKind::Rwb, buses);
+                builder.discipline(discipline).transaction_cycles(3);
+                builder.build()
+            };
+            let (full, resumed, cycles) = run_split(&build);
+            assert_eq!(
+                dump(&resumed, cycles),
+                dump(&full, cycles),
+                "restore perturbed the {buses}-bus mix under {discipline}"
+            );
+        }
+    }
+}
+
+/// A split-transaction checkpoint captured with address phases in
+/// flight (granted on the bus, data phase still pending) restores those
+/// phases exactly: the resumed machine finishes on the same cycle with
+/// the same statistics as an uninterrupted run.
+#[test]
+fn split_checkpoint_restores_in_flight_phases() {
+    let build = || {
+        let mut builder = mix_builder(ProtocolKind::Rwb, 1);
+        builder
+            .discipline(ServiceDiscipline::Split)
+            .transaction_cycles(4);
+        builder.build()
+    };
+    let mut full = build();
+    let cycles = full.run_to_completion(CAP);
+    let want = dump(&full, cycles);
+
+    // Step until a checkpoint actually holds an in-flight transaction,
+    // so the restore below provably exercises the in-flight lane rather
+    // than an incidentally empty queue.
+    let mut first = build();
+    let mut captured = None;
+    for _ in 0..cycles {
+        first.step();
+        let candidate = first.checkpoint().expect("mid-run checkpoint");
+        if candidate.queues.iter().any(|q| !q.in_flight.is_empty()) {
+            captured = Some(candidate);
+            break;
+        }
+    }
+    let ck = json_roundtrip(&captured.expect("the mix never had a split phase in flight"));
+
+    let mut resumed = build();
+    resumed
+        .restore(&ck)
+        .expect("restore with address phases in flight");
+    resumed.assert_fast_path_invariants();
+    let finished = resumed.run_to_completion(CAP);
+    assert_eq!(
+        finished, cycles,
+        "resumed run must finish on the same cycle"
+    );
+    assert_eq!(
+        dump(&resumed, finished),
+        want,
+        "restore perturbed the in-flight split state"
+    );
+}
+
+/// A checkpoint records the service discipline it ran under and refuses
+/// to restore into a machine running a different one — the queue lanes
+/// it carries only make sense to the discipline that filled them.
+#[test]
+fn restore_rejects_a_discipline_mismatch() {
+    let build = |discipline| {
+        let mut builder = mix_builder(ProtocolKind::Rb, 1);
+        builder.discipline(discipline).transaction_cycles(2);
+        builder.build()
+    };
+    let mut machine = build(ServiceDiscipline::Fcfs);
+    for _ in 0..50 {
+        machine.step();
+    }
+    let ck = machine.checkpoint().expect("capture under FCFS");
+    assert_eq!(ck.discipline, "fcfs");
+
+    let err = build(ServiceDiscipline::Batched)
+        .restore(&ck)
+        .expect_err("an FCFS checkpoint must not restore into a batched machine");
+    assert!(
+        err.to_string().contains("discipline"),
+        "Display should name the mismatch: {err}"
+    );
 }
 
 // ---------------------------------------------------------------------

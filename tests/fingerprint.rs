@@ -105,41 +105,51 @@ struct Scenario {
 
 /// 8 PEs on the default mixed workload, single bus, small caches so
 /// conflict evictions (and write-backs) occur.
-fn mix_single(kind: ProtocolKind) -> Machine {
+fn mix_single_builder(kind: ProtocolKind) -> MachineBuilder {
     let shared = AddrRange::with_len(Addr::new(0), 64);
     let config = MixConfig {
         ops_per_pe: 400,
         ..MixConfig::default()
     };
-    MachineBuilder::new(kind)
+    let mut builder = MachineBuilder::new(kind);
+    builder
         .memory_words(1 << 12)
         .cache_lines(64)
         .processors(8, |pe| {
             Box::new(MixWorkload::new(config, shared, pe as u64))
-        })
-        .build()
+        });
+    builder
+}
+
+fn mix_single(kind: ProtocolKind) -> Machine {
+    mix_single_builder(kind).build()
 }
 
 /// 8 PEs over two interleaved buses.
-fn mix_dualbus(kind: ProtocolKind) -> Machine {
+fn mix_dualbus_builder(kind: ProtocolKind) -> MachineBuilder {
     let shared = AddrRange::with_len(Addr::new(0), 64);
     let config = MixConfig {
         ops_per_pe: 300,
         ..MixConfig::default()
     };
-    MachineBuilder::new(kind)
+    let mut builder = MachineBuilder::new(kind);
+    builder
         .memory_words(1 << 12)
         .cache_lines(128)
         .buses(2)
         .processors(8, |pe| {
             Box::new(MixWorkload::new(config, shared, pe as u64))
-        })
-        .build()
+        });
+    builder
+}
+
+fn mix_dualbus(kind: ProtocolKind) -> Machine {
+    mix_dualbus_builder(kind).build()
 }
 
 /// 8 PEs in 2 clusters: shared refs on the global bus, private refs on
 /// the cluster buses.
-fn mix_clustered(kind: ProtocolKind) -> Machine {
+fn mix_clustered_builder(kind: ProtocolKind) -> MachineBuilder {
     const GLOBAL: u64 = 64;
     let shared = AddrRange::with_len(Addr::new(0), GLOBAL);
     let config = MixConfig {
@@ -164,7 +174,11 @@ fn mix_clustered(kind: ProtocolKind) -> Machine {
             config, shared, private, pe as u64,
         ))
     });
-    builder.build()
+    builder
+}
+
+fn mix_clustered(kind: ProtocolKind) -> Machine {
+    mix_clustered_builder(kind).build()
 }
 
 /// 4 PEs hammering one lock word with Test-and-Set while touching a few
@@ -293,6 +307,41 @@ const MESI_GOLDEN: [(&str, u64); 6] = [
     ("ts_contention", 0x8fa3b6f530112c19),
     ("eviction_churn", 0x0b15d5de758b6bf4),
     ("mix_128pe", 0x6d194f5bebc80ce7),
+];
+
+/// The non-default service disciplines, in discipline-golden column
+/// order. The default (per-cycle) columns are pinned by [`GOLDEN`].
+const DISCIPLINES: [decache::bus::ServiceDiscipline; 3] = [
+    decache::bus::ServiceDiscipline::Fcfs,
+    decache::bus::ServiceDiscipline::Batched,
+    decache::bus::ServiceDiscipline::Split,
+];
+
+/// A scenario constructor that stops at the builder, so the discipline
+/// tests can set the service discipline before building.
+type BuilderFn = fn(ProtocolKind) -> MachineBuilder;
+
+/// The builder-returning scenarios the discipline goldens run (RWB
+/// only — the headline protocol; the full protocol grid under the
+/// default discipline is already pinned above).
+const DISCIPLINE_SCENARIOS: [(&str, BuilderFn); 5] = [
+    ("mix_single", mix_single_builder),
+    ("mix_dualbus", mix_dualbus_builder),
+    ("mix_clustered", mix_clustered_builder),
+    ("ts_contention", ts_contention_builder),
+    ("eviction_churn", eviction_churn_builder),
+];
+
+/// Golden fingerprints per discipline (rows: scenario; columns: the
+/// disciplines in [`DISCIPLINES`] order), captured with
+/// `DECACHE_FINGERPRINT_PRINT=1 cargo test --test fingerprint -- --nocapture`.
+#[rustfmt::skip]
+const DISCIPLINE_GOLDEN: [(&str, [u64; 3]); 5] = [
+    ("mix_single", [0x9751aa1f8008f4ad, 0xf3c09c65ccdfbdc1, 0x1941adb885cfa5ce]),
+    ("mix_dualbus", [0x81989da7033c6c4e, 0xb1357106a9049459, 0xddba787b37ca9b94]),
+    ("mix_clustered", [0xed647a2eb5b88a65, 0x5f9569007fb0b36d, 0x311055238a6670b6]),
+    ("ts_contention", [0xb66010c7d7c5826a, 0xb66010c7d7c5826a, 0xf5af4dc29f8e9d89]),
+    ("eviction_churn", [0xb49e96fe8be783c6, 0xb49e96fe8be783c6, 0x96192ce7e74efc00]),
 ];
 
 fn fingerprint(scenario: &Scenario, kind: ProtocolKind) -> (u64, String) {
@@ -458,6 +507,72 @@ fn mesi_fingerprints_match_seeded_goldens() {
              (got 0x{hash:016x}, want 0x{:016x});\nfull dump:\n{text}",
             scenario.name, golden.1
         );
+    }
+}
+
+/// Each non-default service discipline is deterministic and pinned by
+/// its own golden table; the default-discipline goldens above stay
+/// bit-identical, so this table only moves when a discipline's own
+/// semantics intentionally change.
+#[test]
+fn discipline_fingerprints_match_seeded_goldens() {
+    let print_mode = std::env::var("DECACHE_FINGERPRINT_PRINT").is_ok();
+    for ((name, builder_fn), golden) in DISCIPLINE_SCENARIOS.iter().zip(DISCIPLINE_GOLDEN.iter()) {
+        assert_eq!(
+            *name, golden.0,
+            "scenario/discipline-golden tables out of sync"
+        );
+        let mut row = Vec::new();
+        for (&discipline, &expect) in DISCIPLINES.iter().zip(golden.1.iter()) {
+            let mut builder = builder_fn(ProtocolKind::Rwb);
+            // Two-cycle transactions create the contention windows in
+            // which the disciplines actually order grants differently.
+            builder.discipline(discipline).transaction_cycles(2);
+            let mut machine = builder.build();
+            let cycles = machine.run_to_completion(50_000_000);
+            let text = dump(&machine, cycles);
+            let hash = fnv1a(&text);
+            row.push(format!("0x{hash:016x}"));
+            if !print_mode {
+                assert_eq!(
+                    hash, expect,
+                    "discipline fingerprint drift in '{name}' under {discipline};\nfull dump:\n{text}"
+                );
+            }
+        }
+        if print_mode {
+            println!("    (\"{name}\", [{}]),", row.join(", "));
+        }
+    }
+}
+
+/// The conformance oracle stays invisible — and clean — under every
+/// non-default discipline: arbitration order and split phasing change
+/// *when* transactions happen, never *what* the protocol does, so the
+/// instrumented run reproduces the discipline goldens exactly and
+/// refines the product model.
+#[test]
+fn conformance_oracle_is_invisible_under_disciplines() {
+    use decache::verify::Refinement;
+    let golden = DISCIPLINE_GOLDEN
+        .iter()
+        .find(|(name, _)| *name == "ts_contention")
+        .expect("scenario present in the discipline-golden table");
+    for (&discipline, &expect) in DISCIPLINES.iter().zip(golden.1.iter()) {
+        let mut builder = ts_contention_builder(ProtocolKind::Rwb);
+        builder.discipline(discipline).transaction_cycles(2);
+        let mut machine = builder.build();
+        let oracle = Refinement::new(ProtocolKind::Rwb, machine.pe_count());
+        machine.attach_observer(oracle.observer());
+        let cycles = machine.run_to_completion(50_000_000);
+        let text = dump(&machine, cycles);
+        assert_eq!(
+            fnv1a(&text),
+            expect,
+            "the oracle perturbed ts_contention under {discipline};\nfull dump:\n{text}"
+        );
+        assert!(oracle.checked_steps() > 0);
+        oracle.assert_clean();
     }
 }
 
